@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 6(a): the six workloads at two connection
+//! counts. Use `cargo run -p youtopia-bench --release --bin repro fig6a`
+//! for the full connection sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_bench::{run_fig6a, Scale};
+use youtopia_workload::{Family, WorkloadMode};
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.txns = 60;
+    let mut group = c.benchmark_group("fig6a");
+    group.sample_size(10);
+    for family in Family::ALL {
+        for (mode, suffix) in [
+            (WorkloadMode::Transactional, "T"),
+            (WorkloadMode::QueryOnly, "Q"),
+        ] {
+            for connections in [10usize, 100] {
+                let id = BenchmarkId::new(
+                    format!("{}-{}", family.label(), suffix),
+                    connections,
+                );
+                group.bench_with_input(id, &connections, |b, &conns| {
+                    b.iter(|| run_fig6a(&scale, family, mode, conns));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6a);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 6(b): pending transactions p ∈ {10, 100} at
+//! run frequencies f ∈ {1, 50}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_bench::{run_fig6b, Scale};
+
+fn bench_fig6b(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.txns = 60;
+    let mut group = c.benchmark_group("fig6b");
+    group.sample_size(10);
+    for f in [1usize, 50] {
+        for p in [10usize, 100] {
+            let id = BenchmarkId::new(format!("f{f}"), p);
+            group.bench_with_input(id, &(p, f), |b, &(p, f)| {
+                b.iter(|| run_fig6b(&scale, p, f, 50));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6b);
+criterion_main!(benches);

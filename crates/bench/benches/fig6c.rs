@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 6(c): spoke-hub and cyclic coordination at
+//! set sizes k ∈ {2, 6, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use youtopia_bench::{run_fig6c, Scale};
+use youtopia_workload::Structure;
+
+fn bench_fig6c(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("fig6c");
+    group.sample_size(10);
+    for structure in [Structure::SpokeHub, Structure::Cyclic] {
+        for k in [2usize, 6, 10] {
+            let id = BenchmarkId::new(structure.label(), k);
+            group.bench_with_input(id, &k, |b, &k| {
+                b.iter(|| run_fig6c(&scale, structure, k, 4, 10, 50));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6c);
+criterion_main!(benches);

@@ -1,0 +1,999 @@
+//! The execution engine: classical statements under Strict 2PL with WAL,
+//! joint entangled-query evaluation, group commit and crash recovery.
+//!
+//! This is the middle-tier component of §5.1, with the DBMS it sat on —
+//! storage, locking, logging — linked in as the sibling crates rather than
+//! MySQL. One [`Engine`] is shared by all transactions; the scheduler
+//! (§4's run-based model, see [`crate::scheduler`]) drives transactions
+//! through it.
+
+use crate::error::EngineError;
+use crate::groups::GroupManager;
+use crate::program::{Txn, TxnStatus, Undo};
+use crate::recorder::Recorder;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use youtopia_entangle::{
+    from_ast, ground, solve, QueryIr, QueryOutcome, SolveInput, SolverConfig,
+};
+use youtopia_lock::{LockManager, LockMode, Resource, TxId};
+use youtopia_sql::{
+    lower_const_scalar, lower_select, lower_table_cond, parse_script, Statement, VarEnv,
+};
+use youtopia_storage::{eval_spj, Database, Expr, RowId, Value};
+use youtopia_wal::{recover, LogRecord, Wal};
+
+/// Lock granularity for writes (reads and grounding reads are always
+/// table-granular, mirroring §3.3.3's table-level read-lock argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockGranularity {
+    Table,
+    Row,
+}
+
+/// Isolation configuration (§3.3.1 levels as engine switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationMode {
+    /// Full entangled isolation: Strict 2PL + group commit.
+    Full,
+    /// Group commit disabled — widowed transactions become possible
+    /// (ablation Ab2; anomaly checked by the recorder).
+    AllowWidows,
+    /// Read locks released at the end of each statement — unrepeatable
+    /// (quasi-)reads become possible.
+    EarlyReadLockRelease,
+}
+
+/// What to do when an entangled query succeeds with an empty answer
+/// (Appendix B: the transaction *may* proceed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmptyAnswerPolicy {
+    /// Abort the transaction (sensible for booking workloads: no common
+    /// flight means the plan failed).
+    Abort,
+    /// Proceed; host variables the query would have bound stay unbound.
+    Proceed,
+}
+
+/// Simulated per-operation costs. The paper's Figure 6(a) shape comes from
+/// connection-bound concurrency in MySQL: each statement costs
+/// connection/IO latency that overlaps across connections. Sleeping (not
+/// spinning) reproduces that overlap on any host.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel {
+    pub per_statement: Duration,
+    pub per_entangled_eval: Duration,
+    pub per_commit: Duration,
+}
+
+impl CostModel {
+    pub const ZERO: CostModel = CostModel {
+        per_statement: Duration::ZERO,
+        per_entangled_eval: Duration::ZERO,
+        per_commit: Duration::ZERO,
+    };
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub isolation: IsolationMode,
+    pub granularity: LockGranularity,
+    pub lock_timeout: Duration,
+    pub solver: SolverConfig,
+    pub empty_answer: EmptyAnswerPolicy,
+    pub cost: CostModel,
+    /// Record an abstract schedule of every operation (audited against
+    /// Appendix C by tests and the `verify_history` API).
+    pub record_history: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            isolation: IsolationMode::Full,
+            // Row granularity for writes by default: the paper's substrate
+            // (InnoDB) is row-locking, and entangled partners write to the
+            // same tables (Reserve), which table-X locks would serialize
+            // structurally. `LockGranularity::Table` is the Ab4 ablation.
+            granularity: LockGranularity::Row,
+            lock_timeout: Duration::from_millis(250),
+            solver: SolverConfig::default(),
+            empty_answer: EmptyAnswerPolicy::Abort,
+            cost: CostModel::ZERO,
+            record_history: true,
+        }
+    }
+}
+
+/// Result of advancing a transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// Hit an entangled query; waiting for joint evaluation.
+    Blocked,
+    /// Finished its body; ready to commit.
+    Ready,
+    /// Aborted (reason is in the txn status).
+    Aborted,
+}
+
+/// Report from one joint evaluation of pending entangled queries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalReport {
+    pub answered: usize,
+    pub empty: usize,
+    pub no_partner: usize,
+    pub aborted: usize,
+}
+
+/// The shared engine.
+pub struct Engine {
+    db: RwLock<Database>,
+    pub locks: LockManager,
+    pub wal: Wal,
+    pub groups: GroupManager,
+    pub recorder: Recorder,
+    pub config: EngineConfig,
+    next_tx: AtomicU64,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            db: RwLock::new(Database::new()),
+            locks: LockManager::new(),
+            wal: Wal::new(),
+            groups: GroupManager::new(),
+            recorder: Recorder::new(),
+            config,
+            next_tx: AtomicU64::new(1),
+        }
+    }
+
+    /// Fresh engine transaction id.
+    pub fn alloc_tx(&self) -> u64 {
+        self.next_tx.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Run a setup script (CREATE TABLE / INSERT) outside transaction
+    /// processing; logged as bootstrap transaction 0 and synced.
+    pub fn setup(&self, script: &str) -> Result<(), EngineError> {
+        let statements = parse_script(script)?;
+        let mut db = self.db.write();
+        for st in statements {
+            match st {
+                Statement::CreateTable { name, columns } => {
+                    let schema = youtopia_storage::Schema::new(
+                        columns
+                            .into_iter()
+                            .map(|(n, t)| youtopia_storage::Column::new(n, t))
+                            .collect(),
+                    )
+                    .map_err(youtopia_storage::StorageError::from)?;
+                    db.create_table(&name, schema.clone())?;
+                    self.wal.append(&LogRecord::CreateTable { name, schema });
+                }
+                Statement::Insert { table, columns, values } => {
+                    let row = build_insert_row(&db, &table, &columns, &values, &VarEnv::new())?;
+                    let id = db.insert(&table, row.clone())?;
+                    self.wal.append(&LogRecord::Insert { tx: 0, table, row: id.0, values: row });
+                }
+                _ => return Err(EngineError::Protocol("setup accepts only CREATE TABLE / INSERT")),
+            }
+        }
+        self.wal.append_sync(&LogRecord::Commit { tx: 0 });
+        Ok(())
+    }
+
+    /// Create a hash index (performance only; not logged).
+    pub fn create_index(&self, table: &str, columns: &[&str]) -> Result<(), EngineError> {
+        let mut db = self.db.write();
+        db.table_mut(table)?
+            .create_index(columns)
+            .map_err(youtopia_storage::StorageError::from)?;
+        Ok(())
+    }
+
+    /// Read-only access to the database (tests, examples, benches).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    /// Log the BEGIN record for a fresh attempt.
+    pub fn begin(&self, txn: &Txn) {
+        self.wal.append(&LogRecord::Begin { tx: txn.tx });
+    }
+
+    /// Advance `txn` until it blocks on an entangled query, finishes its
+    /// body, or aborts.
+    pub fn run_until_block(&self, txn: &mut Txn) -> StepOutcome {
+        txn.status = TxnStatus::Running;
+        while txn.pc < txn.program.statements.len() {
+            if !self.config.cost.per_statement.is_zero() {
+                std::thread::sleep(self.config.cost.per_statement);
+            }
+            let stmt = txn.program.statements[txn.pc].clone();
+            match stmt {
+                Statement::Entangled(_) => {
+                    txn.status = TxnStatus::Blocked { statement: txn.pc };
+                    return StepOutcome::Blocked;
+                }
+                other => {
+                    if let Err(e) = self.execute_classical(txn, &other) {
+                        self.abort(txn, e);
+                        return StepOutcome::Aborted;
+                    }
+                    txn.pc += 1;
+                }
+            }
+        }
+        txn.status = TxnStatus::ReadyToCommit;
+        StepOutcome::Ready
+    }
+
+    fn lock(&self, tx: u64, res: Resource, mode: LockMode) -> Result<(), EngineError> {
+        self.locks
+            .lock(TxId(tx), res, mode, Some(self.config.lock_timeout))
+            .map_err(EngineError::from)
+    }
+
+    fn execute_classical(&self, txn: &mut Txn, stmt: &Statement) -> Result<(), EngineError> {
+        match stmt {
+            Statement::Select(sel) => {
+                // Lower (needs schema), then lock, then evaluate.
+                let lowered = {
+                    let db = self.db.read();
+                    lower_select(&db, sel, &txn.env)?
+                };
+                let mut tables = lowered.query.tables.clone();
+                tables.sort();
+                tables.dedup();
+                for t in &tables {
+                    self.lock(txn.tx, Resource::table(t), LockMode::S)?;
+                }
+                let out = {
+                    let db = self.db.read();
+                    eval_spj(&db, &lowered.query)?
+                };
+                if self.config.record_history {
+                    for t in &tables {
+                        self.recorder.read(txn.tx, t);
+                    }
+                }
+                // Bind host variables from the first row (MySQL-style
+                // SELECT-into-variable semantics used by Appendix D).
+                if let Some(row) = out.rows.first() {
+                    for (idx, var) in &lowered.bindings {
+                        txn.env.insert(var.clone(), row[*idx].clone());
+                    }
+                }
+                if self.config.isolation == IsolationMode::EarlyReadLockRelease {
+                    for t in &tables {
+                        self.locks.release(TxId(txn.tx), &Resource::table(t));
+                    }
+                }
+                Ok(())
+            }
+            Statement::Insert { table, columns, values } => {
+                match self.config.granularity {
+                    LockGranularity::Table => {
+                        self.lock(txn.tx, Resource::table(table), LockMode::X)?
+                    }
+                    LockGranularity::Row => {
+                        self.lock(txn.tx, Resource::table(table), LockMode::IX)?
+                    }
+                }
+                let row = {
+                    let db = self.db.read();
+                    build_insert_row(&db, table, columns, values, &txn.env)?
+                };
+                let id = {
+                    let mut db = self.db.write();
+                    db.insert(table, row.clone())?
+                };
+                if self.config.granularity == LockGranularity::Row {
+                    // Fresh row: uncontended by construction.
+                    self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
+                }
+                self.wal.append(&LogRecord::Insert {
+                    tx: txn.tx,
+                    table: table.clone(),
+                    row: id.0,
+                    values: row,
+                });
+                txn.undo.push(Undo::Insert { table: table.clone(), row: id.0 });
+                if self.config.record_history {
+                    let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
+                    self.recorder.write(txn.tx, table, row);
+                }
+                Ok(())
+            }
+            Statement::Update { table, sets, where_clause } => {
+                let (pred, set_cols) = {
+                    let db = self.db.read();
+                    let pred = lower_table_cond(&db, table, where_clause, &txn.env)?;
+                    let cols: Vec<(usize, &youtopia_sql::Scalar)> = sets
+                        .iter()
+                        .map(|(c, s)| Ok((db.column_index(table, c)?, s)))
+                        .collect::<Result<_, EngineError>>()?;
+                    (pred, cols.into_iter().map(|(i, s)| (i, s.clone())).collect::<Vec<_>>())
+                };
+                self.lock_for_write_scan(txn.tx, table)?;
+                let targets: Vec<(RowId, Vec<Value>)> = {
+                    let db = self.db.read();
+                    collect_matches(&db, table, &pred)?
+                };
+                if self.config.granularity == LockGranularity::Row {
+                    for (id, _) in &targets {
+                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
+                    }
+                }
+                for (id, old) in targets {
+                    let mut new = old.clone();
+                    for (col, scalar) in &set_cols {
+                        new[*col] = eval_row_scalar(scalar, table, &old, &txn.env, self)?;
+                    }
+                    {
+                        let mut db = self.db.write();
+                        db.update(table, id, new.clone())?;
+                    }
+                    self.wal.append(&LogRecord::Update {
+                        tx: txn.tx,
+                        table: table.clone(),
+                        row: id.0,
+                        before: old.clone(),
+                        after: new,
+                    });
+                    txn.undo.push(Undo::Update { table: table.clone(), row: id.0, before: old });
+                    if self.config.record_history {
+                        let row =
+                            (self.config.granularity == LockGranularity::Row).then_some(id.0);
+                        self.recorder.write(txn.tx, table, row);
+                    }
+                }
+                Ok(())
+            }
+            Statement::Delete { table, where_clause } => {
+                let pred = {
+                    let db = self.db.read();
+                    lower_table_cond(&db, table, where_clause, &txn.env)?
+                };
+                self.lock_for_write_scan(txn.tx, table)?;
+                let targets: Vec<(RowId, Vec<Value>)> = {
+                    let db = self.db.read();
+                    collect_matches(&db, table, &pred)?
+                };
+                if self.config.granularity == LockGranularity::Row {
+                    for (id, _) in &targets {
+                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
+                    }
+                }
+                for (id, old) in targets {
+                    {
+                        let mut db = self.db.write();
+                        db.delete(table, id)?;
+                    }
+                    self.wal.append(&LogRecord::Delete {
+                        tx: txn.tx,
+                        table: table.clone(),
+                        row: id.0,
+                        before: old.clone(),
+                    });
+                    txn.undo.push(Undo::Delete { table: table.clone(), row: id.0, before: old });
+                    if self.config.record_history {
+                        let row =
+                            (self.config.granularity == LockGranularity::Row).then_some(id.0);
+                        self.recorder.write(txn.tx, table, row);
+                    }
+                }
+                Ok(())
+            }
+            Statement::SetVar { name, expr } => {
+                let v = lower_const_scalar(expr, &txn.env)?;
+                txn.env.insert(name.clone(), v);
+                Ok(())
+            }
+            Statement::Rollback => Err(EngineError::RolledBack),
+            Statement::CreateTable { .. } => {
+                Err(EngineError::Protocol("DDL inside transactions is not supported"))
+            }
+            Statement::Begin { .. } | Statement::Commit => {
+                Err(EngineError::Protocol("nested BEGIN/COMMIT"))
+            }
+            Statement::Entangled(_) => unreachable!("handled by run_until_block"),
+        }
+    }
+
+    /// Table-level locking for UPDATE/DELETE scans: X at table granularity,
+    /// SIX-equivalent (S + IX) at row granularity (scan reads the table,
+    /// writes individual rows).
+    fn lock_for_write_scan(&self, tx: u64, table: &str) -> Result<(), EngineError> {
+        match self.config.granularity {
+            LockGranularity::Table => self.lock(tx, Resource::table(table), LockMode::X),
+            LockGranularity::Row => {
+                self.lock(tx, Resource::table(table), LockMode::S)?;
+                self.lock(tx, Resource::table(table), LockMode::IX)
+            }
+        }
+    }
+
+    /// Jointly evaluate the entangled queries of all blocked transactions
+    /// (the synchronization point of a run, §4).
+    pub fn evaluate_queries(&self, blocked: &mut [&mut Txn]) -> EvalReport {
+        if !self.config.cost.per_entangled_eval.is_zero() {
+            std::thread::sleep(self.config.cost.per_entangled_eval);
+        }
+        let mut report = EvalReport::default();
+
+        // 1. Build IRs (host vars substituted from each txn's env).
+        let mut irs: Vec<Option<QueryIr>> = Vec::with_capacity(blocked.len());
+        for txn in blocked.iter_mut() {
+            let TxnStatus::Blocked { statement } = txn.status else {
+                irs.push(None);
+                continue;
+            };
+            let Statement::Entangled(eq) = &txn.program.statements[statement] else {
+                irs.push(None);
+                continue;
+            };
+            match from_ast(eq, &txn.env) {
+                Ok(ir) => irs.push(Some(ir)),
+                Err(e) => {
+                    self.abort(txn, EngineError::Ir(e));
+                    report.aborted += 1;
+                    irs.push(None);
+                }
+            }
+        }
+
+        // 2. Grounding-read locks (shared, held to commit under full
+        //    isolation — §3.3.3's protection against Figure 3(b)).
+        for (i, ir) in irs.iter_mut().enumerate() {
+            let Some(q) = ir else { continue };
+            let mut failed = None;
+            for t in q.tables_read() {
+                if let Err(e) = self.lock(blocked[i].tx, Resource::table(&t), LockMode::S) {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            if let Some(e) = failed {
+                self.abort(blocked[i], e);
+                report.aborted += 1;
+                *ir = None;
+            }
+        }
+
+        // 3. Ground everything on one snapshot.
+        let mut grounded = Vec::with_capacity(blocked.len());
+        {
+            let db = self.db.read();
+            for (i, ir) in irs.iter_mut().enumerate() {
+                let Some(q) = ir.as_ref() else {
+                    grounded.push(None);
+                    continue;
+                };
+                match ground(&db, q, &blocked[i].env) {
+                    Ok(gs) => grounded.push(Some(gs)),
+                    Err(e) => {
+                        grounded.push(None);
+                        *ir = None;
+                        // abort after releasing the guard (abort takes the
+                        // write guard) — defer via marker.
+                        let _ = e;
+                    }
+                }
+            }
+        }
+        // Abort grounding failures (rare: schema races) outside the guard.
+        for i in 0..blocked.len() {
+            if irs[i].is_some() && grounded[i].is_none() {
+                self.abort(blocked[i], EngineError::Protocol("grounding failed"));
+                report.aborted += 1;
+                irs[i] = None;
+            }
+        }
+
+        // Relaxed isolation: grounding locks do not outlive the grounding
+        // itself — which is exactly what makes quasi-reads unrepeatable
+        // (the Figure 3(b) anomaly becomes possible).
+        if self.config.isolation == IsolationMode::EarlyReadLockRelease {
+            for (i, ir) in irs.iter().enumerate() {
+                if let Some(q) = ir {
+                    for t in q.tables_read() {
+                        self.locks.release(TxId(blocked[i].tx), &Resource::table(&t));
+                    }
+                }
+            }
+        }
+
+        // 4. Solve jointly.
+        let live: Vec<usize> = (0..blocked.len())
+            .filter(|&i| irs[i].is_some() && grounded[i].is_some())
+            .collect();
+        let inputs: Vec<SolveInput> = live
+            .iter()
+            .map(|&i| SolveInput {
+                ir: irs[i].as_ref().expect("live"),
+                grounding: grounded[i].as_ref().expect("live"),
+            })
+            .collect();
+        let solution = solve(&inputs, &self.config.solver);
+
+        // 5. Record grounding reads + entanglement ops; apply answers.
+        // Grounding reads are recorded only for queries that took part in
+        // an evaluation outcome (answered or empty) — a no-partner query's
+        // grounding is repeated next run.
+        let mut handled_groups: Vec<Vec<u64>> = solution
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&pos| blocked[live[pos]].tx).collect())
+            .collect();
+        for (pos, &i) in live.iter().enumerate() {
+            let txn = &mut *blocked[i];
+            match &solution.outcomes[pos] {
+                QueryOutcome::Answered { grounding } => {
+                    let gs = grounded[i].as_ref().expect("live");
+                    if self.config.record_history {
+                        for t in &gs.tables_read {
+                            self.recorder.ground_read(txn.tx, t);
+                        }
+                    }
+                    let g = &gs.groundings[*grounding];
+                    for (idx, var) in &irs[i].as_ref().expect("live").bindings {
+                        txn.env.insert(var.clone(), g.answer_row[*idx].clone());
+                    }
+                    txn.answers.push(g.answer_row.clone());
+                    txn.pc += 1;
+                    txn.status = TxnStatus::Running;
+                    report.answered += 1;
+                }
+                QueryOutcome::EmptyAnswer => {
+                    let gs = grounded[i].as_ref().expect("live");
+                    if self.config.record_history {
+                        for t in &gs.tables_read {
+                            self.recorder.ground_read(txn.tx, t);
+                        }
+                    }
+                    // Model "combined query evaluated, empty result" as a
+                    // singleton entanglement op (keeps histories C.1-valid).
+                    handled_groups.push(vec![txn.tx]);
+                    match self.config.empty_answer {
+                        EmptyAnswerPolicy::Proceed => {
+                            txn.answers.push(Vec::new());
+                            txn.pc += 1;
+                            txn.status = TxnStatus::Running;
+                            report.empty += 1;
+                        }
+                        EmptyAnswerPolicy::Abort => {
+                            // Abort AFTER the entangle op is recorded so
+                            // the history stays valid; the group is a
+                            // singleton so no widow arises.
+                            txn.status = TxnStatus::Blocked {
+                                statement: match txn.status {
+                                    TxnStatus::Blocked { statement } => statement,
+                                    _ => txn.pc,
+                                },
+                            };
+                            report.empty += 1;
+                        }
+                    }
+                }
+                QueryOutcome::NoPartner => {
+                    report.no_partner += 1;
+                }
+            }
+        }
+
+        // Record entanglement ops & group links; write the WAL records
+        // (§4: entanglement state must be persistent).
+        for members in &handled_groups {
+            if self.config.record_history {
+                self.recorder.entangle(members);
+            }
+            if members.len() > 1 && self.config.isolation != IsolationMode::AllowWidows {
+                let gid = self.groups.link(members);
+                self.wal
+                    .append(&LogRecord::EntangleGroup { group: gid, txs: members.clone() });
+            }
+        }
+
+        // Empty-answer aborts (policy Abort), after their entangle op.
+        if self.config.empty_answer == EmptyAnswerPolicy::Abort {
+            for (pos, &i) in live.iter().enumerate() {
+                if solution.outcomes[pos] == QueryOutcome::EmptyAnswer {
+                    self.abort(blocked[i], EngineError::EmptyAnswer);
+                    report.aborted += 1;
+                }
+            }
+        }
+
+        report
+    }
+
+    /// Commit a set of transactions atomically (a whole entanglement group
+    /// under full isolation; a singleton otherwise). One sync covers the
+    /// group — the amortization group commit classically buys.
+    pub fn commit_group(&self, txns: &mut [&mut Txn]) {
+        if !self.config.cost.per_commit.is_zero() {
+            std::thread::sleep(self.config.cost.per_commit);
+        }
+        for txn in txns.iter() {
+            self.wal.append(&LogRecord::Commit { tx: txn.tx });
+        }
+        if txns.len() > 1 {
+            if let Some(gid) = self.groups.group_id(txns[0].tx) {
+                self.wal.append(&LogRecord::GroupCommit { group: gid });
+            }
+        }
+        self.wal.sync();
+        for txn in txns.iter_mut() {
+            if self.config.record_history {
+                self.recorder.commit(txn.tx);
+            }
+            self.locks.unlock_all(TxId(txn.tx));
+            txn.undo.clear();
+            txn.status = TxnStatus::Committed;
+        }
+    }
+
+    /// Abort one transaction: in-memory undo, WAL abort record, lock
+    /// release. Group-abort cascades are the scheduler's job (it knows
+    /// which transactions are in flight).
+    pub fn abort(&self, txn: &mut Txn, err: EngineError) {
+        {
+            let mut db = self.db.write();
+            for u in txn.undo.drain(..).rev() {
+                match u {
+                    Undo::Insert { table, row } => {
+                        if let Ok(t) = db.table_mut(&table) {
+                            t.delete(RowId(row));
+                        }
+                    }
+                    Undo::Delete { table, row, before } => {
+                        if let Ok(t) = db.table_mut(&table) {
+                            let _ = t.insert_at(RowId(row), before);
+                        }
+                    }
+                    Undo::Update { table, row, before } => {
+                        if let Ok(t) = db.table_mut(&table) {
+                            let _ = t.update(RowId(row), before);
+                        }
+                    }
+                }
+            }
+        }
+        self.wal.append(&LogRecord::Abort { tx: txn.tx });
+        if self.config.record_history {
+            self.recorder.abort(txn.tx);
+        }
+        self.locks.unlock_all(TxId(txn.tx));
+        txn.status = TxnStatus::Aborted(err);
+    }
+
+    /// Test/bench hook: simulate a crash (losing the unsynced WAL tail and
+    /// all memory state) and recover the database from the durable log.
+    /// Returns the set of transactions rolled back despite having a
+    /// durable commit record (widowed rollbacks).
+    pub fn crash_and_recover(&self) -> std::collections::BTreeSet<u64> {
+        let mut db = self.db.write();
+        self.wal.crash();
+        let records = self.wal.durable_records().expect("log readable");
+        let outcome = recover(&records);
+        *db = outcome.db;
+        outcome.widowed_rollbacks
+    }
+}
+
+// ---- helpers ----
+
+fn build_insert_row(
+    db: &Database,
+    table: &str,
+    columns: &Option<Vec<String>>,
+    values: &[youtopia_sql::Scalar],
+    env: &VarEnv,
+) -> Result<Vec<Value>, EngineError> {
+    let schema = db.table(table)?.schema().clone();
+    let vals: Vec<Value> = values
+        .iter()
+        .map(|s| lower_const_scalar(s, env))
+        .collect::<Result<_, _>>()?;
+    match columns {
+        None => Ok(vals),
+        Some(cols) => {
+            let mut row = vec![Value::Null; schema.arity()];
+            for (c, v) in cols.iter().zip(vals) {
+                let idx = schema
+                    .index_of(c)
+                    .ok_or_else(|| youtopia_storage::StorageError::NoSuchColumn {
+                        table: table.to_string(),
+                        column: c.clone(),
+                    })?;
+                row[idx] = v;
+            }
+            Ok(row)
+        }
+    }
+}
+
+fn collect_matches(
+    db: &Database,
+    table: &str,
+    pred: &Expr,
+) -> Result<Vec<(RowId, Vec<Value>)>, EngineError> {
+    let t = db.table(table)?;
+    let mut out = Vec::new();
+    for (id, row) in t.scan() {
+        if pred
+            .eval_bool(&[row.as_slice()])
+            .map_err(|_| EngineError::Protocol("non-boolean WHERE"))?
+        {
+            out.push((id, row.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate an UPDATE SET scalar that may reference the row's own columns.
+fn eval_row_scalar(
+    s: &youtopia_sql::Scalar,
+    table: &str,
+    row: &[Value],
+    env: &VarEnv,
+    engine: &Engine,
+) -> Result<Value, EngineError> {
+    use youtopia_sql::Scalar;
+    match s {
+        Scalar::Lit(v) => Ok(v.clone()),
+        Scalar::HostVar(n) => env
+            .get(n)
+            .cloned()
+            .ok_or_else(|| EngineError::Lower(youtopia_sql::LowerError::UnboundVariable(n.clone()))),
+        Scalar::Col(c) => {
+            let idx = engine.with_db(|db| db.column_index(table, &c.column))?;
+            Ok(row[idx].clone())
+        }
+        Scalar::Add(l, r) => {
+            let (l, r) = (
+                eval_row_scalar(l, table, row, env, engine)?,
+                eval_row_scalar(r, table, row, env, engine)?,
+            );
+            l.add(&r).ok_or(EngineError::Protocol("invalid arithmetic"))
+        }
+        Scalar::Sub(l, r) => {
+            let (l, r) = (
+                eval_row_scalar(l, table, row, env, engine)?,
+                eval_row_scalar(r, table, row, env, engine)?,
+            );
+            l.sub(&r).ok_or(EngineError::Protocol("invalid arithmetic"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ClientId, Program};
+
+    fn engine() -> Engine {
+        let e = Engine::new(EngineConfig::default());
+        e.setup(
+            "CREATE TABLE Flights (fno INT, fdate DATE, dest TEXT);\
+             CREATE TABLE Reserve (uid INT, fid INT);\
+             INSERT INTO Flights VALUES (122, '1970-04-11', 'LA');\
+             INSERT INTO Flights VALUES (123, '1970-04-12', 'LA');\
+             INSERT INTO Flights VALUES (235, '1970-04-13', 'Paris');",
+        )
+        .unwrap();
+        e
+    }
+
+    fn txn(e: &Engine, script: &str) -> Txn {
+        let p = Program::parse(script).unwrap();
+        let t = Txn::new(ClientId(1), e.alloc_tx(), p);
+        e.begin(&t);
+        t
+    }
+
+    #[test]
+    fn classical_transaction_executes_and_commits() {
+        let e = engine();
+        let mut t = txn(
+            &e,
+            "BEGIN; SELECT @fno FROM Flights WHERE dest = 'LA'; \
+             INSERT INTO Reserve (uid, fid) VALUES (7, @fno); COMMIT;",
+        );
+        assert_eq!(e.run_until_block(&mut t), StepOutcome::Ready);
+        e.commit_group(&mut [&mut t]);
+        assert_eq!(t.status, TxnStatus::Committed);
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Reserve").unwrap();
+            assert_eq!(rows, vec![vec![Value::Int(7), Value::Int(122)]]);
+        });
+        // Locks released (strict 2PL at commit).
+        assert!(e.locks.held(TxId(t.tx)).is_empty());
+    }
+
+    #[test]
+    fn abort_undoes_writes() {
+        let e = engine();
+        let mut t = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (7, 122); \
+             UPDATE Flights SET dest = 'SF' WHERE fno = 122; \
+             DELETE FROM Flights WHERE fno = 235; ROLLBACK; COMMIT;",
+        );
+        assert_eq!(e.run_until_block(&mut t), StepOutcome::Aborted);
+        assert_eq!(t.status, TxnStatus::Aborted(EngineError::RolledBack));
+        e.with_db(|db| {
+            assert_eq!(db.table("Reserve").unwrap().len(), 0);
+            assert_eq!(db.table("Flights").unwrap().len(), 3);
+            let la = db.select_eq("Flights", &[("fno", Value::Int(122))]).unwrap();
+            assert_eq!(la[0].1[2], Value::str("LA"), "update undone");
+        });
+    }
+
+    #[test]
+    fn entangled_pair_coordinates_end_to_end() {
+        let e = engine();
+        let q = |me: &str, other: &str| {
+            format!(
+                "BEGIN; SELECT '{me}', fno AS @fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('{other}', fno) IN ANSWER R CHOOSE 1; \
+                 INSERT INTO Reserve (uid, fid) VALUES ({id}, @fno); COMMIT;",
+                me = me,
+                other = other,
+                id = if me == "Mickey" { 1 } else { 2 },
+            )
+        };
+        let mut t1 = txn(&e, &q("Mickey", "Minnie"));
+        let mut t2 = txn(&e, &q("Minnie", "Mickey"));
+        assert_eq!(e.run_until_block(&mut t1), StepOutcome::Blocked);
+        assert_eq!(e.run_until_block(&mut t2), StepOutcome::Blocked);
+        let report = e.evaluate_queries(&mut [&mut t1, &mut t2]);
+        assert_eq!(report.answered, 2);
+        assert_eq!(e.run_until_block(&mut t1), StepOutcome::Ready);
+        assert_eq!(e.run_until_block(&mut t2), StepOutcome::Ready);
+        // Group commit.
+        assert!(e.groups.is_grouped(t1.tx));
+        e.commit_group(&mut [&mut t1, &mut t2]);
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Reserve").unwrap();
+            assert_eq!(rows.len(), 2);
+            assert_eq!(rows[0][1], rows[1][1], "same flight booked");
+        });
+        // The recorded history is entangled-isolated.
+        let s = e.recorder.schedule();
+        s.validate().unwrap();
+        assert!(youtopia_isolation::is_entangled_isolated(&s));
+    }
+
+    #[test]
+    fn no_partner_query_stays_blocked() {
+        let e = engine();
+        let mut t = txn(
+            &e,
+            "BEGIN; SELECT 'Donald', fno INTO ANSWER R \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+             AND ('Daffy', fno) IN ANSWER R CHOOSE 1; COMMIT;",
+        );
+        assert_eq!(e.run_until_block(&mut t), StepOutcome::Blocked);
+        let report = e.evaluate_queries(&mut [&mut t]);
+        assert_eq!(report.no_partner, 1);
+        assert!(matches!(t.status, TxnStatus::Blocked { .. }));
+    }
+
+    #[test]
+    fn empty_answer_policy_abort() {
+        let e = engine(); // default policy: Abort
+        let q = |me: &str, other: &str, dest: &str| {
+            format!(
+                "BEGIN; SELECT '{me}', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='{dest}') \
+                 AND ('{other}', fno) IN ANSWER R CHOOSE 1; COMMIT;"
+            )
+        };
+        // Patterns match, data cannot: Mickey wants LA, Minnie wants Tokyo.
+        let mut t1 = txn(&e, &q("Mickey", "Minnie", "LA"));
+        let mut t2 = txn(&e, &q("Minnie", "Mickey", "Tokyo"));
+        e.run_until_block(&mut t1);
+        e.run_until_block(&mut t2);
+        let report = e.evaluate_queries(&mut [&mut t1, &mut t2]);
+        assert_eq!(report.empty, 2);
+        assert_eq!(report.aborted, 2);
+        assert_eq!(t1.status, TxnStatus::Aborted(EngineError::EmptyAnswer));
+        // History is still valid and isolated (singleton entangles).
+        let s = e.recorder.schedule();
+        s.validate().unwrap();
+        assert!(youtopia_isolation::is_entangled_isolated(&s));
+    }
+
+    #[test]
+    fn empty_answer_policy_proceed() {
+        let mut cfg = EngineConfig::default();
+        cfg.empty_answer = EmptyAnswerPolicy::Proceed;
+        let e = Engine::new(cfg);
+        e.setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);\
+             INSERT INTO Flights VALUES (1, 'LA');",
+        )
+        .unwrap();
+        let q = |me: &str, other: &str, dest: &str| {
+            format!(
+                "BEGIN; SELECT '{me}', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='{dest}') \
+                 AND ('{other}', fno) IN ANSWER R CHOOSE 1; COMMIT;"
+            )
+        };
+        let mut t1 = txn(&e, &q("A", "B", "LA"));
+        let mut t2 = txn(&e, &q("B", "A", "Tokyo"));
+        e.run_until_block(&mut t1);
+        e.run_until_block(&mut t2);
+        let report = e.evaluate_queries(&mut [&mut t1, &mut t2]);
+        assert_eq!(report.empty, 2);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(e.run_until_block(&mut t1), StepOutcome::Ready);
+        assert_eq!(t1.answers, vec![Vec::<Value>::new()], "empty answer recorded");
+    }
+
+    #[test]
+    fn lock_conflicts_abort_on_timeout() {
+        let mut cfg = EngineConfig::default();
+        cfg.lock_timeout = Duration::from_millis(10);
+        let e = Engine::new(cfg);
+        e.setup("CREATE TABLE T (a INT); INSERT INTO T VALUES (1);").unwrap();
+        let mut t1 = txn(&e, "BEGIN; UPDATE T SET a = 2; COMMIT;");
+        let mut t2 = txn(&e, "BEGIN; SELECT a FROM T; COMMIT;");
+        assert_eq!(e.run_until_block(&mut t1), StepOutcome::Ready);
+        // t1 holds X on T until commit; t2's S lock times out.
+        assert_eq!(e.run_until_block(&mut t2), StepOutcome::Aborted);
+        assert!(matches!(t2.status, TxnStatus::Aborted(EngineError::Lock(_))));
+        e.commit_group(&mut [&mut t1]);
+        // Retry after commit succeeds.
+        let mut t3 = txn(&e, "BEGIN; SELECT @a FROM T; COMMIT;");
+        assert_eq!(e.run_until_block(&mut t3), StepOutcome::Ready);
+        assert_eq!(t3.env.get("a"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn crash_recovery_preserves_committed_loses_uncommitted() {
+        let e = engine();
+        let mut t1 = txn(&e, "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;");
+        e.run_until_block(&mut t1);
+        e.commit_group(&mut [&mut t1]);
+        // t2 writes but never commits before the crash.
+        let mut t2 = txn(&e, "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (2, 123); COMMIT;");
+        e.run_until_block(&mut t2);
+        let widowed = e.crash_and_recover();
+        assert!(widowed.is_empty());
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Reserve").unwrap();
+            assert_eq!(rows, vec![vec![Value::Int(1), Value::Int(122)]]);
+        });
+    }
+
+    #[test]
+    fn setup_rejects_non_ddl() {
+        let e = Engine::new(EngineConfig::default());
+        assert!(matches!(
+            e.setup("DELETE FROM x"),
+            Err(EngineError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn update_with_column_arithmetic() {
+        let e = engine();
+        let mut t = txn(&e, "BEGIN; UPDATE Flights SET fno = fno + 1000 WHERE dest = 'LA'; COMMIT;");
+        assert_eq!(e.run_until_block(&mut t), StepOutcome::Ready);
+        e.commit_group(&mut [&mut t]);
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Flights").unwrap();
+            let fnos: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+            assert_eq!(fnos, vec![235, 1122, 1123]);
+        });
+    }
+}

@@ -1,0 +1,103 @@
+//! Engine error type.
+
+use std::fmt;
+use youtopia_entangle::{GroundError, IrError};
+use youtopia_lock::LockError;
+use youtopia_sql::{LowerError, ParseError};
+use youtopia_storage::StorageError;
+
+/// Anything that can go wrong while executing an entangled transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    Parse(ParseError),
+    Lower(LowerError),
+    Storage(StorageError),
+    Lock(LockError),
+    Ir(IrError),
+    Ground(GroundError),
+    /// The transaction's `WITH TIMEOUT` deadline expired before its
+    /// entangled queries found partners (§3.1: "an error is thrown and
+    /// must be handled by the application code").
+    TimedOut,
+    /// An entangled query returned an empty answer and the engine policy
+    /// aborts in that case.
+    EmptyAnswer,
+    /// Explicit `ROLLBACK` statement.
+    RolledBack,
+    /// Aborted because an entanglement partner aborted (group abort —
+    /// widowed-transaction prevention, §3.3.3).
+    GroupAbort,
+    /// Statement used outside a transaction, misplaced BEGIN/COMMIT, etc.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Lower(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Lock(e) => write!(f, "{e}"),
+            EngineError::Ir(e) => write!(f, "{e}"),
+            EngineError::Ground(e) => write!(f, "{e}"),
+            EngineError::TimedOut => write!(f, "entangled transaction timed out waiting for partners"),
+            EngineError::EmptyAnswer => write!(f, "entangled query returned an empty answer"),
+            EngineError::RolledBack => write!(f, "transaction rolled back"),
+            EngineError::GroupAbort => write!(f, "aborted with entanglement group"),
+            EngineError::Protocol(w) => write!(f, "protocol error: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<LowerError> for EngineError {
+    fn from(e: LowerError) -> Self {
+        EngineError::Lower(e)
+    }
+}
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+impl From<LockError> for EngineError {
+    fn from(e: LockError) -> Self {
+        EngineError::Lock(e)
+    }
+}
+impl From<IrError> for EngineError {
+    fn from(e: IrError) -> Self {
+        EngineError::Ir(e)
+    }
+}
+impl From<GroundError> for EngineError {
+    fn from(e: GroundError) -> Self {
+        EngineError::Ground(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(EngineError::TimedOut.to_string().contains("timed out"));
+        assert!(EngineError::GroupAbort.to_string().contains("group"));
+        assert!(EngineError::Protocol("x").to_string().contains("x"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: EngineError = LockError::Deadlock.into();
+        assert_eq!(e, EngineError::Lock(LockError::Deadlock));
+        let e: EngineError = StorageError::NoSuchTable("t".into()).into();
+        assert!(matches!(e, EngineError::Storage(_)));
+    }
+}

@@ -1,0 +1,157 @@
+//! Group-commit bookkeeping (§3.3.3): transactions that entangle —
+//! directly or transitively — must commit or abort together. The paper's
+//! pairwise requirement "induces a requirement on groups of transactions
+//! that have entangled with each other directly or transitively".
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Union-find over engine transaction ids, tracking entanglement groups
+/// formed during a run.
+#[derive(Debug, Default)]
+pub struct GroupManager {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    parent: HashMap<u64, u64>,
+    /// Persistent group ids for WAL records: representative → group id.
+    group_ids: HashMap<u64, u64>,
+    next_group: u64,
+}
+
+impl Inner {
+    fn find(&mut self, x: u64) -> u64 {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let r = self.find(p);
+        self.parent.insert(x, r);
+        r
+    }
+
+    fn union(&mut self, a: u64, b: u64) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+            // Merge group-id bookkeeping: keep rb's id if any, else ra's.
+            if let Some(id) = self.group_ids.remove(&ra) {
+                self.group_ids.entry(rb).or_insert(id);
+            }
+        }
+    }
+}
+
+impl GroupManager {
+    pub fn new() -> GroupManager {
+        GroupManager::default()
+    }
+
+    /// Record that `txs` entangled together (one entanglement operation).
+    /// Returns the stable group id for WAL logging.
+    pub fn link(&self, txs: &[u64]) -> u64 {
+        let mut g = self.inner.lock();
+        for w in txs.windows(2) {
+            g.union(w[0], w[1]);
+        }
+        let root = g.find(txs[0]);
+        if let Some(id) = g.group_ids.get(&root) {
+            return *id;
+        }
+        g.next_group += 1;
+        let id = g.next_group;
+        g.group_ids.insert(root, id);
+        id
+    }
+
+    /// Every transaction in the same group as `tx` (including itself),
+    /// or just `{tx}` if it never entangled.
+    pub fn members(&self, tx: u64) -> HashSet<u64> {
+        let mut g = self.inner.lock();
+        let root = g.find(tx);
+        let keys: Vec<u64> = g.parent.keys().copied().collect();
+        let mut out = HashSet::new();
+        for k in keys {
+            if g.find(k) == root {
+                out.insert(k);
+            }
+        }
+        out.insert(tx);
+        out
+    }
+
+    /// Did `tx` entangle with anyone else?
+    pub fn is_grouped(&self, tx: u64) -> bool {
+        self.members(tx).len() > 1
+    }
+
+    /// The WAL group id of `tx`'s group, if it has one.
+    pub fn group_id(&self, tx: u64) -> Option<u64> {
+        let mut g = self.inner.lock();
+        let root = g.find(tx);
+        g.group_ids.get(&root).copied()
+    }
+
+    /// Forget everything (between runs the engine keeps groups only for
+    /// transactions still in flight; completed groups are dropped).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.parent.clear();
+        g.group_ids.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_and_members() {
+        let gm = GroupManager::new();
+        gm.link(&[1, 2]);
+        assert_eq!(gm.members(1), HashSet::from([1, 2]));
+        assert_eq!(gm.members(2), HashSet::from([1, 2]));
+        assert_eq!(gm.members(3), HashSet::from([3]));
+        assert!(gm.is_grouped(1));
+        assert!(!gm.is_grouped(3));
+    }
+
+    #[test]
+    fn transitive_groups_merge() {
+        // The paper: groups chain through shared members.
+        let gm = GroupManager::new();
+        let id1 = gm.link(&[1, 2]);
+        let id2 = gm.link(&[2, 3]);
+        assert_eq!(gm.members(1), HashSet::from([1, 2, 3]));
+        // The merged group keeps a single stable id.
+        assert_eq!(gm.group_id(1), gm.group_id(3));
+        let _ = (id1, id2);
+    }
+
+    #[test]
+    fn multiway_link() {
+        let gm = GroupManager::new();
+        gm.link(&[5, 6, 7]);
+        assert_eq!(gm.members(6).len(), 3);
+    }
+
+    #[test]
+    fn group_ids_stable_per_group() {
+        let gm = GroupManager::new();
+        let a = gm.link(&[1, 2]);
+        let b = gm.link(&[1, 2]);
+        assert_eq!(a, b, "re-linking the same group keeps its id");
+        let c = gm.link(&[8, 9]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let gm = GroupManager::new();
+        gm.link(&[1, 2]);
+        gm.clear();
+        assert!(!gm.is_grouped(1));
+    }
+}

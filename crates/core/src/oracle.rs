@@ -1,0 +1,240 @@
+//! Entangled query oracles (Definitions 3.2–3.4): a process that executes
+//! alongside a *single* entangled transaction and answers its entangled
+//! queries, performing no writes itself.
+//!
+//! The oracle is the paper's device for making "one entangled transaction"
+//! a meaningful unit of work (it cannot run alone otherwise), and
+//! Assumption 3.5 (oracle consistency) is phrased in terms of it: a valid
+//! oracle execution on a consistent database yields a consistent database.
+//! [`GroundingOracle`] produces *valid* answers (each corresponds to a
+//! grounding on the current database, Definition 3.3); [`ReplayOracle`]
+//! returns canned answers, valid or not — useful for testing how
+//! transactions behave under invalid input.
+
+use crate::engine::{Engine, StepOutcome};
+use crate::error::EngineError;
+use crate::program::{Txn, TxnStatus};
+use youtopia_entangle::{from_ast, ground, QueryIr};
+use youtopia_sql::{Statement, VarEnv};
+use youtopia_storage::{Database, Value};
+
+/// An entangled query oracle (Definition 3.2). It "has no direct effect on
+/// the database's state, i.e. it performs no writes" — the API enforces
+/// this by handing it only a shared reference.
+pub trait QueryOracle {
+    /// Answer the query (IR form, host variables already substituted) on
+    /// the current database; `None` means the oracle cannot answer and the
+    /// transaction fails its entangled query.
+    fn answer(&mut self, ir: &QueryIr, db: &Database, env: &VarEnv) -> Option<Vec<Value>>;
+}
+
+/// A valid oracle: answers are groundings of the query on the current
+/// database (Definition 3.3), chosen deterministically (first grounding).
+#[derive(Debug, Default)]
+pub struct GroundingOracle;
+
+impl QueryOracle for GroundingOracle {
+    fn answer(&mut self, ir: &QueryIr, db: &Database, env: &VarEnv) -> Option<Vec<Value>> {
+        let gs = ground(db, ir, env).ok()?;
+        gs.groundings.first().map(|g| g.answer_row.clone())
+    }
+}
+
+/// Replays a fixed list of answers (possibly invalid — Definition 3.3 is
+/// deliberately not enforced here, mirroring C.3.1's oracle which returns
+/// stored answers "whether or not these answers are valid").
+#[derive(Debug, Default)]
+pub struct ReplayOracle {
+    answers: std::collections::VecDeque<Option<Vec<Value>>>,
+}
+
+impl ReplayOracle {
+    pub fn new(answers: Vec<Option<Vec<Value>>>) -> ReplayOracle {
+        ReplayOracle { answers: answers.into() }
+    }
+}
+
+impl QueryOracle for ReplayOracle {
+    fn answer(&mut self, _ir: &QueryIr, _db: &Database, _env: &VarEnv) -> Option<Vec<Value>> {
+        self.answers.pop_front().flatten()
+    }
+}
+
+/// Execute one entangled transaction to completion alongside an oracle
+/// (the serial execution mode of Definition 3.4 / Assumption 3.5). The
+/// transaction commits individually on success.
+pub fn run_with_oracle(
+    engine: &Engine,
+    txn: &mut Txn,
+    oracle: &mut dyn QueryOracle,
+) -> Result<(), EngineError> {
+    engine.begin(txn);
+    loop {
+        match engine.run_until_block(txn) {
+            StepOutcome::Ready => {
+                engine.commit_group(&mut [txn]);
+                return Ok(());
+            }
+            StepOutcome::Aborted => {
+                let TxnStatus::Aborted(e) = &txn.status else {
+                    return Err(EngineError::Protocol("aborted without reason"));
+                };
+                return Err(e.clone());
+            }
+            StepOutcome::Blocked => {
+                let TxnStatus::Blocked { statement } = txn.status else {
+                    return Err(EngineError::Protocol("blocked without statement"));
+                };
+                let Statement::Entangled(eq) = &txn.program.statements[statement] else {
+                    return Err(EngineError::Protocol("blocked on non-entangled statement"));
+                };
+                let ir = from_ast(eq, &txn.env)?;
+                let answer = engine.with_db(|db| oracle.answer(&ir, db, &txn.env));
+                match answer {
+                    Some(row) => {
+                        // Record the oracle interaction as grounding reads
+                        // plus a singleton entanglement (the history stays
+                        // C.1-valid; the oracle is not a transaction).
+                        if engine.config.record_history {
+                            for t in ir.tables_read() {
+                                engine.recorder.ground_read(txn.tx, &t);
+                            }
+                            engine.recorder.entangle(&[txn.tx]);
+                        }
+                        for (idx, var) in &ir.bindings {
+                            if let Some(v) = row.get(*idx) {
+                                txn.env.insert(var.clone(), v.clone());
+                            }
+                        }
+                        txn.answers.push(row);
+                        txn.pc += 1;
+                        txn.status = TxnStatus::Running;
+                    }
+                    None => {
+                        engine.abort(txn, EngineError::TimedOut);
+                        return Err(EngineError::TimedOut);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::program::{ClientId, Program};
+
+    fn engine() -> Engine {
+        let e = Engine::new(EngineConfig::default());
+        e.setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);\
+             CREATE TABLE Reserve (uid TEXT, fid INT);\
+             INSERT INTO Flights VALUES (122, 'LA');\
+             INSERT INTO Flights VALUES (123, 'LA');",
+        )
+        .unwrap();
+        e
+    }
+
+    const MICKEY: &str = "BEGIN; \
+        SELECT 'Mickey', fno AS @fno INTO ANSWER R \
+        WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+        AND ('Minnie', fno) IN ANSWER R CHOOSE 1; \
+        INSERT INTO Reserve (uid, fid) VALUES ('Mickey', @fno); COMMIT;";
+
+    #[test]
+    fn grounding_oracle_enables_solo_execution() {
+        // Assumption 3.5 in action: Mickey's transaction, which cannot run
+        // by itself, completes alongside a valid oracle and leaves the
+        // database consistent (the booked flight exists).
+        let e = engine();
+        let mut t = Txn::new(ClientId(1), e.alloc_tx(), Program::parse(MICKEY).unwrap());
+        let mut oracle = GroundingOracle;
+        run_with_oracle(&e, &mut t, &mut oracle).unwrap();
+        assert_eq!(t.status, TxnStatus::Committed);
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Reserve").unwrap();
+            assert_eq!(rows.len(), 1);
+            let fid = rows[0][1].as_int().unwrap();
+            let flights = db.select_eq("Flights", &[("fno", Value::Int(fid))]).unwrap();
+            assert_eq!(flights.len(), 1, "booking references a real flight: consistent");
+        });
+        // History is valid + isolated.
+        let s = e.recorder.schedule();
+        s.validate().unwrap();
+        assert!(youtopia_isolation::is_entangled_isolated(&s));
+    }
+
+    #[test]
+    fn replay_oracle_feeds_exact_answers() {
+        let e = engine();
+        let mut t = Txn::new(ClientId(1), e.alloc_tx(), Program::parse(MICKEY).unwrap());
+        let mut oracle =
+            ReplayOracle::new(vec![Some(vec![Value::str("Mickey"), Value::Int(123)])]);
+        run_with_oracle(&e, &mut t, &mut oracle).unwrap();
+        assert_eq!(t.answers, vec![vec![Value::str("Mickey"), Value::Int(123)]]);
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Reserve").unwrap();
+            assert_eq!(rows[0][1], Value::Int(123));
+        });
+    }
+
+    #[test]
+    fn invalid_replay_answer_breaks_consistency() {
+        // An INVALID oracle answer (flight 999 does not exist) yields an
+        // inconsistent database — which is exactly why Definition 3.3
+        // demands validity for Assumption 3.5 to give guarantees.
+        let e = engine();
+        let mut t = Txn::new(ClientId(1), e.alloc_tx(), Program::parse(MICKEY).unwrap());
+        let mut oracle =
+            ReplayOracle::new(vec![Some(vec![Value::str("Mickey"), Value::Int(999)])]);
+        run_with_oracle(&e, &mut t, &mut oracle).unwrap();
+        e.with_db(|db| {
+            let rows = db.canonical_rows("Reserve").unwrap();
+            let fid = rows[0][1].as_int().unwrap();
+            let flights = db.select_eq("Flights", &[("fno", Value::Int(fid))]).unwrap();
+            assert!(flights.is_empty(), "booking references a ghost flight");
+        });
+    }
+
+    #[test]
+    fn oracle_refusal_aborts_transaction() {
+        let e = engine();
+        let mut t = Txn::new(ClientId(1), e.alloc_tx(), Program::parse(MICKEY).unwrap());
+        let mut oracle = ReplayOracle::new(vec![None]);
+        assert_eq!(
+            run_with_oracle(&e, &mut t, &mut oracle),
+            Err(EngineError::TimedOut)
+        );
+        e.with_db(|db| assert_eq!(db.table("Reserve").unwrap().len(), 0));
+    }
+
+    #[test]
+    fn oracle_handles_multi_query_programs() {
+        let e = Engine::new(EngineConfig::default());
+        e.setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);\
+             CREATE TABLE Hotels (hid INT, location TEXT);\
+             CREATE TABLE Reserve (uid TEXT, fid INT);\
+             INSERT INTO Flights VALUES (122, 'LA');\
+             INSERT INTO Hotels VALUES (7, 'LA');",
+        )
+        .unwrap();
+        let p = Program::parse(
+            "BEGIN; \
+             SELECT 'M', fno AS @fno INTO ANSWER FR \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') CHOOSE 1; \
+             SELECT 'M', hid AS @hid INTO ANSWER HR \
+             WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') CHOOSE 1; \
+             INSERT INTO Reserve (uid, fid) VALUES ('M', @fno); \
+             INSERT INTO Reserve (uid, fid) VALUES ('M', @hid); COMMIT;",
+        )
+        .unwrap();
+        let mut t = Txn::new(ClientId(1), e.alloc_tx(), p);
+        run_with_oracle(&e, &mut t, &mut GroundingOracle).unwrap();
+        assert_eq!(t.answers.len(), 2);
+        e.with_db(|db| assert_eq!(db.table("Reserve").unwrap().len(), 2));
+    }
+}

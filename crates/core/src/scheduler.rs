@@ -1,0 +1,766 @@
+//! The run-based scheduler of §4 for non-interactive entangled
+//! transactions.
+//!
+//! Transactions arrive into a **dormant pool**. A **run** takes every
+//! pooled transaction and executes it until it blocks on an entangled
+//! query, aborts, or reaches ready-to-commit; then all pending entangled
+//! queries are evaluated **as one batch**; answered transactions resume.
+//! This repeats until a fixpoint ("the run terminates when each transaction
+//! has either aborted, reached the ready to commit state, or blocked on an
+//! entangled query and is unable to proceed"). Ready transactions that
+//! satisfy the group-commit constraint commit; blocked ones are aborted and
+//! returned to the pool for later runs — exactly the Figure 4 walkthrough.
+//!
+//! Concurrency is bounded by `connections`, mirroring §5.2.1's observation
+//! that MySQL throughput is connection-bound (one transaction per
+//! connection).
+
+use crate::engine::{Engine, EvalReport, IsolationMode};
+use crate::error::EngineError;
+use crate::program::{ClientId, Program, Txn, TxnStatus};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// When to start a run (§4 "Scheduling": "the system may schedule a new
+/// run once ten new transactions have arrived" — that is `Arrivals(10)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunTrigger {
+    /// Start a run automatically after this many arrivals (the paper's
+    /// run frequency `f`).
+    Arrivals(usize),
+    /// Runs start only when [`Scheduler::run_once`] is called.
+    Manual,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Concurrent connections (worker threads per run). `1` gives fully
+    /// deterministic execution.
+    pub connections: usize,
+    pub trigger: RunTrigger,
+    /// Retry ceiling per transaction (the `WITH TIMEOUT` deadline is the
+    /// paper's mechanism; this is a safety valve for untimed programs).
+    pub max_attempts: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { connections: 1, trigger: RunTrigger::Manual, max_attempts: 50 }
+    }
+}
+
+/// Final outcome of a client transaction.
+#[derive(Debug)]
+pub struct ClientResult {
+    pub client: ClientId,
+    pub status: TxnStatus,
+    pub attempts: u32,
+    /// Entangled answers received by the successful attempt.
+    pub answers: Vec<Vec<youtopia_storage::Value>>,
+}
+
+/// Counters for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    pub executed: usize,
+    pub committed: usize,
+    pub returned_to_pool: usize,
+    pub failed: usize,
+    pub eval_rounds: usize,
+    pub eval: EvalReport,
+}
+
+/// Cumulative statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    pub runs: usize,
+    pub committed: usize,
+    pub failed: usize,
+    pub total_attempts: u64,
+    pub group_commits: usize,
+    pub group_aborts: usize,
+}
+
+/// The run-based scheduler.
+pub struct Scheduler {
+    pub engine: Arc<Engine>,
+    pub config: SchedulerConfig,
+    dormant: VecDeque<Txn>,
+    arrivals_since_run: usize,
+    results: Vec<ClientResult>,
+    stats: Stats,
+    next_client: u64,
+}
+
+impl Scheduler {
+    pub fn new(engine: Arc<Engine>, config: SchedulerConfig) -> Scheduler {
+        Scheduler {
+            engine,
+            config,
+            dormant: VecDeque::new(),
+            arrivals_since_run: 0,
+            results: Vec::new(),
+            stats: Stats::default(),
+            next_client: 1,
+        }
+    }
+
+    /// Submit a program; returns its client id. May trigger a run
+    /// (depending on [`RunTrigger`]).
+    pub fn submit(&mut self, program: Program) -> ClientId {
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        let txn = Txn::new(client, self.engine.alloc_tx(), program);
+        self.dormant.push_back(txn);
+        self.arrivals_since_run += 1;
+        if let RunTrigger::Arrivals(f) = self.config.trigger {
+            if self.arrivals_since_run >= f {
+                self.run_once();
+            }
+        }
+        client
+    }
+
+    /// Transactions currently waiting in the dormant pool.
+    pub fn pool_len(&self) -> usize {
+        self.dormant.len()
+    }
+
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Completed transactions (committed or permanently failed).
+    pub fn results(&self) -> &[ClientResult] {
+        &self.results
+    }
+
+    pub fn take_results(&mut self) -> Vec<ClientResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Execute one run over the whole dormant pool (§4).
+    pub fn run_once(&mut self) -> RunReport {
+        self.arrivals_since_run = 0;
+        self.stats.runs += 1;
+        let mut report = RunReport::default();
+        let now = Instant::now();
+
+        // Pull the pool; expire transactions whose deadline passed.
+        let mut run: Vec<Txn> = Vec::with_capacity(self.dormant.len());
+        while let Some(txn) = self.dormant.pop_front() {
+            if txn.deadline_passed(now) || txn.attempt >= self.config.max_attempts {
+                self.finish(txn, TxnStatus::Failed(EngineError::TimedOut));
+                report.failed += 1;
+            } else {
+                run.push(txn);
+            }
+        }
+        report.executed = run.len();
+        if run.is_empty() {
+            return report;
+        }
+
+        // Log BEGIN for each attempt.
+        for txn in &run {
+            self.engine.begin(txn);
+        }
+
+        // Phase loop: advance everyone, then evaluate the pending
+        // entangled queries in one batch; repeat while progress is made.
+        let mut to_advance: Vec<usize> = (0..run.len()).collect();
+        loop {
+            self.advance_parallel(&mut run, &to_advance);
+            let blocked: Vec<usize> = run
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.status, TxnStatus::Blocked { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if blocked.is_empty() {
+                break;
+            }
+            report.eval_rounds += 1;
+            let eval = {
+                let mut refs: Vec<&mut Txn> = Vec::with_capacity(blocked.len());
+                // Split borrows: indices are distinct.
+                let ptr = run.as_mut_ptr();
+                for &i in &blocked {
+                    // SAFETY: `blocked` holds distinct indices within range.
+                    refs.push(unsafe { &mut *ptr.add(i) });
+                }
+                self.engine.evaluate_queries(&mut refs)
+            };
+            report.eval.answered += eval.answered;
+            report.eval.empty += eval.empty;
+            report.eval.no_partner += eval.no_partner;
+            report.eval.aborted += eval.aborted;
+            // Whoever resumed needs advancing; everyone else is settled.
+            to_advance = run
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == TxnStatus::Running)
+                .map(|(i, _)| i)
+                .collect();
+            if to_advance.is_empty() {
+                break;
+            }
+        }
+
+        // ---- End of run: group commit / abort / return to pool ----
+        self.settle(run, &mut report);
+        report
+    }
+
+    /// Advance the given transactions until block/ready/abort, using up to
+    /// `connections` worker threads.
+    fn advance_parallel(&self, run: &mut [Txn], indices: &[usize]) {
+        if indices.is_empty() {
+            return;
+        }
+        let workers = self.config.connections.max(1).min(indices.len());
+        // Classical transactions are executed "as-is" (§5.1): a transaction
+        // that reaches ready-to-commit without having entangled has no
+        // group-commit constraint and commits immediately, releasing its
+        // locks mid-run instead of holding them to the settle point.
+        let eager_commit = |txn: &mut Txn| {
+            if txn.status == TxnStatus::ReadyToCommit && !self.engine.groups.is_grouped(txn.tx) {
+                self.engine.commit_group(&mut [txn]);
+            }
+        };
+        if workers == 1 {
+            for &i in indices {
+                self.engine.run_until_block(&mut run[i]);
+                eager_commit(&mut run[i]);
+            }
+            return;
+        }
+        let engine = &self.engine;
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, Txn)>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, Txn)>();
+        // Move the txns out, process, move back.
+        let mut slots: Vec<Option<Txn>> = run.iter_mut().map(|_| None).collect();
+        for &i in indices {
+            let txn = std::mem::replace(
+                &mut run[i],
+                Txn::new(ClientId(0), 0, Program::from_statements(vec![], None)),
+            );
+            task_tx.send((i, txn)).expect("open channel");
+        }
+        drop(task_tx);
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok((i, mut txn)) = task_rx.recv() {
+                        engine.run_until_block(&mut txn);
+                        if txn.status == TxnStatus::ReadyToCommit && !engine.groups.is_grouped(txn.tx)
+                        {
+                            engine.commit_group(&mut [&mut txn]);
+                        }
+                        done_tx.send((i, txn)).expect("open channel");
+                    }
+                });
+            }
+            drop(done_tx);
+            while let Ok((i, txn)) = done_rx.recv() {
+                slots[i] = Some(txn);
+            }
+        })
+        .expect("worker panicked");
+        for (i, slot) in slots.into_iter().enumerate() {
+            if let Some(txn) = slot {
+                run[i] = txn;
+            }
+        }
+    }
+
+    /// Apply end-of-run outcomes: group commit for fully-ready groups,
+    /// group aborts where a member failed, retries for the still-blocked.
+    fn settle(&mut self, mut run: Vec<Txn>, report: &mut RunReport) {
+        let engine = self.engine.clone();
+        let group_commit_enabled = engine.config.isolation != IsolationMode::AllowWidows;
+
+        // Group membership over engine tx ids.
+        let mut by_tx: HashMap<u64, usize> = HashMap::new();
+        for (i, t) in run.iter().enumerate() {
+            by_tx.insert(t.tx, i);
+        }
+
+        // Decide fate of every ready transaction.
+        let mut committed_idx: HashSet<usize> = HashSet::new();
+        let mut group_abort_idx: HashSet<usize> = HashSet::new();
+        let ready: Vec<usize> = run
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == TxnStatus::ReadyToCommit)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Plan which groups can commit (cheap, single-threaded)…
+        let mut commit_plans: Vec<Vec<usize>> = Vec::new();
+        if group_commit_enabled {
+            let mut handled: HashSet<usize> = HashSet::new();
+            for &i in &ready {
+                if handled.contains(&i) {
+                    continue;
+                }
+                let members = engine.groups.members(run[i].tx);
+                let member_idx: Vec<usize> =
+                    members.iter().filter_map(|t| by_tx.get(t)).copied().collect();
+                let all_ready = members.len() == member_idx.len()
+                    && member_idx.iter().all(|&j| run[j].status == TxnStatus::ReadyToCommit);
+                if all_ready {
+                    if member_idx.len() > 1 {
+                        self.stats.group_commits += 1;
+                    }
+                    committed_idx.extend(member_idx.iter().copied());
+                    handled.extend(member_idx.iter().copied());
+                    commit_plans.push(member_idx);
+                } else {
+                    // Widow prevention: some member aborted or is blocked —
+                    // the ready members must abort too.
+                    group_abort_idx.insert(i);
+                    handled.insert(i);
+                }
+            }
+        } else {
+            // AllowWidows: commit the ready ones individually.
+            for &i in &ready {
+                commit_plans.push(vec![i]);
+                committed_idx.insert(i);
+            }
+        }
+
+        // …then execute the commits in parallel over the connection pool
+        // (each group commits on a connection, as it would on the paper's
+        // MySQL setup — one sync per group either way).
+        let workers = self.config.connections.max(1).min(commit_plans.len().max(1));
+        if workers <= 1 || commit_plans.len() <= 1 {
+            for plan in &commit_plans {
+                let mut refs: Vec<&mut Txn> = Vec::new();
+                let ptr = run.as_mut_ptr();
+                for &j in plan {
+                    // SAFETY: indices within one plan and across plans are
+                    // distinct (each txn belongs to exactly one group).
+                    refs.push(unsafe { &mut *ptr.add(j) });
+                }
+                engine.commit_group(&mut refs);
+            }
+        } else {
+            let (task_tx, task_rx) = crossbeam::channel::unbounded::<Vec<(usize, Txn)>>();
+            let (done_tx, done_rx) = crossbeam::channel::unbounded::<Vec<(usize, Txn)>>();
+            for plan in &commit_plans {
+                let batch: Vec<(usize, Txn)> = plan
+                    .iter()
+                    .map(|&j| {
+                        let txn = std::mem::replace(
+                            &mut run[j],
+                            Txn::new(ClientId(0), 0, Program::from_statements(vec![], None)),
+                        );
+                        (j, txn)
+                    })
+                    .collect();
+                task_tx.send(batch).expect("open channel");
+            }
+            drop(task_tx);
+            let engine_ref = &engine;
+            crossbeam::scope(|s| {
+                for _ in 0..workers {
+                    let task_rx = task_rx.clone();
+                    let done_tx = done_tx.clone();
+                    s.spawn(move |_| {
+                        while let Ok(mut batch) = task_rx.recv() {
+                            {
+                                let mut refs: Vec<&mut Txn> =
+                                    batch.iter_mut().map(|(_, t)| t).collect();
+                                engine_ref.commit_group(&mut refs);
+                            }
+                            done_tx.send(batch).expect("open channel");
+                        }
+                    });
+                }
+                drop(done_tx);
+                while let Ok(batch) = done_rx.recv() {
+                    for (j, txn) in batch {
+                        run[j] = txn;
+                    }
+                }
+            })
+            .expect("commit worker panicked");
+        }
+
+        for i in group_abort_idx.iter().copied() {
+            let t = &mut run[i];
+            engine.abort(t, EngineError::GroupAbort);
+            self.stats.group_aborts += 1;
+        }
+
+        // Settle every transaction.
+        for (i, mut txn) in run.into_iter().enumerate() {
+            if committed_idx.contains(&i) {
+                report.committed += 1;
+                self.finish(txn, TxnStatus::Committed);
+                continue;
+            }
+            match txn.status.clone() {
+                TxnStatus::Blocked { .. } => {
+                    // Abort the attempt and return to the pool (§4).
+                    engine.abort(&mut txn, EngineError::Protocol("blocked at end of run"));
+                    self.requeue(txn, report);
+                }
+                TxnStatus::Aborted(EngineError::GroupAbort)
+                | TxnStatus::Aborted(EngineError::Lock(_)) => {
+                    // Transient: retry.
+                    self.requeue(txn, report);
+                }
+                TxnStatus::Aborted(e) => {
+                    // Business/semantic abort: final.
+                    report.failed += 1;
+                    self.finish(txn, TxnStatus::Failed(e));
+                }
+                TxnStatus::ReadyToCommit => {
+                    // Unreachable under group_commit_enabled=false; under
+                    // group commit the ready-but-unhandled case went
+                    // through group_abort_idx. Defensive requeue.
+                    engine.abort(&mut txn, EngineError::Protocol("unsettled ready txn"));
+                    self.requeue(txn, report);
+                }
+                TxnStatus::Committed => {
+                    report.committed += 1;
+                    self.finish(txn, TxnStatus::Committed);
+                }
+                s @ (TxnStatus::Dormant | TxnStatus::Running | TxnStatus::Failed(_)) => {
+                    // Running/Dormant cannot survive the phase loop.
+                    self.finish(txn, s);
+                }
+            }
+        }
+    }
+
+    fn requeue(&mut self, mut txn: Txn, report: &mut RunReport) {
+        let now = Instant::now();
+        if txn.deadline_passed(now) || txn.attempt + 1 >= self.config.max_attempts {
+            report.failed += 1;
+            self.finish(txn, TxnStatus::Failed(EngineError::TimedOut));
+            return;
+        }
+        let new_tx = self.engine.alloc_tx();
+        txn.reset_for_retry(new_tx);
+        report.returned_to_pool += 1;
+        self.dormant.push_back(txn);
+    }
+
+    fn finish(&mut self, txn: Txn, status: TxnStatus) {
+        self.stats.total_attempts += (txn.attempt + 1) as u64;
+        match status {
+            TxnStatus::Committed => self.stats.committed += 1,
+            TxnStatus::Failed(_) => self.stats.failed += 1,
+            _ => {}
+        }
+        self.results.push(ClientResult {
+            client: txn.client,
+            answers: txn.answers.clone(),
+            attempts: txn.attempt + 1,
+            status,
+        });
+    }
+
+    /// Run until the pool drains or no further progress is possible;
+    /// transactions still pooled after two consecutive zero-progress runs
+    /// fail with [`EngineError::TimedOut`].
+    pub fn drain(&mut self) -> Stats {
+        let mut zero_progress = 0;
+        while !self.dormant.is_empty() {
+            let before_pool = self.dormant.len();
+            let report = self.run_once();
+            let progressed = report.committed > 0
+                || report.failed > 0
+                || self.dormant.len() < before_pool;
+            if progressed {
+                zero_progress = 0;
+            } else {
+                zero_progress += 1;
+                if zero_progress >= 2 {
+                    while let Some(txn) = self.dormant.pop_front() {
+                        self.finish(txn, TxnStatus::Failed(EngineError::TimedOut));
+                    }
+                    break;
+                }
+            }
+        }
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, IsolationMode};
+    use youtopia_isolation::is_entangled_isolated;
+    use youtopia_storage::Value;
+
+    fn engine() -> Arc<Engine> {
+        let e = Engine::new(EngineConfig::default());
+        e.setup(
+            "CREATE TABLE Flights (fno INT, fdate DATE, dest TEXT);\
+             CREATE TABLE Hotels (hid INT, location TEXT);\
+             CREATE TABLE Reserve (uid TEXT, fid INT);\
+             INSERT INTO Flights VALUES (122, '1970-04-11', 'LA');\
+             INSERT INTO Flights VALUES (123, '1970-04-12', 'LA');\
+             INSERT INTO Hotels VALUES (7, 'LA');\
+             INSERT INTO Hotels VALUES (8, 'LA');",
+        )
+        .unwrap();
+        Arc::new(e)
+    }
+
+    fn flight_txn(me: &str, other: &str) -> Program {
+        Program::parse(&format!(
+            "BEGIN WITH TIMEOUT 10 SECONDS; \
+             SELECT '{me}', fno AS @fno INTO ANSWER FlightRes \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+             AND ('{other}', fno) IN ANSWER FlightRes CHOOSE 1; \
+             INSERT INTO Reserve (uid, fid) VALUES ('{me}', @fno); COMMIT;"
+        ))
+        .unwrap()
+    }
+
+    /// Figure 2-style: coordinate on flight, then hotel.
+    fn travel_txn(me: &str, other: &str) -> Program {
+        Program::parse(&format!(
+            "BEGIN WITH TIMEOUT 10 SECONDS; \
+             SELECT '{me}', fno AS @fno INTO ANSWER FlightRes \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+             AND ('{other}', fno) IN ANSWER FlightRes CHOOSE 1; \
+             INSERT INTO Reserve (uid, fid) VALUES ('{me}', @fno); \
+             SELECT '{me}', hid AS @hid INTO ANSWER HotelRes \
+             WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') \
+             AND ('{other}', hid) IN ANSWER HotelRes CHOOSE 1; \
+             INSERT INTO Reserve (uid, fid) VALUES ('{me}', @hid); COMMIT;"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn pair_commits_in_one_run() {
+        let mut s = Scheduler::new(engine(), SchedulerConfig::default());
+        s.submit(flight_txn("Mickey", "Minnie"));
+        s.submit(flight_txn("Minnie", "Mickey"));
+        let report = s.run_once();
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.committed, 2);
+        assert_eq!(s.stats().group_commits, 1);
+        assert_eq!(s.pool_len(), 0);
+        s.engine.with_db(|db| {
+            assert_eq!(db.table("Reserve").unwrap().len(), 2);
+        });
+    }
+
+    #[test]
+    fn figure_4_walkthrough() {
+        // Mickey & Donald arrive first: a run answers nobody (Donald's
+        // partner Daffy is absent; Mickey's partner Minnie too).
+        let mut s = Scheduler::new(engine(), SchedulerConfig::default());
+        s.submit(travel_txn("Mickey", "Minnie"));
+        s.submit(travel_txn("Donald", "Daffy"));
+        let r1 = s.run_once();
+        assert_eq!(r1.committed, 0);
+        assert_eq!(r1.returned_to_pool, 2);
+        assert_eq!(s.pool_len(), 2);
+
+        // Minnie arrives; the second run commits Mickey & Minnie through
+        // BOTH entangled queries while Donald blocks again.
+        s.submit(travel_txn("Minnie", "Mickey"));
+        let r2 = s.run_once();
+        assert_eq!(r2.committed, 2, "{r2:?}");
+        assert!(r2.eval_rounds >= 2, "flight round then hotel round");
+        assert_eq!(r2.returned_to_pool, 1, "Donald returns to the pool");
+        assert_eq!(s.pool_len(), 1);
+
+        // Bookings: flight + hotel for each of Mickey and Minnie.
+        s.engine.with_db(|db| {
+            assert_eq!(db.table("Reserve").unwrap().len(), 4);
+        });
+
+        // The recorded history is valid and entangled-isolated.
+        let sched = s.engine.recorder.schedule();
+        // Donald is still in flight (pooled) so the history is incomplete;
+        // check after failing him out.
+        let stats = s.drain();
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.failed, 1, "Donald eventually times out");
+        let sched = {
+            let _ = sched;
+            s.engine.recorder.schedule()
+        };
+        sched.validate().unwrap();
+        assert!(is_entangled_isolated(&sched));
+    }
+
+    #[test]
+    fn arrival_trigger_runs_automatically() {
+        let mut s = Scheduler::new(
+            engine(),
+            SchedulerConfig { trigger: RunTrigger::Arrivals(2), ..Default::default() },
+        );
+        s.submit(flight_txn("Mickey", "Minnie"));
+        assert_eq!(s.stats().runs, 0);
+        s.submit(flight_txn("Minnie", "Mickey"));
+        assert_eq!(s.stats().runs, 1, "second arrival triggered the run");
+        assert_eq!(s.stats().committed, 2);
+    }
+
+    #[test]
+    fn multi_connection_run_matches_single_connection_result() {
+        for connections in [1usize, 4] {
+            let mut s = Scheduler::new(
+                engine(),
+                SchedulerConfig { connections, ..Default::default() },
+            );
+            for i in 0..8 {
+                let a = format!("u{i}a");
+                let b = format!("u{i}b");
+                s.submit(flight_txn(&a, &b));
+                s.submit(flight_txn(&b, &a));
+            }
+            let stats = s.drain();
+            assert_eq!(stats.committed, 16, "connections={connections}");
+            s.engine.with_db(|db| {
+                assert_eq!(db.table("Reserve").unwrap().len(), 16);
+            });
+        }
+    }
+
+    #[test]
+    fn widowed_partner_forces_group_abort_and_retry() {
+        // Minnie's program rolls back AFTER entangling on the flight:
+        // Mickey must not commit (Figure 3(a)); he retries and eventually
+        // fails by timeout (his partner is gone for good).
+        let e = engine();
+        let mut s = Scheduler::new(e, SchedulerConfig::default());
+        s.submit(flight_txn("Mickey", "Minnie"));
+        s.submit(
+            Program::parse(
+                "BEGIN WITH TIMEOUT 10 SECONDS; \
+                 SELECT 'Minnie', fno INTO ANSWER FlightRes \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('Mickey', fno) IN ANSWER FlightRes CHOOSE 1; \
+                 ROLLBACK; COMMIT;",
+            )
+            .unwrap(),
+        );
+        let r = s.run_once();
+        assert_eq!(r.committed, 0, "widow prevented: {r:?}");
+        assert_eq!(s.stats().group_aborts, 1);
+        // Mickey is pooled again; Minnie failed for good.
+        assert_eq!(s.pool_len(), 1);
+        assert_eq!(s.stats().failed, 1);
+        // Nothing leaked into the database.
+        s.engine.with_db(|db| assert_eq!(db.table("Reserve").unwrap().len(), 0));
+        // The final history shows no widowed-transaction anomaly.
+        let sched = s.engine.recorder.schedule();
+        assert!(
+            !youtopia_isolation::find_anomalies(&sched.expand_quasi_reads())
+                .iter()
+                .any(|a| matches!(a, youtopia_isolation::Anomaly::WidowedTransaction { .. })),
+            "group abort must prevent widows"
+        );
+    }
+
+    #[test]
+    fn allow_widows_mode_commits_the_survivor() {
+        // Ablation Ab2: with group commit off, Mickey commits even though
+        // Minnie rolled back — the recorded history exhibits the
+        // widowed-transaction anomaly.
+        let e = Engine::new(EngineConfig {
+            isolation: IsolationMode::AllowWidows,
+            ..EngineConfig::default()
+        });
+        e.setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);\
+             CREATE TABLE Reserve (uid TEXT, fid INT);\
+             INSERT INTO Flights VALUES (122, 'LA');",
+        )
+        .unwrap();
+        let mut s = Scheduler::new(Arc::new(e), SchedulerConfig::default());
+        s.submit(
+            Program::parse(
+                "BEGIN; SELECT 'Mickey', fno AS @fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('Minnie', fno) IN ANSWER R CHOOSE 1; \
+                 INSERT INTO Reserve (uid, fid) VALUES ('Mickey', @fno); COMMIT;",
+            )
+            .unwrap(),
+        );
+        s.submit(
+            Program::parse(
+                "BEGIN; SELECT 'Minnie', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('Mickey', fno) IN ANSWER R CHOOSE 1; \
+                 ROLLBACK; COMMIT;",
+            )
+            .unwrap(),
+        );
+        let r = s.run_once();
+        assert_eq!(r.committed, 1, "Mickey committed despite Minnie's abort");
+        // The history now contains a genuine widowed transaction. The
+        // recorder omits entangle links in AllowWidows mode only for group
+        // *commit* purposes; the E op is still recorded.
+        let sched = s.engine.recorder.schedule();
+        let anomalies = youtopia_isolation::find_anomalies(&sched.expand_quasi_reads());
+        assert!(
+            anomalies
+                .iter()
+                .any(|a| matches!(a, youtopia_isolation::Anomaly::WidowedTransaction { .. })),
+            "expected a widow, got {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn drain_times_out_partnerless_transactions() {
+        let mut s = Scheduler::new(engine(), SchedulerConfig::default());
+        s.submit(flight_txn("Donald", "Daffy"));
+        let stats = s.drain();
+        assert_eq!(stats.committed, 0);
+        assert_eq!(stats.failed, 1);
+        let results = s.take_results();
+        assert!(matches!(results[0].status, TxnStatus::Failed(EngineError::TimedOut)));
+    }
+
+    #[test]
+    fn answers_surface_in_results() {
+        let mut s = Scheduler::new(engine(), SchedulerConfig::default());
+        s.submit(flight_txn("Mickey", "Minnie"));
+        s.submit(flight_txn("Minnie", "Mickey"));
+        s.run_once();
+        let results = s.take_results();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.status, TxnStatus::Committed);
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.answers.len(), 1);
+            assert_eq!(r.answers[0][1], Value::Int(122), "deterministic first choice");
+        }
+    }
+
+    #[test]
+    fn hundred_pairs_drain_cleanly() {
+        let mut s = Scheduler::new(engine(), SchedulerConfig { connections: 8, ..Default::default() });
+        for i in 0..100 {
+            let a = format!("a{i}");
+            let b = format!("b{i}");
+            s.submit(flight_txn(&a, &b));
+            s.submit(flight_txn(&b, &a));
+        }
+        let stats = s.drain();
+        assert_eq!(stats.committed, 200);
+        assert_eq!(stats.failed, 0);
+        let sched = s.engine.recorder.schedule();
+        sched.validate().unwrap();
+        assert!(is_entangled_isolated(&sched));
+    }
+}

@@ -1,0 +1,431 @@
+//! The intermediate representation of entangled queries (Appendix A):
+//! `{C} H ← B` — head `H` and postcondition `C` are conjunctions of atoms
+//! over answer relations, body `B` is a select-project-join over database
+//! relations that binds the variables.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use youtopia_sql::{Cond, EntangledSelect, Scalar, Select, VarEnv};
+use youtopia_storage::{CmpOp, Value};
+
+/// A term: constant or variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    Const(Value),
+    Var(String),
+}
+
+impl Term {
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(x) => write!(f, "?{x}"),
+        }
+    }
+}
+
+/// A relational atom over an answer relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Answer-relation name, normalized to lower case.
+    pub relation: String,
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(relation: &str, terms: Vec<Term>) -> Atom {
+        Atom { relation: relation.to_ascii_lowercase(), terms }
+    }
+
+    /// Is every term a constant?
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| matches!(t, Term::Const(_)))
+    }
+
+    /// Substitute a valuation, producing a ground atom; returns `None` if
+    /// any variable is unbound.
+    pub fn substitute(&self, val: &HashMap<String, Value>) -> Option<Atom> {
+        let terms = self
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => Some(Term::Const(v.clone())),
+                Term::Var(x) => val.get(x).cloned().map(Term::Const),
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Atom { relation: self.relation.clone(), terms })
+    }
+
+    /// Syntactic unification of two *patterns* (variables on both sides are
+    /// treated as distinct — the atoms come from different queries).
+    /// Used for partner matching (Appendix B): two patterns unify iff their
+    /// relations and arities agree and constants agree position-wise.
+    pub fn unifiable(&self, other: &Atom) -> bool {
+        self.relation == other.relation
+            && self.terms.len() == other.terms.len()
+            && self.terms.iter().zip(&other.terms).all(|(a, b)| match (a, b) {
+                (Term::Const(x), Term::Const(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// All variables in this atom.
+    pub fn vars(&self) -> impl Iterator<Item = &str> + '_ {
+        self.terms.iter().filter_map(|t| match t {
+            Term::Var(x) => Some(x.as_str()),
+            Term::Const(_) => None,
+        })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One membership constraint of the body: `tuple IN (SELECT …)`.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    pub tuple: Vec<Term>,
+    /// Grounding subquery, still in AST form (lowered against the current
+    /// database snapshot at grounding time).
+    pub select: Select,
+}
+
+/// A comparison filter over body terms.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    pub op: CmpOp,
+    pub lhs: Term,
+    pub rhs: Term,
+}
+
+/// The body `B`: memberships bind variables, filters restrict them.
+#[derive(Debug, Clone, Default)]
+pub struct Body {
+    pub memberships: Vec<Membership>,
+    pub filters: Vec<Filter>,
+}
+
+/// An entangled query in IR form.
+#[derive(Debug, Clone)]
+pub struct QueryIr {
+    /// Head atoms (the query's contribution to the answer relations).
+    pub heads: Vec<Atom>,
+    /// Postcondition atoms (what must also be present in the answers).
+    pub posts: Vec<Atom>,
+    pub body: Body,
+    /// `(head tuple index, host variable)` — the `AS @var` bindings.
+    pub bindings: Vec<(usize, String)>,
+    /// `CHOOSE k` (the paper always uses 1).
+    pub choose: u64,
+}
+
+/// Errors in IR construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A variable in H or C does not occur in B — violates the
+    /// range-restriction requirement of Appendix A.
+    NotRangeRestricted(String),
+    /// A host variable was unbound at translation time.
+    UnboundVariable(String),
+    /// Construct outside the supported entangled fragment.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::NotRangeRestricted(v) => {
+                write!(f, "variable `{v}` in head/postcondition is not bound by the body")
+            }
+            IrError::UnboundVariable(v) => write!(f, "unbound host variable @{v}"),
+            IrError::Unsupported(w) => write!(f, "unsupported entangled construct: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+fn scalar_to_term(s: &Scalar, vars: &VarEnv) -> Result<Term, IrError> {
+    match s {
+        Scalar::Lit(v) => Ok(Term::Const(v.clone())),
+        Scalar::HostVar(n) => vars
+            .get(n)
+            .cloned()
+            .map(Term::Const)
+            .ok_or_else(|| IrError::UnboundVariable(n.clone())),
+        Scalar::Col(c) => {
+            if c.qualifier.is_some() {
+                return Err(IrError::Unsupported("qualified variable in entangled head"));
+            }
+            Ok(Term::Var(c.column.to_ascii_lowercase()))
+        }
+        Scalar::Add(..) | Scalar::Sub(..) => {
+            Err(IrError::Unsupported("arithmetic in entangled head/postcondition"))
+        }
+    }
+}
+
+/// Translate a parsed entangled SELECT into IR, substituting the current
+/// host-variable environment (host variables become constants, matching
+/// §3.1 where earlier answers parameterize later queries).
+pub fn from_ast(eq: &EntangledSelect, vars: &VarEnv) -> Result<QueryIr, IrError> {
+    // Head: one atom per answer relation listed in INTO (the same tuple
+    // goes to each — see DESIGN.md on the underspecified multi-INTO form).
+    let tuple: Vec<Term> = eq
+        .items
+        .iter()
+        .map(|it| scalar_to_term(&it.expr, vars))
+        .collect::<Result<_, _>>()?;
+    let heads: Vec<Atom> = eq
+        .into
+        .iter()
+        .map(|rel| Atom::new(rel, tuple.clone()))
+        .collect();
+    let bindings: Vec<(usize, String)> = eq
+        .items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, it)| it.bind.clone().map(|b| (i, b)))
+        .collect();
+
+    let mut posts = Vec::new();
+    let mut body = Body::default();
+    for c in eq.where_clause.conjuncts() {
+        match c {
+            Cond::InAnswer { tuple, answer } => {
+                let terms = tuple
+                    .iter()
+                    .map(|s| scalar_to_term(s, vars))
+                    .collect::<Result<Vec<_>, _>>()?;
+                posts.push(Atom::new(answer, terms));
+            }
+            Cond::InSelect { tuple, select } => {
+                if select.where_clause.mentions_answer() {
+                    return Err(IrError::Unsupported("ANSWER reference inside body subquery"));
+                }
+                let terms = tuple
+                    .iter()
+                    .map(|s| scalar_to_term(s, vars))
+                    .collect::<Result<Vec<_>, _>>()?;
+                body.memberships.push(Membership { tuple: terms, select: (**select).clone() });
+            }
+            Cond::Cmp { op, lhs, rhs } => {
+                body.filters.push(Filter {
+                    op: *op,
+                    lhs: scalar_to_term(lhs, vars)?,
+                    rhs: scalar_to_term(rhs, vars)?,
+                });
+            }
+            Cond::True => {}
+            Cond::And(..) => unreachable!("conjuncts() flattens"),
+            Cond::Or(..) | Cond::Not(..) => {
+                return Err(IrError::Unsupported("OR/NOT in entangled WHERE clause"))
+            }
+        }
+    }
+
+    let ir = QueryIr { heads, posts, body, bindings, choose: eq.choose };
+    ir.check_range_restriction()?;
+    Ok(ir)
+}
+
+impl QueryIr {
+    /// Enforce the range-restriction (safety) requirement of Appendix A:
+    /// every variable appearing in `H` or `C` must appear in `B`.
+    pub fn check_range_restriction(&self) -> Result<(), IrError> {
+        let bound: HashSet<&str> = self
+            .body
+            .memberships
+            .iter()
+            .flat_map(|m| m.tuple.iter())
+            .filter_map(|t| match t {
+                Term::Var(x) => Some(x.as_str()),
+                Term::Const(_) => None,
+            })
+            .collect();
+        for atom in self.heads.iter().chain(&self.posts) {
+            for v in atom.vars() {
+                if !bound.contains(v) {
+                    return Err(IrError::NotRangeRestricted(v.to_string()));
+                }
+            }
+        }
+        // Filters may only mention bound variables too.
+        for f in &self.body.filters {
+            for t in [&f.lhs, &f.rhs] {
+                if let Term::Var(x) = t {
+                    if !bound.contains(x.as_str()) {
+                        return Err(IrError::NotRangeRestricted(x.clone()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Database tables the body reads when grounding — the *grounding-read
+    /// footprint* that the isolation layer turns into `R^G` operations and
+    /// the lock manager protects with shared locks.
+    pub fn tables_read(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for m in &self.body.memberships {
+            collect_tables(&m.select, &mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn collect_tables(sel: &Select, out: &mut Vec<String>) {
+    for t in &sel.from {
+        out.push(t.table.to_ascii_lowercase());
+    }
+    for c in sel.where_clause.conjuncts() {
+        if let Cond::InSelect { select, .. } = c {
+            collect_tables(select, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use youtopia_sql::{parse_statement, Statement};
+
+    fn mickey_ir() -> QueryIr {
+        let sql = "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation \
+                   WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+                   AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        from_ast(&eq, &VarEnv::new()).unwrap()
+    }
+
+    #[test]
+    fn translation_matches_figure7() {
+        // Figure 7(a): {R(Minnie,x,y)} R(Mickey,x,y) <- F(x,y,LA).
+        let ir = mickey_ir();
+        assert_eq!(ir.heads.len(), 1);
+        let h = &ir.heads[0];
+        assert_eq!(h.relation, "reservation");
+        assert_eq!(h.terms[0], Term::Const(Value::str("Mickey")));
+        assert_eq!(h.terms[1], Term::Var("fno".into()));
+        assert_eq!(ir.posts.len(), 1);
+        assert_eq!(ir.posts[0].terms[0], Term::Const(Value::str("Minnie")));
+        assert_eq!(ir.body.memberships.len(), 1);
+        assert_eq!(ir.choose, 1);
+    }
+
+    #[test]
+    fn range_restriction_enforced() {
+        // `hid` never bound by the body.
+        let sql = "SELECT 'Mickey', hid INTO ANSWER R \
+                   WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(
+            from_ast(&eq, &VarEnv::new()).unwrap_err(),
+            IrError::NotRangeRestricted("hid".into())
+        );
+    }
+
+    #[test]
+    fn host_vars_become_constants() {
+        let sql = "SELECT 'Mickey', hid, @ArrivalDay INTO ANSWER HotelRes \
+                   WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') \
+                   AND ('Minnie', hid, @ArrivalDay) IN ANSWER HotelRes CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let mut vars = VarEnv::new();
+        vars.insert("ArrivalDay".into(), Value::Date(100));
+        let ir = from_ast(&eq, &vars).unwrap();
+        assert_eq!(ir.heads[0].terms[2], Term::Const(Value::Date(100)));
+        assert_eq!(ir.posts[0].terms[2], Term::Const(Value::Date(100)));
+        // Unbound -> error.
+        assert_eq!(
+            from_ast(&eq, &VarEnv::new()).unwrap_err(),
+            IrError::UnboundVariable("ArrivalDay".into())
+        );
+    }
+
+    #[test]
+    fn bindings_recorded() {
+        let sql = "SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes \
+                   WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+                   CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let ir = from_ast(&eq, &VarEnv::new()).unwrap();
+        assert_eq!(ir.bindings, vec![(2, "ArrivalDay".to_string())]);
+    }
+
+    #[test]
+    fn unification_is_pattern_level() {
+        let a = Atom::new("R", vec![Term::Const(Value::str("Mickey")), Term::Var("x".into())]);
+        let b = Atom::new("r", vec![Term::Const(Value::str("Mickey")), Term::Const(Value::Int(1))]);
+        assert!(a.unifiable(&b));
+        let c = Atom::new("R", vec![Term::Const(Value::str("Minnie")), Term::Var("y".into())]);
+        assert!(!a.unifiable(&c), "constants clash");
+        let d = Atom::new("S", vec![Term::Const(Value::str("Mickey")), Term::Var("x".into())]);
+        assert!(!a.unifiable(&d), "relations differ");
+        let e = Atom::new("R", vec![Term::Var("z".into())]);
+        assert!(!a.unifiable(&e), "arity differs");
+    }
+
+    #[test]
+    fn substitution() {
+        let a = Atom::new("R", vec![Term::Var("x".into()), Term::Const(Value::Int(1))]);
+        let mut val = HashMap::new();
+        assert_eq!(a.substitute(&val), None);
+        val.insert("x".to_string(), Value::str("LA"));
+        let g = a.substitute(&val).unwrap();
+        assert!(g.is_ground());
+        assert_eq!(g.terms[0], Term::Const(Value::str("LA")));
+    }
+
+    #[test]
+    fn tables_read_footprint() {
+        let sql = "SELECT 'Minnie', fno INTO ANSWER R \
+                   WHERE fno IN (SELECT fno FROM Flights F, Airlines A \
+                                 WHERE F.fno = A.fno AND A.airline='United') \
+                   AND ('Mickey', fno) IN ANSWER R CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let ir = from_ast(&eq, &VarEnv::new()).unwrap();
+        assert_eq!(ir.tables_read(), vec!["airlines", "flights"]);
+    }
+
+    #[test]
+    fn or_in_entangled_where_rejected() {
+        let sql = "SELECT 'M', fno INTO ANSWER R \
+                   WHERE fno IN (SELECT fno FROM Flights) OR fno = 1 CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        assert!(matches!(from_ast(&eq, &VarEnv::new()).unwrap_err(), IrError::Unsupported(_)));
+    }
+
+    #[test]
+    fn filters_collected() {
+        let sql = "SELECT 'M', fno INTO ANSWER R \
+                   WHERE fno IN (SELECT fno FROM Flights) AND fno > 100 \
+                   AND ('N', fno) IN ANSWER R CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let ir = from_ast(&eq, &VarEnv::new()).unwrap();
+        assert_eq!(ir.body.filters.len(), 1);
+        assert_eq!(ir.body.filters[0].op, CmpOp::Gt);
+    }
+}

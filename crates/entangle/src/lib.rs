@@ -1,0 +1,28 @@
+//! # youtopia-entangle
+//!
+//! The entangled-query engine of the *Entangled Transactions* reproduction,
+//! implementing the semantics the paper inherits from SIGMOD'11 [6] and
+//! summarizes in Appendix A:
+//!
+//! 1. **IR** ([`ir`]): `{C} H ← B` — head and postcondition atoms over
+//!    answer relations, a select-project-join body over database relations,
+//!    with the range-restriction (safety) check.
+//! 2. **Grounding** ([`ground`]): evaluate `B` on the current database,
+//!    producing the groundings of each query (Figure 7(b)) and the
+//!    grounding-read footprint the isolation layer needs.
+//! 3. **Coordinating-set search** ([`solve`]): choose at most one grounding
+//!    per query such that the chosen heads collectively satisfy every
+//!    chosen postcondition; the answer relations are the union of chosen
+//!    heads (mutual constraint satisfaction, Figure 1(b)).
+//!
+//! Appendix B's failure dichotomy is part of the public contract:
+//! [`QueryOutcome::EmptyAnswer`] (partner matched, no data — proceed) vs
+//! [`QueryOutcome::NoPartner`] (no partner — wait and retry).
+
+pub mod ground;
+pub mod ir;
+pub mod solve;
+
+pub use ground::{ground, GroundError, Grounding, GroundingSet};
+pub use ir::{from_ast, Atom, Body, Filter, IrError, Membership, QueryIr, Term};
+pub use solve::{solve, ChoicePolicy, QueryOutcome, Solution, SolveInput, SolverConfig};

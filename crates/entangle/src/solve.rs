@@ -1,0 +1,721 @@
+//! The coordinating-set search (Appendix A, "Finding the answers").
+//!
+//! Given the grounding sets of all pending entangled queries, find a subset
+//! `G'` of groundings — at most one per query — whose heads collectively
+//! satisfy every chosen grounding's postconditions. The answer relation is
+//! the union of the chosen heads.
+//!
+//! The search maximizes the number of answered queries (so a run makes as
+//! much progress as possible), decomposes the problem into connected
+//! components of the pattern-compatibility graph, and prunes with a
+//! provider index; a node budget bounds the worst case (best-effort
+//! maximality, mirroring the pragmatics of the SIGMOD'11 algorithm).
+//!
+//! Appendix B's success/failure dichotomy is implemented exactly: a query
+//! that *pattern-matched* some partner but received no coordinated answer
+//! gets [`QueryOutcome::EmptyAnswer`] (success, empty result — the
+//! transaction proceeds); a query with no pattern-level partner gets
+//! [`QueryOutcome::NoPartner`] (failure — the transaction waits and the
+//! query is retried in a later run).
+
+use crate::ground::GroundingSet;
+use crate::ir::{Atom, QueryIr};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+use youtopia_storage::Value;
+
+/// How the system resolves the nondeterministic choice of §2 (Figure 1:
+/// "nondeterministically chooses either flight 122 or 123").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoicePolicy {
+    /// Deterministic: first grounding in evaluation order. Appendix C.1
+    /// assumes deterministic evaluation; this is the default.
+    First,
+    /// Seeded pseudo-random shuffle of grounding order (still reproducible
+    /// for a fixed seed).
+    Seeded(u64),
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    pub choice: ChoicePolicy,
+    /// Backtracking node budget per component.
+    pub node_budget: usize,
+    /// Use the two-query fast path when a component is a simple pair
+    /// (ablation `Ab3` disables it to measure the general solver).
+    pub pairwise_fast_path: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { choice: ChoicePolicy::First, node_budget: 200_000, pairwise_fast_path: true }
+    }
+}
+
+/// Outcome for one query (Appendix B dichotomy).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Chosen grounding index into the query's [`GroundingSet`].
+    Answered { grounding: usize },
+    /// A combined query was formulated (pattern-level partner existed) but
+    /// evaluation produced no coordinated answer for this query: success
+    /// with an empty result.
+    EmptyAnswer,
+    /// No partner at all: the query fails for now and must wait.
+    NoPartner,
+}
+
+/// The result of one joint evaluation.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub outcomes: Vec<QueryOutcome>,
+    /// Union of the chosen heads, per answer relation (sorted rows).
+    pub answer_relations: BTreeMap<String, Vec<Vec<Value>>>,
+    /// Entanglement groups: sets of query indices whose chosen groundings
+    /// mutually satisfied each other — each becomes one entanglement
+    /// operation `E^k` and one group-commit unit.
+    pub groups: Vec<Vec<usize>>,
+    /// Search effort (diagnostics / ablation benches).
+    pub nodes_explored: usize,
+}
+
+/// One query's input to the joint evaluation.
+#[derive(Debug)]
+pub struct SolveInput<'a> {
+    pub ir: &'a QueryIr,
+    pub grounding: &'a GroundingSet,
+}
+
+/// Jointly answer a set of entangled queries.
+pub fn solve(inputs: &[SolveInput<'_>], cfg: &SolverConfig) -> Solution {
+    let n = inputs.len();
+    let mut outcomes = vec![QueryOutcome::NoPartner; n];
+    let mut nodes_total = 0usize;
+
+    // ---- Pattern-level partner matching (Appendix B) ----
+    // matched[i] ⇔ every postcondition pattern of i unifies with a head
+    // pattern of some query in the set (possibly i itself), and i's head
+    // patterns help someone or i has no postconditions. A query with no
+    // postconditions is trivially matched (it coordinates with no one).
+    let matched: Vec<bool> = (0..n)
+        .map(|i| {
+            inputs[i].ir.posts.iter().all(|p| {
+                (0..n).any(|j| inputs[j].ir.heads.iter().any(|h| h.unifiable(p)))
+            })
+        })
+        .collect();
+
+    // ---- Component decomposition over the pattern graph ----
+    let mut dsu = Dsu::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let connects = |a: &QueryIr, b: &QueryIr| {
+                a.posts
+                    .iter()
+                    .any(|p| b.heads.iter().any(|h| h.unifiable(p)))
+            };
+            if connects(inputs[i].ir, inputs[j].ir) || connects(inputs[j].ir, inputs[i].ir) {
+                dsu.union(i, j);
+            }
+        }
+    }
+    let mut components: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        components.entry(dsu.find(i)).or_default().push(i);
+    }
+
+    // ---- Per-component search ----
+    let mut chosen: Vec<Option<usize>> = vec![None; n];
+    for comp in components.values() {
+        let (assignment, nodes) = solve_component(inputs, comp, cfg);
+        nodes_total += nodes;
+        for (pos, &qi) in comp.iter().enumerate() {
+            chosen[qi] = assignment[pos];
+        }
+    }
+
+    // ---- Outcomes ----
+    for i in 0..n {
+        outcomes[i] = match chosen[i] {
+            Some(g) => QueryOutcome::Answered { grounding: g },
+            None if matched[i] => QueryOutcome::EmptyAnswer,
+            None => QueryOutcome::NoPartner,
+        };
+    }
+
+    // ---- Answer relations: union of chosen heads ----
+    let mut answer_relations: BTreeMap<String, Vec<Vec<Value>>> = BTreeMap::new();
+    for (i, g) in chosen.iter().enumerate() {
+        if let Some(gi) = g {
+            for h in &inputs[i].grounding.groundings[*gi].heads {
+                let row: Vec<Value> = h
+                    .terms
+                    .iter()
+                    .map(|t| t.as_const().expect("ground").clone())
+                    .collect();
+                answer_relations.entry(h.relation.clone()).or_default().push(row);
+            }
+        }
+    }
+    for rows in answer_relations.values_mut() {
+        rows.sort();
+        rows.dedup();
+    }
+
+    // ---- Entanglement groups: who satisfied whom ----
+    let mut gdsu = Dsu::new(n);
+    let answered: Vec<usize> = (0..n).filter(|i| chosen[*i].is_some()).collect();
+    for &i in &answered {
+        let gi = &inputs[i].grounding.groundings[chosen[i].expect("answered")];
+        for p in &gi.posts {
+            for &j in &answered {
+                let gj = &inputs[j].grounding.groundings[chosen[j].expect("answered")];
+                if gj.heads.contains(p) {
+                    gdsu.union(i, j);
+                }
+            }
+        }
+    }
+    let mut groups_map: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &i in &answered {
+        groups_map.entry(gdsu.find(i)).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = groups_map.into_values().collect();
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort();
+
+    Solution { outcomes, answer_relations, groups, nodes_explored: nodes_total }
+}
+
+/// Search one component; returns per-position assignment and node count.
+fn solve_component(
+    inputs: &[SolveInput<'_>],
+    comp: &[usize],
+    cfg: &SolverConfig,
+) -> (Vec<Option<usize>>, usize) {
+    let m = comp.len();
+
+    // Grounding evaluation order per query (ChoicePolicy).
+    let mut orders: Vec<Vec<usize>> = comp
+        .iter()
+        .map(|&qi| (0..inputs[qi].grounding.groundings.len()).collect())
+        .collect();
+    if let ChoicePolicy::Seeded(seed) = cfg.choice {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for o in &mut orders {
+            o.shuffle(&mut rng);
+        }
+    }
+
+    // Pairwise fast path: a two-query component where each grounding has at
+    // most one postcondition — scan for the first mutually-satisfying pair.
+    if cfg.pairwise_fast_path && m == 2 {
+        let (a, b) = (comp[0], comp[1]);
+        let mut nodes = 0usize;
+        // Index b's groundings by head atoms for O(1) probing.
+        let mut head_index: HashMap<&Atom, Vec<usize>> = HashMap::new();
+        for (bi, g) in inputs[b].grounding.groundings.iter().enumerate() {
+            for h in &g.heads {
+                head_index.entry(h).or_default().push(bi);
+            }
+        }
+        for &ai in &orders[0] {
+            nodes += 1;
+            let ga = &inputs[a].grounding.groundings[ai];
+            // Candidate partners: groundings of b providing ga's posts.
+            let mut candidates: Option<Vec<usize>> = None;
+            for p in &ga.posts {
+                let provs = head_index.get(p).cloned().unwrap_or_default();
+                candidates = Some(match candidates {
+                    None => provs,
+                    Some(prev) => prev.into_iter().filter(|x| provs.contains(x)).collect(),
+                });
+            }
+            let candidates = match candidates {
+                None => {
+                    // ga has no postconditions: answer a alone if b can't
+                    // pair, but keep trying to answer both first.
+                    Vec::new()
+                }
+                Some(c) => c,
+            };
+            for &bi in &candidates {
+                nodes += 1;
+                let gb = &inputs[b].grounding.groundings[bi];
+                // gb's posts must be satisfied by ga's (or its own) heads.
+                let ok = gb
+                    .posts
+                    .iter()
+                    .all(|p| ga.heads.contains(p) || gb.heads.contains(p));
+                // And ga's posts could also be self-satisfied.
+                let ok = ok
+                    && ga
+                        .posts
+                        .iter()
+                        .all(|p| gb.heads.contains(p) || ga.heads.contains(p));
+                if ok {
+                    return (vec![Some(ai), Some(bi)], nodes);
+                }
+            }
+        }
+        // No pair: fall through to the general search, which also explores
+        // single-query (self-satisfying) answers.
+    }
+
+    // Provider index: ground atom → (position in comp, grounding idx).
+    let mut providers: HashMap<Atom, Vec<(usize, usize)>> = HashMap::new();
+    for (pos, &qi) in comp.iter().enumerate() {
+        for (g, gr) in inputs[qi].grounding.groundings.iter().enumerate() {
+            for h in &gr.heads {
+                providers.entry(h.clone()).or_default().push((pos, g));
+            }
+        }
+    }
+
+    let mut best: Vec<Option<usize>> = vec![None; m];
+    let mut best_score = 0usize;
+    let mut current: Vec<Option<usize>> = vec![None; m];
+    let mut headset: HashMap<Atom, usize> = HashMap::new();
+    let mut unmet: Vec<Atom> = Vec::new();
+    let mut nodes = 0usize;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        inputs: &[SolveInput<'_>],
+        comp: &[usize],
+        orders: &[Vec<usize>],
+        providers: &HashMap<Atom, Vec<(usize, usize)>>,
+        pos: usize,
+        current: &mut Vec<Option<usize>>,
+        headset: &mut HashMap<Atom, usize>,
+        unmet: &mut Vec<Atom>,
+        best: &mut Vec<Option<usize>>,
+        best_score: &mut usize,
+        nodes: &mut usize,
+        budget: usize,
+    ) {
+        *nodes += 1;
+        if *nodes > budget {
+            return;
+        }
+        let m = comp.len();
+        if pos == m {
+            if unmet.iter().all(|p| headset.contains_key(p)) {
+                let score = current.iter().filter(|c| c.is_some()).count();
+                if score > *best_score {
+                    *best_score = score;
+                    best.clone_from(current);
+                }
+            }
+            return;
+        }
+        // Bound: even answering everything remaining cannot beat best.
+        let answered_so_far = current[..pos].iter().filter(|c| c.is_some()).count();
+        if answered_so_far + (m - pos) <= *best_score {
+            return;
+        }
+
+        let qi = comp[pos];
+        // Try each grounding.
+        for &g in &orders[pos] {
+            let gr = &inputs[qi].grounding.groundings[g];
+            // Feasibility: every post must be in headset, own heads, or
+            // providable by a not-yet-assigned query.
+            let feasible = gr.posts.iter().all(|p| {
+                headset.contains_key(p)
+                    || gr.heads.contains(p)
+                    || providers
+                        .get(p)
+                        .map_or(false, |ps| ps.iter().any(|(pp, _)| *pp > pos))
+            });
+            if !feasible {
+                continue;
+            }
+            current[pos] = Some(g);
+            for h in &gr.heads {
+                *headset.entry(h.clone()).or_insert(0) += 1;
+            }
+            let unmet_base = unmet.len();
+            unmet.extend(gr.posts.iter().cloned());
+            // Incremental demand check: every outstanding demand must be
+            // satisfied already or still providable by a later query.
+            // Without this, split coordination groups degenerate into
+            // exhaustive search (each wrong-value grounding is only
+            // rejected at the leaf).
+            let viable = unmet.iter().all(|p| {
+                headset.contains_key(p)
+                    || providers
+                        .get(p)
+                        .map_or(false, |ps| ps.iter().any(|(pp, _)| *pp > pos))
+            });
+            if viable {
+                rec(
+                    inputs, comp, orders, providers, pos + 1, current, headset, unmet, best,
+                    best_score, nodes, budget,
+                );
+            }
+            unmet.truncate(unmet_base);
+            for h in &gr.heads {
+                if let Some(c) = headset.get_mut(h) {
+                    *c -= 1;
+                    if *c == 0 {
+                        headset.remove(h);
+                    }
+                }
+            }
+            current[pos] = None;
+            if *nodes > budget {
+                return;
+            }
+        }
+        // Or leave unanswered — viable only if no outstanding demand
+        // depended on this query as its last possible provider.
+        let skip_viable = unmet.iter().all(|p| {
+            headset.contains_key(p)
+                || providers
+                    .get(p)
+                    .map_or(false, |ps| ps.iter().any(|(pp, _)| *pp > pos))
+        });
+        if skip_viable {
+            current[pos] = None;
+            rec(
+                inputs, comp, orders, providers, pos + 1, current, headset, unmet, best,
+                best_score, nodes, budget,
+            );
+        }
+    }
+
+    rec(
+        inputs,
+        comp,
+        &orders,
+        &providers,
+        0,
+        &mut current,
+        &mut headset,
+        &mut unmet,
+        &mut best,
+        &mut best_score,
+        &mut nodes,
+        cfg.node_budget,
+    );
+    (best, nodes)
+}
+
+/// Tiny union-find.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::ground;
+    use crate::ir::from_ast;
+    use std::collections::HashSet;
+    use youtopia_sql::{parse_statement, Statement, VarEnv};
+    use youtopia_storage::{Database, Schema, ValueType};
+
+    fn fig1_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "Flights",
+            Schema::of(&[
+                ("fno", ValueType::Int),
+                ("fdate", ValueType::Date),
+                ("dest", ValueType::Str),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "Airlines",
+            Schema::of(&[("fno", ValueType::Int), ("airline", ValueType::Str)]),
+        )
+        .unwrap();
+        for (fno, d, dest) in [
+            (122, 100, "LA"),
+            (123, 101, "LA"),
+            (124, 100, "LA"),
+            (235, 102, "Paris"),
+        ] {
+            db.insert("Flights", vec![Value::Int(fno), Value::Date(d), Value::str(dest)])
+                .unwrap();
+        }
+        for (fno, a) in [(122, "United"), (123, "United"), (124, "USAir"), (235, "Delta")] {
+            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)]).unwrap();
+        }
+        db
+    }
+
+    fn prep(db: &Database, sqls: &[&str]) -> Vec<(crate::ir::QueryIr, GroundingSet)> {
+        sqls.iter()
+            .map(|sql| {
+                let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+                let ir = from_ast(&eq, &VarEnv::new()).unwrap();
+                let gs = ground(db, &ir, &VarEnv::new()).unwrap();
+                (ir, gs)
+            })
+            .collect()
+    }
+
+    fn run(db: &Database, sqls: &[&str], cfg: &SolverConfig) -> (Solution, Vec<GroundingSet>) {
+        let prepped = prep(db, sqls);
+        let inputs: Vec<SolveInput> = prepped
+            .iter()
+            .map(|(ir, gs)| SolveInput { ir, grounding: gs })
+            .collect();
+        let sol = solve(&inputs, cfg);
+        (sol, prepped.into_iter().map(|(_, gs)| gs).collect())
+    }
+
+    const MICKEY: &str = "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation \
+        WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+        AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+    const MINNIE: &str = "SELECT 'Minnie', fno, fdate INTO ANSWER Reservation \
+        WHERE fno, fdate IN (SELECT fno, fdate FROM Flights F, Airlines A \
+        WHERE F.dest='LA' AND F.fno = A.fno AND A.airline='United') \
+        AND ('Mickey', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+
+    #[test]
+    fn mickey_and_minnie_coordinate_on_united_flight() {
+        // The §2 example: answer must be flight 122 or 123 for BOTH.
+        let db = fig1_db();
+        let (sol, gs) = run(&db, &[MICKEY, MINNIE], &SolverConfig::default());
+        let QueryOutcome::Answered { grounding: g0 } = sol.outcomes[0] else {
+            panic!("Mickey unanswered: {:?}", sol.outcomes)
+        };
+        let QueryOutcome::Answered { grounding: g1 } = sol.outcomes[1] else {
+            panic!("Minnie unanswered")
+        };
+        let f0 = gs[0].groundings[g0].answer_row[1].as_int().unwrap();
+        let f1 = gs[1].groundings[g1].answer_row[1].as_int().unwrap();
+        assert_eq!(f0, f1, "same flight");
+        assert!(f0 == 122 || f0 == 123, "United flight");
+        // One entanglement group of both queries.
+        assert_eq!(sol.groups, vec![vec![0, 1]]);
+        // Answer relation contains exactly both heads.
+        let rows = &sol.answer_relations["reservation"];
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_first_choice_picks_122() {
+        let db = fig1_db();
+        let (sol, gs) = run(&db, &[MICKEY, MINNIE], &SolverConfig::default());
+        let QueryOutcome::Answered { grounding } = sol.outcomes[0] else { panic!() };
+        assert_eq!(gs[0].groundings[grounding].answer_row[1], Value::Int(122));
+    }
+
+    #[test]
+    fn seeded_choice_still_coordinates() {
+        let db = fig1_db();
+        for seed in 0..10 {
+            let cfg = SolverConfig { choice: ChoicePolicy::Seeded(seed), ..Default::default() };
+            let (sol, gs) = run(&db, &[MICKEY, MINNIE], &cfg);
+            let QueryOutcome::Answered { grounding: g0 } = sol.outcomes[0] else { panic!() };
+            let QueryOutcome::Answered { grounding: g1 } = sol.outcomes[1] else { panic!() };
+            assert_eq!(
+                gs[0].groundings[g0].answer_row[1],
+                gs[1].groundings[g1].answer_row[1],
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_query_has_no_partner() {
+        // Donald alone: no one provides R(Daffy, …) → failure → wait.
+        let db = fig1_db();
+        let donald = "SELECT 'Donald', fno, fdate INTO ANSWER Reservation \
+            WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+            AND ('Daffy', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+        let (sol, _) = run(&db, &[donald], &SolverConfig::default());
+        assert_eq!(sol.outcomes, vec![QueryOutcome::NoPartner]);
+        assert!(sol.groups.is_empty());
+    }
+
+    #[test]
+    fn donald_waits_while_mickey_minnie_proceed() {
+        let db = fig1_db();
+        let donald = "SELECT 'Donald', fno, fdate INTO ANSWER Reservation \
+            WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+            AND ('Daffy', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+        let (sol, _) = run(&db, &[MICKEY, MINNIE, donald], &SolverConfig::default());
+        assert!(matches!(sol.outcomes[0], QueryOutcome::Answered { .. }));
+        assert!(matches!(sol.outcomes[1], QueryOutcome::Answered { .. }));
+        assert_eq!(sol.outcomes[2], QueryOutcome::NoPartner);
+        assert_eq!(sol.groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn matched_but_no_common_data_is_empty_answer() {
+        // Minnie insists on Delta (no LA Delta flights) — patterns match,
+        // data does not: Appendix B says both succeed with empty answers.
+        let db = fig1_db();
+        let minnie_delta = "SELECT 'Minnie', fno, fdate INTO ANSWER Reservation \
+            WHERE fno, fdate IN (SELECT fno, fdate FROM Flights F, Airlines A \
+            WHERE F.dest='LA' AND F.fno = A.fno AND A.airline='Delta') \
+            AND ('Mickey', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+        let (sol, _) = run(&db, &[MICKEY, minnie_delta], &SolverConfig::default());
+        assert_eq!(sol.outcomes[0], QueryOutcome::EmptyAnswer);
+        assert_eq!(sol.outcomes[1], QueryOutcome::EmptyAnswer);
+        assert!(sol.answer_relations.is_empty());
+    }
+
+    #[test]
+    fn three_way_cycle_coordinates() {
+        // t1 needs t2's head, t2 needs t3's, t3 needs t1's: a cyclic
+        // coordinating set (the Fig. 6(c) "Cyclic" structure).
+        let db = fig1_db();
+        let q = |me: &str, other: &str| {
+            format!(
+                "SELECT '{me}', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('{other}', fno) IN ANSWER R CHOOSE 1"
+            )
+        };
+        let (a, b, c) = (q("A", "B"), q("B", "C"), q("C", "A"));
+        let (sol, gs) = run(&db, &[&a, &b, &c], &SolverConfig::default());
+        for o in &sol.outcomes {
+            assert!(matches!(o, QueryOutcome::Answered { .. }), "{:?}", sol.outcomes);
+        }
+        // All three on the same flight.
+        let flights: HashSet<i64> = sol
+            .outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let QueryOutcome::Answered { grounding } = o else { unreachable!() };
+                gs[i].groundings[*grounding].answer_row[1].as_int().unwrap()
+            })
+            .collect();
+        assert_eq!(flights.len(), 1);
+        assert_eq!(sol.groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn broken_cycle_answers_nobody() {
+        // A→B→C but C needs D (absent): no subset can mutually satisfy.
+        let db = fig1_db();
+        let q = |me: &str, other: &str| {
+            format!(
+                "SELECT '{me}', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('{other}', fno) IN ANSWER R CHOOSE 1"
+            )
+        };
+        let (a, b, c) = (q("A", "B"), q("B", "C"), q("C", "D"));
+        let (sol, _) = run(&db, &[&a, &b, &c], &SolverConfig::default());
+        // C has no partner (nobody contributes R(D, …)).
+        assert_eq!(sol.outcomes[2], QueryOutcome::NoPartner);
+        // A and B pattern-matched (B↔C patterns unify, A↔B too) but cannot
+        // be answered without C: empty answers.
+        assert_eq!(sol.outcomes[0], QueryOutcome::EmptyAnswer);
+        assert_eq!(sol.outcomes[1], QueryOutcome::EmptyAnswer);
+    }
+
+    #[test]
+    fn two_disjoint_pairs_form_two_groups() {
+        let db = fig1_db();
+        let q = |me: &str, other: &str| {
+            format!(
+                "SELECT '{me}', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('{other}', fno) IN ANSWER R CHOOSE 1"
+            )
+        };
+        let sqls = [q("A", "B"), q("B", "A"), q("C", "D"), q("D", "C")];
+        let refs: Vec<&str> = sqls.iter().map(|s| s.as_str()).collect();
+        let (sol, _) = run(&db, &refs, &SolverConfig::default());
+        assert_eq!(sol.groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn pairwise_fast_path_agrees_with_general_search() {
+        let db = fig1_db();
+        let fast = SolverConfig { pairwise_fast_path: true, ..Default::default() };
+        let slow = SolverConfig { pairwise_fast_path: false, ..Default::default() };
+        let (sf, gf) = run(&db, &[MICKEY, MINNIE], &fast);
+        let (ss, gss) = run(&db, &[MICKEY, MINNIE], &slow);
+        let flight = |sol: &Solution, gs: &[GroundingSet], i: usize| {
+            let QueryOutcome::Answered { grounding } = sol.outcomes[i] else { panic!() };
+            gs[i].groundings[grounding].answer_row[1].clone()
+        };
+        assert_eq!(flight(&sf, &gf, 0), flight(&ss, &gss, 0));
+        assert_eq!(flight(&sf, &gf, 1), flight(&ss, &gss, 1));
+        assert!(sf.nodes_explored <= ss.nodes_explored);
+    }
+
+    #[test]
+    fn shared_partner_satisfies_both_requesters() {
+        // Mickey and Donald both require Minnie's tuple; Minnie requires
+        // Mickey's. Appendix A's coordinating-set semantics is *mutual set
+        // satisfaction*, not pairing: the union of all three heads covers
+        // all three postconditions, so all three are answered on one
+        // flight — Donald piggybacks on Minnie's answer.
+        let db = fig1_db();
+        let donald = "SELECT 'Donald', fno, fdate INTO ANSWER Reservation \
+            WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+            AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1";
+        let (sol, gs) = run(&db, &[MICKEY, MINNIE, donald], &SolverConfig::default());
+        let mut flights = HashSet::new();
+        for (i, o) in sol.outcomes.iter().enumerate() {
+            let QueryOutcome::Answered { grounding } = o else {
+                panic!("query {i} unanswered: {:?}", sol.outcomes)
+            };
+            flights.insert(gs[i].groundings[*grounding].answer_row[1].as_int().unwrap());
+        }
+        assert_eq!(flights.len(), 1, "all three coordinate on one flight");
+        assert_eq!(sol.groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn self_satisfying_query_answers_alone() {
+        let db = fig1_db();
+        // Head provides exactly what the postcondition demands.
+        let q = "SELECT 'X', fno INTO ANSWER R \
+                 WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+                 AND ('X', fno) IN ANSWER R CHOOSE 1";
+        let (sol, _) = run(&db, &[q], &SolverConfig::default());
+        assert!(matches!(sol.outcomes[0], QueryOutcome::Answered { .. }));
+        assert_eq!(sol.groups, vec![vec![0]]);
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let db = fig1_db();
+        let cfg = SolverConfig { node_budget: 1, pairwise_fast_path: false, ..Default::default() };
+        let (sol, _) = run(&db, &[MICKEY, MINNIE], &cfg);
+        // With a 1-node budget the search cannot finish; queries fall back
+        // to EmptyAnswer (they did pattern-match) — never a wrong answer.
+        for o in &sol.outcomes {
+            assert!(!matches!(o, QueryOutcome::NoPartner));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the coordinating-set solver: on arbitrary randomly
+//! generated query sets, any solution must be *sound* — the union of the
+//! chosen heads covers every chosen grounding's postconditions (the
+//! defining property of a coordinating set, Appendix A).
+
+use proptest::prelude::*;
+use youtopia_entangle::{
+    ground, solve, Atom, Body, Filter, Membership, QueryIr, QueryOutcome, SolveInput,
+    SolverConfig, Term,
+};
+use youtopia_sql::{parse_statement, Statement, VarEnv};
+use youtopia_storage::{Database, Schema, Value, ValueType};
+
+fn db_with_flights(n: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "Flights",
+        Schema::of(&[("fno", ValueType::Int), ("dest", ValueType::Str)]),
+    )
+    .expect("schema");
+    for i in 0..n {
+        let dest = if i % 2 == 0 { "LA" } else { "SF" };
+        db.insert("Flights", vec![Value::Int(i), Value::str(dest)]).expect("insert");
+    }
+    db
+}
+
+/// Build a random query: person `me` requires person `other`'s tuple on a
+/// shared answer relation, restricted to one destination.
+fn query(me: u8, other: u8, dest: &str, rel: u8) -> QueryIr {
+    let sql = format!(
+        "SELECT 'p{me}', fno INTO ANSWER R{rel} \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest='{dest}') \
+         AND ('p{other}', fno) IN ANSWER R{rel} CHOOSE 1"
+    );
+    let Statement::Entangled(eq) = parse_statement(&sql).expect("parse") else {
+        unreachable!()
+    };
+    youtopia_entangle::from_ast(&eq, &VarEnv::new()).expect("ir")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: every answered query's postconditions are covered by the
+    /// union of the chosen heads; every query is assigned at most one
+    /// grounding; unanswered queries contribute nothing.
+    #[test]
+    fn solutions_are_always_coordinating_sets(
+        flights in 1i64..12,
+        specs in prop::collection::vec((0u8..6, 0u8..6, prop::bool::ANY, 0u8..2), 1..7),
+    ) {
+        let db = db_with_flights(flights);
+        let irs: Vec<QueryIr> = specs
+            .iter()
+            .map(|(me, other, la, rel)| query(*me, *other, if *la { "LA" } else { "SF" }, *rel))
+            .collect();
+        let grounded: Vec<_> = irs
+            .iter()
+            .map(|ir| ground(&db, ir, &VarEnv::new()).expect("ground"))
+            .collect();
+        let inputs: Vec<SolveInput> = irs
+            .iter()
+            .zip(&grounded)
+            .map(|(ir, g)| SolveInput { ir, grounding: g })
+            .collect();
+        let sol = solve(&inputs, &SolverConfig::default());
+
+        // Collect chosen heads and posts.
+        let mut heads = Vec::new();
+        let mut posts = Vec::new();
+        for (i, o) in sol.outcomes.iter().enumerate() {
+            if let QueryOutcome::Answered { grounding } = o {
+                let g = &grounded[i].groundings[*grounding];
+                heads.extend(g.heads.iter().cloned());
+                posts.extend(g.posts.iter().cloned());
+            }
+        }
+        for p in &posts {
+            prop_assert!(
+                heads.contains(p),
+                "unsatisfied postcondition {p} in solution {:?}",
+                sol.outcomes
+            );
+        }
+        // Answer relations equal the union of chosen heads.
+        for h in &heads {
+            let rows = &sol.answer_relations[&h.relation];
+            let row: Vec<Value> = h
+                .terms
+                .iter()
+                .map(|t| t.as_const().expect("ground").clone())
+                .collect();
+            prop_assert!(rows.contains(&row));
+        }
+        // Groups partition the answered queries.
+        let answered: usize = sol
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, QueryOutcome::Answered { .. }))
+            .count();
+        let grouped: usize = sol.groups.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(answered, grouped);
+    }
+
+    /// Determinism: solving the same inputs twice gives identical results.
+    #[test]
+    fn solver_is_deterministic(
+        flights in 1i64..8,
+        specs in prop::collection::vec((0u8..4, 0u8..4), 1..5),
+    ) {
+        let db = db_with_flights(flights);
+        let irs: Vec<QueryIr> =
+            specs.iter().map(|(me, other)| query(*me, *other, "LA", 0)).collect();
+        let grounded: Vec<_> = irs
+            .iter()
+            .map(|ir| ground(&db, ir, &VarEnv::new()).expect("ground"))
+            .collect();
+        let inputs: Vec<SolveInput> = irs
+            .iter()
+            .zip(&grounded)
+            .map(|(ir, g)| SolveInput { ir, grounding: g })
+            .collect();
+        let a = solve(&inputs, &SolverConfig::default());
+        let b = solve(&inputs, &SolverConfig::default());
+        prop_assert_eq!(a.outcomes, b.outcomes);
+        prop_assert_eq!(a.answer_relations, b.answer_relations);
+        prop_assert_eq!(a.groups, b.groups);
+    }
+}
+
+/// Hand-built IR (no SQL): an unsatisfiable self-demand never gets
+/// answered, regardless of groundings present.
+#[test]
+fn unsatisfiable_posts_never_answered() {
+    let ir = QueryIr {
+        heads: vec![Atom::new("R", vec![Term::Const(Value::str("a")), Term::Var("x".into())])],
+        posts: vec![Atom::new("S", vec![Term::Const(Value::str("b"))])], // nobody provides S
+        body: Body {
+            memberships: vec![Membership {
+                tuple: vec![Term::Var("x".into())],
+                select: match parse_statement("SELECT fno FROM Flights").expect("parse") {
+                    Statement::Select(s) => s,
+                    _ => unreachable!(),
+                },
+            }],
+            filters: vec![Filter {
+                op: youtopia_storage::CmpOp::Ge,
+                lhs: Term::Var("x".into()),
+                rhs: Term::Const(Value::Int(0)),
+            }],
+        },
+        bindings: vec![],
+        choose: 1,
+    };
+    let db = db_with_flights(4);
+    let g = ground(&db, &ir, &VarEnv::new()).expect("ground");
+    assert!(!g.groundings.is_empty());
+    let sol = solve(&[SolveInput { ir: &ir, grounding: &g }], &SolverConfig::default());
+    assert_eq!(sol.outcomes[0], QueryOutcome::NoPartner);
+}

@@ -1,0 +1,428 @@
+//! Conflict graphs and the anomaly-based definition of entangled isolation
+//! (C.2.2): Requirements C.2 (acyclic conflict graph), C.3 (no
+//! read-from-aborted) and C.4 (no widowed transactions).
+//!
+//! Run these checks on *expanded* schedules (quasi-reads explicit) — that is
+//! what makes unrepeatable quasi-reads fall out of the ordinary conflict
+//! cycle check, exactly as the paper argues.
+
+use crate::schedule::{Obj, Op, Schedule, Tx};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The conflict graph over committed transactions.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictGraph {
+    /// Adjacency: edge `a → b` when an op of `a` precedes and conflicts
+    /// with an op of `b`.
+    pub edges: BTreeMap<Tx, BTreeSet<Tx>>,
+    pub nodes: BTreeSet<Tx>,
+}
+
+impl ConflictGraph {
+    /// Build from a schedule (committed transactions only, per C.2.1:
+    /// "the graph is defined only for those transactions that commit").
+    pub fn build(s: &Schedule) -> ConflictGraph {
+        let committed = s.committed();
+        let mut g = ConflictGraph {
+            edges: BTreeMap::new(),
+            nodes: committed.iter().copied().collect(),
+        };
+        // Pairwise scan over (object-touching) ops.
+        let touching: Vec<(usize, Tx, Obj, bool)> = s
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| {
+                let tx = op.tx()?;
+                let obj = op.obj()?;
+                let is_write = matches!(op, Op::Write { .. });
+                Some((i, tx, obj, is_write))
+            })
+            .collect();
+        for (a_idx, (_, ta, oa, wa)) in touching.iter().enumerate() {
+            for (_, tb, ob, wb) in touching[a_idx + 1..].iter() {
+                if ta == tb || !oa.overlaps(ob) {
+                    continue;
+                }
+                if !(*wa || *wb) {
+                    continue;
+                }
+                if committed.contains(ta) && committed.contains(tb) {
+                    g.edges.entry(*ta).or_default().insert(*tb);
+                }
+            }
+        }
+        g
+    }
+
+    /// Find a cycle, if any (returns the transactions on it).
+    pub fn find_cycle(&self) -> Option<Vec<Tx>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<Tx, Color> =
+            self.nodes.iter().map(|&t| (t, Color::White)).collect();
+        let mut stack_path: Vec<Tx> = Vec::new();
+
+        fn dfs(
+            n: Tx,
+            g: &ConflictGraph,
+            color: &mut BTreeMap<Tx, Color>,
+            path: &mut Vec<Tx>,
+        ) -> Option<Vec<Tx>> {
+            color.insert(n, Color::Gray);
+            path.push(n);
+            if let Some(next) = g.edges.get(&n) {
+                for &m in next {
+                    match color.get(&m).copied().unwrap_or(Color::White) {
+                        Color::Gray => {
+                            // Cycle: slice of path from m to end.
+                            let start = path.iter().position(|&t| t == m).expect("on path");
+                            return Some(path[start..].to_vec());
+                        }
+                        Color::White => {
+                            if let Some(c) = dfs(m, g, color, path) {
+                                return Some(c);
+                            }
+                        }
+                        Color::Black => {}
+                    }
+                }
+            }
+            path.pop();
+            color.insert(n, Color::Black);
+            None
+        }
+
+        for &n in &self.nodes {
+            if color[&n] == Color::White {
+                if let Some(c) = dfs(n, self, &mut color, &mut stack_path) {
+                    return Some(c);
+                }
+                stack_path.clear();
+            }
+        }
+        None
+    }
+
+    /// A topological order of the committed transactions (the serialization
+    /// order Theorem 3.6 uses); `None` if cyclic.
+    pub fn topological_order(&self) -> Option<Vec<Tx>> {
+        let mut indeg: BTreeMap<Tx, usize> = self.nodes.iter().map(|&t| (t, 0)).collect();
+        for (_, outs) in self.edges.iter() {
+            for m in outs {
+                *indeg.entry(*m).or_default() += 1;
+            }
+        }
+        // BTreeMap keeps this deterministic (smallest tx first among ready).
+        let mut ready: Vec<Tx> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        while let Some(t) = ready.first().copied() {
+            ready.remove(0);
+            out.push(t);
+            if let Some(next) = self.edges.get(&t) {
+                for &m in next {
+                    let d = indeg.get_mut(&m).expect("node present");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(m);
+                        ready.sort_unstable();
+                    }
+                }
+            }
+        }
+        (out.len() == self.nodes.len()).then_some(out)
+    }
+}
+
+/// A detected isolation anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// Requirement C.2 violated: the transactions on the cycle.
+    ConflictCycle(Vec<Tx>),
+    /// Requirement C.3 violated: committed `reader` read object `obj`
+    /// after aborted `writer` wrote it.
+    ReadFromAborted { writer: Tx, reader: Tx, obj: Obj },
+    /// Requirement C.4 violated: `aborted` and `committed` entangled
+    /// together (operation `entangle_id`) yet took different outcomes.
+    WidowedTransaction { entangle_id: u32, aborted: Tx, committed: Tx },
+}
+
+/// Run all three requirement checks on an **expanded** schedule.
+pub fn find_anomalies(s: &Schedule) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let committed = s.committed();
+    let aborted = s.aborted();
+
+    // C.2: conflict-graph cycles (covers classical anomalies and
+    // unrepeatable quasi-reads once quasi-reads are explicit).
+    if let Some(cycle) = ConflictGraph::build(s).find_cycle() {
+        out.push(Anomaly::ConflictCycle(cycle));
+    }
+
+    // C.3: Wi(x) … Rj(x) with i aborted, j committed.
+    for (i, op) in s.ops.iter().enumerate() {
+        let Op::Write { tx: wtx, obj } = op else { continue };
+        if !aborted.contains(wtx) {
+            continue;
+        }
+        for later in &s.ops[i + 1..] {
+            if later.is_read() && later.obj().map_or(false, |o| o.overlaps(obj)) {
+                let rtx = later.tx().expect("reads have a tx");
+                if rtx != *wtx && committed.contains(&rtx) {
+                    let a = Anomaly::ReadFromAborted { writer: *wtx, reader: rtx, obj: *obj };
+                    if !out.contains(&a) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+    }
+
+    // C.4: an entangle op whose participants split between commit & abort.
+    for (id, txs) in s.entanglements() {
+        for &a in txs.iter().filter(|t| aborted.contains(t)) {
+            for &c in txs.iter().filter(|t| committed.contains(t)) {
+                out.push(Anomaly::WidowedTransaction { entangle_id: id, aborted: a, committed: c });
+            }
+        }
+    }
+
+    out
+}
+
+/// Definition C.5: a schedule is entangled-isolated iff it satisfies
+/// Requirements C.2, C.3 and C.4. Expects a *raw* schedule; quasi-reads are
+/// expanded internally.
+pub fn is_entangled_isolated(s: &Schedule) -> bool {
+    find_anomalies(&s.expand_quasi_reads()).is_empty()
+}
+
+/// Relaxed isolation levels (§3.3.1: "it is possible to relax this
+/// definition to admit lower isolation levels by permitting a specific
+/// subset of the above anomalies to occur").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolationLevel {
+    /// Permit widowed transactions (drop Requirement C.4 / group commit).
+    pub allow_widows: bool,
+    /// Permit conflict cycles that involve at least one quasi-read (drop
+    /// the unrepeatable-quasi-read half of Requirement C.2).
+    pub allow_unrepeatable_quasi_reads: bool,
+}
+
+impl IsolationLevel {
+    /// Full entangled isolation (Definition C.5).
+    pub const FULL: IsolationLevel =
+        IsolationLevel { allow_widows: false, allow_unrepeatable_quasi_reads: false };
+
+    /// Does this level tolerate the given anomaly? (Used by tests and the
+    /// engine's anomaly auditor; cycle tolerance is approximated by
+    /// whether quasi-reads participate, which is the distinguishing
+    /// feature of the entangled-only anomaly.)
+    pub fn tolerates(&self, a: &Anomaly, s: &Schedule) -> bool {
+        match a {
+            Anomaly::WidowedTransaction { .. } => self.allow_widows,
+            Anomaly::ConflictCycle(txs) if self.allow_unrepeatable_quasi_reads => {
+                // Tolerated only if some quasi-read by a cycle member
+                // exists (i.e. the cycle plausibly stems from entangled
+                // information flow rather than a classical anomaly).
+                s.ops.iter().any(|op| {
+                    matches!(op, Op::QuasiRead { tx, .. } if txs.contains(tx))
+                })
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> Tx {
+        Tx(n)
+    }
+    fn o(n: u32) -> Obj {
+        Obj(n)
+    }
+
+    /// The C.1 example: isolated.
+    fn example() -> Schedule {
+        Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead { tx: t(2), obj: o(1) },
+            Op::Read { tx: t(3), obj: o(2) },
+            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
+            Op::Write { tx: t(1), obj: o(2) },
+            Op::Write { tx: t(2), obj: o(3) },
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+            Op::Commit { tx: t(3) },
+        ])
+    }
+
+    #[test]
+    fn example_is_entangled_isolated() {
+        assert!(is_entangled_isolated(&example()));
+    }
+
+    #[test]
+    fn conflict_graph_of_example() {
+        let g = ConflictGraph::build(&example().expand_quasi_reads());
+        // R3(z) before W1(z): edge 3→1. No other conflicts.
+        assert!(g.edges[&t(3)].contains(&t(1)));
+        assert_eq!(g.find_cycle(), None);
+        let order = g.topological_order().unwrap();
+        let p3 = order.iter().position(|&x| x == t(3)).unwrap();
+        let p1 = order.iter().position(|&x| x == t(1)).unwrap();
+        assert!(p3 < p1);
+    }
+
+    #[test]
+    fn classical_write_skew_style_cycle_detected() {
+        // R1(x) R2(y) W1(y) W2(x): 1→2 on y, 2→1 on x.
+        let s = Schedule::new(vec![
+            Op::Read { tx: t(1), obj: o(0) },
+            Op::Read { tx: t(2), obj: o(1) },
+            Op::Write { tx: t(1), obj: o(1) },
+            Op::Write { tx: t(2), obj: o(0) },
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        assert!(!is_entangled_isolated(&s));
+        let anomalies = find_anomalies(&s);
+        assert!(matches!(anomalies[0], Anomaly::ConflictCycle(_)));
+    }
+
+    #[test]
+    fn figure_3b_unrepeatable_quasi_read_detected() {
+        // Figure 3(b): Minnie (t2) grounds on Airlines (y); Mickey (t1)
+        // grounds on Flights (x); they entangle. Donald (t3) then writes
+        // Airlines, after which Mickey reads Airlines explicitly.
+        // Mickey's quasi-read of y before Donald's write + his real read
+        // after it = cycle t1 → t3 → t1.
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) }, // Mickey grounds Flights
+            Op::GroundRead { tx: t(2), obj: o(1) }, // Minnie grounds Airlines
+            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
+            Op::Write { tx: t(3), obj: o(1) }, // Donald inserts into Airlines
+            Op::Commit { tx: t(3) },
+            Op::Read { tx: t(1), obj: o(1) }, // Mickey checks Airlines
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        s.validate().unwrap();
+        assert!(!is_entangled_isolated(&s), "unrepeatable quasi-read must be caught");
+        // Without quasi-read expansion the classical checker is blind to it.
+        assert!(
+            find_anomalies(&s).is_empty(),
+            "raw schedule looks clean — the anomaly exists only via quasi-reads"
+        );
+        let anomalies = find_anomalies(&s.expand_quasi_reads());
+        let Anomaly::ConflictCycle(cycle) = &anomalies[0] else {
+            panic!("expected cycle, got {anomalies:?}")
+        };
+        assert!(cycle.contains(&t(1)) && cycle.contains(&t(3)));
+    }
+
+    #[test]
+    fn figure_3a_widowed_transaction_detected() {
+        // Mickey (t1) and Minnie (t2) entangle; Minnie aborts during the
+        // hotel booking; Mickey commits → widowed.
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead { tx: t(2), obj: o(0) },
+            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
+            Op::Write { tx: t(1), obj: o(1) },
+            Op::Write { tx: t(2), obj: o(2) },
+            Op::Abort { tx: t(2) },
+            Op::Commit { tx: t(1) },
+        ]);
+        s.validate().unwrap();
+        let anomalies = find_anomalies(&s.expand_quasi_reads());
+        assert!(anomalies.iter().any(|a| matches!(
+            a,
+            Anomaly::WidowedTransaction { entangle_id: 1, aborted, committed }
+                if *aborted == t(2) && *committed == t(1)
+        )));
+        assert!(!is_entangled_isolated(&s));
+        // Group abort (both abort) is fine.
+        let mut both_abort = s.clone();
+        both_abort.ops[6] = Op::Abort { tx: t(1) };
+        assert!(is_entangled_isolated(&both_abort));
+    }
+
+    #[test]
+    fn read_from_aborted_detected() {
+        let s = Schedule::new(vec![
+            Op::Write { tx: t(1), obj: o(0) },
+            Op::Read { tx: t(2), obj: o(0) },
+            Op::Abort { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        let anomalies = find_anomalies(&s);
+        assert_eq!(
+            anomalies,
+            vec![Anomaly::ReadFromAborted { writer: t(1), reader: t(2), obj: o(0) }]
+        );
+        // Reader aborting too is tolerated (anomalies restricted to
+        // committed transactions).
+        let s = Schedule::new(vec![
+            Op::Write { tx: t(1), obj: o(0) },
+            Op::Read { tx: t(2), obj: o(0) },
+            Op::Abort { tx: t(1) },
+            Op::Abort { tx: t(2) },
+        ]);
+        assert!(find_anomalies(&s).is_empty());
+    }
+
+    #[test]
+    fn isolation_levels_tolerate_selected_anomalies() {
+        let widow = Anomaly::WidowedTransaction { entangle_id: 1, aborted: t(2), committed: t(1) };
+        let s = example();
+        assert!(!IsolationLevel::FULL.tolerates(&widow, &s));
+        let relaxed = IsolationLevel { allow_widows: true, allow_unrepeatable_quasi_reads: false };
+        assert!(relaxed.tolerates(&widow, &s));
+        // Classical cycle is never tolerated.
+        let cyc = Anomaly::ConflictCycle(vec![t(1), t(2)]);
+        let relaxed2 = IsolationLevel { allow_widows: false, allow_unrepeatable_quasi_reads: true };
+        assert!(!relaxed2.tolerates(&cyc, &s), "no quasi-reads in cycle txs");
+    }
+
+    #[test]
+    fn aborted_transactions_excluded_from_conflict_graph() {
+        // An aborted writer between two committed readers creates no edges.
+        let s = Schedule::new(vec![
+            Op::Read { tx: t(1), obj: o(0) },
+            Op::Write { tx: t(2), obj: o(0) },
+            Op::Abort { tx: t(2) },
+            Op::Write { tx: t(1), obj: o(1) },
+            Op::Commit { tx: t(1) },
+        ]);
+        let g = ConflictGraph::build(&s);
+        assert_eq!(g.nodes.len(), 1);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn topological_order_none_for_cycles() {
+        let s = Schedule::new(vec![
+            Op::Read { tx: t(1), obj: o(0) },
+            Op::Read { tx: t(2), obj: o(1) },
+            Op::Write { tx: t(1), obj: o(1) },
+            Op::Write { tx: t(2), obj: o(0) },
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        let g = ConflictGraph::build(&s);
+        assert!(g.topological_order().is_none());
+        assert!(g.find_cycle().is_some());
+    }
+}

@@ -1,0 +1,34 @@
+//! # youtopia-isolation
+//!
+//! Appendix C of *Entangled Transactions* as executable artefacts: the
+//! formal model is not prose here — every definition is a function you can
+//! run and property-test.
+//!
+//! | Paper artefact | This crate |
+//! |---|---|
+//! | Schedules with `R/W/R^G/E/C/A` ops and validity constraints (C.1) | [`Schedule`], [`Schedule::validate`] |
+//! | Quasi-reads (C.2.1) | [`Schedule::expand_quasi_reads`] |
+//! | Conflict graph over committed transactions | [`ConflictGraph`] |
+//! | Requirements C.2/C.3/C.4 and Definition C.5 | [`find_anomalies`], [`is_entangled_isolated`] |
+//! | Relaxed isolation levels (§3.3.1) | [`IsolationLevel`] |
+//! | The determinism assumption of the Theorem 3.6 proof | [`sim`] (executable transaction logic) |
+//! | Oracle construction (C.3.1) and oracle-serializability (C.7) | [`Oracle`], [`check_oracle_serializable`] |
+//!
+//! Theorem 3.6 ("any schedule that is entangled-isolated is also
+//! oracle-serializable") is property-tested in `tests/thm_3_6.rs` by
+//! generating random valid schedules ([`gen`]), filtering to the isolated
+//! ones, and running the executable check.
+
+pub mod anomaly;
+pub mod gen;
+pub mod oracle;
+pub mod schedule;
+pub mod sim;
+
+pub use anomaly::{find_anomalies, is_entangled_isolated, Anomaly, ConflictGraph, IsolationLevel};
+pub use gen::{random_schedule, GenConfig};
+pub use oracle::{
+    check_oracle_serializable, oracle_serialize, Oracle, SerializationWitness, TheoremViolation,
+};
+pub use schedule::{Obj, Op, Schedule, Tx, ValidityError};
+pub use sim::{execute, Db, ExecutionTrace};

@@ -1,0 +1,542 @@
+//! Entangled transaction schedules (Appendix C.1).
+//!
+//! A schedule is a sequence of read, write, grounding-read, quasi-read,
+//! entangle, commit and abort operations satisfying the validity
+//! constraints of C.1. Quasi-reads are normally *derived* — call
+//! [`Schedule::expand_quasi_reads`] to make the information flow of
+//! entanglement explicit before running anomaly checks (C.2.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Transaction identifier within one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tx(pub u32);
+
+impl fmt::Display for Tx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A database object.
+///
+/// The paper's formalism abstracts over object granularity; real engines
+/// read at table granularity (scans, grounding reads) while writing
+/// individual rows. Objects therefore carry a `space` (the table, or the
+/// abstract `x`/`y`/`z`) and an optional `item` (a row within it); two
+/// objects *overlap* — and their operations can conflict — when the spaces
+/// match and either side covers the whole space or the items coincide.
+/// Flat formal schedules simply use `Obj::flat(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Obj {
+    pub space: u32,
+    pub item: Option<u64>,
+}
+
+#[allow(non_snake_case)]
+/// Compatibility constructor: `Obj(n)` in the paper-style flat notation.
+pub fn Obj(space: u32) -> Obj {
+    Obj::flat(space)
+}
+
+impl Obj {
+    /// A whole abstract object / table.
+    pub const fn flat(space: u32) -> Obj {
+        Obj { space, item: None }
+    }
+
+    /// A single row within a table.
+    pub const fn row(space: u32, item: u64) -> Obj {
+        Obj { space, item: Some(item) }
+    }
+
+    /// Multigranularity overlap: whole-space objects overlap everything in
+    /// the space; rows overlap only themselves.
+    pub fn overlaps(&self, other: &Obj) -> bool {
+        self.space == other.space
+            && match (self.item, other.item) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+    }
+}
+
+impl fmt::Display for Obj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // x, y, z, o3, o4, … with optional [row].
+        match self.space {
+            0 => write!(f, "x")?,
+            1 => write!(f, "y")?,
+            2 => write!(f, "z")?,
+            n => write!(f, "o{n}")?,
+        }
+        if let Some(r) = self.item {
+            write!(f, "[{r}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One schedule operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Ordinary read `R_i(x)`.
+    Read { tx: Tx, obj: Obj },
+    /// Grounding read `R^G_i(x)` — performed by the system on behalf of
+    /// the transaction's entangled query.
+    GroundRead { tx: Tx, obj: Obj },
+    /// Quasi-read `R^Q_i(x)` — derived information flow (C.2.1); present
+    /// only in expanded schedules.
+    QuasiRead { tx: Tx, obj: Obj },
+    /// Write `W_i(x)`.
+    Write { tx: Tx, obj: Obj },
+    /// Entanglement operation `E^k` over the given transactions.
+    Entangle { id: u32, txs: Vec<Tx> },
+    /// `C_i`.
+    Commit { tx: Tx },
+    /// `A_i`.
+    Abort { tx: Tx },
+}
+
+impl Op {
+    /// The single transaction performing this op (entangle ops involve
+    /// several and return `None`).
+    pub fn tx(&self) -> Option<Tx> {
+        match self {
+            Op::Read { tx, .. }
+            | Op::GroundRead { tx, .. }
+            | Op::QuasiRead { tx, .. }
+            | Op::Write { tx, .. }
+            | Op::Commit { tx }
+            | Op::Abort { tx } => Some(*tx),
+            Op::Entangle { .. } => None,
+        }
+    }
+
+    /// The object touched, if any.
+    pub fn obj(&self) -> Option<Obj> {
+        match self {
+            Op::Read { obj, .. }
+            | Op::GroundRead { obj, .. }
+            | Op::QuasiRead { obj, .. }
+            | Op::Write { obj, .. } => Some(*obj),
+            _ => None,
+        }
+    }
+
+    /// Any kind of read (ordinary, grounding or quasi)?
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read { .. } | Op::GroundRead { .. } | Op::QuasiRead { .. })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read { tx, obj } => write!(f, "R{}({obj})", tx.0),
+            Op::GroundRead { tx, obj } => write!(f, "RG{}({obj})", tx.0),
+            Op::QuasiRead { tx, obj } => write!(f, "RQ{}({obj})", tx.0),
+            Op::Write { tx, obj } => write!(f, "W{}({obj})", tx.0),
+            Op::Entangle { id, txs } => {
+                write!(f, "E{id}[")?;
+                for (i, t) in txs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", t.0)?;
+                }
+                write!(f, "]")
+            }
+            Op::Commit { tx } => write!(f, "C{}", tx.0),
+            Op::Abort { tx } => write!(f, "A{}", tx.0),
+        }
+    }
+}
+
+/// Violations of the validity constraints of C.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// A transaction has neither (incomplete history) or both of `A`/`C`.
+    NotExactlyOneOutcome(Tx),
+    /// An operation follows the transaction's commit/abort.
+    OpAfterOutcome(Tx),
+    /// A grounding read with no subsequent entangle-or-abort for that tx.
+    DanglingGroundingRead(Tx),
+    /// A non-grounding op between a grounding read and the tx's next
+    /// entangle/abort (entangled query calls are blocking).
+    OpDuringBlockedEvaluation(Tx),
+    /// An entangle op names a transaction that never appears, or fewer
+    /// than one participant.
+    MalformedEntangle(u32),
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::NotExactlyOneOutcome(t) => {
+                write!(f, "{t} must have exactly one of commit/abort")
+            }
+            ValidityError::OpAfterOutcome(t) => write!(f, "{t} operates after its outcome"),
+            ValidityError::DanglingGroundingRead(t) => {
+                write!(f, "{t} has a grounding read with no later entangle/abort")
+            }
+            ValidityError::OpDuringBlockedEvaluation(t) => {
+                write!(f, "{t} operates while blocked on entangled-query evaluation")
+            }
+            ValidityError::MalformedEntangle(k) => write!(f, "entangle op {k} is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+/// A (complete) schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    pub ops: Vec<Op>,
+}
+
+impl Schedule {
+    pub fn new(ops: Vec<Op>) -> Schedule {
+        Schedule { ops }
+    }
+
+    /// All transactions appearing in the schedule.
+    pub fn txs(&self) -> BTreeSet<Tx> {
+        let mut out = BTreeSet::new();
+        for op in &self.ops {
+            if let Some(t) = op.tx() {
+                out.insert(t);
+            }
+            if let Op::Entangle { txs, .. } = op {
+                out.extend(txs.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Transactions that commit.
+    pub fn committed(&self) -> BTreeSet<Tx> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Commit { tx } => Some(*tx),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transactions that abort.
+    pub fn aborted(&self) -> BTreeSet<Tx> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Abort { tx } => Some(*tx),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Check the validity constraints of C.1.
+    pub fn validate(&self) -> Result<(), ValidityError> {
+        let txs = self.txs();
+        let committed = self.committed();
+        let aborted = self.aborted();
+        // Exactly one outcome each (completeness).
+        for &t in &txs {
+            let c = committed.contains(&t) as u8;
+            let a = aborted.contains(&t) as u8;
+            if c + a != 1 {
+                return Err(ValidityError::NotExactlyOneOutcome(t));
+            }
+        }
+        // No double outcomes hiding in the op list.
+        let mut outcome_count: BTreeMap<Tx, usize> = BTreeMap::new();
+        for op in &self.ops {
+            if let Op::Commit { tx } | Op::Abort { tx } = op {
+                *outcome_count.entry(*tx).or_default() += 1;
+            }
+        }
+        if let Some((&t, _)) = outcome_count.iter().find(|(_, &c)| c > 1) {
+            return Err(ValidityError::NotExactlyOneOutcome(t));
+        }
+
+        // Outcome is last; blocking discipline for grounding reads.
+        #[derive(PartialEq)]
+        enum TxState {
+            Running,
+            Blocked, // issued grounding reads, awaiting entangle
+            Done,
+        }
+        let mut state: BTreeMap<Tx, TxState> = txs.iter().map(|&t| (t, TxState::Running)).collect();
+        for op in &self.ops {
+            match op {
+                Op::GroundRead { tx, .. } => match state[tx] {
+                    TxState::Done => return Err(ValidityError::OpAfterOutcome(*tx)),
+                    _ => {
+                        state.insert(*tx, TxState::Blocked);
+                    }
+                },
+                Op::QuasiRead { .. } => {
+                    // Derived ops are exempt from the blocking discipline —
+                    // they are simultaneous with their grounding read.
+                }
+                Op::Read { tx, .. } | Op::Write { tx, .. } => match state[tx] {
+                    TxState::Done => return Err(ValidityError::OpAfterOutcome(*tx)),
+                    TxState::Blocked => {
+                        return Err(ValidityError::OpDuringBlockedEvaluation(*tx))
+                    }
+                    TxState::Running => {}
+                },
+                Op::Entangle { id, txs: parts } => {
+                    if parts.is_empty() {
+                        return Err(ValidityError::MalformedEntangle(*id));
+                    }
+                    for t in parts {
+                        match state.get(t) {
+                            None => return Err(ValidityError::MalformedEntangle(*id)),
+                            Some(TxState::Done) => return Err(ValidityError::OpAfterOutcome(*t)),
+                            _ => {
+                                state.insert(*t, TxState::Running);
+                            }
+                        }
+                    }
+                }
+                Op::Commit { tx } => match state[tx] {
+                    TxState::Done => return Err(ValidityError::OpAfterOutcome(*tx)),
+                    TxState::Blocked => {
+                        // Commit while blocked would mean the entangled
+                        // query never completed; C.1 requires an entangle
+                        // or abort after grounding reads.
+                        return Err(ValidityError::DanglingGroundingRead(*tx));
+                    }
+                    TxState::Running => {
+                        state.insert(*tx, TxState::Done);
+                    }
+                },
+                Op::Abort { tx } => match state[tx] {
+                    TxState::Done => return Err(ValidityError::OpAfterOutcome(*tx)),
+                    _ => {
+                        state.insert(*tx, TxState::Done);
+                    }
+                },
+            }
+        }
+        // Any tx still blocked at the end has a dangling grounding read
+        // (unreachable given the completeness check, kept for safety).
+        for (t, s) in &state {
+            if *s == TxState::Blocked {
+                return Err(ValidityError::DanglingGroundingRead(*t));
+            }
+        }
+        Ok(())
+    }
+
+    /// Make quasi-reads explicit (C.2.1): whenever transaction `j`
+    /// performs a grounding read associated with entanglement operation
+    /// `E^k`, every other participant of `E^k` performs a simultaneous
+    /// quasi-read on the same object. Grounding reads whose transaction
+    /// aborts instead of entangling produce no quasi-reads.
+    ///
+    /// Simultaneity is represented by placing the quasi-reads immediately
+    /// after their grounding read.
+    pub fn expand_quasi_reads(&self) -> Schedule {
+        // For each grounding read, find the tx's next entangle op (if any).
+        let mut out: Vec<Op> = Vec::with_capacity(self.ops.len() * 2);
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push(op.clone());
+            if let Op::GroundRead { tx, obj } = op {
+                // Scan forward for this tx's next Entangle or Abort.
+                let mut partners: Option<Vec<Tx>> = None;
+                for later in &self.ops[i + 1..] {
+                    match later {
+                        Op::Entangle { txs, .. } if txs.contains(tx) => {
+                            partners = Some(txs.clone());
+                            break;
+                        }
+                        Op::Abort { tx: t } if t == tx => break,
+                        _ => {}
+                    }
+                }
+                if let Some(parts) = partners {
+                    for p in parts {
+                        if p != *tx {
+                            out.push(Op::QuasiRead { tx: p, obj: *obj });
+                        }
+                    }
+                }
+            }
+        }
+        Schedule { ops: out }
+    }
+
+    /// The participants of each entanglement operation.
+    pub fn entanglements(&self) -> BTreeMap<u32, Vec<Tx>> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Entangle { id, txs } => Some((*id, txs.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Schedule {
+    /// Renders the paper's inline notation, e.g. `RG1(x) RQ2(x) E1[1,2] …`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> Tx {
+        Tx(n)
+    }
+    fn o(n: u32) -> Obj {
+        Obj(n)
+    }
+
+    /// The example schedule from C.1:
+    /// RG1(x) RG2(y) R3(z) E1{1,2} W1(z) W2(w) C1 C2 C3.
+    fn example() -> Schedule {
+        Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead { tx: t(2), obj: o(1) },
+            Op::Read { tx: t(3), obj: o(2) },
+            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
+            Op::Write { tx: t(1), obj: o(2) },
+            Op::Write { tx: t(2), obj: o(3) },
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+            Op::Commit { tx: t(3) },
+        ])
+    }
+
+    #[test]
+    fn example_schedule_is_valid() {
+        example().validate().unwrap();
+        assert_eq!(example().txs().len(), 3);
+        assert_eq!(example().committed().len(), 3);
+        assert!(example().aborted().is_empty());
+    }
+
+    #[test]
+    fn quasi_read_expansion_matches_paper() {
+        // Expanded form: (RG1(x) RQ2(x)) (RG2(y) RQ1(y)) R3(z) E1 …
+        let ex = example().expand_quasi_reads();
+        assert_eq!(
+            ex.ops[0],
+            Op::GroundRead { tx: t(1), obj: o(0) }
+        );
+        assert_eq!(ex.ops[1], Op::QuasiRead { tx: t(2), obj: o(0) });
+        assert_eq!(ex.ops[2], Op::GroundRead { tx: t(2), obj: o(1) });
+        assert_eq!(ex.ops[3], Op::QuasiRead { tx: t(1), obj: o(1) });
+        assert_eq!(ex.ops.len(), example().ops.len() + 2);
+    }
+
+    #[test]
+    fn no_quasi_reads_for_aborting_grounder() {
+        // "In the pathological case where a transaction performs a
+        // grounding read but there is no subsequent entanglement operation
+        // (i.e. the transaction aborts instead), no quasi-reads are
+        // associated with that grounding read."
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::Abort { tx: t(1) },
+            Op::Read { tx: t(2), obj: o(0) },
+            Op::Commit { tx: t(2) },
+        ]);
+        s.validate().unwrap();
+        let ex = s.expand_quasi_reads();
+        assert!(!ex.ops.iter().any(|op| matches!(op, Op::QuasiRead { .. })));
+    }
+
+    #[test]
+    fn incomplete_history_rejected() {
+        let s = Schedule::new(vec![Op::Read { tx: t(1), obj: o(0) }]);
+        assert_eq!(s.validate(), Err(ValidityError::NotExactlyOneOutcome(t(1))));
+        let s = Schedule::new(vec![
+            Op::Commit { tx: t(1) },
+            Op::Abort { tx: t(1) },
+        ]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn ops_after_outcome_rejected() {
+        let s = Schedule::new(vec![
+            Op::Commit { tx: t(1) },
+            Op::Write { tx: t(1), obj: o(0) },
+        ]);
+        assert_eq!(s.validate(), Err(ValidityError::OpAfterOutcome(t(1))));
+    }
+
+    #[test]
+    fn blocking_discipline_enforced() {
+        // A write between a grounding read and the entangle is illegal:
+        // entangled-query calls are blocking.
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::Write { tx: t(1), obj: o(1) },
+            Op::Entangle { id: 1, txs: vec![t(1)] },
+            Op::Commit { tx: t(1) },
+        ]);
+        assert_eq!(s.validate(), Err(ValidityError::OpDuringBlockedEvaluation(t(1))));
+        // More grounding reads are fine.
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead { tx: t(1), obj: o(1) },
+            Op::Entangle { id: 1, txs: vec![t(1)] },
+            Op::Commit { tx: t(1) },
+        ]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn dangling_grounding_read_rejected() {
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::Commit { tx: t(1) },
+        ]);
+        assert_eq!(s.validate(), Err(ValidityError::DanglingGroundingRead(t(1))));
+        // Abort after grounding read is fine (failed entanglement).
+        let s = Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::Abort { tx: t(1) },
+        ]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_entangle_rejected() {
+        let s = Schedule::new(vec![
+            Op::Entangle { id: 7, txs: vec![] },
+        ]);
+        assert_eq!(s.validate(), Err(ValidityError::MalformedEntangle(7)));
+    }
+
+    #[test]
+    fn display_notation() {
+        let s = example();
+        let txt = s.to_string();
+        assert!(txt.starts_with("RG1(x) RG2(y) R3(z) E1[1,2] W1(z)"));
+    }
+
+    #[test]
+    fn entanglements_map() {
+        let e = example().entanglements();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[&1], vec![t(1), t(2)]);
+    }
+}

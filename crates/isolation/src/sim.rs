@@ -1,0 +1,239 @@
+//! An executable semantics for abstract schedules.
+//!
+//! Appendix C's proof of Theorem 3.6 rests on a determinism assumption:
+//! *"if a transaction sees the same values for its reads and entangled
+//! query answers, and if the process that provides the entangled query
+//! answers does not abort, then the transaction will produce the same
+//! writes."* This module realizes that assumption concretely so the theorem
+//! can be checked by execution:
+//!
+//! * every object holds an integer;
+//! * each transaction carries an accumulator seeded by its id, folded over
+//!   the values of its ordinary reads and its entangled-query answers;
+//! * each write stores a value derived deterministically from the
+//!   accumulator and a per-transaction write counter;
+//! * an entanglement operation computes, from the grounding-read values of
+//!   **all** participants, one answer per participant — this is exactly the
+//!   cross-transaction information flow that quasi-reads model.
+//!
+//! The final database "reflects exactly the writes of all the committed
+//! transactions in σ, in the order in which these writes occurred" (C.1).
+
+use crate::schedule::{Obj, Op, Schedule, Tx};
+use std::collections::BTreeMap;
+
+/// An abstract database: object → integer value (absent = 0).
+pub type Db = BTreeMap<Obj, i64>;
+
+/// Deterministic mixing function (the "transaction logic").
+pub fn mix(acc: i64, v: i64) -> i64 {
+    acc.wrapping_mul(1_000_003).wrapping_add(v).wrapping_add(0x9E37)
+}
+
+/// The value a transaction writes given its state.
+pub fn write_value(tx: Tx, acc: i64, counter: u32) -> i64 {
+    mix(mix(acc, tx.0 as i64), counter as i64)
+}
+
+/// The per-participant answer of an entanglement operation.
+pub fn answer_value(base: i64, tx: Tx) -> i64 {
+    mix(base, 7 * tx.0 as i64 + 13)
+}
+
+/// Everything observed while executing a schedule.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// Final database: committed writes replayed in schedule order.
+    pub final_db: Db,
+    /// `Ans_k`: entanglement id → (participant → answer). This is the data
+    /// structure C.3.1 stores inside the oracle.
+    pub answers: BTreeMap<u32, BTreeMap<Tx, i64>>,
+    /// The grounding-read values feeding each entanglement operation, in
+    /// read order — the basis against which validating reads are compared.
+    pub grounding_basis: BTreeMap<u32, Vec<(Tx, Obj, i64)>>,
+    /// Values written, per op position.
+    pub writes: Vec<(Tx, Obj, i64)>,
+    /// Values seen by ordinary reads, in op order.
+    pub reads: Vec<(Tx, Obj, i64)>,
+    /// Values seen by grounding reads of each transaction, in order.
+    pub grounding_reads: BTreeMap<Tx, Vec<(Obj, i64)>>,
+}
+
+/// Execute a schedule on a starting database. Quasi-reads are ignored
+/// (they are derived bookkeeping, not executions).
+pub fn execute(s: &Schedule, initial: &Db) -> ExecutionTrace {
+    let mut db = initial.clone();
+    let mut acc: BTreeMap<Tx, i64> = BTreeMap::new();
+    let mut counter: BTreeMap<Tx, u32> = BTreeMap::new();
+    // Grounding values accumulated since the tx's last entangle/abort.
+    let mut pending: BTreeMap<Tx, Vec<(Obj, i64)>> = BTreeMap::new();
+    let mut trace = ExecutionTrace::default();
+    let committed = s.committed();
+
+    let get = |db: &Db, o: Obj| db.get(&o).copied().unwrap_or(0);
+
+    for op in &s.ops {
+        match op {
+            Op::Read { tx, obj } => {
+                let v = get(&db, *obj);
+                let a = acc.entry(*tx).or_insert(1000 + tx.0 as i64);
+                *a = mix(*a, v);
+                trace.reads.push((*tx, *obj, v));
+            }
+            Op::GroundRead { tx, obj } => {
+                let v = get(&db, *obj);
+                pending.entry(*tx).or_default().push((*obj, v));
+                trace.grounding_reads.entry(*tx).or_default().push((*obj, v));
+            }
+            Op::QuasiRead { .. } => {}
+            Op::Write { tx, obj } => {
+                let a = *acc.entry(*tx).or_insert(1000 + tx.0 as i64);
+                let c = counter.entry(*tx).or_insert(0);
+                *c += 1;
+                let v = write_value(*tx, a, *c);
+                db.insert(*obj, v);
+                trace.writes.push((*tx, *obj, v));
+            }
+            Op::Entangle { id, txs } => {
+                // Answer base: fold over all participants' grounding values
+                // in participant order — the joint function of the
+                // groundings that entangled query evaluation computes.
+                let mut base = *id as i64;
+                let mut basis = Vec::new();
+                for t in txs {
+                    for (o, v) in pending.remove(t).unwrap_or_default() {
+                        base = mix(base, v);
+                        basis.push((*t, o, v));
+                    }
+                }
+                trace.grounding_basis.insert(*id, basis);
+                let entry = trace.answers.entry(*id).or_default();
+                for t in txs {
+                    let ans = answer_value(base, *t);
+                    let a = acc.entry(*t).or_insert(1000 + t.0 as i64);
+                    *a = mix(*a, ans);
+                    entry.insert(*t, ans);
+                }
+            }
+            Op::Abort { tx } => {
+                pending.remove(tx);
+            }
+            Op::Commit { .. } => {}
+        }
+    }
+
+    // Final database per C.1: only committed writes, in order.
+    let mut final_db = initial.clone();
+    for (tx, obj, v) in &trace.writes {
+        if committed.contains(tx) {
+            final_db.insert(*obj, *v);
+        }
+    }
+    trace.final_db = final_db;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> Tx {
+        Tx(n)
+    }
+    fn o(n: u32) -> Obj {
+        Obj(n)
+    }
+
+    fn example() -> Schedule {
+        Schedule::new(vec![
+            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead { tx: t(2), obj: o(1) },
+            Op::Read { tx: t(3), obj: o(2) },
+            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
+            Op::Write { tx: t(1), obj: o(2) },
+            Op::Write { tx: t(2), obj: o(3) },
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+            Op::Commit { tx: t(3) },
+        ])
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let db: Db = [(o(0), 5), (o(1), 7), (o(2), 9)].into_iter().collect();
+        let t1 = execute(&example(), &db);
+        let t2 = execute(&example(), &db);
+        assert_eq!(t1.final_db, t2.final_db);
+        assert_eq!(t1.answers, t2.answers);
+    }
+
+    #[test]
+    fn entangled_partners_get_consistent_but_distinct_answers() {
+        let db: Db = [(o(0), 5), (o(1), 7)].into_iter().collect();
+        let tr = execute(&example(), &db);
+        let ans = &tr.answers[&1];
+        assert_eq!(ans.len(), 2);
+        // Distinct per participant but derived from a common base.
+        assert_ne!(ans[&t(1)], ans[&t(2)]);
+    }
+
+    #[test]
+    fn answers_depend_on_partner_groundings() {
+        // Changing what Minnie grounds on changes Mickey's answer: that is
+        // the cross-transaction information flow quasi-reads model.
+        let db1: Db = [(o(0), 5), (o(1), 7)].into_iter().collect();
+        let db2: Db = [(o(0), 5), (o(1), 8)].into_iter().collect();
+        let a1 = execute(&example(), &db1).answers[&1][&t(1)];
+        let a2 = execute(&example(), &db2).answers[&1][&t(1)];
+        assert_ne!(a1, a2, "t1 never read o(1) directly, yet its answer changed");
+    }
+
+    #[test]
+    fn aborted_writes_absent_from_final_db() {
+        let s = Schedule::new(vec![
+            Op::Write { tx: t(1), obj: o(0) },
+            Op::Write { tx: t(2), obj: o(1) },
+            Op::Abort { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        let tr = execute(&s, &Db::new());
+        assert!(!tr.final_db.contains_key(&o(0)));
+        assert!(tr.final_db.contains_key(&o(1)));
+    }
+
+    #[test]
+    fn committed_overwrite_order_respected() {
+        let s = Schedule::new(vec![
+            Op::Write { tx: t(1), obj: o(0) },
+            Op::Write { tx: t(2), obj: o(0) },
+            Op::Commit { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        let tr = execute(&s, &Db::new());
+        // Last committed write wins.
+        assert_eq!(tr.final_db[&o(0)], tr.writes[1].2);
+    }
+
+    #[test]
+    fn reads_observe_dirty_state_during_execution() {
+        // The *running* database shows uncommitted writes (that is what
+        // makes dirty reads representable); the *final* db does not.
+        let s = Schedule::new(vec![
+            Op::Write { tx: t(1), obj: o(0) },
+            Op::Read { tx: t(2), obj: o(0) },
+            Op::Abort { tx: t(1) },
+            Op::Commit { tx: t(2) },
+        ]);
+        let tr = execute(&s, &Db::new());
+        assert_eq!(tr.reads[0].2, tr.writes[0].2, "t2 saw t1's dirty write");
+        assert!(!tr.final_db.contains_key(&o(0)));
+    }
+
+    #[test]
+    fn grounding_basis_recorded_in_read_order() {
+        let db: Db = [(o(0), 5), (o(1), 7)].into_iter().collect();
+        let tr = execute(&example(), &db);
+        assert_eq!(tr.grounding_basis[&1], vec![(t(1), o(0), 5), (t(2), o(1), 7)]);
+        assert_eq!(tr.grounding_reads[&t(1)], vec![(o(0), 5)]);
+    }
+}

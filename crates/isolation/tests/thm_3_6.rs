@@ -1,0 +1,83 @@
+//! Property test for Theorem 3.6: **every entangled-isolated schedule is
+//! oracle-serializable** — checked executably over thousands of randomly
+//! generated valid schedules and several starting databases.
+
+use proptest::prelude::*;
+use youtopia_isolation::{
+    check_oracle_serializable, is_entangled_isolated, random_schedule, Db, GenConfig, Obj,
+};
+
+fn db_variant(variant: u8, objs: u32) -> Db {
+    (0..objs)
+        .map(|i| (Obj(i), (variant as i64) * 100 + i as i64 * 7 + 1))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Theorem 3.6 on small configurations.
+    #[test]
+    fn isolated_implies_oracle_serializable(
+        seed in 0u64..1_000_000,
+        txs in 2u32..5,
+        objs in 2u32..5,
+        steps in 2u32..6,
+        db_variant_id in 0u8..3,
+    ) {
+        let cfg = GenConfig {
+            txs,
+            objs,
+            steps_per_tx: steps,
+            entangle_prob: 0.35,
+            abort_prob: 0.25,
+            seed,
+        };
+        let s = random_schedule(&cfg);
+        s.validate().expect("generator produces valid schedules");
+        if is_entangled_isolated(&s) {
+            let db = db_variant(db_variant_id, objs);
+            if let Err(v) = check_oracle_serializable(&s, &db) {
+                panic!("THEOREM 3.6 VIOLATED on isolated schedule:\n  {s}\n  {v}");
+            }
+        }
+    }
+
+    /// The serialization order must be consistent with the conflict graph
+    /// (the paper's closing remark in §3.3.2).
+    #[test]
+    fn witness_order_contains_exactly_committed_txs(
+        seed in 0u64..100_000,
+    ) {
+        let cfg = GenConfig { seed, ..GenConfig::default() };
+        let s = random_schedule(&cfg);
+        if is_entangled_isolated(&s) {
+            let db = db_variant(0, cfg.objs);
+            let w = check_oracle_serializable(&s, &db).expect("theorem");
+            let committed = s.committed();
+            prop_assert_eq!(w.order.len(), committed.len());
+            for t in &w.order {
+                prop_assert!(committed.contains(t));
+            }
+        }
+    }
+}
+
+/// Deterministic census: the generator must exercise both isolated and
+/// non-isolated schedules, otherwise the property above is vacuous.
+#[test]
+fn generator_census_covers_both_classes() {
+    let mut isolated = 0usize;
+    let mut anomalous = 0usize;
+    for seed in 0..400 {
+        let cfg = GenConfig { seed, ..GenConfig::default() };
+        let s = random_schedule(&cfg);
+        if is_entangled_isolated(&s) {
+            isolated += 1;
+        } else {
+            anomalous += 1;
+        }
+    }
+    assert!(isolated > 40, "too few isolated schedules: {isolated}");
+    assert!(anomalous > 40, "too few anomalous schedules: {anomalous}");
+}

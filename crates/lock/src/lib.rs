@@ -1,0 +1,25 @@
+//! # youtopia-lock
+//!
+//! Strict two-phase locking for the *Entangled Transactions* reproduction.
+//!
+//! §3.3.3 and §5.1 of the paper enforce full entangled isolation with
+//! Strict 2PL plus group commit: grounding reads take shared locks that are
+//! held until commit, which prevents the unrepeatable-quasi-read anomaly of
+//! Figure 3(b) (Donald's write to `Airlines` blocks on Minnie's read lock).
+//! This crate provides the lock manager the engine uses for that protocol:
+//!
+//! * multigranularity modes (`IS`/`IX`/`S`/`SIX`/`X`) over table and row
+//!   resources,
+//! * blocking acquisition with FIFO fairness and upgrade priority,
+//! * waits-for-graph deadlock detection (requester-is-victim),
+//! * per-request timeouts and external cancellation (used when the
+//!   scheduler aborts a blocked transaction at the end of a run),
+//! * early release for the relaxed isolation levels of §3.3.1.
+
+pub mod manager;
+pub mod mode;
+pub mod resource;
+
+pub use manager::{LockError, LockManager, LockStats};
+pub use mode::LockMode;
+pub use resource::{Resource, TxId};

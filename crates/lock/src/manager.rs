@@ -1,0 +1,637 @@
+//! The lock manager: blocking acquisition, Strict 2PL release, waits-for
+//! deadlock detection, timeouts and victim cancellation.
+//!
+//! The paper's prototype "uses Strict 2PL to prevent all other isolation
+//! anomalies … implemented using the lock manager of the DBMS" (§5.1). This
+//! is that lock manager. Grounding reads take shared locks that are held to
+//! commit, which is exactly what rules out the Figure 3(b) unrepeatable
+//! quasi-read; relaxed isolation levels release read locks early via
+//! [`LockManager::release`].
+
+use crate::mode::LockMode;
+use crate::resource::{Resource, TxId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a lock request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Granting would close a waits-for cycle; the requester is the victim.
+    Deadlock,
+    /// The request did not succeed within its timeout.
+    Timeout,
+    /// The transaction was cancelled (aborted externally) while waiting.
+    Canceled,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Deadlock => write!(f, "deadlock detected; requester chosen as victim"),
+            LockError::Timeout => write!(f, "lock wait timed out"),
+            LockError::Canceled => write!(f, "transaction cancelled while waiting for lock"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug, Clone)]
+struct Request {
+    tx: TxId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    granted: Vec<Request>,
+    waiting: VecDeque<Request>,
+}
+
+impl Queue {
+    fn granted_mode(&self, tx: TxId) -> Option<LockMode> {
+        self.granted.iter().find(|r| r.tx == tx).map(|r| r.mode)
+    }
+
+    /// Can `tx` be granted `mode` given current grants (ignoring waiters)?
+    fn compatible_with_granted(&self, tx: TxId, mode: LockMode) -> bool {
+        self.granted
+            .iter()
+            .filter(|r| r.tx != tx)
+            .all(|r| r.mode.compatible(mode))
+    }
+}
+
+#[derive(Default)]
+struct State {
+    queues: HashMap<Resource, Queue>,
+    /// Resources each transaction holds (for O(held) release).
+    held: HashMap<TxId, HashSet<Resource>>,
+    canceled: HashSet<TxId>,
+}
+
+impl State {
+    /// Promote waiters on `res` in FIFO order; upgrades are considered
+    /// first. Returns true if anything was granted.
+    fn promote(&mut self, res: &Resource) -> bool {
+        let Some(q) = self.queues.get_mut(res) else {
+            return false;
+        };
+        let mut granted_any = false;
+        loop {
+            // Upgrade waiters (already in granted with a lesser mode) may
+            // jump the queue: find the first waiting upgrade that fits.
+            let mut advanced = false;
+            for i in 0..q.waiting.len() {
+                let w = q.waiting[i].clone();
+                let already = q.granted_mode(w.tx);
+                let target = match already {
+                    Some(m) => m.combine(w.mode),
+                    None => w.mode,
+                };
+                let fits = q.compatible_with_granted(w.tx, target);
+                let is_upgrade = already.is_some();
+                // FIFO for fresh requests: only the head may be granted;
+                // upgrades may be granted from any position.
+                if fits && (is_upgrade || i == 0) {
+                    q.waiting.remove(i);
+                    match q.granted.iter_mut().find(|r| r.tx == w.tx) {
+                        Some(r) => r.mode = target,
+                        None => q.granted.push(Request { tx: w.tx, mode: target }),
+                    }
+                    self.held.entry(w.tx).or_default().insert(res.clone());
+                    granted_any = true;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        if q.granted.is_empty() && q.waiting.is_empty() {
+            self.queues.remove(res);
+        }
+        granted_any
+    }
+
+    /// Build the waits-for edge set: waiter → (incompatible holders and
+    /// incompatible earlier waiters) per resource.
+    fn waits_for(&self) -> HashMap<TxId, HashSet<TxId>> {
+        let mut edges: HashMap<TxId, HashSet<TxId>> = HashMap::new();
+        for q in self.queues.values() {
+            for (i, w) in q.waiting.iter().enumerate() {
+                let target = match q.granted_mode(w.tx) {
+                    Some(m) => m.combine(w.mode),
+                    None => w.mode,
+                };
+                let e = edges.entry(w.tx).or_default();
+                for g in &q.granted {
+                    if g.tx != w.tx && !g.mode.compatible(target) {
+                        e.insert(g.tx);
+                    }
+                }
+                for earlier in q.waiting.iter().take(i) {
+                    if earlier.tx != w.tx && !earlier.mode.compatible(target) {
+                        e.insert(earlier.tx);
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Does the waits-for graph contain a cycle through `start`?
+    fn in_cycle(&self, start: TxId) -> bool {
+        let edges = self.waits_for();
+        // DFS from start looking for a path back to start.
+        let mut stack: Vec<TxId> = edges.get(&start).into_iter().flatten().copied().collect();
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == start {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = edges.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    fn remove_waiter(&mut self, tx: TxId, res: &Resource) {
+        if let Some(q) = self.queues.get_mut(res) {
+            q.waiting.retain(|r| r.tx != tx);
+            if q.granted.is_empty() && q.waiting.is_empty() {
+                self.queues.remove(res);
+            }
+        }
+    }
+}
+
+/// Counters exposed for benchmarks and tests.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    pub grants: AtomicU64,
+    pub waits: AtomicU64,
+    pub deadlocks: AtomicU64,
+    pub timeouts: AtomicU64,
+}
+
+/// A blocking, deadlock-detecting Strict 2PL lock manager.
+pub struct LockManager {
+    state: Mutex<State>,
+    cv: Condvar,
+    stats: LockStats,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    pub fn new() -> LockManager {
+        LockManager {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            stats: LockStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Acquire `mode` on `res` for `tx`, blocking up to `timeout`
+    /// (`None` = wait forever). Re-acquiring a covered mode is a no-op;
+    /// acquiring a stronger mode performs an upgrade.
+    pub fn lock(
+        &self,
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        timeout: Option<Duration>,
+    ) -> Result<(), LockError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut st = self.state.lock();
+        if st.canceled.contains(&tx) {
+            return Err(LockError::Canceled);
+        }
+        let q = st.queues.entry(res.clone()).or_default();
+        let already = q.granted_mode(tx);
+        let target = match already {
+            Some(m) if m.covers(mode) => {
+                self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Some(m) => m.combine(mode),
+            None => mode,
+        };
+
+        // Immediate grant: compatible with grants, and — for fresh requests
+        // — nobody already waiting (FIFO fairness). Upgrades may overtake.
+        let can_grant = q.compatible_with_granted(tx, target)
+            && (already.is_some() || q.waiting.is_empty());
+        if can_grant {
+            match q.granted.iter_mut().find(|r| r.tx == tx) {
+                Some(r) => r.mode = target,
+                None => q.granted.push(Request { tx, mode: target }),
+            }
+            st.held.entry(tx).or_default().insert(res);
+            self.stats.grants.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // Must wait. Upgrades go to the front so they cannot starve behind
+        // fresh requests they are incompatible with.
+        let req = Request { tx, mode };
+        if already.is_some() {
+            q.waiting.push_front(req);
+        } else {
+            q.waiting.push_back(req);
+        }
+        self.stats.waits.fetch_add(1, Ordering::Relaxed);
+
+        // Deadlock check with the new edge in place: requester is victim.
+        if st.in_cycle(tx) {
+            st.remove_waiter(tx, &res);
+            self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+            // Our departure may unblock others.
+            st.promote(&res);
+            self.cv.notify_all();
+            return Err(LockError::Deadlock);
+        }
+
+        loop {
+            // Granted?
+            if let Some(q) = st.queues.get(&res) {
+                if q.granted_mode(tx).map_or(false, |m| m.covers(mode)) {
+                    self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+            if st.canceled.contains(&tx) {
+                st.remove_waiter(tx, &res);
+                st.promote(&res);
+                self.cv.notify_all();
+                return Err(LockError::Canceled);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d || self.cv.wait_until(&mut st, d).timed_out() {
+                        // Re-check: promotion may have raced the timeout.
+                        if let Some(q) = st.queues.get(&res) {
+                            if q.granted_mode(tx).map_or(false, |m| m.covers(mode)) {
+                                self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                                return Ok(());
+                            }
+                        }
+                        st.remove_waiter(tx, &res);
+                        st.promote(&res);
+                        self.cv.notify_all();
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Err(LockError::Timeout);
+                    }
+                }
+                None => self.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_lock(&self, tx: TxId, res: Resource, mode: LockMode) -> bool {
+        let mut st = self.state.lock();
+        if st.canceled.contains(&tx) {
+            return false;
+        }
+        let q = st.queues.entry(res.clone()).or_default();
+        let target = match q.granted_mode(tx) {
+            Some(m) if m.covers(mode) => return true,
+            Some(m) => m.combine(mode),
+            None => mode,
+        };
+        let fresh = q.granted_mode(tx).is_none();
+        if q.compatible_with_granted(tx, target) && (!fresh || q.waiting.is_empty()) {
+            match q.granted.iter_mut().find(|r| r.tx == tx) {
+                Some(r) => r.mode = target,
+                None => q.granted.push(Request { tx, mode: target }),
+            }
+            st.held.entry(tx).or_default().insert(res);
+            self.stats.grants.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one resource early (used by relaxed isolation levels — this
+    /// is exactly the "altering the length of time locks are held" knob §4
+    /// mentions). Under full entangled isolation this is never called;
+    /// everything is released at commit/abort by [`Self::unlock_all`].
+    pub fn release(&self, tx: TxId, res: &Resource) {
+        let mut st = self.state.lock();
+        if let Some(q) = st.queues.get_mut(res) {
+            q.granted.retain(|r| r.tx != tx);
+        }
+        if let Some(h) = st.held.get_mut(&tx) {
+            h.remove(res);
+        }
+        st.promote(res);
+        self.cv.notify_all();
+    }
+
+    /// Strict 2PL release: drop every lock `tx` holds (call at
+    /// commit/abort).
+    pub fn unlock_all(&self, tx: TxId) {
+        let mut st = self.state.lock();
+        let held: Vec<Resource> = st.held.remove(&tx).into_iter().flatten().collect();
+        for res in &held {
+            if let Some(q) = st.queues.get_mut(res) {
+                q.granted.retain(|r| r.tx != tx);
+                q.waiting.retain(|r| r.tx != tx);
+            }
+        }
+        for res in &held {
+            st.promote(res);
+        }
+        st.canceled.remove(&tx);
+        self.cv.notify_all();
+    }
+
+    /// Cancel a transaction: any in-flight or future waits fail with
+    /// [`LockError::Canceled`]. Held locks stay until `unlock_all`.
+    pub fn cancel(&self, tx: TxId) {
+        let mut st = self.state.lock();
+        st.canceled.insert(tx);
+        self.cv.notify_all();
+    }
+
+    /// Locks currently held by `tx`.
+    pub fn held(&self, tx: TxId) -> Vec<(Resource, LockMode)> {
+        let st = self.state.lock();
+        let mut out: Vec<(Resource, LockMode)> = st
+            .held
+            .get(&tx)
+            .into_iter()
+            .flatten()
+            .filter_map(|res| {
+                st.queues
+                    .get(res)
+                    .and_then(|q| q.granted_mode(tx))
+                    .map(|m| (res.clone(), m))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Total number of resources with at least one granted or waiting
+    /// request (diagnostics).
+    pub fn active_resources(&self) -> usize {
+        self.state.lock().queues.len()
+    }
+
+    /// Snapshot of the waits-for edges (diagnostics/tests).
+    pub fn waits_for_edges(&self) -> Vec<(TxId, TxId)> {
+        let st = self.state.lock();
+        let mut out: Vec<(TxId, TxId)> = st
+            .waits_for()
+            .into_iter()
+            .flat_map(|(w, hs)| hs.into_iter().map(move |h| (w, h)))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::LockMode::*;
+    use std::sync::Arc;
+
+    fn t(n: u64) -> TxId {
+        TxId(n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        lm.lock(t(2), r.clone(), S, None).unwrap();
+        assert_eq!(lm.held(t(1)), vec![(r.clone(), S)]);
+        assert_eq!(lm.held(t(2)), vec![(r, S)]);
+    }
+
+    #[test]
+    fn reacquire_is_noop_and_upgrade_works() {
+        let lm = LockManager::new();
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        assert_eq!(lm.held(t(1)), vec![(r.clone(), X)]);
+        // X covers S: re-requesting S is a no-op.
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        assert_eq!(lm.held(t(1)), vec![(r, X)]);
+    }
+
+    #[test]
+    fn exclusive_blocks_and_try_lock_fails() {
+        let lm = LockManager::new();
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        assert!(!lm.try_lock(t(2), r.clone(), S));
+        assert_eq!(
+            lm.lock(t(2), r.clone(), S, Some(Duration::from_millis(20))),
+            Err(LockError::Timeout)
+        );
+        lm.unlock_all(t(1));
+        assert!(lm.try_lock(t(2), r, S));
+    }
+
+    #[test]
+    fn unlock_all_wakes_waiter() {
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        let lm2 = lm.clone();
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || lm2.lock(t(2), r2, S, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.unlock_all(t(1));
+        assert_eq!(h.join().unwrap(), Ok(()));
+        assert_eq!(lm.held(t(2)), vec![(r, S)]);
+    }
+
+    #[test]
+    fn deadlock_detected_requester_victim() {
+        let lm = Arc::new(LockManager::new());
+        let a = Resource::table("a");
+        let b = Resource::table("b");
+        lm.lock(t(1), a.clone(), X, None).unwrap();
+        lm.lock(t(2), b.clone(), X, None).unwrap();
+        let lm2 = lm.clone();
+        let (a2, b2) = (a.clone(), b.clone());
+        // t1 waits for b (held by t2).
+        let h = std::thread::spawn(move || lm2.lock(t(1), b2, X, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        // t2 requesting a closes the cycle: t2 is the victim.
+        let err = lm.lock(t(2), a.clone(), X, Some(Duration::from_secs(5))).unwrap_err();
+        assert_eq!(err, LockError::Deadlock);
+        assert_eq!(lm.stats().deadlocks.load(Ordering::Relaxed), 1);
+        // Victim aborts, releasing b; t1 proceeds.
+        lm.unlock_all(t(2));
+        assert_eq!(h.join().unwrap(), Ok(()));
+        let _ = a2;
+    }
+
+    #[test]
+    fn upgrade_deadlock_detected() {
+        // Two transactions holding S both requesting X: classic upgrade
+        // deadlock; the second requester must be told.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("t");
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        lm.lock(t(2), r.clone(), S, None).unwrap();
+        let lm2 = lm.clone();
+        let rr = r.clone();
+        let h = std::thread::spawn(move || lm2.lock(t(1), rr, X, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        let err = lm.lock(t(2), r.clone(), X, Some(Duration::from_secs(5))).unwrap_err();
+        assert_eq!(err, LockError::Deadlock);
+        lm.unlock_all(t(2));
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_aborts_waiter() {
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        let lm2 = lm.clone();
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || lm2.lock(t(2), r2, S, None));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.cancel(t(2));
+        assert_eq!(h.join().unwrap(), Err(LockError::Canceled));
+        // A cancelled tx cannot take new locks until unlock_all clears it.
+        assert!(!lm.try_lock(t(2), Resource::table("other"), S));
+        lm.unlock_all(t(2));
+        assert!(lm.try_lock(t(2), Resource::table("other"), S));
+    }
+
+    #[test]
+    fn fifo_fairness_blocks_overtaking_reader() {
+        // t1 holds X; t2 waits for S; t3 requests S. Under FIFO, t3 must
+        // not be granted before t2 (it queues), even though S||S.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        let lm2 = lm.clone();
+        let r2 = r.clone();
+        let w2 = std::thread::spawn(move || lm2.lock(t(2), r2, S, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!lm.try_lock(t(3), r.clone(), S), "fresh request must queue behind waiter");
+        lm.unlock_all(t(1));
+        assert_eq!(w2.join().unwrap(), Ok(()));
+        // Now t2 holds S, and t3 can join it.
+        assert!(lm.try_lock(t(3), r, S));
+    }
+
+    #[test]
+    fn intention_locks() {
+        let lm = LockManager::new();
+        let table = Resource::table("flights");
+        let row = Resource::row("flights", 0);
+        lm.lock(t(1), table.clone(), IX, None).unwrap();
+        lm.lock(t(1), row.clone(), X, None).unwrap();
+        // IS is compatible with IX at table level.
+        lm.lock(t(2), table.clone(), IS, None).unwrap();
+        // But the row itself is blocked.
+        assert!(!lm.try_lock(t(2), row.clone(), S));
+        // And a full-table S is blocked by the IX.
+        assert_eq!(
+            lm.lock(t(3), table.clone(), S, Some(Duration::from_millis(20))),
+            Err(LockError::Timeout)
+        );
+        lm.unlock_all(t(1));
+        assert!(lm.try_lock(t(2), row, S));
+    }
+
+    #[test]
+    fn early_release_unblocks() {
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        let lm2 = lm.clone();
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || lm2.lock(t(2), r2, X, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release(t(1), &r);
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn held_and_resource_accounting() {
+        let lm = LockManager::new();
+        lm.lock(t(1), Resource::table("a"), S, None).unwrap();
+        lm.lock(t(1), Resource::table("b"), X, None).unwrap();
+        assert_eq!(lm.held(t(1)).len(), 2);
+        assert_eq!(lm.active_resources(), 2);
+        lm.unlock_all(t(1));
+        assert_eq!(lm.held(t(1)).len(), 0);
+        assert_eq!(lm.active_resources(), 0);
+    }
+
+    #[test]
+    fn waits_for_edges_snapshot() {
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("flights");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        let lm2 = lm.clone();
+        let r2 = r.clone();
+        let h = std::thread::spawn(move || lm2.lock(t(2), r2, S, Some(Duration::from_secs(2))));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(lm.waits_for_edges(), vec![(t(2), t(1))]);
+        lm.unlock_all(t(1));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_stress_no_lost_grants() {
+        // 8 threads × 50 increments under an X table lock must serialize.
+        let lm = Arc::new(LockManager::new());
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let lm = lm.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..50u64 {
+                    let tx = TxId(1 + i * 1000 + j);
+                    lm.lock(tx, Resource::table("c"), X, None).unwrap();
+                    {
+                        let mut c = counter.lock();
+                        let v = *c;
+                        std::hint::black_box(&v);
+                        *c = v + 1;
+                    }
+                    lm.unlock_all(tx);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 400);
+    }
+}

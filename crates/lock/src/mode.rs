@@ -1,0 +1,150 @@
+//! Lock modes and the multigranularity compatibility matrix.
+
+use std::fmt;
+
+/// Multigranularity lock modes. The engine locks tables (for grounding
+/// reads and scans — the mechanism §3.3.3 of the paper names for preventing
+/// unrepeatable quasi-reads) and rows (for point reads/writes), with
+/// intention modes at the table level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared.
+    IS,
+    /// Intention exclusive.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// The classic compatibility matrix (Gray & Reuter).
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (IX, _) | (_, IX) => false,
+            (S, S) => true,
+            (S, _) | (_, S) => false,
+            (SIX, _) | (_, SIX) => false,
+            (X, X) => false,
+        }
+    }
+
+    /// Least upper bound of two modes — the mode a transaction holds after
+    /// an upgrade request (e.g. S + IX = SIX, anything + X = X).
+    pub fn combine(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+            (S, IX) | (IX, S) => SIX,
+            (S, IS) | (IS, S) => S,
+            (IX, IS) | (IS, IX) => IX,
+            _ => unreachable!("equal modes handled above"),
+        }
+    }
+
+    /// Whether holding `self` already grants the privileges of `want`.
+    pub fn covers(self, want: LockMode) -> bool {
+        self.combine(want) == self
+    }
+
+    /// True for modes that permit writing the resource.
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, LockMode::X)
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::X => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LockMode::*;
+    use super::*;
+
+    const ALL: [LockMode; 5] = [IS, IX, S, SIX, X];
+
+    #[test]
+    fn compatibility_matrix_matches_gray_reuter() {
+        // Rows/cols in order IS, IX, S, SIX, X.
+        let expected = [
+            [true, true, true, true, false],
+            [true, true, false, false, false],
+            [true, false, true, false, false],
+            [true, false, false, false, false],
+            [false, false, false, false, false],
+        ];
+        for (i, a) in ALL.iter().enumerate() {
+            for (j, b) in ALL.iter().enumerate() {
+                assert_eq!(a.compatible(*b), expected[i][j], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.compatible(b), b.compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn combine_is_lub() {
+        assert_eq!(S.combine(IX), SIX);
+        assert_eq!(IX.combine(S), SIX);
+        assert_eq!(IS.combine(S), S);
+        assert_eq!(IS.combine(IX), IX);
+        assert_eq!(S.combine(X), X);
+        assert_eq!(SIX.combine(IS), SIX);
+        for a in ALL {
+            assert_eq!(a.combine(a), a, "idempotent");
+            assert_eq!(a.combine(X), X, "X absorbs");
+        }
+    }
+
+    #[test]
+    fn combine_commutative_and_covers() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.combine(b), b.combine(a));
+                assert!(a.combine(b).covers(a));
+                assert!(a.combine(b).covers(b));
+            }
+        }
+        assert!(X.covers(S));
+        assert!(!S.covers(X));
+        assert!(SIX.covers(S));
+        assert!(SIX.covers(IX));
+        assert!(!SIX.covers(X));
+    }
+
+    #[test]
+    fn exclusivity() {
+        assert!(X.is_exclusive());
+        for m in [IS, IX, S, SIX] {
+            assert!(!m.is_exclusive());
+        }
+    }
+}

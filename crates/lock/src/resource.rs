@@ -1,0 +1,90 @@
+//! Lockable resources and transaction identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A transaction identifier, unique for the lifetime of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u64);
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A lockable resource: a whole table or a single row.
+///
+/// Table names are interned (`Arc<str>`) because the same name is hashed on
+/// every row lock in the hot path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    Table(Arc<str>),
+    Row(Arc<str>, u64),
+}
+
+impl Resource {
+    pub fn table(name: impl AsRef<str>) -> Resource {
+        Resource::Table(Arc::from(name.as_ref().to_ascii_lowercase().as_str()))
+    }
+
+    pub fn row(table: impl AsRef<str>, row: u64) -> Resource {
+        Resource::Row(Arc::from(table.as_ref().to_ascii_lowercase().as_str()), row)
+    }
+
+    /// The table this resource belongs to.
+    pub fn table_name(&self) -> &str {
+        match self {
+            Resource::Table(t) | Resource::Row(t, _) => t,
+        }
+    }
+
+    /// The parent resource in the granularity hierarchy (rows → table).
+    pub fn parent(&self) -> Option<Resource> {
+        match self {
+            Resource::Table(_) => None,
+            Resource::Row(t, _) => Some(Resource::Table(t.clone())),
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Table(t) => write!(f, "{t}"),
+            Resource::Row(t, r) => write!(f, "{t}[{r}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_normalized() {
+        assert_eq!(Resource::table("Flights"), Resource::table("FLIGHTS"));
+        assert_eq!(Resource::row("Flights", 3), Resource::row("flights", 3));
+        assert_ne!(Resource::row("flights", 3), Resource::row("flights", 4));
+        assert_ne!(
+            Resource::table("flights"),
+            Resource::row("flights", 0),
+            "table and row are distinct resources"
+        );
+    }
+
+    #[test]
+    fn hierarchy() {
+        let r = Resource::row("Flights", 7);
+        assert_eq!(r.parent(), Some(Resource::table("flights")));
+        assert_eq!(Resource::table("flights").parent(), None);
+        assert_eq!(r.table_name(), "flights");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Resource::table("Flights").to_string(), "flights");
+        assert_eq!(Resource::row("Flights", 2).to_string(), "flights[2]");
+        assert_eq!(TxId(9).to_string(), "t9");
+    }
+}

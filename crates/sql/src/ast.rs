@@ -1,0 +1,254 @@
+//! Abstract syntax for the paper's dialect: classical statements plus the
+//! entangled `SELECT … INTO ANSWER … CHOOSE k` form of §2 and the
+//! transaction brackets of §3.1.
+
+use std::fmt;
+use std::time::Duration;
+use youtopia_storage::{CmpOp, Value, ValueType};
+
+/// A possibly-qualified column reference (`dest` or `F.dest`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn bare(column: impl Into<String>) -> ColumnRef {
+        ColumnRef { qualifier: None, column: column.into() }
+    }
+
+    pub fn qualified(q: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef { qualifier: Some(q.into()), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Scalar expressions (name-based, unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    Lit(Value),
+    Col(ColumnRef),
+    /// `@name` host variable; bound by the transaction's environment.
+    HostVar(String),
+    Add(Box<Scalar>, Box<Scalar>),
+    Sub(Box<Scalar>, Box<Scalar>),
+}
+
+impl Scalar {
+    pub fn lit(v: impl Into<Value>) -> Scalar {
+        Scalar::Lit(v.into())
+    }
+
+    /// All host variables mentioned.
+    pub fn host_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Scalar::HostVar(n) => out.push(n.clone()),
+            Scalar::Add(l, r) | Scalar::Sub(l, r) => {
+                l.host_vars(out);
+                r.host_vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Boolean conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    True,
+    Cmp { op: CmpOp, lhs: Scalar, rhs: Scalar },
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+    /// `(a, b) IN (SELECT …)` — tuple membership in a subquery.
+    InSelect { tuple: Vec<Scalar>, select: Box<Select> },
+    /// `(a, b) IN ANSWER R` — the entanglement postcondition (§2).
+    InAnswer { tuple: Vec<Scalar>, answer: String },
+}
+
+impl Cond {
+    pub fn and(self, other: Cond) -> Cond {
+        match (self, other) {
+            (Cond::True, x) | (x, Cond::True) => x,
+            (a, b) => Cond::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Split into top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Cond> {
+        let mut out = Vec::new();
+        fn walk<'a>(c: &'a Cond, out: &mut Vec<&'a Cond>) {
+            match c {
+                Cond::And(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                Cond::True => {}
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Does any part of this condition reference an ANSWER relation?
+    pub fn mentions_answer(&self) -> bool {
+        match self {
+            Cond::InAnswer { .. } => true,
+            Cond::And(l, r) | Cond::Or(l, r) => l.mentions_answer() || r.mentions_answer(),
+            Cond::Not(c) => c.mentions_answer(),
+            Cond::InSelect { select, .. } => select.where_clause.mentions_answer(),
+            _ => false,
+        }
+    }
+}
+
+/// One item of a SELECT list. `bind` carries the `AS @var` host-variable
+/// binding of §3.1 ("the programmer may directly bind the values returned
+/// by an entangled query to host variables").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Scalar,
+    pub alias: Option<String>,
+    pub bind: Option<String>,
+}
+
+impl SelectItem {
+    pub fn plain(expr: Scalar) -> SelectItem {
+        SelectItem { expr, alias: None, bind: None }
+    }
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is known by in the query.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A classical SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub items: Vec<SelectItem>,
+    /// `SELECT *`.
+    pub star: bool,
+    pub from: Vec<TableRef>,
+    pub where_clause: Cond,
+    pub distinct: bool,
+    pub limit: Option<u64>,
+}
+
+/// An entangled query (§2):
+/// `SELECT … INTO ANSWER R [, ANSWER S] WHERE … CHOOSE k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntangledSelect {
+    pub items: Vec<SelectItem>,
+    /// Answer relations the head contributes to. Nearly always one; when
+    /// several are listed the same head tuple is contributed to each.
+    pub into: Vec<String>,
+    pub where_clause: Cond,
+    /// `CHOOSE k` — how many coordinated answers to produce (the paper
+    /// always uses 1).
+    pub choose: u64,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable { name: String, columns: Vec<(String, ValueType)> },
+    Insert { table: String, columns: Option<Vec<String>>, values: Vec<Scalar> },
+    Select(Select),
+    Update { table: String, sets: Vec<(String, Scalar)>, where_clause: Cond },
+    Delete { table: String, where_clause: Cond },
+    SetVar { name: String, expr: Scalar },
+    Begin { timeout: Option<Duration> },
+    Commit,
+    Rollback,
+    Entangled(EntangledSelect),
+}
+
+impl Statement {
+    /// Is this an entangled query?
+    pub fn is_entangled(&self) -> bool {
+        matches!(self, Statement::Entangled(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_and_identity() {
+        let c = Cond::True.and(Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Scalar::lit(1i64),
+            rhs: Scalar::lit(1i64),
+        });
+        assert!(matches!(c, Cond::Cmp { .. }));
+        let c2 = c.clone().and(Cond::True);
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn conjunct_split() {
+        let a = Cond::Cmp { op: CmpOp::Eq, lhs: Scalar::lit(1i64), rhs: Scalar::lit(1i64) };
+        let b = Cond::Cmp { op: CmpOp::Lt, lhs: Scalar::lit(1i64), rhs: Scalar::lit(2i64) };
+        let c = a.clone().and(b.clone());
+        assert_eq!(c.conjuncts().len(), 2);
+        assert_eq!(Cond::True.conjuncts().len(), 0);
+    }
+
+    #[test]
+    fn mentions_answer_traverses() {
+        let inner = Cond::InAnswer { tuple: vec![Scalar::lit(1i64)], answer: "R".into() };
+        assert!(inner.mentions_answer());
+        let nested = Cond::Not(Box::new(Cond::Or(
+            Box::new(Cond::True),
+            Box::new(inner),
+        )));
+        assert!(nested.mentions_answer());
+        assert!(!Cond::True.mentions_answer());
+    }
+
+    #[test]
+    fn host_var_collection() {
+        let s = Scalar::Sub(
+            Box::new(Scalar::lit(Value::Date(10))),
+            Box::new(Scalar::HostVar("ArrivalDay".into())),
+        );
+        let mut vars = Vec::new();
+        s.host_vars(&mut vars);
+        assert_eq!(vars, vec!["ArrivalDay"]);
+    }
+
+    #[test]
+    fn table_ref_binding_name() {
+        let t = TableRef { table: "User".into(), alias: Some("u1".into()) };
+        assert_eq!(t.binding_name(), "u1");
+        let t = TableRef { table: "User".into(), alias: None };
+        assert_eq!(t.binding_name(), "User");
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("dest").to_string(), "dest");
+        assert_eq!(ColumnRef::qualified("F", "dest").to_string(), "F.dest");
+    }
+}

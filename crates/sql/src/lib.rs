@@ -1,0 +1,44 @@
+//! # youtopia-sql
+//!
+//! The SQL dialect of the *Entangled Transactions* paper: classical
+//! statements plus the entangled extension of §2,
+//!
+//! ```sql
+//! SELECT select_expr
+//! INTO ANSWER tbl_name [, ANSWER tbl_name] ...
+//! [WHERE where_answer_condition]
+//! CHOOSE 1
+//! ```
+//!
+//! and the transaction brackets of §3.1 (`BEGIN TRANSACTION [WITH TIMEOUT
+//! duration] … COMMIT`), host variables (`@name`, `AS @name` bindings), and
+//! the workload statements of Appendix D.
+//!
+//! Three layers: [`token`] (lexer), [`ast`]+[`parser`] (syntax), and
+//! [`lower`] (name resolution to executable `youtopia-storage` queries,
+//! with `IN (SELECT …)` flattened into joins).
+//!
+//! ```
+//! use youtopia_sql::{parse_statement, Statement};
+//!
+//! let st = parse_statement(
+//!     "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation \
+//!      WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+//!      AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1",
+//! ).unwrap();
+//! assert!(st.is_entangled());
+//! ```
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    ColumnRef, Cond, EntangledSelect, Scalar, Select, SelectItem, Statement, TableRef,
+};
+pub use lower::{
+    lower_const_scalar, lower_select, lower_table_cond, LoweredSelect, LowerError, VarEnv,
+};
+pub use parser::{parse_script, parse_statement, ParseError};
+pub use token::{lex, LexError, Token};

@@ -1,0 +1,545 @@
+//! Lowering: name resolution from AST to resolved [`SpjQuery`]s /
+//! [`Expr`]s, with host-variable substitution.
+//!
+//! `IN (SELECT …)` subqueries are flattened into the enclosing join — legal
+//! because the dialect (like the paper's entangled WHERE clauses) is
+//! restricted to select-project-join, so membership is expressible as extra
+//! join factors plus equality predicates. Subqueries must be uncorrelated
+//! (they may use host variables, which are constants by lowering time).
+
+use crate::ast::{Cond, ColumnRef, Scalar, Select, SelectItem};
+use std::collections::HashMap;
+use std::fmt;
+use youtopia_storage::{Database, Expr, SpjQuery, StorageError, Value};
+
+/// Lowering failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    UnboundVariable(String),
+    Unsupported(&'static str),
+    Storage(StorageError),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            LowerError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            LowerError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            LowerError::UnboundVariable(v) => write!(f, "unbound host variable @{v}"),
+            LowerError::Unsupported(w) => write!(f, "unsupported construct: {w}"),
+            LowerError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<StorageError> for LowerError {
+    fn from(e: StorageError) -> Self {
+        LowerError::Storage(e)
+    }
+}
+
+/// Host-variable environment.
+pub type VarEnv = HashMap<String, Value>;
+
+/// A lowered SELECT: the executable query plus output metadata.
+#[derive(Debug, Clone)]
+pub struct LoweredSelect {
+    pub query: SpjQuery,
+    /// Output column names (alias, else column name, else a placeholder).
+    pub names: Vec<String>,
+    /// `(output column index, host variable)` bindings from `AS @var` /
+    /// bare-`@var` items.
+    pub bindings: Vec<(usize, String)>,
+}
+
+/// One table visible to name resolution.
+struct ScopeEntry {
+    binding: String,
+    table: String,
+    position: usize,
+}
+
+struct Scope<'a> {
+    db: &'a Database,
+    entries: Vec<ScopeEntry>,
+}
+
+impl<'a> Scope<'a> {
+    fn resolve(&self, c: &ColumnRef) -> Result<(usize, usize), LowerError> {
+        match &c.qualifier {
+            Some(q) => {
+                let e = self
+                    .entries
+                    .iter()
+                    .find(|e| e.binding.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| LowerError::UnknownTable(q.clone()))?;
+                let idx = self
+                    .db
+                    .table(&e.table)?
+                    .schema()
+                    .index_of(&c.column)
+                    .ok_or_else(|| LowerError::UnknownColumn(c.to_string()))?;
+                Ok((e.position, idx))
+            }
+            None => {
+                // First-match-wins for unqualified names: the paper's own
+                // §2 query projects a bare `fno` from `Flights F, Airlines
+                // A` (joined on `F.fno = A.fno`), so strict ambiguity
+                // rejection would refuse the paper's examples. MySQL-style
+                // strictness is traded for fidelity; qualify to override.
+                for e in &self.entries {
+                    if let Some(idx) = self.db.table(&e.table)?.schema().index_of(&c.column) {
+                        return Ok((e.position, idx));
+                    }
+                }
+                Err(LowerError::UnknownColumn(c.column.clone()))
+            }
+        }
+    }
+}
+
+fn lower_scalar(s: &Scalar, scope: &Scope<'_>, vars: &VarEnv) -> Result<Expr, LowerError> {
+    match s {
+        Scalar::Lit(v) => Ok(Expr::Const(v.clone())),
+        Scalar::HostVar(n) => vars
+            .get(n)
+            .cloned()
+            .map(Expr::Const)
+            .ok_or_else(|| LowerError::UnboundVariable(n.clone())),
+        Scalar::Col(c) => {
+            let (tbl, col) = scope.resolve(c)?;
+            Ok(Expr::Col { tbl, col })
+        }
+        Scalar::Add(l, r) => Ok(Expr::Add(
+            Box::new(lower_scalar(l, scope, vars)?),
+            Box::new(lower_scalar(r, scope, vars)?),
+        )),
+        Scalar::Sub(l, r) => Ok(Expr::Sub(
+            Box::new(lower_scalar(l, scope, vars)?),
+            Box::new(lower_scalar(r, scope, vars)?),
+        )),
+    }
+}
+
+/// Lower a full SELECT, flattening IN-subqueries into the join. `tables`
+/// and `conjuncts` accumulate across nesting levels.
+fn lower_select_into(
+    db: &Database,
+    sel: &Select,
+    vars: &VarEnv,
+    tables: &mut Vec<String>,
+    conjuncts: &mut Vec<Expr>,
+) -> Result<(Vec<Expr>, Vec<String>, Vec<(usize, String)>), LowerError> {
+    let base = tables.len();
+    let mut scope = Scope { db, entries: Vec::new() };
+    for (i, tr) in sel.from.iter().enumerate() {
+        db.table(&tr.table)
+            .map_err(|_| LowerError::UnknownTable(tr.table.clone()))?;
+        scope.entries.push(ScopeEntry {
+            binding: tr.binding_name().to_string(),
+            table: tr.table.clone(),
+            position: base + i,
+        });
+        tables.push(tr.table.clone());
+    }
+
+    lower_cond_into(db, &sel.where_clause, &scope, vars, tables, conjuncts)?;
+
+    // Projection.
+    let mut projection = Vec::new();
+    let mut names = Vec::new();
+    let mut bindings = Vec::new();
+    if sel.star {
+        for e in &scope.entries {
+            let t = db.table(&e.table)?;
+            for (ci, col) in t.schema().columns().iter().enumerate() {
+                projection.push(Expr::Col { tbl: e.position, col: ci });
+                names.push(col.name.clone());
+            }
+        }
+    } else {
+        for (i, item) in sel.items.iter().enumerate() {
+            projection.push(lower_scalar(&item.expr, &scope, vars)?);
+            names.push(item_name(item, i));
+            if let Some(b) = &item.bind {
+                bindings.push((i, b.clone()));
+            }
+        }
+    }
+    Ok((projection, names, bindings))
+}
+
+fn item_name(item: &SelectItem, i: usize) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    if let Scalar::Col(c) = &item.expr {
+        return c.column.clone();
+    }
+    format!("col{i}")
+}
+
+fn lower_cond_into(
+    db: &Database,
+    cond: &Cond,
+    scope: &Scope<'_>,
+    vars: &VarEnv,
+    tables: &mut Vec<String>,
+    conjuncts: &mut Vec<Expr>,
+) -> Result<(), LowerError> {
+    for c in cond.conjuncts() {
+        match c {
+            Cond::Cmp { op, lhs, rhs } => {
+                conjuncts.push(Expr::cmp(
+                    *op,
+                    lower_scalar(lhs, scope, vars)?,
+                    lower_scalar(rhs, scope, vars)?,
+                ));
+            }
+            Cond::InSelect { tuple, select } => {
+                // Flatten: subquery tables join the outer query; tuple
+                // components equate to the subquery's projection.
+                if select.distinct || select.limit.is_some() {
+                    return Err(LowerError::Unsupported("DISTINCT/LIMIT inside IN subquery"));
+                }
+                let mut sub_conjs = Vec::new();
+                let (sub_proj, _, _) =
+                    lower_select_into(db, select, vars, tables, &mut sub_conjs)?;
+                if sub_proj.len() != tuple.len() {
+                    return Err(LowerError::Unsupported("IN tuple arity mismatch"));
+                }
+                conjuncts.extend(sub_conjs);
+                for (t, p) in tuple.iter().zip(sub_proj) {
+                    conjuncts.push(Expr::eq(lower_scalar(t, scope, vars)?, p));
+                }
+            }
+            Cond::InAnswer { .. } => {
+                return Err(LowerError::Unsupported(
+                    "ANSWER relations outside an entangled query",
+                ));
+            }
+            Cond::Or(l, r) => {
+                conjuncts.push(Expr::Or(
+                    Box::new(lower_pure_cond(db, l, scope, vars)?),
+                    Box::new(lower_pure_cond(db, r, scope, vars)?),
+                ));
+            }
+            Cond::Not(inner) => {
+                conjuncts.push(Expr::Not(Box::new(lower_pure_cond(db, inner, scope, vars)?)));
+            }
+            Cond::True => {}
+            Cond::And(..) => unreachable!("conjuncts() flattens ANDs"),
+        }
+    }
+    Ok(())
+}
+
+/// Lower a condition that must not introduce new join factors (inside
+/// OR/NOT, where flattening would change semantics).
+fn lower_pure_cond(
+    db: &Database,
+    cond: &Cond,
+    scope: &Scope<'_>,
+    vars: &VarEnv,
+) -> Result<Expr, LowerError> {
+    match cond {
+        Cond::True => Ok(Expr::Const(Value::Bool(true))),
+        Cond::Cmp { op, lhs, rhs } => Ok(Expr::cmp(
+            *op,
+            lower_scalar(lhs, scope, vars)?,
+            lower_scalar(rhs, scope, vars)?,
+        )),
+        Cond::And(l, r) => Ok(Expr::and(
+            lower_pure_cond(db, l, scope, vars)?,
+            lower_pure_cond(db, r, scope, vars)?,
+        )),
+        Cond::Or(l, r) => Ok(Expr::Or(
+            Box::new(lower_pure_cond(db, l, scope, vars)?),
+            Box::new(lower_pure_cond(db, r, scope, vars)?),
+        )),
+        Cond::Not(c) => Ok(Expr::Not(Box::new(lower_pure_cond(db, c, scope, vars)?))),
+        Cond::InSelect { .. } | Cond::InAnswer { .. } => {
+            Err(LowerError::Unsupported("IN inside OR/NOT"))
+        }
+    }
+}
+
+/// Lower a classical SELECT to an executable [`SpjQuery`].
+pub fn lower_select(
+    db: &Database,
+    sel: &Select,
+    vars: &VarEnv,
+) -> Result<LoweredSelect, LowerError> {
+    let mut tables = Vec::new();
+    let mut conjuncts = Vec::new();
+    let (projection, names, bindings) =
+        lower_select_into(db, sel, vars, &mut tables, &mut conjuncts)?;
+    let query = SpjQuery {
+        tables,
+        predicate: Expr::and_all(conjuncts),
+        projection,
+        distinct: sel.distinct,
+        limit: sel.limit.map(|l| l as usize),
+    };
+    Ok(LoweredSelect { query, names, bindings })
+}
+
+/// Lower a WHERE clause over a single named table (UPDATE/DELETE): no
+/// subqueries, scope = that table alone at position 0.
+pub fn lower_table_cond(
+    db: &Database,
+    table: &str,
+    cond: &Cond,
+    vars: &VarEnv,
+) -> Result<Expr, LowerError> {
+    let scope = Scope {
+        db,
+        entries: vec![ScopeEntry {
+            binding: table.to_string(),
+            table: table.to_string(),
+            position: 0,
+        }],
+    };
+    lower_pure_cond(db, cond, &scope, vars)
+}
+
+/// Evaluate a scalar that must not reference any column (INSERT VALUES,
+/// SET @var = …).
+pub fn lower_const_scalar(s: &Scalar, vars: &VarEnv) -> Result<Value, LowerError> {
+    match s {
+        Scalar::Lit(v) => Ok(v.clone()),
+        Scalar::HostVar(n) => vars
+            .get(n)
+            .cloned()
+            .ok_or_else(|| LowerError::UnboundVariable(n.clone())),
+        Scalar::Col(c) => Err(LowerError::UnknownColumn(c.to_string())),
+        Scalar::Add(l, r) => {
+            let (l, r) = (lower_const_scalar(l, vars)?, lower_const_scalar(r, vars)?);
+            l.add(&r).ok_or(LowerError::Unsupported("invalid arithmetic operands"))
+        }
+        Scalar::Sub(l, r) => {
+            let (l, r) = (lower_const_scalar(l, vars)?, lower_const_scalar(r, vars)?);
+            l.sub(&r).ok_or(LowerError::Unsupported("invalid arithmetic operands"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::ast::Statement;
+    use youtopia_storage::{eval_spj, Schema, ValueType};
+
+    fn travel_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "Flights",
+            Schema::of(&[
+                ("fno", ValueType::Int),
+                ("fdate", ValueType::Date),
+                ("dest", ValueType::Str),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "Airlines",
+            Schema::of(&[("fno", ValueType::Int), ("airline", ValueType::Str)]),
+        )
+        .unwrap();
+        db.create_table(
+            "User",
+            Schema::of(&[("uid", ValueType::Int), ("hometown", ValueType::Str)]),
+        )
+        .unwrap();
+        for (fno, d, dest) in [(122, 100, "LA"), (123, 101, "LA"), (235, 102, "Paris")] {
+            db.insert("Flights", vec![Value::Int(fno), Value::Date(d), Value::str(dest)])
+                .unwrap();
+        }
+        for (fno, a) in [(122, "United"), (123, "Delta"), (235, "Delta")] {
+            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)]).unwrap();
+        }
+        db.insert("User", vec![Value::Int(36513), Value::str("FAT")]).unwrap();
+        db
+    }
+
+    fn select(sql: &str) -> Select {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_and_run_simple_select() {
+        let db = travel_db();
+        let sel = select("SELECT fno FROM Flights WHERE dest = 'LA'");
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        assert_eq!(lowered.names, vec!["fno"]);
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn lower_with_host_vars() {
+        let db = travel_db();
+        let sel = select("SELECT hometown FROM User WHERE uid = @uid");
+        let mut vars = VarEnv::new();
+        vars.insert("uid".into(), Value::Int(36513));
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::str("FAT")]]);
+        // Unbound variable errors.
+        assert!(matches!(
+            lower_select(&db, &sel, &VarEnv::new()),
+            Err(LowerError::UnboundVariable(v)) if v == "uid"
+        ));
+    }
+
+    #[test]
+    fn bare_hostvar_items_produce_bindings() {
+        let db = travel_db();
+        let sel = select("SELECT @uid, @hometown FROM User WHERE uid = 36513");
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        assert_eq!(
+            lowered.bindings,
+            vec![(0, "uid".to_string()), (1, "hometown".to_string())]
+        );
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows[0][1], Value::str("FAT"));
+    }
+
+    #[test]
+    fn in_subquery_flattens_to_join() {
+        let db = travel_db();
+        let sel = select(
+            "SELECT fno FROM Flights WHERE fno IN \
+             (SELECT fno FROM Airlines WHERE airline = 'Delta')",
+        );
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        assert_eq!(lowered.query.tables, vec!["Flights", "Airlines"]);
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        let fnos: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(fnos, vec![123, 235]);
+    }
+
+    #[test]
+    fn tuple_in_subquery() {
+        let db = travel_db();
+        let sel = select(
+            "SELECT fno, fdate FROM Flights WHERE (fno, fdate) IN \
+             (SELECT fno, fdate FROM Flights WHERE dest = 'Paris')",
+        );
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(235), Value::Date(102)]]);
+    }
+
+    #[test]
+    fn select_star_expands() {
+        let db = travel_db();
+        let sel = select("SELECT * FROM Airlines WHERE airline = 'United'");
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        assert_eq!(lowered.names, vec!["fno", "airline"]);
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(122), Value::str("United")]]);
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_detected() {
+        let db = travel_db();
+        // Unqualified ambiguous names resolve to the first FROM entry
+        // (dialect choice — the paper's §2 query depends on it).
+        let sel = select("SELECT fno FROM Flights, Airlines WHERE airline = 'United'");
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        assert_eq!(
+            lowered.query.projection[0],
+            youtopia_storage::Expr::Col { tbl: 0, col: 0 },
+            "bare fno binds to Flights (first table)"
+        );
+        let sel = select("SELECT zzz FROM Flights");
+        assert!(matches!(
+            lower_select(&db, &sel, &VarEnv::new()),
+            Err(LowerError::UnknownColumn(_))
+        ));
+        let sel = select("SELECT x FROM Nope");
+        assert!(matches!(
+            lower_select(&db, &sel, &VarEnv::new()),
+            Err(LowerError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn qualified_aliases_resolve() {
+        let db = travel_db();
+        let sel = select(
+            "SELECT F.fno FROM Flights F, Airlines A \
+             WHERE F.fno = A.fno AND A.airline = 'United'",
+        );
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(122)]]);
+    }
+
+    #[test]
+    fn answer_in_classical_select_rejected() {
+        let db = travel_db();
+        let sel = select("SELECT fno FROM Flights WHERE (fno) IN ANSWER R");
+        assert!(matches!(
+            lower_select(&db, &sel, &VarEnv::new()),
+            Err(LowerError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn table_cond_lowering_for_update_delete() {
+        let db = travel_db();
+        let Statement::Delete { table, where_clause } =
+            parse_statement("DELETE FROM Flights WHERE fno = 122").unwrap()
+        else {
+            panic!()
+        };
+        let expr = lower_table_cond(&db, &table, &where_clause, &VarEnv::new()).unwrap();
+        let row = vec![Value::Int(122), Value::Date(100), Value::str("LA")];
+        assert!(expr.eval_bool(&[&row]).unwrap());
+    }
+
+    #[test]
+    fn const_scalar_evaluation() {
+        let mut vars = VarEnv::new();
+        vars.insert("ArrivalDay".into(), Value::Date(100));
+        let Statement::SetVar { expr, .. } =
+            parse_statement("SET @StayLength = '1970-04-14' - @ArrivalDay").unwrap()
+        else {
+            panic!()
+        };
+        // 1970-04-14 is day 103.
+        assert_eq!(lower_const_scalar(&expr, &vars).unwrap(), Value::Int(3));
+        // Column refs are illegal in constant contexts.
+        let bad = Scalar::Col(ColumnRef::bare("x"));
+        assert!(lower_const_scalar(&bad, &vars).is_err());
+    }
+
+    #[test]
+    fn or_conditions_lower_without_flattening() {
+        let db = travel_db();
+        let sel = select("SELECT fno FROM Flights WHERE dest = 'LA' OR dest = 'Paris'");
+        let lowered = lower_select(&db, &sel, &VarEnv::new()).unwrap();
+        let out = eval_spj(&db, &lowered.query).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        // IN inside OR is rejected (would change semantics if flattened).
+        let sel = select(
+            "SELECT fno FROM Flights WHERE dest = 'X' OR fno IN (SELECT fno FROM Airlines)",
+        );
+        assert!(matches!(
+            lower_select(&db, &sel, &VarEnv::new()),
+            Err(LowerError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,822 @@
+//! Recursive-descent parser for the dialect.
+//!
+//! Grammar highlights, straight from the paper:
+//!
+//! ```text
+//! entangled := SELECT item, …  INTO ANSWER R [, ANSWER S]
+//!              [WHERE cond]  CHOOSE k
+//! cond      := conjunction/disjunction of comparisons,
+//!              (a, b, …) IN (SELECT …)        -- grounding subquery
+//!              (a, b, …) IN ANSWER R          -- postcondition
+//! txn       := BEGIN TRANSACTION [WITH TIMEOUT n unit] ; … ; COMMIT
+//! ```
+//!
+//! Tuple-IN accepts both parenthesized and bare tuples (`fno, fdate IN
+//! (SELECT …)` appears unparenthesized in the paper's §2 examples).
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Token};
+use std::fmt;
+use std::time::Duration;
+use youtopia_storage::{CmpOp, Value, ValueType};
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    Lex(LexError),
+    Unexpected { at: usize, found: String, expected: String },
+    Eof { expected: String },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { at, found, expected } => {
+                write!(f, "parse error at token {at}: found `{found}`, expected {expected}")
+            }
+            ParseError::Eof { expected } => write!(f, "unexpected end of input, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse one statement (optionally `;`-terminated).
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let st = p.statement()?;
+    p.eat(&Token::Semi);
+    p.expect_eof()?;
+    Ok(st)
+}
+
+/// Parse a `;`-separated script (e.g. an entire entangled transaction,
+/// Figure 2).
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semi) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.eat(&Token::Semi) {
+            break;
+        }
+    }
+    p.expect_eof()?;
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(kw))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(&t.to_string()))
+        }
+    }
+
+    fn err(&self, expected: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::Unexpected {
+                at: self.pos,
+                found: t.to_string(),
+                expected: expected.to_string(),
+            },
+            None => ParseError::Eof { expected: expected.to_string() },
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected {
+                at: self.pos,
+                found: self.peek().expect("not eof").to_string(),
+                expected: "end of input".into(),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("identifier")),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            Some(Token::Lit(Value::Int(n))) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.err("integer literal")),
+        }
+    }
+
+    // ---- statements ----
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.is_kw("CREATE") {
+            self.create_table()
+        } else if self.is_kw("INSERT") {
+            self.insert()
+        } else if self.is_kw("SELECT") {
+            self.select_or_entangled()
+        } else if self.is_kw("UPDATE") {
+            self.update()
+        } else if self.is_kw("DELETE") {
+            self.delete()
+        } else if self.is_kw("SET") {
+            self.set_var()
+        } else if self.is_kw("BEGIN") {
+            self.begin()
+        } else if self.eat_kw("COMMIT") {
+            Ok(Statement::Commit)
+        } else if self.eat_kw("ROLLBACK") {
+            Ok(Statement::Rollback)
+        } else {
+            Err(self.err("statement"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.type_name()?;
+            columns.push((col, ty));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn type_name(&mut self) -> Result<ValueType, ParseError> {
+        let t = self.ident()?;
+        let up = t.to_ascii_uppercase();
+        // VARCHAR(40)-style arity is accepted and ignored.
+        let ty = match up.as_str() {
+            "INT" | "INTEGER" | "BIGINT" => ValueType::Int,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => ValueType::Str,
+            "DATE" => ValueType::Date,
+            "BOOL" | "BOOLEAN" => ValueType::Bool,
+            _ => return Err(self.err("type name")),
+        };
+        if self.eat(&Token::LParen) {
+            self.int_lit()?;
+            self.expect(&Token::RParen)?;
+        }
+        Ok(ty)
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = None;
+        if self.eat(&Token::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            columns = Some(cols);
+        }
+        self.expect_kw("VALUES")?;
+        self.expect(&Token::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.scalar()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::Insert { table, columns, values })
+    }
+
+    fn update(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            sets.push((col, self.scalar()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
+        Ok(Statement::Update { table, sets, where_clause })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
+        Ok(Statement::Delete { table, where_clause })
+    }
+
+    fn set_var(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("SET")?;
+        let name = match self.next() {
+            Some(Token::HostVar(n)) => n,
+            _ => return Err(self.err("@variable")),
+        };
+        self.expect(&Token::Eq)?;
+        Ok(Statement::SetVar { name, expr: self.scalar()? })
+    }
+
+    fn begin(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("BEGIN")?;
+        self.eat_kw("TRANSACTION");
+        let mut timeout = None;
+        if self.eat_kw("WITH") {
+            self.expect_kw("TIMEOUT")?;
+            let n = self.int_lit()? as u64;
+            let unit = self.ident()?;
+            let secs = match unit.to_ascii_uppercase().as_str() {
+                "MS" | "MILLISECOND" | "MILLISECONDS" => {
+                    timeout = Some(Duration::from_millis(n));
+                    None
+                }
+                "SECOND" | "SECONDS" => Some(n),
+                "MINUTE" | "MINUTES" => Some(n * 60),
+                "HOUR" | "HOURS" => Some(n * 3600),
+                "DAY" | "DAYS" => Some(n * 86400),
+                _ => return Err(self.err("time unit")),
+            };
+            if let Some(s) = secs {
+                timeout = Some(Duration::from_secs(s));
+            }
+        }
+        Ok(Statement::Begin { timeout })
+    }
+
+    fn select_or_entangled(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut star = false;
+        let mut items = Vec::new();
+        if self.eat(&Token::Star) {
+            star = true;
+        } else {
+            loop {
+                items.push(self.select_item()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("INTO") {
+            // Entangled form.
+            self.expect_kw("ANSWER")?;
+            let mut into = vec![self.ident()?];
+            while self.eat(&Token::Comma) {
+                self.expect_kw("ANSWER")?;
+                into.push(self.ident()?);
+            }
+            let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
+            self.expect_kw("CHOOSE")?;
+            let choose = self.int_lit()? as u64;
+            return Ok(Statement::Entangled(EntangledSelect { items, into, where_clause, choose }));
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
+        let limit = if self.eat_kw("LIMIT") { Some(self.int_lit()? as u64) } else { None };
+        // In a *classical* select, a bare `@var` item (Appendix D:
+        // `SELECT @uid, @hometown FROM User WHERE uid=36513`) selects the
+        // like-named column and binds it to the variable. In entangled
+        // selects (handled above) a bare `@var` stays a host-variable
+        // value, as in Figure 2's hotel query.
+        let items = items
+            .into_iter()
+            .map(|mut item| {
+                if item.bind.is_none() && item.alias.is_none() {
+                    if let Scalar::HostVar(n) = &item.expr {
+                        let n = n.clone();
+                        item.expr = Scalar::Col(ColumnRef::bare(n.clone()));
+                        item.bind = Some(n);
+                    }
+                }
+                item
+            })
+            .collect();
+        Ok(Statement::Select(Select { items, star, from, where_clause, distinct, limit }))
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let expr = self.scalar()?;
+        let mut alias = None;
+        let mut bind = None;
+        if self.eat_kw("AS") {
+            match self.next() {
+                Some(Token::HostVar(v)) => bind = Some(v),
+                Some(Token::Ident(a)) => alias = Some(a),
+                _ => return Err(self.err("alias or @variable after AS")),
+            }
+        }
+        Ok(SelectItem { expr, alias, bind })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let mut alias = None;
+        if self.eat_kw("AS") {
+            alias = Some(self.ident()?);
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            // Bare alias (`Flights F`) — but keywords terminate the list.
+            const STOPPERS: [&str; 8] =
+                ["WHERE", "LIMIT", "CHOOSE", "ORDER", "GROUP", "AND", "OR", "ON"];
+            if !STOPPERS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                alias = Some(self.ident()?);
+            }
+        }
+        Ok(TableRef { table, alias })
+    }
+
+    // ---- conditions ----
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        self.or_cond()
+    }
+
+    fn or_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut left = self.and_cond()?;
+        while self.eat_kw("OR") {
+            let right = self.and_cond()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut left = self.not_cond()?;
+        while self.eat_kw("AND") {
+            let right = self.not_cond()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_cond(&mut self) -> Result<Cond, ParseError> {
+        if self.eat_kw("NOT") {
+            return Ok(Cond::Not(Box::new(self.not_cond()?)));
+        }
+        self.primary_cond()
+    }
+
+    /// Primary conditions need one disambiguation: a leading `(` may open a
+    /// parenthesized condition or a tuple for `IN`. We try the tuple first
+    /// and backtrack.
+    fn primary_cond(&mut self) -> Result<Cond, ParseError> {
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            if let Ok(cond) = self.paren_tuple_in() {
+                return Ok(cond);
+            }
+            self.pos = save;
+            self.expect(&Token::LParen)?;
+            let c = self.cond()?;
+            self.expect(&Token::RParen)?;
+            return Ok(c);
+        }
+        // Bare scalar list: `fno, fdate IN (…)` or single comparison.
+        let mut tuple = vec![self.scalar()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            tuple.push(self.scalar()?);
+        }
+        if self.is_kw("IN") {
+            self.pos += 1;
+            return self.in_target(tuple);
+        }
+        if tuple.len() != 1 {
+            return Err(self.err("IN after tuple"));
+        }
+        let lhs = tuple.pop().expect("len 1");
+        let op = self.cmp_op()?;
+        let rhs = self.scalar()?;
+        Ok(Cond::Cmp { op, lhs, rhs })
+    }
+
+    fn paren_tuple_in(&mut self) -> Result<Cond, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut tuple = vec![self.scalar()?];
+        while self.eat(&Token::Comma) {
+            tuple.push(self.scalar()?);
+        }
+        self.expect(&Token::RParen)?;
+        if !self.eat_kw("IN") {
+            return Err(self.err("IN"));
+        }
+        self.in_target(tuple)
+    }
+
+    fn in_target(&mut self, tuple: Vec<Scalar>) -> Result<Cond, ParseError> {
+        if self.eat_kw("ANSWER") {
+            let answer = self.ident()?;
+            return Ok(Cond::InAnswer { tuple, answer });
+        }
+        self.expect(&Token::LParen)?;
+        let st = self.select_or_entangled()?;
+        self.expect(&Token::RParen)?;
+        match st {
+            Statement::Select(s) => Ok(Cond::InSelect { tuple, select: Box::new(s) }),
+            _ => Err(self.err("classical subquery inside IN")),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => return Err(self.err("comparison operator")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    // ---- scalars ----
+
+    fn scalar(&mut self) -> Result<Scalar, ParseError> {
+        let mut left = self.term()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                let right = self.term()?;
+                left = Scalar::Add(Box::new(left), Box::new(right));
+            } else if self.eat(&Token::Minus) {
+                let right = self.term()?;
+                left = Scalar::Sub(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Scalar, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Lit(v)) => {
+                self.pos += 1;
+                Ok(Scalar::Lit(v))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.next() {
+                    Some(Token::Lit(Value::Int(n))) => Ok(Scalar::Lit(Value::Int(-n))),
+                    _ => Err(self.err("integer after unary minus")),
+                }
+            }
+            Some(Token::HostVar(n)) => {
+                self.pos += 1;
+                Ok(Scalar::HostVar(n))
+            }
+            Some(Token::Ident(name)) if !is_reserved(&name) => {
+                self.pos += 1;
+                Ok(Scalar::Col(split_colref(&name)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let s = self.scalar()?;
+                self.expect(&Token::RParen)?;
+                Ok(s)
+            }
+            _ => Err(self.err("scalar expression")),
+        }
+    }
+}
+
+/// Keywords that may not be used as bare column references.
+fn is_reserved(s: &str) -> bool {
+    const RESERVED: [&str; 18] = [
+        "SELECT", "FROM", "WHERE", "INTO", "ANSWER", "CHOOSE", "AND", "OR", "NOT", "IN", "AS",
+        "LIMIT", "VALUES", "SET", "COMMIT", "ROLLBACK", "BEGIN", "DISTINCT",
+    ];
+    RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+fn split_colref(name: &str) -> ColumnRef {
+    match name.split_once('.') {
+        Some((q, c)) => ColumnRef::qualified(q, c),
+        None => ColumnRef::bare(name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_insert_roundtrip() {
+        let st = parse_statement("CREATE TABLE Flights (fno INT, fdate DATE, dest TEXT)").unwrap();
+        match st {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "Flights");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1], ("fdate".to_string(), ValueType::Date));
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+        let st =
+            parse_statement("INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);").unwrap();
+        match st {
+            Statement::Insert { table, columns, values } => {
+                assert_eq!(table, "Reserve");
+                assert_eq!(columns.unwrap(), vec!["uid", "fid"]);
+                assert_eq!(values, vec![Scalar::HostVar("uid".into()), Scalar::HostVar("fid".into())]);
+            }
+            other => panic!("wrong statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mickeys_entangled_query_parses() {
+        // Verbatim from §2 (modulo typographic quotes).
+        let sql = "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation \
+                   WHERE fno, fdate IN \
+                   (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+                   AND ('Minnie', fno, fdate) IN ANSWER Reservation \
+                   CHOOSE 1";
+        let st = parse_statement(sql).unwrap();
+        let Statement::Entangled(eq) = st else { panic!("expected entangled") };
+        assert_eq!(eq.into, vec!["Reservation"]);
+        assert_eq!(eq.choose, 1);
+        assert_eq!(eq.items.len(), 3);
+        assert_eq!(eq.items[0].expr, Scalar::lit("Mickey"));
+        let conjs = eq.where_clause.conjuncts();
+        assert_eq!(conjs.len(), 2);
+        assert!(matches!(conjs[0], Cond::InSelect { tuple, .. } if tuple.len() == 2));
+        assert!(matches!(conjs[1], Cond::InAnswer { tuple, answer } if tuple.len() == 3 && answer == "Reservation"));
+    }
+
+    #[test]
+    fn minnies_query_with_join_subquery() {
+        let sql = "SELECT 'Minnie', fno, fdate INTO ANSWER Reservation \
+                   WHERE fno, fdate IN \
+                   (SELECT fno, fdate FROM Flights F, Airlines A WHERE \
+                    F.dest='LA' and F.fno = A.fno AND A.airline = 'United') \
+                   AND ('Mickey', fno, fdate) IN ANSWER Reservation \
+                   CHOOSE 1";
+        let st = parse_statement(sql).unwrap();
+        let Statement::Entangled(eq) = st else { panic!() };
+        let Cond::InSelect { select, .. } = eq.where_clause.conjuncts()[0] else {
+            panic!("expected InSelect")
+        };
+        assert_eq!(select.from.len(), 2);
+        assert_eq!(select.from[0].alias.as_deref(), Some("F"));
+        // Qualified column refs split correctly.
+        let conjs = select.where_clause.conjuncts();
+        assert!(matches!(
+            conjs[0],
+            Cond::Cmp { lhs: Scalar::Col(c), .. } if c.qualifier.as_deref() == Some("F") && c.column == "dest"
+        ));
+    }
+
+    #[test]
+    fn figure2_transaction_script() {
+        let sql = "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\
+            SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes \
+            WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+            AND ('Minnie', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\
+            -- (Code to perform flight booking omitted)\n\
+            SET @StayLength = '2011-05-06' - @ArrivalDay;\
+            SELECT 'Mickey', hid, @ArrivalDay, @StayLength INTO ANSWER HotelRes \
+            WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') \
+            AND ('Minnie', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes CHOOSE 1;\
+            COMMIT;";
+        let sts = parse_script(sql).unwrap();
+        assert_eq!(sts.len(), 5);
+        assert_eq!(
+            sts[0],
+            Statement::Begin { timeout: Some(Duration::from_secs(2 * 86400)) }
+        );
+        let Statement::Entangled(flight) = &sts[1] else { panic!() };
+        assert_eq!(flight.items[2].bind.as_deref(), Some("ArrivalDay"));
+        assert!(matches!(&sts[2], Statement::SetVar { name, .. } if name == "StayLength"));
+        let Statement::Entangled(hotel) = &sts[3] else { panic!() };
+        // Host variables appear inside the entangled head and postcondition.
+        assert_eq!(hotel.items[2].expr, Scalar::HostVar("ArrivalDay".into()));
+        assert_eq!(sts[4], Statement::Commit);
+    }
+
+    #[test]
+    fn appendix_d_social_workload() {
+        let sql = "SELECT uid2 FROM Friends, User as u1, User as u2 \
+                   WHERE Friends.uid1=@uid AND Friends.uid2=u2.uid \
+                   AND u1.uid=@uid AND u1.hometown=u2.hometown LIMIT 1";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.from[1].binding_name(), "u1");
+        assert_eq!(s.limit, Some(1));
+        assert_eq!(s.where_clause.conjuncts().len(), 4);
+    }
+
+    #[test]
+    fn bare_hostvar_select_items_bind() {
+        let sql = "SELECT @uid, @hometown FROM User WHERE uid=36513";
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.items[0].bind.as_deref(), Some("uid"));
+        assert_eq!(s.items[0].expr, Scalar::Col(ColumnRef::bare("uid")));
+        assert_eq!(s.items[1].bind.as_deref(), Some("hometown"));
+    }
+
+    #[test]
+    fn appendix_d_entangled_reserve() {
+        let sql = "SELECT 36513 AS @uid, 'CAT' AS @destination INTO ANSWER Reserve \
+            WHERE (36513, 45747) IN \
+            (SELECT uid1, uid2 FROM Friends, User as u1, User as u2 \
+             WHERE Friends.uid1=36513 AND Friends.uid2=45747 \
+             AND u1.uid=36513 AND u2.uid=45747 AND u1.hometown=u2.hometown) \
+            AND (45747, 'PHF') IN ANSWER Reserve CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(eq.items[0].bind.as_deref(), Some("uid"));
+        assert_eq!(eq.items[1].bind.as_deref(), Some("destination"));
+        assert!(eq.where_clause.mentions_answer());
+    }
+
+    #[test]
+    fn update_delete_set() {
+        let st = parse_statement("UPDATE Hotels SET price = 100, city = 'LA' WHERE hid = 3").unwrap();
+        assert!(matches!(st, Statement::Update { ref sets, .. } if sets.len() == 2));
+        let st = parse_statement("DELETE FROM Reserve WHERE uid = 10").unwrap();
+        assert!(matches!(st, Statement::Delete { .. }));
+        let st = parse_statement("DELETE FROM Reserve").unwrap();
+        assert!(matches!(st, Statement::Delete { ref where_clause, .. } if *where_clause == Cond::True));
+        let st = parse_statement("SET @x = @y + 1").unwrap();
+        assert!(matches!(st, Statement::SetVar { .. }));
+    }
+
+    #[test]
+    fn begin_variants() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin { timeout: None });
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin { timeout: None }
+        );
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION WITH TIMEOUT 500 MS").unwrap(),
+            Statement::Begin { timeout: Some(Duration::from_millis(500)) }
+        );
+        assert_eq!(
+            parse_statement("BEGIN WITH TIMEOUT 3 MINUTES").unwrap(),
+            Statement::Begin { timeout: Some(Duration::from_secs(180)) }
+        );
+    }
+
+    #[test]
+    fn select_star_and_distinct() {
+        let Statement::Select(s) =
+            parse_statement("SELECT * FROM Airlines WHERE airline = 'United'").unwrap()
+        else {
+            panic!()
+        };
+        assert!(s.star);
+        let Statement::Select(s) = parse_statement("SELECT DISTINCT dest FROM Flights").unwrap()
+        else {
+            panic!()
+        };
+        assert!(s.distinct);
+    }
+
+    #[test]
+    fn parenthesized_conditions() {
+        let Statement::Select(s) = parse_statement(
+            "SELECT fno FROM Flights WHERE (dest = 'LA' OR dest = 'SF') AND fno > 100",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.where_clause.conjuncts().len(), 2);
+        assert!(matches!(s.where_clause.conjuncts()[0], Cond::Or(..)));
+    }
+
+    #[test]
+    fn negative_literals_and_arithmetic() {
+        let Statement::SetVar { expr, .. } = parse_statement("SET @x = -5 + 3").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            expr,
+            Scalar::Add(Box::new(Scalar::lit(-5i64)), Box::new(Scalar::lit(3i64)))
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(matches!(parse_statement(""), Err(ParseError::Eof { .. })));
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("BEGIN WITH TIMEOUT 2 FORTNIGHTS").is_err());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statement("SELECT 1 INTO ANSWER R WHERE 1=1").is_err(), "missing CHOOSE");
+        let err = parse_statement("SELECT 1 extra garbage ; SELECT").unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn multiple_answer_relations() {
+        let sql = "SELECT 'x' INTO ANSWER A, ANSWER B WHERE ('y') IN ANSWER A CHOOSE 1";
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        assert_eq!(eq.into, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn script_handles_blank_statements() {
+        let sts = parse_script(";;SELECT 1;;COMMIT;;").unwrap();
+        assert_eq!(sts.len(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Lexer for the paper's SQL dialect.
+//!
+//! One dialect decision worth calling out: single-quoted literals that match
+//! `YYYY-MM-DD` are lexed as **date literals** (the paper writes
+//! `SET @StayLength = '2011-05-06' - @ArrivalDay`, which is date
+//! arithmetic). Everything else in quotes is a string.
+
+use std::fmt;
+use youtopia_storage::Value;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// `@name` host variable.
+    HostVar(String),
+    /// Integer, string or date literal.
+    Lit(Value),
+    /// Punctuation and operators.
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::HostVar(s) => write!(f, "@{s}"),
+            Token::Lit(v) => write!(f, "{v}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Lexing errors with byte offsets for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn looks_like_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                *c == b'-'
+            } else {
+                c.is_ascii_digit()
+            }
+        })
+}
+
+/// Tokenize a statement or script. `--` comments run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let b = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            b'\'' | b'`' => {
+                // Quoted literal. The paper's text uses typographic quotes in
+                // places; we accept plain ' and ` quoting.
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != quote {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(LexError { offset: i, message: "unterminated string".into() });
+                }
+                let s = &input[start..j];
+                let lit = if looks_like_date(s) {
+                    Value::parse_date(s).map(Token::Lit).unwrap_or_else(|| Token::Lit(Value::str(s)))
+                } else {
+                    Token::Lit(Value::str(s))
+                };
+                out.push(lit);
+                i = j + 1;
+            }
+            b'@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { offset: i, message: "empty host variable".into() });
+                }
+                out.push(Token::HostVar(input[start..j].to_string()));
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: i64 = input[start..j]
+                    .parse()
+                    .map_err(|_| LexError { offset: start, message: "integer overflow".into() })?;
+                out.push(Token::Lit(Value::Int(n)));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.') {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let toks = lex("SELECT fno FROM Flights WHERE dest='LA';").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Lit(Value::str("LA"))));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn date_literals_are_typed() {
+        let toks = lex("SET @x = '2011-05-06' - @ArrivalDay").unwrap();
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Lit(Value::Date(_)))));
+        assert!(toks.contains(&Token::HostVar("x".into())));
+        assert!(toks.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn non_date_strings_stay_strings() {
+        let toks = lex("'1234-56-789'").unwrap();
+        assert_eq!(toks, vec![Token::Lit(Value::str("1234-56-789"))]);
+        let toks = lex("'2011-13-40'").unwrap(); // date-shaped but invalid
+        assert_eq!(toks, vec![Token::Lit(Value::str("2011-13-40"))]);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let toks = lex("SELECT 1 -- (Code to perform flight booking omitted)\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Lit(Value::Int(1)),
+                Token::Comma,
+                Token::Lit(Value::Int(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a <= b >= c <> d != e < f > g = h").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Lt, &Token::Gt, &Token::Eq]
+        );
+    }
+
+    #[test]
+    fn qualified_names_kept_whole() {
+        let toks = lex("F.dest = A.fno").unwrap();
+        assert_eq!(toks[0], Token::Ident("F.dest".into()));
+        assert_eq!(toks[2], Token::Ident("A.fno".into()));
+    }
+
+    #[test]
+    fn errors_reported_with_offset() {
+        let err = lex("SELECT 'oops").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains("host variable"));
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn backquotes_accepted() {
+        let toks = lex("VALUES (`125`, `United`)").unwrap();
+        assert!(toks.contains(&Token::Lit(Value::str("125"))));
+        assert!(toks.contains(&Token::Lit(Value::str("United"))));
+    }
+}

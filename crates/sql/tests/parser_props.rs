@@ -1,0 +1,89 @@
+//! Parser robustness: the lexer and parser must be total — errors, never
+//! panics — on arbitrary input, and must roundtrip the paper's own
+//! statements.
+
+use proptest::prelude::*;
+use youtopia_sql::{lex, parse_script, parse_statement};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No input makes the lexer or parser panic.
+    #[test]
+    fn parser_is_total(input in ".{0,200}") {
+        let _ = lex(&input);
+        let _ = parse_statement(&input);
+        let _ = parse_script(&input);
+    }
+
+    /// Structured near-SQL inputs: still no panics, and valid productions
+    /// parse.
+    #[test]
+    fn near_sql_is_total(
+        table in "[A-Za-z][A-Za-z0-9_]{0,8}",
+        col in "[A-Za-z][A-Za-z0-9_]{0,8}",
+        n in 0i64..1000,
+        s in "[a-zA-Z0-9 ]{0,12}",
+    ) {
+        let candidates = [
+            format!("SELECT {col} FROM {table} WHERE {col} = {n}"),
+            format!("SELECT {col} FROM {table} WHERE {col} = '{s}' LIMIT 1"),
+            format!("INSERT INTO {table} ({col}) VALUES ({n})"),
+            format!("DELETE FROM {table} WHERE {col} <> {n}"),
+            format!("UPDATE {table} SET {col} = {n}"),
+            format!(
+                "SELECT '{s}', {col} INTO ANSWER R WHERE {col} IN \
+                 (SELECT {col} FROM {table}) AND ('{s}', {col}) IN ANSWER R CHOOSE 1"
+            ),
+        ];
+        for c in &candidates {
+            // Reserved words can collide with generated identifiers; the
+            // parser may reject, but must not panic.
+            let _ = parse_statement(c);
+        }
+    }
+}
+
+/// The paper's own listings must parse (regression anchor).
+#[test]
+fn all_paper_listings_parse() {
+    let listings = [
+        // §2 Mickey.
+        "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation \
+         WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+         AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1",
+        // §2 Minnie.
+        "SELECT 'Minnie', fno, fdate INTO ANSWER Reservation \
+         WHERE fno, fdate IN (SELECT fno, fdate FROM Flights F, Airlines A WHERE \
+         F.dest='LA' and F.fno = A.fno AND A.airline = 'United') \
+         AND ('Mickey', fno, fdate) IN ANSWER Reservation CHOOSE 1",
+        // Appendix D workload 1 (statement by statement).
+        "SELECT @uid, @hometown FROM User WHERE uid=36513",
+        "SELECT @fid FROM Flight WHERE source=@hometown AND destination='FAT'",
+        "INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid)",
+        // Appendix D workload 2 friend lookup.
+        "SELECT uid2 FROM Friends, User as u1, User as u2 \
+         WHERE Friends.uid1=@uid AND Friends.uid2=u2.uid AND u1.uid=@uid \
+         AND u1.hometown=u2.hometown LIMIT 1",
+        // Appendix D workload 3 entangled query.
+        "SELECT 36513 AS @uid, 'CAT' AS @destination INTO ANSWER Reserve \
+         WHERE (36513, 45747) IN (SELECT uid1, uid2 FROM Friends, User as u1, User as u2 \
+         WHERE Friends.uid1=36513 AND Friends.uid2=45747 AND u1.uid=36513 \
+         AND u2.uid=45747 AND u1.hometown=u2.hometown) \
+         AND (45747, 'PHF') IN ANSWER Reserve CHOOSE 1",
+    ];
+    for sql in listings {
+        parse_statement(sql).unwrap_or_else(|e| panic!("{sql}\n  -> {e}"));
+    }
+    // Figure 2 as a full script.
+    let fig2 = "BEGIN TRANSACTION WITH TIMEOUT 2 DAYS;\
+        SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes \
+        WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
+        AND ('Minnie', fno, fdate) IN ANSWER FlightRes CHOOSE 1;\
+        SET @StayLength = '2011-05-06' - @ArrivalDay;\
+        SELECT 'Mickey', hid, @ArrivalDay, @StayLength INTO ANSWER HotelRes \
+        WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') \
+        AND ('Minnie', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes CHOOSE 1;\
+        COMMIT;";
+    assert_eq!(parse_script(fig2).expect("figure 2").len(), 5);
+}

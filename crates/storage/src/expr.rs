@@ -1,0 +1,323 @@
+//! Resolved scalar expressions evaluated over a join environment.
+//!
+//! An expression is *resolved*: column references carry the position of
+//! their table in the join order plus the column index, so evaluation is a
+//! couple of array index operations — no name lookups at run time. The SQL
+//! front end and the entangled-query grounding both lower into this form.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(Value),
+    /// Column `col` of the `tbl`-th table in the join order.
+    Col { tbl: usize, col: usize },
+    /// Comparison producing a boolean.
+    Cmp { op: CmpOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic / date addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Arithmetic / date subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+/// Evaluation errors: type mix-ups that the loose dialect cannot rule out
+/// statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    NotBool,
+    BadArith,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NotBool => write!(f, "expression is not boolean"),
+            EvalError::BadArith => write!(f, "invalid operand types for arithmetic"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    pub fn col(tbl: usize, col: usize) -> Expr {
+        Expr::Col { tbl, col }
+    }
+
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp { op: CmpOp::Eq, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Conjunction of many expressions; `TRUE` when empty.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::Const(Value::Bool(true)),
+            1 => exprs.pop().expect("len checked"),
+            _ => {
+                let mut it = exprs.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, Expr::and)
+            }
+        }
+    }
+
+    /// Evaluate against an environment: one row per table in the join order.
+    pub fn eval(&self, env: &[&[Value]]) -> Result<Value, EvalError> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Col { tbl, col } => Ok(env[*tbl][*col].clone()),
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = lhs.eval(env)?;
+                let r = rhs.eval(env)?;
+                Ok(Value::Bool(op.eval(&l, &r)))
+            }
+            Expr::And(l, r) => {
+                // Short-circuit.
+                if !l.eval_bool(env)? {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(r.eval_bool(env)?))
+            }
+            Expr::Or(l, r) => {
+                if l.eval_bool(env)? {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(r.eval_bool(env)?))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_bool(env)?)),
+            Expr::Add(l, r) => {
+                let (l, r) = (l.eval(env)?, r.eval(env)?);
+                l.add(&r).ok_or(EvalError::BadArith)
+            }
+            Expr::Sub(l, r) => {
+                let (l, r) = (l.eval(env)?, r.eval(env)?);
+                l.sub(&r).ok_or(EvalError::BadArith)
+            }
+        }
+    }
+
+    /// Evaluate and require a boolean result.
+    pub fn eval_bool(&self, env: &[&[Value]]) -> Result<bool, EvalError> {
+        match self.eval(env)? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(EvalError::NotBool),
+        }
+    }
+
+    /// Flatten nested `And`s into a conjunct list (for pushdown planning).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                Expr::Const(Value::Bool(true)) => {}
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// The largest table position referenced, or `None` for a constant
+    /// expression. Determines the earliest join stage at which a conjunct
+    /// can be applied.
+    pub fn max_table(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Col { tbl, .. } => Some(*tbl),
+            Expr::Cmp { lhs, rhs, .. } | Expr::Add(lhs, rhs) | Expr::Sub(lhs, rhs) => {
+                max_opt(lhs.max_table(), rhs.max_table())
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => max_opt(l.max_table(), r.max_table()),
+            Expr::Not(e) => e.max_table(),
+        }
+    }
+}
+
+fn max_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(rows: &'a [Vec<Value>]) -> Vec<&'a [Value]> {
+        rows.iter().map(|r| r.as_slice()).collect()
+    }
+
+    #[test]
+    fn basic_eval() {
+        let rows = vec![vec![Value::Int(122), Value::str("LA")]];
+        let e = Expr::eq(Expr::col(0, 1), Expr::Const(Value::str("LA")));
+        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), true);
+        let e = Expr::cmp(CmpOp::Gt, Expr::col(0, 0), Expr::Const(Value::Int(200)));
+        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), false);
+    }
+
+    #[test]
+    fn cross_table_refs() {
+        let rows = vec![
+            vec![Value::Int(122)],
+            vec![Value::Int(122), Value::str("United")],
+        ];
+        let e = Expr::eq(Expr::col(0, 0), Expr::col(1, 0));
+        assert!(e.eval_bool(&env(&rows)).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_and_or_not() {
+        let rows = vec![vec![Value::Int(1)]];
+        let t = Expr::Const(Value::Bool(true));
+        let f = Expr::Const(Value::Bool(false));
+        // Right side would error (non-boolean) if evaluated.
+        let bad = Expr::Const(Value::Int(9));
+        let e = Expr::And(Box::new(f.clone()), Box::new(bad.clone()));
+        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), false);
+        let e = Expr::Or(Box::new(t.clone()), Box::new(bad));
+        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), true);
+        let e = Expr::Not(Box::new(f));
+        assert!(e.eval_bool(&env(&rows)).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_and_dates() {
+        let rows = vec![vec![Value::Date(100)]];
+        let stay = Expr::Sub(
+            Box::new(Expr::Const(Value::Date(103))),
+            Box::new(Expr::col(0, 0)),
+        );
+        assert_eq!(stay.eval(&env(&rows)).unwrap(), Value::Int(3));
+        let bad = Expr::Add(
+            Box::new(Expr::Const(Value::str("x"))),
+            Box::new(Expr::Const(Value::Bool(true))),
+        );
+        assert_eq!(bad.eval(&env(&rows)), Err(EvalError::BadArith));
+    }
+
+    #[test]
+    fn non_bool_condition_is_error() {
+        let rows = vec![vec![Value::Int(1)]];
+        assert_eq!(
+            Expr::Const(Value::Int(3)).eval_bool(&env(&rows)),
+            Err(EvalError::NotBool)
+        );
+    }
+
+    #[test]
+    fn conjunct_flattening() {
+        let a = Expr::eq(Expr::col(0, 0), Expr::Const(Value::Int(1)));
+        let b = Expr::eq(Expr::col(1, 0), Expr::Const(Value::Int(2)));
+        let c = Expr::eq(Expr::col(2, 0), Expr::Const(Value::Int(3)));
+        let e = Expr::and(Expr::and(a.clone(), b.clone()), c.clone());
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], &a);
+        assert_eq!(cs[2], &c);
+        // TRUE constants vanish.
+        let e = Expr::and_all(vec![]);
+        assert!(e.conjuncts().is_empty());
+    }
+
+    #[test]
+    fn and_all_folds() {
+        let rows = vec![vec![Value::Int(5)]];
+        let e = Expr::and_all(vec![
+            Expr::cmp(CmpOp::Ge, Expr::col(0, 0), Expr::Const(Value::Int(5))),
+            Expr::cmp(CmpOp::Le, Expr::col(0, 0), Expr::Const(Value::Int(5))),
+        ]);
+        assert!(e.eval_bool(&env(&rows)).unwrap());
+        assert!(Expr::and_all(vec![]).eval_bool(&env(&rows)).unwrap());
+    }
+
+    #[test]
+    fn max_table_tracks_deepest_reference() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(0, 0), Expr::Const(Value::Int(1))),
+            Expr::eq(Expr::col(2, 1), Expr::col(1, 0)),
+        );
+        assert_eq!(e.max_table(), Some(2));
+        assert_eq!(Expr::Const(Value::Null).max_table(), None);
+    }
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert!(CmpOp::Ne.eval(&Value::Int(1), &Value::Int(2)));
+    }
+}

@@ -1,0 +1,43 @@
+//! # youtopia-storage
+//!
+//! The relational storage substrate for the *Entangled Transactions*
+//! reproduction (Gupta et al., PVLDB 4(7), 2011).
+//!
+//! The paper's prototype is a middle tier over MySQL/InnoDB; this crate is
+//! the from-scratch replacement for the parts of that DBMS the middleware
+//! actually exercises: a catalog of in-memory heap tables with stable row
+//! ids, hash indexes, typed values (including the dates the travel scenario
+//! manipulates), resolved scalar expressions, and a select-project-join
+//! evaluator used both for classical statements and for *grounding*
+//! entangled queries (Appendix A of the paper).
+//!
+//! Concurrency control and durability deliberately live elsewhere
+//! (`youtopia-lock` and `youtopia-wal`): this crate is purely the
+//! single-threaded data plane, mirroring how the paper's middleware treats
+//! the DBMS as a data service and layers entanglement logic on top.
+//!
+//! ```
+//! use youtopia_storage::{Database, Schema, Value, ValueType};
+//!
+//! let mut db = Database::new();
+//! db.create_table(
+//!     "Flights",
+//!     Schema::of(&[("fno", ValueType::Int), ("dest", ValueType::Str)]),
+//! ).unwrap();
+//! db.insert("Flights", vec![Value::Int(122), Value::str("LA")]).unwrap();
+//! assert_eq!(db.table("Flights").unwrap().len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod expr;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Database, StorageError};
+pub use expr::{CmpOp, EvalError, Expr};
+pub use query::{eval_spj, QueryOutput, SpjQuery};
+pub use schema::{Column, Schema, SchemaError};
+pub use table::{Row, RowId, Table};
+pub use value::{Value, ValueType};

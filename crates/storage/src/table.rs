@@ -1,0 +1,399 @@
+//! Heap tables: slot-addressed in-memory row storage with stable [`RowId`]s,
+//! plus optional hash indexes maintained on mutation.
+//!
+//! `RowId`s are never reused within a table's lifetime, so WAL records and
+//! lock-manager resources can refer to them stably across
+//! insert/delete/update sequences — the property ARIES-style undo/redo and
+//! row-granularity locking both depend on.
+
+use crate::schema::{Schema, SchemaError};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable identifier of a row within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A stored row.
+pub type Row = Vec<Value>;
+
+/// A secondary hash index over a fixed set of columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HashIndex {
+    cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl HashIndex {
+    fn key(&self, row: &[Value]) -> Vec<Value> {
+        self.cols.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    fn insert(&mut self, id: RowId, row: &[Value]) {
+        self.map.entry(self.key(row)).or_default().push(id);
+    }
+
+    fn remove(&mut self, id: RowId, row: &[Value]) {
+        let key = self.key(row);
+        if let Some(v) = self.map.get_mut(&key) {
+            v.retain(|r| *r != id);
+            if v.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+}
+
+/// An in-memory heap table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Slot array; `None` marks a deleted row (tombstone). Index = RowId.
+    slots: Vec<Option<Row>>,
+    live: usize,
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Create a hash index on the named columns. Idempotent for identical
+    /// column sets. Returns the index's internal id.
+    pub fn create_index(&mut self, columns: &[&str]) -> Result<usize, SchemaError> {
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                self.schema
+                    .index_of(c)
+                    .ok_or_else(|| SchemaError::DuplicateColumn(format!("unknown column {c}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if let Some(pos) = self.indexes.iter().position(|ix| ix.cols == cols) {
+            return Ok(pos);
+        }
+        let mut ix = HashIndex { cols, map: HashMap::new() };
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                ix.insert(RowId(i as u64), row);
+            }
+        }
+        self.indexes.push(ix);
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// Insert a row, returning its new stable id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId, SchemaError> {
+        self.schema.check_row(&row)?;
+        let id = RowId(self.slots.len() as u64);
+        for ix in &mut self.indexes {
+            ix.insert(id, &row);
+        }
+        self.slots.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Re-insert a row at a specific id (used only by recovery redo, which
+    /// replays inserts in LSN order so ids always land at or past the end).
+    pub fn insert_at(&mut self, id: RowId, row: Row) -> Result<(), SchemaError> {
+        self.schema.check_row(&row)?;
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_none() {
+            self.live += 1;
+        } else if let Some(old) = &self.slots[idx] {
+            let old = old.clone();
+            for ix in &mut self.indexes {
+                ix.remove(id, &old);
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.insert(id, &row);
+        }
+        self.slots[idx] = Some(row);
+        Ok(())
+    }
+
+    /// Fetch a live row.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Delete a row, returning its prior contents (the before-image the WAL
+    /// needs).
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let old = slot.take()?;
+        for ix in &mut self.indexes {
+            ix.remove(id, &old);
+        }
+        self.live -= 1;
+        Some(old)
+    }
+
+    /// Overwrite a row in place, returning the before-image.
+    pub fn update(&mut self, id: RowId, new: Row) -> Result<Option<Row>, SchemaError> {
+        self.schema.check_row(&new)?;
+        let Some(slot) = self.slots.get_mut(id.0 as usize) else {
+            return Ok(None);
+        };
+        let Some(old) = slot.replace(new) else {
+            *slot = None;
+            return Ok(None);
+        };
+        let new_ref = slot.as_ref().expect("just replaced");
+        let new_clone = new_ref.clone();
+        for ix in &mut self.indexes {
+            ix.remove(id, &old);
+            ix.insert(id, &new_clone);
+        }
+        Ok(Some(old))
+    }
+
+    /// Iterate over live rows in id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Look up rows by an exact match on an indexed column set; falls back to
+    /// a scan when no index covers the columns. `pairs` maps column index →
+    /// required value.
+    pub fn lookup(&self, pairs: &[(usize, &Value)]) -> Vec<(RowId, &Row)> {
+        // Try to find an index whose column set is exactly covered.
+        for ix in &self.indexes {
+            if ix.cols.len() == pairs.len()
+                && ix.cols.iter().all(|c| pairs.iter().any(|(pc, _)| pc == c))
+            {
+                let mut key = vec![Value::Null; ix.cols.len()];
+                for (pos, col) in ix.cols.iter().enumerate() {
+                    let (_, v) = pairs.iter().find(|(pc, _)| pc == col).expect("covered");
+                    key[pos] = (*v).clone();
+                }
+                return ix
+                    .map
+                    .get(&key)
+                    .map(|ids| {
+                        ids.iter()
+                            .filter_map(|id| self.get(*id).map(|r| (*id, r)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+        }
+        self.scan()
+            .filter(|(_, row)| pairs.iter().all(|(c, v)| &row[*c] == *v))
+            .collect()
+    }
+
+    /// Remove every row (used by tests and recovery reset).
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+        for ix in &mut self.indexes {
+            ix.map.clear();
+        }
+    }
+
+    /// Snapshot all live rows (id, row) — used to build read-only copies.
+    pub fn rows_cloned(&self) -> Vec<(RowId, Row)> {
+        self.scan().map(|(id, r)| (id, r.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn flights_table() -> Table {
+        let mut t = Table::new(
+            "Flights",
+            Schema::of(&[
+                ("fno", ValueType::Int),
+                ("fdate", ValueType::Date),
+                ("dest", ValueType::Str),
+            ]),
+        );
+        // Figure 1(a) of the paper.
+        t.insert(vec![Value::Int(122), Value::Date(100), Value::str("LA")]).unwrap();
+        t.insert(vec![Value::Int(123), Value::Date(101), Value::str("LA")]).unwrap();
+        t.insert(vec![Value::Int(124), Value::Date(100), Value::str("LA")]).unwrap();
+        t.insert(vec![Value::Int(235), Value::Date(102), Value::str("Paris")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let t = flights_table();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(RowId(0)).unwrap()[0], Value::Int(122));
+        assert!(t.get(RowId(9)).is_none());
+    }
+
+    #[test]
+    fn delete_leaves_tombstone_and_preserves_ids() {
+        let mut t = flights_table();
+        let old = t.delete(RowId(1)).unwrap();
+        assert_eq!(old[0], Value::Int(123));
+        assert_eq!(t.len(), 3);
+        assert!(t.get(RowId(1)).is_none());
+        // Remaining ids unchanged.
+        assert_eq!(t.get(RowId(2)).unwrap()[0], Value::Int(124));
+        // Double delete is a no-op.
+        assert!(t.delete(RowId(1)).is_none());
+        // New insert gets a fresh id, not the tombstoned one.
+        let id = t
+            .insert(vec![Value::Int(500), Value::Date(1), Value::str("SF")])
+            .unwrap();
+        assert_eq!(id, RowId(4));
+    }
+
+    #[test]
+    fn update_returns_before_image() {
+        let mut t = flights_table();
+        let before = t
+            .update(RowId(0), vec![Value::Int(122), Value::Date(100), Value::str("SFO")])
+            .unwrap()
+            .unwrap();
+        assert_eq!(before[2], Value::str("LA"));
+        assert_eq!(t.get(RowId(0)).unwrap()[2], Value::str("SFO"));
+        // Updating a missing row returns None.
+        assert!(t
+            .update(RowId(99), vec![Value::Int(1), Value::Date(1), Value::str("x")])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = flights_table();
+        assert!(t.insert(vec![Value::str("bad"), Value::Date(1), Value::str("LA")]).is_err());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut t = flights_table();
+        t.delete(RowId(0)).unwrap();
+        let ids: Vec<u64> = t.scan().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn index_lookup_matches_scan() {
+        let mut t = flights_table();
+        t.create_index(&["dest"]).unwrap();
+        let la = t.lookup(&[(2, &Value::str("LA"))]);
+        assert_eq!(la.len(), 3);
+        let paris = t.lookup(&[(2, &Value::str("Paris"))]);
+        assert_eq!(paris.len(), 1);
+        assert_eq!(paris[0].1[0], Value::Int(235));
+        // No match.
+        assert!(t.lookup(&[(2, &Value::str("Tokyo"))]).is_empty());
+    }
+
+    #[test]
+    fn index_maintained_on_mutation() {
+        let mut t = flights_table();
+        t.create_index(&["dest"]).unwrap();
+        t.delete(RowId(0)).unwrap();
+        assert_eq!(t.lookup(&[(2, &Value::str("LA"))]).len(), 2);
+        t.update(RowId(1), vec![Value::Int(123), Value::Date(101), Value::str("Paris")])
+            .unwrap();
+        assert_eq!(t.lookup(&[(2, &Value::str("LA"))]).len(), 1);
+        assert_eq!(t.lookup(&[(2, &Value::str("Paris"))]).len(), 2);
+        let id = t
+            .insert(vec![Value::Int(900), Value::Date(50), Value::str("LA")])
+            .unwrap();
+        let la = t.lookup(&[(2, &Value::str("LA"))]);
+        assert!(la.iter().any(|(rid, _)| *rid == id));
+        assert_eq!(la.len(), 2);
+    }
+
+    #[test]
+    fn multi_column_index() {
+        let mut t = flights_table();
+        t.create_index(&["fdate", "dest"]).unwrap();
+        let hits = t.lookup(&[(1, &Value::Date(100)), (2, &Value::str("LA"))]);
+        assert_eq!(hits.len(), 2);
+        // Unindexed combination falls back to scan and still works.
+        let hits = t.lookup(&[(0, &Value::Int(122))]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn create_index_idempotent_and_unknown_column() {
+        let mut t = flights_table();
+        let a = t.create_index(&["dest"]).unwrap();
+        let b = t.create_index(&["dest"]).unwrap();
+        assert_eq!(a, b);
+        assert!(t.create_index(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn insert_at_for_recovery() {
+        let mut t = Table::new("T", Schema::of(&[("a", ValueType::Int)]));
+        t.insert_at(RowId(3), vec![Value::Int(30)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(RowId(3)).unwrap()[0], Value::Int(30));
+        assert!(t.get(RowId(0)).is_none());
+        // Overwrite at same slot keeps live count correct.
+        t.insert_at(RowId(3), vec![Value::Int(31)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(RowId(3)).unwrap()[0], Value::Int(31));
+        // Next fresh insert goes after.
+        let id = t.insert(vec![Value::Int(99)]).unwrap();
+        assert_eq!(id, RowId(4));
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let mut t = flights_table();
+        t.create_index(&["dest"]).unwrap();
+        t.truncate();
+        assert_eq!(t.len(), 0);
+        assert!(t.lookup(&[(2, &Value::str("LA"))]).is_empty());
+        assert!(t.scan().next().is_none());
+    }
+}

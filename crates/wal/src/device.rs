@@ -1,0 +1,108 @@
+//! A simulated stable-storage device with explicit sync and crash.
+//!
+//! The paper's prototype made middleware state persistent by serializing it
+//! into the DBMS and leaning on the DBMS's recovery (§5.1). We own the whole
+//! stack, so durability is modelled explicitly: appends land in a volatile
+//! tail until [`StableStorage::sync`] moves the durable frontier;
+//! [`StableStorage::crash`] discards everything past that frontier exactly
+//! like power loss would. Tests and the recovery suite drive crashes
+//! deterministically through this hook.
+
+/// An append-only simulated disk.
+#[derive(Debug, Default, Clone)]
+pub struct StableStorage {
+    buf: Vec<u8>,
+    /// Bytes `[0, durable)` survive a crash.
+    durable: usize,
+    /// Count of sync calls (fsync cost accounting in benches).
+    syncs: u64,
+}
+
+impl StableStorage {
+    pub fn new() -> StableStorage {
+        StableStorage::default()
+    }
+
+    /// Append bytes to the volatile tail; returns the write offset.
+    pub fn append(&mut self, data: &[u8]) -> u64 {
+        let off = self.buf.len() as u64;
+        self.buf.extend_from_slice(data);
+        off
+    }
+
+    /// Make everything appended so far durable.
+    pub fn sync(&mut self) {
+        self.durable = self.buf.len();
+        self.syncs += 1;
+    }
+
+    /// Simulate power loss: the volatile tail vanishes.
+    pub fn crash(&mut self) {
+        self.buf.truncate(self.durable);
+    }
+
+    /// The durable prefix (what recovery may read after a crash).
+    pub fn durable_bytes(&self) -> &[u8] {
+        &self.buf[..self.durable]
+    }
+
+    /// Everything appended, durable or not (used while the system is up).
+    pub fn all_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn durable_len(&self) -> u64 {
+        self.durable as u64
+    }
+
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_are_volatile_until_sync() {
+        let mut d = StableStorage::new();
+        d.append(b"hello");
+        assert_eq!(d.durable_bytes(), b"");
+        assert_eq!(d.all_bytes(), b"hello");
+        d.sync();
+        assert_eq!(d.durable_bytes(), b"hello");
+    }
+
+    #[test]
+    fn crash_discards_tail() {
+        let mut d = StableStorage::new();
+        d.append(b"abc");
+        d.sync();
+        d.append(b"def");
+        d.crash();
+        assert_eq!(d.all_bytes(), b"abc");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn offsets_and_counters() {
+        let mut d = StableStorage::new();
+        assert!(d.is_empty());
+        assert_eq!(d.append(b"ab"), 0);
+        assert_eq!(d.append(b"cd"), 2);
+        assert_eq!(d.sync_count(), 0);
+        d.sync();
+        d.sync();
+        assert_eq!(d.sync_count(), 2);
+        assert_eq!(d.durable_len(), 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! # youtopia-wal
+//!
+//! Durability substrate for the *Entangled Transactions* reproduction:
+//! a write-ahead log over simulated stable storage, plus the
+//! entanglement-aware recovery pass the paper sketches in §4
+//! ("Persistence and Recovery").
+//!
+//! Two things distinguish this WAL from a classical one:
+//!
+//! 1. **Entanglement state is logged.** `EntangleGroup` records persist who
+//!    has entangled with whom, and `GroupCommit` marks the durability point
+//!    of an entire group — the state §4 says "must be made persistent to
+//!    ensure correct crash recovery".
+//! 2. **Recovery is group-atomic.** A transaction with a durable commit
+//!    record is still rolled back if any transitive entanglement partner
+//!    failed to commit — the paper's rule that a crash between partner
+//!    commits must not produce a durable widowed transaction.
+//!
+//! The device is simulated (`StableStorage`) so that tests and benches can
+//! inject crashes at precise points, including *between* the commits of two
+//! entangled partners.
+
+pub mod device;
+pub mod log;
+pub mod record;
+pub mod recover;
+
+pub use device::StableStorage;
+pub use log::Wal;
+pub use record::{CodecError, LogRecord, Lsn};
+pub use recover::{recover, RecoveryOutcome};

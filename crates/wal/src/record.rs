@@ -1,0 +1,453 @@
+//! Log record types and their binary codec.
+//!
+//! Frames are `[len: u32][crc32: u32][payload]`; a torn final frame (crash
+//! mid-append) is detected by length or checksum mismatch and treated as
+//! end-of-log, which is the standard WAL convention.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use youtopia_storage::{Column, Schema, Value, ValueType};
+
+/// Log sequence number = byte offset of the frame in the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+/// One write-ahead-log record.
+///
+/// Beyond the classical record types, two are entanglement-specific (§4
+/// "Persistence and Recovery"): [`LogRecord::EntangleGroup`] persists *who
+/// has entangled with whom* so group commits survive crashes, and
+/// [`LogRecord::GroupCommit`] marks the atomic durability point of a whole
+/// entanglement group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    Begin { tx: u64 },
+    /// Physiological redo/undo images.
+    Insert { tx: u64, table: String, row: u64, values: Vec<Value> },
+    Delete { tx: u64, table: String, row: u64, before: Vec<Value> },
+    Update { tx: u64, table: String, row: u64, before: Vec<Value>, after: Vec<Value> },
+    Commit { tx: u64 },
+    Abort { tx: u64 },
+    /// DDL is logged so recovery can rebuild the catalog from scratch.
+    CreateTable { name: String, schema: Schema },
+    /// Transactions `txs` entangled (answered one entanglement operation
+    /// together); they must commit or abort as a unit.
+    EntangleGroup { group: u64, txs: Vec<u64> },
+    /// All members of `group` are now durably committed.
+    GroupCommit { group: u64 },
+    /// Fuzzy checkpoint: the ids of transactions active at checkpoint time.
+    Checkpoint { active: Vec<u64> },
+}
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame extends past the durable end (torn write) — treated as EOF.
+    Torn,
+    /// Checksum mismatch — treated as EOF.
+    BadChecksum,
+    /// A structurally invalid payload: genuine corruption.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Torn => write!(f, "torn frame at end of log"),
+            CodecError::BadChecksum => write!(f, "checksum mismatch"),
+            CodecError::Corrupt(w) => write!(f, "corrupt log record: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---- crc32 (IEEE, bitwise — no table needed at this scale) ----
+
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---- value / schema codecs ----
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Corrupt("string length"));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(CodecError::Corrupt("string body"));
+    }
+    let b = buf.copy_to_bytes(n);
+    String::from_utf8(b.to_vec()).map_err(|_| CodecError::Corrupt("utf8"))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Date(d) => {
+            buf.put_u8(3);
+            buf.put_i32_le(*d);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Corrupt("value tag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if !buf.has_remaining() {
+                return Err(CodecError::Corrupt("bool"));
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Corrupt("int"));
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        3 => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::Corrupt("date"));
+            }
+            Ok(Value::Date(buf.get_i32_le()))
+        }
+        4 => Ok(Value::Str(get_str(buf)?)),
+        _ => Err(CodecError::Corrupt("value tag")),
+    }
+}
+
+fn put_values(buf: &mut BytesMut, vs: &[Value]) {
+    buf.put_u32_le(vs.len() as u32);
+    for v in vs {
+        put_value(buf, v);
+    }
+}
+
+fn get_values(buf: &mut Bytes) -> Result<Vec<Value>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Corrupt("values length"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(get_value(buf)?);
+    }
+    Ok(out)
+}
+
+fn put_u64s(buf: &mut BytesMut, xs: &[u64]) {
+    buf.put_u32_le(xs.len() as u32);
+    for x in xs {
+        buf.put_u64_le(*x);
+    }
+}
+
+fn get_u64s(buf: &mut Bytes) -> Result<Vec<u64>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Corrupt("u64s length"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        if buf.remaining() < 8 {
+            return Err(CodecError::Corrupt("u64"));
+        }
+        out.push(buf.get_u64_le());
+    }
+    Ok(out)
+}
+
+fn ty_tag(t: ValueType) -> u8 {
+    match t {
+        ValueType::Null => 0,
+        ValueType::Bool => 1,
+        ValueType::Int => 2,
+        ValueType::Date => 3,
+        ValueType::Str => 4,
+    }
+}
+
+fn ty_from(tag: u8) -> Result<ValueType, CodecError> {
+    Ok(match tag {
+        0 => ValueType::Null,
+        1 => ValueType::Bool,
+        2 => ValueType::Int,
+        3 => ValueType::Date,
+        4 => ValueType::Str,
+        _ => return Err(CodecError::Corrupt("type tag")),
+    })
+}
+
+impl LogRecord {
+    /// Encode into a checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::with_capacity(64);
+        match self {
+            LogRecord::Begin { tx } => {
+                body.put_u8(0);
+                body.put_u64_le(*tx);
+            }
+            LogRecord::Insert { tx, table, row, values } => {
+                body.put_u8(1);
+                body.put_u64_le(*tx);
+                put_str(&mut body, table);
+                body.put_u64_le(*row);
+                put_values(&mut body, values);
+            }
+            LogRecord::Delete { tx, table, row, before } => {
+                body.put_u8(2);
+                body.put_u64_le(*tx);
+                put_str(&mut body, table);
+                body.put_u64_le(*row);
+                put_values(&mut body, before);
+            }
+            LogRecord::Update { tx, table, row, before, after } => {
+                body.put_u8(3);
+                body.put_u64_le(*tx);
+                put_str(&mut body, table);
+                body.put_u64_le(*row);
+                put_values(&mut body, before);
+                put_values(&mut body, after);
+            }
+            LogRecord::Commit { tx } => {
+                body.put_u8(4);
+                body.put_u64_le(*tx);
+            }
+            LogRecord::Abort { tx } => {
+                body.put_u8(5);
+                body.put_u64_le(*tx);
+            }
+            LogRecord::CreateTable { name, schema } => {
+                body.put_u8(6);
+                put_str(&mut body, name);
+                body.put_u32_le(schema.arity() as u32);
+                for c in schema.columns() {
+                    put_str(&mut body, &c.name);
+                    body.put_u8(ty_tag(c.ty));
+                }
+            }
+            LogRecord::EntangleGroup { group, txs } => {
+                body.put_u8(7);
+                body.put_u64_le(*group);
+                put_u64s(&mut body, txs);
+            }
+            LogRecord::GroupCommit { group } => {
+                body.put_u8(8);
+                body.put_u64_le(*group);
+            }
+            LogRecord::Checkpoint { active } => {
+                body.put_u8(9);
+                put_u64s(&mut body, active);
+            }
+        }
+        let mut frame = Vec::with_capacity(body.len() + 8);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Decode one frame starting at `data[offset..]`; returns the record
+    /// and the offset just past it.
+    pub fn decode(data: &[u8], offset: usize) -> Result<(LogRecord, usize), CodecError> {
+        if data.len() < offset + 8 {
+            return Err(CodecError::Torn);
+        }
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let start = offset + 8;
+        if data.len() < start + len {
+            return Err(CodecError::Torn);
+        }
+        let body = &data[start..start + len];
+        if crc32(body) != crc {
+            return Err(CodecError::BadChecksum);
+        }
+        let mut buf = Bytes::copy_from_slice(body);
+        if !buf.has_remaining() {
+            return Err(CodecError::Corrupt("empty body"));
+        }
+        let rec = match buf.get_u8() {
+            0 => LogRecord::Begin { tx: need_u64(&mut buf)? },
+            1 => LogRecord::Insert {
+                tx: need_u64(&mut buf)?,
+                table: get_str(&mut buf)?,
+                row: need_u64(&mut buf)?,
+                values: get_values(&mut buf)?,
+            },
+            2 => LogRecord::Delete {
+                tx: need_u64(&mut buf)?,
+                table: get_str(&mut buf)?,
+                row: need_u64(&mut buf)?,
+                before: get_values(&mut buf)?,
+            },
+            3 => LogRecord::Update {
+                tx: need_u64(&mut buf)?,
+                table: get_str(&mut buf)?,
+                row: need_u64(&mut buf)?,
+                before: get_values(&mut buf)?,
+                after: get_values(&mut buf)?,
+            },
+            4 => LogRecord::Commit { tx: need_u64(&mut buf)? },
+            5 => LogRecord::Abort { tx: need_u64(&mut buf)? },
+            6 => {
+                let name = get_str(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(CodecError::Corrupt("schema arity"));
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut cols = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let cname = get_str(&mut buf)?;
+                    if !buf.has_remaining() {
+                        return Err(CodecError::Corrupt("column type"));
+                    }
+                    cols.push(Column::new(cname, ty_from(buf.get_u8())?));
+                }
+                let schema = Schema::new(cols).map_err(|_| CodecError::Corrupt("schema"))?;
+                LogRecord::CreateTable { name, schema }
+            }
+            7 => LogRecord::EntangleGroup {
+                group: need_u64(&mut buf)?,
+                txs: get_u64s(&mut buf)?,
+            },
+            8 => LogRecord::GroupCommit { group: need_u64(&mut buf)? },
+            9 => LogRecord::Checkpoint { active: get_u64s(&mut buf)? },
+            _ => return Err(CodecError::Corrupt("record tag")),
+        };
+        if buf.has_remaining() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        Ok((rec, start + len))
+    }
+}
+
+fn need_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Corrupt("u64"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { tx: 7 },
+            LogRecord::Insert {
+                tx: 7,
+                table: "Flights".into(),
+                row: 3,
+                values: vec![Value::Int(122), Value::Date(100), Value::str("LA")],
+            },
+            LogRecord::Delete {
+                tx: 7,
+                table: "Reserve".into(),
+                row: 0,
+                before: vec![Value::Int(1), Value::Null],
+            },
+            LogRecord::Update {
+                tx: 8,
+                table: "Hotels".into(),
+                row: 12,
+                before: vec![Value::str("old"), Value::Bool(false)],
+                after: vec![Value::str("new"), Value::Bool(true)],
+            },
+            LogRecord::Commit { tx: 7 },
+            LogRecord::Abort { tx: 8 },
+            LogRecord::CreateTable {
+                name: "Flights".into(),
+                schema: Schema::of(&[("fno", ValueType::Int), ("dest", ValueType::Str)]),
+            },
+            LogRecord::EntangleGroup { group: 1, txs: vec![7, 8, 9] },
+            LogRecord::GroupCommit { group: 1 },
+            LogRecord::Checkpoint { active: vec![10, 11] },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for rec in samples() {
+            let bytes = rec.encode();
+            let (got, end) = LogRecord::decode(&bytes, 0).unwrap();
+            assert_eq!(got, rec);
+            assert_eq!(end, bytes.len());
+        }
+    }
+
+    #[test]
+    fn sequential_frames_decode() {
+        let mut log = Vec::new();
+        for rec in samples() {
+            log.extend_from_slice(&rec.encode());
+        }
+        let mut off = 0;
+        let mut count = 0;
+        while off < log.len() {
+            let (_, next) = LogRecord::decode(&log, off).unwrap();
+            off = next;
+            count += 1;
+        }
+        assert_eq!(count, samples().len());
+    }
+
+    #[test]
+    fn torn_tail_detected() {
+        let rec = LogRecord::Commit { tx: 1 };
+        let bytes = rec.encode();
+        // Truncated header.
+        assert_eq!(LogRecord::decode(&bytes[..4], 0), Err(CodecError::Torn));
+        // Truncated body.
+        assert_eq!(
+            LogRecord::decode(&bytes[..bytes.len() - 1], 0),
+            Err(CodecError::Torn)
+        );
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let rec = LogRecord::Begin { tx: 42 };
+        let mut bytes = rec.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(LogRecord::decode(&bytes, 0), Err(CodecError::BadChecksum));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

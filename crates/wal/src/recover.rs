@@ -1,0 +1,316 @@
+//! Entanglement-aware crash recovery.
+//!
+//! Classical part: redo history, undo losers (ARIES-style passes over a
+//! log-structured store — the log is the only durable artefact, so redo
+//! rebuilds the data plane from DDL records forward).
+//!
+//! Entangled part (§4 "Persistence and Recovery" of the paper): *"if two
+//! transactions entangle and only one manages to commit prior to a crash,
+//! both must be rolled back during recovery."* Transactions that answered an
+//! entangled query together form a group ([`LogRecord::EntangleGroup`]);
+//! groups chain transitively through shared members. A transaction with a
+//! durable `Commit` record is still a **loser** if any of its transitive
+//! partners failed to commit — this is the widowed-transaction rule
+//! projected onto recovery, and the fixpoint below implements it.
+
+use crate::record::{LogRecord, Lsn};
+use std::collections::{BTreeMap, BTreeSet};
+use youtopia_storage::{Database, RowId};
+
+/// The result of recovery.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// The reconstructed database.
+    pub db: Database,
+    /// Transactions whose effects survived.
+    pub winners: BTreeSet<u64>,
+    /// Transactions rolled back (incl. entanglement-forced rollbacks).
+    pub losers: BTreeSet<u64>,
+    /// Transactions that had a durable `Commit` record but were rolled
+    /// back because an entanglement partner did not commit. Non-empty only
+    /// when the engine crashed between a member commit and its group
+    /// commit.
+    pub widowed_rollbacks: BTreeSet<u64>,
+}
+
+/// Run analysis, redo and undo over a durable log prefix.
+pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
+    // ---- Analysis ----
+    let mut committed: BTreeSet<u64> = BTreeSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (_, rec) in records {
+        match rec {
+            LogRecord::Begin { tx }
+            | LogRecord::Insert { tx, .. }
+            | LogRecord::Delete { tx, .. }
+            | LogRecord::Update { tx, .. }
+            | LogRecord::Abort { tx } => {
+                seen.insert(*tx);
+            }
+            LogRecord::Commit { tx } => {
+                seen.insert(*tx);
+                committed.insert(*tx);
+            }
+            LogRecord::EntangleGroup { group, txs } => {
+                seen.extend(txs.iter().copied());
+                groups.entry(*group).or_default().extend(txs.iter().copied());
+            }
+            LogRecord::GroupCommit { .. }
+            | LogRecord::CreateTable { .. }
+            | LogRecord::Checkpoint { .. } => {}
+        }
+    }
+
+    // Entanglement fixpoint: a group with any non-winner member sinks all
+    // of its members. Chains propagate through shared members.
+    let mut winners = committed.clone();
+    loop {
+        let mut changed = false;
+        for txs in groups.values() {
+            if txs.iter().any(|t| !winners.contains(t)) {
+                for t in txs {
+                    changed |= winners.remove(t);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let widowed_rollbacks: BTreeSet<u64> =
+        committed.difference(&winners).copied().collect();
+    let losers: BTreeSet<u64> = seen.difference(&winners).copied().collect();
+
+    // ---- Redo (history) ----
+    let mut db = Database::new();
+    for (_, rec) in records {
+        match rec {
+            LogRecord::CreateTable { name, schema } => {
+                db.create_or_replace_table(name, schema.clone());
+            }
+            LogRecord::Insert { table, row, values, .. } => {
+                if db.has_table(table) {
+                    let _ = db
+                        .table_mut(table)
+                        .expect("checked")
+                        .insert_at(RowId(*row), values.clone());
+                }
+            }
+            LogRecord::Delete { table, row, .. } => {
+                if db.has_table(table) {
+                    let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
+                }
+            }
+            LogRecord::Update { table, row, after, .. } => {
+                if db.has_table(table) {
+                    let _ = db
+                        .table_mut(table)
+                        .expect("checked")
+                        .update(RowId(*row), after.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Undo (losers, in reverse order) ----
+    for (_, rec) in records.iter().rev() {
+        match rec {
+            LogRecord::Insert { tx, table, row, .. } if losers.contains(tx) => {
+                if db.has_table(table) {
+                    let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
+                }
+            }
+            LogRecord::Delete { tx, table, row, before } if losers.contains(tx) => {
+                if db.has_table(table) {
+                    let _ = db
+                        .table_mut(table)
+                        .expect("checked")
+                        .insert_at(RowId(*row), before.clone());
+                }
+            }
+            LogRecord::Update { tx, table, row, before, .. } if losers.contains(tx) => {
+                if db.has_table(table) {
+                    let _ = db
+                        .table_mut(table)
+                        .expect("checked")
+                        .update(RowId(*row), before.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    RecoveryOutcome { db, winners, losers, widowed_rollbacks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::Wal;
+    use youtopia_storage::{Schema, Value, ValueType};
+
+    fn setup_wal() -> Wal {
+        let wal = Wal::new();
+        wal.append(&LogRecord::CreateTable {
+            name: "Reserve".into(),
+            schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Int)]),
+        });
+        wal
+    }
+
+    fn insert(wal: &Wal, tx: u64, row: u64, uid: i64, fid: i64) {
+        wal.append(&LogRecord::Insert {
+            tx,
+            table: "Reserve".into(),
+            row,
+            values: vec![Value::Int(uid), Value::Int(fid)],
+        });
+    }
+
+    #[test]
+    fn committed_work_survives() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append_sync(&LogRecord::Commit { tx: 1 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
+        assert!(out.winners.contains(&1));
+        assert!(out.losers.is_empty());
+    }
+
+    #[test]
+    fn uncommitted_work_rolled_back() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.sync(); // data durable, commit record not
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
+        assert!(out.losers.contains(&1));
+    }
+
+    #[test]
+    fn updates_and_deletes_undone_with_before_images() {
+        let wal = setup_wal();
+        // t1 commits an insert.
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append(&LogRecord::Commit { tx: 1 });
+        // t2 updates then deletes, but never commits.
+        wal.append(&LogRecord::Begin { tx: 2 });
+        wal.append(&LogRecord::Update {
+            tx: 2,
+            table: "Reserve".into(),
+            row: 0,
+            before: vec![Value::Int(10), Value::Int(122)],
+            after: vec![Value::Int(10), Value::Int(999)],
+        });
+        wal.append(&LogRecord::Delete {
+            tx: 2,
+            table: "Reserve".into(),
+            row: 0,
+            before: vec![Value::Int(10), Value::Int(999)],
+        });
+        wal.sync();
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        let t = out.db.table("Reserve").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(RowId(0)).unwrap(), &vec![Value::Int(10), Value::Int(122)]);
+    }
+
+    #[test]
+    fn widowed_commit_rolled_back_with_partner() {
+        // The paper's rule: t1 and t2 entangled; t1's commit is durable but
+        // t2 never committed → recovery rolls BOTH back.
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        wal.append(&LogRecord::Begin { tx: 2 });
+        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        insert(&wal, 1, 0, 10, 122);
+        insert(&wal, 2, 1, 20, 122);
+        wal.append_sync(&LogRecord::Commit { tx: 1 });
+        wal.crash(); // t2's commit never happened
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 0, "both rolled back");
+        assert_eq!(out.widowed_rollbacks, BTreeSet::from([1]));
+        assert_eq!(out.losers, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn whole_group_commit_survives() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        insert(&wal, 1, 0, 10, 122);
+        insert(&wal, 2, 1, 20, 122);
+        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::Commit { tx: 2 });
+        wal.append_sync(&LogRecord::GroupCommit { group: 1 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 2);
+        assert_eq!(out.winners, BTreeSet::from([1, 2]));
+        assert!(out.widowed_rollbacks.is_empty());
+    }
+
+    #[test]
+    fn transitive_group_rollback_chains() {
+        // Groups {1,2} and {2,3}: if 3 is unresolved, 2 sinks, then 1 sinks.
+        let wal = setup_wal();
+        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        wal.append(&LogRecord::EntangleGroup { group: 2, txs: vec![2, 3] });
+        insert(&wal, 1, 0, 1, 1);
+        insert(&wal, 2, 1, 2, 2);
+        insert(&wal, 3, 2, 3, 3);
+        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append_sync(&LogRecord::Commit { tx: 2 });
+        wal.crash(); // 3 never committed
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
+        assert_eq!(out.losers, BTreeSet::from([1, 2, 3]));
+        assert_eq!(out.widowed_rollbacks, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn independent_transactions_unaffected_by_group_rollback() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        insert(&wal, 1, 0, 1, 1);
+        insert(&wal, 3, 1, 3, 3); // classical bystander
+        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append_sync(&LogRecord::Commit { tx: 3 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        let t = out.db.table("Reserve").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(RowId(1)).unwrap()[0], Value::Int(3));
+        assert!(out.winners.contains(&3));
+        assert!(!out.winners.contains(&1));
+    }
+
+    #[test]
+    fn empty_log_recovers_to_empty_db() {
+        let out = recover(&[]);
+        assert!(out.db.table_names().is_empty());
+        assert!(out.winners.is_empty());
+        assert!(out.losers.is_empty());
+    }
+
+    #[test]
+    fn explicit_abort_is_a_loser_without_widow_status() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 1, 1);
+        wal.append_sync(&LogRecord::Abort { tx: 1 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
+        assert!(out.losers.contains(&1));
+        assert!(out.widowed_rollbacks.is_empty());
+    }
+}

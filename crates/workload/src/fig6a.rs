@@ -1,0 +1,233 @@
+//! The six workloads of Figure 6(a), straight from Appendix D:
+//! `NoSocial`, `Social`, `Entangled`, each in transactional (`-T`) and
+//! bare-query (`-Q`) form. Programs are identical between `-T` and `-Q`;
+//! the mode changes the engine configuration (see
+//! [`crate::travel::engine_config`]).
+
+use crate::travel::{city, TravelData};
+use entangled_txn::Program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Which of the three workload families to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    NoSocial,
+    Social,
+    Entangled,
+}
+
+impl Family {
+    pub const ALL: [Family; 3] = [Family::NoSocial, Family::Social, Family::Entangled];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::NoSocial => "NoSocial",
+            Family::Social => "Social",
+            Family::Entangled => "Entangled",
+        }
+    }
+}
+
+/// Appendix D workload 1: individual travel booking.
+pub fn nosocial_program(uid: usize, dest: &str) -> Program {
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT @uid, @hometown FROM User WHERE uid={uid}; \
+         SELECT @fid FROM Flight WHERE source=@hometown AND destination='{dest}'; \
+         INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid); \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// Appendix D workload 2: booking plus a same-hometown friend lookup.
+pub fn social_program(uid: usize, dest: &str) -> Program {
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT @uid, @hometown FROM User WHERE uid={uid}; \
+         SELECT uid2 FROM Friends, User as u1, User as u2 \
+         WHERE Friends.uid1=@uid AND Friends.uid2=u2.uid \
+         AND u1.uid=@uid AND u1.hometown=u2.hometown LIMIT 1; \
+         SELECT @fid FROM Flight WHERE source=@hometown AND destination='{dest}'; \
+         INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid); \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// Appendix D workload 3: coordinate the booking with a specific friend
+/// through an entangled query on the `Reserve` answer relation.
+pub fn entangled_program(
+    me: usize,
+    partner: usize,
+    my_dest: &str,
+    partner_dest: &str,
+    timeout: Duration,
+) -> Program {
+    Program::parse(&format!(
+        "BEGIN TRANSACTION WITH TIMEOUT {} MS; \
+         SELECT @hometown FROM User WHERE uid={me}; \
+         SELECT {me} AS @uid, '{my_dest}' AS @destination INTO ANSWER Reserve \
+         WHERE ({me}, {partner}) IN \
+         (SELECT uid1, uid2 FROM Friends, User as u1, User as u2 \
+          WHERE Friends.uid1={me} AND Friends.uid2={partner} \
+          AND u1.uid={me} AND u2.uid={partner} \
+          AND u1.hometown=u2.hometown) \
+         AND ({partner}, '{partner_dest}') IN ANSWER Reserve CHOOSE 1; \
+         SELECT @fid FROM Flight WHERE source=@hometown AND destination=@destination; \
+         INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid); \
+         COMMIT;",
+        timeout.as_millis()
+    ))
+    .expect("static workload template")
+}
+
+/// A full Figure 6(a) batch of `count` transactions for one family.
+/// Entangled batches are built from disjoint friend pairs so that "each
+/// transaction would find a coordination partner within the same batch"
+/// (§5.2.2) — call [`TravelData::align_pair_hometowns`] with the **same
+/// seed** first, so the generated pairs share hometowns.
+pub fn generate(family: Family, data: &TravelData, count: usize, seed: u64) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    match family {
+        Family::NoSocial | Family::Social => {
+            for i in 0..count {
+                let uid = i % data.params.users;
+                let dest = city(data.reachable_destination(uid, &mut rng));
+                out.push(match family {
+                    Family::NoSocial => nosocial_program(uid, &dest),
+                    Family::Social => social_program(uid, &dest),
+                    Family::Entangled => unreachable!(),
+                });
+            }
+        }
+        Family::Entangled => {
+            let pairs = data.graph.disjoint_friend_pairs(count / 2 + 1, seed);
+            assert!(!pairs.is_empty(), "graph yielded no friend pairs");
+            let mut i = 0;
+            while out.len() + 2 <= count {
+                let (a, b) = pairs[i % pairs.len()];
+                let dest = city(data.common_destination(a as usize, b as usize, &mut rng));
+                let timeout = Duration::from_secs(30);
+                out.push(entangled_program(a as usize, b as usize, &dest, &dest, timeout));
+                out.push(entangled_program(b as usize, a as usize, &dest, &dest, timeout));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+impl TravelData {
+    /// Force both members of each pair to share a hometown (the paper's
+    /// entangled workload coordinates same-hometown friends; random
+    /// hometowns would make most pairs unanswerable).
+    pub fn align_pair_hometowns(&mut self, seed: u64) {
+        let pairs = self.graph.disjoint_friend_pairs(self.params.users, seed);
+        for (a, b) in pairs {
+            self.hometown[b as usize] = self.hometown[a as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::SocialGraph;
+    use crate::travel::{engine_config, scheduler_for, TravelParams, WorkloadMode};
+    use entangled_txn::CostModel;
+
+    fn data() -> TravelData {
+        let params = TravelParams { users: 80, cities: 4, flights: 120, seed: 5 };
+        let mut d = TravelData::generate(params, SocialGraph::slashdot_like(80, 5));
+        d.align_pair_hometowns(7);
+        d
+    }
+
+    fn run(family: Family, count: usize) -> (usize, usize) {
+        let d = data();
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::Transactional,
+            CostModel::ZERO,
+            false,
+        ));
+        let mut sched = scheduler_for(engine, 4);
+        for p in generate(family, &d, count, 7) {
+            sched.submit(p);
+        }
+        let stats = sched.drain();
+        (stats.committed, stats.failed)
+    }
+
+    #[test]
+    fn nosocial_commits_all() {
+        let (committed, failed) = run(Family::NoSocial, 40);
+        assert_eq!(committed, 40);
+        assert_eq!(failed, 0);
+    }
+
+    #[test]
+    fn social_commits_all() {
+        let (committed, failed) = run(Family::Social, 40);
+        assert_eq!(committed, 40);
+        assert_eq!(failed, 0);
+    }
+
+    #[test]
+    fn entangled_pairs_commit_together() {
+        let (committed, failed) = run(Family::Entangled, 40);
+        assert_eq!(committed + failed, 40);
+        assert!(committed >= 38, "committed only {committed}");
+        assert_eq!(committed % 2, 0, "entangled txns commit in pairs");
+    }
+
+    #[test]
+    fn reservations_reference_real_flights() {
+        let d = data();
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::Transactional,
+            CostModel::ZERO,
+            false,
+        ));
+        let mut sched = scheduler_for(engine, 1);
+        for p in generate(Family::Entangled, &d, 20, 7) {
+            sched.submit(p);
+        }
+        sched.drain();
+        sched.engine.with_db(|db| {
+            for row in db.canonical_rows("Reserve").unwrap() {
+                let fid = row[1].clone();
+                assert!(!fid.is_null(), "reservation with NULL flight: {row:?}");
+                let hits = db.select_eq("Flight", &[("fid", fid)]).unwrap();
+                assert_eq!(hits.len(), 1, "booked flight must exist");
+            }
+        });
+    }
+
+    #[test]
+    fn query_only_mode_runs_same_programs() {
+        let d = data();
+        let engine =
+            d.build_engine(engine_config(WorkloadMode::QueryOnly, CostModel::ZERO, false));
+        let mut sched = scheduler_for(engine, 4);
+        for p in generate(Family::Entangled, &d, 20, 7) {
+            sched.submit(p);
+        }
+        let stats = sched.drain();
+        assert!(stats.committed >= 18, "{stats:?}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let d = data();
+        let a = generate(Family::Entangled, &d, 10, 3);
+        let b = generate(Family::Entangled, &d, 10, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.statements, y.statements);
+        }
+    }
+}

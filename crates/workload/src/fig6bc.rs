@@ -1,0 +1,262 @@
+//! Workload builders for Figure 6(b) (pending transactions) and
+//! Figure 6(c) (entanglement complexity: spoke-hub and cyclic structures).
+
+use crate::travel::{city, TravelData};
+use entangled_txn::Program;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Figure 6(b): pending transactions
+// ---------------------------------------------------------------------
+
+/// An entangled transaction whose partner never arrives: its query
+/// pattern names a user id that no transaction ever contributes, so every
+/// evaluation ends in `NoPartner` and the transaction returns to the
+/// dormant pool — a *pending* transaction in the paper's sense.
+pub fn partnerless_program(me: usize, ghost: usize, dest: &str, timeout: Duration) -> Program {
+    Program::parse(&format!(
+        "BEGIN TRANSACTION WITH TIMEOUT {} MS; \
+         SELECT {me} AS @uid INTO ANSWER Reserve \
+         WHERE ({me}) IN (SELECT uid FROM User WHERE uid={me}) \
+         AND ({ghost}, '{dest}') IN ANSWER Reserve CHOOSE 1; \
+         INSERT INTO Reserve (uid, fid) VALUES (@uid, 0); \
+         COMMIT;",
+        timeout.as_millis()
+    ))
+    .expect("static workload template")
+}
+
+/// A Figure 6(b) experiment plan: `pairs` coordinating transactions (as
+/// per-run batches of `f` arrivals driven by the caller) plus `p`
+/// partner-less transactions that stay pending across every run.
+#[derive(Debug)]
+pub struct PendingPlan {
+    /// Long-lived pending transactions (submit once, first).
+    pub pending: Vec<Program>,
+    /// Coordinating transactions in submission order (pairs adjacent).
+    pub paired: Vec<Program>,
+}
+
+/// Build the plan. Ghost partner ids start beyond the user range so they
+/// can never be satisfied.
+pub fn pending_plan(data: &TravelData, total_paired: usize, p: usize, seed: u64) -> PendingPlan {
+    let users = data.params.users;
+    let long = Duration::from_secs(3600);
+    let pending = (0..p)
+        .map(|i| partnerless_program(i % users, users + 1 + i, &city(0), long))
+        .collect();
+    let paired = crate::fig6a::generate(crate::fig6a::Family::Entangled, data, total_paired, seed);
+    PendingPlan { pending, paired }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6(c): entanglement complexity
+// ---------------------------------------------------------------------
+
+/// Coordination structure (§5.2.2, "Entanglement Complexity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// One hub transaction with `k-1` entangled queries, each entangling
+    /// with a different spoke on its own answer relation.
+    SpokeHub,
+    /// `k` transactions in a cyclic dependency on one shared answer
+    /// relation: i requires i+1's tuple (mod k) — the whole set must be
+    /// answered as one coordinating set.
+    Cyclic,
+}
+
+impl Structure {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Structure::SpokeHub => "Spoke-hub",
+            Structure::Cyclic => "Cycle",
+        }
+    }
+}
+
+fn flight_body(dest: &str) -> String {
+    format!("fid IN (SELECT fid FROM Flight WHERE destination='{dest}')")
+}
+
+/// One spoke-hub group of coordinating-set size `k` (hub + k−1 spokes).
+/// `gid` namespaces the answer relations so groups stay independent.
+pub fn spoke_hub_group(gid: usize, k: usize, dest: &str, timeout: Duration) -> Vec<Program> {
+    assert!(k >= 2);
+    let mut out = Vec::with_capacity(k);
+    // Hub: one entangled query per spoke, then a booking.
+    let mut hub = format!("BEGIN TRANSACTION WITH TIMEOUT {} MS; ", timeout.as_millis());
+    for s in 1..k {
+        hub.push_str(&format!(
+            "SELECT 'hub{gid}', fid AS @fid{s} INTO ANSWER Spoke{gid}x{s} \
+             WHERE {body} AND ('spoke{gid}x{s}', fid) IN ANSWER Spoke{gid}x{s} CHOOSE 1; ",
+            body = flight_body(dest),
+        ));
+    }
+    hub.push_str(&format!(
+        "INSERT INTO Reserve (uid, fid) VALUES ({gid}, @fid1); COMMIT;"
+    ));
+    out.push(Program::parse(&hub).expect("static template"));
+    // Spokes: one entangled query each.
+    for s in 1..k {
+        let spoke = format!(
+            "BEGIN TRANSACTION WITH TIMEOUT {} MS; \
+             SELECT 'spoke{gid}x{s}', fid AS @fid INTO ANSWER Spoke{gid}x{s} \
+             WHERE {body} AND ('hub{gid}', fid) IN ANSWER Spoke{gid}x{s} CHOOSE 1; \
+             INSERT INTO Reserve (uid, fid) VALUES ({uid}, @fid); COMMIT;",
+            timeout.as_millis(),
+            body = flight_body(dest),
+            uid = gid * 100 + s,
+        );
+        out.push(Program::parse(&spoke).expect("static template"));
+    }
+    out
+}
+
+/// One cyclic group of size `k` on a shared answer relation.
+pub fn cyclic_group(gid: usize, k: usize, dest: &str, timeout: Duration) -> Vec<Program> {
+    assert!(k >= 2);
+    (0..k)
+        .map(|i| {
+            let next = (i + 1) % k;
+            Program::parse(&format!(
+                "BEGIN TRANSACTION WITH TIMEOUT {} MS; \
+                 SELECT 'm{gid}x{i}', fid AS @fid INTO ANSWER Cyc{gid} \
+                 WHERE {body} AND ('m{gid}x{next}', fid) IN ANSWER Cyc{gid} CHOOSE 1; \
+                 INSERT INTO Reserve (uid, fid) VALUES ({uid}, @fid); COMMIT;",
+                timeout.as_millis(),
+                body = flight_body(dest),
+                uid = gid * 100 + i,
+            ))
+            .expect("static template")
+        })
+        .collect()
+}
+
+/// Generate `groups` coordination groups of size `k` with the given
+/// structure, destinations rotating over the data's cities.
+pub fn generate_structured(
+    structure: Structure,
+    data: &TravelData,
+    groups: usize,
+    k: usize,
+    timeout: Duration,
+) -> Vec<Program> {
+    let mut out = Vec::with_capacity(groups * k);
+    for g in 0..groups {
+        // Pick a destination that exists in the flight table.
+        let dest = city(data.flights[g % data.flights.len()].1);
+        let batch = match structure {
+            Structure::SpokeHub => spoke_hub_group(g, k, &dest, timeout),
+            Structure::Cyclic => cyclic_group(g, k, &dest, timeout),
+        };
+        out.extend(batch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::SocialGraph;
+    use crate::travel::{engine_config, scheduler_for, TravelParams, WorkloadMode};
+    use entangled_txn::CostModel;
+
+    fn data() -> TravelData {
+        let params = TravelParams { users: 40, cities: 4, flights: 60, seed: 8 };
+        TravelData::generate(params, SocialGraph::slashdot_like(40, 8))
+    }
+
+    fn run_all(programs: Vec<Program>, connections: usize) -> entangled_txn::Stats {
+        let d = data();
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::Transactional,
+            CostModel::ZERO,
+            false,
+        ));
+        let mut sched = scheduler_for(engine, connections);
+        for p in programs {
+            sched.submit(p);
+        }
+        sched.drain()
+    }
+
+    #[test]
+    fn partnerless_transactions_stay_pending() {
+        let d = data();
+        let plan = pending_plan(&d, 0, 5, 1);
+        assert_eq!(plan.pending.len(), 5);
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::Transactional,
+            CostModel::ZERO,
+            false,
+        ));
+        let mut sched = scheduler_for(engine, 2);
+        for p in plan.pending {
+            sched.submit(p);
+        }
+        let r = sched.run_once();
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.returned_to_pool, 5, "{r:?}");
+        assert_eq!(sched.pool_len(), 5);
+    }
+
+    #[test]
+    fn spoke_hub_group_commits_fully() {
+        for k in [2usize, 4] {
+            let d = data();
+            let progs = spoke_hub_group(0, k, &city(d.flights[0].1), Duration::from_secs(20));
+            assert_eq!(progs.len(), k);
+            assert_eq!(progs[0].entangled_query_count(), k - 1, "hub has k-1 queries");
+            let stats = run_all(progs, 2);
+            assert_eq!(stats.committed, k, "k={k}");
+            assert_eq!(stats.failed, 0);
+        }
+    }
+
+    #[test]
+    fn cyclic_group_commits_fully() {
+        for k in [2usize, 3, 5] {
+            let stats = run_all(
+                cyclic_group(1, k, &city(data().flights[0].1), Duration::from_secs(20)),
+                2,
+            );
+            assert_eq!(stats.committed, k, "k={k}");
+            assert_eq!(stats.failed, 0);
+        }
+    }
+
+    #[test]
+    fn structured_batches_scale() {
+        let d = data();
+        for structure in [Structure::SpokeHub, Structure::Cyclic] {
+            let progs = generate_structured(structure, &d, 3, 3, Duration::from_secs(20));
+            assert_eq!(progs.len(), 9);
+            let stats = run_all(progs, 4);
+            assert_eq!(stats.committed, 9, "{}", structure.label());
+        }
+    }
+
+    #[test]
+    fn pending_plan_mixes_pairs_and_pending() {
+        let mut d = data();
+        d.align_pair_hometowns(2);
+        let plan = pending_plan(&d, 8, 3, 2);
+        assert_eq!(plan.paired.len(), 8);
+        assert_eq!(plan.pending.len(), 3);
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::Transactional,
+            CostModel::ZERO,
+            false,
+        ));
+        let mut sched = scheduler_for(engine, 2);
+        for p in plan.pending {
+            sched.submit(p);
+        }
+        for p in plan.paired {
+            sched.submit(p);
+        }
+        let r = sched.run_once();
+        assert_eq!(r.committed, 8, "{r:?}");
+        assert_eq!(sched.pool_len(), 3, "pending remain pooled");
+    }
+}

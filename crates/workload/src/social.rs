@@ -1,0 +1,215 @@
+//! Synthetic social graph standing in for the Slashdot `soc-Slashdot0902`
+//! dataset [1] the paper uses.
+//!
+//! The experiments use the graph only to pick *friend pairs/sets* that
+//! coordinate, so any heavy-tailed friendship graph with the same selection
+//! procedure exercises identical code paths (see DESIGN.md, substitution
+//! table). We generate a preferential-attachment graph parameterised to
+//! Slashdot-like statistics (average degree ≈ 12 at full scale), seeded and
+//! fully deterministic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// An undirected social graph over users `0..n`.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// Preferential attachment (Barabási–Albert style): each new node
+    /// attaches to `m` existing nodes chosen proportionally to degree.
+    pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> SocialGraph {
+        assert!(n >= 2, "need at least two users");
+        let m = m.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Degree-proportional sampling via a repeated-endpoint urn.
+        let mut urn: Vec<u32> = Vec::with_capacity(2 * n * m);
+        let mut edge_count = 0usize;
+        // Seed edge.
+        adj[0].push(1);
+        adj[1].push(0);
+        urn.extend([0, 1]);
+        edge_count += 1;
+        for v in 2..n {
+            let mut targets = Vec::with_capacity(m);
+            let mut guard = 0;
+            while targets.len() < m.min(v) && guard < 100 {
+                guard += 1;
+                let pick = urn[rng.gen_range(0..urn.len())];
+                if pick as usize != v && !targets.contains(&pick) {
+                    targets.push(pick);
+                }
+            }
+            for &t in &targets {
+                adj[v].push(t);
+                adj[t as usize].push(v as u32);
+                urn.extend([v as u32, t]);
+                edge_count += 1;
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        SocialGraph { adj, edge_count }
+    }
+
+    /// Slashdot-like parameterisation: m = 6 → average degree ≈ 12,
+    /// matching soc-Slashdot0902's 82k nodes / 948k edges ratio.
+    pub fn slashdot_like(n: usize, seed: u64) -> SocialGraph {
+        SocialGraph::preferential_attachment(n, 6, seed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    pub fn friends(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    pub fn are_friends(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// A deterministic random friend of `u`.
+    pub fn random_friend(&self, u: u32, rng: &mut StdRng) -> Option<u32> {
+        let fs = self.friends(u);
+        if fs.is_empty() {
+            None
+        } else {
+            Some(fs[rng.gen_range(0..fs.len())])
+        }
+    }
+
+    /// Disjoint friend pairs covering as many users as possible — the
+    /// paper's batches are "designed so that each transaction would find a
+    /// coordination partner within the same batch".
+    pub fn disjoint_friend_pairs(&self, limit: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.len() as u32;
+        let mut used = vec![false; self.len()];
+        let mut order: Vec<u32> = (0..n).collect();
+        // Fisher-Yates for an unbiased deterministic order.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut pairs = Vec::new();
+        for u in order {
+            if pairs.len() >= limit {
+                break;
+            }
+            if used[u as usize] {
+                continue;
+            }
+            if let Some(v) = self
+                .friends(u)
+                .iter()
+                .copied()
+                .find(|&v| !used[v as usize])
+            {
+                used[u as usize] = true;
+                used[v as usize] = true;
+                pairs.push((u, v));
+            }
+        }
+        pairs
+    }
+
+    /// Average degree (diagnostics; heavy-tail sanity checks in tests).
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.edge_count as f64 / self.len() as f64
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SocialGraph::slashdot_like(500, 42);
+        let b = SocialGraph::slashdot_like(500, 42);
+        assert_eq!(a.adj, b.adj);
+        let c = SocialGraph::slashdot_like(500, 43);
+        assert_ne!(a.adj, c.adj);
+    }
+
+    #[test]
+    fn slashdot_like_degree_statistics() {
+        let g = SocialGraph::slashdot_like(2000, 7);
+        let avg = g.avg_degree();
+        assert!((8.0..16.0).contains(&avg), "avg degree {avg}");
+        // Heavy tail: max degree far above average.
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "max {} vs avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_deduped() {
+        let g = SocialGraph::slashdot_like(300, 1);
+        for u in 0..g.len() as u32 {
+            for &v in g.friends(u) {
+                assert!(g.are_friends(v, u), "{u}-{v} asymmetric");
+                assert_ne!(u, v, "self loop");
+            }
+            let f = g.friends(u);
+            let mut d = f.to_vec();
+            d.dedup();
+            assert_eq!(d.len(), f.len(), "duplicate edge at {u}");
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_are_disjoint_friends() {
+        let g = SocialGraph::slashdot_like(400, 3);
+        let pairs = g.disjoint_friend_pairs(100, 9);
+        assert!(pairs.len() >= 50, "got {}", pairs.len());
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in &pairs {
+            assert!(g.are_friends(*u, *v));
+            assert!(seen.insert(*u), "{u} reused");
+            assert!(seen.insert(*v), "{v} reused");
+        }
+    }
+
+    #[test]
+    fn random_friend_is_a_friend() {
+        let g = SocialGraph::slashdot_like(100, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for u in 0..100u32 {
+            if let Some(v) = g.random_friend(u, &mut rng) {
+                assert!(g.are_friends(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_work() {
+        let g = SocialGraph::preferential_attachment(2, 3, 0);
+        assert_eq!(g.len(), 2);
+        assert!(g.are_friends(0, 1));
+    }
+}

@@ -1,0 +1,29 @@
+//! # entangled-transactions
+//!
+//! Umbrella crate for the reproduction of *Entangled Transactions*
+//! (Gupta, Nikolic, Roy, Bender, Kot, Gehrke, Koch — PVLDB 4(7), 2011):
+//! re-exports every layer of the system. See the README for a tour and
+//! DESIGN.md for the paper-to-crate mapping.
+//!
+//! * [`storage`] — in-memory relational engine (tables, indexes, SPJ).
+//! * [`lock`] — Strict 2PL lock manager with deadlock detection.
+//! * [`wal`] — write-ahead log + entanglement-aware recovery.
+//! * [`sql`] — the paper's SQL dialect with entangled-query extensions.
+//! * [`entangle`] — entangled-query engine (IR, grounding, solving).
+//! * [`isolation`] — Appendix C as executable theory (anomalies,
+//!   oracle-serializability, Theorem 3.6 checks).
+//! * [`txn`] — the entangled transaction engine and §4 run scheduler.
+//! * [`workload`] — the §5.2 evaluation workloads.
+
+pub use youtopia_entangle as entangle;
+pub use youtopia_isolation as isolation;
+pub use youtopia_lock as lock;
+pub use youtopia_sql as sql;
+pub use youtopia_storage as storage;
+pub use youtopia_wal as wal;
+pub use youtopia_workload as workload;
+pub use entangled_txn as txn;
+
+pub use entangled_txn::{
+    Engine, EngineConfig, Program, Scheduler, SchedulerConfig, TxnStatus,
+};

@@ -1,0 +1,323 @@
+//! Integration tests reproducing the paper's worked examples end-to-end
+//! through the public API: Figure 1 (mutual constraint satisfaction),
+//! Figure 2 (the two-query travel transaction), Figure 3 (both anomalies
+//! and their prevention), Figure 4 (the three-transaction run).
+
+use entangled_txn::{
+    Engine, EngineConfig, IsolationMode, Program, Scheduler, SchedulerConfig, StepOutcome,
+    TxnStatus,
+};
+use std::sync::Arc;
+use std::time::Duration;
+use youtopia_storage::Value;
+
+fn fig1_engine(config: EngineConfig) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(config));
+    engine
+        .setup(
+            "CREATE TABLE Flights (fno INT, fdate DATE, dest TEXT);
+             CREATE TABLE Airlines (fno INT, airline TEXT);
+             CREATE TABLE Reserve (name TEXT, fno INT);
+             INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+             INSERT INTO Flights VALUES (123, '2011-05-04', 'LA');
+             INSERT INTO Flights VALUES (124, '2011-05-03', 'LA');
+             INSERT INTO Flights VALUES (235, '2011-05-05', 'Paris');
+             INSERT INTO Airlines VALUES (122, 'United');
+             INSERT INTO Airlines VALUES (123, 'United');
+             INSERT INTO Airlines VALUES (124, 'USAir');
+             INSERT INTO Airlines VALUES (235, 'Delta');",
+        )
+        .expect("setup");
+    engine
+}
+
+fn mickey() -> Program {
+    Program::parse(
+        "BEGIN WITH TIMEOUT 10 SECONDS;
+         SELECT 'Mickey', fno AS @fno, fdate INTO ANSWER Reservation
+         WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+         AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1;
+         INSERT INTO Reserve (name, fno) VALUES ('Mickey', @fno);
+         COMMIT;",
+    )
+    .expect("parse")
+}
+
+fn minnie() -> Program {
+    Program::parse(
+        "BEGIN WITH TIMEOUT 10 SECONDS;
+         SELECT 'Minnie', fno AS @fno, fdate INTO ANSWER Reservation
+         WHERE fno, fdate IN (SELECT fno, fdate FROM Flights F, Airlines A
+                              WHERE F.dest='LA' AND F.fno = A.fno AND A.airline = 'United')
+         AND ('Mickey', fno, fdate) IN ANSWER Reservation CHOOSE 1;
+         INSERT INTO Reserve (name, fno) VALUES ('Minnie', @fno);
+         COMMIT;",
+    )
+    .expect("parse")
+}
+
+/// Figure 1: the system must choose flight 122 or 123 (a United LA flight)
+/// for BOTH queries — mutual constraint satisfaction.
+#[test]
+fn figure1_mutual_constraint_satisfaction() {
+    let engine = fig1_engine(EngineConfig::default());
+    let mut sched = Scheduler::new(engine.clone(), SchedulerConfig::default());
+    sched.submit(mickey());
+    sched.submit(minnie());
+    let report = sched.run_once();
+    assert_eq!(report.committed, 2);
+    engine.with_db(|db| {
+        let rows = db.canonical_rows("Reserve").expect("table");
+        assert_eq!(rows.len(), 2);
+        let flights: Vec<i64> = rows.iter().map(|r| r[1].as_int().expect("int")).collect();
+        assert_eq!(flights[0], flights[1], "same flight for both");
+        assert!(
+            flights[0] == 122 || flights[0] == 123,
+            "must be a United LA flight, got {}",
+            flights[0]
+        );
+    });
+}
+
+/// Figure 2: the arrival day flows from the flight answer through
+/// `SET @StayLength = '2011-05-06' - @ArrivalDay` into the hotel
+/// coordination.
+#[test]
+fn figure2_host_variables_thread_between_queries() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    engine
+        .setup(
+            "CREATE TABLE Flights (fno INT, fdate DATE, dest TEXT);
+             CREATE TABLE Hotels (hid INT, location TEXT);
+             CREATE TABLE Rooms (name TEXT, hid INT, nights INT);
+             INSERT INTO Flights VALUES (122, '2011-05-03', 'LA');
+             INSERT INTO Hotels VALUES (7, 'LA');",
+        )
+        .expect("setup");
+    let prog = |me: &str, other: &str| {
+        Program::parse(&format!(
+            "BEGIN WITH TIMEOUT 10 SECONDS;
+             SELECT '{me}', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes
+             WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+             AND ('{other}', fno, fdate) IN ANSWER FlightRes CHOOSE 1;
+             SET @StayLength = '2011-05-06' - @ArrivalDay;
+             SELECT '{me}', hid AS @hid, @ArrivalDay, @StayLength INTO ANSWER HotelRes
+             WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA')
+             AND ('{other}', hid, @ArrivalDay, @StayLength) IN ANSWER HotelRes CHOOSE 1;
+             INSERT INTO Rooms (name, hid, nights) VALUES ('{me}', @hid, @StayLength);
+             COMMIT;"
+        ))
+        .expect("parse")
+    };
+    let mut sched = Scheduler::new(engine.clone(), SchedulerConfig::default());
+    sched.submit(prog("Mickey", "Minnie"));
+    sched.submit(prog("Minnie", "Mickey"));
+    let report = sched.run_once();
+    assert_eq!(report.committed, 2, "{report:?}");
+    engine.with_db(|db| {
+        let rooms = db.canonical_rows("Rooms").expect("table");
+        // Arrival May 3, departure May 6: three nights.
+        assert_eq!(rooms[0][2], Value::Int(3));
+        assert_eq!(rooms[1][2], Value::Int(3));
+        assert_eq!(rooms[0][1], rooms[1][1], "same hotel");
+    });
+}
+
+/// Figure 3(a): Minnie aborts after entangling — Mickey must not commit
+/// (group abort), and the database keeps none of the pair's effects.
+#[test]
+fn figure3a_widow_prevention() {
+    let engine = fig1_engine(EngineConfig::default());
+    let mut sched = Scheduler::new(engine.clone(), SchedulerConfig::default());
+    sched.submit(mickey());
+    sched.submit(
+        Program::parse(
+            "BEGIN WITH TIMEOUT 10 SECONDS;
+             SELECT 'Minnie', fno AS @fno, fdate INTO ANSWER Reservation
+             WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+             AND ('Mickey', fno, fdate) IN ANSWER Reservation CHOOSE 1;
+             ROLLBACK;
+             COMMIT;",
+        )
+        .expect("parse"),
+    );
+    let report = sched.run_once();
+    assert_eq!(report.committed, 0, "widow prevented");
+    engine.with_db(|db| {
+        assert_eq!(db.table("Reserve").expect("t").len(), 0);
+    });
+    // No widowed-transaction anomaly in the recorded history.
+    let schedule = engine.recorder.schedule();
+    let anomalies = youtopia_isolation::find_anomalies(&schedule.expand_quasi_reads());
+    assert!(
+        !anomalies
+            .iter()
+            .any(|a| matches!(a, youtopia_isolation::Anomaly::WidowedTransaction { .. })),
+        "{anomalies:?}"
+    );
+}
+
+/// Figure 3(b): while Minnie's grounding read lock on `Airlines` is held
+/// (Strict 2PL), Donald's insert into `Airlines` must block — exactly the
+/// §3.3.3 prevention argument.
+#[test]
+fn figure3b_grounding_lock_blocks_donalds_write() {
+    let mut cfg = EngineConfig::default();
+    cfg.lock_timeout = Duration::from_millis(80);
+    let engine = fig1_engine(cfg);
+    let mut sched = Scheduler::new(engine.clone(), SchedulerConfig::default());
+    sched.submit(mickey());
+    sched.submit(minnie());
+    // Run Mickey & Minnie only through their entangled query evaluation by
+    // injecting Donald DURING the run: simplest faithful variant — after
+    // the pair commits, locks are gone; so instead check at engine level.
+    let _ = sched;
+
+    // Engine-level: evaluate the pair's queries (grounding locks taken),
+    // then try Donald's write before commit.
+    let engine = fig1_engine(EngineConfig {
+        lock_timeout: Duration::from_millis(80),
+        ..EngineConfig::default()
+    });
+    let mut t1 = entangled_txn::Txn::new(
+        entangled_txn::ClientId(1),
+        engine.alloc_tx(),
+        mickey(),
+    );
+    let mut t2 = entangled_txn::Txn::new(
+        entangled_txn::ClientId(2),
+        engine.alloc_tx(),
+        minnie(),
+    );
+    engine.begin(&t1);
+    engine.begin(&t2);
+    assert_eq!(engine.run_until_block(&mut t1), StepOutcome::Blocked);
+    assert_eq!(engine.run_until_block(&mut t2), StepOutcome::Blocked);
+    let report = engine.evaluate_queries(&mut [&mut t1, &mut t2]);
+    assert_eq!(report.answered, 2);
+
+    // Donald tries to add flight 125 on United (the Fig. 3(b) write).
+    let mut donald = entangled_txn::Txn::new(
+        entangled_txn::ClientId(3),
+        engine.alloc_tx(),
+        Program::parse(
+            "BEGIN; INSERT INTO Airlines (fno, airline) VALUES (125, 'United'); COMMIT;",
+        )
+        .expect("parse"),
+    );
+    engine.begin(&donald);
+    assert_eq!(
+        engine.run_until_block(&mut donald),
+        StepOutcome::Aborted,
+        "Donald must block on Minnie's grounding lock and time out"
+    );
+    assert!(matches!(
+        donald.status,
+        TxnStatus::Aborted(entangled_txn::EngineError::Lock(_))
+    ));
+
+    // After the pair commits, Donald's retry succeeds.
+    engine.run_until_block(&mut t1);
+    engine.run_until_block(&mut t2);
+    engine.commit_group(&mut [&mut t1, &mut t2]);
+    let mut donald2 = entangled_txn::Txn::new(
+        entangled_txn::ClientId(4),
+        engine.alloc_tx(),
+        Program::parse(
+            "BEGIN; INSERT INTO Airlines (fno, airline) VALUES (125, 'United'); COMMIT;",
+        )
+        .expect("parse"),
+    );
+    engine.begin(&donald2);
+    assert_eq!(engine.run_until_block(&mut donald2), StepOutcome::Ready);
+    engine.commit_group(&mut [&mut donald2]);
+}
+
+/// Under the relaxed isolation mode (read locks released early), Donald's
+/// write goes through mid-entanglement and the recorded history exhibits
+/// the unrepeatable quasi-read as a conflict cycle.
+#[test]
+fn figure3b_relaxed_mode_admits_the_anomaly() {
+    let engine = fig1_engine(EngineConfig {
+        isolation: IsolationMode::EarlyReadLockRelease,
+        ..EngineConfig::default()
+    });
+    // Mickey grounds on Flights only, then explicitly reads Airlines after
+    // entanglement (his §3.3.3 "check which flights United operates").
+    let mickey_checks = Program::parse(
+        "BEGIN WITH TIMEOUT 10 SECONDS;
+         SELECT 'Mickey', fno AS @fno, fdate INTO ANSWER Reservation
+         WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+         AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1;
+         SELECT * FROM Airlines WHERE airline = 'United';
+         COMMIT;",
+    )
+    .expect("parse");
+    let mut t1 = entangled_txn::Txn::new(entangled_txn::ClientId(1), engine.alloc_tx(), mickey_checks);
+    let mut t2 = entangled_txn::Txn::new(entangled_txn::ClientId(2), engine.alloc_tx(), minnie());
+    engine.begin(&t1);
+    engine.begin(&t2);
+    engine.run_until_block(&mut t1);
+    engine.run_until_block(&mut t2);
+    let report = engine.evaluate_queries(&mut [&mut t1, &mut t2]);
+    assert_eq!(report.answered, 2);
+
+    // Donald's write lands between Minnie's grounding read and Mickey's
+    // explicit read — possible because read locks were released early.
+    let mut donald = entangled_txn::Txn::new(
+        entangled_txn::ClientId(3),
+        engine.alloc_tx(),
+        Program::parse(
+            "BEGIN; INSERT INTO Airlines (fno, airline) VALUES (125, 'United'); COMMIT;",
+        )
+        .expect("parse"),
+    );
+    engine.begin(&donald);
+    assert_eq!(engine.run_until_block(&mut donald), StepOutcome::Ready);
+    engine.commit_group(&mut [&mut donald]);
+
+    // Mickey resumes and reads Airlines: unrepeatable quasi-read.
+    assert_eq!(engine.run_until_block(&mut t1), StepOutcome::Ready);
+    assert_eq!(engine.run_until_block(&mut t2), StepOutcome::Ready);
+    engine.commit_group(&mut [&mut t1, &mut t2]);
+
+    let schedule = engine.recorder.schedule();
+    schedule.validate().expect("valid");
+    assert!(
+        !youtopia_isolation::is_entangled_isolated(&schedule),
+        "the relaxed mode must exhibit the Fig. 3(b) anomaly:\n{schedule}"
+    );
+}
+
+/// Figure 4 at the scheduler level with several connection counts.
+#[test]
+fn figure4_run_walkthrough_any_connection_count() {
+    for connections in [1usize, 3] {
+        let engine = fig1_engine(EngineConfig::default());
+        let mut sched = Scheduler::new(
+            engine.clone(),
+            SchedulerConfig { connections, ..SchedulerConfig::default() },
+        );
+        sched.submit(mickey());
+        sched.submit(
+            Program::parse(
+                "BEGIN WITH TIMEOUT 300 MS;
+                 SELECT 'Donald', fno AS @fno, fdate INTO ANSWER Reservation
+                 WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA')
+                 AND ('Daffy', fno, fdate) IN ANSWER Reservation CHOOSE 1;
+                 INSERT INTO Reserve (name, fno) VALUES ('Donald', @fno);
+                 COMMIT;",
+            )
+            .expect("parse"),
+        );
+        let r1 = sched.run_once();
+        assert_eq!(r1.committed, 0, "c={connections}");
+        sched.submit(minnie());
+        let r2 = sched.run_once();
+        assert_eq!(r2.committed, 2, "c={connections}: {r2:?}");
+        std::thread::sleep(Duration::from_millis(320));
+        let stats = sched.drain();
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.failed, 1, "Donald times out");
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate system tests: isolation audits of real concurrent
+//! executions, end-to-end crash recovery, and oracle-based solo execution
+//! (Assumption 3.5) against the same data the scheduler uses.
+
+use entangled_txn::{
+    run_with_oracle, ClientId, Engine, EngineConfig, GroundingOracle, IsolationMode, Program,
+    Scheduler, SchedulerConfig, Txn, TxnStatus,
+};
+use std::sync::Arc;
+use youtopia_isolation::{find_anomalies, is_entangled_isolated, Anomaly, ConflictGraph};
+use youtopia_workload::{
+    engine_config, generate, scheduler_for, Family, SocialGraph, TravelData, TravelParams,
+    WorkloadMode,
+};
+
+fn small_data(seed: u64) -> TravelData {
+    let params = TravelParams { users: 60, cities: 5, flights: 80, seed };
+    let mut d = TravelData::generate(params, SocialGraph::slashdot_like(60, seed));
+    d.align_pair_hometowns(seed);
+    d
+}
+
+/// Every mixed concurrent execution must produce an entangled-isolated
+/// history whose conflict graph admits a serialization order (the engine
+/// enforces what Appendix C demands).
+#[test]
+fn concurrent_histories_are_entangled_isolated() {
+    for seed in [1u64, 2, 3] {
+        let d = small_data(seed);
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::Transactional,
+            entangled_txn::CostModel::ZERO,
+            true,
+        ));
+        let mut sched = scheduler_for(engine, 6);
+        for p in generate(Family::Entangled, &d, 30, seed) {
+            sched.submit(p);
+        }
+        for p in generate(Family::Social, &d, 10, seed) {
+            sched.submit(p);
+        }
+        sched.drain();
+        let schedule = sched.engine.recorder.schedule();
+        schedule.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid history {e}"));
+        let anomalies = find_anomalies(&schedule.expand_quasi_reads());
+        assert!(anomalies.is_empty(), "seed {seed}: {anomalies:?}");
+        // A serialization order exists (Theorem 3.6's conclusion).
+        let graph = ConflictGraph::build(&schedule.expand_quasi_reads());
+        assert!(graph.topological_order().is_some(), "seed {seed}");
+    }
+}
+
+/// Disabling group commit (ablation Ab2) and injecting a rolling-back
+/// partner yields a widowed transaction, visible in the audit.
+#[test]
+fn widow_ablation_is_caught_by_audit() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        isolation: IsolationMode::AllowWidows,
+        ..EngineConfig::default()
+    }));
+    engine
+        .setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);
+             CREATE TABLE Reserve (name TEXT, fno INT);
+             INSERT INTO Flights VALUES (1, 'LA');",
+        )
+        .expect("setup");
+    let mut sched = Scheduler::new(engine.clone(), SchedulerConfig::default());
+    sched.submit(
+        Program::parse(
+            "BEGIN; SELECT 'A', fno AS @f INTO ANSWER R
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA')
+             AND ('B', fno) IN ANSWER R CHOOSE 1;
+             INSERT INTO Reserve (name, fno) VALUES ('A', @f); COMMIT;",
+        )
+        .expect("parse"),
+    );
+    sched.submit(
+        Program::parse(
+            "BEGIN; SELECT 'B', fno INTO ANSWER R
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA')
+             AND ('A', fno) IN ANSWER R CHOOSE 1;
+             ROLLBACK; COMMIT;",
+        )
+        .expect("parse"),
+    );
+    let report = sched.run_once();
+    assert_eq!(report.committed, 1, "survivor commits under AllowWidows");
+    let schedule = engine.recorder.schedule();
+    let anomalies = find_anomalies(&schedule.expand_quasi_reads());
+    assert!(
+        anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::WidowedTransaction { .. })),
+        "{anomalies:?}"
+    );
+}
+
+/// End-to-end durability: run a workload, crash, recover — the database
+/// matches its pre-crash canonical state exactly.
+#[test]
+fn crash_after_workload_preserves_all_committed_state() {
+    let d = small_data(9);
+    let engine = d.build_engine(engine_config(
+        WorkloadMode::Transactional,
+        entangled_txn::CostModel::ZERO,
+        false,
+    ));
+    let mut sched = scheduler_for(engine, 4);
+    for p in generate(Family::Entangled, &d, 30, 9) {
+        sched.submit(p);
+    }
+    for p in generate(Family::NoSocial, &d, 10, 9) {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+    assert!(stats.committed >= 36, "{stats:?}");
+    let before = sched.engine.with_db(|db| db.canonical());
+    let widowed = sched.engine.crash_and_recover();
+    assert!(widowed.is_empty(), "engine never half-commits a group");
+    let after = sched.engine.with_db(|db| db.canonical());
+    assert_eq!(before, after, "recovery must reproduce the pre-crash state");
+}
+
+/// Assumption 3.5 (oracle consistency) on workload data: any entangled
+/// program from the generator can execute alone with a valid oracle and
+/// leaves consistent bookings.
+#[test]
+fn workload_programs_run_solo_with_grounding_oracle() {
+    let d = small_data(4);
+    let engine = d.build_engine(engine_config(
+        WorkloadMode::Transactional,
+        entangled_txn::CostModel::ZERO,
+        true,
+    ));
+    let programs = generate(Family::Entangled, &d, 6, 4);
+    let mut committed = 0;
+    for p in programs {
+        let mut txn = Txn::new(ClientId(99), engine.alloc_tx(), p);
+        if run_with_oracle(&engine, &mut txn, &mut GroundingOracle).is_ok() {
+            assert_eq!(txn.status, TxnStatus::Committed);
+            committed += 1;
+        }
+    }
+    assert!(committed >= 4, "most solo executions succeed: {committed}");
+    engine.with_db(|db| {
+        for row in db.canonical_rows("Reserve").expect("table") {
+            let hits = db.select_eq("Flight", &[("fid", row[1].clone())]).expect("q");
+            assert_eq!(hits.len(), 1, "oracle answers kept bookings consistent");
+        }
+    });
+    // Oracle executions leave valid, isolated histories too.
+    let schedule = engine.recorder.schedule();
+    schedule.validate().expect("valid");
+    assert!(is_entangled_isolated(&schedule));
+}
+
+/// The six Figure 6(a) workload variants all complete on a shared engine
+/// configuration matrix (the evaluation's precondition).
+#[test]
+fn all_six_workload_variants_complete() {
+    let d = small_data(6);
+    for family in Family::ALL {
+        for mode in [WorkloadMode::Transactional, WorkloadMode::QueryOnly] {
+            let engine =
+                d.build_engine(engine_config(mode, entangled_txn::CostModel::ZERO, false));
+            let mut sched = scheduler_for(engine, 4);
+            for p in generate(family, &d, 20, 6) {
+                sched.submit(p);
+            }
+            let stats = sched.drain();
+            assert!(
+                stats.committed >= 18,
+                "{}-{:?}: {stats:?}",
+                family.label(),
+                mode
+            );
+        }
+    }
+}
