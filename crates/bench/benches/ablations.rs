@@ -14,20 +14,45 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| run_ablated(&scale, None, Family::Entangled, 50))
     });
     group.bench_function("ab2-group-commit-off", |b| {
-        b.iter(|| run_ablated(&scale, Some(Ablation::GroupCommitOff), Family::Entangled, 50))
+        b.iter(|| {
+            run_ablated(
+                &scale,
+                Some(Ablation::GroupCommitOff),
+                Family::Entangled,
+                50,
+            )
+        })
     });
     group.bench_function("ab3-general-solver", |b| {
-        b.iter(|| run_ablated(&scale, Some(Ablation::SolverGeneralOnly), Family::Entangled, 50))
+        b.iter(|| {
+            run_ablated(
+                &scale,
+                Some(Ablation::SolverGeneralOnly),
+                Family::Entangled,
+                50,
+            )
+        })
     });
     group.bench_function("ab4-table-locks-nosocial", |b| {
-        b.iter(|| run_ablated(&scale, Some(Ablation::TableGranularity), Family::NoSocial, 50))
+        b.iter(|| {
+            run_ablated(
+                &scale,
+                Some(Ablation::TableGranularity),
+                Family::NoSocial,
+                50,
+            )
+        })
     });
     group.bench_function("ab4-row-locks-nosocial", |b| {
         b.iter(|| run_ablated(&scale, None, Family::NoSocial, 50))
     });
     // Ab1: run trigger — f=1 vs f=50 at fixed pending load.
-    group.bench_function("ab1-trigger-f1", |b| b.iter(|| run_fig6b(&scale, 10, 1, 50)));
-    group.bench_function("ab1-trigger-f50", |b| b.iter(|| run_fig6b(&scale, 10, 50, 50)));
+    group.bench_function("ab1-trigger-f1", |b| {
+        b.iter(|| run_fig6b(&scale, 10, 1, 50))
+    });
+    group.bench_function("ab1-trigger-f50", |b| {
+        b.iter(|| run_fig6b(&scale, 10, 50, 50))
+    });
     group.finish();
 }
 

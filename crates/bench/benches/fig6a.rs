@@ -17,10 +17,7 @@ fn bench_fig6a(c: &mut Criterion) {
             (WorkloadMode::QueryOnly, "Q"),
         ] {
             for connections in [10usize, 100] {
-                let id = BenchmarkId::new(
-                    format!("{}-{}", family.label(), suffix),
-                    connections,
-                );
+                let id = BenchmarkId::new(format!("{}-{}", family.label(), suffix), connections);
                 group.bench_with_input(id, &connections, |b, &conns| {
                     b.iter(|| run_fig6a(&scale, family, mode, conns));
                 });

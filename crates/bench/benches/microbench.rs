@@ -16,7 +16,8 @@ fn flights_db(n: i64) -> Database {
     )
     .unwrap();
     for i in 0..n {
-        db.insert("Flights", vec![Value::Int(i), Value::str("LA")]).unwrap();
+        db.insert("Flights", vec![Value::Int(i), Value::str("LA")])
+            .unwrap();
     }
     db
 }
@@ -31,7 +32,9 @@ fn bench_entangle(c: &mut Criterion) {
                  WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
                  AND ('{other}', fno) IN ANSWER R CHOOSE 1"
             );
-            let Statement::Entangled(eq) = parse_statement(&sql).unwrap() else { panic!() };
+            let Statement::Entangled(eq) = parse_statement(&sql).unwrap() else {
+                panic!()
+            };
             from_ast(&eq, &VarEnv::new()).unwrap()
         };
         let (a, b) = (q("Mickey", "Minnie"), q("Minnie", "Mickey"));
@@ -40,8 +43,14 @@ fn bench_entangle(c: &mut Criterion) {
                 let ga = ground(&db, &a, &VarEnv::new()).unwrap();
                 let gb = ground(&db, &b, &VarEnv::new()).unwrap();
                 let inputs = vec![
-                    SolveInput { ir: &a, grounding: &ga },
-                    SolveInput { ir: &b, grounding: &gb },
+                    SolveInput {
+                        ir: &a,
+                        grounding: &ga,
+                    },
+                    SolveInput {
+                        ir: &b,
+                        grounding: &gb,
+                    },
                 ];
                 solve(&inputs, &SolverConfig::default())
             });
@@ -57,8 +66,10 @@ fn bench_locks(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let tx = TxId(i);
-            lm.lock(tx, Resource::table("flights"), LockMode::S, None).unwrap();
-            lm.lock(tx, Resource::row("reserve", i), LockMode::X, None).unwrap();
+            lm.lock(tx, Resource::table("flights"), LockMode::S, None)
+                .unwrap();
+            lm.lock(tx, Resource::row("reserve", i), LockMode::X, None)
+                .unwrap();
             lm.unlock_all(tx);
         });
     });

@@ -63,7 +63,11 @@ fn fig6a(out: &mut impl Write, scale: &Scale) {
     ];
     write!(out, "{:>12}", "connections").unwrap();
     for (f, m) in &series {
-        let suffix = if *m == WorkloadMode::Transactional { "T" } else { "Q" };
+        let suffix = if *m == WorkloadMode::Transactional {
+            "T"
+        } else {
+            "Q"
+        };
         write!(out, " {:>12}", format!("{}-{}", f.label(), suffix)).unwrap();
     }
     writeln!(out).unwrap();
@@ -141,13 +145,29 @@ fn fig6c(out: &mut impl Write, scale: &Scale) {
 
 /// Ablations Ab1–Ab4 (DESIGN.md).
 fn ablations(out: &mut impl Write, scale: &Scale) {
-    writeln!(out, "# Ablations (Entangled-T unless noted; seconds; committed/total)").unwrap();
+    writeln!(
+        out,
+        "# Ablations (Entangled-T unless noted; seconds; committed/total)"
+    )
+    .unwrap();
     let total = scale.txns;
     let rows: Vec<(&str, Option<Ablation>, Family)> = vec![
         ("baseline (Entangled-T)", None, Family::Entangled),
-        ("group commit OFF (Ab2)", Some(Ablation::GroupCommitOff), Family::Entangled),
-        ("general solver only (Ab3)", Some(Ablation::SolverGeneralOnly), Family::Entangled),
-        ("table locks, NoSocial (Ab4)", Some(Ablation::TableGranularity), Family::NoSocial),
+        (
+            "group commit OFF (Ab2)",
+            Some(Ablation::GroupCommitOff),
+            Family::Entangled,
+        ),
+        (
+            "general solver only (Ab3)",
+            Some(Ablation::SolverGeneralOnly),
+            Family::Entangled,
+        ),
+        (
+            "table locks, NoSocial (Ab4)",
+            Some(Ablation::TableGranularity),
+            Family::NoSocial,
+        ),
         ("row locks, NoSocial (Ab4 ref)", None, Family::NoSocial),
     ];
     for (label, ab, fam) in rows {
@@ -163,7 +183,12 @@ fn ablations(out: &mut impl Write, scale: &Scale) {
     // The structural negative result: table locks + entangled pairs.
     let mut tiny = *scale;
     tiny.txns = 4;
-    let p = run_ablated(&tiny, Some(Ablation::TableGranularity), Family::Entangled, 8);
+    let p = run_ablated(
+        &tiny,
+        Some(Ablation::TableGranularity),
+        Family::Entangled,
+        8,
+    );
     writeln!(
         out,
         "{:>32}: {:>8.3}s  {}/4  (livelock by design — see EXPERIMENTS.md)",

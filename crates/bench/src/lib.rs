@@ -7,14 +7,13 @@
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 use entangled_txn::{
-    CostModel, EngineConfig, IsolationMode, LockGranularity, RunTrigger, Scheduler,
-    SchedulerConfig,
+    CostModel, EngineConfig, IsolationMode, LockGranularity, RunTrigger, Scheduler, SchedulerConfig,
 };
-use youtopia_entangle::SolverConfig;
 use std::time::{Duration, Instant};
+use youtopia_entangle::SolverConfig;
 use youtopia_workload::{
-    engine_config, generate, generate_structured, pending_plan, scheduler_for, Family,
-    SocialGraph, Structure, TravelData, TravelParams, WorkloadMode,
+    engine_config, generate, generate_structured, pending_plan, scheduler_for, Family, SocialGraph,
+    Structure, TravelData, TravelParams, WorkloadMode,
 };
 
 /// Experiment scale, trading fidelity for wall-clock time.
@@ -52,7 +51,10 @@ impl Scale {
 
     /// Fuller scale for the `repro --full` run.
     pub fn full() -> Scale {
-        Scale { txns: 3_000, ..Scale::quick() }
+        Scale {
+            txns: 3_000,
+            ..Scale::quick()
+        }
     }
 
     pub fn data(&self) -> TravelData {
@@ -221,7 +223,10 @@ pub fn run_ablated(
     match ablation {
         Some(Ablation::GroupCommitOff) => cfg.isolation = IsolationMode::AllowWidows,
         Some(Ablation::SolverGeneralOnly) => {
-            cfg.solver = SolverConfig { pairwise_fast_path: false, ..SolverConfig::default() }
+            cfg.solver = SolverConfig {
+                pairwise_fast_path: false,
+                ..SolverConfig::default()
+            }
         }
         Some(Ablation::TableGranularity) => cfg.granularity = LockGranularity::Table,
         None => {}

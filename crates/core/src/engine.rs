@@ -14,9 +14,7 @@ use crate::recorder::Recorder;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use youtopia_entangle::{
-    from_ast, ground, solve, QueryIr, QueryOutcome, SolveInput, SolverConfig,
-};
+use youtopia_entangle::{from_ast, ground, solve, QueryIr, QueryOutcome, SolveInput, SolverConfig};
 use youtopia_lock::{LockManager, LockMode, Resource, TxId};
 use youtopia_sql::{
     lower_const_scalar, lower_select, lower_table_cond, parse_script, Statement, VarEnv,
@@ -174,12 +172,25 @@ impl Engine {
                     db.create_table(&name, schema.clone())?;
                     self.wal.append(&LogRecord::CreateTable { name, schema });
                 }
-                Statement::Insert { table, columns, values } => {
+                Statement::Insert {
+                    table,
+                    columns,
+                    values,
+                } => {
                     let row = build_insert_row(&db, &table, &columns, &values, &VarEnv::new())?;
                     let id = db.insert(&table, row.clone())?;
-                    self.wal.append(&LogRecord::Insert { tx: 0, table, row: id.0, values: row });
+                    self.wal.append(&LogRecord::Insert {
+                        tx: 0,
+                        table,
+                        row: id.0,
+                        values: row,
+                    });
                 }
-                _ => return Err(EngineError::Protocol("setup accepts only CREATE TABLE / INSERT")),
+                _ => {
+                    return Err(EngineError::Protocol(
+                        "setup accepts only CREATE TABLE / INSERT",
+                    ))
+                }
             }
         }
         self.wal.append_sync(&LogRecord::Commit { tx: 0 });
@@ -275,7 +286,11 @@ impl Engine {
                 }
                 Ok(())
             }
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 match self.config.granularity {
                     LockGranularity::Table => {
                         self.lock(txn.tx, Resource::table(table), LockMode::X)?
@@ -302,14 +317,21 @@ impl Engine {
                     row: id.0,
                     values: row,
                 });
-                txn.undo.push(Undo::Insert { table: table.clone(), row: id.0 });
+                txn.undo.push(Undo::Insert {
+                    table: table.clone(),
+                    row: id.0,
+                });
                 if self.config.record_history {
                     let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
                     self.recorder.write(txn.tx, table, row);
                 }
                 Ok(())
             }
-            Statement::Update { table, sets, where_clause } => {
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
                 let (pred, set_cols) = {
                     let db = self.db.read();
                     let pred = lower_table_cond(&db, table, where_clause, &txn.env)?;
@@ -317,7 +339,12 @@ impl Engine {
                         .iter()
                         .map(|(c, s)| Ok((db.column_index(table, c)?, s)))
                         .collect::<Result<_, EngineError>>()?;
-                    (pred, cols.into_iter().map(|(i, s)| (i, s.clone())).collect::<Vec<_>>())
+                    (
+                        pred,
+                        cols.into_iter()
+                            .map(|(i, s)| (i, s.clone()))
+                            .collect::<Vec<_>>(),
+                    )
                 };
                 self.lock_for_write_scan(txn.tx, table)?;
                 let targets: Vec<(RowId, Vec<Value>)> = {
@@ -345,16 +372,22 @@ impl Engine {
                         before: old.clone(),
                         after: new,
                     });
-                    txn.undo.push(Undo::Update { table: table.clone(), row: id.0, before: old });
+                    txn.undo.push(Undo::Update {
+                        table: table.clone(),
+                        row: id.0,
+                        before: old,
+                    });
                     if self.config.record_history {
-                        let row =
-                            (self.config.granularity == LockGranularity::Row).then_some(id.0);
+                        let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
                         self.recorder.write(txn.tx, table, row);
                     }
                 }
                 Ok(())
             }
-            Statement::Delete { table, where_clause } => {
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
                 let pred = {
                     let db = self.db.read();
                     lower_table_cond(&db, table, where_clause, &txn.env)?
@@ -380,10 +413,13 @@ impl Engine {
                         row: id.0,
                         before: old.clone(),
                     });
-                    txn.undo.push(Undo::Delete { table: table.clone(), row: id.0, before: old });
+                    txn.undo.push(Undo::Delete {
+                        table: table.clone(),
+                        row: id.0,
+                        before: old,
+                    });
                     if self.config.record_history {
-                        let row =
-                            (self.config.granularity == LockGranularity::Row).then_some(id.0);
+                        let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
                         self.recorder.write(txn.tx, table, row);
                     }
                 }
@@ -395,9 +431,9 @@ impl Engine {
                 Ok(())
             }
             Statement::Rollback => Err(EngineError::RolledBack),
-            Statement::CreateTable { .. } => {
-                Err(EngineError::Protocol("DDL inside transactions is not supported"))
-            }
+            Statement::CreateTable { .. } => Err(EngineError::Protocol(
+                "DDL inside transactions is not supported",
+            )),
             Statement::Begin { .. } | Statement::Commit => {
                 Err(EngineError::Protocol("nested BEGIN/COMMIT"))
             }
@@ -502,7 +538,8 @@ impl Engine {
             for (i, ir) in irs.iter().enumerate() {
                 if let Some(q) = ir {
                     for t in q.tables_read() {
-                        self.locks.release(TxId(blocked[i].tx), &Resource::table(&t));
+                        self.locks
+                            .release(TxId(blocked[i].tx), &Resource::table(&t));
                     }
                 }
             }
@@ -594,8 +631,10 @@ impl Engine {
             }
             if members.len() > 1 && self.config.isolation != IsolationMode::AllowWidows {
                 let gid = self.groups.link(members);
-                self.wal
-                    .append(&LogRecord::EntangleGroup { group: gid, txs: members.clone() });
+                self.wal.append(&LogRecord::EntangleGroup {
+                    group: gid,
+                    txs: members.clone(),
+                });
             }
         }
 
@@ -705,12 +744,12 @@ fn build_insert_row(
         Some(cols) => {
             let mut row = vec![Value::Null; schema.arity()];
             for (c, v) in cols.iter().zip(vals) {
-                let idx = schema
-                    .index_of(c)
-                    .ok_or_else(|| youtopia_storage::StorageError::NoSuchColumn {
+                let idx = schema.index_of(c).ok_or_else(|| {
+                    youtopia_storage::StorageError::NoSuchColumn {
                         table: table.to_string(),
                         column: c.clone(),
-                    })?;
+                    }
+                })?;
                 row[idx] = v;
             }
             Ok(row)
@@ -747,10 +786,9 @@ fn eval_row_scalar(
     use youtopia_sql::Scalar;
     match s {
         Scalar::Lit(v) => Ok(v.clone()),
-        Scalar::HostVar(n) => env
-            .get(n)
-            .cloned()
-            .ok_or_else(|| EngineError::Lower(youtopia_sql::LowerError::UnboundVariable(n.clone()))),
+        Scalar::HostVar(n) => env.get(n).cloned().ok_or_else(|| {
+            EngineError::Lower(youtopia_sql::LowerError::UnboundVariable(n.clone()))
+        }),
         Scalar::Col(c) => {
             let idx = engine.with_db(|db| db.column_index(table, &c.column))?;
             Ok(row[idx].clone())
@@ -830,7 +868,9 @@ mod tests {
         e.with_db(|db| {
             assert_eq!(db.table("Reserve").unwrap().len(), 0);
             assert_eq!(db.table("Flights").unwrap().len(), 3);
-            let la = db.select_eq("Flights", &[("fno", Value::Int(122))]).unwrap();
+            let la = db
+                .select_eq("Flights", &[("fno", Value::Int(122))])
+                .unwrap();
             assert_eq!(la[0].1[2], Value::str("LA"), "update undone");
         });
     }
@@ -913,8 +953,10 @@ mod tests {
 
     #[test]
     fn empty_answer_policy_proceed() {
-        let mut cfg = EngineConfig::default();
-        cfg.empty_answer = EmptyAnswerPolicy::Proceed;
+        let cfg = EngineConfig {
+            empty_answer: EmptyAnswerPolicy::Proceed,
+            ..EngineConfig::default()
+        };
         let e = Engine::new(cfg);
         e.setup(
             "CREATE TABLE Flights (fno INT, dest TEXT);\
@@ -936,21 +978,31 @@ mod tests {
         assert_eq!(report.empty, 2);
         assert_eq!(report.aborted, 0);
         assert_eq!(e.run_until_block(&mut t1), StepOutcome::Ready);
-        assert_eq!(t1.answers, vec![Vec::<Value>::new()], "empty answer recorded");
+        assert_eq!(
+            t1.answers,
+            vec![Vec::<Value>::new()],
+            "empty answer recorded"
+        );
     }
 
     #[test]
     fn lock_conflicts_abort_on_timeout() {
-        let mut cfg = EngineConfig::default();
-        cfg.lock_timeout = Duration::from_millis(10);
+        let cfg = EngineConfig {
+            lock_timeout: Duration::from_millis(10),
+            ..EngineConfig::default()
+        };
         let e = Engine::new(cfg);
-        e.setup("CREATE TABLE T (a INT); INSERT INTO T VALUES (1);").unwrap();
+        e.setup("CREATE TABLE T (a INT); INSERT INTO T VALUES (1);")
+            .unwrap();
         let mut t1 = txn(&e, "BEGIN; UPDATE T SET a = 2; COMMIT;");
         let mut t2 = txn(&e, "BEGIN; SELECT a FROM T; COMMIT;");
         assert_eq!(e.run_until_block(&mut t1), StepOutcome::Ready);
         // t1 holds X on T until commit; t2's S lock times out.
         assert_eq!(e.run_until_block(&mut t2), StepOutcome::Aborted);
-        assert!(matches!(t2.status, TxnStatus::Aborted(EngineError::Lock(_))));
+        assert!(matches!(
+            t2.status,
+            TxnStatus::Aborted(EngineError::Lock(_))
+        ));
         e.commit_group(&mut [&mut t1]);
         // Retry after commit succeeds.
         let mut t3 = txn(&e, "BEGIN; SELECT @a FROM T; COMMIT;");
@@ -961,11 +1013,17 @@ mod tests {
     #[test]
     fn crash_recovery_preserves_committed_loses_uncommitted() {
         let e = engine();
-        let mut t1 = txn(&e, "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;");
+        let mut t1 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;",
+        );
         e.run_until_block(&mut t1);
         e.commit_group(&mut [&mut t1]);
         // t2 writes but never commits before the crash.
-        let mut t2 = txn(&e, "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (2, 123); COMMIT;");
+        let mut t2 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (2, 123); COMMIT;",
+        );
         e.run_until_block(&mut t2);
         let widowed = e.crash_and_recover();
         assert!(widowed.is_empty());
@@ -987,7 +1045,10 @@ mod tests {
     #[test]
     fn update_with_column_arithmetic() {
         let e = engine();
-        let mut t = txn(&e, "BEGIN; UPDATE Flights SET fno = fno + 1000 WHERE dest = 'LA'; COMMIT;");
+        let mut t = txn(
+            &e,
+            "BEGIN; UPDATE Flights SET fno = fno + 1000 WHERE dest = 'LA'; COMMIT;",
+        );
         assert_eq!(e.run_until_block(&mut t), StepOutcome::Ready);
         e.commit_group(&mut [&mut t]);
         e.with_db(|db| {

@@ -40,7 +40,9 @@ impl fmt::Display for EngineError {
             EngineError::Lock(e) => write!(f, "{e}"),
             EngineError::Ir(e) => write!(f, "{e}"),
             EngineError::Ground(e) => write!(f, "{e}"),
-            EngineError::TimedOut => write!(f, "entangled transaction timed out waiting for partners"),
+            EngineError::TimedOut => {
+                write!(f, "entangled transaction timed out waiting for partners")
+            }
             EngineError::EmptyAnswer => write!(f, "entangled query returned an empty answer"),
             EngineError::RolledBack => write!(f, "transaction rolled back"),
             EngineError::GroupAbort => write!(f, "aborted with entanglement group"),

@@ -59,14 +59,12 @@ pub mod recorder;
 pub mod scheduler;
 
 pub use engine::{
-    CostModel, EmptyAnswerPolicy, Engine, EngineConfig, EvalReport, IsolationMode,
-    LockGranularity, StepOutcome,
+    CostModel, EmptyAnswerPolicy, Engine, EngineConfig, EvalReport, IsolationMode, LockGranularity,
+    StepOutcome,
 };
 pub use error::EngineError;
 pub use groups::GroupManager;
 pub use oracle::{run_with_oracle, GroundingOracle, QueryOracle, ReplayOracle};
 pub use program::{ClientId, Program, Txn, TxnStatus};
 pub use recorder::Recorder;
-pub use scheduler::{
-    ClientResult, RunReport, RunTrigger, Scheduler, SchedulerConfig, Stats,
-};
+pub use scheduler::{ClientResult, RunReport, RunTrigger, Scheduler, SchedulerConfig, Stats};

@@ -50,7 +50,9 @@ pub struct ReplayOracle {
 
 impl ReplayOracle {
     pub fn new(answers: Vec<Option<Vec<Value>>>) -> ReplayOracle {
-        ReplayOracle { answers: answers.into() }
+        ReplayOracle {
+            answers: answers.into(),
+        }
     }
 }
 
@@ -158,8 +160,14 @@ mod tests {
             let rows = db.canonical_rows("Reserve").unwrap();
             assert_eq!(rows.len(), 1);
             let fid = rows[0][1].as_int().unwrap();
-            let flights = db.select_eq("Flights", &[("fno", Value::Int(fid))]).unwrap();
-            assert_eq!(flights.len(), 1, "booking references a real flight: consistent");
+            let flights = db
+                .select_eq("Flights", &[("fno", Value::Int(fid))])
+                .unwrap();
+            assert_eq!(
+                flights.len(),
+                1,
+                "booking references a real flight: consistent"
+            );
         });
         // History is valid + isolated.
         let s = e.recorder.schedule();
@@ -171,8 +179,7 @@ mod tests {
     fn replay_oracle_feeds_exact_answers() {
         let e = engine();
         let mut t = Txn::new(ClientId(1), e.alloc_tx(), Program::parse(MICKEY).unwrap());
-        let mut oracle =
-            ReplayOracle::new(vec![Some(vec![Value::str("Mickey"), Value::Int(123)])]);
+        let mut oracle = ReplayOracle::new(vec![Some(vec![Value::str("Mickey"), Value::Int(123)])]);
         run_with_oracle(&e, &mut t, &mut oracle).unwrap();
         assert_eq!(t.answers, vec![vec![Value::str("Mickey"), Value::Int(123)]]);
         e.with_db(|db| {
@@ -188,13 +195,14 @@ mod tests {
         // demands validity for Assumption 3.5 to give guarantees.
         let e = engine();
         let mut t = Txn::new(ClientId(1), e.alloc_tx(), Program::parse(MICKEY).unwrap());
-        let mut oracle =
-            ReplayOracle::new(vec![Some(vec![Value::str("Mickey"), Value::Int(999)])]);
+        let mut oracle = ReplayOracle::new(vec![Some(vec![Value::str("Mickey"), Value::Int(999)])]);
         run_with_oracle(&e, &mut t, &mut oracle).unwrap();
         e.with_db(|db| {
             let rows = db.canonical_rows("Reserve").unwrap();
             let fid = rows[0][1].as_int().unwrap();
-            let flights = db.select_eq("Flights", &[("fno", Value::Int(fid))]).unwrap();
+            let flights = db
+                .select_eq("Flights", &[("fno", Value::Int(fid))])
+                .unwrap();
             assert!(flights.is_empty(), "booking references a ghost flight");
         });
     }

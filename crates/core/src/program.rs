@@ -27,23 +27,36 @@ impl Program {
         let mut it = statements.into_iter();
         let timeout = match it.next() {
             Some(Statement::Begin { timeout }) => timeout,
-            _ => return Err(EngineError::Protocol("program must start with BEGIN TRANSACTION")),
+            _ => {
+                return Err(EngineError::Protocol(
+                    "program must start with BEGIN TRANSACTION",
+                ))
+            }
         };
         let mut body: Vec<Statement> = it.collect();
         match body.pop() {
             Some(Statement::Commit) => {}
             _ => return Err(EngineError::Protocol("program must end with COMMIT")),
         }
-        if body.iter().any(|s| matches!(s, Statement::Begin { .. } | Statement::Commit)) {
+        if body
+            .iter()
+            .any(|s| matches!(s, Statement::Begin { .. } | Statement::Commit))
+        {
             return Err(EngineError::Protocol("nested BEGIN/COMMIT not supported"));
         }
-        Ok(Program { statements: body, timeout })
+        Ok(Program {
+            statements: body,
+            timeout,
+        })
     }
 
     /// Build a program directly from statements (used by workload
     /// generators that skip the parser for speed).
     pub fn from_statements(statements: Vec<Statement>, timeout: Option<Duration>) -> Program {
-        Program { statements, timeout }
+        Program {
+            statements,
+            timeout,
+        }
     }
 
     /// How many entangled queries the program contains.
@@ -61,7 +74,9 @@ pub enum TxnStatus {
     Running,
     /// Blocked on the entangled query at `statement` (evaluated in batch
     /// at the synchronization point of the run).
-    Blocked { statement: usize },
+    Blocked {
+        statement: usize,
+    },
     /// Finished its body; waiting for its entanglement group (if any) to
     /// also be ready — "ready to commit, pending partner's commit".
     ReadyToCommit,
@@ -76,9 +91,20 @@ pub enum TxnStatus {
 /// handles live aborts without a recovery pass).
 #[derive(Debug, Clone)]
 pub enum Undo {
-    Insert { table: String, row: u64 },
-    Delete { table: String, row: u64, before: Vec<Value> },
-    Update { table: String, row: u64, before: Vec<Value> },
+    Insert {
+        table: String,
+        row: u64,
+    },
+    Delete {
+        table: String,
+        row: u64,
+        before: Vec<Value>,
+    },
+    Update {
+        table: String,
+        row: u64,
+        before: Vec<Value>,
+    },
 }
 
 /// The runtime state of one transaction attempt.

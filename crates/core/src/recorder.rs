@@ -44,7 +44,10 @@ impl Recorder {
     pub fn read(&self, tx: u64, table: &str) {
         let mut g = self.inner.lock();
         let space = g.space(table);
-        g.ops.push(Op::Read { tx: Tx(tx as u32), obj: Obj::flat(space) });
+        g.ops.push(Op::Read {
+            tx: Tx(tx as u32),
+            obj: Obj::flat(space),
+        });
     }
 
     /// A write; `row` gives row granularity, `None` whole-table
@@ -56,7 +59,10 @@ impl Recorder {
             Some(r) => Obj::row(space, r),
             None => Obj::flat(space),
         };
-        g.ops.push(Op::Write { tx: Tx(tx as u32), obj });
+        g.ops.push(Op::Write {
+            tx: Tx(tx as u32),
+            obj,
+        });
     }
 
     /// A grounding read (always table-granularity, like the shared locks
@@ -64,7 +70,10 @@ impl Recorder {
     pub fn ground_read(&self, tx: u64, table: &str) {
         let mut g = self.inner.lock();
         let space = g.space(table);
-        g.ops.push(Op::GroundRead { tx: Tx(tx as u32), obj: Obj::flat(space) });
+        g.ops.push(Op::GroundRead {
+            tx: Tx(tx as u32),
+            obj: Obj::flat(space),
+        });
     }
 
     /// Record an entanglement operation; returns its id. Singleton groups
@@ -75,7 +84,10 @@ impl Recorder {
         let mut g = self.inner.lock();
         g.next_entangle += 1;
         let id = g.next_entangle;
-        g.ops.push(Op::Entangle { id, txs: txs.iter().map(|&t| Tx(t as u32)).collect() });
+        g.ops.push(Op::Entangle {
+            id,
+            txs: txs.iter().map(|&t| Tx(t as u32)).collect(),
+        });
         id
     }
 
@@ -159,7 +171,11 @@ mod tests {
         r2.write(1, "t", Some(1));
         r2.read(1, "t");
         let s2 = r2.schedule();
-        let (a, b, c) = (s2.ops[0].obj().unwrap(), s2.ops[1].obj().unwrap(), s2.ops[2].obj().unwrap());
+        let (a, b, c) = (
+            s2.ops[0].obj().unwrap(),
+            s2.ops[1].obj().unwrap(),
+            s2.ops[2].obj().unwrap(),
+        );
         assert_ne!(a, b);
         assert!(a.overlaps(&c) && b.overlaps(&c));
         assert!(!a.overlaps(&b));

@@ -47,7 +47,11 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { connections: 1, trigger: RunTrigger::Manual, max_attempts: 50 }
+        SchedulerConfig {
+            connections: 1,
+            trigger: RunTrigger::Manual,
+            max_attempts: 50,
+        }
     }
 }
 
@@ -257,7 +261,8 @@ impl Scheduler {
                 s.spawn(move |_| {
                     while let Ok((i, mut txn)) = task_rx.recv() {
                         engine.run_until_block(&mut txn);
-                        if txn.status == TxnStatus::ReadyToCommit && !engine.groups.is_grouped(txn.tx)
+                        if txn.status == TxnStatus::ReadyToCommit
+                            && !engine.groups.is_grouped(txn.tx)
                         {
                             engine.commit_group(&mut [&mut txn]);
                         }
@@ -309,10 +314,15 @@ impl Scheduler {
                     continue;
                 }
                 let members = engine.groups.members(run[i].tx);
-                let member_idx: Vec<usize> =
-                    members.iter().filter_map(|t| by_tx.get(t)).copied().collect();
+                let member_idx: Vec<usize> = members
+                    .iter()
+                    .filter_map(|t| by_tx.get(t))
+                    .copied()
+                    .collect();
                 let all_ready = members.len() == member_idx.len()
-                    && member_idx.iter().all(|&j| run[j].status == TxnStatus::ReadyToCommit);
+                    && member_idx
+                        .iter()
+                        .all(|&j| run[j].status == TxnStatus::ReadyToCommit);
                 if all_ready {
                     if member_idx.len() > 1 {
                         self.stats.group_commits += 1;
@@ -338,7 +348,11 @@ impl Scheduler {
         // …then execute the commits in parallel over the connection pool
         // (each group commits on a connection, as it would on the paper's
         // MySQL setup — one sync per group either way).
-        let workers = self.config.connections.max(1).min(commit_plans.len().max(1));
+        let workers = self
+            .config
+            .connections
+            .max(1)
+            .min(commit_plans.len().max(1));
         if workers <= 1 || commit_plans.len() <= 1 {
             for plan in &commit_plans {
                 let mut refs: Vec<&mut Txn> = Vec::new();
@@ -477,9 +491,8 @@ impl Scheduler {
         while !self.dormant.is_empty() {
             let before_pool = self.dormant.len();
             let report = self.run_once();
-            let progressed = report.committed > 0
-                || report.failed > 0
-                || self.dormant.len() < before_pool;
+            let progressed =
+                report.committed > 0 || report.failed > 0 || self.dormant.len() < before_pool;
             if progressed {
                 zero_progress = 0;
             } else {
@@ -605,7 +618,10 @@ mod tests {
     fn arrival_trigger_runs_automatically() {
         let mut s = Scheduler::new(
             engine(),
-            SchedulerConfig { trigger: RunTrigger::Arrivals(2), ..Default::default() },
+            SchedulerConfig {
+                trigger: RunTrigger::Arrivals(2),
+                ..Default::default()
+            },
         );
         s.submit(flight_txn("Mickey", "Minnie"));
         assert_eq!(s.stats().runs, 0);
@@ -619,7 +635,10 @@ mod tests {
         for connections in [1usize, 4] {
             let mut s = Scheduler::new(
                 engine(),
-                SchedulerConfig { connections, ..Default::default() },
+                SchedulerConfig {
+                    connections,
+                    ..Default::default()
+                },
             );
             for i in 0..8 {
                 let a = format!("u{i}a");
@@ -660,7 +679,8 @@ mod tests {
         assert_eq!(s.pool_len(), 1);
         assert_eq!(s.stats().failed, 1);
         // Nothing leaked into the database.
-        s.engine.with_db(|db| assert_eq!(db.table("Reserve").unwrap().len(), 0));
+        s.engine
+            .with_db(|db| assert_eq!(db.table("Reserve").unwrap().len(), 0));
         // The final history shows no widowed-transaction anomaly.
         let sched = s.engine.recorder.schedule();
         assert!(
@@ -728,7 +748,10 @@ mod tests {
         assert_eq!(stats.committed, 0);
         assert_eq!(stats.failed, 1);
         let results = s.take_results();
-        assert!(matches!(results[0].status, TxnStatus::Failed(EngineError::TimedOut)));
+        assert!(matches!(
+            results[0].status,
+            TxnStatus::Failed(EngineError::TimedOut)
+        ));
     }
 
     #[test]
@@ -743,13 +766,23 @@ mod tests {
             assert_eq!(r.status, TxnStatus::Committed);
             assert_eq!(r.attempts, 1);
             assert_eq!(r.answers.len(), 1);
-            assert_eq!(r.answers[0][1], Value::Int(122), "deterministic first choice");
+            assert_eq!(
+                r.answers[0][1],
+                Value::Int(122),
+                "deterministic first choice"
+            );
         }
     }
 
     #[test]
     fn hundred_pairs_drain_cleanly() {
-        let mut s = Scheduler::new(engine(), SchedulerConfig { connections: 8, ..Default::default() });
+        let mut s = Scheduler::new(
+            engine(),
+            SchedulerConfig {
+                connections: 8,
+                ..Default::default()
+            },
+        );
         for i in 0..100 {
             let a = format!("a{i}");
             let b = format!("b{i}");

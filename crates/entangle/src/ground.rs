@@ -138,10 +138,18 @@ pub fn ground(db: &Database, ir: &QueryIr, vars: &VarEnv) -> Result<GroundingSet
                     .collect()
             })
             .unwrap_or_default();
-        groundings.push(Grounding { heads, posts, answer_row, valuation: val });
+        groundings.push(Grounding {
+            heads,
+            posts,
+            answer_row,
+            valuation: val,
+        });
     }
 
-    Ok(GroundingSet { groundings, tables_read: ir.tables_read() })
+    Ok(GroundingSet {
+        groundings,
+        tables_read: ir.tables_read(),
+    })
 }
 
 fn unify_tuple(
@@ -209,17 +217,28 @@ mod tests {
             (124, 100, "LA"),
             (235, 102, "Paris"),
         ] {
-            db.insert("Flights", vec![Value::Int(fno), Value::Date(d), Value::str(dest)])
-                .unwrap();
+            db.insert(
+                "Flights",
+                vec![Value::Int(fno), Value::Date(d), Value::str(dest)],
+            )
+            .unwrap();
         }
-        for (fno, a) in [(122, "United"), (123, "United"), (124, "USAir"), (235, "Delta")] {
-            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)]).unwrap();
+        for (fno, a) in [
+            (122, "United"),
+            (123, "United"),
+            (124, "USAir"),
+            (235, "Delta"),
+        ] {
+            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)])
+                .unwrap();
         }
         db
     }
 
     fn ir_of(sql: &str) -> QueryIr {
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         from_ast(&eq, &VarEnv::new()).unwrap()
     }
 
@@ -314,7 +333,11 @@ mod tests {
         );
         let gs = ground(&db, &ir, &VarEnv::new()).unwrap();
         assert!(gs.groundings.is_empty());
-        assert_eq!(gs.tables_read, vec!["flights"], "footprint reported even when empty");
+        assert_eq!(
+            gs.tables_read,
+            vec!["flights"],
+            "footprint reported even when empty"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(relation: &str, terms: Vec<Term>) -> Atom {
-        Atom { relation: relation.to_ascii_lowercase(), terms }
+        Atom {
+            relation: relation.to_ascii_lowercase(),
+            terms,
+        }
     }
 
     /// Is every term a constant?
@@ -62,7 +65,10 @@ impl Atom {
                 Term::Var(x) => val.get(x).cloned().map(Term::Const),
             })
             .collect::<Option<Vec<_>>>()?;
-        Some(Atom { relation: self.relation.clone(), terms })
+        Some(Atom {
+            relation: self.relation.clone(),
+            terms,
+        })
     }
 
     /// Syntactic unification of two *patterns* (variables on both sides are
@@ -72,10 +78,14 @@ impl Atom {
     pub fn unifiable(&self, other: &Atom) -> bool {
         self.relation == other.relation
             && self.terms.len() == other.terms.len()
-            && self.terms.iter().zip(&other.terms).all(|(a, b)| match (a, b) {
-                (Term::Const(x), Term::Const(y)) => x == y,
-                _ => true,
-            })
+            && self
+                .terms
+                .iter()
+                .zip(&other.terms)
+                .all(|(a, b)| match (a, b) {
+                    (Term::Const(x), Term::Const(y)) => x == y,
+                    _ => true,
+                })
     }
 
     /// All variables in this atom.
@@ -154,7 +164,10 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::NotRangeRestricted(v) => {
-                write!(f, "variable `{v}` in head/postcondition is not bound by the body")
+                write!(
+                    f,
+                    "variable `{v}` in head/postcondition is not bound by the body"
+                )
             }
             IrError::UnboundVariable(v) => write!(f, "unbound host variable @{v}"),
             IrError::Unsupported(w) => write!(f, "unsupported entangled construct: {w}"),
@@ -178,9 +191,9 @@ fn scalar_to_term(s: &Scalar, vars: &VarEnv) -> Result<Term, IrError> {
             }
             Ok(Term::Var(c.column.to_ascii_lowercase()))
         }
-        Scalar::Add(..) | Scalar::Sub(..) => {
-            Err(IrError::Unsupported("arithmetic in entangled head/postcondition"))
-        }
+        Scalar::Add(..) | Scalar::Sub(..) => Err(IrError::Unsupported(
+            "arithmetic in entangled head/postcondition",
+        )),
     }
 }
 
@@ -220,13 +233,18 @@ pub fn from_ast(eq: &EntangledSelect, vars: &VarEnv) -> Result<QueryIr, IrError>
             }
             Cond::InSelect { tuple, select } => {
                 if select.where_clause.mentions_answer() {
-                    return Err(IrError::Unsupported("ANSWER reference inside body subquery"));
+                    return Err(IrError::Unsupported(
+                        "ANSWER reference inside body subquery",
+                    ));
                 }
                 let terms = tuple
                     .iter()
                     .map(|s| scalar_to_term(s, vars))
                     .collect::<Result<Vec<_>, _>>()?;
-                body.memberships.push(Membership { tuple: terms, select: (**select).clone() });
+                body.memberships.push(Membership {
+                    tuple: terms,
+                    select: (**select).clone(),
+                });
             }
             Cond::Cmp { op, lhs, rhs } => {
                 body.filters.push(Filter {
@@ -243,7 +261,13 @@ pub fn from_ast(eq: &EntangledSelect, vars: &VarEnv) -> Result<QueryIr, IrError>
         }
     }
 
-    let ir = QueryIr { heads, posts, body, bindings, choose: eq.choose };
+    let ir = QueryIr {
+        heads,
+        posts,
+        body,
+        bindings,
+        choose: eq.choose,
+    };
     ir.check_range_restriction()?;
     Ok(ir)
 }
@@ -316,7 +340,9 @@ mod tests {
         let sql = "SELECT 'Mickey', fno, fdate INTO ANSWER Reservation \
                    WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
                    AND ('Minnie', fno, fdate) IN ANSWER Reservation CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         from_ast(&eq, &VarEnv::new()).unwrap()
     }
 
@@ -340,7 +366,9 @@ mod tests {
         // `hid` never bound by the body.
         let sql = "SELECT 'Mickey', hid INTO ANSWER R \
                    WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(
             from_ast(&eq, &VarEnv::new()).unwrap_err(),
             IrError::NotRangeRestricted("hid".into())
@@ -352,7 +380,9 @@ mod tests {
         let sql = "SELECT 'Mickey', hid, @ArrivalDay INTO ANSWER HotelRes \
                    WHERE hid IN (SELECT hid FROM Hotels WHERE location='LA') \
                    AND ('Minnie', hid, @ArrivalDay) IN ANSWER HotelRes CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let mut vars = VarEnv::new();
         vars.insert("ArrivalDay".into(), Value::Date(100));
         let ir = from_ast(&eq, &vars).unwrap();
@@ -370,19 +400,36 @@ mod tests {
         let sql = "SELECT 'Mickey', fno, fdate AS @ArrivalDay INTO ANSWER FlightRes \
                    WHERE fno, fdate IN (SELECT fno, fdate FROM Flights WHERE dest='LA') \
                    CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let ir = from_ast(&eq, &VarEnv::new()).unwrap();
         assert_eq!(ir.bindings, vec![(2, "ArrivalDay".to_string())]);
     }
 
     #[test]
     fn unification_is_pattern_level() {
-        let a = Atom::new("R", vec![Term::Const(Value::str("Mickey")), Term::Var("x".into())]);
-        let b = Atom::new("r", vec![Term::Const(Value::str("Mickey")), Term::Const(Value::Int(1))]);
+        let a = Atom::new(
+            "R",
+            vec![Term::Const(Value::str("Mickey")), Term::Var("x".into())],
+        );
+        let b = Atom::new(
+            "r",
+            vec![
+                Term::Const(Value::str("Mickey")),
+                Term::Const(Value::Int(1)),
+            ],
+        );
         assert!(a.unifiable(&b));
-        let c = Atom::new("R", vec![Term::Const(Value::str("Minnie")), Term::Var("y".into())]);
+        let c = Atom::new(
+            "R",
+            vec![Term::Const(Value::str("Minnie")), Term::Var("y".into())],
+        );
         assert!(!a.unifiable(&c), "constants clash");
-        let d = Atom::new("S", vec![Term::Const(Value::str("Mickey")), Term::Var("x".into())]);
+        let d = Atom::new(
+            "S",
+            vec![Term::Const(Value::str("Mickey")), Term::Var("x".into())],
+        );
         assert!(!a.unifiable(&d), "relations differ");
         let e = Atom::new("R", vec![Term::Var("z".into())]);
         assert!(!a.unifiable(&e), "arity differs");
@@ -405,7 +452,9 @@ mod tests {
                    WHERE fno IN (SELECT fno FROM Flights F, Airlines A \
                                  WHERE F.fno = A.fno AND A.airline='United') \
                    AND ('Mickey', fno) IN ANSWER R CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let ir = from_ast(&eq, &VarEnv::new()).unwrap();
         assert_eq!(ir.tables_read(), vec!["airlines", "flights"]);
     }
@@ -414,8 +463,13 @@ mod tests {
     fn or_in_entangled_where_rejected() {
         let sql = "SELECT 'M', fno INTO ANSWER R \
                    WHERE fno IN (SELECT fno FROM Flights) OR fno = 1 CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
-        assert!(matches!(from_ast(&eq, &VarEnv::new()).unwrap_err(), IrError::Unsupported(_)));
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            from_ast(&eq, &VarEnv::new()).unwrap_err(),
+            IrError::Unsupported(_)
+        ));
     }
 
     #[test]
@@ -423,7 +477,9 @@ mod tests {
         let sql = "SELECT 'M', fno INTO ANSWER R \
                    WHERE fno IN (SELECT fno FROM Flights) AND fno > 100 \
                    AND ('N', fno) IN ANSWER R CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         let ir = from_ast(&eq, &VarEnv::new()).unwrap();
         assert_eq!(ir.body.filters.len(), 1);
         assert_eq!(ir.body.filters[0].op, CmpOp::Gt);

@@ -1,16 +1,16 @@
 //! # youtopia-entangle
 //!
 //! The entangled-query engine of the *Entangled Transactions* reproduction,
-//! implementing the semantics the paper inherits from SIGMOD'11 [6] and
+//! implementing the semantics the paper inherits from SIGMOD'11 \[6\] and
 //! summarizes in Appendix A:
 //!
 //! 1. **IR** ([`ir`]): `{C} H ← B` — head and postcondition atoms over
 //!    answer relations, a select-project-join body over database relations,
 //!    with the range-restriction (safety) check.
-//! 2. **Grounding** ([`ground`]): evaluate `B` on the current database,
+//! 2. **Grounding** ([`ground()`]): evaluate `B` on the current database,
 //!    producing the groundings of each query (Figure 7(b)) and the
 //!    grounding-read footprint the isolation layer needs.
-//! 3. **Coordinating-set search** ([`solve`]): choose at most one grounding
+//! 3. **Coordinating-set search** ([`solve()`]): choose at most one grounding
 //!    per query such that the chosen heads collectively satisfy every
 //!    chosen postcondition; the answer relations are the union of chosen
 //!    heads (mutual constraint satisfaction, Figure 1(b)).

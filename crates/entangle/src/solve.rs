@@ -51,7 +51,11 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { choice: ChoicePolicy::First, node_budget: 200_000, pairwise_fast_path: true }
+        SolverConfig {
+            choice: ChoicePolicy::First,
+            node_budget: 200_000,
+            pairwise_fast_path: true,
+        }
     }
 }
 
@@ -102,9 +106,11 @@ pub fn solve(inputs: &[SolveInput<'_>], cfg: &SolverConfig) -> Solution {
     // postconditions is trivially matched (it coordinates with no one).
     let matched: Vec<bool> = (0..n)
         .map(|i| {
-            inputs[i].ir.posts.iter().all(|p| {
-                (0..n).any(|j| inputs[j].ir.heads.iter().any(|h| h.unifiable(p)))
-            })
+            inputs[i]
+                .ir
+                .posts
+                .iter()
+                .all(|p| (0..n).any(|j| inputs[j].ir.heads.iter().any(|h| h.unifiable(p))))
         })
         .collect();
 
@@ -156,7 +162,10 @@ pub fn solve(inputs: &[SolveInput<'_>], cfg: &SolverConfig) -> Solution {
                     .iter()
                     .map(|t| t.as_const().expect("ground").clone())
                     .collect();
-                answer_relations.entry(h.relation.clone()).or_default().push(row);
+                answer_relations
+                    .entry(h.relation.clone())
+                    .or_default()
+                    .push(row);
             }
         }
     }
@@ -189,7 +198,12 @@ pub fn solve(inputs: &[SolveInput<'_>], cfg: &SolverConfig) -> Solution {
     }
     groups.sort();
 
-    Solution { outcomes, answer_relations, groups, nodes_explored: nodes_total }
+    Solution {
+        outcomes,
+        answer_relations,
+        groups,
+        nodes_explored: nodes_total,
+    }
 }
 
 /// Search one component; returns per-position assignment and node count.
@@ -236,14 +250,9 @@ fn solve_component(
                     Some(prev) => prev.into_iter().filter(|x| provs.contains(x)).collect(),
                 });
             }
-            let candidates = match candidates {
-                None => {
-                    // ga has no postconditions: answer a alone if b can't
-                    // pair, but keep trying to answer both first.
-                    Vec::new()
-                }
-                Some(c) => c,
-            };
+            // When `ga` has no postconditions the fold above never ran:
+            // answer `a` alone if `b` can't pair, but keep trying both.
+            let candidates = candidates.unwrap_or_default();
             for &bi in &candidates {
                 nodes += 1;
                 let gb = &inputs[b].grounding.groundings[bi];
@@ -331,7 +340,7 @@ fn solve_component(
                     || gr.heads.contains(p)
                     || providers
                         .get(p)
-                        .map_or(false, |ps| ps.iter().any(|(pp, _)| *pp > pos))
+                        .is_some_and(|ps| ps.iter().any(|(pp, _)| *pp > pos))
             });
             if !feasible {
                 continue;
@@ -351,12 +360,22 @@ fn solve_component(
                 headset.contains_key(p)
                     || providers
                         .get(p)
-                        .map_or(false, |ps| ps.iter().any(|(pp, _)| *pp > pos))
+                        .is_some_and(|ps| ps.iter().any(|(pp, _)| *pp > pos))
             });
             if viable {
                 rec(
-                    inputs, comp, orders, providers, pos + 1, current, headset, unmet, best,
-                    best_score, nodes, budget,
+                    inputs,
+                    comp,
+                    orders,
+                    providers,
+                    pos + 1,
+                    current,
+                    headset,
+                    unmet,
+                    best,
+                    best_score,
+                    nodes,
+                    budget,
                 );
             }
             unmet.truncate(unmet_base);
@@ -379,13 +398,23 @@ fn solve_component(
             headset.contains_key(p)
                 || providers
                     .get(p)
-                    .map_or(false, |ps| ps.iter().any(|(pp, _)| *pp > pos))
+                    .is_some_and(|ps| ps.iter().any(|(pp, _)| *pp > pos))
         });
         if skip_viable {
             current[pos] = None;
             rec(
-                inputs, comp, orders, providers, pos + 1, current, headset, unmet, best,
-                best_score, nodes, budget,
+                inputs,
+                comp,
+                orders,
+                providers,
+                pos + 1,
+                current,
+                headset,
+                unmet,
+                best,
+                best_score,
+                nodes,
+                budget,
             );
         }
     }
@@ -414,7 +443,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Dsu {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -464,11 +495,20 @@ mod tests {
             (124, 100, "LA"),
             (235, 102, "Paris"),
         ] {
-            db.insert("Flights", vec![Value::Int(fno), Value::Date(d), Value::str(dest)])
-                .unwrap();
+            db.insert(
+                "Flights",
+                vec![Value::Int(fno), Value::Date(d), Value::str(dest)],
+            )
+            .unwrap();
         }
-        for (fno, a) in [(122, "United"), (123, "United"), (124, "USAir"), (235, "Delta")] {
-            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)]).unwrap();
+        for (fno, a) in [
+            (122, "United"),
+            (123, "United"),
+            (124, "USAir"),
+            (235, "Delta"),
+        ] {
+            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)])
+                .unwrap();
         }
         db
     }
@@ -476,7 +516,9 @@ mod tests {
     fn prep(db: &Database, sqls: &[&str]) -> Vec<(crate::ir::QueryIr, GroundingSet)> {
         sqls.iter()
             .map(|sql| {
-                let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+                let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+                    panic!()
+                };
                 let ir = from_ast(&eq, &VarEnv::new()).unwrap();
                 let gs = ground(db, &ir, &VarEnv::new()).unwrap();
                 (ir, gs)
@@ -528,7 +570,9 @@ mod tests {
     fn deterministic_first_choice_picks_122() {
         let db = fig1_db();
         let (sol, gs) = run(&db, &[MICKEY, MINNIE], &SolverConfig::default());
-        let QueryOutcome::Answered { grounding } = sol.outcomes[0] else { panic!() };
+        let QueryOutcome::Answered { grounding } = sol.outcomes[0] else {
+            panic!()
+        };
         assert_eq!(gs[0].groundings[grounding].answer_row[1], Value::Int(122));
     }
 
@@ -536,13 +580,19 @@ mod tests {
     fn seeded_choice_still_coordinates() {
         let db = fig1_db();
         for seed in 0..10 {
-            let cfg = SolverConfig { choice: ChoicePolicy::Seeded(seed), ..Default::default() };
+            let cfg = SolverConfig {
+                choice: ChoicePolicy::Seeded(seed),
+                ..Default::default()
+            };
             let (sol, gs) = run(&db, &[MICKEY, MINNIE], &cfg);
-            let QueryOutcome::Answered { grounding: g0 } = sol.outcomes[0] else { panic!() };
-            let QueryOutcome::Answered { grounding: g1 } = sol.outcomes[1] else { panic!() };
+            let QueryOutcome::Answered { grounding: g0 } = sol.outcomes[0] else {
+                panic!()
+            };
+            let QueryOutcome::Answered { grounding: g1 } = sol.outcomes[1] else {
+                panic!()
+            };
             assert_eq!(
-                gs[0].groundings[g0].answer_row[1],
-                gs[1].groundings[g1].answer_row[1],
+                gs[0].groundings[g0].answer_row[1], gs[1].groundings[g1].answer_row[1],
                 "seed {seed}"
             );
         }
@@ -603,7 +653,11 @@ mod tests {
         let (a, b, c) = (q("A", "B"), q("B", "C"), q("C", "A"));
         let (sol, gs) = run(&db, &[&a, &b, &c], &SolverConfig::default());
         for o in &sol.outcomes {
-            assert!(matches!(o, QueryOutcome::Answered { .. }), "{:?}", sol.outcomes);
+            assert!(
+                matches!(o, QueryOutcome::Answered { .. }),
+                "{:?}",
+                sol.outcomes
+            );
         }
         // All three on the same flight.
         let flights: HashSet<i64> = sol
@@ -611,7 +665,9 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, o)| {
-                let QueryOutcome::Answered { grounding } = o else { unreachable!() };
+                let QueryOutcome::Answered { grounding } = o else {
+                    unreachable!()
+                };
                 gs[i].groundings[*grounding].answer_row[1].as_int().unwrap()
             })
             .collect();
@@ -659,12 +715,20 @@ mod tests {
     #[test]
     fn pairwise_fast_path_agrees_with_general_search() {
         let db = fig1_db();
-        let fast = SolverConfig { pairwise_fast_path: true, ..Default::default() };
-        let slow = SolverConfig { pairwise_fast_path: false, ..Default::default() };
+        let fast = SolverConfig {
+            pairwise_fast_path: true,
+            ..Default::default()
+        };
+        let slow = SolverConfig {
+            pairwise_fast_path: false,
+            ..Default::default()
+        };
         let (sf, gf) = run(&db, &[MICKEY, MINNIE], &fast);
         let (ss, gss) = run(&db, &[MICKEY, MINNIE], &slow);
         let flight = |sol: &Solution, gs: &[GroundingSet], i: usize| {
-            let QueryOutcome::Answered { grounding } = sol.outcomes[i] else { panic!() };
+            let QueryOutcome::Answered { grounding } = sol.outcomes[i] else {
+                panic!()
+            };
             gs[i].groundings[grounding].answer_row[1].clone()
         };
         assert_eq!(flight(&sf, &gf, 0), flight(&ss, &gss, 0));
@@ -710,7 +774,11 @@ mod tests {
     #[test]
     fn node_budget_degrades_gracefully() {
         let db = fig1_db();
-        let cfg = SolverConfig { node_budget: 1, pairwise_fast_path: false, ..Default::default() };
+        let cfg = SolverConfig {
+            node_budget: 1,
+            pairwise_fast_path: false,
+            ..Default::default()
+        };
         let (sol, _) = run(&db, &[MICKEY, MINNIE], &cfg);
         // With a 1-node budget the search cannot finish; queries fall back
         // to EmptyAnswer (they did pattern-match) — never a wrong answer.

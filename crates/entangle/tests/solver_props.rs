@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use youtopia_entangle::{
-    ground, solve, Atom, Body, Filter, Membership, QueryIr, QueryOutcome, SolveInput,
-    SolverConfig, Term,
+    ground, solve, Atom, Body, Filter, Membership, QueryIr, QueryOutcome, SolveInput, SolverConfig,
+    Term,
 };
 use youtopia_sql::{parse_statement, Statement, VarEnv};
 use youtopia_storage::{Database, Schema, Value, ValueType};
@@ -20,7 +20,8 @@ fn db_with_flights(n: i64) -> Database {
     .expect("schema");
     for i in 0..n {
         let dest = if i % 2 == 0 { "LA" } else { "SF" };
-        db.insert("Flights", vec![Value::Int(i), Value::str(dest)]).expect("insert");
+        db.insert("Flights", vec![Value::Int(i), Value::str(dest)])
+            .expect("insert");
     }
     db
 }
@@ -134,7 +135,10 @@ proptest! {
 #[test]
 fn unsatisfiable_posts_never_answered() {
     let ir = QueryIr {
-        heads: vec![Atom::new("R", vec![Term::Const(Value::str("a")), Term::Var("x".into())])],
+        heads: vec![Atom::new(
+            "R",
+            vec![Term::Const(Value::str("a")), Term::Var("x".into())],
+        )],
         posts: vec![Atom::new("S", vec![Term::Const(Value::str("b"))])], // nobody provides S
         body: Body {
             memberships: vec![Membership {
@@ -156,6 +160,12 @@ fn unsatisfiable_posts_never_answered() {
     let db = db_with_flights(4);
     let g = ground(&db, &ir, &VarEnv::new()).expect("ground");
     assert!(!g.groundings.is_empty());
-    let sol = solve(&[SolveInput { ir: &ir, grounding: &g }], &SolverConfig::default());
+    let sol = solve(
+        &[SolveInput {
+            ir: &ir,
+            grounding: &g,
+        }],
+        &SolverConfig::default(),
+    );
     assert_eq!(sol.outcomes[0], QueryOutcome::NoPartner);
 }

@@ -152,7 +152,11 @@ pub enum Anomaly {
     ReadFromAborted { writer: Tx, reader: Tx, obj: Obj },
     /// Requirement C.4 violated: `aborted` and `committed` entangled
     /// together (operation `entangle_id`) yet took different outcomes.
-    WidowedTransaction { entangle_id: u32, aborted: Tx, committed: Tx },
+    WidowedTransaction {
+        entangle_id: u32,
+        aborted: Tx,
+        committed: Tx,
+    },
 }
 
 /// Run all three requirement checks on an **expanded** schedule.
@@ -169,15 +173,21 @@ pub fn find_anomalies(s: &Schedule) -> Vec<Anomaly> {
 
     // C.3: Wi(x) … Rj(x) with i aborted, j committed.
     for (i, op) in s.ops.iter().enumerate() {
-        let Op::Write { tx: wtx, obj } = op else { continue };
+        let Op::Write { tx: wtx, obj } = op else {
+            continue;
+        };
         if !aborted.contains(wtx) {
             continue;
         }
         for later in &s.ops[i + 1..] {
-            if later.is_read() && later.obj().map_or(false, |o| o.overlaps(obj)) {
+            if later.is_read() && later.obj().is_some_and(|o| o.overlaps(obj)) {
                 let rtx = later.tx().expect("reads have a tx");
                 if rtx != *wtx && committed.contains(&rtx) {
-                    let a = Anomaly::ReadFromAborted { writer: *wtx, reader: rtx, obj: *obj };
+                    let a = Anomaly::ReadFromAborted {
+                        writer: *wtx,
+                        reader: rtx,
+                        obj: *obj,
+                    };
                     if !out.contains(&a) {
                         out.push(a);
                     }
@@ -190,7 +200,11 @@ pub fn find_anomalies(s: &Schedule) -> Vec<Anomaly> {
     for (id, txs) in s.entanglements() {
         for &a in txs.iter().filter(|t| aborted.contains(t)) {
             for &c in txs.iter().filter(|t| committed.contains(t)) {
-                out.push(Anomaly::WidowedTransaction { entangle_id: id, aborted: a, committed: c });
+                out.push(Anomaly::WidowedTransaction {
+                    entangle_id: id,
+                    aborted: a,
+                    committed: c,
+                });
             }
         }
     }
@@ -219,8 +233,10 @@ pub struct IsolationLevel {
 
 impl IsolationLevel {
     /// Full entangled isolation (Definition C.5).
-    pub const FULL: IsolationLevel =
-        IsolationLevel { allow_widows: false, allow_unrepeatable_quasi_reads: false };
+    pub const FULL: IsolationLevel = IsolationLevel {
+        allow_widows: false,
+        allow_unrepeatable_quasi_reads: false,
+    };
 
     /// Does this level tolerate the given anomaly? (Used by tests and the
     /// engine's anomaly auditor; cycle tolerance is approximated by
@@ -233,9 +249,9 @@ impl IsolationLevel {
                 // Tolerated only if some quasi-read by a cycle member
                 // exists (i.e. the cycle plausibly stems from entangled
                 // information flow rather than a classical anomaly).
-                s.ops.iter().any(|op| {
-                    matches!(op, Op::QuasiRead { tx, .. } if txs.contains(tx))
-                })
+                s.ops
+                    .iter()
+                    .any(|op| matches!(op, Op::QuasiRead { tx, .. } if txs.contains(tx)))
             }
             _ => false,
         }
@@ -256,12 +272,30 @@ mod tests {
     /// The C.1 example: isolated.
     fn example() -> Schedule {
         Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(1) },
-            Op::Read { tx: t(3), obj: o(2) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(1), obj: o(2) },
-            Op::Write { tx: t(2), obj: o(3) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Read {
+                tx: t(3),
+                obj: o(2),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(2),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(3),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
             Op::Commit { tx: t(3) },
@@ -289,10 +323,22 @@ mod tests {
     fn classical_write_skew_style_cycle_detected() {
         // R1(x) R2(y) W1(y) W2(x): 1→2 on y, 2→1 on x.
         let s = Schedule::new(vec![
-            Op::Read { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(1) },
-            Op::Write { tx: t(1), obj: o(1) },
-            Op::Write { tx: t(2), obj: o(0) },
+            Op::Read {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -309,17 +355,35 @@ mod tests {
         // Mickey's quasi-read of y before Donald's write + his real read
         // after it = cycle t1 → t3 → t1.
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) }, // Mickey grounds Flights
-            Op::GroundRead { tx: t(2), obj: o(1) }, // Minnie grounds Airlines
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(3), obj: o(1) }, // Donald inserts into Airlines
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            }, // Mickey grounds Flights
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1),
+            }, // Minnie grounds Airlines
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(3),
+                obj: o(1),
+            }, // Donald inserts into Airlines
             Op::Commit { tx: t(3) },
-            Op::Read { tx: t(1), obj: o(1) }, // Mickey checks Airlines
+            Op::Read {
+                tx: t(1),
+                obj: o(1),
+            }, // Mickey checks Airlines
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
         s.validate().unwrap();
-        assert!(!is_entangled_isolated(&s), "unrepeatable quasi-read must be caught");
+        assert!(
+            !is_entangled_isolated(&s),
+            "unrepeatable quasi-read must be caught"
+        );
         // Without quasi-read expansion the classical checker is blind to it.
         assert!(
             find_anomalies(&s).is_empty(),
@@ -337,11 +401,26 @@ mod tests {
         // Mickey (t1) and Minnie (t2) entangle; Minnie aborts during the
         // hotel booking; Mickey commits → widowed.
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(0) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(1), obj: o(1) },
-            Op::Write { tx: t(2), obj: o(2) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(0),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(2),
+            },
             Op::Abort { tx: t(2) },
             Op::Commit { tx: t(1) },
         ]);
@@ -362,21 +441,37 @@ mod tests {
     #[test]
     fn read_from_aborted_detected() {
         let s = Schedule::new(vec![
-            Op::Write { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(0) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Abort { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
         let anomalies = find_anomalies(&s);
         assert_eq!(
             anomalies,
-            vec![Anomaly::ReadFromAborted { writer: t(1), reader: t(2), obj: o(0) }]
+            vec![Anomaly::ReadFromAborted {
+                writer: t(1),
+                reader: t(2),
+                obj: o(0)
+            }]
         );
         // Reader aborting too is tolerated (anomalies restricted to
         // committed transactions).
         let s = Schedule::new(vec![
-            Op::Write { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(0) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Abort { tx: t(1) },
             Op::Abort { tx: t(2) },
         ]);
@@ -385,14 +480,24 @@ mod tests {
 
     #[test]
     fn isolation_levels_tolerate_selected_anomalies() {
-        let widow = Anomaly::WidowedTransaction { entangle_id: 1, aborted: t(2), committed: t(1) };
+        let widow = Anomaly::WidowedTransaction {
+            entangle_id: 1,
+            aborted: t(2),
+            committed: t(1),
+        };
         let s = example();
         assert!(!IsolationLevel::FULL.tolerates(&widow, &s));
-        let relaxed = IsolationLevel { allow_widows: true, allow_unrepeatable_quasi_reads: false };
+        let relaxed = IsolationLevel {
+            allow_widows: true,
+            allow_unrepeatable_quasi_reads: false,
+        };
         assert!(relaxed.tolerates(&widow, &s));
         // Classical cycle is never tolerated.
         let cyc = Anomaly::ConflictCycle(vec![t(1), t(2)]);
-        let relaxed2 = IsolationLevel { allow_widows: false, allow_unrepeatable_quasi_reads: true };
+        let relaxed2 = IsolationLevel {
+            allow_widows: false,
+            allow_unrepeatable_quasi_reads: true,
+        };
         assert!(!relaxed2.tolerates(&cyc, &s), "no quasi-reads in cycle txs");
     }
 
@@ -400,10 +505,19 @@ mod tests {
     fn aborted_transactions_excluded_from_conflict_graph() {
         // An aborted writer between two committed readers creates no edges.
         let s = Schedule::new(vec![
-            Op::Read { tx: t(1), obj: o(0) },
-            Op::Write { tx: t(2), obj: o(0) },
+            Op::Read {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Abort { tx: t(2) },
-            Op::Write { tx: t(1), obj: o(1) },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
             Op::Commit { tx: t(1) },
         ]);
         let g = ConflictGraph::build(&s);
@@ -414,10 +528,22 @@ mod tests {
     #[test]
     fn topological_order_none_for_cycles() {
         let s = Schedule::new(vec![
-            Op::Read { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(1) },
-            Op::Write { tx: t(1), obj: o(1) },
-            Op::Write { tx: t(2), obj: o(0) },
+            Op::Read {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);

@@ -89,7 +89,11 @@ pub fn random_schedule(cfg: &GenConfig) -> Schedule {
             break;
         }
         // If several transactions are waiting, sometimes entangle them.
-        let waiting: Vec<usize> = live.iter().copied().filter(|&i| state[i] == St::Waiting).collect();
+        let waiting: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| state[i] == St::Waiting)
+            .collect();
         let all_waiting = waiting.len() == live.len();
         if waiting.len() >= 2 && (all_waiting || rng.gen_bool(0.5)) {
             // Entangle a random subset of size >= 2.
@@ -120,8 +124,11 @@ pub fn random_schedule(cfg: &GenConfig) -> Schedule {
             continue;
         }
         // Pick a runnable transaction.
-        let runnable: Vec<usize> =
-            live.iter().copied().filter(|&i| state[i] == St::Running).collect();
+        let runnable: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| state[i] == St::Running)
+            .collect();
         let i = runnable[rng.gen_range(0..runnable.len())];
         if pc[i] >= programs[i].len() {
             // Outcome.
@@ -135,16 +142,25 @@ pub fn random_schedule(cfg: &GenConfig) -> Schedule {
         }
         match &programs[i][pc[i]] {
             Step::Read(o) => {
-                ops.push(Op::Read { tx: txs[i], obj: *o });
+                ops.push(Op::Read {
+                    tx: txs[i],
+                    obj: *o,
+                });
                 pc[i] += 1;
             }
             Step::Write(o) => {
-                ops.push(Op::Write { tx: txs[i], obj: *o });
+                ops.push(Op::Write {
+                    tx: txs[i],
+                    obj: *o,
+                });
                 pc[i] += 1;
             }
             Step::Entangle(objs) => {
                 for o in objs {
-                    ops.push(Op::GroundRead { tx: txs[i], obj: *o });
+                    ops.push(Op::GroundRead {
+                        tx: txs[i],
+                        obj: *o,
+                    });
                 }
                 state[i] = St::Waiting;
                 // pc advances when the entangle op fires.
@@ -162,15 +178,22 @@ mod tests {
     #[test]
     fn generated_schedules_are_valid() {
         for seed in 0..200 {
-            let cfg = GenConfig { seed, ..Default::default() };
+            let cfg = GenConfig {
+                seed,
+                ..Default::default()
+            };
             let s = random_schedule(&cfg);
-            s.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}\n{s}"));
+            s.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{s}"));
         }
     }
 
     #[test]
     fn generator_is_deterministic_per_seed() {
-        let cfg = GenConfig { seed: 42, ..Default::default() };
+        let cfg = GenConfig {
+            seed: 42,
+            ..Default::default()
+        };
         assert_eq!(random_schedule(&cfg), random_schedule(&cfg));
     }
 
@@ -179,7 +202,12 @@ mod tests {
         let mut saw_entangle = false;
         let mut saw_abort = false;
         for seed in 0..100 {
-            let cfg = GenConfig { seed, entangle_prob: 0.5, abort_prob: 0.3, ..Default::default() };
+            let cfg = GenConfig {
+                seed,
+                entangle_prob: 0.5,
+                abort_prob: 0.3,
+                ..Default::default()
+            };
             let s = random_schedule(&cfg);
             saw_entangle |= s.ops.iter().any(|o| matches!(o, Op::Entangle { .. }));
             saw_abort |= s.ops.iter().any(|o| matches!(o, Op::Abort { .. }));

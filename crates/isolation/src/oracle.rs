@@ -42,9 +42,18 @@ pub enum TheoremViolation {
     NoTopologicalOrder,
     /// A validating read in `os(σ)` saw a different value than the
     /// corresponding grounding read in σ: the oracle execution is invalid.
-    InvalidOracleExecution { tx: Tx, obj: Obj, sigma_value: i64, serial_value: i64 },
+    InvalidOracleExecution {
+        tx: Tx,
+        obj: Obj,
+        sigma_value: i64,
+        serial_value: i64,
+    },
     /// `os(σ)` produced a different final database than σ.
-    FinalStateMismatch { obj: Obj, sigma_value: Option<i64>, serial_value: Option<i64> },
+    FinalStateMismatch {
+        obj: Obj,
+        sigma_value: Option<i64>,
+        serial_value: Option<i64>,
+    },
 }
 
 impl fmt::Display for TheoremViolation {
@@ -53,14 +62,26 @@ impl fmt::Display for TheoremViolation {
             TheoremViolation::NoTopologicalOrder => {
                 write!(f, "conflict graph is cyclic; no serialization order")
             }
-            TheoremViolation::InvalidOracleExecution { tx, obj, sigma_value, serial_value } => {
+            TheoremViolation::InvalidOracleExecution {
+                tx,
+                obj,
+                sigma_value,
+                serial_value,
+            } => {
                 write!(
                     f,
                     "validating read by {tx} on {obj}: σ saw {sigma_value}, serial saw {serial_value}"
                 )
             }
-            TheoremViolation::FinalStateMismatch { obj, sigma_value, serial_value } => {
-                write!(f, "final state differs on {obj}: σ={sigma_value:?}, os(σ)={serial_value:?}")
+            TheoremViolation::FinalStateMismatch {
+                obj,
+                sigma_value,
+                serial_value,
+            } => {
+                write!(
+                    f,
+                    "final state differs on {obj}: σ={sigma_value:?}, os(σ)={serial_value:?}"
+                )
             }
         }
     }
@@ -169,7 +190,10 @@ pub fn check_oracle_serializable(
             });
         }
     }
-    Ok(SerializationWitness { order, final_db: serial_db })
+    Ok(SerializationWitness {
+        order,
+        final_db: serial_db,
+    })
 }
 
 #[cfg(test)]
@@ -186,12 +210,30 @@ mod tests {
 
     fn example() -> Schedule {
         Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(1) },
-            Op::Read { tx: t(3), obj: o(2) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(1), obj: o(2) },
-            Op::Write { tx: t(2), obj: o(3) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Read {
+                tx: t(3),
+                obj: o(2),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(2),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(3),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
             Op::Commit { tx: t(3) },
@@ -199,7 +241,9 @@ mod tests {
     }
 
     fn db0() -> Db {
-        [(o(0), 5), (o(1), 7), (o(2), 9), (o(3), 11)].into_iter().collect()
+        [(o(0), 5), (o(1), 7), (o(2), 9), (o(3), 11)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -217,10 +261,22 @@ mod tests {
     fn interleaved_but_isolated_schedule_serializes() {
         // Two classical transactions on disjoint objects, interleaved.
         let s = Schedule::new(vec![
-            Op::Read { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(1) },
-            Op::Write { tx: t(1), obj: o(0) },
-            Op::Write { tx: t(2), obj: o(1) },
+            Op::Read {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(1),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -231,10 +287,22 @@ mod tests {
     #[test]
     fn cyclic_schedule_has_no_order() {
         let s = Schedule::new(vec![
-            Op::Read { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(1) },
-            Op::Write { tx: t(1), obj: o(1) },
-            Op::Write { tx: t(2), obj: o(0) },
+            Op::Read {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -252,13 +320,31 @@ mod tests {
         // demonstrating *why* quasi-reads must be part of the conflict
         // graph. With expansion (our default), the order doesn't exist.
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(1) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(3), obj: o(1) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(3),
+                obj: o(1),
+            },
             Op::Commit { tx: t(3) },
-            Op::Read { tx: t(1), obj: o(1) },
-            Op::Write { tx: t(1), obj: o(2) },
+            Op::Read {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(2),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -300,10 +386,22 @@ mod tests {
         // break final-state equality in the abstract model. Theorem 3.6 is
         // one-directional: isolated ⇒ serializable, not the converse.
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(0) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(1), obj: o(1) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(0),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
             Op::Abort { tx: t(2) },
             Op::Commit { tx: t(1) },
         ]);
@@ -325,9 +423,15 @@ mod tests {
         // T1 writes x, then T2 overwrites x; both commit. Order must put
         // T1 before T2 and the final value is T2's.
         let s = Schedule::new(vec![
-            Op::Write { tx: t(1), obj: o(0) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
             Op::Commit { tx: t(1) },
-            Op::Write { tx: t(2), obj: o(0) },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Commit { tx: t(2) },
         ]);
         let w = check_oracle_serializable(&s, &db0()).unwrap();

@@ -48,7 +48,10 @@ impl Obj {
 
     /// A single row within a table.
     pub const fn row(space: u32, item: u64) -> Obj {
-        Obj { space, item: Some(item) }
+        Obj {
+            space,
+            item: Some(item),
+        }
     }
 
     /// Multigranularity overlap: whole-space objects overlap everything in
@@ -127,7 +130,10 @@ impl Op {
 
     /// Any kind of read (ordinary, grounding or quasi)?
     pub fn is_read(&self) -> bool {
-        matches!(self, Op::Read { .. } | Op::GroundRead { .. } | Op::QuasiRead { .. })
+        matches!(
+            self,
+            Op::Read { .. } | Op::GroundRead { .. } | Op::QuasiRead { .. }
+        )
     }
 }
 
@@ -182,7 +188,10 @@ impl fmt::Display for ValidityError {
                 write!(f, "{t} has a grounding read with no later entangle/abort")
             }
             ValidityError::OpDuringBlockedEvaluation(t) => {
-                write!(f, "{t} operates while blocked on entangled-query evaluation")
+                write!(
+                    f,
+                    "{t} operates while blocked on entangled-query evaluation"
+                )
             }
             ValidityError::MalformedEntangle(k) => write!(f, "entangle op {k} is malformed"),
         }
@@ -284,9 +293,7 @@ impl Schedule {
                 }
                 Op::Read { tx, .. } | Op::Write { tx, .. } => match state[tx] {
                     TxState::Done => return Err(ValidityError::OpAfterOutcome(*tx)),
-                    TxState::Blocked => {
-                        return Err(ValidityError::OpDuringBlockedEvaluation(*tx))
-                    }
+                    TxState::Blocked => return Err(ValidityError::OpDuringBlockedEvaluation(*tx)),
                     TxState::Running => {}
                 },
                 Op::Entangle { id, txs: parts } => {
@@ -411,12 +418,30 @@ mod tests {
     /// RG1(x) RG2(y) R3(z) E1{1,2} W1(z) W2(w) C1 C2 C3.
     fn example() -> Schedule {
         Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(1) },
-            Op::Read { tx: t(3), obj: o(2) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(1), obj: o(2) },
-            Op::Write { tx: t(2), obj: o(3) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Read {
+                tx: t(3),
+                obj: o(2),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(2),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(3),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
             Op::Commit { tx: t(3) },
@@ -437,11 +462,32 @@ mod tests {
         let ex = example().expand_quasi_reads();
         assert_eq!(
             ex.ops[0],
-            Op::GroundRead { tx: t(1), obj: o(0) }
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0)
+            }
         );
-        assert_eq!(ex.ops[1], Op::QuasiRead { tx: t(2), obj: o(0) });
-        assert_eq!(ex.ops[2], Op::GroundRead { tx: t(2), obj: o(1) });
-        assert_eq!(ex.ops[3], Op::QuasiRead { tx: t(1), obj: o(1) });
+        assert_eq!(
+            ex.ops[1],
+            Op::QuasiRead {
+                tx: t(2),
+                obj: o(0)
+            }
+        );
+        assert_eq!(
+            ex.ops[2],
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1)
+            }
+        );
+        assert_eq!(
+            ex.ops[3],
+            Op::QuasiRead {
+                tx: t(1),
+                obj: o(1)
+            }
+        );
         assert_eq!(ex.ops.len(), example().ops.len() + 2);
     }
 
@@ -452,9 +498,15 @@ mod tests {
         // (i.e. the transaction aborts instead), no quasi-reads are
         // associated with that grounding read."
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
             Op::Abort { tx: t(1) },
-            Op::Read { tx: t(2), obj: o(0) },
+            Op::Read {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Commit { tx: t(2) },
         ]);
         s.validate().unwrap();
@@ -464,12 +516,12 @@ mod tests {
 
     #[test]
     fn incomplete_history_rejected() {
-        let s = Schedule::new(vec![Op::Read { tx: t(1), obj: o(0) }]);
+        let s = Schedule::new(vec![Op::Read {
+            tx: t(1),
+            obj: o(0),
+        }]);
         assert_eq!(s.validate(), Err(ValidityError::NotExactlyOneOutcome(t(1))));
-        let s = Schedule::new(vec![
-            Op::Commit { tx: t(1) },
-            Op::Abort { tx: t(1) },
-        ]);
+        let s = Schedule::new(vec![Op::Commit { tx: t(1) }, Op::Abort { tx: t(1) }]);
         assert!(s.validate().is_err());
     }
 
@@ -477,7 +529,10 @@ mod tests {
     fn ops_after_outcome_rejected() {
         let s = Schedule::new(vec![
             Op::Commit { tx: t(1) },
-            Op::Write { tx: t(1), obj: o(0) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
         ]);
         assert_eq!(s.validate(), Err(ValidityError::OpAfterOutcome(t(1))));
     }
@@ -487,17 +542,38 @@ mod tests {
         // A write between a grounding read and the entangle is illegal:
         // entangled-query calls are blocking.
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::Write { tx: t(1), obj: o(1) },
-            Op::Entangle { id: 1, txs: vec![t(1)] },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1)],
+            },
             Op::Commit { tx: t(1) },
         ]);
-        assert_eq!(s.validate(), Err(ValidityError::OpDuringBlockedEvaluation(t(1))));
+        assert_eq!(
+            s.validate(),
+            Err(ValidityError::OpDuringBlockedEvaluation(t(1)))
+        );
         // More grounding reads are fine.
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(1), obj: o(1) },
-            Op::Entangle { id: 1, txs: vec![t(1)] },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(1),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1)],
+            },
             Op::Commit { tx: t(1) },
         ]);
         s.validate().unwrap();
@@ -506,13 +582,22 @@ mod tests {
     #[test]
     fn dangling_grounding_read_rejected() {
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
             Op::Commit { tx: t(1) },
         ]);
-        assert_eq!(s.validate(), Err(ValidityError::DanglingGroundingRead(t(1))));
+        assert_eq!(
+            s.validate(),
+            Err(ValidityError::DanglingGroundingRead(t(1)))
+        );
         // Abort after grounding read is fine (failed entanglement).
         let s = Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
             Op::Abort { tx: t(1) },
         ]);
         s.validate().unwrap();
@@ -520,9 +605,7 @@ mod tests {
 
     #[test]
     fn malformed_entangle_rejected() {
-        let s = Schedule::new(vec![
-            Op::Entangle { id: 7, txs: vec![] },
-        ]);
+        let s = Schedule::new(vec![Op::Entangle { id: 7, txs: vec![] }]);
         assert_eq!(s.validate(), Err(ValidityError::MalformedEntangle(7)));
     }
 

@@ -27,7 +27,9 @@ pub type Db = BTreeMap<Obj, i64>;
 
 /// Deterministic mixing function (the "transaction logic").
 pub fn mix(acc: i64, v: i64) -> i64 {
-    acc.wrapping_mul(1_000_003).wrapping_add(v).wrapping_add(0x9E37)
+    acc.wrapping_mul(1_000_003)
+        .wrapping_add(v)
+        .wrapping_add(0x9E37)
 }
 
 /// The value a transaction writes given its state.
@@ -83,7 +85,11 @@ pub fn execute(s: &Schedule, initial: &Db) -> ExecutionTrace {
             Op::GroundRead { tx, obj } => {
                 let v = get(&db, *obj);
                 pending.entry(*tx).or_default().push((*obj, v));
-                trace.grounding_reads.entry(*tx).or_default().push((*obj, v));
+                trace
+                    .grounding_reads
+                    .entry(*tx)
+                    .or_default()
+                    .push((*obj, v));
             }
             Op::QuasiRead { .. } => {}
             Op::Write { tx, obj } => {
@@ -146,12 +152,30 @@ mod tests {
 
     fn example() -> Schedule {
         Schedule::new(vec![
-            Op::GroundRead { tx: t(1), obj: o(0) },
-            Op::GroundRead { tx: t(2), obj: o(1) },
-            Op::Read { tx: t(3), obj: o(2) },
-            Op::Entangle { id: 1, txs: vec![t(1), t(2)] },
-            Op::Write { tx: t(1), obj: o(2) },
-            Op::Write { tx: t(2), obj: o(3) },
+            Op::GroundRead {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::GroundRead {
+                tx: t(2),
+                obj: o(1),
+            },
+            Op::Read {
+                tx: t(3),
+                obj: o(2),
+            },
+            Op::Entangle {
+                id: 1,
+                txs: vec![t(1), t(2)],
+            },
+            Op::Write {
+                tx: t(1),
+                obj: o(2),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(3),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
             Op::Commit { tx: t(3) },
@@ -185,14 +209,23 @@ mod tests {
         let db2: Db = [(o(0), 5), (o(1), 8)].into_iter().collect();
         let a1 = execute(&example(), &db1).answers[&1][&t(1)];
         let a2 = execute(&example(), &db2).answers[&1][&t(1)];
-        assert_ne!(a1, a2, "t1 never read o(1) directly, yet its answer changed");
+        assert_ne!(
+            a1, a2,
+            "t1 never read o(1) directly, yet its answer changed"
+        );
     }
 
     #[test]
     fn aborted_writes_absent_from_final_db() {
         let s = Schedule::new(vec![
-            Op::Write { tx: t(1), obj: o(0) },
-            Op::Write { tx: t(2), obj: o(1) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(1),
+            },
             Op::Abort { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -204,8 +237,14 @@ mod tests {
     #[test]
     fn committed_overwrite_order_respected() {
         let s = Schedule::new(vec![
-            Op::Write { tx: t(1), obj: o(0) },
-            Op::Write { tx: t(2), obj: o(0) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Commit { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -219,8 +258,14 @@ mod tests {
         // The *running* database shows uncommitted writes (that is what
         // makes dirty reads representable); the *final* db does not.
         let s = Schedule::new(vec![
-            Op::Write { tx: t(1), obj: o(0) },
-            Op::Read { tx: t(2), obj: o(0) },
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Read {
+                tx: t(2),
+                obj: o(0),
+            },
             Op::Abort { tx: t(1) },
             Op::Commit { tx: t(2) },
         ]);
@@ -233,7 +278,10 @@ mod tests {
     fn grounding_basis_recorded_in_read_order() {
         let db: Db = [(o(0), 5), (o(1), 7)].into_iter().collect();
         let tr = execute(&example(), &db);
-        assert_eq!(tr.grounding_basis[&1], vec![(t(1), o(0), 5), (t(2), o(1), 7)]);
+        assert_eq!(
+            tr.grounding_basis[&1],
+            vec![(t(1), o(0), 5), (t(2), o(1), 7)]
+        );
         assert_eq!(tr.grounding_reads[&t(1)], vec![(o(0), 5)]);
     }
 }

@@ -70,7 +70,10 @@ fn generator_census_covers_both_classes() {
     let mut isolated = 0usize;
     let mut anomalous = 0usize;
     for seed in 0..400 {
-        let cfg = GenConfig { seed, ..GenConfig::default() };
+        let cfg = GenConfig {
+            seed,
+            ..GenConfig::default()
+        };
         let s = random_schedule(&cfg);
         if is_entangled_isolated(&s) {
             isolated += 1;

@@ -100,7 +100,10 @@ impl State {
                     q.waiting.remove(i);
                     match q.granted.iter_mut().find(|r| r.tx == w.tx) {
                         Some(r) => r.mode = target,
-                        None => q.granted.push(Request { tx: w.tx, mode: target }),
+                        None => q.granted.push(Request {
+                            tx: w.tx,
+                            mode: target,
+                        }),
                     }
                     self.held.entry(w.tx).or_default().insert(res.clone());
                     granted_any = true;
@@ -236,8 +239,8 @@ impl LockManager {
 
         // Immediate grant: compatible with grants, and — for fresh requests
         // — nobody already waiting (FIFO fairness). Upgrades may overtake.
-        let can_grant = q.compatible_with_granted(tx, target)
-            && (already.is_some() || q.waiting.is_empty());
+        let can_grant =
+            q.compatible_with_granted(tx, target) && (already.is_some() || q.waiting.is_empty());
         if can_grant {
             match q.granted.iter_mut().find(|r| r.tx == tx) {
                 Some(r) => r.mode = target,
@@ -271,7 +274,7 @@ impl LockManager {
         loop {
             // Granted?
             if let Some(q) = st.queues.get(&res) {
-                if q.granted_mode(tx).map_or(false, |m| m.covers(mode)) {
+                if q.granted_mode(tx).is_some_and(|m| m.covers(mode)) {
                     self.stats.grants.fetch_add(1, Ordering::Relaxed);
                     return Ok(());
                 }
@@ -288,7 +291,7 @@ impl LockManager {
                     if now >= d || self.cv.wait_until(&mut st, d).timed_out() {
                         // Re-check: promotion may have raced the timeout.
                         if let Some(q) = st.queues.get(&res) {
-                            if q.granted_mode(tx).map_or(false, |m| m.covers(mode)) {
+                            if q.granted_mode(tx).is_some_and(|m| m.covers(mode)) {
                                 self.stats.grants.fetch_add(1, Ordering::Relaxed);
                                 return Ok(());
                             }
@@ -485,7 +488,9 @@ mod tests {
         let h = std::thread::spawn(move || lm2.lock(t(1), b2, X, Some(Duration::from_secs(5))));
         std::thread::sleep(Duration::from_millis(30));
         // t2 requesting a closes the cycle: t2 is the victim.
-        let err = lm.lock(t(2), a.clone(), X, Some(Duration::from_secs(5))).unwrap_err();
+        let err = lm
+            .lock(t(2), a.clone(), X, Some(Duration::from_secs(5)))
+            .unwrap_err();
         assert_eq!(err, LockError::Deadlock);
         assert_eq!(lm.stats().deadlocks.load(Ordering::Relaxed), 1);
         // Victim aborts, releasing b; t1 proceeds.
@@ -506,7 +511,9 @@ mod tests {
         let rr = r.clone();
         let h = std::thread::spawn(move || lm2.lock(t(1), rr, X, Some(Duration::from_secs(5))));
         std::thread::sleep(Duration::from_millis(30));
-        let err = lm.lock(t(2), r.clone(), X, Some(Duration::from_secs(5))).unwrap_err();
+        let err = lm
+            .lock(t(2), r.clone(), X, Some(Duration::from_secs(5)))
+            .unwrap_err();
         assert_eq!(err, LockError::Deadlock);
         lm.unlock_all(t(2));
         assert_eq!(h.join().unwrap(), Ok(()));
@@ -540,7 +547,10 @@ mod tests {
         let r2 = r.clone();
         let w2 = std::thread::spawn(move || lm2.lock(t(2), r2, S, Some(Duration::from_secs(5))));
         std::thread::sleep(Duration::from_millis(30));
-        assert!(!lm.try_lock(t(3), r.clone(), S), "fresh request must queue behind waiter");
+        assert!(
+            !lm.try_lock(t(3), r.clone(), S),
+            "fresh request must queue behind waiter"
+        );
         lm.unlock_all(t(1));
         assert_eq!(w2.join().unwrap(), Ok(()));
         // Now t2 holds S, and t3 can join it.

@@ -15,11 +15,17 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn bare(column: impl Into<String>) -> ColumnRef {
-        ColumnRef { qualifier: None, column: column.into() }
+        ColumnRef {
+            qualifier: None,
+            column: column.into(),
+        }
     }
 
     pub fn qualified(q: impl Into<String>, column: impl Into<String>) -> ColumnRef {
-        ColumnRef { qualifier: Some(q.into()), column: column.into() }
+        ColumnRef {
+            qualifier: Some(q.into()),
+            column: column.into(),
+        }
     }
 }
 
@@ -65,14 +71,24 @@ impl Scalar {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Cond {
     True,
-    Cmp { op: CmpOp, lhs: Scalar, rhs: Scalar },
+    Cmp {
+        op: CmpOp,
+        lhs: Scalar,
+        rhs: Scalar,
+    },
     And(Box<Cond>, Box<Cond>),
     Or(Box<Cond>, Box<Cond>),
     Not(Box<Cond>),
     /// `(a, b) IN (SELECT …)` — tuple membership in a subquery.
-    InSelect { tuple: Vec<Scalar>, select: Box<Select> },
+    InSelect {
+        tuple: Vec<Scalar>,
+        select: Box<Select>,
+    },
     /// `(a, b) IN ANSWER R` — the entanglement postcondition (§2).
-    InAnswer { tuple: Vec<Scalar>, answer: String },
+    InAnswer {
+        tuple: Vec<Scalar>,
+        answer: String,
+    },
 }
 
 impl Cond {
@@ -124,7 +140,11 @@ pub struct SelectItem {
 
 impl SelectItem {
     pub fn plain(expr: Scalar) -> SelectItem {
-        SelectItem { expr, alias: None, bind: None }
+        SelectItem {
+            expr,
+            alias: None,
+            bind: None,
+        }
     }
 }
 
@@ -171,13 +191,32 @@ pub struct EntangledSelect {
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    CreateTable { name: String, columns: Vec<(String, ValueType)> },
-    Insert { table: String, columns: Option<Vec<String>>, values: Vec<Scalar> },
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ValueType)>,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        values: Vec<Scalar>,
+    },
     Select(Select),
-    Update { table: String, sets: Vec<(String, Scalar)>, where_clause: Cond },
-    Delete { table: String, where_clause: Cond },
-    SetVar { name: String, expr: Scalar },
-    Begin { timeout: Option<Duration> },
+    Update {
+        table: String,
+        sets: Vec<(String, Scalar)>,
+        where_clause: Cond,
+    },
+    Delete {
+        table: String,
+        where_clause: Cond,
+    },
+    SetVar {
+        name: String,
+        expr: Scalar,
+    },
+    Begin {
+        timeout: Option<Duration>,
+    },
     Commit,
     Rollback,
     Entangled(EntangledSelect),
@@ -208,8 +247,16 @@ mod tests {
 
     #[test]
     fn conjunct_split() {
-        let a = Cond::Cmp { op: CmpOp::Eq, lhs: Scalar::lit(1i64), rhs: Scalar::lit(1i64) };
-        let b = Cond::Cmp { op: CmpOp::Lt, lhs: Scalar::lit(1i64), rhs: Scalar::lit(2i64) };
+        let a = Cond::Cmp {
+            op: CmpOp::Eq,
+            lhs: Scalar::lit(1i64),
+            rhs: Scalar::lit(1i64),
+        };
+        let b = Cond::Cmp {
+            op: CmpOp::Lt,
+            lhs: Scalar::lit(1i64),
+            rhs: Scalar::lit(2i64),
+        };
         let c = a.clone().and(b.clone());
         assert_eq!(c.conjuncts().len(), 2);
         assert_eq!(Cond::True.conjuncts().len(), 0);
@@ -217,12 +264,12 @@ mod tests {
 
     #[test]
     fn mentions_answer_traverses() {
-        let inner = Cond::InAnswer { tuple: vec![Scalar::lit(1i64)], answer: "R".into() };
+        let inner = Cond::InAnswer {
+            tuple: vec![Scalar::lit(1i64)],
+            answer: "R".into(),
+        };
         assert!(inner.mentions_answer());
-        let nested = Cond::Not(Box::new(Cond::Or(
-            Box::new(Cond::True),
-            Box::new(inner),
-        )));
+        let nested = Cond::Not(Box::new(Cond::Or(Box::new(Cond::True), Box::new(inner))));
         assert!(nested.mentions_answer());
         assert!(!Cond::True.mentions_answer());
     }
@@ -240,9 +287,15 @@ mod tests {
 
     #[test]
     fn table_ref_binding_name() {
-        let t = TableRef { table: "User".into(), alias: Some("u1".into()) };
+        let t = TableRef {
+            table: "User".into(),
+            alias: Some("u1".into()),
+        };
         assert_eq!(t.binding_name(), "u1");
-        let t = TableRef { table: "User".into(), alias: None };
+        let t = TableRef {
+            table: "User".into(),
+            alias: None,
+        };
         assert_eq!(t.binding_name(), "User");
     }
 

@@ -34,11 +34,9 @@ pub mod lower;
 pub mod parser;
 pub mod token;
 
-pub use ast::{
-    ColumnRef, Cond, EntangledSelect, Scalar, Select, SelectItem, Statement, TableRef,
-};
+pub use ast::{ColumnRef, Cond, EntangledSelect, Scalar, Select, SelectItem, Statement, TableRef};
 pub use lower::{
-    lower_const_scalar, lower_select, lower_table_cond, LoweredSelect, LowerError, VarEnv,
+    lower_const_scalar, lower_select, lower_table_cond, LowerError, LoweredSelect, VarEnv,
 };
 pub use parser::{parse_script, parse_statement, ParseError};
 pub use token::{lex, LexError, Token};

@@ -7,7 +7,7 @@
 //! join factors plus equality predicates. Subqueries must be uncorrelated
 //! (they may use host variables, which are constants by lowering time).
 
-use crate::ast::{Cond, ColumnRef, Scalar, Select, SelectItem};
+use crate::ast::{ColumnRef, Cond, Scalar, Select, SelectItem};
 use std::collections::HashMap;
 use std::fmt;
 use youtopia_storage::{Database, Expr, SpjQuery, StorageError, Value};
@@ -127,6 +127,10 @@ fn lower_scalar(s: &Scalar, scope: &Scope<'_>, vars: &VarEnv) -> Result<Expr, Lo
     }
 }
 
+/// Projection expressions, output column names, and variable bindings
+/// (projection index, variable name) accumulated while lowering a SELECT.
+type SelectParts = (Vec<Expr>, Vec<String>, Vec<(usize, String)>);
+
 /// Lower a full SELECT, flattening IN-subqueries into the join. `tables`
 /// and `conjuncts` accumulate across nesting levels.
 fn lower_select_into(
@@ -135,9 +139,12 @@ fn lower_select_into(
     vars: &VarEnv,
     tables: &mut Vec<String>,
     conjuncts: &mut Vec<Expr>,
-) -> Result<(Vec<Expr>, Vec<String>, Vec<(usize, String)>), LowerError> {
+) -> Result<SelectParts, LowerError> {
     let base = tables.len();
-    let mut scope = Scope { db, entries: Vec::new() };
+    let mut scope = Scope {
+        db,
+        entries: Vec::new(),
+    };
     for (i, tr) in sel.from.iter().enumerate() {
         db.table(&tr.table)
             .map_err(|_| LowerError::UnknownTable(tr.table.clone()))?;
@@ -159,7 +166,10 @@ fn lower_select_into(
         for e in &scope.entries {
             let t = db.table(&e.table)?;
             for (ci, col) in t.schema().columns().iter().enumerate() {
-                projection.push(Expr::Col { tbl: e.position, col: ci });
+                projection.push(Expr::Col {
+                    tbl: e.position,
+                    col: ci,
+                });
                 names.push(col.name.clone());
             }
         }
@@ -209,8 +219,7 @@ fn lower_cond_into(
                     return Err(LowerError::Unsupported("DISTINCT/LIMIT inside IN subquery"));
                 }
                 let mut sub_conjs = Vec::new();
-                let (sub_proj, _, _) =
-                    lower_select_into(db, select, vars, tables, &mut sub_conjs)?;
+                let (sub_proj, _, _) = lower_select_into(db, select, vars, tables, &mut sub_conjs)?;
                 if sub_proj.len() != tuple.len() {
                     return Err(LowerError::Unsupported("IN tuple arity mismatch"));
                 }
@@ -231,7 +240,9 @@ fn lower_cond_into(
                 ));
             }
             Cond::Not(inner) => {
-                conjuncts.push(Expr::Not(Box::new(lower_pure_cond(db, inner, scope, vars)?)));
+                conjuncts.push(Expr::Not(Box::new(lower_pure_cond(
+                    db, inner, scope, vars,
+                )?)));
             }
             Cond::True => {}
             Cond::And(..) => unreachable!("conjuncts() flattens ANDs"),
@@ -242,6 +253,7 @@ fn lower_cond_into(
 
 /// Lower a condition that must not introduce new join factors (inside
 /// OR/NOT, where flattening would change semantics).
+#[allow(clippy::only_used_in_recursion)]
 fn lower_pure_cond(
     db: &Database,
     cond: &Cond,
@@ -287,7 +299,11 @@ pub fn lower_select(
         distinct: sel.distinct,
         limit: sel.limit.map(|l| l as usize),
     };
-    Ok(LoweredSelect { query, names, bindings })
+    Ok(LoweredSelect {
+        query,
+        names,
+        bindings,
+    })
 }
 
 /// Lower a WHERE clause over a single named table (UPDATE/DELETE): no
@@ -321,11 +337,13 @@ pub fn lower_const_scalar(s: &Scalar, vars: &VarEnv) -> Result<Value, LowerError
         Scalar::Col(c) => Err(LowerError::UnknownColumn(c.to_string())),
         Scalar::Add(l, r) => {
             let (l, r) = (lower_const_scalar(l, vars)?, lower_const_scalar(r, vars)?);
-            l.add(&r).ok_or(LowerError::Unsupported("invalid arithmetic operands"))
+            l.add(&r)
+                .ok_or(LowerError::Unsupported("invalid arithmetic operands"))
         }
         Scalar::Sub(l, r) => {
             let (l, r) = (lower_const_scalar(l, vars)?, lower_const_scalar(r, vars)?);
-            l.sub(&r).ok_or(LowerError::Unsupported("invalid arithmetic operands"))
+            l.sub(&r)
+                .ok_or(LowerError::Unsupported("invalid arithmetic operands"))
         }
     }
 }
@@ -333,8 +351,8 @@ pub fn lower_const_scalar(s: &Scalar, vars: &VarEnv) -> Result<Value, LowerError
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse_statement;
     use crate::ast::Statement;
+    use crate::parser::parse_statement;
     use youtopia_storage::{eval_spj, Schema, ValueType};
 
     fn travel_db() -> Database {
@@ -359,13 +377,18 @@ mod tests {
         )
         .unwrap();
         for (fno, d, dest) in [(122, 100, "LA"), (123, 101, "LA"), (235, 102, "Paris")] {
-            db.insert("Flights", vec![Value::Int(fno), Value::Date(d), Value::str(dest)])
-                .unwrap();
+            db.insert(
+                "Flights",
+                vec![Value::Int(fno), Value::Date(d), Value::str(dest)],
+            )
+            .unwrap();
         }
         for (fno, a) in [(122, "United"), (123, "Delta"), (235, "Delta")] {
-            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)]).unwrap();
+            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)])
+                .unwrap();
         }
-        db.insert("User", vec![Value::Int(36513), Value::str("FAT")]).unwrap();
+        db.insert("User", vec![Value::Int(36513), Value::str("FAT")])
+            .unwrap();
         db
     }
 
@@ -500,8 +523,10 @@ mod tests {
     #[test]
     fn table_cond_lowering_for_update_delete() {
         let db = travel_db();
-        let Statement::Delete { table, where_clause } =
-            parse_statement("DELETE FROM Flights WHERE fno = 122").unwrap()
+        let Statement::Delete {
+            table,
+            where_clause,
+        } = parse_statement("DELETE FROM Flights WHERE fno = 122").unwrap()
         else {
             panic!()
         };
@@ -534,9 +559,8 @@ mod tests {
         let out = eval_spj(&db, &lowered.query).unwrap();
         assert_eq!(out.rows.len(), 3);
         // IN inside OR is rejected (would change semantics if flattened).
-        let sel = select(
-            "SELECT fno FROM Flights WHERE dest = 'X' OR fno IN (SELECT fno FROM Airlines)",
-        );
+        let sel =
+            select("SELECT fno FROM Flights WHERE dest = 'X' OR fno IN (SELECT fno FROM Airlines)");
         assert!(matches!(
             lower_select(&db, &sel, &VarEnv::new()),
             Err(LowerError::Unsupported(_))

@@ -24,18 +24,33 @@ use youtopia_storage::{CmpOp, Value, ValueType};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
     Lex(LexError),
-    Unexpected { at: usize, found: String, expected: String },
-    Eof { expected: String },
+    Unexpected {
+        at: usize,
+        found: String,
+        expected: String,
+    },
+    Eof {
+        expected: String,
+    },
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { at, found, expected } => {
-                write!(f, "parse error at token {at}: found `{found}`, expected {expected}")
+            ParseError::Unexpected {
+                at,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "parse error at token {at}: found `{found}`, expected {expected}"
+                )
             }
-            ParseError::Eof { expected } => write!(f, "unexpected end of input, expected {expected}"),
+            ParseError::Eof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
         }
     }
 }
@@ -145,7 +160,9 @@ impl Parser {
                 found: t.to_string(),
                 expected: expected.to_string(),
             },
-            None => ParseError::Eof { expected: expected.to_string() },
+            None => ParseError::Eof {
+                expected: expected.to_string(),
+            },
         }
     }
 
@@ -271,7 +288,11 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen)?;
-        Ok(Statement::Insert { table, columns, values })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
     }
 
     fn update(&mut self) -> Result<Statement, ParseError> {
@@ -287,16 +308,31 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
-        Ok(Statement::Update { table, sets, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            self.cond()?
+        } else {
+            Cond::True
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
-        Ok(Statement::Delete { table, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            self.cond()?
+        } else {
+            Cond::True
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
     }
 
     fn set_var(&mut self) -> Result<Statement, ParseError> {
@@ -306,7 +342,10 @@ impl Parser {
             _ => return Err(self.err("@variable")),
         };
         self.expect(&Token::Eq)?;
-        Ok(Statement::SetVar { name, expr: self.scalar()? })
+        Ok(Statement::SetVar {
+            name,
+            expr: self.scalar()?,
+        })
     }
 
     fn begin(&mut self) -> Result<Statement, ParseError> {
@@ -358,10 +397,19 @@ impl Parser {
                 self.expect_kw("ANSWER")?;
                 into.push(self.ident()?);
             }
-            let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
+            let where_clause = if self.eat_kw("WHERE") {
+                self.cond()?
+            } else {
+                Cond::True
+            };
             self.expect_kw("CHOOSE")?;
             let choose = self.int_lit()? as u64;
-            return Ok(Statement::Entangled(EntangledSelect { items, into, where_clause, choose }));
+            return Ok(Statement::Entangled(EntangledSelect {
+                items,
+                into,
+                where_clause,
+                choose,
+            }));
         }
         let mut from = Vec::new();
         if self.eat_kw("FROM") {
@@ -372,8 +420,16 @@ impl Parser {
                 }
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { self.cond()? } else { Cond::True };
-        let limit = if self.eat_kw("LIMIT") { Some(self.int_lit()? as u64) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            self.cond()?
+        } else {
+            Cond::True
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.int_lit()? as u64)
+        } else {
+            None
+        };
         // In a *classical* select, a bare `@var` item (Appendix D:
         // `SELECT @uid, @hometown FROM User WHERE uid=36513`) selects the
         // like-named column and binds it to the variable. In entangled
@@ -392,7 +448,14 @@ impl Parser {
                 item
             })
             .collect();
-        Ok(Statement::Select(Select { items, star, from, where_clause, distinct, limit }))
+        Ok(Statement::Select(Select {
+            items,
+            star,
+            from,
+            where_clause,
+            distinct,
+            limit,
+        }))
     }
 
     fn select_item(&mut self) -> Result<SelectItem, ParseError> {
@@ -416,8 +479,9 @@ impl Parser {
             alias = Some(self.ident()?);
         } else if let Some(Token::Ident(s)) = self.peek() {
             // Bare alias (`Flights F`) — but keywords terminate the list.
-            const STOPPERS: [&str; 8] =
-                ["WHERE", "LIMIT", "CHOOSE", "ORDER", "GROUP", "AND", "OR", "ON"];
+            const STOPPERS: [&str; 8] = [
+                "WHERE", "LIMIT", "CHOOSE", "ORDER", "GROUP", "AND", "OR", "ON",
+            ];
             if !STOPPERS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
                 alias = Some(self.ident()?);
             }
@@ -512,7 +576,10 @@ impl Parser {
         let st = self.select_or_entangled()?;
         self.expect(&Token::RParen)?;
         match st {
-            Statement::Select(s) => Ok(Cond::InSelect { tuple, select: Box::new(s) }),
+            Statement::Select(s) => Ok(Cond::InSelect {
+                tuple,
+                select: Box::new(s),
+            }),
             _ => Err(self.err("classical subquery inside IN")),
         }
     }
@@ -611,13 +678,19 @@ mod tests {
             }
             other => panic!("wrong statement {other:?}"),
         }
-        let st =
-            parse_statement("INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);").unwrap();
+        let st = parse_statement("INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid);").unwrap();
         match st {
-            Statement::Insert { table, columns, values } => {
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
                 assert_eq!(table, "Reserve");
                 assert_eq!(columns.unwrap(), vec!["uid", "fid"]);
-                assert_eq!(values, vec![Scalar::HostVar("uid".into()), Scalar::HostVar("fid".into())]);
+                assert_eq!(
+                    values,
+                    vec![Scalar::HostVar("uid".into()), Scalar::HostVar("fid".into())]
+                );
             }
             other => panic!("wrong statement {other:?}"),
         }
@@ -632,7 +705,9 @@ mod tests {
                    AND ('Minnie', fno, fdate) IN ANSWER Reservation \
                    CHOOSE 1";
         let st = parse_statement(sql).unwrap();
-        let Statement::Entangled(eq) = st else { panic!("expected entangled") };
+        let Statement::Entangled(eq) = st else {
+            panic!("expected entangled")
+        };
         assert_eq!(eq.into, vec!["Reservation"]);
         assert_eq!(eq.choose, 1);
         assert_eq!(eq.items.len(), 3);
@@ -640,7 +715,9 @@ mod tests {
         let conjs = eq.where_clause.conjuncts();
         assert_eq!(conjs.len(), 2);
         assert!(matches!(conjs[0], Cond::InSelect { tuple, .. } if tuple.len() == 2));
-        assert!(matches!(conjs[1], Cond::InAnswer { tuple, answer } if tuple.len() == 3 && answer == "Reservation"));
+        assert!(
+            matches!(conjs[1], Cond::InAnswer { tuple, answer } if tuple.len() == 3 && answer == "Reservation")
+        );
     }
 
     #[test]
@@ -652,7 +729,9 @@ mod tests {
                    AND ('Mickey', fno, fdate) IN ANSWER Reservation \
                    CHOOSE 1";
         let st = parse_statement(sql).unwrap();
-        let Statement::Entangled(eq) = st else { panic!() };
+        let Statement::Entangled(eq) = st else {
+            panic!()
+        };
         let Cond::InSelect { select, .. } = eq.where_clause.conjuncts()[0] else {
             panic!("expected InSelect")
         };
@@ -682,12 +761,18 @@ mod tests {
         assert_eq!(sts.len(), 5);
         assert_eq!(
             sts[0],
-            Statement::Begin { timeout: Some(Duration::from_secs(2 * 86400)) }
+            Statement::Begin {
+                timeout: Some(Duration::from_secs(2 * 86400))
+            }
         );
-        let Statement::Entangled(flight) = &sts[1] else { panic!() };
+        let Statement::Entangled(flight) = &sts[1] else {
+            panic!()
+        };
         assert_eq!(flight.items[2].bind.as_deref(), Some("ArrivalDay"));
         assert!(matches!(&sts[2], Statement::SetVar { name, .. } if name == "StayLength"));
-        let Statement::Entangled(hotel) = &sts[3] else { panic!() };
+        let Statement::Entangled(hotel) = &sts[3] else {
+            panic!()
+        };
         // Host variables appear inside the entangled head and postcondition.
         assert_eq!(hotel.items[2].expr, Scalar::HostVar("ArrivalDay".into()));
         assert_eq!(sts[4], Statement::Commit);
@@ -698,7 +783,9 @@ mod tests {
         let sql = "SELECT uid2 FROM Friends, User as u1, User as u2 \
                    WHERE Friends.uid1=@uid AND Friends.uid2=u2.uid \
                    AND u1.uid=@uid AND u1.hometown=u2.hometown LIMIT 1";
-        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(s.from.len(), 3);
         assert_eq!(s.from[1].binding_name(), "u1");
         assert_eq!(s.limit, Some(1));
@@ -708,7 +795,9 @@ mod tests {
     #[test]
     fn bare_hostvar_select_items_bind() {
         let sql = "SELECT @uid, @hometown FROM User WHERE uid=36513";
-        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.items[0].bind.as_deref(), Some("uid"));
         assert_eq!(s.items[0].expr, Scalar::Col(ColumnRef::bare("uid")));
@@ -723,7 +812,9 @@ mod tests {
              WHERE Friends.uid1=36513 AND Friends.uid2=45747 \
              AND u1.uid=36513 AND u2.uid=45747 AND u1.hometown=u2.hometown) \
             AND (45747, 'PHF') IN ANSWER Reserve CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(eq.items[0].bind.as_deref(), Some("uid"));
         assert_eq!(eq.items[1].bind.as_deref(), Some("destination"));
         assert!(eq.where_clause.mentions_answer());
@@ -731,30 +822,40 @@ mod tests {
 
     #[test]
     fn update_delete_set() {
-        let st = parse_statement("UPDATE Hotels SET price = 100, city = 'LA' WHERE hid = 3").unwrap();
+        let st =
+            parse_statement("UPDATE Hotels SET price = 100, city = 'LA' WHERE hid = 3").unwrap();
         assert!(matches!(st, Statement::Update { ref sets, .. } if sets.len() == 2));
         let st = parse_statement("DELETE FROM Reserve WHERE uid = 10").unwrap();
         assert!(matches!(st, Statement::Delete { .. }));
         let st = parse_statement("DELETE FROM Reserve").unwrap();
-        assert!(matches!(st, Statement::Delete { ref where_clause, .. } if *where_clause == Cond::True));
+        assert!(
+            matches!(st, Statement::Delete { ref where_clause, .. } if *where_clause == Cond::True)
+        );
         let st = parse_statement("SET @x = @y + 1").unwrap();
         assert!(matches!(st, Statement::SetVar { .. }));
     }
 
     #[test]
     fn begin_variants() {
-        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin { timeout: None });
+        assert_eq!(
+            parse_statement("BEGIN").unwrap(),
+            Statement::Begin { timeout: None }
+        );
         assert_eq!(
             parse_statement("BEGIN TRANSACTION").unwrap(),
             Statement::Begin { timeout: None }
         );
         assert_eq!(
             parse_statement("BEGIN TRANSACTION WITH TIMEOUT 500 MS").unwrap(),
-            Statement::Begin { timeout: Some(Duration::from_millis(500)) }
+            Statement::Begin {
+                timeout: Some(Duration::from_millis(500))
+            }
         );
         assert_eq!(
             parse_statement("BEGIN WITH TIMEOUT 3 MINUTES").unwrap(),
-            Statement::Begin { timeout: Some(Duration::from_secs(180)) }
+            Statement::Begin {
+                timeout: Some(Duration::from_secs(180))
+            }
         );
     }
 
@@ -802,7 +903,10 @@ mod tests {
         assert!(parse_statement("SELECT FROM").is_err());
         assert!(parse_statement("BEGIN WITH TIMEOUT 2 FORTNIGHTS").is_err());
         assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
-        assert!(parse_statement("SELECT 1 INTO ANSWER R WHERE 1=1").is_err(), "missing CHOOSE");
+        assert!(
+            parse_statement("SELECT 1 INTO ANSWER R WHERE 1=1").is_err(),
+            "missing CHOOSE"
+        );
         let err = parse_statement("SELECT 1 extra garbage ; SELECT").unwrap_err();
         assert!(matches!(err, ParseError::Unexpected { .. }));
     }
@@ -810,7 +914,9 @@ mod tests {
     #[test]
     fn multiple_answer_relations() {
         let sql = "SELECT 'x' INTO ANSWER A, ANSWER B WHERE ('y') IN ANSWER A CHOOSE 1";
-        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else { panic!() };
+        let Statement::Entangled(eq) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
         assert_eq!(eq.into, vec!["A", "B"]);
     }
 

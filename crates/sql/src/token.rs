@@ -167,11 +167,16 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j >= b.len() {
-                    return Err(LexError { offset: i, message: "unterminated string".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "unterminated string".into(),
+                    });
                 }
                 let s = &input[start..j];
                 let lit = if looks_like_date(s) {
-                    Value::parse_date(s).map(Token::Lit).unwrap_or_else(|| Token::Lit(Value::str(s)))
+                    Value::parse_date(s)
+                        .map(Token::Lit)
+                        .unwrap_or_else(|| Token::Lit(Value::str(s)))
                 } else {
                     Token::Lit(Value::str(s))
                 };
@@ -185,7 +190,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { offset: i, message: "empty host variable".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "empty host variable".into(),
+                    });
                 }
                 out.push(Token::HostVar(input[start..j].to_string()));
                 i = j;
@@ -196,16 +204,18 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 while j < b.len() && b[j].is_ascii_digit() {
                     j += 1;
                 }
-                let n: i64 = input[start..j]
-                    .parse()
-                    .map_err(|_| LexError { offset: start, message: "integer overflow".into() })?;
+                let n: i64 = input[start..j].parse().map_err(|_| LexError {
+                    offset: start,
+                    message: "integer overflow".into(),
+                })?;
                 out.push(Token::Lit(Value::Int(n)));
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
                 let mut j = i;
-                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.') {
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.')
+                {
                     j += 1;
                 }
                 out.push(Token::Ident(input[start..j].to_string()));
@@ -237,9 +247,7 @@ mod tests {
     #[test]
     fn date_literals_are_typed() {
         let toks = lex("SET @x = '2011-05-06' - @ArrivalDay").unwrap();
-        assert!(toks
-            .iter()
-            .any(|t| matches!(t, Token::Lit(Value::Date(_)))));
+        assert!(toks.iter().any(|t| matches!(t, Token::Lit(Value::Date(_)))));
         assert!(toks.contains(&Token::HostVar("x".into())));
         assert!(toks.contains(&Token::Minus));
     }
@@ -275,7 +283,15 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Lt, &Token::Gt, &Token::Eq]
+            vec![
+                &Token::Le,
+                &Token::Ge,
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq
+            ]
         );
     }
 

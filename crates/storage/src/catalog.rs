@@ -73,7 +73,8 @@ impl Database {
 
     /// Create a table, replacing any existing one (used by recovery).
     pub fn create_or_replace_table(&mut self, name: &str, schema: Schema) {
-        self.tables.insert(Self::key(name), Table::new(name, schema));
+        self.tables
+            .insert(Self::key(name), Table::new(name, schema));
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<(), StorageError> {
@@ -113,21 +114,28 @@ impl Database {
     pub fn get(&self, table: &str, id: RowId) -> Result<&Row, StorageError> {
         self.table(table)?
             .get(id)
-            .ok_or_else(|| StorageError::NoSuchRow { table: table.to_string(), row: id })
+            .ok_or_else(|| StorageError::NoSuchRow {
+                table: table.to_string(),
+                row: id,
+            })
     }
 
     /// Delete a row by id, returning the before-image.
     pub fn delete(&mut self, table: &str, id: RowId) -> Result<Row, StorageError> {
         let t = self.table_mut(table)?;
-        t.delete(id)
-            .ok_or_else(|| StorageError::NoSuchRow { table: table.to_string(), row: id })
+        t.delete(id).ok_or_else(|| StorageError::NoSuchRow {
+            table: table.to_string(),
+            row: id,
+        })
     }
 
     /// Update a row by id, returning the before-image.
     pub fn update(&mut self, table: &str, id: RowId, new: Row) -> Result<Row, StorageError> {
         let t = self.table_mut(table)?;
-        t.update(id, new)?
-            .ok_or_else(|| StorageError::NoSuchRow { table: table.to_string(), row: id })
+        t.update(id, new)?.ok_or_else(|| StorageError::NoSuchRow {
+            table: table.to_string(),
+            row: id,
+        })
     }
 
     /// Total live rows across all tables (diagnostics).
@@ -148,11 +156,13 @@ impl Database {
     pub fn canonical(&self) -> BTreeMap<String, Vec<Row>> {
         self.tables
             .iter()
-            .map(|(k, t)| (k.clone(), {
-                let mut rows: Vec<Row> = t.scan().map(|(_, r)| r.clone()).collect();
-                rows.sort();
-                rows
-            }))
+            .map(|(k, t)| {
+                (k.clone(), {
+                    let mut rows: Vec<Row> = t.scan().map(|(_, r)| r.clone()).collect();
+                    rows.sort();
+                    rows
+                })
+            })
             .collect()
     }
 
@@ -175,18 +185,17 @@ impl Database {
         eqs: &[(&str, Value)],
     ) -> Result<Vec<(RowId, Row)>, StorageError> {
         let t = self.table(table)?;
-        let pairs: Vec<(usize, &Value)> = eqs
-            .iter()
-            .map(|(c, v)| {
-                t.schema()
-                    .index_of(c)
-                    .map(|i| (i, v))
-                    .ok_or_else(|| StorageError::NoSuchColumn {
-                        table: table.to_string(),
-                        column: c.to_string(),
+        let pairs: Vec<(usize, &Value)> =
+            eqs.iter()
+                .map(|(c, v)| {
+                    t.schema().index_of(c).map(|i| (i, v)).ok_or_else(|| {
+                        StorageError::NoSuchColumn {
+                            table: table.to_string(),
+                            column: c.to_string(),
+                        }
                     })
-            })
-            .collect::<Result<_, _>>()?;
+                })
+                .collect::<Result<_, _>>()?;
         Ok(t.lookup(&pairs)
             .into_iter()
             .map(|(id, r)| (id, r.clone()))
@@ -206,8 +215,10 @@ mod tests {
             Schema::of(&[("fno", ValueType::Int), ("dest", ValueType::Str)]),
         )
         .unwrap();
-        db.insert("Flights", vec![Value::Int(122), Value::str("LA")]).unwrap();
-        db.insert("Flights", vec![Value::Int(235), Value::str("Paris")]).unwrap();
+        db.insert("Flights", vec![Value::Int(122), Value::str("LA")])
+            .unwrap();
+        db.insert("Flights", vec![Value::Int(235), Value::str("Paris")])
+            .unwrap();
         db
     }
 
@@ -217,7 +228,10 @@ mod tests {
         assert!(db.has_table("flights"));
         assert!(db.has_table("FLIGHTS"));
         assert_eq!(db.table("fLiGhTs").unwrap().len(), 2);
-        assert!(matches!(db.table("nope"), Err(StorageError::NoSuchTable(_))));
+        assert!(matches!(
+            db.table("nope"),
+            Err(StorageError::NoSuchTable(_))
+        ));
     }
 
     #[test]
@@ -240,7 +254,9 @@ mod tests {
     #[test]
     fn crud_via_catalog() {
         let mut db = db();
-        let id = db.insert("Flights", vec![Value::Int(300), Value::str("SF")]).unwrap();
+        let id = db
+            .insert("Flights", vec![Value::Int(300), Value::str("SF")])
+            .unwrap();
         assert_eq!(db.get("Flights", id).unwrap()[1], Value::str("SF"));
         let before = db
             .update("Flights", id, vec![Value::Int(300), Value::str("NYC")])
@@ -257,7 +273,8 @@ mod tests {
     #[test]
     fn canonical_rows_sorted_and_stable() {
         let mut db = db();
-        db.insert("Flights", vec![Value::Int(1), Value::str("AA")]).unwrap();
+        db.insert("Flights", vec![Value::Int(1), Value::str("AA")])
+            .unwrap();
         let rows = db.canonical_rows("Flights").unwrap();
         assert_eq!(rows[0][0], Value::Int(1));
         let all = db.canonical();
@@ -268,10 +285,17 @@ mod tests {
     #[test]
     fn select_eq_with_and_without_index() {
         let mut db = db();
-        let hits = db.select_eq("Flights", &[("dest", Value::str("LA"))]).unwrap();
+        let hits = db
+            .select_eq("Flights", &[("dest", Value::str("LA"))])
+            .unwrap();
         assert_eq!(hits.len(), 1);
-        db.table_mut("Flights").unwrap().create_index(&["dest"]).unwrap();
-        let hits = db.select_eq("Flights", &[("dest", Value::str("LA"))]).unwrap();
+        db.table_mut("Flights")
+            .unwrap()
+            .create_index(&["dest"])
+            .unwrap();
+        let hits = db
+            .select_eq("Flights", &[("dest", Value::str("LA"))])
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert!(db.select_eq("Flights", &[("bogus", Value::Null)]).is_err());
     }

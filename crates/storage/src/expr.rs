@@ -66,7 +66,11 @@ pub enum Expr {
     /// Column `col` of the `tbl`-th table in the join order.
     Col { tbl: usize, col: usize },
     /// Comparison producing a boolean.
-    Cmp { op: CmpOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Cmp {
+        op: CmpOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Logical conjunction.
     And(Box<Expr>, Box<Expr>),
     /// Logical disjunction.
@@ -104,11 +108,19 @@ impl Expr {
     }
 
     pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Cmp { op: CmpOp::Eq, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     pub fn and(lhs: Expr, rhs: Expr) -> Expr {
@@ -215,7 +227,7 @@ fn max_opt(a: Option<usize>, b: Option<usize>) -> Option<usize> {
 mod tests {
     use super::*;
 
-    fn env<'a>(rows: &'a [Vec<Value>]) -> Vec<&'a [Value]> {
+    fn env(rows: &[Vec<Value>]) -> Vec<&[Value]> {
         rows.iter().map(|r| r.as_slice()).collect()
     }
 
@@ -223,9 +235,9 @@ mod tests {
     fn basic_eval() {
         let rows = vec![vec![Value::Int(122), Value::str("LA")]];
         let e = Expr::eq(Expr::col(0, 1), Expr::Const(Value::str("LA")));
-        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), true);
+        assert!(e.eval_bool(&env(&rows)).unwrap());
         let e = Expr::cmp(CmpOp::Gt, Expr::col(0, 0), Expr::Const(Value::Int(200)));
-        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), false);
+        assert!(!e.eval_bool(&env(&rows)).unwrap());
     }
 
     #[test]
@@ -246,9 +258,9 @@ mod tests {
         // Right side would error (non-boolean) if evaluated.
         let bad = Expr::Const(Value::Int(9));
         let e = Expr::And(Box::new(f.clone()), Box::new(bad.clone()));
-        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), false);
+        assert!(!e.eval_bool(&env(&rows)).unwrap());
         let e = Expr::Or(Box::new(t.clone()), Box::new(bad));
-        assert_eq!(e.eval_bool(&env(&rows)).unwrap(), true);
+        assert!(e.eval_bool(&env(&rows)).unwrap());
         let e = Expr::Not(Box::new(f));
         assert!(e.eval_bool(&env(&rows)).unwrap());
     }

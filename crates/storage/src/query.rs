@@ -29,7 +29,13 @@ pub struct SpjQuery {
 
 impl SpjQuery {
     pub fn new(tables: Vec<String>, predicate: Expr, projection: Vec<Expr>) -> SpjQuery {
-        SpjQuery { tables, predicate, projection, distinct: false, limit: None }
+        SpjQuery {
+            tables,
+            predicate,
+            projection,
+            distinct: false,
+            limit: None,
+        }
     }
 }
 
@@ -72,26 +78,38 @@ pub fn eval_spj(db: &Database, q: &SpjQuery) -> Result<QueryOutput, StorageError
     let mut out = QueryOutput::default();
     let mut seen = std::collections::HashSet::new();
     let mut env_rows: Vec<(RowId, Row)> = Vec::with_capacity(q.tables.len());
-    join_rec(db, q, &stage_conjuncts, 0, &mut env_rows, &mut out, &mut seen)?;
+    join_rec(
+        db,
+        q,
+        &stage_conjuncts,
+        0,
+        &mut env_rows,
+        &mut out,
+        &mut seen,
+    )?;
     Ok(out)
 }
 
 fn eval_err(_: crate::expr::EvalError) -> StorageError {
     // Type confusion inside a predicate behaves like an empty/failed scan in
     // the loose dialect; map it onto a schema error for visibility.
-    StorageError::Schema(crate::schema::SchemaError::ArityMismatch { expected: 0, got: 0 })
+    StorageError::Schema(crate::schema::SchemaError::ArityMismatch {
+        expected: 0,
+        got: 0,
+    })
 }
 
 /// Extract `(col-of-stage-k, value)` lookup pairs from the conjuncts
 /// applicable at stage `k`, given already-bound rows.
-fn lookup_pairs(
-    stage: usize,
-    conjs: &[&Expr],
-    env: &[&[Value]],
-) -> Vec<(usize, Value)> {
+fn lookup_pairs(stage: usize, conjs: &[&Expr], env: &[&[Value]]) -> Vec<(usize, Value)> {
     let mut pairs = Vec::new();
     for c in conjs {
-        if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+        if let Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
             let (colref, other) = match (lhs.as_ref(), rhs.as_ref()) {
                 (Expr::Col { tbl, col }, o) if *tbl == stage => (Some(*col), o),
                 (o, Expr::Col { tbl, col }) if *tbl == stage => (Some(*col), o),
@@ -99,7 +117,7 @@ fn lookup_pairs(
             };
             if let Some(col) = colref {
                 // `other` must be computable from earlier stages only.
-                let computable = other.max_table().map_or(true, |t| t < stage);
+                let computable = other.max_table().is_none_or(|t| t < stage);
                 if computable {
                     if let Ok(v) = other.eval(env) {
                         pairs.push((col, v));
@@ -136,7 +154,8 @@ fn join_rec(
         if q.distinct && !seen.insert(row.clone()) {
             return Ok(());
         }
-        out.provenance.push(env_rows.iter().map(|(id, _)| *id).collect());
+        out.provenance
+            .push(env_rows.iter().map(|(id, _)| *id).collect());
         out.rows.push(row);
         return Ok(());
     }
@@ -213,11 +232,20 @@ mod tests {
             (124, 100, "LA"),
             (235, 102, "Paris"),
         ] {
-            db.insert("Flights", vec![Value::Int(fno), Value::Date(d), Value::str(dest)])
-                .unwrap();
+            db.insert(
+                "Flights",
+                vec![Value::Int(fno), Value::Date(d), Value::str(dest)],
+            )
+            .unwrap();
         }
-        for (fno, a) in [(122, "United"), (123, "United"), (124, "USAir"), (235, "Delta")] {
-            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)]).unwrap();
+        for (fno, a) in [
+            (122, "United"),
+            (123, "United"),
+            (124, "USAir"),
+            (235, "Delta"),
+        ] {
+            db.insert("Airlines", vec![Value::Int(fno), Value::str(a)])
+                .unwrap();
         }
         db
     }
@@ -259,7 +287,10 @@ mod tests {
     #[test]
     fn join_uses_index_when_present() {
         let mut db = fig1_db();
-        db.table_mut("Airlines").unwrap().create_index(&["fno"]).unwrap();
+        db.table_mut("Airlines")
+            .unwrap()
+            .create_index(&["fno"])
+            .unwrap();
         let q = SpjQuery::new(
             vec!["Flights".into(), "Airlines".into()],
             Expr::and_all(vec![
@@ -281,8 +312,10 @@ mod tests {
             Schema::of(&[("uid1", ValueType::Int), ("uid2", ValueType::Int)]),
         )
         .unwrap();
-        db.insert("Friends", vec![Value::Int(1), Value::Int(2)]).unwrap();
-        db.insert("Friends", vec![Value::Int(2), Value::Int(3)]).unwrap();
+        db.insert("Friends", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        db.insert("Friends", vec![Value::Int(2), Value::Int(3)])
+            .unwrap();
         // Friends-of-friends: F1.uid2 = F2.uid1.
         let q = SpjQuery::new(
             vec!["Friends".into(), "Friends".into()],
@@ -333,7 +366,10 @@ mod tests {
     fn missing_table_errors() {
         let db = fig1_db();
         let q = SpjQuery::new(vec!["Nope".into()], Expr::Const(Value::Bool(true)), vec![]);
-        assert!(matches!(eval_spj(&db, &q), Err(StorageError::NoSuchTable(_))));
+        assert!(matches!(
+            eval_spj(&db, &q),
+            Err(StorageError::NoSuchTable(_))
+        ));
     }
 
     #[test]
@@ -343,7 +379,10 @@ mod tests {
         let q = SpjQuery::new(
             vec!["Flights".into()],
             Expr::eq(Expr::col(0, 0), Expr::Const(Value::Int(122))),
-            vec![Expr::Add(Box::new(Expr::col(0, 1)), Box::new(Expr::Const(Value::Int(1))))],
+            vec![Expr::Add(
+                Box::new(Expr::col(0, 1)),
+                Box::new(Expr::Const(Value::Int(1))),
+            )],
         );
         let out = eval_spj(&db, &q).unwrap();
         assert_eq!(out.rows, vec![vec![Value::Date(101)]]);
@@ -366,7 +405,11 @@ mod tests {
     fn empty_join_order_yields_single_projected_row() {
         let db = fig1_db();
         // SELECT 1 WHERE TRUE — zero tables: one output row.
-        let q = SpjQuery::new(vec![], Expr::Const(Value::Bool(true)), vec![Expr::Const(Value::Int(1))]);
+        let q = SpjQuery::new(
+            vec![],
+            Expr::Const(Value::Bool(true)),
+            vec![Expr::Const(Value::Int(1))],
+        );
         let out = eval_spj(&db, &q).unwrap();
         assert_eq!(out.rows, vec![vec![Value::Int(1)]]);
     }

@@ -13,7 +13,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -28,7 +31,10 @@ impl Schema {
     /// Build a schema; returns an error on duplicate column names.
     pub fn new(columns: Vec<Column>) -> Result<Schema, SchemaError> {
         for (i, c) in columns.iter().enumerate() {
-            if columns[..i].iter().any(|o| o.name.eq_ignore_ascii_case(&c.name)) {
+            if columns[..i]
+                .iter()
+                .any(|o| o.name.eq_ignore_ascii_case(&c.name))
+            {
                 return Err(SchemaError::DuplicateColumn(c.name.clone()));
             }
         }
@@ -52,7 +58,9 @@ impl Schema {
 
     /// Index of a column by case-insensitive name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn column(&self, idx: usize) -> Option<&Column> {
@@ -84,8 +92,15 @@ impl Schema {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaError {
     DuplicateColumn(String),
-    ArityMismatch { expected: usize, got: usize },
-    TypeMismatch { column: String, expected: ValueType, got: ValueType },
+    ArityMismatch {
+        expected: usize,
+        got: usize,
+    },
+    TypeMismatch {
+        column: String,
+        expected: ValueType,
+        got: ValueType,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -95,7 +110,11 @@ impl fmt::Display for SchemaError {
             SchemaError::ArityMismatch { expected, got } => {
                 write!(f, "row arity {got} does not match schema arity {expected}")
             }
-            SchemaError::TypeMismatch { column, expected, got } => {
+            SchemaError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column `{column}` expects {expected}, got {got}")
             }
         }
@@ -141,10 +160,15 @@ mod tests {
             .check_row(&[Value::Int(122), Value::Date(1), Value::str("LA")])
             .is_ok());
         // NULL is allowed in any column.
-        assert!(s.check_row(&[Value::Null, Value::Null, Value::Null]).is_ok());
+        assert!(s
+            .check_row(&[Value::Null, Value::Null, Value::Null])
+            .is_ok());
         assert!(matches!(
             s.check_row(&[Value::Int(122), Value::Date(1)]),
-            Err(SchemaError::ArityMismatch { expected: 3, got: 2 })
+            Err(SchemaError::ArityMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
             s.check_row(&[Value::str("x"), Value::Date(1), Value::str("LA")]),

@@ -105,7 +105,10 @@ impl Table {
         if let Some(pos) = self.indexes.iter().position(|ix| ix.cols == cols) {
             return Ok(pos);
         }
-        let mut ix = HashIndex { cols, map: HashMap::new() };
+        let mut ix = HashIndex {
+            cols,
+            map: HashMap::new(),
+        };
         for (i, slot) in self.slots.iter().enumerate() {
             if let Some(row) = slot {
                 ix.insert(RowId(i as u64), row);
@@ -254,10 +257,14 @@ mod tests {
             ]),
         );
         // Figure 1(a) of the paper.
-        t.insert(vec![Value::Int(122), Value::Date(100), Value::str("LA")]).unwrap();
-        t.insert(vec![Value::Int(123), Value::Date(101), Value::str("LA")]).unwrap();
-        t.insert(vec![Value::Int(124), Value::Date(100), Value::str("LA")]).unwrap();
-        t.insert(vec![Value::Int(235), Value::Date(102), Value::str("Paris")]).unwrap();
+        t.insert(vec![Value::Int(122), Value::Date(100), Value::str("LA")])
+            .unwrap();
+        t.insert(vec![Value::Int(123), Value::Date(101), Value::str("LA")])
+            .unwrap();
+        t.insert(vec![Value::Int(124), Value::Date(100), Value::str("LA")])
+            .unwrap();
+        t.insert(vec![Value::Int(235), Value::Date(102), Value::str("Paris")])
+            .unwrap();
         t
     }
 
@@ -292,14 +299,20 @@ mod tests {
     fn update_returns_before_image() {
         let mut t = flights_table();
         let before = t
-            .update(RowId(0), vec![Value::Int(122), Value::Date(100), Value::str("SFO")])
+            .update(
+                RowId(0),
+                vec![Value::Int(122), Value::Date(100), Value::str("SFO")],
+            )
             .unwrap()
             .unwrap();
         assert_eq!(before[2], Value::str("LA"));
         assert_eq!(t.get(RowId(0)).unwrap()[2], Value::str("SFO"));
         // Updating a missing row returns None.
         assert!(t
-            .update(RowId(99), vec![Value::Int(1), Value::Date(1), Value::str("x")])
+            .update(
+                RowId(99),
+                vec![Value::Int(1), Value::Date(1), Value::str("x")]
+            )
             .unwrap()
             .is_none());
     }
@@ -307,7 +320,9 @@ mod tests {
     #[test]
     fn schema_violations_rejected() {
         let mut t = flights_table();
-        assert!(t.insert(vec![Value::str("bad"), Value::Date(1), Value::str("LA")]).is_err());
+        assert!(t
+            .insert(vec![Value::str("bad"), Value::Date(1), Value::str("LA")])
+            .is_err());
         assert!(t.insert(vec![Value::Int(1)]).is_err());
         assert_eq!(t.len(), 4);
     }
@@ -339,8 +354,11 @@ mod tests {
         t.create_index(&["dest"]).unwrap();
         t.delete(RowId(0)).unwrap();
         assert_eq!(t.lookup(&[(2, &Value::str("LA"))]).len(), 2);
-        t.update(RowId(1), vec![Value::Int(123), Value::Date(101), Value::str("Paris")])
-            .unwrap();
+        t.update(
+            RowId(1),
+            vec![Value::Int(123), Value::Date(101), Value::str("Paris")],
+        )
+        .unwrap();
         assert_eq!(t.lookup(&[(2, &Value::str("LA"))]).len(), 1);
         assert_eq!(t.lookup(&[(2, &Value::str("Paris"))]).len(), 2);
         let id = t

@@ -215,7 +215,13 @@ mod tests {
 
     #[test]
     fn date_roundtrip() {
-        for s in ["1970-01-01", "2011-05-06", "2011-05-03", "1999-12-31", "2400-02-29"] {
+        for s in [
+            "1970-01-01",
+            "2011-05-06",
+            "2011-05-03",
+            "1999-12-31",
+            "2400-02-29",
+        ] {
             let v = Value::parse_date(s).unwrap();
             assert_eq!(v.to_string(), s, "roundtrip {s}");
         }
@@ -250,7 +256,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_null_first() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::Int(2),
             Value::Null,

@@ -56,9 +56,9 @@ proptest! {
                     if ids.is_empty() { continue; }
                     let id = ids[r as usize % ids.len()];
                     let t = table.update(RowId(id), vec![Value::Int(v)]).expect("schema ok");
-                    if model.contains_key(&id) {
+                    if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(id) {
                         prop_assert!(t.is_some());
-                        model.insert(id, v);
+                        e.insert(v);
                     } else {
                         prop_assert!(t.is_none());
                     }

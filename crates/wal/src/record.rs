@@ -20,22 +20,54 @@ pub struct Lsn(pub u64);
 /// entanglement group.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogRecord {
-    Begin { tx: u64 },
+    Begin {
+        tx: u64,
+    },
     /// Physiological redo/undo images.
-    Insert { tx: u64, table: String, row: u64, values: Vec<Value> },
-    Delete { tx: u64, table: String, row: u64, before: Vec<Value> },
-    Update { tx: u64, table: String, row: u64, before: Vec<Value>, after: Vec<Value> },
-    Commit { tx: u64 },
-    Abort { tx: u64 },
+    Insert {
+        tx: u64,
+        table: String,
+        row: u64,
+        values: Vec<Value>,
+    },
+    Delete {
+        tx: u64,
+        table: String,
+        row: u64,
+        before: Vec<Value>,
+    },
+    Update {
+        tx: u64,
+        table: String,
+        row: u64,
+        before: Vec<Value>,
+        after: Vec<Value>,
+    },
+    Commit {
+        tx: u64,
+    },
+    Abort {
+        tx: u64,
+    },
     /// DDL is logged so recovery can rebuild the catalog from scratch.
-    CreateTable { name: String, schema: Schema },
+    CreateTable {
+        name: String,
+        schema: Schema,
+    },
     /// Transactions `txs` entangled (answered one entanglement operation
     /// together); they must commit or abort as a unit.
-    EntangleGroup { group: u64, txs: Vec<u64> },
+    EntangleGroup {
+        group: u64,
+        txs: Vec<u64>,
+    },
     /// All members of `group` are now durably committed.
-    GroupCommit { group: u64 },
+    GroupCommit {
+        group: u64,
+    },
     /// Fuzzy checkpoint: the ids of transactions active at checkpoint time.
-    Checkpoint { active: Vec<u64> },
+    Checkpoint {
+        active: Vec<u64>,
+    },
 }
 
 /// Codec failures.
@@ -216,21 +248,37 @@ impl LogRecord {
                 body.put_u8(0);
                 body.put_u64_le(*tx);
             }
-            LogRecord::Insert { tx, table, row, values } => {
+            LogRecord::Insert {
+                tx,
+                table,
+                row,
+                values,
+            } => {
                 body.put_u8(1);
                 body.put_u64_le(*tx);
                 put_str(&mut body, table);
                 body.put_u64_le(*row);
                 put_values(&mut body, values);
             }
-            LogRecord::Delete { tx, table, row, before } => {
+            LogRecord::Delete {
+                tx,
+                table,
+                row,
+                before,
+            } => {
                 body.put_u8(2);
                 body.put_u64_le(*tx);
                 put_str(&mut body, table);
                 body.put_u64_le(*row);
                 put_values(&mut body, before);
             }
-            LogRecord::Update { tx, table, row, before, after } => {
+            LogRecord::Update {
+                tx,
+                table,
+                row,
+                before,
+                after,
+            } => {
                 body.put_u8(3);
                 body.put_u64_le(*tx);
                 put_str(&mut body, table);
@@ -282,7 +330,8 @@ impl LogRecord {
         if data.len() < offset + 8 {
             return Err(CodecError::Torn);
         }
-        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let len =
+            u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
         let start = offset + 8;
         if data.len() < start + len {
@@ -297,7 +346,9 @@ impl LogRecord {
             return Err(CodecError::Corrupt("empty body"));
         }
         let rec = match buf.get_u8() {
-            0 => LogRecord::Begin { tx: need_u64(&mut buf)? },
+            0 => LogRecord::Begin {
+                tx: need_u64(&mut buf)?,
+            },
             1 => LogRecord::Insert {
                 tx: need_u64(&mut buf)?,
                 table: get_str(&mut buf)?,
@@ -317,8 +368,12 @@ impl LogRecord {
                 before: get_values(&mut buf)?,
                 after: get_values(&mut buf)?,
             },
-            4 => LogRecord::Commit { tx: need_u64(&mut buf)? },
-            5 => LogRecord::Abort { tx: need_u64(&mut buf)? },
+            4 => LogRecord::Commit {
+                tx: need_u64(&mut buf)?,
+            },
+            5 => LogRecord::Abort {
+                tx: need_u64(&mut buf)?,
+            },
             6 => {
                 let name = get_str(&mut buf)?;
                 if buf.remaining() < 4 {
@@ -340,8 +395,12 @@ impl LogRecord {
                 group: need_u64(&mut buf)?,
                 txs: get_u64s(&mut buf)?,
             },
-            8 => LogRecord::GroupCommit { group: need_u64(&mut buf)? },
-            9 => LogRecord::Checkpoint { active: get_u64s(&mut buf)? },
+            8 => LogRecord::GroupCommit {
+                group: need_u64(&mut buf)?,
+            },
+            9 => LogRecord::Checkpoint {
+                active: get_u64s(&mut buf)?,
+            },
             _ => return Err(CodecError::Corrupt("record tag")),
         };
         if buf.has_remaining() {
@@ -390,9 +449,14 @@ mod tests {
                 name: "Flights".into(),
                 schema: Schema::of(&[("fno", ValueType::Int), ("dest", ValueType::Str)]),
             },
-            LogRecord::EntangleGroup { group: 1, txs: vec![7, 8, 9] },
+            LogRecord::EntangleGroup {
+                group: 1,
+                txs: vec![7, 8, 9],
+            },
             LogRecord::GroupCommit { group: 1 },
-            LogRecord::Checkpoint { active: vec![10, 11] },
+            LogRecord::Checkpoint {
+                active: vec![10, 11],
+            },
         ]
     }
 

@@ -54,7 +54,10 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
             }
             LogRecord::EntangleGroup { group, txs } => {
                 seen.extend(txs.iter().copied());
-                groups.entry(*group).or_default().extend(txs.iter().copied());
+                groups
+                    .entry(*group)
+                    .or_default()
+                    .extend(txs.iter().copied());
             }
             LogRecord::GroupCommit { .. }
             | LogRecord::CreateTable { .. }
@@ -78,8 +81,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
             break;
         }
     }
-    let widowed_rollbacks: BTreeSet<u64> =
-        committed.difference(&winners).copied().collect();
+    let widowed_rollbacks: BTreeSet<u64> = committed.difference(&winners).copied().collect();
     let losers: BTreeSet<u64> = seen.difference(&winners).copied().collect();
 
     // ---- Redo (history) ----
@@ -89,26 +91,24 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
             LogRecord::CreateTable { name, schema } => {
                 db.create_or_replace_table(name, schema.clone());
             }
-            LogRecord::Insert { table, row, values, .. } => {
-                if db.has_table(table) {
-                    let _ = db
-                        .table_mut(table)
-                        .expect("checked")
-                        .insert_at(RowId(*row), values.clone());
-                }
+            LogRecord::Insert {
+                table, row, values, ..
+            } if db.has_table(table) => {
+                let _ = db
+                    .table_mut(table)
+                    .expect("checked")
+                    .insert_at(RowId(*row), values.clone());
             }
-            LogRecord::Delete { table, row, .. } => {
-                if db.has_table(table) {
-                    let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
-                }
+            LogRecord::Delete { table, row, .. } if db.has_table(table) => {
+                let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
             }
-            LogRecord::Update { table, row, after, .. } => {
-                if db.has_table(table) {
-                    let _ = db
-                        .table_mut(table)
-                        .expect("checked")
-                        .update(RowId(*row), after.clone());
-                }
+            LogRecord::Update {
+                table, row, after, ..
+            } if db.has_table(table) => {
+                let _ = db
+                    .table_mut(table)
+                    .expect("checked")
+                    .update(RowId(*row), after.clone());
             }
             _ => {}
         }
@@ -117,32 +117,44 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
     // ---- Undo (losers, in reverse order) ----
     for (_, rec) in records.iter().rev() {
         match rec {
-            LogRecord::Insert { tx, table, row, .. } if losers.contains(tx) => {
-                if db.has_table(table) {
-                    let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
-                }
+            LogRecord::Insert { tx, table, row, .. }
+                if losers.contains(tx) && db.has_table(table) =>
+            {
+                let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
             }
-            LogRecord::Delete { tx, table, row, before } if losers.contains(tx) => {
-                if db.has_table(table) {
-                    let _ = db
-                        .table_mut(table)
-                        .expect("checked")
-                        .insert_at(RowId(*row), before.clone());
-                }
+            LogRecord::Delete {
+                tx,
+                table,
+                row,
+                before,
+            } if losers.contains(tx) && db.has_table(table) => {
+                let _ = db
+                    .table_mut(table)
+                    .expect("checked")
+                    .insert_at(RowId(*row), before.clone());
             }
-            LogRecord::Update { tx, table, row, before, .. } if losers.contains(tx) => {
-                if db.has_table(table) {
-                    let _ = db
-                        .table_mut(table)
-                        .expect("checked")
-                        .update(RowId(*row), before.clone());
-                }
+            LogRecord::Update {
+                tx,
+                table,
+                row,
+                before,
+                ..
+            } if losers.contains(tx) && db.has_table(table) => {
+                let _ = db
+                    .table_mut(table)
+                    .expect("checked")
+                    .update(RowId(*row), before.clone());
             }
             _ => {}
         }
     }
 
-    RecoveryOutcome { db, winners, losers, widowed_rollbacks }
+    RecoveryOutcome {
+        db,
+        winners,
+        losers,
+        widowed_rollbacks,
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +233,10 @@ mod tests {
         let out = recover(&wal.durable_records().unwrap());
         let t = out.db.table("Reserve").unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(RowId(0)).unwrap(), &vec![Value::Int(10), Value::Int(122)]);
+        assert_eq!(
+            t.get(RowId(0)).unwrap(),
+            &vec![Value::Int(10), Value::Int(122)]
+        );
     }
 
     #[test]
@@ -231,13 +246,20 @@ mod tests {
         let wal = setup_wal();
         wal.append(&LogRecord::Begin { tx: 1 });
         wal.append(&LogRecord::Begin { tx: 2 });
-        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        wal.append(&LogRecord::EntangleGroup {
+            group: 1,
+            txs: vec![1, 2],
+        });
         insert(&wal, 1, 0, 10, 122);
         insert(&wal, 2, 1, 20, 122);
         wal.append_sync(&LogRecord::Commit { tx: 1 });
         wal.crash(); // t2's commit never happened
         let out = recover(&wal.durable_records().unwrap());
-        assert_eq!(out.db.table("Reserve").unwrap().len(), 0, "both rolled back");
+        assert_eq!(
+            out.db.table("Reserve").unwrap().len(),
+            0,
+            "both rolled back"
+        );
         assert_eq!(out.widowed_rollbacks, BTreeSet::from([1]));
         assert_eq!(out.losers, BTreeSet::from([1, 2]));
     }
@@ -245,7 +267,10 @@ mod tests {
     #[test]
     fn whole_group_commit_survives() {
         let wal = setup_wal();
-        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        wal.append(&LogRecord::EntangleGroup {
+            group: 1,
+            txs: vec![1, 2],
+        });
         insert(&wal, 1, 0, 10, 122);
         insert(&wal, 2, 1, 20, 122);
         wal.append(&LogRecord::Commit { tx: 1 });
@@ -262,8 +287,14 @@ mod tests {
     fn transitive_group_rollback_chains() {
         // Groups {1,2} and {2,3}: if 3 is unresolved, 2 sinks, then 1 sinks.
         let wal = setup_wal();
-        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
-        wal.append(&LogRecord::EntangleGroup { group: 2, txs: vec![2, 3] });
+        wal.append(&LogRecord::EntangleGroup {
+            group: 1,
+            txs: vec![1, 2],
+        });
+        wal.append(&LogRecord::EntangleGroup {
+            group: 2,
+            txs: vec![2, 3],
+        });
         insert(&wal, 1, 0, 1, 1);
         insert(&wal, 2, 1, 2, 2);
         insert(&wal, 3, 2, 3, 3);
@@ -279,7 +310,10 @@ mod tests {
     #[test]
     fn independent_transactions_unaffected_by_group_rollback() {
         let wal = setup_wal();
-        wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+        wal.append(&LogRecord::EntangleGroup {
+            group: 1,
+            txs: vec![1, 2],
+        });
         insert(&wal, 1, 0, 1, 1);
         insert(&wal, 3, 1, 3, 3); // classical bystander
         wal.append(&LogRecord::Commit { tx: 1 });

@@ -1,8 +1,8 @@
 //! Property tests for the WAL codec and recovery invariants.
 
 use proptest::prelude::*;
-use youtopia_wal::{recover, LogRecord, Lsn, Wal};
 use youtopia_storage::Value;
+use youtopia_wal::{recover, LogRecord, Lsn, Wal};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -21,21 +21,38 @@ fn vals() -> impl Strategy<Value = Vec<Value>> {
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     prop_oneof![
         any::<u64>().prop_map(|tx| LogRecord::Begin { tx }),
-        (any::<u64>(), "[a-z]{1,10}", any::<u64>(), vals()).prop_map(
-            |(tx, table, row, values)| LogRecord::Insert { tx, table, row, values }
-        ),
-        (any::<u64>(), "[a-z]{1,10}", any::<u64>(), vals()).prop_map(
-            |(tx, table, row, before)| LogRecord::Delete { tx, table, row, before }
-        ),
+        (any::<u64>(), "[a-z]{1,10}", any::<u64>(), vals()).prop_map(|(tx, table, row, values)| {
+            LogRecord::Insert {
+                tx,
+                table,
+                row,
+                values,
+            }
+        }),
+        (any::<u64>(), "[a-z]{1,10}", any::<u64>(), vals()).prop_map(|(tx, table, row, before)| {
+            LogRecord::Delete {
+                tx,
+                table,
+                row,
+                before,
+            }
+        }),
         (any::<u64>(), "[a-z]{1,10}", any::<u64>(), vals(), vals()).prop_map(
-            |(tx, table, row, before, after)| LogRecord::Update { tx, table, row, before, after }
+            |(tx, table, row, before, after)| LogRecord::Update {
+                tx,
+                table,
+                row,
+                before,
+                after
+            }
         ),
         any::<u64>().prop_map(|tx| LogRecord::Commit { tx }),
         any::<u64>().prop_map(|tx| LogRecord::Abort { tx }),
         (any::<u64>(), prop::collection::vec(any::<u64>(), 1..5))
             .prop_map(|(group, txs)| LogRecord::EntangleGroup { group, txs }),
         any::<u64>().prop_map(|group| LogRecord::GroupCommit { group }),
-        prop::collection::vec(any::<u64>(), 0..5).prop_map(|active| LogRecord::Checkpoint { active }),
+        prop::collection::vec(any::<u64>(), 0..5)
+            .prop_map(|active| LogRecord::Checkpoint { active }),
     ]
 }
 

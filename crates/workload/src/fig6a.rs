@@ -112,8 +112,12 @@ pub fn generate(family: Family, data: &TravelData, count: usize, seed: u64) -> V
                 let (a, b) = pairs[i % pairs.len()];
                 let dest = city(data.common_destination(a as usize, b as usize, &mut rng));
                 let timeout = Duration::from_secs(30);
-                out.push(entangled_program(a as usize, b as usize, &dest, &dest, timeout));
-                out.push(entangled_program(b as usize, a as usize, &dest, &dest, timeout));
+                out.push(entangled_program(
+                    a as usize, b as usize, &dest, &dest, timeout,
+                ));
+                out.push(entangled_program(
+                    b as usize, a as usize, &dest, &dest, timeout,
+                ));
                 i += 1;
             }
         }
@@ -141,7 +145,12 @@ mod tests {
     use entangled_txn::CostModel;
 
     fn data() -> TravelData {
-        let params = TravelParams { users: 80, cities: 4, flights: 120, seed: 5 };
+        let params = TravelParams {
+            users: 80,
+            cities: 4,
+            flights: 120,
+            seed: 5,
+        };
         let mut d = TravelData::generate(params, SocialGraph::slashdot_like(80, 5));
         d.align_pair_hometowns(7);
         d
@@ -210,8 +219,11 @@ mod tests {
     #[test]
     fn query_only_mode_runs_same_programs() {
         let d = data();
-        let engine =
-            d.build_engine(engine_config(WorkloadMode::QueryOnly, CostModel::ZERO, false));
+        let engine = d.build_engine(engine_config(
+            WorkloadMode::QueryOnly,
+            CostModel::ZERO,
+            false,
+        ));
         let mut sched = scheduler_for(engine, 4);
         for p in generate(Family::Entangled, &d, 20, 7) {
             sched.submit(p);

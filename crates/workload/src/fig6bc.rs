@@ -84,7 +84,10 @@ pub fn spoke_hub_group(gid: usize, k: usize, dest: &str, timeout: Duration) -> V
     assert!(k >= 2);
     let mut out = Vec::with_capacity(k);
     // Hub: one entangled query per spoke, then a booking.
-    let mut hub = format!("BEGIN TRANSACTION WITH TIMEOUT {} MS; ", timeout.as_millis());
+    let mut hub = format!(
+        "BEGIN TRANSACTION WITH TIMEOUT {} MS; ",
+        timeout.as_millis()
+    );
     for s in 1..k {
         hub.push_str(&format!(
             "SELECT 'hub{gid}', fid AS @fid{s} INTO ANSWER Spoke{gid}x{s} \
@@ -162,7 +165,12 @@ mod tests {
     use entangled_txn::CostModel;
 
     fn data() -> TravelData {
-        let params = TravelParams { users: 40, cities: 4, flights: 60, seed: 8 };
+        let params = TravelParams {
+            users: 40,
+            cities: 4,
+            flights: 60,
+            seed: 8,
+        };
         TravelData::generate(params, SocialGraph::slashdot_like(40, 8))
     }
 
@@ -206,7 +214,11 @@ mod tests {
             let d = data();
             let progs = spoke_hub_group(0, k, &city(d.flights[0].1), Duration::from_secs(20));
             assert_eq!(progs.len(), k);
-            assert_eq!(progs[0].entangled_query_count(), k - 1, "hub has k-1 queries");
+            assert_eq!(
+                progs[0].entangled_query_count(),
+                k - 1,
+                "hub has k-1 queries"
+            );
             let stats = run_all(progs, 2);
             assert_eq!(stats.committed, k, "k={k}");
             assert_eq!(stats.failed, 0);

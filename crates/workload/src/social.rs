@@ -1,5 +1,5 @@
 //! Synthetic social graph standing in for the Slashdot `soc-Slashdot0902`
-//! dataset [1] the paper uses.
+//! dataset \[1\] the paper uses.
 //!
 //! The experiments use the graph only to pick *friend pairs/sets* that
 //! coordinate, so any heavy-tailed friendship graph with the same selection
@@ -116,12 +116,7 @@ impl SocialGraph {
             if used[u as usize] {
                 continue;
             }
-            if let Some(v) = self
-                .friends(u)
-                .iter()
-                .copied()
-                .find(|&v| !used[v as usize])
-            {
+            if let Some(v) = self.friends(u).iter().copied().find(|&v| !used[v as usize]) {
                 used[u as usize] = true;
                 used[v as usize] = true;
                 pairs.push((u, v));

@@ -5,8 +5,7 @@
 
 use crate::social::SocialGraph;
 use entangled_txn::{
-    CostModel, EmptyAnswerPolicy, Engine, EngineConfig, IsolationMode, Scheduler,
-    SchedulerConfig,
+    CostModel, EmptyAnswerPolicy, Engine, EngineConfig, IsolationMode, Scheduler, SchedulerConfig,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -35,7 +34,12 @@ pub struct TravelParams {
 
 impl Default for TravelParams {
     fn default() -> Self {
-        TravelParams { users: 400, cities: 12, flights: 400, seed: 1 }
+        TravelParams {
+            users: 400,
+            cities: 12,
+            flights: 400,
+            seed: 1,
+        }
     }
 }
 
@@ -54,10 +58,15 @@ pub struct TravelData {
 impl TravelData {
     /// Generate users (hometowns), a flight network and friendships.
     pub fn generate(params: TravelParams, graph: SocialGraph) -> TravelData {
-        assert_eq!(graph.len(), params.users, "graph size must match user count");
+        assert_eq!(
+            graph.len(),
+            params.users,
+            "graph size must match user count"
+        );
         let mut rng = StdRng::seed_from_u64(params.seed);
-        let hometown: Vec<usize> =
-            (0..params.users).map(|_| rng.gen_range(0..params.cities)).collect();
+        let hometown: Vec<usize> = (0..params.users)
+            .map(|_| rng.gen_range(0..params.cities))
+            .collect();
         let mut flights = Vec::with_capacity(params.flights);
         for fid in 0..params.flights {
             let s = rng.gen_range(0..params.cities);
@@ -67,7 +76,12 @@ impl TravelData {
             }
             flights.push((s, d, fid as i64));
         }
-        TravelData { params, hometown, flights, graph }
+        TravelData {
+            params,
+            hometown,
+            flights,
+            graph,
+        }
     }
 
     /// Appendix D schema + data as a setup script.
@@ -80,10 +94,7 @@ impl TravelData {
              CREATE TABLE Reserve (uid INT, fid INT);",
         );
         for (uid, h) in self.hometown.iter().enumerate() {
-            out.push_str(&format!(
-                "INSERT INTO User VALUES ({uid}, '{}');",
-                city(*h)
-            ));
+            out.push_str(&format!("INSERT INTO User VALUES ({uid}, '{}');", city(*h)));
         }
         for u in 0..self.graph.len() as u32 {
             for &v in self.graph.friends(u) {
@@ -105,8 +116,12 @@ impl TravelData {
     /// or an arbitrary city when the hometown has no outbound flights.
     pub fn reachable_destination(&self, uid: usize, rng: &mut StdRng) -> usize {
         let home = self.hometown[uid];
-        let outs: Vec<usize> =
-            self.flights.iter().filter(|(s, _, _)| *s == home).map(|(_, d, _)| *d).collect();
+        let outs: Vec<usize> = self
+            .flights
+            .iter()
+            .filter(|(s, _, _)| *s == home)
+            .map(|(_, d, _)| *d)
+            .collect();
         if outs.is_empty() {
             (home + 1) % self.params.cities
         } else {
@@ -118,8 +133,12 @@ impl TravelData {
     /// coordinating pairs); falls back to `reachable_destination`.
     pub fn common_destination(&self, a: usize, b: usize, rng: &mut StdRng) -> usize {
         let (ha, hb) = (self.hometown[a], self.hometown[b]);
-        let outs_a: std::collections::HashSet<usize> =
-            self.flights.iter().filter(|(s, _, _)| *s == ha).map(|(_, d, _)| *d).collect();
+        let outs_a: std::collections::HashSet<usize> = self
+            .flights
+            .iter()
+            .filter(|(s, _, _)| *s == ha)
+            .map(|(_, d, _)| *d)
+            .collect();
         let common: Vec<usize> = self
             .flights
             .iter()
@@ -136,10 +155,14 @@ impl TravelData {
     /// Build and populate an engine with this data.
     pub fn build_engine(&self, config: EngineConfig) -> Arc<Engine> {
         let engine = Arc::new(Engine::new(config));
-        engine.setup(&self.setup_script()).expect("valid setup script");
+        engine
+            .setup(&self.setup_script())
+            .expect("valid setup script");
         engine.create_index("User", &["uid"]).expect("index");
         engine.create_index("Friends", &["uid1"]).expect("index");
-        engine.create_index("Friends", &["uid1", "uid2"]).expect("index");
+        engine
+            .create_index("Friends", &["uid1", "uid2"])
+            .expect("index");
         engine.create_index("Flight", &["source"]).expect("index");
         engine
     }
@@ -174,7 +197,10 @@ pub fn engine_config(mode: WorkloadMode, cost: CostModel, record: bool) -> Engin
 pub fn scheduler_for(engine: Arc<Engine>, connections: usize) -> Scheduler {
     Scheduler::new(
         engine,
-        SchedulerConfig { connections, ..SchedulerConfig::default() },
+        SchedulerConfig {
+            connections,
+            ..SchedulerConfig::default()
+        },
     )
 }
 
@@ -183,7 +209,12 @@ mod tests {
     use super::*;
 
     fn data() -> TravelData {
-        let params = TravelParams { users: 60, cities: 6, flights: 80, seed: 2 };
+        let params = TravelParams {
+            users: 60,
+            cities: 6,
+            flights: 80,
+            seed: 2,
+        };
         TravelData::generate(params, SocialGraph::slashdot_like(60, 2))
     }
 

@@ -63,7 +63,10 @@ fn main() {
             ("fno", youtopia_storage::ValueType::Int),
         ]),
     });
-    wal.append(&LogRecord::EntangleGroup { group: 1, txs: vec![1, 2] });
+    wal.append(&LogRecord::EntangleGroup {
+        group: 1,
+        txs: vec![1, 2],
+    });
     wal.append(&LogRecord::Insert {
         tx: 1,
         table: "Reserve".into(),

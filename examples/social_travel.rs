@@ -15,7 +15,12 @@ use youtopia_workload::{
 
 fn main() {
     // A 200-user preferential-attachment graph (the Slashdot substitute).
-    let params = TravelParams { users: 200, cities: 8, flights: 250, seed: 42 };
+    let params = TravelParams {
+        users: 200,
+        cities: 8,
+        flights: 250,
+        seed: 42,
+    };
     let graph = SocialGraph::slashdot_like(200, 42);
     println!(
         "social graph: {} users, {} edges, avg degree {:.1}, max degree {}",

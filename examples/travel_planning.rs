@@ -54,9 +54,16 @@ fn main() {
     // Run 1: Mickey and Donald arrive first — nobody can proceed (Fig. 4's
     // prelude). Both are aborted and returned to the dormant pool.
     sched.submit(travel_program("Mickey", "Minnie", Duration::from_secs(10)));
-    sched.submit(travel_program("Donald", "Daffy", Duration::from_millis(300)));
+    sched.submit(travel_program(
+        "Donald",
+        "Daffy",
+        Duration::from_millis(300),
+    ));
     let r1 = sched.run_once();
-    println!("run 1: committed={} returned_to_pool={}", r1.committed, r1.returned_to_pool);
+    println!(
+        "run 1: committed={} returned_to_pool={}",
+        r1.committed, r1.returned_to_pool
+    );
     assert_eq!(r1.committed, 0);
 
     // Minnie arrives: run 2 plays out exactly like Figure 4 — flight

@@ -1,0 +1,198 @@
+//! Offline shim for `criterion`: the `criterion_group!`/`criterion_main!`
+//! macros, [`Criterion`], benchmark groups, and [`Bencher::iter`], backed by
+//! a plain wall-clock sampler. Each benchmark runs `sample_size` timed
+//! samples after one warm-up and prints min/mean/max per iteration —
+//! enough for the relative comparisons the repro harness makes, with none
+//! of Criterion's statistics.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one closure; handed to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations of the timed samples.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std_black_box(routine()); // warm-up, untimed
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    f(&mut b);
+    if b.recorded.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = b.recorded.iter().sum();
+    let mean = total / b.recorded.len() as u32;
+    let min = *b.recorded.iter().min().expect("nonempty");
+    let max = *b.recorded.iter().max().expect("nonempty");
+    println!(
+        "{label:<40} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({} samples)",
+        b.recorded.len()
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Criterion {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_requested_samples() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        // One warm-up + sample_size timed runs.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| calls += x)
+        });
+        g.finish();
+        assert_eq!(calls, 4 * 7);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn macros_compose() {
+        benches();
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline shim for `crossbeam`: [`scope`] delegating to
+//! `std::thread::scope`, and an unbounded MPMC [`channel`] built on a
+//! mutex + condvar queue (crossbeam's `Receiver` is cloneable, std's
+//! mpsc receiver is not, so the queue is homegrown).
+
+use std::thread;
+
+/// Scoped threads. The spawned closure receives a placeholder scope
+/// argument (enough for `s.spawn(move |_| …)`; nested spawning from inside
+/// a worker is not supported).
+///
+/// Panics from workers propagate when the scope exits (std behavior)
+/// rather than surfacing through the returned `Result`, which only the
+/// degenerate closure-panicked case would use — callers `.expect()` it
+/// either way.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Handle for spawning borrowed-data threads inside [`scope`].
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder passed to spawned closures in place of a nested scope.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeArg;
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeArg) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&ScopeArg))
+    }
+}
+
+pub mod channel {
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Arc;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    /// Unbounded multi-producer multi-consumer channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// All receivers disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Channel empty with all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.state.lock().senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().senders -= 1;
+            // Wake blocked receivers so they can observe disconnection.
+            self.chan.cv.notify_all();
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value or until every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                self.chan.cv.wait(&mut st);
+            }
+        }
+
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan.state.lock().queue.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.state.lock().receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_fan_in_processes_everything() {
+        let (task_tx, task_rx) = channel::unbounded::<u64>();
+        let (done_tx, done_rx) = channel::unbounded::<u64>();
+        for i in 0..100 {
+            task_tx.send(i).unwrap();
+        }
+        drop(task_tx);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(i) = task_rx.recv() {
+                        done_tx.send(i * 2).unwrap();
+                    }
+                });
+            }
+            drop(done_tx);
+            let mut got: Vec<u64> = Vec::new();
+            while let Ok(v) = done_rx.recv() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recv_disconnects_when_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        super::scope(|s| {
+            s.spawn(move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(5).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(5));
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,628 @@
+//! Offline shim for `proptest`: deterministic seeded random testing with
+//! the API subset this workspace's property tests use — the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`],
+//! [`strategy::Just`], [`arbitrary::any`], range and tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, and regex-literal string
+//! strategies (a generator for the small character-class/quantifier subset
+//! the tests rely on). No shrinking: a failing case reports its inputs and
+//! case number instead of minimizing.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic RNG driving every generated case (SplitMix64 under a
+    /// fixed seed, so failures reproduce run-to-run).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        pub fn deterministic() -> TestRng {
+            use rand::SeedableRng;
+            TestRng(rand::rngs::StdRng::seed_from_u64(0x0509_2011_C0FF_EE00))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// A failed property: carries the formatted assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, SampleUniform};
+    use std::marker::PhantomData;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { strategy: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl<T: SampleUniform + 'static> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform + 'static> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String strategy from a regex literal (see [`crate::string`] for the
+    /// supported subset).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Strategy for any value of `T` (see [`crate::arbitrary::any`]).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Full-domain generation for primitive types.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// `any::<T>()` — a strategy over `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen()
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate a string matching `pattern`, a regex in the subset the
+    /// workspace's tests use: literal characters, `.`, character classes
+    /// `[...]` with ranges and literals, and quantifiers `{n}` / `{m,n}`.
+    /// Anything else (alternation, groups, `*`/`+`/`?`, escapes beyond
+    /// `\\x`) panics, so silent mis-generation cannot happen.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let elements = compile(pattern);
+        let mut out = String::new();
+        for el in &elements {
+            let n = if el.min == el.max {
+                el.min
+            } else {
+                rng.gen_range(el.min..=el.max)
+            };
+            for _ in 0..n {
+                out.push(el.chars[rng.gen_range(0..el.chars.len())]);
+            }
+        }
+        out
+    }
+
+    fn compile(pattern: &str) -> Vec<Element> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut elements = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    set
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                '\\' => {
+                    let escaped = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("regex shim: dangling escape in {pattern:?}"));
+                    // Only literal escapes of metacharacters are supported;
+                    // class escapes (\d, \w, \s, …) would silently generate
+                    // the wrong input space, so they panic instead.
+                    assert!(
+                        !escaped.is_ascii_alphanumeric(),
+                        "regex shim: unsupported class escape \\{escaped} in {pattern:?}"
+                    );
+                    i += 2;
+                    vec![escaped]
+                }
+                '*' | '+' | '?' | '(' | ')' | '|' => {
+                    panic!(
+                        "regex shim: unsupported operator {:?} in {pattern:?}",
+                        chars[i]
+                    )
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            elements.push(Element {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        elements
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        let start = i;
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            assert!(
+                !(c == '^' && i == start),
+                "regex shim: negated classes unsupported in {pattern:?}"
+            );
+            if c == '-' || i + 2 >= chars.len() || chars[i + 1] != '-' || chars[i + 2] == ']' {
+                // Literal (including `-` at the edges of the class).
+                set.push(c);
+                i += 1;
+            } else {
+                let (lo, hi) = (c, chars[i + 2]);
+                assert!(lo <= hi, "regex shim: inverted range in {pattern:?}");
+                set.extend(lo..=hi);
+                i += 3;
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "regex shim: unterminated class in {pattern:?}"
+        );
+        assert!(!set.is_empty(), "regex shim: empty class in {pattern:?}");
+        (set, i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (1, 1, i);
+        }
+        let close = (i..chars.len())
+            .find(|&j| chars[j] == '}')
+            .unwrap_or_else(|| panic!("regex shim: unterminated quantifier in {pattern:?}"));
+        let body: String = chars[i + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("quantifier lower bound"),
+                hi.trim().parse().expect("quantifier upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        };
+        assert!(min <= max, "regex shim: inverted quantifier in {pattern:?}");
+        (min, max, close + 1)
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::Rng;
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.size.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        use crate::strategy::Any;
+        use std::marker::PhantomData;
+
+        /// `prop::bool::ANY` — either boolean.
+        pub const ANY: Any<bool> = Any(PhantomData);
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(let $parm = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($parm), " = {:?}; "),+),
+                    $(&$parm),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case}/{} failed: {e}\n  inputs: {inputs}",
+                        config.cases
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u32..9, b in -2i64..=2) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+        }
+
+        #[test]
+        fn regex_strings_match_shape(s in "[a-z]{2,4}", t in "x[0-9 _-]{0,3}") {
+            prop_assert!((2..=4).contains(&s.len()), "len {} of {s:?}", s.len());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.starts_with('x') && t.len() <= 4);
+            prop_assert!(t[1..].chars().all(|c| c.is_ascii_digit() || " _-".contains(c)));
+        }
+
+        #[test]
+        fn composite_strategies_generate(
+            v in prop::collection::vec((any::<u8>(), 0i64..5, prop::bool::ANY), 1..6),
+            tagged in prop_oneof![
+                Just(None),
+                (0u8..10).prop_map(Some),
+            ],
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (_, n, _) in &v {
+                prop_assert!((0..5).contains(n));
+            }
+            if let Some(x) = tagged {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            // No #[test] attribute: this one is invoked by hand below.
+            proptest! {
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("inputs: x ="), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn dot_generates_printable_ascii() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..100 {
+            let s = crate::string::generate(".{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

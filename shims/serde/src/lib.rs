@@ -1,0 +1,4 @@
+//! Offline shim for `serde`: provides the `Serialize`/`Deserialize` names
+//! (derive macros only; they expand to nothing). See `shims/serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives are accepted and expand to
+//! nothing. The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations; no code serializes through serde yet. Swap
+//! the `serde`/`serde_derive` entries in the root `Cargo.toml` for the real
+//! crates.io releases to activate them.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -15,6 +15,7 @@
 //! * [`txn`] — the entangled transaction engine and §4 run scheduler.
 //! * [`workload`] — the §5.2 evaluation workloads.
 
+pub use entangled_txn as txn;
 pub use youtopia_entangle as entangle;
 pub use youtopia_isolation as isolation;
 pub use youtopia_lock as lock;
@@ -22,8 +23,5 @@ pub use youtopia_sql as sql;
 pub use youtopia_storage as storage;
 pub use youtopia_wal as wal;
 pub use youtopia_workload as workload;
-pub use entangled_txn as txn;
 
-pub use entangled_txn::{
-    Engine, EngineConfig, Program, Scheduler, SchedulerConfig, TxnStatus,
-};
+pub use entangled_txn::{Engine, EngineConfig, Program, Scheduler, SchedulerConfig, TxnStatus};

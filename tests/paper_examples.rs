@@ -162,8 +162,10 @@ fn figure3a_widow_prevention() {
 /// §3.3.3 prevention argument.
 #[test]
 fn figure3b_grounding_lock_blocks_donalds_write() {
-    let mut cfg = EngineConfig::default();
-    cfg.lock_timeout = Duration::from_millis(80);
+    let cfg = EngineConfig {
+        lock_timeout: Duration::from_millis(80),
+        ..EngineConfig::default()
+    };
     let engine = fig1_engine(cfg);
     let mut sched = Scheduler::new(engine.clone(), SchedulerConfig::default());
     sched.submit(mickey());
@@ -179,16 +181,8 @@ fn figure3b_grounding_lock_blocks_donalds_write() {
         lock_timeout: Duration::from_millis(80),
         ..EngineConfig::default()
     });
-    let mut t1 = entangled_txn::Txn::new(
-        entangled_txn::ClientId(1),
-        engine.alloc_tx(),
-        mickey(),
-    );
-    let mut t2 = entangled_txn::Txn::new(
-        entangled_txn::ClientId(2),
-        engine.alloc_tx(),
-        minnie(),
-    );
+    let mut t1 = entangled_txn::Txn::new(entangled_txn::ClientId(1), engine.alloc_tx(), mickey());
+    let mut t2 = entangled_txn::Txn::new(entangled_txn::ClientId(2), engine.alloc_tx(), minnie());
     engine.begin(&t1);
     engine.begin(&t2);
     assert_eq!(engine.run_until_block(&mut t1), StepOutcome::Blocked);
@@ -253,7 +247,8 @@ fn figure3b_relaxed_mode_admits_the_anomaly() {
          COMMIT;",
     )
     .expect("parse");
-    let mut t1 = entangled_txn::Txn::new(entangled_txn::ClientId(1), engine.alloc_tx(), mickey_checks);
+    let mut t1 =
+        entangled_txn::Txn::new(entangled_txn::ClientId(1), engine.alloc_tx(), mickey_checks);
     let mut t2 = entangled_txn::Txn::new(entangled_txn::ClientId(2), engine.alloc_tx(), minnie());
     engine.begin(&t1);
     engine.begin(&t2);
@@ -296,7 +291,10 @@ fn figure4_run_walkthrough_any_connection_count() {
         let engine = fig1_engine(EngineConfig::default());
         let mut sched = Scheduler::new(
             engine.clone(),
-            SchedulerConfig { connections, ..SchedulerConfig::default() },
+            SchedulerConfig {
+                connections,
+                ..SchedulerConfig::default()
+            },
         );
         sched.submit(mickey());
         sched.submit(

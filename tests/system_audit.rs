@@ -14,7 +14,12 @@ use youtopia_workload::{
 };
 
 fn small_data(seed: u64) -> TravelData {
-    let params = TravelParams { users: 60, cities: 5, flights: 80, seed };
+    let params = TravelParams {
+        users: 60,
+        cities: 5,
+        flights: 80,
+        seed,
+    };
     let mut d = TravelData::generate(params, SocialGraph::slashdot_like(60, seed));
     d.align_pair_hometowns(seed);
     d
@@ -41,7 +46,9 @@ fn concurrent_histories_are_entangled_isolated() {
         }
         sched.drain();
         let schedule = sched.engine.recorder.schedule();
-        schedule.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid history {e}"));
+        schedule
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid history {e}"));
         let anomalies = find_anomalies(&schedule.expand_quasi_reads());
         assert!(anomalies.is_empty(), "seed {seed}: {anomalies:?}");
         // A serialization order exists (Theorem 3.6's conclusion).
@@ -145,7 +152,9 @@ fn workload_programs_run_solo_with_grounding_oracle() {
     assert!(committed >= 4, "most solo executions succeed: {committed}");
     engine.with_db(|db| {
         for row in db.canonical_rows("Reserve").expect("table") {
-            let hits = db.select_eq("Flight", &[("fid", row[1].clone())]).expect("q");
+            let hits = db
+                .select_eq("Flight", &[("fid", row[1].clone())])
+                .expect("q");
             assert_eq!(hits.len(), 1, "oracle answers kept bookings consistent");
         }
     });
@@ -162,8 +171,7 @@ fn all_six_workload_variants_complete() {
     let d = small_data(6);
     for family in Family::ALL {
         for mode in [WorkloadMode::Transactional, WorkloadMode::QueryOnly] {
-            let engine =
-                d.build_engine(engine_config(mode, entangled_txn::CostModel::ZERO, false));
+            let engine = d.build_engine(engine_config(mode, entangled_txn::CostModel::ZERO, false));
             let mut sched = scheduler_for(engine, 4);
             for p in generate(family, &d, 20, 6) {
                 sched.submit(p);
