@@ -2,15 +2,22 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|all] [--full]
 //! ```
+//!
+//! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
+//! mixes at connections ∈ {1, 2, 4, 8} and writes the machine-readable
+//! baseline to `BENCH_scaling.json` (tracked as a CI artifact).
 //!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
 //! curve, in seconds.
 
 use std::io::Write;
-use youtopia_bench::{run_ablated, run_fig6a, run_fig6b, run_fig6c, Ablation, Scale};
+use youtopia_bench::{
+    run_ablated, run_fig6a, run_fig6b, run_fig6c, run_scaling_series, scaling_json,
+    scaling_speedup, Ablation, Scale,
+};
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
 fn main() {
@@ -30,14 +37,18 @@ fn main() {
         "fig6b" => fig6b(&mut out, &scale),
         "fig6c" => fig6c(&mut out, &scale),
         "ablations" => ablations(&mut out, &scale),
+        "scaling" => scaling(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
             fig6c(&mut out, &scale);
             ablations(&mut out, &scale);
+            scaling(&mut out, &scale);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|all");
+            eprintln!(
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|all"
+            );
             std::process::exit(2);
         }
     }
@@ -195,5 +206,44 @@ fn ablations(out: &mut impl Write, scale: &Scale) {
         "table locks, Entangled (Ab4)", p.seconds, p.committed
     )
     .unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Scaling: committed-txns/sec vs connections on the transactional mixes,
+/// plus the `BENCH_scaling.json` baseline for the CI perf trajectory.
+fn scaling(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Scaling — committed txns/sec vs connections").unwrap();
+    writeln!(
+        out,
+        "# {} transactions per point; per-statement cost {}us",
+        scale.txns,
+        scale.cost.per_statement.as_micros()
+    )
+    .unwrap();
+    let series = run_scaling_series(scale);
+    write!(out, "{:>12}", "connections").unwrap();
+    for (label, _) in &series {
+        write!(out, " {label:>12}").unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |(_, p)| p.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>12}", series[0].1[i].connections).unwrap();
+        for (_, points) in &series {
+            write!(out, " {:>12.1}", points[i].txns_per_sec).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    for (label, points) in &series {
+        writeln!(
+            out,
+            "# {label}: speedup {:.2}x at max connections",
+            scaling_speedup(points)
+        )
+        .unwrap();
+    }
+    let json = scaling_json(scale, &series);
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    writeln!(out, "# baseline written to BENCH_scaling.json").unwrap();
     writeln!(out).unwrap();
 }

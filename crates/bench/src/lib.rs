@@ -197,6 +197,106 @@ pub fn run_fig6c(
     }
 }
 
+/// Connection counts measured by the `scaling` driver.
+pub const SCALING_CONNECTIONS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured point of the `scaling` driver: committed-transactions
+/// throughput at a connection count.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    pub connections: usize,
+    pub seconds: f64,
+    pub committed: usize,
+    pub failed: usize,
+    pub txns_per_sec: f64,
+}
+
+/// Throughput (committed txns/sec) of one Figure 6(a) mix at a connection
+/// count. Requires a **non-zero** [`CostModel`]: with free statements the
+/// scheduler overhead dominates and connection scaling is meaningless —
+/// the whole point is that per-statement latency overlaps across
+/// connections now that storage has no global latch.
+pub fn run_scaling(
+    scale: &Scale,
+    family: Family,
+    mode: WorkloadMode,
+    connections: usize,
+) -> ScalingPoint {
+    assert!(
+        !scale.cost.per_statement.is_zero(),
+        "the scaling driver needs a non-zero CostModel"
+    );
+    let p = run_fig6a(scale, family, mode, connections);
+    ScalingPoint {
+        connections,
+        seconds: p.seconds,
+        committed: p.committed,
+        failed: p.failed,
+        txns_per_sec: if p.seconds > 0.0 {
+            p.committed as f64 / p.seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Measure the transactional Figure 6(a) mixes over
+/// [`SCALING_CONNECTIONS`]; returns `(series label, points)` pairs.
+pub fn run_scaling_series(scale: &Scale) -> Vec<(String, Vec<ScalingPoint>)> {
+    Family::ALL
+        .iter()
+        .map(|family| {
+            let points = SCALING_CONNECTIONS
+                .iter()
+                .map(|&c| run_scaling(scale, *family, WorkloadMode::Transactional, c))
+                .collect();
+            (format!("{}-T", family.label()), points)
+        })
+        .collect()
+}
+
+/// Speedup of the highest-connection point over the single-connection one.
+pub fn scaling_speedup(points: &[ScalingPoint]) -> f64 {
+    match (points.first(), points.last()) {
+        (Some(base), Some(top)) if base.txns_per_sec > 0.0 => top.txns_per_sec / base.txns_per_sec,
+        _ => 0.0,
+    }
+}
+
+/// Serialize scaling series as the `BENCH_scaling.json` baseline tracked
+/// as a CI artifact (hand-rolled JSON — the serde shim has no serializer).
+pub fn scaling_json(scale: &Scale, series: &[(String, Vec<ScalingPoint>)]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"scaling\",\n");
+    out.push_str(&format!("  \"txns_per_point\": {},\n", scale.txns));
+    out.push_str(&format!(
+        "  \"cost_per_statement_us\": {},\n  \"series\": [\n",
+        scale.cost.per_statement.as_micros()
+    ));
+    for (si, (label, points)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"label\": \"{label}\",\n      \"speedup_max_over_1\": {:.3},\n      \"points\": [\n",
+            scaling_speedup(points)
+        ));
+        for (pi, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}}}{}\n",
+                p.connections,
+                p.seconds,
+                p.committed,
+                p.failed,
+                p.txns_per_sec,
+                if pi + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if si + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Ablation configurations (DESIGN.md Ab1–Ab4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ablation {
@@ -318,6 +418,70 @@ mod tests {
         // Table granularity: measured on NoSocial (no partner coupling).
         let p = run_ablated(&s, Some(Ablation::TableGranularity), Family::NoSocial, 2);
         assert!(p.committed >= 20, "table granularity: {p:?}");
+    }
+
+    #[test]
+    fn scaling_speedup_at_8_connections_on_classical_mix() {
+        // The ISSUE-2 acceptance criterion: with a non-zero cost model,
+        // 8 connections must commit at ≥ 2× the single-connection
+        // throughput on the classical Figure 6(a) mix. Sleep-dominated
+        // statements make this timing-robust (ideal speedup is ~8×).
+        let scale = Scale {
+            txns: 48,
+            users: 60,
+            cities: 4,
+            flights: 80,
+            cost: CostModel {
+                per_statement: Duration::from_millis(2),
+                per_entangled_eval: Duration::ZERO,
+                per_commit: Duration::ZERO,
+            },
+            seed: 4,
+        };
+        let points: Vec<ScalingPoint> = [1usize, 8]
+            .iter()
+            .map(|&c| run_scaling(&scale, Family::NoSocial, WorkloadMode::Transactional, c))
+            .collect();
+        assert_eq!(points[0].committed, 48);
+        assert_eq!(points[1].committed, 48);
+        let speedup = scaling_speedup(&points);
+        assert!(
+            speedup >= 2.0,
+            "connections=8 only {speedup:.2}x over connections=1 ({points:?})"
+        );
+    }
+
+    #[test]
+    fn scaling_json_is_well_formed() {
+        let scale = Scale::quick();
+        let series = vec![(
+            "NoSocial-T".to_string(),
+            vec![
+                ScalingPoint {
+                    connections: 1,
+                    seconds: 1.0,
+                    committed: 100,
+                    failed: 0,
+                    txns_per_sec: 100.0,
+                },
+                ScalingPoint {
+                    connections: 8,
+                    seconds: 0.25,
+                    committed: 100,
+                    failed: 0,
+                    txns_per_sec: 400.0,
+                },
+            ],
+        )];
+        let json = scaling_json(&scale, &series);
+        assert!(json.contains("\"experiment\": \"scaling\""));
+        assert!(json.contains("\"speedup_max_over_1\": 4.000"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
     }
 
     #[test]

@@ -1,25 +1,26 @@
-//! The execution engine: classical statements under Strict 2PL with WAL,
-//! joint entangled-query evaluation, group commit and crash recovery.
+//! The execution engine: transaction lifecycle (begin / joint
+//! entangled-query evaluation / group commit / abort / crash recovery)
+//! over the per-table [`ConcurrentCatalog`].
 //!
 //! This is the middle-tier component of §5.1, with the DBMS it sat on —
 //! storage, locking, logging — linked in as the sibling crates rather than
 //! MySQL. One [`Engine`] is shared by all transactions; the scheduler
 //! (§4's run-based model, see [`crate::scheduler`]) drives transactions
-//! through it.
+//! through it. Classical statement execution lives in
+//! [`crate::executor`] ([`TxnContext`]), which pins per-table handles
+//! instead of any global storage latch.
 
 use crate::error::EngineError;
+use crate::executor::{build_insert_row, TxnContext};
 use crate::groups::GroupManager;
 use crate::program::{Txn, TxnStatus, Undo};
 use crate::recorder::Recorder;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use youtopia_entangle::{from_ast, ground, solve, QueryIr, QueryOutcome, SolveInput, SolverConfig};
 use youtopia_lock::{LockManager, LockMode, Resource, TxId};
-use youtopia_sql::{
-    lower_const_scalar, lower_select, lower_table_cond, parse_script, Statement, VarEnv,
-};
-use youtopia_storage::{eval_spj, Database, Expr, RowId, Value};
+use youtopia_sql::{parse_script, Statement, VarEnv};
+use youtopia_storage::{ConcurrentCatalog, Database, RowId, StorageError};
 use youtopia_wal::{recover, LogRecord, Wal};
 
 /// Lock granularity for writes (reads and grounding reads are always
@@ -126,8 +127,14 @@ pub struct EvalReport {
 }
 
 /// The shared engine.
+///
+/// Storage is a [`ConcurrentCatalog`] of independently lockable table
+/// handles — there is no global database latch on the statement hot path.
+/// Transactions on disjoint tables (and readers on shared tables) run in
+/// parallel; the Strict-2PL [`LockManager`] alone carries isolation (see
+/// [`TxnContext`] for the latch-vs-lock discipline).
 pub struct Engine {
-    db: RwLock<Database>,
+    pub(crate) catalog: ConcurrentCatalog,
     pub locks: LockManager,
     pub wal: Wal,
     pub groups: GroupManager,
@@ -139,7 +146,7 @@ pub struct Engine {
 impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
-            db: RwLock::new(Database::new()),
+            catalog: ConcurrentCatalog::new(),
             locks: LockManager::new(),
             wal: Wal::new(),
             groups: GroupManager::new(),
@@ -158,7 +165,6 @@ impl Engine {
     /// processing; logged as bootstrap transaction 0 and synced.
     pub fn setup(&self, script: &str) -> Result<(), EngineError> {
         let statements = parse_script(script)?;
-        let mut db = self.db.write();
         for st in statements {
             match st {
                 Statement::CreateTable { name, columns } => {
@@ -168,8 +174,8 @@ impl Engine {
                             .map(|(n, t)| youtopia_storage::Column::new(n, t))
                             .collect(),
                     )
-                    .map_err(youtopia_storage::StorageError::from)?;
-                    db.create_table(&name, schema.clone())?;
+                    .map_err(StorageError::from)?;
+                    self.catalog.create_table(&name, schema.clone())?;
                     self.wal.append(&LogRecord::CreateTable { name, schema });
                 }
                 Statement::Insert {
@@ -177,8 +183,18 @@ impl Engine {
                     columns,
                     values,
                 } => {
-                    let row = build_insert_row(&db, &table, &columns, &values, &VarEnv::new())?;
-                    let id = db.insert(&table, row.clone())?;
+                    let handle = self.catalog.handle(&table)?;
+                    let row = build_insert_row(
+                        &handle.read(),
+                        &table,
+                        &columns,
+                        &values,
+                        &VarEnv::new(),
+                    )?;
+                    let id = handle
+                        .write()
+                        .insert(row.clone())
+                        .map_err(StorageError::from)?;
                     self.wal.append(&LogRecord::Insert {
                         tx: 0,
                         table,
@@ -199,16 +215,19 @@ impl Engine {
 
     /// Create a hash index (performance only; not logged).
     pub fn create_index(&self, table: &str, columns: &[&str]) -> Result<(), EngineError> {
-        let mut db = self.db.write();
-        db.table_mut(table)?
+        self.catalog
+            .handle(table)?
+            .write()
             .create_index(columns)
-            .map_err(youtopia_storage::StorageError::from)?;
+            .map_err(StorageError::from)?;
         Ok(())
     }
 
-    /// Read-only access to the database (tests, examples, benches).
+    /// Read-only access to a materialized snapshot of the database
+    /// (tests, examples, benches — not the statement hot path, which works
+    /// on per-table handles and never copies).
     pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.db.read())
+        f(&self.catalog.materialize())
     }
 
     /// Log the BEGIN record for a fresh attempt.
@@ -220,6 +239,7 @@ impl Engine {
     /// body, or aborts.
     pub fn run_until_block(&self, txn: &mut Txn) -> StepOutcome {
         txn.status = TxnStatus::Running;
+        let ctx = TxnContext::new(self);
         while txn.pc < txn.program.statements.len() {
             if !self.config.cost.per_statement.is_zero() {
                 std::thread::sleep(self.config.cost.per_statement);
@@ -231,7 +251,7 @@ impl Engine {
                     return StepOutcome::Blocked;
                 }
                 other => {
-                    if let Err(e) = self.execute_classical(txn, &other) {
+                    if let Err(e) = ctx.execute(txn, &other) {
                         self.abort(txn, e);
                         return StepOutcome::Aborted;
                     }
@@ -247,211 +267,6 @@ impl Engine {
         self.locks
             .lock(TxId(tx), res, mode, Some(self.config.lock_timeout))
             .map_err(EngineError::from)
-    }
-
-    fn execute_classical(&self, txn: &mut Txn, stmt: &Statement) -> Result<(), EngineError> {
-        match stmt {
-            Statement::Select(sel) => {
-                // Lower (needs schema), then lock, then evaluate.
-                let lowered = {
-                    let db = self.db.read();
-                    lower_select(&db, sel, &txn.env)?
-                };
-                let mut tables = lowered.query.tables.clone();
-                tables.sort();
-                tables.dedup();
-                for t in &tables {
-                    self.lock(txn.tx, Resource::table(t), LockMode::S)?;
-                }
-                let out = {
-                    let db = self.db.read();
-                    eval_spj(&db, &lowered.query)?
-                };
-                if self.config.record_history {
-                    for t in &tables {
-                        self.recorder.read(txn.tx, t);
-                    }
-                }
-                // Bind host variables from the first row (MySQL-style
-                // SELECT-into-variable semantics used by Appendix D).
-                if let Some(row) = out.rows.first() {
-                    for (idx, var) in &lowered.bindings {
-                        txn.env.insert(var.clone(), row[*idx].clone());
-                    }
-                }
-                if self.config.isolation == IsolationMode::EarlyReadLockRelease {
-                    for t in &tables {
-                        self.locks.release(TxId(txn.tx), &Resource::table(t));
-                    }
-                }
-                Ok(())
-            }
-            Statement::Insert {
-                table,
-                columns,
-                values,
-            } => {
-                match self.config.granularity {
-                    LockGranularity::Table => {
-                        self.lock(txn.tx, Resource::table(table), LockMode::X)?
-                    }
-                    LockGranularity::Row => {
-                        self.lock(txn.tx, Resource::table(table), LockMode::IX)?
-                    }
-                }
-                let row = {
-                    let db = self.db.read();
-                    build_insert_row(&db, table, columns, values, &txn.env)?
-                };
-                let id = {
-                    let mut db = self.db.write();
-                    db.insert(table, row.clone())?
-                };
-                if self.config.granularity == LockGranularity::Row {
-                    // Fresh row: uncontended by construction.
-                    self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
-                }
-                self.wal.append(&LogRecord::Insert {
-                    tx: txn.tx,
-                    table: table.clone(),
-                    row: id.0,
-                    values: row,
-                });
-                txn.undo.push(Undo::Insert {
-                    table: table.clone(),
-                    row: id.0,
-                });
-                if self.config.record_history {
-                    let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
-                    self.recorder.write(txn.tx, table, row);
-                }
-                Ok(())
-            }
-            Statement::Update {
-                table,
-                sets,
-                where_clause,
-            } => {
-                let (pred, set_cols) = {
-                    let db = self.db.read();
-                    let pred = lower_table_cond(&db, table, where_clause, &txn.env)?;
-                    let cols: Vec<(usize, &youtopia_sql::Scalar)> = sets
-                        .iter()
-                        .map(|(c, s)| Ok((db.column_index(table, c)?, s)))
-                        .collect::<Result<_, EngineError>>()?;
-                    (
-                        pred,
-                        cols.into_iter()
-                            .map(|(i, s)| (i, s.clone()))
-                            .collect::<Vec<_>>(),
-                    )
-                };
-                self.lock_for_write_scan(txn.tx, table)?;
-                let targets: Vec<(RowId, Vec<Value>)> = {
-                    let db = self.db.read();
-                    collect_matches(&db, table, &pred)?
-                };
-                if self.config.granularity == LockGranularity::Row {
-                    for (id, _) in &targets {
-                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
-                    }
-                }
-                for (id, old) in targets {
-                    let mut new = old.clone();
-                    for (col, scalar) in &set_cols {
-                        new[*col] = eval_row_scalar(scalar, table, &old, &txn.env, self)?;
-                    }
-                    {
-                        let mut db = self.db.write();
-                        db.update(table, id, new.clone())?;
-                    }
-                    self.wal.append(&LogRecord::Update {
-                        tx: txn.tx,
-                        table: table.clone(),
-                        row: id.0,
-                        before: old.clone(),
-                        after: new,
-                    });
-                    txn.undo.push(Undo::Update {
-                        table: table.clone(),
-                        row: id.0,
-                        before: old,
-                    });
-                    if self.config.record_history {
-                        let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
-                        self.recorder.write(txn.tx, table, row);
-                    }
-                }
-                Ok(())
-            }
-            Statement::Delete {
-                table,
-                where_clause,
-            } => {
-                let pred = {
-                    let db = self.db.read();
-                    lower_table_cond(&db, table, where_clause, &txn.env)?
-                };
-                self.lock_for_write_scan(txn.tx, table)?;
-                let targets: Vec<(RowId, Vec<Value>)> = {
-                    let db = self.db.read();
-                    collect_matches(&db, table, &pred)?
-                };
-                if self.config.granularity == LockGranularity::Row {
-                    for (id, _) in &targets {
-                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
-                    }
-                }
-                for (id, old) in targets {
-                    {
-                        let mut db = self.db.write();
-                        db.delete(table, id)?;
-                    }
-                    self.wal.append(&LogRecord::Delete {
-                        tx: txn.tx,
-                        table: table.clone(),
-                        row: id.0,
-                        before: old.clone(),
-                    });
-                    txn.undo.push(Undo::Delete {
-                        table: table.clone(),
-                        row: id.0,
-                        before: old,
-                    });
-                    if self.config.record_history {
-                        let row = (self.config.granularity == LockGranularity::Row).then_some(id.0);
-                        self.recorder.write(txn.tx, table, row);
-                    }
-                }
-                Ok(())
-            }
-            Statement::SetVar { name, expr } => {
-                let v = lower_const_scalar(expr, &txn.env)?;
-                txn.env.insert(name.clone(), v);
-                Ok(())
-            }
-            Statement::Rollback => Err(EngineError::RolledBack),
-            Statement::CreateTable { .. } => Err(EngineError::Protocol(
-                "DDL inside transactions is not supported",
-            )),
-            Statement::Begin { .. } | Statement::Commit => {
-                Err(EngineError::Protocol("nested BEGIN/COMMIT"))
-            }
-            Statement::Entangled(_) => unreachable!("handled by run_until_block"),
-        }
-    }
-
-    /// Table-level locking for UPDATE/DELETE scans: X at table granularity,
-    /// SIX-equivalent (S + IX) at row granularity (scan reads the table,
-    /// writes individual rows).
-    fn lock_for_write_scan(&self, tx: u64, table: &str) -> Result<(), EngineError> {
-        match self.config.granularity {
-            LockGranularity::Table => self.lock(tx, Resource::table(table), LockMode::X),
-            LockGranularity::Row => {
-                self.lock(tx, Resource::table(table), LockMode::S)?;
-                self.lock(tx, Resource::table(table), LockMode::IX)
-            }
-        }
     }
 
     /// Jointly evaluate the entangled queries of all blocked transactions
@@ -501,33 +316,30 @@ impl Engine {
             }
         }
 
-        // 3. Ground everything on one snapshot.
+        // 3. Ground each query against its pinned table footprint. The
+        //    grounding-read locks just acquired (2PL, §3.3.3) — not a
+        //    global latch — keep each footprint stable, so queries over
+        //    disjoint tables ground while writers touch unrelated tables.
+        let snapshot = self.catalog.snapshot();
         let mut grounded = Vec::with_capacity(blocked.len());
-        {
-            let db = self.db.read();
-            for (i, ir) in irs.iter_mut().enumerate() {
-                let Some(q) = ir.as_ref() else {
+        for (i, ir) in irs.iter_mut().enumerate() {
+            let Some(q) = ir.as_ref() else {
+                grounded.push(None);
+                continue;
+            };
+            let result = {
+                let view = snapshot.read_view(&q.tables_read());
+                ground(&view, q, &blocked[i].env)
+            };
+            match result {
+                Ok(gs) => grounded.push(Some(gs)),
+                Err(e) => {
+                    // Rare (schema races); surface the real grounding error.
                     grounded.push(None);
-                    continue;
-                };
-                match ground(&db, q, &blocked[i].env) {
-                    Ok(gs) => grounded.push(Some(gs)),
-                    Err(e) => {
-                        grounded.push(None);
-                        *ir = None;
-                        // abort after releasing the guard (abort takes the
-                        // write guard) — defer via marker.
-                        let _ = e;
-                    }
+                    *ir = None;
+                    self.abort(blocked[i], EngineError::Ground(e));
+                    report.aborted += 1;
                 }
-            }
-        }
-        // Abort grounding failures (rare: schema races) outside the guard.
-        for i in 0..blocked.len() {
-            if irs[i].is_some() && grounded[i].is_none() {
-                self.abort(blocked[i], EngineError::Protocol("grounding failed"));
-                report.aborted += 1;
-                irs[i] = None;
             }
         }
 
@@ -681,24 +493,24 @@ impl Engine {
     /// release. Group-abort cascades are the scheduler's job (it knows
     /// which transactions are in flight).
     pub fn abort(&self, txn: &mut Txn, err: EngineError) {
-        {
-            let mut db = self.db.write();
-            for u in txn.undo.drain(..).rev() {
-                match u {
-                    Undo::Insert { table, row } => {
-                        if let Ok(t) = db.table_mut(&table) {
-                            t.delete(RowId(row));
-                        }
+        // In-memory undo against per-table handles (one short write latch
+        // per operation; the transaction still holds its 2PL X locks, so
+        // nobody can observe the intermediate states).
+        for u in txn.undo.drain(..).rev() {
+            match u {
+                Undo::Insert { table, row } => {
+                    if let Ok(h) = self.catalog.handle(&table) {
+                        h.write().delete(RowId(row));
                     }
-                    Undo::Delete { table, row, before } => {
-                        if let Ok(t) = db.table_mut(&table) {
-                            let _ = t.insert_at(RowId(row), before);
-                        }
+                }
+                Undo::Delete { table, row, before } => {
+                    if let Ok(h) = self.catalog.handle(&table) {
+                        let _ = h.write().insert_at(RowId(row), before);
                     }
-                    Undo::Update { table, row, before } => {
-                        if let Ok(t) = db.table_mut(&table) {
-                            let _ = t.update(RowId(row), before);
-                        }
+                }
+                Undo::Update { table, row, before } => {
+                    if let Ok(h) = self.catalog.handle(&table) {
+                        let _ = h.write().update(RowId(row), before);
                     }
                 }
             }
@@ -716,97 +528,11 @@ impl Engine {
     /// Returns the set of transactions rolled back despite having a
     /// durable commit record (widowed rollbacks).
     pub fn crash_and_recover(&self) -> std::collections::BTreeSet<u64> {
-        let mut db = self.db.write();
         self.wal.crash();
         let records = self.wal.durable_records().expect("log readable");
         let outcome = recover(&records);
-        *db = outcome.db;
+        self.catalog.load(outcome.db);
         outcome.widowed_rollbacks
-    }
-}
-
-// ---- helpers ----
-
-fn build_insert_row(
-    db: &Database,
-    table: &str,
-    columns: &Option<Vec<String>>,
-    values: &[youtopia_sql::Scalar],
-    env: &VarEnv,
-) -> Result<Vec<Value>, EngineError> {
-    let schema = db.table(table)?.schema().clone();
-    let vals: Vec<Value> = values
-        .iter()
-        .map(|s| lower_const_scalar(s, env))
-        .collect::<Result<_, _>>()?;
-    match columns {
-        None => Ok(vals),
-        Some(cols) => {
-            let mut row = vec![Value::Null; schema.arity()];
-            for (c, v) in cols.iter().zip(vals) {
-                let idx = schema.index_of(c).ok_or_else(|| {
-                    youtopia_storage::StorageError::NoSuchColumn {
-                        table: table.to_string(),
-                        column: c.clone(),
-                    }
-                })?;
-                row[idx] = v;
-            }
-            Ok(row)
-        }
-    }
-}
-
-fn collect_matches(
-    db: &Database,
-    table: &str,
-    pred: &Expr,
-) -> Result<Vec<(RowId, Vec<Value>)>, EngineError> {
-    let t = db.table(table)?;
-    let mut out = Vec::new();
-    for (id, row) in t.scan() {
-        if pred
-            .eval_bool(&[row.as_slice()])
-            .map_err(|_| EngineError::Protocol("non-boolean WHERE"))?
-        {
-            out.push((id, row.clone()));
-        }
-    }
-    Ok(out)
-}
-
-/// Evaluate an UPDATE SET scalar that may reference the row's own columns.
-fn eval_row_scalar(
-    s: &youtopia_sql::Scalar,
-    table: &str,
-    row: &[Value],
-    env: &VarEnv,
-    engine: &Engine,
-) -> Result<Value, EngineError> {
-    use youtopia_sql::Scalar;
-    match s {
-        Scalar::Lit(v) => Ok(v.clone()),
-        Scalar::HostVar(n) => env.get(n).cloned().ok_or_else(|| {
-            EngineError::Lower(youtopia_sql::LowerError::UnboundVariable(n.clone()))
-        }),
-        Scalar::Col(c) => {
-            let idx = engine.with_db(|db| db.column_index(table, &c.column))?;
-            Ok(row[idx].clone())
-        }
-        Scalar::Add(l, r) => {
-            let (l, r) = (
-                eval_row_scalar(l, table, row, env, engine)?,
-                eval_row_scalar(r, table, row, env, engine)?,
-            );
-            l.add(&r).ok_or(EngineError::Protocol("invalid arithmetic"))
-        }
-        Scalar::Sub(l, r) => {
-            let (l, r) = (
-                eval_row_scalar(l, table, row, env, engine)?,
-                eval_row_scalar(r, table, row, env, engine)?,
-            );
-            l.sub(&r).ok_or(EngineError::Protocol("invalid arithmetic"))
-        }
     }
 }
 
@@ -814,6 +540,7 @@ fn eval_row_scalar(
 mod tests {
     use super::*;
     use crate::program::{ClientId, Program};
+    use youtopia_storage::Value;
 
     fn engine() -> Engine {
         let e = Engine::new(EngineConfig::default());

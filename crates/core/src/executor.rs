@@ -1,0 +1,343 @@
+//! The classical-statement executor: one [`TxnContext`] per transaction
+//! advance, executing SELECT/INSERT/UPDATE/DELETE/SET against the
+//! concurrent catalog.
+//!
+//! This layer is what replaced the engine's original `RwLock<Database>`
+//! monolith: statements now pin only the per-table handles they touch, so
+//! transactions on disjoint tables (and readers on shared tables) proceed
+//! in parallel through the storage substrate.
+
+use crate::engine::{Engine, IsolationMode, LockGranularity};
+use crate::error::EngineError;
+use crate::program::{Txn, Undo};
+use youtopia_lock::{LockMode, Resource, TxId};
+use youtopia_sql::{
+    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, Statement, VarEnv,
+};
+use youtopia_storage::{
+    eval_spj, CatalogSnapshot, Expr, RowId, StorageError, Table, TableProvider, Value,
+};
+use youtopia_wal::LogRecord;
+
+/// Per-advance execution context over a pinned catalog snapshot.
+///
+/// A `TxnContext` is created once per [`Engine::run_until_block`] call. It
+/// pins a [`CatalogSnapshot`] (a map of `Arc` table handles — no catalog
+/// lock is touched again), and each statement then pins exactly the
+/// handles it needs: read guards for lowering and scans, a write guard per
+/// row mutation, plus the statement's *pre-resolved* column indexes and
+/// row expressions (UPDATE `SET` scalars are lowered to index-bound
+/// [`Expr`]s once, so per-row evaluation does no name resolution and no
+/// catalog round-trips).
+///
+/// ## Why 2PL, not the latch, carries isolation
+///
+/// The table latches inside the snapshot are **physical** protection only:
+/// they keep individual row operations and multi-table read batches
+/// internally consistent, and are held for strictly bounded, wait-free
+/// sections (never across a 2PL lock wait, a channel, or another latch
+/// acquired out of sorted order). **Logical** isolation between
+/// transactions — repeatable reads, write-write ordering, the §3.3.3
+/// grounding-read guarantees — is carried entirely by the Strict-2PL lock
+/// manager: every statement acquires its S/X/IS/IX locks *before* touching
+/// a handle, and holds them to commit. That separation is exactly what
+/// lets the storage layer drop the global `RwLock<Database>` latch: 2PL
+/// already serializes conflicting access, so the substrate only has to
+/// protect its own memory, not transaction semantics.
+pub struct TxnContext<'e> {
+    engine: &'e Engine,
+    snapshot: CatalogSnapshot,
+}
+
+impl std::fmt::Debug for TxnContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnContext")
+            .field("snapshot", &self.snapshot)
+            .finish()
+    }
+}
+
+impl<'e> TxnContext<'e> {
+    /// Pin the current catalog snapshot for one transaction advance.
+    pub fn new(engine: &'e Engine) -> TxnContext<'e> {
+        TxnContext {
+            engine,
+            snapshot: engine.catalog.snapshot(),
+        }
+    }
+
+    fn lock(&self, tx: u64, res: Resource, mode: LockMode) -> Result<(), EngineError> {
+        self.engine
+            .locks
+            .lock(TxId(tx), res, mode, Some(self.engine.config.lock_timeout))
+            .map_err(EngineError::from)
+    }
+
+    /// Table-level locking for UPDATE/DELETE scans: X at table granularity,
+    /// SIX-equivalent (S + IX) at row granularity (scan reads the table,
+    /// writes individual rows).
+    fn lock_for_write_scan(&self, tx: u64, table: &str) -> Result<(), EngineError> {
+        match self.engine.config.granularity {
+            LockGranularity::Table => self.lock(tx, Resource::table(table), LockMode::X),
+            LockGranularity::Row => {
+                self.lock(tx, Resource::table(table), LockMode::S)?;
+                self.lock(tx, Resource::table(table), LockMode::IX)
+            }
+        }
+    }
+
+    /// Execute one classical statement on behalf of `txn`.
+    pub fn execute(&self, txn: &mut Txn, stmt: &Statement) -> Result<(), EngineError> {
+        let config = &self.engine.config;
+        match stmt {
+            Statement::Select(sel) => {
+                // Lower against the statement's table footprint (needs
+                // schemas only), then take 2PL locks, then evaluate on
+                // freshly pinned read guards.
+                let mut footprint = Vec::new();
+                sel.collect_tables(&mut footprint);
+                let lowered = {
+                    let view = self.snapshot.read_view(&footprint);
+                    lower_select(&view, sel, &txn.env)?
+                };
+                let mut tables = lowered.query.tables.clone();
+                tables.sort();
+                tables.dedup();
+                for t in &tables {
+                    self.lock(txn.tx, Resource::table(t), LockMode::S)?;
+                }
+                let out = {
+                    let view = self.snapshot.read_view(&tables);
+                    eval_spj(&view, &lowered.query)?
+                };
+                if config.record_history {
+                    for t in &tables {
+                        self.engine.recorder.read(txn.tx, t);
+                    }
+                }
+                // Bind host variables from the first row (MySQL-style
+                // SELECT-into-variable semantics used by Appendix D).
+                if let Some(row) = out.rows.first() {
+                    for (idx, var) in &lowered.bindings {
+                        txn.env.insert(var.clone(), row[*idx].clone());
+                    }
+                }
+                if config.isolation == IsolationMode::EarlyReadLockRelease {
+                    for t in &tables {
+                        self.engine.locks.release(TxId(txn.tx), &Resource::table(t));
+                    }
+                }
+                Ok(())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                match config.granularity {
+                    LockGranularity::Table => {
+                        self.lock(txn.tx, Resource::table(table), LockMode::X)?
+                    }
+                    LockGranularity::Row => {
+                        self.lock(txn.tx, Resource::table(table), LockMode::IX)?
+                    }
+                }
+                let handle = self.snapshot.handle(table)?;
+                let row = build_insert_row(&handle.read(), table, columns, values, &txn.env)?;
+                let id = handle
+                    .write()
+                    .insert(row.clone())
+                    .map_err(StorageError::from)?;
+                if config.granularity == LockGranularity::Row {
+                    // Fresh row: uncontended by construction.
+                    self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
+                }
+                self.engine.wal.append(&LogRecord::Insert {
+                    tx: txn.tx,
+                    table: table.clone(),
+                    row: id.0,
+                    values: row,
+                });
+                txn.undo.push(Undo::Insert {
+                    table: table.clone(),
+                    row: id.0,
+                });
+                if config.record_history {
+                    let row = (config.granularity == LockGranularity::Row).then_some(id.0);
+                    self.engine.recorder.write(txn.tx, table, row);
+                }
+                Ok(())
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let handle = self.snapshot.handle(table)?;
+                // Resolve names once per statement: the predicate and every
+                // SET scalar become index-bound expressions evaluated per
+                // row with no further lookups.
+                let (pred, set_exprs) = {
+                    let view = self.snapshot.read_view(std::slice::from_ref(table));
+                    let schema = view.table(table)?.schema();
+                    let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
+                    let set_exprs: Vec<(usize, Expr)> =
+                        sets.iter()
+                            .map(|(c, s)| {
+                                let idx = schema.index_of(c).ok_or_else(|| {
+                                    StorageError::NoSuchColumn {
+                                        table: table.clone(),
+                                        column: c.clone(),
+                                    }
+                                })?;
+                                Ok((idx, lower_row_scalar(&view, table, s, &txn.env)?))
+                            })
+                            .collect::<Result<_, EngineError>>()?;
+                    (pred, set_exprs)
+                };
+                self.lock_for_write_scan(txn.tx, table)?;
+                let targets: Vec<(RowId, Vec<Value>)> = collect_matches(&handle.read(), &pred)?;
+                if config.granularity == LockGranularity::Row {
+                    for (id, _) in &targets {
+                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
+                    }
+                }
+                for (id, old) in targets {
+                    let mut new = old.clone();
+                    for (col, expr) in &set_exprs {
+                        new[*col] = expr
+                            .eval(&[old.as_slice()])
+                            .map_err(|_| EngineError::Protocol("invalid arithmetic"))?;
+                    }
+                    handle
+                        .write()
+                        .update(id, new.clone())
+                        .map_err(StorageError::from)?
+                        .ok_or_else(|| StorageError::NoSuchRow {
+                            table: table.clone(),
+                            row: id,
+                        })?;
+                    self.engine.wal.append(&LogRecord::Update {
+                        tx: txn.tx,
+                        table: table.clone(),
+                        row: id.0,
+                        before: old.clone(),
+                        after: new,
+                    });
+                    txn.undo.push(Undo::Update {
+                        table: table.clone(),
+                        row: id.0,
+                        before: old,
+                    });
+                    if config.record_history {
+                        let row = (config.granularity == LockGranularity::Row).then_some(id.0);
+                        self.engine.recorder.write(txn.tx, table, row);
+                    }
+                }
+                Ok(())
+            }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let handle = self.snapshot.handle(table)?;
+                let pred = {
+                    let view = self.snapshot.read_view(std::slice::from_ref(table));
+                    lower_table_cond(&view, table, where_clause, &txn.env)?
+                };
+                self.lock_for_write_scan(txn.tx, table)?;
+                let targets: Vec<(RowId, Vec<Value>)> = collect_matches(&handle.read(), &pred)?;
+                if config.granularity == LockGranularity::Row {
+                    for (id, _) in &targets {
+                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
+                    }
+                }
+                for (id, old) in targets {
+                    handle
+                        .write()
+                        .delete(id)
+                        .ok_or_else(|| StorageError::NoSuchRow {
+                            table: table.clone(),
+                            row: id,
+                        })?;
+                    self.engine.wal.append(&LogRecord::Delete {
+                        tx: txn.tx,
+                        table: table.clone(),
+                        row: id.0,
+                        before: old.clone(),
+                    });
+                    txn.undo.push(Undo::Delete {
+                        table: table.clone(),
+                        row: id.0,
+                        before: old,
+                    });
+                    if config.record_history {
+                        let row = (config.granularity == LockGranularity::Row).then_some(id.0);
+                        self.engine.recorder.write(txn.tx, table, row);
+                    }
+                }
+                Ok(())
+            }
+            Statement::SetVar { name, expr } => {
+                let v = lower_const_scalar(expr, &txn.env)?;
+                txn.env.insert(name.clone(), v);
+                Ok(())
+            }
+            Statement::Rollback => Err(EngineError::RolledBack),
+            Statement::CreateTable { .. } => Err(EngineError::Protocol(
+                "DDL inside transactions is not supported",
+            )),
+            Statement::Begin { .. } | Statement::Commit => {
+                Err(EngineError::Protocol("nested BEGIN/COMMIT"))
+            }
+            Statement::Entangled(_) => unreachable!("handled by run_until_block"),
+        }
+    }
+}
+
+// ---- helpers ----
+
+/// Build the row an INSERT produces, resolving the optional column list
+/// against the table's schema.
+pub(crate) fn build_insert_row(
+    t: &Table,
+    table: &str,
+    columns: &Option<Vec<String>>,
+    values: &[youtopia_sql::Scalar],
+    env: &VarEnv,
+) -> Result<Vec<Value>, EngineError> {
+    let schema = t.schema();
+    let vals: Vec<Value> = values
+        .iter()
+        .map(|s| lower_const_scalar(s, env))
+        .collect::<Result<_, _>>()?;
+    match columns {
+        None => Ok(vals),
+        Some(cols) => {
+            let mut row = vec![Value::Null; schema.arity()];
+            for (c, v) in cols.iter().zip(vals) {
+                let idx = schema
+                    .index_of(c)
+                    .ok_or_else(|| StorageError::NoSuchColumn {
+                        table: table.to_string(),
+                        column: c.clone(),
+                    })?;
+                row[idx] = v;
+            }
+            Ok(row)
+        }
+    }
+}
+
+fn collect_matches(t: &Table, pred: &Expr) -> Result<Vec<(RowId, Vec<Value>)>, EngineError> {
+    let mut out = Vec::new();
+    for (id, row) in t.scan() {
+        if pred
+            .eval_bool(&[row.as_slice()])
+            .map_err(|_| EngineError::Protocol("non-boolean WHERE"))?
+        {
+            out.push((id, row.clone()));
+        }
+    }
+    Ok(out)
+}

@@ -11,10 +11,13 @@
 //!
 //! * [`program`] — `BEGIN … COMMIT` programs (Figure 2 syntax), runtime
 //!   transaction state, timeouts, retries.
-//! * [`engine`] — the middle-tier engine of §5.1: classical statements
-//!   under Strict 2PL with a WAL, joint entangled-query evaluation with
-//!   grounding-read locks (§3.3.3), group commit (one sync per group),
-//!   in-memory undo for live aborts, crash simulation + recovery.
+//! * [`engine`] — the middle-tier engine of §5.1: transaction lifecycle
+//!   over a per-table concurrent catalog, joint entangled-query evaluation
+//!   with grounding-read locks (§3.3.3), group commit (one sync per
+//!   group), in-memory undo for live aborts, crash simulation + recovery.
+//! * [`executor`] — classical statement execution: a [`TxnContext`] pins
+//!   per-table handles and pre-resolved column indexes per statement;
+//!   Strict 2PL (not a storage latch) carries isolation.
 //! * [`scheduler`] — the §4 run-based scheduler: dormant pool, arrival-
 //!   triggered runs (the paper's frequency `f`), phase loop with batch
 //!   query evaluation (Figure 4), group-commit settlement, retry and
@@ -52,6 +55,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod groups;
 pub mod oracle;
 pub mod program;
@@ -63,6 +67,7 @@ pub use engine::{
     StepOutcome,
 };
 pub use error::EngineError;
+pub use executor::TxnContext;
 pub use groups::GroupManager;
 pub use oracle::{run_with_oracle, GroundingOracle, QueryOracle, ReplayOracle};
 pub use program::{ClientId, Program, Txn, TxnStatus};

@@ -188,13 +188,7 @@ impl Scheduler {
             }
             report.eval_rounds += 1;
             let eval = {
-                let mut refs: Vec<&mut Txn> = Vec::with_capacity(blocked.len());
-                // Split borrows: indices are distinct.
-                let ptr = run.as_mut_ptr();
-                for &i in &blocked {
-                    // SAFETY: `blocked` holds distinct indices within range.
-                    refs.push(unsafe { &mut *ptr.add(i) });
-                }
+                let mut refs = disjoint_muts(&mut run, &blocked);
                 self.engine.evaluate_queries(&mut refs)
             };
             report.eval.answered += eval.answered;
@@ -355,13 +349,7 @@ impl Scheduler {
             .min(commit_plans.len().max(1));
         if workers <= 1 || commit_plans.len() <= 1 {
             for plan in &commit_plans {
-                let mut refs: Vec<&mut Txn> = Vec::new();
-                let ptr = run.as_mut_ptr();
-                for &j in plan {
-                    // SAFETY: indices within one plan and across plans are
-                    // distinct (each txn belongs to exactly one group).
-                    refs.push(unsafe { &mut *ptr.add(j) });
-                }
+                let mut refs = disjoint_muts(&mut run, plan);
                 engine.commit_group(&mut refs);
             }
         } else {
@@ -509,6 +497,35 @@ impl Scheduler {
     }
 }
 
+/// Safely materialize mutable references to the given **distinct** indices
+/// of `slice`, preserving the order of `indices`.
+///
+/// Implemented by walking the slice with `split_at_mut` in ascending index
+/// order — no `unsafe`, no aliasing: each reference comes from a disjoint
+/// subslice. Panics if an index repeats or is out of range (both are
+/// scheduler invariants: a transaction belongs to exactly one blocked set
+/// / commit plan per phase).
+fn disjoint_muts<'a, T>(slice: &'a mut [T], indices: &[usize]) -> Vec<&'a mut T> {
+    let mut order: Vec<usize> = (0..indices.len()).collect();
+    order.sort_unstable_by_key(|&k| indices[k]);
+    let mut out: Vec<Option<&'a mut T>> = Vec::with_capacity(indices.len());
+    out.resize_with(indices.len(), || None);
+    let mut rest = slice;
+    let mut consumed = 0usize;
+    for &k in &order {
+        let i = indices[k];
+        assert!(i >= consumed, "indices must be distinct");
+        let (_, tail) = std::mem::take(&mut rest).split_at_mut(i - consumed);
+        let (item, tail) = tail.split_at_mut(1);
+        out[k] = Some(&mut item[0]);
+        rest = tail;
+        consumed = i + 1;
+    }
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +573,27 @@ mod tests {
              INSERT INTO Reserve (uid, fid) VALUES ('{me}', @hid); COMMIT;"
         ))
         .unwrap()
+    }
+
+    #[test]
+    fn disjoint_muts_preserves_index_order() {
+        let mut v = vec![10, 20, 30, 40, 50];
+        let refs = disjoint_muts(&mut v, &[4, 0, 2]);
+        assert_eq!(refs.iter().map(|r| **r).collect::<Vec<_>>(), [50, 10, 30]);
+        for r in refs {
+            *r += 1;
+        }
+        assert_eq!(v, vec![11, 20, 31, 40, 51]);
+        assert!(disjoint_muts(&mut v, &[]).is_empty());
+        let all = disjoint_muts(&mut v, &[0, 1, 2, 3, 4]);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn disjoint_muts_rejects_duplicates() {
+        let mut v = vec![1, 2, 3];
+        let _ = disjoint_muts(&mut v, &[1, 1]);
     }
 
     #[test]

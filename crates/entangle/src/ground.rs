@@ -13,7 +13,7 @@ use crate::ir::{Atom, QueryIr, Term};
 use std::collections::HashMap;
 use std::fmt;
 use youtopia_sql::{lower_select, LowerError, VarEnv};
-use youtopia_storage::{eval_spj, Database, StorageError, Value};
+use youtopia_storage::{eval_spj, StorageError, TableProvider, Value};
 
 /// One grounding of a query: its ground head and postcondition atoms plus
 /// the valuation that produced them.
@@ -69,10 +69,17 @@ impl From<StorageError> for GroundError {
     }
 }
 
-/// Compute all groundings of `ir` on `db`. Host variables were already
-/// substituted into the IR; `vars` is still consulted for host variables
-/// inside body subqueries.
-pub fn ground(db: &Database, ir: &QueryIr, vars: &VarEnv) -> Result<GroundingSet, GroundError> {
+/// Compute all groundings of `ir` on `db` — any table source: an owned
+/// `Database` or a pinned view over the concurrent catalog (the engine
+/// grounds against per-table read guards whose consistency is guaranteed by
+/// the grounding-read 2PL locks of §3.3.3, not by a global latch). Host
+/// variables were already substituted into the IR; `vars` is still
+/// consulted for host variables inside body subqueries.
+pub fn ground(
+    db: &dyn TableProvider,
+    ir: &QueryIr,
+    vars: &VarEnv,
+) -> Result<GroundingSet, GroundError> {
     // Start from the empty valuation and join in each membership.
     let mut valuations: Vec<HashMap<String, Value>> = vec![HashMap::new()];
     for m in &ir.body.memberships {
@@ -192,7 +199,7 @@ mod tests {
     use super::*;
     use crate::ir::from_ast;
     use youtopia_sql::{parse_statement, Statement};
-    use youtopia_storage::{Schema, ValueType};
+    use youtopia_storage::{Database, Schema, ValueType};
 
     /// The Figure 1(a) database.
     fn fig1_db() -> Database {

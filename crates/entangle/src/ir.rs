@@ -310,24 +310,17 @@ impl QueryIr {
     /// footprint* that the isolation layer turns into `R^G` operations and
     /// the lock manager protects with shared locks.
     pub fn tables_read(&self) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
+        // One table walk for the whole system: `Select::collect_tables`
+        // (FROM plus IN-subqueries, recursively) also feeds the executor's
+        // latch footprint, so lock and latch pinning can never diverge.
+        let mut names = Vec::new();
         for m in &self.body.memberships {
-            collect_tables(&m.select, &mut out);
+            m.select.collect_tables(&mut names);
         }
+        let mut out: Vec<String> = names.into_iter().map(|n| n.to_ascii_lowercase()).collect();
         out.sort();
         out.dedup();
         out
-    }
-}
-
-fn collect_tables(sel: &Select, out: &mut Vec<String>) {
-    for t in &sel.from {
-        out.push(t.table.to_ascii_lowercase());
-    }
-    for c in sel.where_clause.conjuncts() {
-        if let Cond::InSelect { select, .. } = c {
-            collect_tables(select, out);
-        }
     }
 }
 

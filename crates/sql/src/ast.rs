@@ -116,6 +116,20 @@ impl Cond {
         out
     }
 
+    /// Append every base-table name referenced by IN-subqueries anywhere
+    /// in this condition (recursively).
+    pub fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            Cond::And(l, r) | Cond::Or(l, r) => {
+                l.collect_tables(out);
+                r.collect_tables(out);
+            }
+            Cond::Not(c) => c.collect_tables(out),
+            Cond::InSelect { select, .. } => select.collect_tables(out),
+            Cond::True | Cond::Cmp { .. } | Cond::InAnswer { .. } => {}
+        }
+    }
+
     /// Does any part of this condition reference an ANSWER relation?
     pub fn mentions_answer(&self) -> bool {
         match self {
@@ -172,6 +186,19 @@ pub struct Select {
     pub where_clause: Cond,
     pub distinct: bool,
     pub limit: Option<u64>,
+}
+
+impl Select {
+    /// Every base-table name this SELECT references: the FROM list plus
+    /// IN-subqueries, recursively. This is the latch footprint a statement
+    /// pins (read guards on per-table handles) before lowering against a
+    /// catalog snapshot; duplicates are kept (the pinning layer dedups).
+    pub fn collect_tables(&self, out: &mut Vec<String>) {
+        for tr in &self.from {
+            out.push(tr.table.clone());
+        }
+        self.where_clause.collect_tables(out);
+    }
 }
 
 /// An entangled query (§2):

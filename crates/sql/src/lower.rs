@@ -10,7 +10,7 @@
 use crate::ast::{ColumnRef, Cond, Scalar, Select, SelectItem};
 use std::collections::HashMap;
 use std::fmt;
-use youtopia_storage::{Database, Expr, SpjQuery, StorageError, Value};
+use youtopia_storage::{Expr, SpjQuery, StorageError, TableProvider, Value};
 
 /// Lowering failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,7 +66,7 @@ struct ScopeEntry {
 }
 
 struct Scope<'a> {
-    db: &'a Database,
+    db: &'a dyn TableProvider,
     entries: Vec<ScopeEntry>,
 }
 
@@ -134,7 +134,7 @@ type SelectParts = (Vec<Expr>, Vec<String>, Vec<(usize, String)>);
 /// Lower a full SELECT, flattening IN-subqueries into the join. `tables`
 /// and `conjuncts` accumulate across nesting levels.
 fn lower_select_into(
-    db: &Database,
+    db: &dyn TableProvider,
     sel: &Select,
     vars: &VarEnv,
     tables: &mut Vec<String>,
@@ -196,7 +196,7 @@ fn item_name(item: &SelectItem, i: usize) -> String {
 }
 
 fn lower_cond_into(
-    db: &Database,
+    db: &dyn TableProvider,
     cond: &Cond,
     scope: &Scope<'_>,
     vars: &VarEnv,
@@ -255,7 +255,7 @@ fn lower_cond_into(
 /// OR/NOT, where flattening would change semantics).
 #[allow(clippy::only_used_in_recursion)]
 fn lower_pure_cond(
-    db: &Database,
+    db: &dyn TableProvider,
     cond: &Cond,
     scope: &Scope<'_>,
     vars: &VarEnv,
@@ -284,7 +284,7 @@ fn lower_pure_cond(
 
 /// Lower a classical SELECT to an executable [`SpjQuery`].
 pub fn lower_select(
-    db: &Database,
+    db: &dyn TableProvider,
     sel: &Select,
     vars: &VarEnv,
 ) -> Result<LoweredSelect, LowerError> {
@@ -309,7 +309,7 @@ pub fn lower_select(
 /// Lower a WHERE clause over a single named table (UPDATE/DELETE): no
 /// subqueries, scope = that table alone at position 0.
 pub fn lower_table_cond(
-    db: &Database,
+    db: &dyn TableProvider,
     table: &str,
     cond: &Cond,
     vars: &VarEnv,
@@ -323,6 +323,26 @@ pub fn lower_table_cond(
         }],
     };
     lower_pure_cond(db, cond, &scope, vars)
+}
+
+/// Lower a scalar over a single named table (UPDATE `SET` expressions) to
+/// a resolved [`Expr`] whose column references are pre-bound indexes —
+/// evaluated per row with `expr.eval(&[row])`, no further name resolution.
+pub fn lower_row_scalar(
+    db: &dyn TableProvider,
+    table: &str,
+    s: &Scalar,
+    vars: &VarEnv,
+) -> Result<Expr, LowerError> {
+    let scope = Scope {
+        db,
+        entries: vec![ScopeEntry {
+            binding: table.to_string(),
+            table: table.to_string(),
+            position: 0,
+        }],
+    };
+    lower_scalar(s, &scope, vars)
 }
 
 /// Evaluate a scalar that must not reference any column (INSERT VALUES,
@@ -353,7 +373,7 @@ mod tests {
     use super::*;
     use crate::ast::Statement;
     use crate::parser::parse_statement;
-    use youtopia_storage::{eval_spj, Schema, ValueType};
+    use youtopia_storage::{eval_spj, Database, Schema, ValueType};
 
     fn travel_db() -> Database {
         let mut db = Database::new();

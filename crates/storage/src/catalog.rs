@@ -44,6 +44,18 @@ impl From<crate::schema::SchemaError> for StorageError {
     }
 }
 
+/// Read access to tables by (case-insensitive) name.
+///
+/// Implemented by the single-threaded [`Database`] and by pinned views over
+/// the concurrent catalog ([`crate::concurrent::TableView`]), so lowering,
+/// grounding and SPJ evaluation run identically against either: a plain
+/// owned database (recovery, oracles, tests) or a set of latched table
+/// handles inside the engine's hot path.
+pub trait TableProvider {
+    /// Look up a table by name.
+    fn table(&self, name: &str) -> Result<&Table, StorageError>;
+}
+
 /// A database: table name → table. Names are case-insensitive and stored
 /// lower-cased; the original casing is kept inside [`Table::name`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -51,13 +63,36 @@ pub struct Database {
     tables: BTreeMap<String, Table>,
 }
 
+impl TableProvider for Database {
+    fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        Database::table(self, name)
+    }
+}
+
 impl Database {
     pub fn new() -> Database {
         Database::default()
     }
 
-    fn key(name: &str) -> String {
+    pub(crate) fn key(name: &str) -> String {
         name.to_ascii_lowercase()
+    }
+
+    /// Assemble a database from already-built tables (keys are re-derived
+    /// from each table's own name).
+    pub fn from_tables(tables: impl IntoIterator<Item = Table>) -> Database {
+        Database {
+            tables: tables
+                .into_iter()
+                .map(|t| (Self::key(t.name()), t))
+                .collect(),
+        }
+    }
+
+    /// Decompose into the owned tables (used to load a recovered database
+    /// into a concurrent catalog).
+    pub fn into_tables(self) -> impl Iterator<Item = Table> {
+        self.tables.into_values()
     }
 
     /// Create a table; errors if one with the same (case-insensitive) name

@@ -11,10 +11,15 @@
 //! evaluator used both for classical statements and for *grounding*
 //! entangled queries (Appendix A of the paper).
 //!
-//! Concurrency control and durability deliberately live elsewhere
-//! (`youtopia-lock` and `youtopia-wal`): this crate is purely the
-//! single-threaded data plane, mirroring how the paper's middleware treats
-//! the DBMS as a data service and layers entanglement logic on top.
+//! Concurrency *control* and durability deliberately live elsewhere
+//! (`youtopia-lock` and `youtopia-wal`): this crate is the data plane,
+//! mirroring how the paper's middleware treats the DBMS as a data service
+//! and layers entanglement logic on top. It comes in two forms sharing one
+//! [`TableProvider`] interface: the single-threaded [`Database`]
+//! (recovery, oracles, tests) and the [`ConcurrentCatalog`] of
+//! independently lockable per-table handles the engine's hot path runs on
+//! — physical latches only; transaction isolation stays with the lock
+//! manager above.
 //!
 //! ```
 //! use youtopia_storage::{Database, Schema, Value, ValueType};
@@ -29,13 +34,15 @@
 //! ```
 
 pub mod catalog;
+pub mod concurrent;
 pub mod expr;
 pub mod query;
 pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use catalog::{Database, StorageError};
+pub use catalog::{Database, StorageError, TableProvider};
+pub use concurrent::{CatalogSnapshot, ConcurrentCatalog, TableHandle, TableView};
 pub use expr::{CmpOp, EvalError, Expr};
 pub use query::{eval_spj, QueryOutput, SpjQuery};
 pub use schema::{Column, Schema, SchemaError};

@@ -1,4 +1,4 @@
-//! Select-project-join evaluation over a [`Database`].
+//! Select-project-join evaluation over any [`TableProvider`].
 //!
 //! Entangled-query WHERE clauses are restricted to select-project-join form
 //! (§2 of the paper), and the classical statements in the workloads are SPJ
@@ -6,7 +6,7 @@
 //! SQL executor and grounding: a left-deep nested-loop join that pushes
 //! constant filters and bound equi-join keys into per-table index lookups.
 
-use crate::catalog::{Database, StorageError};
+use crate::catalog::{StorageError, TableProvider};
 use crate::expr::{CmpOp, Expr};
 use crate::table::{Row, RowId};
 use crate::value::Value;
@@ -51,8 +51,11 @@ pub struct QueryOutput {
     pub provenance: Vec<Vec<RowId>>,
 }
 
-/// Evaluate an SPJ query.
-pub fn eval_spj(db: &Database, q: &SpjQuery) -> Result<QueryOutput, StorageError> {
+/// Evaluate an SPJ query against any table source (an owned [`Database`]
+/// or a pinned [`crate::concurrent::TableView`]).
+///
+/// [`Database`]: crate::catalog::Database
+pub fn eval_spj(db: &dyn TableProvider, q: &SpjQuery) -> Result<QueryOutput, StorageError> {
     // Validate tables early so errors surface deterministically.
     for t in &q.tables {
         db.table(t)?;
@@ -131,7 +134,7 @@ fn lookup_pairs(stage: usize, conjs: &[&Expr], env: &[&[Value]]) -> Vec<(usize, 
 
 #[allow(clippy::too_many_arguments)]
 fn join_rec(
-    db: &Database,
+    db: &dyn TableProvider,
     q: &SpjQuery,
     stage_conjuncts: &[Vec<&Expr>],
     stage: usize,
@@ -206,6 +209,7 @@ fn join_rec(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::Database;
     use crate::schema::Schema;
     use crate::value::ValueType;
 
