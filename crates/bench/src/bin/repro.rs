@@ -2,12 +2,16 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
 //! mixes at connections ∈ {1, 2, 4, 8} and writes the machine-readable
 //! baseline to `BENCH_scaling.json` (tracked as a CI artifact).
+//!
+//! `durability` measures the group-commit WAL pipeline on the same mixes:
+//! committed-txns/sec and syncs-per-commit with the sync batching on and
+//! off, written to `BENCH_durability.json` (also a CI artifact).
 //!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
@@ -15,8 +19,8 @@
 
 use std::io::Write;
 use youtopia_bench::{
-    run_ablated, run_fig6a, run_fig6b, run_fig6c, run_scaling_series, scaling_json,
-    scaling_speedup, Ablation, Scale,
+    durability_json, run_ablated, run_durability_series, run_fig6a, run_fig6b, run_fig6c,
+    run_scaling_series, scaling_json, scaling_speedup, Ablation, Scale,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -38,16 +42,18 @@ fn main() {
         "fig6c" => fig6c(&mut out, &scale),
         "ablations" => ablations(&mut out, &scale),
         "scaling" => scaling(&mut out, &scale),
+        "durability" => durability(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
             fig6c(&mut out, &scale);
             ablations(&mut out, &scale);
             scaling(&mut out, &scale);
+            durability(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|all"
             );
             std::process::exit(2);
         }
@@ -235,15 +241,65 @@ fn scaling(out: &mut impl Write, scale: &Scale) {
         writeln!(out).unwrap();
     }
     for (label, points) in &series {
+        let top = points.last().expect("non-empty series");
         writeln!(
             out,
-            "# {label}: speedup {:.2}x at max connections",
-            scaling_speedup(points)
+            "# {label}: speedup {:.2}x at max connections; {:.3} syncs/commit there (group commit amortizes durability)",
+            scaling_speedup(points),
+            top.syncs_per_commit
         )
         .unwrap();
     }
     let json = scaling_json(scale, &series);
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
     writeln!(out, "# baseline written to BENCH_scaling.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Durability: the group-commit WAL pipeline vs sync-per-commit, measured
+/// as committed-txns/sec and syncs-per-commit across connection counts,
+/// plus the `BENCH_durability.json` CI baseline.
+fn durability(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Durability — group-commit WAL pipeline").unwrap();
+    writeln!(
+        out,
+        "# {} transactions per point; device sync latency {}us; columns: txns/sec (syncs/commit)",
+        scale.txns,
+        scale.cost.per_commit.as_micros()
+    )
+    .unwrap();
+    let series = run_durability_series(scale);
+    write!(out, "{:>12}", "connections").unwrap();
+    for s in &series {
+        write!(out, " {:>22}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>12}", series[0].points[i].connections).unwrap();
+        for s in &series {
+            let p = &s.points[i];
+            write!(
+                out,
+                " {:>22}",
+                format!("{:.1} ({:.3})", p.txns_per_sec, p.syncs_per_commit)
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        out.flush().unwrap();
+    }
+    for s in &series {
+        let top = s.points.last().expect("non-empty series");
+        writeln!(
+            out,
+            "# {}: {:.1} txns/sec, {:.3} syncs/commit at {} connections",
+            s.label, top.txns_per_sec, top.syncs_per_commit, top.connections
+        )
+        .unwrap();
+    }
+    let json = durability_json(scale, &series);
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    writeln!(out, "# baseline written to BENCH_durability.json").unwrap();
     writeln!(out).unwrap();
 }

@@ -78,13 +78,30 @@ pub struct Point {
     pub seconds: f64,
     pub committed: usize,
     pub failed: usize,
+    /// Device syncs the workload paid (excluding the setup bootstrap
+    /// sync); `syncs / committed` is the durability amortization figure.
+    pub syncs: u64,
 }
 
 /// Figure 6(a): execute `scale.txns` transactions of one workload at a
 /// given connection count; returns elapsed seconds.
 pub fn run_fig6a(scale: &Scale, family: Family, mode: WorkloadMode, connections: usize) -> Point {
+    run_fig6a_configured(scale, family, mode, connections, true)
+}
+
+/// [`run_fig6a`] with the WAL group-commit pipeline togglable (off =
+/// every commit pays its own serialized device sync).
+pub fn run_fig6a_configured(
+    scale: &Scale,
+    family: Family,
+    mode: WorkloadMode,
+    connections: usize,
+    wal_group_commit: bool,
+) -> Point {
     let data = scale.data();
-    let engine = data.build_engine(engine_config(mode, scale.cost, false));
+    let mut cfg = engine_config(mode, scale.cost, false);
+    cfg.wal_group_commit = wal_group_commit;
+    let engine = data.build_engine(cfg);
     let mut sched = scheduler_for(engine, connections);
     let programs = generate(family, &data, scale.txns, scale.seed);
     let n = programs.len();
@@ -103,7 +120,10 @@ pub fn run_fig6a(scale: &Scale, family: Family, mode: WorkloadMode, connections:
         x: connections as f64,
         seconds,
         committed: stats.committed,
-        failed: stats.failed + (n - stats.committed - stats.failed),
+        // Everything not committed counts as failed, including
+        // submissions the drain gave up on without a final status.
+        failed: n - stats.committed,
+        syncs: stats.syncs,
     }
 }
 
@@ -148,6 +168,7 @@ pub fn run_fig6b(scale: &Scale, p: usize, f: usize, connections: usize) -> Point
         seconds,
         committed: stats.committed,
         failed: stats.failed,
+        syncs: stats.syncs,
     }
 }
 
@@ -194,6 +215,7 @@ pub fn run_fig6c(
         seconds,
         committed: stats.committed,
         failed: stats.failed,
+        syncs: stats.syncs,
     }
 }
 
@@ -209,6 +231,9 @@ pub struct ScalingPoint {
     pub committed: usize,
     pub failed: usize,
     pub txns_per_sec: f64,
+    /// Device syncs per committed transaction (< 1 = group commit is
+    /// amortizing durability across transactions).
+    pub syncs_per_commit: f64,
 }
 
 /// Throughput (committed txns/sec) of one Figure 6(a) mix at a connection
@@ -226,7 +251,10 @@ pub fn run_scaling(
         !scale.cost.per_statement.is_zero(),
         "the scaling driver needs a non-zero CostModel"
     );
-    let p = run_fig6a(scale, family, mode, connections);
+    scaling_point(run_fig6a(scale, family, mode, connections), connections)
+}
+
+fn scaling_point(p: Point, connections: usize) -> ScalingPoint {
     ScalingPoint {
         connections,
         seconds: p.seconds,
@@ -234,6 +262,11 @@ pub fn run_scaling(
         failed: p.failed,
         txns_per_sec: if p.seconds > 0.0 {
             p.committed as f64 / p.seconds
+        } else {
+            0.0
+        },
+        syncs_per_commit: if p.committed > 0 {
+            p.syncs as f64 / p.committed as f64
         } else {
             0.0
         },
@@ -263,8 +296,31 @@ pub fn scaling_speedup(points: &[ScalingPoint]) -> f64 {
     }
 }
 
+/// Serialize one series body (per-series extras + speedup + points) for
+/// the hand-rolled JSON baselines — the serde shim has no serializer, and
+/// both `BENCH_scaling.json` and `BENCH_durability.json` share this shape.
+fn series_json(out: &mut String, extra_fields: &str, points: &[ScalingPoint], last: bool) {
+    out.push_str(&format!(
+        "    {{\n{extra_fields}      \"speedup_max_over_1\": {:.3},\n      \"points\": [\n",
+        scaling_speedup(points)
+    ));
+    for (pi, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"syncs_per_commit\": {:.4}}}{}\n",
+            p.connections,
+            p.seconds,
+            p.committed,
+            p.failed,
+            p.txns_per_sec,
+            p.syncs_per_commit,
+            if pi + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!("      ]\n    }}{}\n", if last { "" } else { "," }));
+}
+
 /// Serialize scaling series as the `BENCH_scaling.json` baseline tracked
-/// as a CI artifact (hand-rolled JSON — the serde shim has no serializer).
+/// as a CI artifact.
 pub fn scaling_json(scale: &Scale, series: &[(String, Vec<ScalingPoint>)]) -> String {
     let mut out = String::from("{\n  \"experiment\": \"scaling\",\n");
     out.push_str(&format!("  \"txns_per_point\": {},\n", scale.txns));
@@ -273,25 +329,84 @@ pub fn scaling_json(scale: &Scale, series: &[(String, Vec<ScalingPoint>)]) -> St
         scale.cost.per_statement.as_micros()
     ));
     for (si, (label, points)) in series.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\n      \"label\": \"{label}\",\n      \"speedup_max_over_1\": {:.3},\n      \"points\": [\n",
-            scaling_speedup(points)
-        ));
-        for (pi, p) in points.iter().enumerate() {
-            out.push_str(&format!(
-                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}}}{}\n",
-                p.connections,
-                p.seconds,
-                p.committed,
-                p.failed,
-                p.txns_per_sec,
-                if pi + 1 < points.len() { "," } else { "" }
-            ));
+        let extra = format!("      \"label\": \"{label}\",\n");
+        series_json(&mut out, &extra, points, si + 1 == series.len());
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One `durability` driver series: a Figure 6(a) transactional mix with
+/// the WAL group-commit pipeline on or off.
+#[derive(Debug, Clone)]
+pub struct DurabilitySeries {
+    pub label: String,
+    pub family: Family,
+    pub group_commit: bool,
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Measure the durability pipeline: committed-txns/sec and
+/// syncs-per-commit over [`SCALING_CONNECTIONS`], with and without the
+/// group-commit sync batching, on the transactional Figure 6(a) mixes.
+/// With group commit ON, concurrent commits share a leader's sync, so
+/// syncs-per-commit drops below 1 as connections rise; OFF reproduces the
+/// pre-pipeline cost — one serialized device sync per commit *group*
+/// (1.0 for classical mixes, 0.5 for entangled pairs).
+pub fn run_durability_series(scale: &Scale) -> Vec<DurabilitySeries> {
+    assert!(
+        !scale.cost.per_commit.is_zero(),
+        "the durability driver needs a non-zero sync latency (cost.per_commit)"
+    );
+    let mut out = Vec::new();
+    for group_commit in [true, false] {
+        for family in [Family::NoSocial, Family::Entangled] {
+            let points = SCALING_CONNECTIONS
+                .iter()
+                .map(|&c| {
+                    let p = run_fig6a_configured(
+                        scale,
+                        family,
+                        WorkloadMode::Transactional,
+                        c,
+                        group_commit,
+                    );
+                    scaling_point(p, c)
+                })
+                .collect();
+            out.push(DurabilitySeries {
+                label: format!(
+                    "{}-T gc={}",
+                    family.label(),
+                    if group_commit { "on" } else { "off" }
+                ),
+                family,
+                group_commit,
+                points,
+            });
         }
-        out.push_str(&format!(
-            "      ]\n    }}{}\n",
-            if si + 1 < series.len() { "," } else { "" }
-        ));
+    }
+    out
+}
+
+/// Serialize durability series as the `BENCH_durability.json` baseline
+/// tracked as a CI artifact (same shape as [`scaling_json`] plus the
+/// machine-readable family/group-commit keys).
+pub fn durability_json(scale: &Scale, series: &[DurabilitySeries]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"durability\",\n");
+    out.push_str(&format!("  \"txns_per_point\": {},\n", scale.txns));
+    out.push_str(&format!(
+        "  \"sync_latency_us\": {},\n  \"series\": [\n",
+        scale.cost.per_commit.as_micros()
+    ));
+    for (si, s) in series.iter().enumerate() {
+        let extra = format!(
+            "      \"label\": \"{}\",\n      \"family\": \"{}\",\n      \"group_commit\": {},\n",
+            s.label,
+            s.family.label(),
+            s.group_commit
+        );
+        series_json(&mut out, &extra, &s.points, si + 1 == series.len());
     }
     out.push_str("  ]\n}\n");
     out
@@ -359,6 +474,7 @@ pub fn run_ablated(
         seconds: start.elapsed().as_secs_f64(),
         committed: stats.committed,
         failed: stats.failed,
+        syncs: stats.syncs,
     }
 }
 
@@ -452,6 +568,96 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_amortizes_syncs_below_one_per_commit() {
+        // The ISSUE-3 acceptance criterion: with the group-commit pipeline
+        // on, syncs-per-commit < 1 at connections >= 4; off, every commit
+        // pays its own serialized sync (>= 1). The 2ms sync latency makes
+        // batching windows wide enough to be timing-robust.
+        let scale = Scale {
+            txns: 48,
+            users: 60,
+            cities: 4,
+            flights: 80,
+            cost: CostModel {
+                per_statement: Duration::ZERO,
+                per_entangled_eval: Duration::ZERO,
+                per_commit: Duration::from_millis(2),
+            },
+            seed: 4,
+        };
+        for family in [Family::NoSocial, Family::Entangled] {
+            let on = scaling_point(
+                run_fig6a_configured(&scale, family, WorkloadMode::Transactional, 4, true),
+                4,
+            );
+            assert_eq!(on.committed, 48, "{}: {on:?}", family.label());
+            assert!(
+                on.syncs_per_commit < 1.0,
+                "{}: expected amortization, got {:.3} syncs/commit",
+                family.label(),
+                on.syncs_per_commit
+            );
+        }
+        let off = scaling_point(
+            run_fig6a_configured(
+                &scale,
+                Family::NoSocial,
+                WorkloadMode::Transactional,
+                4,
+                false,
+            ),
+            4,
+        );
+        assert!(
+            off.syncs_per_commit >= 1.0,
+            "without group commit every classical commit syncs: {off:?}"
+        );
+        // Entangled pairs without the pipeline: one serialized sync per
+        // commit group (the paper's §4 amortization and nothing more).
+        let off_ent = scaling_point(
+            run_fig6a_configured(
+                &scale,
+                Family::Entangled,
+                WorkloadMode::Transactional,
+                4,
+                false,
+            ),
+            4,
+        );
+        assert!(
+            off_ent.syncs_per_commit >= 0.5,
+            "without the pipeline a pair costs one sync: {off_ent:?}"
+        );
+    }
+
+    #[test]
+    fn durability_json_is_well_formed() {
+        let scale = Scale::quick();
+        let series = vec![DurabilitySeries {
+            label: "NoSocial-T gc=on".into(),
+            family: Family::NoSocial,
+            group_commit: true,
+            points: vec![ScalingPoint {
+                connections: 4,
+                seconds: 0.5,
+                committed: 100,
+                failed: 0,
+                txns_per_sec: 200.0,
+                syncs_per_commit: 0.4,
+            }],
+        }];
+        let json = durability_json(&scale, &series);
+        assert!(json.contains("\"experiment\": \"durability\""));
+        assert!(json.contains("\"group_commit\": true"));
+        assert!(json.contains("\"syncs_per_commit\": 0.4000"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+
+    #[test]
     fn scaling_json_is_well_formed() {
         let scale = Scale::quick();
         let series = vec![(
@@ -463,6 +669,7 @@ mod tests {
                     committed: 100,
                     failed: 0,
                     txns_per_sec: 100.0,
+                    syncs_per_commit: 1.0,
                 },
                 ScalingPoint {
                     connections: 8,
@@ -470,6 +677,7 @@ mod tests {
                     committed: 100,
                     failed: 0,
                     txns_per_sec: 400.0,
+                    syncs_per_commit: 0.25,
                 },
             ],
         )];

@@ -15,13 +15,14 @@ use crate::executor::{build_insert_row, TxnContext};
 use crate::groups::GroupManager;
 use crate::program::{Txn, TxnStatus, Undo};
 use crate::recorder::Recorder;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use youtopia_entangle::{from_ast, ground, solve, QueryIr, QueryOutcome, SolveInput, SolverConfig};
 use youtopia_lock::{LockManager, LockMode, Resource, TxId};
 use youtopia_sql::{parse_script, Statement, VarEnv};
 use youtopia_storage::{ConcurrentCatalog, Database, RowId, StorageError};
-use youtopia_wal::{recover, LogRecord, Wal};
+use youtopia_wal::{recover, GroupCommitter, LogRecord, Wal};
 
 /// Lock granularity for writes (reads and grounding reads are always
 /// table-granular, mirroring §3.3.3's table-level read-lock argument).
@@ -86,6 +87,11 @@ pub struct EngineConfig {
     /// Record an abstract schedule of every operation (audited against
     /// Appendix C by tests and the `verify_history` API).
     pub record_history: bool,
+    /// Batch concurrent commit syncs behind a leader (§4 group commit at
+    /// the WAL layer). Off = every commit *group* pays its own serialized
+    /// device sync (singletons sync alone), the pre-pipeline durability
+    /// cost (bench ablation).
+    pub wal_group_commit: bool,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +108,7 @@ impl Default for EngineConfig {
             empty_answer: EmptyAnswerPolicy::Abort,
             cost: CostModel::ZERO,
             record_history: true,
+            wal_group_commit: true,
         }
     }
 }
@@ -137,6 +144,9 @@ pub struct Engine {
     pub(crate) catalog: ConcurrentCatalog,
     pub locks: LockManager,
     pub wal: Wal,
+    /// Leader/follower sync batching: concurrent commit points share one
+    /// device sync (`cost.per_commit` models the fsync latency).
+    pub committer: GroupCommitter,
     pub groups: GroupManager,
     pub recorder: Recorder,
     pub config: EngineConfig,
@@ -145,10 +155,12 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
+        let committer = GroupCommitter::new(config.cost.per_commit);
         Engine {
             catalog: ConcurrentCatalog::new(),
             locks: LockManager::new(),
             wal: Wal::new(),
+            committer,
             groups: GroupManager::new(),
             recorder: Recorder::new(),
             config,
@@ -165,6 +177,7 @@ impl Engine {
     /// processing; logged as bootstrap transaction 0 and synced.
     pub fn setup(&self, script: &str) -> Result<(), EngineError> {
         let statements = parse_script(script)?;
+        let mut redo: Vec<LogRecord> = Vec::with_capacity(statements.len() + 1);
         for st in statements {
             match st {
                 Statement::CreateTable { name, columns } => {
@@ -176,7 +189,7 @@ impl Engine {
                     )
                     .map_err(StorageError::from)?;
                     self.catalog.create_table(&name, schema.clone())?;
-                    self.wal.append(&LogRecord::CreateTable { name, schema });
+                    redo.push(LogRecord::CreateTable { name, schema });
                 }
                 Statement::Insert {
                     table,
@@ -195,7 +208,7 @@ impl Engine {
                         .write()
                         .insert(row.clone())
                         .map_err(StorageError::from)?;
-                    self.wal.append(&LogRecord::Insert {
+                    redo.push(LogRecord::Insert {
                         tx: 0,
                         table,
                         row: id.0,
@@ -209,7 +222,9 @@ impl Engine {
                 }
             }
         }
-        self.wal.append_sync(&LogRecord::Commit { tx: 0 });
+        redo.push(LogRecord::Commit { tx: 0 });
+        self.wal.publish(&redo);
+        self.wal.sync();
         Ok(())
     }
 
@@ -230,9 +245,11 @@ impl Engine {
         f(&self.catalog.materialize())
     }
 
-    /// Log the BEGIN record for a fresh attempt.
-    pub fn begin(&self, txn: &Txn) {
-        self.wal.append(&LogRecord::Begin { tx: txn.tx });
+    /// Open the redo buffer for a fresh attempt: the BEGIN record heads
+    /// the transaction's private buffer and reaches the shared WAL only
+    /// when the commit batch publishes it.
+    pub fn begin(&self, txn: &mut Txn) {
+        txn.redo.push(LogRecord::Begin { tx: txn.tx });
     }
 
     /// Advance `txn` until it blocks on an entangled query, finishes its
@@ -435,18 +452,17 @@ impl Engine {
             }
         }
 
-        // Record entanglement ops & group links; write the WAL records
-        // (§4: entanglement state must be persistent).
+        // Record entanglement ops & group links. Entanglement state is
+        // made persistent (§4) at commit time: the commit batch publishes
+        // one `EntangleGroup` record with the group's full transitive
+        // membership *before* any member's commit record, so no crash
+        // point can leave a durable commit without its group context.
         for members in &handled_groups {
             if self.config.record_history {
                 self.recorder.entangle(members);
             }
             if members.len() > 1 && self.config.isolation != IsolationMode::AllowWidows {
-                let gid = self.groups.link(members);
-                self.wal.append(&LogRecord::EntangleGroup {
-                    group: gid,
-                    txs: members.clone(),
-                });
+                self.groups.link(members);
             }
         }
 
@@ -464,21 +480,95 @@ impl Engine {
     }
 
     /// Commit a set of transactions atomically (a whole entanglement group
-    /// under full isolation; a singleton otherwise). One sync covers the
-    /// group — the amortization group commit classically buys.
+    /// under full isolation; a singleton otherwise). See [`Engine::commit_batch`].
     pub fn commit_group(&self, txns: &mut [&mut Txn]) {
-        if !self.config.cost.per_commit.is_zero() {
-            std::thread::sleep(self.config.cost.per_commit);
+        self.commit_batch(txns);
+    }
+
+    /// Two-phase batched commit for any number of ready transactions —
+    /// whole entanglement groups, several groups drained from one
+    /// scheduler run, or a single classical transaction.
+    ///
+    /// **Prepare**: every member's private redo buffer (`Begin` + write
+    /// records), each group's `EntangleGroup` membership, and the commit
+    /// records are published to the WAL as *one* contiguous reserved
+    /// append ([`Wal::publish`]) — encoding happens outside the device
+    /// lock, and `EntangleGroup` records are ordered before every member
+    /// `Commit` so a crash *inside* the batch can never produce a durable
+    /// widow (recovery's group fixpoint sinks partially-committed groups).
+    ///
+    /// **Sync**: one batched device sync via the [`GroupCommitter`] covers
+    /// the whole range; concurrent `commit_batch` calls share a leader's
+    /// sync, so syncs-per-commit drops below one under concurrency. Locks
+    /// are released only after the publish, which keeps WAL order aligned
+    /// with 2PL serialization order for conflicting writes.
+    pub fn commit_batch(&self, txns: &mut [&mut Txn]) {
+        if txns.is_empty() {
+            return;
         }
+        if !self.config.wal_group_commit {
+            // The ablation baseline: one publish and one serialized
+            // device sync per entanglement group — the pre-pipeline commit
+            // *shape* (PR 2 synced once per `commit_group` call) on a
+            // serial device. Note this is stricter than PR 2's measured
+            // cost, which slept `per_commit` concurrently per committer
+            // and so under-modelled fsync serialization. The settle path
+            // hands groups over as contiguous slices, so chunking at
+            // group boundaries suffices.
+            let mut rest: &mut [&mut Txn] = txns;
+            while !rest.is_empty() {
+                let gid = self.groups.group_id(rest[0].tx);
+                let mut end = 1;
+                while end < rest.len() && gid.is_some() && self.groups.group_id(rest[end].tx) == gid
+                {
+                    end += 1;
+                }
+                let (chunk, tail) = rest.split_at_mut(end);
+                self.publish_and_commit(chunk, false);
+                rest = tail;
+            }
+            return;
+        }
+        self.publish_and_commit(txns, true);
+    }
+
+    /// The two commit phases for one publish unit; `batched` selects the
+    /// leader/follower group-commit sync vs an exclusive serialized sync.
+    fn publish_and_commit(&self, txns: &mut [&mut Txn], batched: bool) {
+        // ---- Phase 1: prepare (publish redo + commit points) ----
+        let mut recs: Vec<LogRecord> = Vec::new();
+        for txn in txns.iter_mut() {
+            recs.append(&mut txn.redo);
+        }
+        let mut group_ids: BTreeSet<u64> = BTreeSet::new();
         for txn in txns.iter() {
-            self.wal.append(&LogRecord::Commit { tx: txn.tx });
-        }
-        if txns.len() > 1 {
-            if let Some(gid) = self.groups.group_id(txns[0].tx) {
-                self.wal.append(&LogRecord::GroupCommit { group: gid });
+            if let Some(gid) = self.groups.group_id(txn.tx) {
+                if group_ids.insert(gid) {
+                    let mut members: Vec<u64> = self.groups.members(txn.tx).into_iter().collect();
+                    members.sort_unstable();
+                    recs.push(LogRecord::EntangleGroup {
+                        group: gid,
+                        txs: members,
+                    });
+                }
             }
         }
-        self.wal.sync();
+        for txn in txns.iter() {
+            recs.push(LogRecord::Commit { tx: txn.tx });
+        }
+        for gid in &group_ids {
+            recs.push(LogRecord::GroupCommit { group: *gid });
+        }
+        let range = self.wal.publish(&recs);
+
+        // ---- Phase 2: durability ----
+        if batched {
+            let tx_ids: Vec<u64> = txns.iter().map(|t| t.tx).collect();
+            self.committer.sync_covering(&self.wal, range.end, &tx_ids);
+        } else {
+            self.committer.sync_exclusive(&self.wal);
+        }
+
         for txn in txns.iter_mut() {
             if self.config.record_history {
                 self.recorder.commit(txn.tx);
@@ -493,6 +583,9 @@ impl Engine {
     /// release. Group-abort cascades are the scheduler's job (it knows
     /// which transactions are in flight).
     pub fn abort(&self, txn: &mut Txn, err: EngineError) {
+        // Unpublished redo vanishes with the abort: the aborted attempt's
+        // writes never reach the log, so recovery never sees them.
+        txn.redo.clear();
         // In-memory undo against per-table handles (one short write latch
         // per operation; the transaction still holds its 2PL X locks, so
         // nobody can observe the intermediate states).
@@ -526,13 +619,15 @@ impl Engine {
     /// Test/bench hook: simulate a crash (losing the unsynced WAL tail and
     /// all memory state) and recover the database from the durable log.
     /// Returns the set of transactions rolled back despite having a
-    /// durable commit record (widowed rollbacks).
-    pub fn crash_and_recover(&self) -> std::collections::BTreeSet<u64> {
+    /// durable commit record (widowed rollbacks), or
+    /// [`EngineError::Recovery`] if the durable log itself is corrupt
+    /// (torn tails are not corruption — they end the log cleanly).
+    pub fn crash_and_recover(&self) -> Result<BTreeSet<u64>, EngineError> {
         self.wal.crash();
-        let records = self.wal.durable_records().expect("log readable");
+        let records = self.wal.durable_records().map_err(EngineError::Recovery)?;
         let outcome = recover(&records);
         self.catalog.load(outcome.db);
-        outcome.widowed_rollbacks
+        Ok(outcome.widowed_rollbacks)
     }
 }
 
@@ -557,8 +652,8 @@ mod tests {
 
     fn txn(e: &Engine, script: &str) -> Txn {
         let p = Program::parse(script).unwrap();
-        let t = Txn::new(ClientId(1), e.alloc_tx(), p);
-        e.begin(&t);
+        let mut t = Txn::new(ClientId(1), e.alloc_tx(), p);
+        e.begin(&mut t);
         t
     }
 
@@ -752,7 +847,7 @@ mod tests {
             "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (2, 123); COMMIT;",
         );
         e.run_until_block(&mut t2);
-        let widowed = e.crash_and_recover();
+        let widowed = e.crash_and_recover().unwrap();
         assert!(widowed.is_empty());
         e.with_db(|db| {
             let rows = db.canonical_rows("Reserve").unwrap();

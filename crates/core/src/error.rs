@@ -5,6 +5,7 @@ use youtopia_entangle::{GroundError, IrError};
 use youtopia_lock::LockError;
 use youtopia_sql::{LowerError, ParseError};
 use youtopia_storage::StorageError;
+use youtopia_wal::CodecError;
 
 /// Anything that can go wrong while executing an entangled transaction.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +28,9 @@ pub enum EngineError {
     /// Aborted because an entanglement partner aborted (group abort —
     /// widowed-transaction prevention, §3.3.3).
     GroupAbort,
+    /// The durable log could not be decoded during crash recovery
+    /// (genuine mid-log corruption — torn tails are not an error).
+    Recovery(CodecError),
     /// Statement used outside a transaction, misplaced BEGIN/COMMIT, etc.
     Protocol(&'static str),
 }
@@ -46,6 +50,7 @@ impl fmt::Display for EngineError {
             EngineError::EmptyAnswer => write!(f, "entangled query returned an empty answer"),
             EngineError::RolledBack => write!(f, "transaction rolled back"),
             EngineError::GroupAbort => write!(f, "aborted with entanglement group"),
+            EngineError::Recovery(e) => write!(f, "recovery failed: {e}"),
             EngineError::Protocol(w) => write!(f, "protocol error: {w}"),
         }
     }
@@ -83,6 +88,11 @@ impl From<GroundError> for EngineError {
         EngineError::Ground(e)
     }
 }
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Recovery(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -101,5 +111,8 @@ mod tests {
         assert_eq!(e, EngineError::Lock(LockError::Deadlock));
         let e: EngineError = StorageError::NoSuchTable("t".into()).into();
         assert!(matches!(e, EngineError::Storage(_)));
+        let e: EngineError = CodecError::Corrupt("tag").into();
+        assert!(matches!(e, EngineError::Recovery(_)));
+        assert!(e.to_string().contains("recovery failed"));
     }
 }

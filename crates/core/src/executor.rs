@@ -6,6 +6,12 @@
 //! monolith: statements now pin only the per-table handles they touch, so
 //! transactions on disjoint tables (and readers on shared tables) proceed
 //! in parallel through the storage substrate.
+//!
+//! Durability follows the same discipline: statement execution never
+//! touches the shared WAL. Write records accumulate in the transaction's
+//! private redo buffer (`Txn::redo`) and are published to the log in one
+//! reserved append when the commit batch runs — only commit and abort
+//! touch the shared device.
 
 use crate::engine::{Engine, IsolationMode, LockGranularity};
 use crate::error::EngineError;
@@ -152,7 +158,7 @@ impl<'e> TxnContext<'e> {
                     // Fresh row: uncontended by construction.
                     self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
                 }
-                self.engine.wal.append(&LogRecord::Insert {
+                txn.redo.push(LogRecord::Insert {
                     tx: txn.tx,
                     table: table.clone(),
                     row: id.0,
@@ -217,7 +223,7 @@ impl<'e> TxnContext<'e> {
                             table: table.clone(),
                             row: id,
                         })?;
-                    self.engine.wal.append(&LogRecord::Update {
+                    txn.redo.push(LogRecord::Update {
                         tx: txn.tx,
                         table: table.clone(),
                         row: id.0,
@@ -260,7 +266,7 @@ impl<'e> TxnContext<'e> {
                             table: table.clone(),
                             row: id,
                         })?;
-                    self.engine.wal.append(&LogRecord::Delete {
+                    txn.redo.push(LogRecord::Delete {
                         tx: txn.tx,
                         table: table.clone(),
                         row: id.0,

@@ -13,11 +13,15 @@
 //!   transaction state, timeouts, retries.
 //! * [`engine`] — the middle-tier engine of §5.1: transaction lifecycle
 //!   over a per-table concurrent catalog, joint entangled-query evaluation
-//!   with grounding-read locks (§3.3.3), group commit (one sync per
-//!   group), in-memory undo for live aborts, crash simulation + recovery.
+//!   with grounding-read locks (§3.3.3), two-phase batched commit (redo
+//!   buffers publish in one reserved append; a leader/follower
+//!   group-commit sync covers whole batches), in-memory undo for live
+//!   aborts, crash simulation + recovery.
 //! * [`executor`] — classical statement execution: a [`TxnContext`] pins
 //!   per-table handles and pre-resolved column indexes per statement;
-//!   Strict 2PL (not a storage latch) carries isolation.
+//!   Strict 2PL (not a storage latch) carries isolation, and write
+//!   records accumulate in the transaction-private redo buffer — only
+//!   commit/abort touch the shared WAL device.
 //! * [`scheduler`] — the §4 run-based scheduler: dormant pool, arrival-
 //!   triggered runs (the paper's frequency `f`), phase loop with batch
 //!   query evaluation (Figure 4), group-commit settlement, retry and

@@ -6,6 +6,7 @@ use crate::error::EngineError;
 use std::time::{Duration, Instant};
 use youtopia_sql::{parse_script, Statement, VarEnv};
 use youtopia_storage::Value;
+use youtopia_wal::LogRecord;
 
 /// A client-visible transaction identifier, stable across retries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -122,6 +123,13 @@ pub struct Txn {
     /// Host-variable environment.
     pub env: VarEnv,
     pub undo: Vec<Undo>,
+    /// Transaction-local redo buffer: `Begin` and the write records of
+    /// this attempt accumulate here **privately** during execution and hit
+    /// the shared WAL only when the commit batch publishes them in one
+    /// reserved append. An abort simply drops the buffer — aborted work
+    /// never reaches the log, and a crashed run leaves no mid-execution
+    /// records of in-flight transactions in the durable prefix.
+    pub redo: Vec<LogRecord>,
     /// Arrival time — the `WITH TIMEOUT` deadline is measured from here,
     /// across retries (§3.1: the timeout limits total waiting).
     pub arrived: Instant,
@@ -142,6 +150,7 @@ impl Txn {
             pc: 0,
             env: VarEnv::new(),
             undo: Vec::new(),
+            redo: Vec::new(),
             arrived: Instant::now(),
             attempt: 0,
             answers: Vec::new(),
@@ -163,6 +172,7 @@ impl Txn {
         self.pc = 0;
         self.env.clear();
         self.undo.clear();
+        self.redo.clear();
         self.answers.clear();
         self.status = TxnStatus::Dormant;
         self.attempt += 1;
@@ -226,6 +236,7 @@ mod tests {
         t.pc = 5;
         t.env.insert("x".into(), Value::Int(1));
         t.answers.push(vec![Value::Int(2)]);
+        t.redo.push(LogRecord::Begin { tx: 7 });
         t.status = TxnStatus::Aborted(EngineError::TimedOut);
         let arrived = t.arrived;
         t.reset_for_retry(8);
@@ -233,6 +244,7 @@ mod tests {
         assert_eq!(t.pc, 0);
         assert!(t.env.is_empty());
         assert!(t.answers.is_empty());
+        assert!(t.redo.is_empty(), "stale redo must not leak into a retry");
         assert_eq!(t.attempt, 1);
         assert_eq!(t.status, TxnStatus::Dormant);
         assert_eq!(t.arrived, arrived, "arrival time preserved across retries");

@@ -74,6 +74,9 @@ pub struct RunReport {
     pub failed: usize,
     pub eval_rounds: usize,
     pub eval: EvalReport,
+    /// Device syncs this run paid (group commit amortizes these: the
+    /// ratio `syncs / committed` drops below 1 under concurrency).
+    pub syncs: u64,
 }
 
 /// Cumulative statistics.
@@ -85,6 +88,25 @@ pub struct Stats {
     pub total_attempts: u64,
     pub group_commits: usize,
     pub group_aborts: usize,
+    /// Device syncs paid by scheduler runs (the setup bootstrap sync is
+    /// excluded); `syncs / committed` is the amortization figure the
+    /// durability pipeline optimizes.
+    pub syncs: u64,
+    /// Group-commit batches completed during this scheduler's runs
+    /// (`CommitBatch` boundaries written), same scope as `syncs`.
+    pub commit_batches: u64,
+}
+
+impl Stats {
+    /// Device syncs per committed transaction — < 1 means group commit is
+    /// amortizing durability across transactions.
+    pub fn syncs_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.syncs as f64 / self.committed as f64
+        }
+    }
 }
 
 /// The run-based scheduler.
@@ -150,6 +172,8 @@ impl Scheduler {
         self.arrivals_since_run = 0;
         self.stats.runs += 1;
         let mut report = RunReport::default();
+        let syncs_before = self.engine.wal.sync_count();
+        let batches_before = self.engine.committer.batches();
         let now = Instant::now();
 
         // Pull the pool; expire transactions whose deadline passed.
@@ -167,8 +191,8 @@ impl Scheduler {
             return report;
         }
 
-        // Log BEGIN for each attempt.
-        for txn in &run {
+        // Open each attempt's private redo buffer with its BEGIN record.
+        for txn in &mut run {
             self.engine.begin(txn);
         }
 
@@ -209,6 +233,9 @@ impl Scheduler {
 
         // ---- End of run: group commit / abort / return to pool ----
         self.settle(run, &mut report);
+        report.syncs = self.engine.wal.sync_count() - syncs_before;
+        self.stats.syncs += report.syncs;
+        self.stats.commit_batches += self.engine.committer.batches() - batches_before;
         report
     }
 
@@ -339,60 +366,15 @@ impl Scheduler {
             }
         }
 
-        // …then execute the commits in parallel over the connection pool
-        // (each group commits on a connection, as it would on the paper's
-        // MySQL setup — one sync per group either way).
-        let workers = self
-            .config
-            .connections
-            .max(1)
-            .min(commit_plans.len().max(1));
-        if workers <= 1 || commit_plans.len() <= 1 {
-            for plan in &commit_plans {
-                let mut refs = disjoint_muts(&mut run, plan);
-                engine.commit_group(&mut refs);
-            }
-        } else {
-            let (task_tx, task_rx) = crossbeam::channel::unbounded::<Vec<(usize, Txn)>>();
-            let (done_tx, done_rx) = crossbeam::channel::unbounded::<Vec<(usize, Txn)>>();
-            for plan in &commit_plans {
-                let batch: Vec<(usize, Txn)> = plan
-                    .iter()
-                    .map(|&j| {
-                        let txn = std::mem::replace(
-                            &mut run[j],
-                            Txn::new(ClientId(0), 0, Program::from_statements(vec![], None)),
-                        );
-                        (j, txn)
-                    })
-                    .collect();
-                task_tx.send(batch).expect("open channel");
-            }
-            drop(task_tx);
-            let engine_ref = &engine;
-            crossbeam::scope(|s| {
-                for _ in 0..workers {
-                    let task_rx = task_rx.clone();
-                    let done_tx = done_tx.clone();
-                    s.spawn(move |_| {
-                        while let Ok(mut batch) = task_rx.recv() {
-                            {
-                                let mut refs: Vec<&mut Txn> =
-                                    batch.iter_mut().map(|(_, t)| t).collect();
-                                engine_ref.commit_group(&mut refs);
-                            }
-                            done_tx.send(batch).expect("open channel");
-                        }
-                    });
-                }
-                drop(done_tx);
-                while let Ok(batch) = done_rx.recv() {
-                    for (j, txn) in batch {
-                        run[j] = txn;
-                    }
-                }
-            })
-            .expect("commit worker panicked");
+        // …then drain every ready group into ONE commit batch: all redo
+        // buffers publish back-to-back in a single reserved append and one
+        // group-commit sync covers the whole wave — instead of one commit
+        // (and one sync) per group. Group boundaries within the batch are
+        // reconstructed by the engine from the `GroupManager`.
+        let batch: Vec<usize> = commit_plans.iter().flatten().copied().collect();
+        if !batch.is_empty() {
+            let mut refs = disjoint_muts(&mut run, &batch);
+            engine.commit_batch(&mut refs);
         }
 
         for i in group_abort_idx.iter().copied() {

@@ -19,13 +19,21 @@
 //! The device is simulated (`StableStorage`) so that tests and benches can
 //! inject crashes at precise points, including *between* the commits of two
 //! entangled partners.
+//!
+//! Durability is pipelined: committers pre-encode their frames, [`Wal::publish`]
+//! reserves a contiguous LSN range under one short device-lock hold, and the
+//! [`GroupCommitter`] batches concurrent sync requests behind a leader whose
+//! single device sync (bounded by [`LogRecord::CommitBatch`]) covers every
+//! follower — syncs-per-commit drops below one under concurrency.
 
 pub mod device;
+pub mod group;
 pub mod log;
 pub mod record;
 pub mod recover;
 
 pub use device::StableStorage;
-pub use log::Wal;
+pub use group::GroupCommitter;
+pub use log::{LsnRange, Wal};
 pub use record::{CodecError, LogRecord, Lsn};
 pub use recover::{recover, RecoveryOutcome};

@@ -68,6 +68,14 @@ pub enum LogRecord {
     Checkpoint {
         active: Vec<u64>,
     },
+    /// One durable boundary of the group-commit pipeline: the sync leader
+    /// logs the transactions whose commit points the upcoming sync covers,
+    /// then syncs. Every `Commit` listed here precedes this record in the
+    /// log, so a durable `CommitBatch` implies its whole batch is durable.
+    CommitBatch {
+        batch: u64,
+        txs: Vec<u64>,
+    },
 }
 
 /// Codec failures.
@@ -316,6 +324,11 @@ impl LogRecord {
                 body.put_u8(9);
                 put_u64s(&mut body, active);
             }
+            LogRecord::CommitBatch { batch, txs } => {
+                body.put_u8(10);
+                body.put_u64_le(*batch);
+                put_u64s(&mut body, txs);
+            }
         }
         let mut frame = Vec::with_capacity(body.len() + 8);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -401,6 +414,10 @@ impl LogRecord {
             9 => LogRecord::Checkpoint {
                 active: get_u64s(&mut buf)?,
             },
+            10 => LogRecord::CommitBatch {
+                batch: need_u64(&mut buf)?,
+                txs: get_u64s(&mut buf)?,
+            },
             _ => return Err(CodecError::Corrupt("record tag")),
         };
         if buf.has_remaining() {
@@ -456,6 +473,10 @@ mod tests {
             LogRecord::GroupCommit { group: 1 },
             LogRecord::Checkpoint {
                 active: vec![10, 11],
+            },
+            LogRecord::CommitBatch {
+                batch: 3,
+                txs: vec![7, 8],
             },
         ]
     }

@@ -31,6 +31,11 @@ pub struct RecoveryOutcome {
     /// when the engine crashed between a member commit and its group
     /// commit.
     pub widowed_rollbacks: BTreeSet<u64>,
+    /// Group-commit batch boundaries found in the durable prefix — one
+    /// [`LogRecord::CommitBatch`] per completed sync. Recovery sees each
+    /// batch as a single durable boundary: a durable boundary implies every
+    /// commit it names is durable too.
+    pub durable_batches: usize,
 }
 
 /// Run analysis, redo and undo over a durable log prefix.
@@ -39,6 +44,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
     let mut committed: BTreeSet<u64> = BTreeSet::new();
     let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut durable_batches = 0usize;
     for (_, rec) in records {
         match rec {
             LogRecord::Begin { tx }
@@ -58,6 +64,14 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
                     .entry(*group)
                     .or_default()
                     .extend(txs.iter().copied());
+            }
+            // A durable batch boundary confirms every commit it names: the
+            // leader appends it after the named Commit records and before
+            // the sync, so the batch is durable as one unit.
+            LogRecord::CommitBatch { txs, .. } => {
+                durable_batches += 1;
+                seen.extend(txs.iter().copied());
+                committed.extend(txs.iter().copied());
             }
             LogRecord::GroupCommit { .. }
             | LogRecord::CreateTable { .. }
@@ -154,6 +168,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
         winners,
         losers,
         widowed_rollbacks,
+        durable_batches,
     }
 }
 
@@ -325,6 +340,59 @@ mod tests {
         assert_eq!(t.get(RowId(1)).unwrap()[0], Value::Int(3));
         assert!(out.winners.contains(&3));
         assert!(!out.winners.contains(&1));
+    }
+
+    #[test]
+    fn commit_batch_confirms_its_commits_and_counts_boundaries() {
+        // The group-commit pipeline's shape: each member publishes
+        // [Begin, writes, Commit] contiguously, the sync leader bounds the
+        // batch with CommitBatch before syncing.
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::CommitBatch {
+            batch: 1,
+            txs: vec![1],
+        });
+        wal.sync();
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.durable_batches, 1);
+        assert!(out.winners.contains(&1));
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn crash_inside_a_batch_keeps_group_atomicity() {
+        // Entangled pair published in one batch; the torn tail cuts after
+        // member 1's commit but before member 2's. The EntangleGroup record
+        // precedes both commits, so recovery must sink the whole group.
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append(&LogRecord::Begin { tx: 2 });
+        insert(&wal, 2, 1, 20, 122);
+        wal.append(&LogRecord::EntangleGroup {
+            group: 1,
+            txs: vec![1, 2],
+        });
+        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.sync(); // crash point: inside the batch, before Commit{2}
+        wal.append(&LogRecord::Commit { tx: 2 });
+        wal.append(&LogRecord::CommitBatch {
+            batch: 1,
+            txs: vec![1, 2],
+        });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(
+            out.db.table("Reserve").unwrap().len(),
+            0,
+            "no durable widow"
+        );
+        assert_eq!(out.widowed_rollbacks, BTreeSet::from([1]));
+        assert_eq!(out.durable_batches, 0, "the batch boundary was torn off");
     }
 
     #[test]

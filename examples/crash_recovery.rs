@@ -41,7 +41,7 @@ fn main() {
     println!("before crash: both partners committed (one group commit)");
 
     // Power loss. The engine rebuilds the database from the durable log.
-    let widowed = engine.crash_and_recover();
+    let widowed = engine.crash_and_recover().expect("log readable");
     assert!(widowed.is_empty());
     engine.with_db(|db| {
         let rows = db.canonical_rows("Reserve").expect("table");

@@ -183,8 +183,8 @@ fn figure3b_grounding_lock_blocks_donalds_write() {
     });
     let mut t1 = entangled_txn::Txn::new(entangled_txn::ClientId(1), engine.alloc_tx(), mickey());
     let mut t2 = entangled_txn::Txn::new(entangled_txn::ClientId(2), engine.alloc_tx(), minnie());
-    engine.begin(&t1);
-    engine.begin(&t2);
+    engine.begin(&mut t1);
+    engine.begin(&mut t2);
     assert_eq!(engine.run_until_block(&mut t1), StepOutcome::Blocked);
     assert_eq!(engine.run_until_block(&mut t2), StepOutcome::Blocked);
     let report = engine.evaluate_queries(&mut [&mut t1, &mut t2]);
@@ -199,7 +199,7 @@ fn figure3b_grounding_lock_blocks_donalds_write() {
         )
         .expect("parse"),
     );
-    engine.begin(&donald);
+    engine.begin(&mut donald);
     assert_eq!(
         engine.run_until_block(&mut donald),
         StepOutcome::Aborted,
@@ -222,7 +222,7 @@ fn figure3b_grounding_lock_blocks_donalds_write() {
         )
         .expect("parse"),
     );
-    engine.begin(&donald2);
+    engine.begin(&mut donald2);
     assert_eq!(engine.run_until_block(&mut donald2), StepOutcome::Ready);
     engine.commit_group(&mut [&mut donald2]);
 }
@@ -250,8 +250,8 @@ fn figure3b_relaxed_mode_admits_the_anomaly() {
     let mut t1 =
         entangled_txn::Txn::new(entangled_txn::ClientId(1), engine.alloc_tx(), mickey_checks);
     let mut t2 = entangled_txn::Txn::new(entangled_txn::ClientId(2), engine.alloc_tx(), minnie());
-    engine.begin(&t1);
-    engine.begin(&t2);
+    engine.begin(&mut t1);
+    engine.begin(&mut t2);
     engine.run_until_block(&mut t1);
     engine.run_until_block(&mut t2);
     let report = engine.evaluate_queries(&mut [&mut t1, &mut t2]);
@@ -267,7 +267,7 @@ fn figure3b_relaxed_mode_admits_the_anomaly() {
         )
         .expect("parse"),
     );
-    engine.begin(&donald);
+    engine.begin(&mut donald);
     assert_eq!(engine.run_until_block(&mut donald), StepOutcome::Ready);
     engine.commit_group(&mut [&mut donald]);
 

@@ -123,7 +123,7 @@ fn crash_after_workload_preserves_all_committed_state() {
     let stats = sched.drain();
     assert!(stats.committed >= 36, "{stats:?}");
     let before = sched.engine.with_db(|db| db.canonical());
-    let widowed = sched.engine.crash_and_recover();
+    let widowed = sched.engine.crash_and_recover().expect("log readable");
     assert!(widowed.is_empty(), "engine never half-commits a group");
     let after = sched.engine.with_db(|db| db.canonical());
     assert_eq!(before, after, "recovery must reproduce the pre-crash state");
