@@ -2,7 +2,7 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
@@ -13,14 +13,21 @@
 //! committed-txns/sec and syncs-per-commit with the sync batching on and
 //! off, written to `BENCH_durability.json` (also a CI artifact).
 //!
+//! `recovery` measures crash-restart cost: durable log length and
+//! recovery wall time vs. transaction count, with checkpointing (and WAL
+//! truncation) on vs off, written to `BENCH_recovery.json` (also a CI
+//! artifact). With checkpoints both stay O(delta since the last image);
+//! without them both grow O(history).
+//!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
 //! curve, in seconds.
 
 use std::io::Write;
 use youtopia_bench::{
-    durability_json, run_ablated, run_durability_series, run_fig6a, run_fig6b, run_fig6c,
-    run_scaling_series, scaling_json, scaling_speedup, Ablation, Scale,
+    durability_json, recovery_json, run_ablated, run_durability_series, run_fig6a, run_fig6b,
+    run_fig6c, run_recovery_series, run_scaling_series, scaling_json, scaling_speedup, Ablation,
+    Scale,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -43,6 +50,7 @@ fn main() {
         "ablations" => ablations(&mut out, &scale),
         "scaling" => scaling(&mut out, &scale),
         "durability" => durability(&mut out, &scale),
+        "recovery" => recovery(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
@@ -50,10 +58,11 @@ fn main() {
             ablations(&mut out, &scale);
             scaling(&mut out, &scale);
             durability(&mut out, &scale);
+            recovery(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|all"
             );
             std::process::exit(2);
         }
@@ -157,6 +166,66 @@ fn fig6c(out: &mut impl Write, scale: &Scale) {
         writeln!(out).unwrap();
         out.flush().unwrap();
     }
+    writeln!(out).unwrap();
+}
+
+/// Recovery: crash-restart cost (durable log length + recovery wall time)
+/// vs. transaction count, checkpointing on vs off, plus the
+/// `BENCH_recovery.json` CI baseline.
+fn recovery(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Recovery — checkpointed restart vs full replay").unwrap();
+    writeln!(
+        out,
+        "# crash after N transactions; columns: retained log KiB | recovery us | records replayed"
+    )
+    .unwrap();
+    let series = run_recovery_series(scale);
+    write!(out, "{:>8}", "txns").unwrap();
+    for s in &series {
+        write!(out, " {:>30}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>8}", series[0].points[i].txns).unwrap();
+        for s in &series {
+            let p = &s.points[i];
+            write!(
+                out,
+                " {:>30}",
+                format!(
+                    "{:.1} KiB | {:.0} us | {}",
+                    p.retained_log_bytes as f64 / 1024.0,
+                    p.recovery_micros,
+                    p.replayed_records
+                )
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        out.flush().unwrap();
+    }
+    for s in &series {
+        let (first, last) = (
+            s.points.first().expect("non-empty series"),
+            s.points.last().expect("non-empty series"),
+        );
+        writeln!(
+            out,
+            "# {}: retained log {:.1} -> {:.1} KiB, recovery {:.0} -> {:.0} us across {}x history ({} checkpoints at max)",
+            s.label,
+            first.retained_log_bytes as f64 / 1024.0,
+            last.retained_log_bytes as f64 / 1024.0,
+            first.recovery_micros,
+            last.recovery_micros,
+            last.txns / first.txns.max(1),
+            last.checkpoints
+        )
+        .unwrap();
+    }
+    let json = recovery_json(scale, &series);
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    writeln!(out, "# baseline written to BENCH_recovery.json").unwrap();
     writeln!(out).unwrap();
 }
 

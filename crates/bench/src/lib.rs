@@ -7,7 +7,8 @@
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 use entangled_txn::{
-    CostModel, EngineConfig, IsolationMode, LockGranularity, RunTrigger, Scheduler, SchedulerConfig,
+    CheckpointPolicy, CostModel, EngineConfig, IsolationMode, LockGranularity, RunTrigger,
+    Scheduler, SchedulerConfig,
 };
 use std::time::{Duration, Instant};
 use youtopia_entangle::SolverConfig;
@@ -143,6 +144,7 @@ pub fn run_fig6b(scale: &Scale, p: usize, f: usize, connections: usize) -> Point
             connections,
             trigger: RunTrigger::Arrivals(f.max(1)),
             max_attempts: u32::MAX,
+            checkpoint: CheckpointPolicy::DISABLED,
         },
     );
     let plan = pending_plan(&data, scale.txns, p, scale.seed);
@@ -194,6 +196,7 @@ pub fn run_fig6c(
             connections,
             trigger: RunTrigger::Arrivals(f.max(1)),
             max_attempts: u32::MAX,
+            checkpoint: CheckpointPolicy::DISABLED,
         },
     );
     let programs = generate_structured(structure, &data, groups, k, Duration::from_secs(120));
@@ -412,6 +415,166 @@ pub fn durability_json(scale: &Scale, series: &[DurabilitySeries]) -> String {
     out
 }
 
+/// One measured point of the `recovery` driver: restart cost after a
+/// crash at a given transaction count.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// Transactions submitted before the crash.
+    pub txns: usize,
+    pub committed: usize,
+    /// Bytes a restart must read (the retained device contents) — bounded
+    /// by checkpoint truncation, O(history) without it.
+    pub retained_log_bytes: u64,
+    /// Logical log length (total bytes ever appended; monotone).
+    pub logical_log_bytes: u64,
+    /// Wall time of one `recover()` pass over the durable log (best of
+    /// several, microseconds).
+    pub recovery_micros: f64,
+    /// Records replayed after the base image (equals the whole log when
+    /// checkpointing is off).
+    pub replayed_records: usize,
+    /// Checkpoint images written before the crash.
+    pub checkpoints: u64,
+}
+
+/// One `recovery` driver series: the classical Figure 6(a) mix with
+/// checkpointing (and WAL truncation) on or off.
+#[derive(Debug, Clone)]
+pub struct RecoverySeries {
+    pub label: String,
+    pub checkpointing: bool,
+    pub points: Vec<RecoveryPoint>,
+}
+
+/// Measure one crash-recovery point: run `txns` classical transactions
+/// (zero cost model — the workload only exists to grow the log), crash,
+/// and time recovery from the durable prefix.
+pub fn run_recovery(scale: &Scale, txns: usize, checkpointing: bool) -> RecoveryPoint {
+    let data = scale.data();
+    let engine = data.build_engine(engine_config(
+        WorkloadMode::Transactional,
+        CostModel::ZERO,
+        false,
+    ));
+    let checkpoint = if checkpointing {
+        // Reclaim every 4 runs, or sooner if a run published a lot —
+        // whichever cadence fires first (both knobs exercised).
+        CheckpointPolicy {
+            every_runs: Some(4),
+            every_bytes: Some(64 * 1024),
+            truncate: true,
+        }
+    } else {
+        CheckpointPolicy::DISABLED
+    };
+    let mut sched = Scheduler::new(
+        engine.clone(),
+        SchedulerConfig {
+            connections: 4,
+            // Many small runs => many settle boundaries (checkpoint
+            // sites) and several commit batches per point.
+            trigger: RunTrigger::Arrivals(25),
+            max_attempts: 50,
+            checkpoint,
+        },
+    );
+    let programs = generate(Family::NoSocial, &data, txns, scale.seed);
+    for p in programs {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+
+    // Power loss, then time the recovery scan+replay (best of 5 to shave
+    // scheduler noise; the work is deterministic).
+    engine.wal.crash();
+    let records = engine.wal.durable_records().expect("clean log");
+    let mut best = f64::INFINITY;
+    let mut replayed = 0usize;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let out = youtopia_wal::recover(&records);
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        best = best.min(us);
+        replayed = out.replayed;
+        std::hint::black_box(&out.db);
+    }
+    RecoveryPoint {
+        txns,
+        committed: stats.committed,
+        retained_log_bytes: engine.wal.retained_len(),
+        logical_log_bytes: engine.wal.len(),
+        recovery_micros: best,
+        replayed_records: replayed,
+        checkpoints: stats.checkpoints,
+    }
+}
+
+/// Transaction counts measured by the `recovery` driver, scaled from
+/// `scale.txns`: restart cost is plotted against a growing history.
+pub fn recovery_txn_counts(scale: &Scale) -> Vec<usize> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&m| (scale.txns * m / 4).max(16))
+        .collect()
+}
+
+/// The `recovery` experiment: durable log length and recovery wall time
+/// vs. transaction count, with checkpointing on and off. With
+/// checkpoints the retained log and replay cost are O(delta since the
+/// last image) — flat as history grows; without them both are
+/// O(history).
+pub fn run_recovery_series(scale: &Scale) -> Vec<RecoverySeries> {
+    [true, false]
+        .iter()
+        .map(|&checkpointing| RecoverySeries {
+            label: format!(
+                "NoSocial-T ckpt={}",
+                if checkpointing { "on" } else { "off" }
+            ),
+            checkpointing,
+            points: recovery_txn_counts(scale)
+                .into_iter()
+                .map(|n| run_recovery(scale, n, checkpointing))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Serialize recovery series as the `BENCH_recovery.json` baseline
+/// tracked as a CI artifact.
+pub fn recovery_json(scale: &Scale, series: &[RecoverySeries]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"recovery\",\n");
+    out.push_str(&format!(
+        "  \"max_txns\": {},\n  \"series\": [\n",
+        scale.txns
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"label\": \"{}\",\n      \"checkpointing\": {},\n      \"points\": [\n",
+            s.label, s.checkpointing
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"txns\": {}, \"committed\": {}, \"retained_log_bytes\": {}, \"logical_log_bytes\": {}, \"recovery_micros\": {:.2}, \"replayed_records\": {}, \"checkpoints\": {}}}{}\n",
+                p.txns,
+                p.committed,
+                p.retained_log_bytes,
+                p.logical_log_bytes,
+                p.recovery_micros,
+                p.replayed_records,
+                p.checkpoints,
+                if pi + 1 < s.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if si + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Ablation configurations (DESIGN.md Ab1–Ab4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ablation {
@@ -455,6 +618,7 @@ pub fn run_ablated(
             connections,
             trigger: RunTrigger::Manual,
             max_attempts: 8,
+            checkpoint: CheckpointPolicy::DISABLED,
         },
     );
     let programs = generate(family, &data, scale.txns, scale.seed);
@@ -628,6 +792,80 @@ mod tests {
             off_ent.syncs_per_commit >= 0.5,
             "without the pipeline a pair costs one sync: {off_ent:?}"
         );
+    }
+
+    #[test]
+    fn recovery_driver_shows_bounded_restart_with_checkpoints() {
+        // The ISSUE-4 acceptance criterion, in miniature: at the same
+        // history length, checkpointing leaves a strictly smaller
+        // retained log and replays strictly fewer records than full
+        // replay — the O(history) -> O(delta) restart win.
+        let s = Scale { txns: 64, ..tiny() };
+        let n = *recovery_txn_counts(&s).last().unwrap();
+        let on = run_recovery(&s, n, true);
+        let off = run_recovery(&s, n, false);
+        assert_eq!(on.committed, n, "{on:?}");
+        assert_eq!(off.committed, n, "{off:?}");
+        assert!(on.checkpoints >= 1, "cadence must fire: {on:?}");
+        assert_eq!(off.checkpoints, 0);
+        assert!(
+            on.retained_log_bytes < off.retained_log_bytes,
+            "checkpoint truncation must bound the log: {} vs {}",
+            on.retained_log_bytes,
+            off.retained_log_bytes
+        );
+        assert!(
+            on.replayed_records < off.replayed_records,
+            "checkpointed recovery must replay a suffix: {} vs {}",
+            on.replayed_records,
+            off.replayed_records
+        );
+        // Without checkpoints the logical and retained lengths coincide.
+        assert_eq!(off.retained_log_bytes, off.logical_log_bytes);
+    }
+
+    #[test]
+    fn recovery_json_is_well_formed() {
+        let s = Scale::quick();
+        let series = vec![
+            RecoverySeries {
+                label: "NoSocial-T ckpt=on".into(),
+                checkpointing: true,
+                points: vec![RecoveryPoint {
+                    txns: 100,
+                    committed: 100,
+                    retained_log_bytes: 2048,
+                    logical_log_bytes: 8192,
+                    recovery_micros: 12.5,
+                    replayed_records: 7,
+                    checkpoints: 3,
+                }],
+            },
+            RecoverySeries {
+                label: "NoSocial-T ckpt=off".into(),
+                checkpointing: false,
+                points: vec![RecoveryPoint {
+                    txns: 100,
+                    committed: 100,
+                    retained_log_bytes: 8192,
+                    logical_log_bytes: 8192,
+                    recovery_micros: 80.0,
+                    replayed_records: 500,
+                    checkpoints: 0,
+                }],
+            },
+        ];
+        let json = recovery_json(&s, &series);
+        assert!(json.contains("\"experiment\": \"recovery\""));
+        assert!(json.contains("\"checkpointing\": true"));
+        assert!(json.contains("\"checkpointing\": false"));
+        assert!(json.contains("\"replayed_records\": 7"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
     }
 
     #[test]

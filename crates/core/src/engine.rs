@@ -22,7 +22,7 @@ use youtopia_entangle::{from_ast, ground, solve, QueryIr, QueryOutcome, SolveInp
 use youtopia_lock::{LockManager, LockMode, Resource, TxId};
 use youtopia_sql::{parse_script, Statement, VarEnv};
 use youtopia_storage::{ConcurrentCatalog, Database, RowId, StorageError};
-use youtopia_wal::{recover, GroupCommitter, LogRecord, Wal};
+use youtopia_wal::{recover, GroupCommitter, LogRecord, Lsn, Wal};
 
 /// Lock granularity for writes (reads and grounding reads are always
 /// table-granular, mirroring §3.3.3's table-level read-lock argument).
@@ -151,6 +151,23 @@ pub struct Engine {
     pub recorder: Recorder,
     pub config: EngineConfig,
     next_tx: AtomicU64,
+    next_ckpt: AtomicU64,
+}
+
+/// What one [`Engine::checkpoint`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Checkpoint image id (monotone per engine).
+    pub ckpt: u64,
+    /// LSN of the image's begin marker — the new log head after
+    /// truncation.
+    pub lsn: Lsn,
+    /// Tables and rows captured in the image.
+    pub tables: usize,
+    pub rows: usize,
+    /// Log bytes reclaimed by the prefix truncation (0 when truncation
+    /// was disabled for this call).
+    pub truncated_bytes: u64,
 }
 
 impl Engine {
@@ -165,6 +182,7 @@ impl Engine {
             recorder: Recorder::new(),
             config,
             next_tx: AtomicU64::new(1),
+            next_ckpt: AtomicU64::new(1),
         }
     }
 
@@ -608,7 +626,12 @@ impl Engine {
                 }
             }
         }
-        self.wal.append(&LogRecord::Abort { tx: txn.tx });
+        // No `Abort` record: only the commit path ever publishes to the
+        // shared WAL, so an aborting attempt has nothing durable for an
+        // abort record to annul — recovery already treats "no commit
+        // record" as aborted. Appending one anyway (as this used to)
+        // bloats the log under hot abort/retry workloads with records
+        // recovery provably ignores.
         if self.config.record_history {
             self.recorder.abort(txn.tx);
         }
@@ -616,17 +639,103 @@ impl Engine {
         txn.status = TxnStatus::Aborted(err);
     }
 
+    /// Write a fuzzy checkpoint image and (optionally) truncate the log
+    /// prefix it supersedes.
+    ///
+    /// Must be called at a **quiesce point** — the scheduler's settle
+    /// phase is the natural one: every transaction of the run has
+    /// committed or aborted, so no 2PL locks are held, and (because
+    /// statement execution buffers redo privately) the shared log
+    /// contains no in-flight work. Calls outside a quiesce point are
+    /// refused with [`EngineError::Checkpoint`].
+    ///
+    /// The quiescence check happens **after** read latches on every table
+    /// are acquired, and those latches are held until the image is
+    /// published and synced. A transaction that slips in concurrently
+    /// (e.g. a second scheduler sharing this engine) either already holds
+    /// a lock — the check refuses — or cannot land a write or publish a
+    /// commit that the image would miss before the latches drop, so the
+    /// image is always a transactionally-consistent prefix state.
+    ///
+    /// The image (`Checkpoint` begin + one `CheckpointTable` per table +
+    /// `CheckpointEnd`) is published as one contiguous range and synced
+    /// before any truncation, so the log never loses its only complete
+    /// image: a crash mid-checkpoint leaves the previous image at the
+    /// head and recovery falls back to it.
+    pub fn checkpoint(&self, truncate: bool) -> Result<CheckpointReport, EngineError> {
+        let snapshot = self.catalog.snapshot();
+        // All table read guards, acquired in sorted order (the catalog's
+        // deadlock discipline) and held across check + copy + publish.
+        let view = snapshot.read_all();
+        if !self.locks.quiescent() {
+            return Err(EngineError::Checkpoint(
+                "transactions hold or await locks; checkpoint only at a run boundary",
+            ));
+        }
+        let ckpt = self.next_ckpt.fetch_add(1, Ordering::Relaxed);
+        let mut recs: Vec<LogRecord> = Vec::new();
+        recs.push(LogRecord::Checkpoint {
+            ckpt,
+            active: Vec::new(),
+        });
+        let (mut tables, mut rows) = (0usize, 0usize);
+        for t in view.tables() {
+            let table_rows: Vec<_> = t
+                .rows_cloned()
+                .into_iter()
+                .map(|(id, row)| (id.0, row))
+                .collect();
+            tables += 1;
+            rows += table_rows.len();
+            recs.push(LogRecord::CheckpointTable {
+                ckpt,
+                name: t.name().to_string(),
+                schema: t.schema().clone(),
+                rows: table_rows,
+            });
+        }
+        recs.push(LogRecord::CheckpointEnd { ckpt });
+        let range = self.wal.publish(&recs);
+        self.wal.sync();
+        drop(view);
+        let truncated_bytes = if truncate {
+            self.wal.truncate_prefix(range.start)
+        } else {
+            0
+        };
+        Ok(CheckpointReport {
+            ckpt,
+            lsn: range.start,
+            tables,
+            rows,
+            truncated_bytes,
+        })
+    }
+
     /// Test/bench hook: simulate a crash (losing the unsynced WAL tail and
-    /// all memory state) and recover the database from the durable log.
+    /// all memory state) and recover the database from the durable log —
+    /// starting from the last complete checkpoint image when one exists.
     /// Returns the set of transactions rolled back despite having a
     /// durable commit record (widowed rollbacks), or
     /// [`EngineError::Recovery`] if the durable log itself is corrupt
     /// (torn tails are not corruption — they end the log cleanly).
+    ///
+    /// Recovery models a **fresh process**: besides reloading the
+    /// catalog, it resets every piece of volatile session state — the
+    /// tx-id allocator restarts just past the highest id in the durable
+    /// log (a restarted engine must not mint ids that collide with
+    /// durable history), and the lock manager, entanglement groups, and
+    /// history recorder are cleared (pre-crash transactions no longer
+    /// exist to own locks, group links, or schedule entries).
     pub fn crash_and_recover(&self) -> Result<BTreeSet<u64>, EngineError> {
         self.wal.crash();
         let records = self.wal.durable_records().map_err(EngineError::Recovery)?;
         let outcome = recover(&records);
         self.catalog.load(outcome.db);
+        self.next_tx.store(outcome.max_tx + 1, Ordering::SeqCst);
+        self.locks.reset();
+        self.groups.clear();
+        self.recorder.clear();
         Ok(outcome.widowed_rollbacks)
     }
 }
@@ -853,6 +962,130 @@ mod tests {
             let rows = db.canonical_rows("Reserve").unwrap();
             assert_eq!(rows, vec![vec![Value::Int(1), Value::Int(122)]]);
         });
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_replays_only_the_suffix() {
+        let e = engine();
+        let mut t1 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;",
+        );
+        e.run_until_block(&mut t1);
+        e.commit_group(&mut [&mut t1]);
+        let len_before = e.wal.len();
+        let cp = e.checkpoint(true).unwrap();
+        assert_eq!(cp.tables, 2);
+        assert_eq!(cp.rows, 4, "3 flights + 1 reservation");
+        assert!(cp.truncated_bytes > 0);
+        assert_eq!(cp.lsn.0, len_before, "image begins at the old tail");
+        assert_eq!(e.wal.head(), cp.lsn, "prefix reclaimed up to the image");
+        // Work after the checkpoint is the only thing recovery replays.
+        let mut t2 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (2, 123); COMMIT;",
+        );
+        e.run_until_block(&mut t2);
+        e.commit_group(&mut [&mut t2]);
+        let outcome = youtopia_wal::recover(&e.wal.durable_records().unwrap());
+        assert_eq!(outcome.checkpoint, Some(cp.ckpt));
+        assert!(
+            outcome.replayed < 8,
+            "suffix only ({} records), not full history",
+            outcome.replayed
+        );
+        let widowed = e.crash_and_recover().unwrap();
+        assert!(widowed.is_empty());
+        e.with_db(|db| {
+            assert_eq!(db.table("Reserve").unwrap().len(), 2);
+            assert_eq!(db.table("Flights").unwrap().len(), 3);
+        });
+    }
+
+    #[test]
+    fn checkpoint_refused_while_locks_are_held() {
+        let e = engine();
+        let mut t = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;",
+        );
+        assert_eq!(e.run_until_block(&mut t), StepOutcome::Ready);
+        // t holds X locks until commit: not a quiesce point.
+        assert!(matches!(
+            e.checkpoint(true),
+            Err(EngineError::Checkpoint(_))
+        ));
+        e.commit_group(&mut [&mut t]);
+        assert!(e.checkpoint(true).is_ok());
+    }
+
+    #[test]
+    fn recovery_resets_tx_allocator_locks_groups_and_recorder() {
+        let e = engine();
+        // A committed transaction fixes the max durable tx id…
+        let mut t1 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;",
+        );
+        e.run_until_block(&mut t1);
+        e.commit_group(&mut [&mut t1]);
+        // …while an in-flight transaction holds locks at crash time.
+        let mut t2 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (2, 123); COMMIT;",
+        );
+        assert_eq!(e.run_until_block(&mut t2), StepOutcome::Ready);
+        assert!(!e.locks.held(TxId(t2.tx)).is_empty());
+        // Burn allocator state past the durable log (aborted attempts).
+        let burned = e.alloc_tx();
+        assert!(burned > t2.tx);
+
+        e.crash_and_recover().unwrap();
+
+        // No leaked locks, groups, or history.
+        assert!(e.locks.quiescent(), "pre-crash locks must not survive");
+        assert!(!e.groups.is_grouped(t2.tx));
+        assert!(e.recorder.schedule().ops.is_empty());
+        // Fresh ids restart just past the durable maximum — not at the
+        // stale in-memory counter, and never colliding with durable ids.
+        let fresh = e.alloc_tx();
+        assert_eq!(fresh, t1.tx + 1, "t1 is the max tx id in the durable log");
+        let durable_ids: BTreeSet<u64> = e
+            .wal
+            .durable_records()
+            .unwrap()
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { tx } | LogRecord::Begin { tx } => Some(*tx),
+                _ => None,
+            })
+            .collect();
+        assert!(!durable_ids.contains(&fresh));
+    }
+
+    #[test]
+    fn abort_of_unpublished_txn_appends_no_log_record() {
+        let e = engine();
+        let len_before = e.wal.len();
+        let mut t = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (7, 122); ROLLBACK; COMMIT;",
+        );
+        assert_eq!(e.run_until_block(&mut t), StepOutcome::Aborted);
+        assert_eq!(
+            e.wal.len(),
+            len_before,
+            "an abort with nothing durable must not grow the log"
+        );
+        // Retry/abort churn leaves the log untouched too.
+        for _ in 0..10 {
+            let mut t = txn(
+                &e,
+                "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (7, 122); ROLLBACK; COMMIT;",
+            );
+            e.run_until_block(&mut t);
+        }
+        assert_eq!(e.wal.len(), len_before);
     }
 
     #[test]

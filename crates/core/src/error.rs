@@ -31,6 +31,10 @@ pub enum EngineError {
     /// The durable log could not be decoded during crash recovery
     /// (genuine mid-log corruption — torn tails are not an error).
     Recovery(CodecError),
+    /// A checkpoint was requested outside a quiesce point (transactions
+    /// still hold or await locks) — the image would not be
+    /// transactionally consistent.
+    Checkpoint(&'static str),
     /// Statement used outside a transaction, misplaced BEGIN/COMMIT, etc.
     Protocol(&'static str),
 }
@@ -51,6 +55,7 @@ impl fmt::Display for EngineError {
             EngineError::RolledBack => write!(f, "transaction rolled back"),
             EngineError::GroupAbort => write!(f, "aborted with entanglement group"),
             EngineError::Recovery(e) => write!(f, "recovery failed: {e}"),
+            EngineError::Checkpoint(w) => write!(f, "checkpoint refused: {w}"),
             EngineError::Protocol(w) => write!(f, "protocol error: {w}"),
         }
     }
@@ -114,5 +119,8 @@ mod tests {
         let e: EngineError = CodecError::Corrupt("tag").into();
         assert!(matches!(e, EngineError::Recovery(_)));
         assert!(e.to_string().contains("recovery failed"));
+        assert!(EngineError::Checkpoint("busy")
+            .to_string()
+            .contains("checkpoint refused: busy"));
     }
 }

@@ -67,8 +67,8 @@ pub mod recorder;
 pub mod scheduler;
 
 pub use engine::{
-    CostModel, EmptyAnswerPolicy, Engine, EngineConfig, EvalReport, IsolationMode, LockGranularity,
-    StepOutcome,
+    CheckpointReport, CostModel, EmptyAnswerPolicy, Engine, EngineConfig, EvalReport,
+    IsolationMode, LockGranularity, StepOutcome,
 };
 pub use error::EngineError;
 pub use executor::TxnContext;
@@ -76,4 +76,6 @@ pub use groups::GroupManager;
 pub use oracle::{run_with_oracle, GroundingOracle, QueryOracle, ReplayOracle};
 pub use program::{ClientId, Program, Txn, TxnStatus};
 pub use recorder::Recorder;
-pub use scheduler::{ClientResult, RunReport, RunTrigger, Scheduler, SchedulerConfig, Stats};
+pub use scheduler::{
+    CheckpointPolicy, ClientResult, RunReport, RunTrigger, Scheduler, SchedulerConfig, Stats,
+};

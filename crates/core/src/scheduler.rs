@@ -33,6 +33,65 @@ pub enum RunTrigger {
     Manual,
 }
 
+/// When to write a fuzzy checkpoint (and truncate the log prefix it
+/// supersedes). The settle phase of a run is the only checkpoint site:
+/// every transaction of the run has committed or aborted there, so the
+/// image is a transactionally-consistent run-boundary state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many runs (`None` = no run cadence).
+    pub every_runs: Option<usize>,
+    /// Checkpoint once this many bytes were published to the WAL since
+    /// the last checkpoint (`None` = no byte cadence). Whichever cadence
+    /// fires first wins.
+    pub every_bytes: Option<u64>,
+    /// Truncate the log prefix after each checkpoint (the bounded-WAL
+    /// behaviour; `false` keeps full history with inline images — useful
+    /// for crash-matrix tests and ablations).
+    pub truncate: bool,
+}
+
+impl CheckpointPolicy {
+    /// Checkpointing off (the default): the log grows with history.
+    pub const DISABLED: CheckpointPolicy = CheckpointPolicy {
+        every_runs: None,
+        every_bytes: None,
+        truncate: true,
+    };
+
+    /// Checkpoint + truncate every `n` runs.
+    pub fn every_runs(n: usize) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_runs: Some(n),
+            ..CheckpointPolicy::DISABLED
+        }
+    }
+
+    /// Checkpoint + truncate once `bytes` of log were published since the
+    /// last image.
+    pub fn every_bytes(bytes: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_bytes: Some(bytes),
+            ..CheckpointPolicy::DISABLED
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.every_runs.is_some() || self.every_bytes.is_some()
+    }
+
+    fn due(&self, runs_since: usize, bytes_since: u64) -> bool {
+        self.every_runs.is_some_and(|n| runs_since >= n.max(1))
+            || self.every_bytes.is_some_and(|m| bytes_since >= m)
+    }
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::DISABLED
+    }
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -43,6 +102,8 @@ pub struct SchedulerConfig {
     /// Retry ceiling per transaction (the `WITH TIMEOUT` deadline is the
     /// paper's mechanism; this is a safety valve for untimed programs).
     pub max_attempts: u32,
+    /// Checkpoint cadence (off by default).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -51,6 +112,7 @@ impl Default for SchedulerConfig {
             connections: 1,
             trigger: RunTrigger::Manual,
             max_attempts: 50,
+            checkpoint: CheckpointPolicy::DISABLED,
         }
     }
 }
@@ -77,6 +139,10 @@ pub struct RunReport {
     /// Device syncs this run paid (group commit amortizes these: the
     /// ratio `syncs / committed` drops below 1 under concurrency).
     pub syncs: u64,
+    /// Checkpoints written at this run's settle boundary (0 or 1).
+    pub checkpoints: u64,
+    /// Log bytes reclaimed by this run's checkpoint truncation.
+    pub truncated_bytes: u64,
 }
 
 /// Cumulative statistics.
@@ -95,6 +161,11 @@ pub struct Stats {
     /// Group-commit batches completed during this scheduler's runs
     /// (`CommitBatch` boundaries written), same scope as `syncs`.
     pub commit_batches: u64,
+    /// Checkpoint images written at settle boundaries.
+    pub checkpoints: u64,
+    /// Total log bytes reclaimed by checkpoint truncations — the
+    /// bounded-WAL dividend.
+    pub truncated_bytes: u64,
 }
 
 impl Stats {
@@ -118,10 +189,16 @@ pub struct Scheduler {
     results: Vec<ClientResult>,
     stats: Stats,
     next_client: u64,
+    /// Checkpoint cadence state: runs settled and WAL length at the last
+    /// checkpoint (logical bytes, so truncation does not reset growth
+    /// accounting).
+    runs_since_checkpoint: usize,
+    wal_len_at_checkpoint: u64,
 }
 
 impl Scheduler {
     pub fn new(engine: Arc<Engine>, config: SchedulerConfig) -> Scheduler {
+        let wal_len = engine.wal.len();
         Scheduler {
             engine,
             config,
@@ -130,6 +207,8 @@ impl Scheduler {
             results: Vec::new(),
             stats: Stats::default(),
             next_client: 1,
+            runs_since_checkpoint: 0,
+            wal_len_at_checkpoint: wal_len,
         }
     }
 
@@ -233,10 +312,47 @@ impl Scheduler {
 
         // ---- End of run: group commit / abort / return to pool ----
         self.settle(run, &mut report);
+        self.maybe_checkpoint(&mut report);
         report.syncs = self.engine.wal.sync_count() - syncs_before;
         self.stats.syncs += report.syncs;
         self.stats.commit_batches += self.engine.committer.batches() - batches_before;
         report
+    }
+
+    /// Settle-boundary checkpoint: every transaction of the run has
+    /// committed or aborted (the engine's quiesce precondition), so if the
+    /// cadence is due, write an image and reclaim the superseded prefix.
+    fn maybe_checkpoint(&mut self, report: &mut RunReport) {
+        self.runs_since_checkpoint += 1;
+        if !self.config.checkpoint.is_enabled() {
+            return;
+        }
+        let published = self
+            .engine
+            .wal
+            .len()
+            .saturating_sub(self.wal_len_at_checkpoint);
+        if !self
+            .config
+            .checkpoint
+            .due(self.runs_since_checkpoint, published)
+        {
+            return;
+        }
+        match self.engine.checkpoint(self.config.checkpoint.truncate) {
+            Ok(cp) => {
+                report.checkpoints += 1;
+                report.truncated_bytes += cp.truncated_bytes;
+                self.stats.checkpoints += 1;
+                self.stats.truncated_bytes += cp.truncated_bytes;
+                self.runs_since_checkpoint = 0;
+                self.wal_len_at_checkpoint = self.engine.wal.len();
+            }
+            Err(_) => {
+                // Not quiescent (e.g. another scheduler shares the
+                // engine): skip this boundary, try again next run.
+            }
+        }
     }
 
     /// Advance the given transactions until block/ready/abort, using up to
@@ -758,6 +874,65 @@ mod tests {
                 .any(|a| matches!(a, youtopia_isolation::Anomaly::WidowedTransaction { .. })),
             "expected a widow, got {anomalies:?}"
         );
+    }
+
+    #[test]
+    fn checkpoint_cadence_bounds_the_retained_log() {
+        let mut s = Scheduler::new(
+            engine(),
+            SchedulerConfig {
+                checkpoint: CheckpointPolicy::every_runs(1),
+                ..SchedulerConfig::default()
+            },
+        );
+        let mut retained = Vec::new();
+        for i in 0..6 {
+            let a = format!("a{i}");
+            let b = format!("b{i}");
+            s.submit(flight_txn(&a, &b));
+            s.submit(flight_txn(&b, &a));
+            let r = s.run_once();
+            assert_eq!(r.committed, 2);
+            assert_eq!(r.checkpoints, 1, "cadence: one checkpoint per run");
+            assert!(r.truncated_bytes > 0);
+            retained.push(s.engine.wal.retained_len());
+        }
+        assert_eq!(s.stats().checkpoints, 6);
+        assert!(s.stats().truncated_bytes > 0);
+        // Bounded WAL: the retained log is a suffix since the last image,
+        // not full history — so it stays flat while logical length grows.
+        let spread = retained.iter().max().unwrap() - retained.iter().min().unwrap();
+        let logical = s.engine.wal.len();
+        assert!(
+            spread * 4 < logical,
+            "retained log should be ~flat (spread {spread}) vs logical growth ({logical})"
+        );
+        assert!(s.engine.wal.retained_len() < logical);
+        // The recovered engine still has everything.
+        s.engine.crash_and_recover().unwrap();
+        s.engine.with_db(|db| {
+            assert_eq!(db.table("Reserve").unwrap().len(), 12);
+        });
+    }
+
+    #[test]
+    fn byte_cadence_checkpoints_when_the_log_grows_enough() {
+        let mut s = Scheduler::new(
+            engine(),
+            SchedulerConfig {
+                // Tiny byte budget: every run's publish crosses it.
+                checkpoint: CheckpointPolicy::every_bytes(1),
+                ..SchedulerConfig::default()
+            },
+        );
+        s.submit(flight_txn("Mickey", "Minnie"));
+        s.submit(flight_txn("Minnie", "Mickey"));
+        let r = s.run_once();
+        assert_eq!(r.checkpoints, 1);
+        // No growth since the image → the next run skips the checkpoint.
+        let r2 = s.run_once();
+        assert_eq!(r2.checkpoints, 0);
+        assert_eq!(s.stats().checkpoints, 1);
     }
 
     #[test]

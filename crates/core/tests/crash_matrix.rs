@@ -13,7 +13,7 @@
 //!    bootstrap log and recovering *that* reproduces the same state
 //!    (recover ∘ recover is a fixpoint).
 
-use entangled_txn::{Engine, EngineConfig, Program, Scheduler, SchedulerConfig};
+use entangled_txn::{CheckpointPolicy, Engine, EngineConfig, Program, Scheduler, SchedulerConfig};
 use proptest::prelude::*;
 use std::sync::Arc;
 use youtopia_wal::{recover, LogRecord, Lsn};
@@ -42,6 +42,19 @@ fn classical(i: usize) -> Program {
 /// (encoding is deterministic, so concatenated frames equal the device
 /// contents byte-for-byte).
 fn workload_log(pairs: usize, classicals: usize, connections: usize) -> Vec<u8> {
+    workload_log_configured(pairs, classicals, connections, CheckpointPolicy::DISABLED)
+}
+
+/// [`workload_log`] with a checkpoint cadence. Truncation is disabled so
+/// the returned log keeps full history with checkpoint images inline —
+/// which is exactly what lets the matrix cut *inside* an image and what
+/// gives the full-replay oracle something to compare against.
+fn workload_log_configured(
+    pairs: usize,
+    classicals: usize,
+    connections: usize,
+    checkpoint: CheckpointPolicy,
+) -> Vec<u8> {
     let engine = Arc::new(Engine::new(EngineConfig {
         record_history: false,
         ..EngineConfig::default()
@@ -58,6 +71,7 @@ fn workload_log(pairs: usize, classicals: usize, connections: usize) -> Vec<u8> 
         engine.clone(),
         SchedulerConfig {
             connections,
+            checkpoint,
             ..SchedulerConfig::default()
         },
     );
@@ -177,6 +191,111 @@ proptest! {
     }
 }
 
+/// The last complete checkpoint a recovery of `records` must pick: the
+/// newest `CheckpointEnd` whose begin marker is also present — computed
+/// independently of `recover()`'s own logic.
+fn expected_checkpoint(records: &[(Lsn, LogRecord)]) -> Option<u64> {
+    let mut begins = std::collections::BTreeSet::new();
+    let mut last = None;
+    for (_, rec) in records {
+        match rec {
+            LogRecord::Checkpoint { ckpt, .. } => {
+                begins.insert(*ckpt);
+            }
+            LogRecord::CheckpointEnd { ckpt } if begins.contains(ckpt) => last = Some(*ckpt),
+            _ => {}
+        }
+    }
+    last
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The matrix across checkpoint boundaries: a log with inline
+    /// checkpoint images, cut at every byte. A cut inside an image (torn
+    /// snapshot) must fall back to the previous complete image or to a
+    /// full replay from LSN 0; whichever base is chosen, the recovered
+    /// state must equal a from-scratch replay of the same prefix with
+    /// the image records stripped — and the widow-freedom and
+    /// recover∘recover-fixpoint guarantees must hold at every cut.
+    #[test]
+    fn truncation_across_checkpoints_falls_back_and_matches_full_replay(
+        pairs in 1usize..3,
+        classicals in 0usize..2,
+        connections in 1usize..4,
+    ) {
+        let policy = CheckpointPolicy {
+            every_runs: Some(1),
+            every_bytes: None,
+            truncate: false,
+        };
+        let bytes = workload_log_configured(pairs, classicals, connections, policy);
+        let full = durable_prefix(&bytes);
+        prop_assert!(
+            full.iter().filter(|(_, r)| matches!(r, LogRecord::CheckpointEnd { .. })).count() >= 2,
+            "workload must produce several checkpoint images"
+        );
+
+        for cut in 0..=bytes.len() {
+            let records = durable_prefix(&bytes[..cut]);
+            let out = recover(&records);
+
+            // Recovery picks exactly the last complete image (torn images
+            // are skipped; none complete ⇒ full replay).
+            prop_assert_eq!(
+                out.checkpoint,
+                expected_checkpoint(&records),
+                "cut {}: wrong checkpoint base",
+                cut
+            );
+
+            // Oracle: checkpoint-based recovery ≡ full replay of the same
+            // prefix without any checkpoint records.
+            let stripped: Vec<(Lsn, LogRecord)> = records
+                .iter()
+                .filter(|(_, r)| !matches!(
+                    r,
+                    LogRecord::Checkpoint { .. }
+                        | LogRecord::CheckpointTable { .. }
+                        | LogRecord::CheckpointEnd { .. }
+                ))
+                .cloned()
+                .collect();
+            let oracle = recover(&stripped);
+            prop_assert_eq!(
+                out.db.canonical(),
+                oracle.db.canonical(),
+                "cut {}: checkpoint recovery diverged from full replay",
+                cut
+            );
+
+            // Widow-freedom across the boundary (groups wholly before the
+            // base image have zero suffix winners, which is all-out).
+            for (_, rec) in &records {
+                if let LogRecord::EntangleGroup { txs, .. } = rec {
+                    let winners = txs.iter().filter(|t| out.winners.contains(t)).count();
+                    prop_assert!(
+                        winners == 0 || winners == txs.len(),
+                        "cut {}: durable widow in group {:?}",
+                        cut,
+                        txs
+                    );
+                }
+            }
+
+            // recover ∘ recover is still a fixpoint.
+            let again = recover(&checkpoint_log(&out.db));
+            prop_assert_eq!(
+                again.db.canonical(),
+                out.db.canonical(),
+                "cut {}: recover-of-recovered state diverged",
+                cut
+            );
+        }
+    }
+}
+
 /// The full (untruncated) log of a drained workload recovers every pair
 /// booking — a sanity anchor for the matrix above.
 #[test]
@@ -188,4 +307,60 @@ fn full_log_recovers_all_committed_bookings() {
     assert_eq!(reserve.len(), 12);
     assert!(out.widowed_rollbacks.is_empty());
     assert!(out.durable_batches > 1, "expected a multi-batch log");
+}
+
+/// With truncation ON the retained log is a bounded suffix, yet a crash at
+/// the real durable frontier still recovers every booking — the bounded
+/// WAL loses nothing.
+#[test]
+fn truncating_checkpoints_bound_the_log_without_losing_commits() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        record_history: false,
+        ..EngineConfig::default()
+    }));
+    engine
+        .setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);\
+             CREATE TABLE Reserve (uid TEXT, fid INT);\
+             INSERT INTO Flights VALUES (122, 'LA');\
+             INSERT INTO Flights VALUES (123, 'LA');",
+        )
+        .expect("setup");
+    let mut sched = Scheduler::new(
+        engine.clone(),
+        SchedulerConfig {
+            connections: 4,
+            checkpoint: CheckpointPolicy::every_runs(1),
+            ..SchedulerConfig::default()
+        },
+    );
+    for wave in 0..4 {
+        for i in 0..2 {
+            let a = format!("a{wave}_{i}");
+            let b = format!("b{wave}_{i}");
+            sched.submit(flight_pair(&a, &b));
+            sched.submit(flight_pair(&b, &a));
+        }
+        sched.run_once();
+    }
+    assert_eq!(sched.stats().committed, 16);
+    assert!(sched.stats().checkpoints >= 4);
+    assert!(
+        engine.wal.retained_len() < engine.wal.len(),
+        "truncation must have reclaimed prefix bytes"
+    );
+    assert!(engine.wal.head().0 > 0);
+    let widowed = engine.crash_and_recover().expect("clean log");
+    assert!(widowed.is_empty());
+    engine.with_db(|db| {
+        assert_eq!(db.table("Reserve").expect("recovered").len(), 16);
+    });
+    // And the durable suffix alone replays only O(delta) records.
+    let out = recover(&engine.wal.durable_records().expect("scan"));
+    assert!(out.checkpoint.is_some());
+    assert!(
+        out.replayed < 16,
+        "bounded replay, got {} records",
+        out.replayed
+    );
 }

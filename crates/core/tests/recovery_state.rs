@@ -1,0 +1,125 @@
+//! Regression tests for recovery's session-state reset (ISSUE 4):
+//! `crash_and_recover` must model a **fresh process**, not just reload the
+//! catalog. Before the fix it kept `next_tx` at its pre-crash counter
+//! (a true fresh restart would re-mint ids already in the durable log), and
+//! left the lock manager, entanglement groups, and recorder holding state
+//! owned by transactions that no longer exist.
+
+use entangled_txn::{Engine, EngineConfig, Program, Scheduler, SchedulerConfig, StepOutcome, Txn};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use youtopia_lock::TxId;
+use youtopia_wal::LogRecord;
+
+fn engine() -> Arc<Engine> {
+    let e = Engine::new(EngineConfig::default());
+    e.setup(
+        "CREATE TABLE Flights (fno INT, dest TEXT);\
+         CREATE TABLE Reserve (uid TEXT, fid INT);\
+         INSERT INTO Flights VALUES (122, 'LA');\
+         INSERT INTO Flights VALUES (123, 'LA');",
+    )
+    .expect("setup");
+    Arc::new(e)
+}
+
+fn pair(me: &str, other: &str) -> Program {
+    Program::parse(&format!(
+        "BEGIN WITH TIMEOUT 10 SECONDS; \
+         SELECT '{me}', fno AS @fno INTO ANSWER R \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+         AND ('{other}', fno) IN ANSWER R CHOOSE 1; \
+         INSERT INTO Reserve (uid, fid) VALUES ('{me}', @fno); COMMIT;"
+    ))
+    .expect("valid program")
+}
+
+/// Transaction ids named by `Begin`/`Commit` records in the durable log.
+fn durable_tx_ids(e: &Engine) -> BTreeSet<u64> {
+    e.wal
+        .durable_records()
+        .expect("clean log")
+        .iter()
+        .filter_map(|(_, r)| match r {
+            LogRecord::Begin { tx } | LogRecord::Commit { tx } => Some(*tx),
+            _ => None,
+        })
+        .filter(|&tx| tx != 0) // bootstrap
+        .collect()
+}
+
+#[test]
+fn post_recovery_commits_collide_with_nothing_and_leak_nothing() {
+    let e = engine();
+
+    // A first generation of committed work.
+    let mut sched = Scheduler::new(e.clone(), SchedulerConfig::default());
+    sched.submit(pair("Mickey", "Minnie"));
+    sched.submit(pair("Minnie", "Mickey"));
+    assert_eq!(sched.run_once().committed, 2);
+
+    // An in-flight transaction holds 2PL locks when the power goes out.
+    let prog =
+        Program::parse("BEGIN; INSERT INTO Reserve (uid, fid) VALUES ('solo', 122); COMMIT;")
+            .expect("valid program");
+    let mut inflight = Txn::new(entangled_txn::ClientId(99), e.alloc_tx(), prog);
+    e.begin(&mut inflight);
+    assert_eq!(e.run_until_block(&mut inflight), StepOutcome::Ready);
+    assert!(!e.locks.held(TxId(inflight.tx)).is_empty());
+
+    let before_ids = durable_tx_ids(&e);
+    let max_durable = *before_ids.iter().max().expect("committed work");
+
+    // CRASH. Recovery must behave like a fresh engine start.
+    e.crash_and_recover().expect("clean log");
+
+    // No leaked locks, no stale groups, no stale history.
+    assert!(
+        e.locks.quiescent(),
+        "pre-crash locks leaked through recovery"
+    );
+    assert!(e.locks.held(TxId(inflight.tx)).is_empty());
+    assert!(!e
+        .groups
+        .is_grouped(before_ids.iter().next().copied().unwrap()));
+    assert!(e.recorder.schedule().ops.is_empty());
+
+    // The allocator restarts just past the durable maximum…
+    let probe = e.alloc_tx();
+    assert_eq!(probe, max_durable + 1, "next_tx must clear the durable log");
+
+    // …and a second generation commits with ids disjoint from the first.
+    let mut sched2 = Scheduler::new(e.clone(), SchedulerConfig::default());
+    sched2.submit(pair("Donald", "Daisy"));
+    sched2.submit(pair("Daisy", "Donald"));
+    assert_eq!(sched2.run_once().committed, 2);
+    let after_ids: BTreeSet<u64> = durable_tx_ids(&e)
+        .difference(&before_ids)
+        .copied()
+        .collect();
+    assert!(!after_ids.is_empty());
+    for id in &after_ids {
+        assert!(
+            !before_ids.contains(id),
+            "tx id {id} re-used an id already in the durable log"
+        );
+    }
+
+    // A second crash still recovers all four bookings cleanly.
+    let widowed = e.crash_and_recover().expect("clean log");
+    assert!(widowed.is_empty());
+    e.with_db(|db| {
+        assert_eq!(db.table("Reserve").expect("recovered").len(), 4);
+    });
+    assert!(e.locks.quiescent());
+}
+
+#[test]
+fn recovery_of_empty_traffic_restarts_allocator_at_one_past_bootstrap() {
+    let e = engine();
+    e.alloc_tx();
+    e.alloc_tx();
+    e.crash_and_recover().expect("clean log");
+    // Only bootstrap tx 0 is durable: the allocator restarts at 1.
+    assert_eq!(e.alloc_tx(), 1);
+}

@@ -368,6 +368,28 @@ impl LockManager {
         self.cv.notify_all();
     }
 
+    /// Forget every lock, waiter, and cancellation — the crash-recovery
+    /// reset. A restarted engine has no lock table; leaving pre-crash
+    /// grants behind would block post-recovery transactions on owners
+    /// that no longer exist. Callers must guarantee no thread is waiting
+    /// inside [`Self::lock`] (recovery quiesce).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.queues.clear();
+        st.held.clear();
+        st.canceled.clear();
+        self.cv.notify_all();
+    }
+
+    /// True when no transaction holds or awaits any lock — the quiesce
+    /// precondition for a transactionally-consistent checkpoint image.
+    pub fn quiescent(&self) -> bool {
+        let st = self.state.lock();
+        st.queues
+            .values()
+            .all(|q| q.granted.is_empty() && q.waiting.is_empty())
+    }
+
     /// Cancel a transaction: any in-flight or future waits fail with
     /// [`LockError::Canceled`]. Held locks stay until `unlock_all`.
     pub fn cancel(&self, tx: TxId) {
@@ -422,6 +444,25 @@ mod tests {
 
     fn t(n: u64) -> TxId {
         TxId(n)
+    }
+
+    #[test]
+    fn reset_clears_grants_and_quiescence_tracks_them() {
+        let lm = LockManager::new();
+        assert!(lm.quiescent());
+        lm.lock(t(1), Resource::table("a"), X, None).unwrap();
+        lm.cancel(t(2));
+        assert!(!lm.quiescent());
+        lm.reset();
+        assert!(lm.quiescent());
+        assert!(lm.held(t(1)).is_empty());
+        // A new owner can take the lock immediately, and the stale
+        // cancellation is gone.
+        lm.lock(t(3), Resource::table("a"), X, None).unwrap();
+        lm.lock(t(2), Resource::table("b"), S, None).unwrap();
+        lm.unlock_all(t(3));
+        lm.unlock_all(t(2));
+        assert!(lm.quiescent());
     }
 
     #[test]

@@ -161,6 +161,15 @@ impl CatalogSnapshot {
         }
     }
 
+    /// All table names in the snapshot (display-cased), in deterministic
+    /// sorted-key order. Each name takes one short read latch.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables
+            .values()
+            .map(|h| h.read().name().to_string())
+            .collect()
+    }
+
     /// Read guards on every table in the snapshot.
     pub fn read_all(&self) -> TableView<'_> {
         TableView {
@@ -185,6 +194,13 @@ impl fmt::Debug for TableView<'_> {
         f.debug_struct("TableView")
             .field("tables", &self.guards.keys().collect::<Vec<_>>())
             .finish()
+    }
+}
+
+impl TableView<'_> {
+    /// Iterate the held tables in deterministic (sorted-key) order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.guards.values().map(|g| &**g)
     }
 }
 

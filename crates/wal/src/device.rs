@@ -1,4 +1,5 @@
-//! A simulated stable-storage device with explicit sync and crash.
+//! A simulated stable-storage device with explicit sync, crash, and
+//! prefix truncation.
 //!
 //! The paper's prototype made middleware state persistent by serializing it
 //! into the DBMS and leaning on the DBMS's recovery (§5.1). We own the whole
@@ -7,12 +8,22 @@
 //! [`StableStorage::crash`] discards everything past that frontier exactly
 //! like power loss would. Tests and the recovery suite drive crashes
 //! deterministically through this hook.
+//!
+//! Offsets are **logical**: the device keeps a `head` offset and
+//! [`StableStorage::truncate_prefix`] drops the byte prefix up to a
+//! checkpoint LSN while every offset-returning API keeps reporting
+//! positions in the original, never-truncated coordinate space. LSNs
+//! handed out before a truncation therefore stay valid names for the
+//! records that survive it.
 
-/// An append-only simulated disk.
+/// An append-only simulated disk with a truncatable head.
 #[derive(Debug, Default, Clone)]
 pub struct StableStorage {
     buf: Vec<u8>,
-    /// Bytes `[0, durable)` survive a crash.
+    /// Logical offset of `buf[0]`: everything before it has been
+    /// truncated away (reclaimed by a checkpoint).
+    head: u64,
+    /// Bytes `[head, head + durable)` survive a crash.
     durable: usize,
     /// Count of sync calls (fsync cost accounting in benches).
     syncs: u64,
@@ -23,9 +34,9 @@ impl StableStorage {
         StableStorage::default()
     }
 
-    /// Append bytes to the volatile tail; returns the write offset.
+    /// Append bytes to the volatile tail; returns the logical write offset.
     pub fn append(&mut self, data: &[u8]) -> u64 {
-        let off = self.buf.len() as u64;
+        let off = self.head + self.buf.len() as u64;
         self.buf.extend_from_slice(data);
         off
     }
@@ -41,26 +52,57 @@ impl StableStorage {
         self.buf.truncate(self.durable);
     }
 
-    /// The durable prefix (what recovery may read after a crash).
+    /// Drop the byte prefix up to logical offset `upto` (a checkpoint
+    /// LSN). Only the durable prefix may be reclaimed — `upto` is clamped
+    /// into `[head, durable frontier]` so a truncation can never eat
+    /// bytes that might still be lost to a crash, and never goes
+    /// backwards. Returns the number of bytes dropped.
+    pub fn truncate_prefix(&mut self, upto: u64) -> u64 {
+        let upto = upto.clamp(self.head, self.head + self.durable as u64);
+        let drop = (upto - self.head) as usize;
+        self.buf.drain(..drop);
+        self.durable -= drop;
+        self.head = upto;
+        drop as u64
+    }
+
+    /// Logical offset of the first retained byte (0 until the first
+    /// truncation).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The durable prefix (what recovery may read after a crash); its
+    /// first byte sits at logical offset [`Self::head`].
     pub fn durable_bytes(&self) -> &[u8] {
         &self.buf[..self.durable]
     }
 
-    /// Everything appended, durable or not (used while the system is up).
+    /// Everything appended, durable or not (used while the system is up);
+    /// starts at logical offset [`Self::head`].
     pub fn all_bytes(&self) -> &[u8] {
         &self.buf
     }
 
+    /// Logical end offset: `head + retained bytes`. Monotone across
+    /// truncations.
     pub fn len(&self) -> u64 {
-        self.buf.len() as u64
+        self.head + self.buf.len() as u64
     }
 
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
+    /// Logical durable frontier. Monotone across truncations.
     pub fn durable_len(&self) -> u64 {
-        self.durable as u64
+        self.head + self.durable as u64
+    }
+
+    /// Bytes currently retained on the device (durable or not) — the
+    /// restart cost a checkpoint bounds.
+    pub fn retained_len(&self) -> u64 {
+        self.buf.len() as u64
     }
 
     pub fn sync_count(&self) -> u64 {
@@ -104,5 +146,41 @@ mod tests {
         d.sync();
         assert_eq!(d.sync_count(), 2);
         assert_eq!(d.durable_len(), 4);
+    }
+
+    #[test]
+    fn truncation_keeps_logical_offsets_stable() {
+        let mut d = StableStorage::new();
+        d.append(b"old-prefix");
+        d.sync();
+        assert_eq!(d.truncate_prefix(4), 4);
+        assert_eq!(d.head(), 4);
+        assert_eq!(d.all_bytes(), b"prefix");
+        assert_eq!(d.durable_bytes(), b"prefix");
+        // New appends continue in the original coordinate space.
+        assert_eq!(d.append(b"!"), 10);
+        assert_eq!(d.len(), 11);
+        assert_eq!(d.durable_len(), 10);
+        d.sync();
+        assert_eq!(d.durable_len(), 11);
+        assert_eq!(d.retained_len(), 7);
+    }
+
+    #[test]
+    fn truncation_clamps_to_durable_frontier_and_never_rewinds() {
+        let mut d = StableStorage::new();
+        d.append(b"abcd");
+        d.sync();
+        d.append(b"tail"); // volatile
+                           // Cannot reclaim past the durable frontier…
+        assert_eq!(d.truncate_prefix(100), 4);
+        assert_eq!(d.head(), 4);
+        assert_eq!(d.all_bytes(), b"tail");
+        // …and cannot move the head backwards.
+        assert_eq!(d.truncate_prefix(0), 0);
+        assert_eq!(d.head(), 4);
+        d.crash();
+        assert_eq!(d.all_bytes(), b"");
+        assert_eq!(d.len(), 4);
     }
 }

@@ -104,7 +104,8 @@ impl Wal {
         self.dev.lock().sync_count()
     }
 
-    /// Total bytes appended (durable or not).
+    /// Logical end offset of the log (durable or not); monotone across
+    /// truncations.
     pub fn len(&self) -> u64 {
         self.dev.lock().len()
     }
@@ -113,27 +114,47 @@ impl Wal {
         self.dev.lock().is_empty()
     }
 
+    /// Drop the log prefix up to `upto` (a checkpoint begin LSN). Only
+    /// the durable prefix can be reclaimed; LSNs of surviving records are
+    /// unchanged (the device keeps a logical head offset). Returns the
+    /// number of bytes reclaimed.
+    pub fn truncate_prefix(&self, upto: Lsn) -> u64 {
+        self.dev.lock().truncate_prefix(upto.0)
+    }
+
+    /// LSN of the first retained record (`Lsn(0)` until the first
+    /// truncation).
+    pub fn head(&self) -> Lsn {
+        Lsn(self.dev.lock().head())
+    }
+
+    /// Bytes currently retained on the device — what a restart must read.
+    /// Truncation shrinks this; [`Wal::len`] stays monotone.
+    pub fn retained_len(&self) -> u64 {
+        self.dev.lock().retained_len()
+    }
+
     /// Scan the **durable** prefix, stopping cleanly at a torn tail.
     /// Genuine mid-log corruption is reported as an error.
     pub fn durable_records(&self) -> Result<Vec<(Lsn, LogRecord)>, CodecError> {
         let dev = self.dev.lock();
-        scan(dev.durable_bytes())
+        scan(dev.durable_bytes(), dev.head())
     }
 
     /// Scan everything appended so far (for live diagnostics).
     pub fn all_records(&self) -> Result<Vec<(Lsn, LogRecord)>, CodecError> {
         let dev = self.dev.lock();
-        scan(dev.all_bytes())
+        scan(dev.all_bytes(), dev.head())
     }
 }
 
-fn scan(data: &[u8]) -> Result<Vec<(Lsn, LogRecord)>, CodecError> {
+fn scan(data: &[u8], base: u64) -> Result<Vec<(Lsn, LogRecord)>, CodecError> {
     let mut out = Vec::new();
     let mut off = 0usize;
     while off < data.len() {
         match LogRecord::decode(data, off) {
             Ok((rec, next)) => {
-                out.push((Lsn(off as u64), rec));
+                out.push((Lsn(base + off as u64), rec));
                 off = next;
             }
             // A torn or checksum-failed *final* frame ends the log.
@@ -205,6 +226,34 @@ mod tests {
         // An empty publish reserves an empty range at the tail.
         let empty = wal.publish(&[]);
         assert_eq!(empty.start.0, empty.end);
+    }
+
+    #[test]
+    fn truncate_prefix_keeps_lsns_stable() {
+        let wal = Wal::new();
+        let l1 = wal.append(&LogRecord::Begin { tx: 1 });
+        let l2 = wal.append(&LogRecord::Commit { tx: 1 });
+        wal.sync();
+        assert_eq!(wal.head(), Lsn(0));
+        let dropped = wal.truncate_prefix(l2);
+        assert_eq!(dropped, l2.0 - l1.0);
+        assert_eq!(wal.head(), l2);
+        // The surviving record keeps its original LSN…
+        let recs = wal.durable_records().unwrap();
+        assert_eq!(recs, vec![(l2, LogRecord::Commit { tx: 1 })]);
+        // …and new appends continue in the same coordinate space.
+        let l3 = wal.append_sync(&LogRecord::Begin { tx: 2 });
+        assert!(l3 > l2);
+        assert_eq!(
+            wal.len(),
+            l3.0 + LogRecord::Begin { tx: 2 }.encode().len() as u64
+        );
+        assert!(wal.retained_len() < wal.len());
+        // Truncation cannot reclaim the volatile tail.
+        wal.append(&LogRecord::Commit { tx: 2 });
+        wal.truncate_prefix(Lsn(wal.len()));
+        assert_eq!(wal.head(), Lsn(wal.durable_len()));
+        assert_eq!(wal.all_records().unwrap().len(), 1);
     }
 
     #[test]

@@ -64,8 +64,13 @@ pub enum LogRecord {
     GroupCommit {
         group: u64,
     },
-    /// Fuzzy checkpoint: the ids of transactions active at checkpoint time.
+    /// Fuzzy-checkpoint begin marker: opens checkpoint image `ckpt` and
+    /// records the ids of transactions active at checkpoint time. The
+    /// image is the [`LogRecord::CheckpointTable`] records that follow,
+    /// sealed by a matching [`LogRecord::CheckpointEnd`]; an image whose
+    /// end marker never became durable is torn and recovery ignores it.
     Checkpoint {
+        ckpt: u64,
         active: Vec<u64>,
     },
     /// One durable boundary of the group-commit pipeline: the sync leader
@@ -75,6 +80,22 @@ pub enum LogRecord {
     CommitBatch {
         batch: u64,
         txs: Vec<u64>,
+    },
+    /// One table of checkpoint image `ckpt`: the full schema and every
+    /// live row (id + values) as of the checkpoint's quiesce point.
+    /// Recovery rebuilds the base database from these instead of
+    /// replaying history from LSN 0.
+    CheckpointTable {
+        ckpt: u64,
+        name: String,
+        schema: Schema,
+        rows: Vec<(u64, Vec<Value>)>,
+    },
+    /// Seals checkpoint image `ckpt`: a durable `CheckpointEnd` implies
+    /// the whole image (begin marker + every table record) is durable,
+    /// because the image is published as one contiguous range before it.
+    CheckpointEnd {
+        ckpt: u64,
     },
 }
 
@@ -226,6 +247,30 @@ fn get_u64s(buf: &mut Bytes) -> Result<Vec<u64>, CodecError> {
     Ok(out)
 }
 
+fn put_schema(buf: &mut BytesMut, schema: &Schema) {
+    buf.put_u32_le(schema.arity() as u32);
+    for c in schema.columns() {
+        put_str(buf, &c.name);
+        buf.put_u8(ty_tag(c.ty));
+    }
+}
+
+fn get_schema(buf: &mut Bytes) -> Result<Schema, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Corrupt("schema arity"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut cols = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let cname = get_str(buf)?;
+        if !buf.has_remaining() {
+            return Err(CodecError::Corrupt("column type"));
+        }
+        cols.push(Column::new(cname, ty_from(buf.get_u8())?));
+    }
+    Schema::new(cols).map_err(|_| CodecError::Corrupt("schema"))
+}
+
 fn ty_tag(t: ValueType) -> u8 {
     match t {
         ValueType::Null => 0,
@@ -305,11 +350,7 @@ impl LogRecord {
             LogRecord::CreateTable { name, schema } => {
                 body.put_u8(6);
                 put_str(&mut body, name);
-                body.put_u32_le(schema.arity() as u32);
-                for c in schema.columns() {
-                    put_str(&mut body, &c.name);
-                    body.put_u8(ty_tag(c.ty));
-                }
+                put_schema(&mut body, schema);
             }
             LogRecord::EntangleGroup { group, txs } => {
                 body.put_u8(7);
@@ -320,14 +361,35 @@ impl LogRecord {
                 body.put_u8(8);
                 body.put_u64_le(*group);
             }
-            LogRecord::Checkpoint { active } => {
+            LogRecord::Checkpoint { ckpt, active } => {
                 body.put_u8(9);
+                body.put_u64_le(*ckpt);
                 put_u64s(&mut body, active);
             }
             LogRecord::CommitBatch { batch, txs } => {
                 body.put_u8(10);
                 body.put_u64_le(*batch);
                 put_u64s(&mut body, txs);
+            }
+            LogRecord::CheckpointTable {
+                ckpt,
+                name,
+                schema,
+                rows,
+            } => {
+                body.put_u8(11);
+                body.put_u64_le(*ckpt);
+                put_str(&mut body, name);
+                put_schema(&mut body, schema);
+                body.put_u32_le(rows.len() as u32);
+                for (id, values) in rows {
+                    body.put_u64_le(*id);
+                    put_values(&mut body, values);
+                }
+            }
+            LogRecord::CheckpointEnd { ckpt } => {
+                body.put_u8(12);
+                body.put_u64_le(*ckpt);
             }
         }
         let mut frame = Vec::with_capacity(body.len() + 8);
@@ -387,23 +449,10 @@ impl LogRecord {
             5 => LogRecord::Abort {
                 tx: need_u64(&mut buf)?,
             },
-            6 => {
-                let name = get_str(&mut buf)?;
-                if buf.remaining() < 4 {
-                    return Err(CodecError::Corrupt("schema arity"));
-                }
-                let n = buf.get_u32_le() as usize;
-                let mut cols = Vec::with_capacity(n.min(1024));
-                for _ in 0..n {
-                    let cname = get_str(&mut buf)?;
-                    if !buf.has_remaining() {
-                        return Err(CodecError::Corrupt("column type"));
-                    }
-                    cols.push(Column::new(cname, ty_from(buf.get_u8())?));
-                }
-                let schema = Schema::new(cols).map_err(|_| CodecError::Corrupt("schema"))?;
-                LogRecord::CreateTable { name, schema }
-            }
+            6 => LogRecord::CreateTable {
+                name: get_str(&mut buf)?,
+                schema: get_schema(&mut buf)?,
+            },
             7 => LogRecord::EntangleGroup {
                 group: need_u64(&mut buf)?,
                 txs: get_u64s(&mut buf)?,
@@ -412,11 +461,35 @@ impl LogRecord {
                 group: need_u64(&mut buf)?,
             },
             9 => LogRecord::Checkpoint {
+                ckpt: need_u64(&mut buf)?,
                 active: get_u64s(&mut buf)?,
             },
             10 => LogRecord::CommitBatch {
                 batch: need_u64(&mut buf)?,
                 txs: get_u64s(&mut buf)?,
+            },
+            11 => {
+                let ckpt = need_u64(&mut buf)?;
+                let name = get_str(&mut buf)?;
+                let schema = get_schema(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(CodecError::Corrupt("checkpoint row count"));
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let id = need_u64(&mut buf)?;
+                    rows.push((id, get_values(&mut buf)?));
+                }
+                LogRecord::CheckpointTable {
+                    ckpt,
+                    name,
+                    schema,
+                    rows,
+                }
+            }
+            12 => LogRecord::CheckpointEnd {
+                ckpt: need_u64(&mut buf)?,
             },
             _ => return Err(CodecError::Corrupt("record tag")),
         };
@@ -472,12 +545,23 @@ mod tests {
             },
             LogRecord::GroupCommit { group: 1 },
             LogRecord::Checkpoint {
+                ckpt: 2,
                 active: vec![10, 11],
             },
             LogRecord::CommitBatch {
                 batch: 3,
                 txs: vec![7, 8],
             },
+            LogRecord::CheckpointTable {
+                ckpt: 2,
+                name: "Flights".into(),
+                schema: Schema::of(&[("fno", ValueType::Int), ("dest", ValueType::Str)]),
+                rows: vec![
+                    (0, vec![Value::Int(122), Value::str("LA")]),
+                    (3, vec![Value::Int(235), Value::str("Paris")]),
+                ],
+            },
+            LogRecord::CheckpointEnd { ckpt: 2 },
         ]
     }
 

@@ -22,7 +22,7 @@ use youtopia_storage::{Database, RowId};
 pub struct RecoveryOutcome {
     /// The reconstructed database.
     pub db: Database,
-    /// Transactions whose effects survived.
+    /// Transactions whose effects survived (among replayed records).
     pub winners: BTreeSet<u64>,
     /// Transactions rolled back (incl. entanglement-forced rollbacks).
     pub losers: BTreeSet<u64>,
@@ -31,21 +31,133 @@ pub struct RecoveryOutcome {
     /// when the engine crashed between a member commit and its group
     /// commit.
     pub widowed_rollbacks: BTreeSet<u64>,
-    /// Group-commit batch boundaries found in the durable prefix — one
+    /// Group-commit batch boundaries found in the replayed suffix — one
     /// [`LogRecord::CommitBatch`] per completed sync. Recovery sees each
     /// batch as a single durable boundary: a durable boundary implies every
     /// commit it names is durable too.
     pub durable_batches: usize,
+    /// The checkpoint image recovery started from (`None` = no complete
+    /// checkpoint in the prefix; full replay from the log head).
+    pub checkpoint: Option<u64>,
+    /// LSN of that checkpoint's begin marker.
+    pub checkpoint_lsn: Option<Lsn>,
+    /// Log records replayed after the base image — the O(delta) restart
+    /// cost checkpointing bounds (O(history) without one).
+    pub replayed: usize,
+    /// Highest transaction id named anywhere in the durable prefix
+    /// (0 if none). A restarted engine must allocate strictly past this,
+    /// or fresh transactions would collide with durable history.
+    pub max_tx: u64,
+}
+
+/// Locate the last **complete** checkpoint image: the newest
+/// [`LogRecord::CheckpointEnd`] whose matching [`LogRecord::Checkpoint`]
+/// begin marker is also in the prefix. A checkpoint whose end marker was
+/// torn off (crash mid-image) is skipped — recovery falls back to the
+/// previous complete image, or to a full replay when none exists. Returns
+/// `(begin_index, end_index, ckpt id)`.
+fn last_complete_checkpoint(records: &[(Lsn, LogRecord)]) -> Option<(usize, usize, u64)> {
+    let mut begins: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut complete = None;
+    for (i, (_, rec)) in records.iter().enumerate() {
+        match rec {
+            LogRecord::Checkpoint { ckpt, .. } => {
+                begins.insert(*ckpt, i);
+            }
+            LogRecord::CheckpointEnd { ckpt } => {
+                if let Some(&b) = begins.get(ckpt) {
+                    complete = Some((b, i, *ckpt));
+                }
+            }
+            _ => {}
+        }
+    }
+    complete
+}
+
+/// Highest transaction id named by one record (0 if none).
+fn record_max_tx(rec: &LogRecord) -> u64 {
+    match rec {
+        LogRecord::Begin { tx }
+        | LogRecord::Insert { tx, .. }
+        | LogRecord::Delete { tx, .. }
+        | LogRecord::Update { tx, .. }
+        | LogRecord::Commit { tx }
+        | LogRecord::Abort { tx } => *tx,
+        LogRecord::EntangleGroup { txs, .. } | LogRecord::CommitBatch { txs, .. } => {
+            txs.iter().copied().max().unwrap_or(0)
+        }
+        LogRecord::Checkpoint { active, .. } => active.iter().copied().max().unwrap_or(0),
+        LogRecord::GroupCommit { .. }
+        | LogRecord::CreateTable { .. }
+        | LogRecord::CheckpointTable { .. }
+        | LogRecord::CheckpointEnd { .. } => 0,
+    }
 }
 
 /// Run analysis, redo and undo over a durable log prefix.
+///
+/// With a complete checkpoint in the prefix, the base database is loaded
+/// from the image's [`LogRecord::CheckpointTable`] records and only the
+/// suffix after the image is replayed; restart cost is O(suffix), not
+/// O(history). The image is transactionally consistent by the engine's
+/// contract (written at a commit-batch boundary with no in-flight work in
+/// the shared log), so no undo is needed for pre-checkpoint history.
 pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
-    // ---- Analysis ----
+    // `max_tx` ranges over the WHOLE prefix (including records before the
+    // checkpoint): tx-id allocation must clear everything durable.
+    let max_tx = records
+        .iter()
+        .map(|(_, r)| record_max_tx(r))
+        .max()
+        .unwrap_or(0);
+
+    // ---- Base image (last complete checkpoint, if any) ----
+    let image = last_complete_checkpoint(records);
+    let (mut db, suffix, checkpoint, checkpoint_lsn, mut seen) = match image {
+        Some((begin, end, ckpt)) => {
+            let mut db = Database::new();
+            for (_, rec) in &records[begin..=end] {
+                if let LogRecord::CheckpointTable {
+                    ckpt: c,
+                    name,
+                    schema,
+                    rows,
+                } = rec
+                {
+                    if *c != ckpt {
+                        continue;
+                    }
+                    db.create_or_replace_table(name, schema.clone());
+                    let t = db.table_mut(name).expect("just created");
+                    for (row, values) in rows {
+                        let _ = t.insert_at(RowId(*row), values.clone());
+                    }
+                }
+            }
+            // Fuzzy contract: transactions active at checkpoint time have
+            // no effects in the image; they lose unless the suffix commits
+            // them.
+            let active: BTreeSet<u64> = match &records[begin].1 {
+                LogRecord::Checkpoint { active, .. } => active.iter().copied().collect(),
+                _ => BTreeSet::new(),
+            };
+            (
+                db,
+                &records[end + 1..],
+                Some(ckpt),
+                Some(records[begin].0),
+                active,
+            )
+        }
+        None => (Database::new(), records, None, None, BTreeSet::new()),
+    };
+
+    // ---- Analysis (suffix only) ----
     let mut committed: BTreeSet<u64> = BTreeSet::new();
-    let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     let mut durable_batches = 0usize;
-    for (_, rec) in records {
+    for (_, rec) in suffix {
         match rec {
             LogRecord::Begin { tx }
             | LogRecord::Insert { tx, .. }
@@ -75,7 +187,9 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
             }
             LogRecord::GroupCommit { .. }
             | LogRecord::CreateTable { .. }
-            | LogRecord::Checkpoint { .. } => {}
+            | LogRecord::Checkpoint { .. }
+            | LogRecord::CheckpointTable { .. }
+            | LogRecord::CheckpointEnd { .. } => {}
         }
     }
 
@@ -98,9 +212,8 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
     let widowed_rollbacks: BTreeSet<u64> = committed.difference(&winners).copied().collect();
     let losers: BTreeSet<u64> = seen.difference(&winners).copied().collect();
 
-    // ---- Redo (history) ----
-    let mut db = Database::new();
-    for (_, rec) in records {
+    // ---- Redo (history since the image) ----
+    for (_, rec) in suffix {
         match rec {
             LogRecord::CreateTable { name, schema } => {
                 db.create_or_replace_table(name, schema.clone());
@@ -128,8 +241,9 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
         }
     }
 
-    // ---- Undo (losers, in reverse order) ----
-    for (_, rec) in records.iter().rev() {
+    // ---- Undo (losers, in reverse order; losers have no pre-image
+    // records by the checkpoint's consistency contract) ----
+    for (_, rec) in suffix.iter().rev() {
         match rec {
             LogRecord::Insert { tx, table, row, .. }
                 if losers.contains(tx) && db.has_table(table) =>
@@ -169,6 +283,10 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
         losers,
         widowed_rollbacks,
         durable_batches,
+        checkpoint,
+        checkpoint_lsn,
+        replayed: suffix.len(),
+        max_tx,
     }
 }
 
@@ -401,6 +519,136 @@ mod tests {
         assert!(out.db.table_names().is_empty());
         assert!(out.winners.is_empty());
         assert!(out.losers.is_empty());
+        assert_eq!(out.checkpoint, None);
+        assert_eq!(out.max_tx, 0);
+        assert_eq!(out.replayed, 0);
+    }
+
+    /// A full checkpoint image for one `Reserve` table with the given rows.
+    fn image(wal: &Wal, ckpt: u64, rows: Vec<(u64, Vec<Value>)>) {
+        wal.append(&LogRecord::Checkpoint {
+            ckpt,
+            active: vec![],
+        });
+        wal.append(&LogRecord::CheckpointTable {
+            ckpt,
+            name: "Reserve".into(),
+            schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Int)]),
+            rows,
+        });
+        wal.append(&LogRecord::CheckpointEnd { ckpt });
+    }
+
+    #[test]
+    fn recovery_starts_from_last_complete_checkpoint() {
+        let wal = Wal::new();
+        // Pre-checkpoint history that must NOT be replayed (tx 1 would
+        // insert row 0; the image supersedes it with different contents).
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 1, 1);
+        wal.append(&LogRecord::Commit { tx: 1 });
+        image(&wal, 1, vec![(0, vec![Value::Int(99), Value::Int(122)])]);
+        // Post-checkpoint suffix: tx 2 commits another row.
+        wal.append(&LogRecord::Begin { tx: 2 });
+        insert(&wal, 2, 1, 20, 123);
+        wal.append_sync(&LogRecord::Commit { tx: 2 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.checkpoint, Some(1));
+        assert_eq!(out.replayed, 3, "only the suffix is replayed");
+        assert_eq!(out.max_tx, 2);
+        let t = out.db.table("Reserve").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.get(RowId(0)).unwrap(),
+            &vec![Value::Int(99), Value::Int(122)],
+            "the image, not the pre-checkpoint history, is the base"
+        );
+        assert!(out.winners.contains(&2));
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous_image() {
+        let wal = Wal::new();
+        image(&wal, 1, vec![(0, vec![Value::Int(1), Value::Int(122)])]);
+        // Suffix after the first image.
+        wal.append(&LogRecord::Begin { tx: 5 });
+        insert(&wal, 5, 1, 2, 123);
+        wal.append(&LogRecord::Commit { tx: 5 });
+        // Second checkpoint begins but its end marker is torn off.
+        wal.append(&LogRecord::Checkpoint {
+            ckpt: 2,
+            active: vec![],
+        });
+        wal.append(&LogRecord::CheckpointTable {
+            ckpt: 2,
+            name: "Reserve".into(),
+            schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Int)]),
+            rows: vec![(7, vec![Value::Int(777), Value::Int(7)])],
+        });
+        wal.sync();
+        wal.append(&LogRecord::CheckpointEnd { ckpt: 2 }); // lost in the crash
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert_eq!(out.checkpoint, Some(1), "torn image 2 skipped");
+        let t = out.db.table("Reserve").unwrap();
+        assert_eq!(t.len(), 2, "image 1 + replayed tx 5");
+        assert!(t.get(RowId(7)).is_none(), "torn image contributes nothing");
+        assert!(out.winners.contains(&5));
+    }
+
+    #[test]
+    fn checkpoint_active_transactions_lose_unless_suffix_commits_them() {
+        let wal = Wal::new();
+        wal.append(&LogRecord::Checkpoint {
+            ckpt: 1,
+            active: vec![3, 4],
+        });
+        wal.append(&LogRecord::CheckpointEnd { ckpt: 1 });
+        wal.append_sync(&LogRecord::Commit { tx: 4 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        assert!(
+            out.losers.contains(&3),
+            "active at checkpoint, never committed"
+        );
+        assert!(out.winners.contains(&4), "committed in the suffix");
+        assert_eq!(out.max_tx, 4);
+    }
+
+    #[test]
+    fn recovery_after_truncation_replays_only_the_retained_suffix() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append(&LogRecord::Commit { tx: 1 });
+        // Checkpoint the committed state, sync, truncate to the image.
+        let begin = wal.append(&LogRecord::Checkpoint {
+            ckpt: 1,
+            active: vec![],
+        });
+        wal.append(&LogRecord::CheckpointTable {
+            ckpt: 1,
+            name: "Reserve".into(),
+            schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Int)]),
+            rows: vec![(0, vec![Value::Int(10), Value::Int(122)])],
+        });
+        wal.append(&LogRecord::CheckpointEnd { ckpt: 1 });
+        wal.sync();
+        let dropped = wal.truncate_prefix(begin);
+        assert!(dropped > 0);
+        // Post-truncation traffic.
+        wal.append(&LogRecord::Begin { tx: 2 });
+        insert(&wal, 2, 1, 20, 123);
+        wal.append_sync(&LogRecord::Commit { tx: 2 });
+        wal.crash();
+        let records = wal.durable_records().unwrap();
+        assert_eq!(records[0].0, begin, "log head is the checkpoint begin LSN");
+        let out = recover(&records);
+        assert_eq!(out.checkpoint, Some(1));
+        assert_eq!(out.checkpoint_lsn, Some(begin));
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 2);
+        assert_eq!(out.max_tx, 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for the WAL codec and recovery invariants.
 
 use proptest::prelude::*;
-use youtopia_storage::Value;
+use youtopia_storage::{Schema, Value, ValueType};
 use youtopia_wal::{recover, LogRecord, Lsn, Wal};
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -51,8 +51,22 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
         (any::<u64>(), prop::collection::vec(any::<u64>(), 1..5))
             .prop_map(|(group, txs)| LogRecord::EntangleGroup { group, txs }),
         any::<u64>().prop_map(|group| LogRecord::GroupCommit { group }),
-        prop::collection::vec(any::<u64>(), 0..5)
-            .prop_map(|active| LogRecord::Checkpoint { active }),
+        (any::<u64>(), prop::collection::vec(any::<u64>(), 0..5))
+            .prop_map(|(ckpt, active)| LogRecord::Checkpoint { ckpt, active }),
+        (any::<u64>(), prop::collection::vec(any::<u64>(), 1..5))
+            .prop_map(|(batch, txs)| LogRecord::CommitBatch { batch, txs }),
+        (
+            any::<u64>(),
+            "[a-z]{1,10}",
+            prop::collection::vec((any::<u64>(), vals()), 0..4)
+        )
+            .prop_map(|(ckpt, name, rows)| LogRecord::CheckpointTable {
+                ckpt,
+                name,
+                schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Str)]),
+                rows,
+            }),
+        any::<u64>().prop_map(|ckpt| LogRecord::CheckpointEnd { ckpt }),
     ]
 }
 
