@@ -87,7 +87,7 @@ fn bench_wal(c: &mut Criterion) {
                 row: i,
                 values: vec![Value::Int(i as i64), Value::Int(122)],
             });
-            wal.append_sync(&LogRecord::Commit { tx: i });
+            wal.append_sync(&LogRecord::Commit { tx: i, ts: 0 });
         });
     });
     c.bench_function("wal-recovery-1k-txns", |b| {
@@ -103,7 +103,7 @@ fn bench_wal(c: &mut Criterion) {
                 row: i,
                 values: vec![Value::Int(i as i64), Value::Int(122)],
             });
-            wal.append(&LogRecord::Commit { tx: i });
+            wal.append(&LogRecord::Commit { tx: i, ts: 0 });
         }
         wal.sync();
         let records = wal.durable_records().unwrap();

@@ -2,7 +2,7 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
@@ -19,15 +19,22 @@
 //! artifact). With checkpoints both stay O(delta since the last image);
 //! without them both grow O(history).
 //!
+//! `readscale` measures the multi-version snapshot read path on a
+//! read-mostly mix (80% pure-SELECT transactions): committed-txns/sec
+//! with snapshot reads on vs the S-lock-reads ablation, written to
+//! `BENCH_readscale.json` (also a CI artifact). The acceptance target is
+//! snapshot-on ≥ 1.5× snapshot-off at 8 connections.
+//!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
 //! curve, in seconds.
 
 use std::io::Write;
 use youtopia_bench::{
-    durability_json, recovery_json, run_ablated, run_durability_series, run_fig6a, run_fig6b,
-    run_fig6c, run_recovery_series, run_scaling_series, scaling_json, scaling_speedup, Ablation,
-    Scale,
+    durability_json, readscale_json, readscale_speedup, recovery_json, run_ablated,
+    run_durability_series, run_fig6a, run_fig6b, run_fig6c, run_readscale_series,
+    run_recovery_series, run_scaling_series, scaling_json, scaling_speedup, Ablation, Scale,
+    READSCALE_WRITE_PCT,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -51,6 +58,7 @@ fn main() {
         "scaling" => scaling(&mut out, &scale),
         "durability" => durability(&mut out, &scale),
         "recovery" => recovery(&mut out, &scale),
+        "readscale" => readscale(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
@@ -59,10 +67,11 @@ fn main() {
             scaling(&mut out, &scale);
             durability(&mut out, &scale);
             recovery(&mut out, &scale);
+            readscale(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|all"
             );
             std::process::exit(2);
         }
@@ -226,6 +235,50 @@ fn recovery(out: &mut impl Write, scale: &Scale) {
     let json = recovery_json(scale, &series);
     std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
     writeln!(out, "# baseline written to BENCH_recovery.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Readscale: the read-mostly mix with the multi-version snapshot read
+/// path on vs the S-lock-reads ablation, plus the `BENCH_readscale.json`
+/// CI baseline. Acceptance: on ≥ 1.5× off at 8 connections.
+fn readscale(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Readscale — snapshot reads vs S-lock reads").unwrap();
+    writeln!(
+        out,
+        "# {} transactions per point, {}% writers; columns: txns/sec (failed)",
+        scale.txns, READSCALE_WRITE_PCT
+    )
+    .unwrap();
+    let series = run_readscale_series(scale);
+    write!(out, "{:>12}", "connections").unwrap();
+    for s in &series {
+        write!(out, " {:>24}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>12}", series[0].points[i].connections).unwrap();
+        for s in &series {
+            let p = &s.points[i];
+            write!(
+                out,
+                " {:>24}",
+                format!("{:.1} ({})", p.txns_per_sec, p.failed)
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        out.flush().unwrap();
+    }
+    writeln!(
+        out,
+        "# snapshot-on / snapshot-off at max connections: {:.2}x (acceptance floor 1.5x)",
+        readscale_speedup(&series)
+    )
+    .unwrap();
+    let json = readscale_json(scale, &series);
+    std::fs::write("BENCH_readscale.json", &json).expect("write BENCH_readscale.json");
+    writeln!(out, "# baseline written to BENCH_readscale.json").unwrap();
     writeln!(out).unwrap();
 }
 

@@ -13,8 +13,8 @@ use entangled_txn::{
 use std::time::{Duration, Instant};
 use youtopia_entangle::SolverConfig;
 use youtopia_workload::{
-    engine_config, generate, generate_structured, pending_plan, scheduler_for, Family, SocialGraph,
-    Structure, TravelData, TravelParams, WorkloadMode,
+    engine_config, generate, generate_read_mix, generate_structured, pending_plan, scheduler_for,
+    Family, SocialGraph, Structure, TravelData, TravelParams, WorkloadMode,
 };
 
 /// Experiment scale, trading fidelity for wall-clock time.
@@ -415,6 +415,126 @@ pub fn durability_json(scale: &Scale, series: &[DurabilitySeries]) -> String {
     out
 }
 
+/// Percentage of writers in the `readscale` read-mostly mix.
+pub const READSCALE_WRITE_PCT: u32 = 20;
+
+/// One `readscale` driver series: the read-mostly mix with the
+/// multi-version snapshot read path on, or the S-lock-reads ablation
+/// (`EngineConfig.snapshot_reads = false` — readers queue behind writers'
+/// IX/X locks exactly as before this optimization).
+#[derive(Debug, Clone)]
+pub struct ReadscaleSeries {
+    pub label: String,
+    pub snapshot_reads: bool,
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Measure one `readscale` point: committed-txns/sec of the read-mostly
+/// mix ([`READSCALE_WRITE_PCT`]% booking writers, the rest pure-read
+/// dashboard transactions) at a connection count, with the snapshot read
+/// path on or off.
+///
+/// The lock timeout is shortened so that, in the ablation, readers that
+/// time out behind a writer churn into retries instead of stalling a
+/// whole run on the 250 ms default — the fairer (faster) baseline.
+pub fn run_readscale(scale: &Scale, connections: usize, snapshot_reads: bool) -> ScalingPoint {
+    assert!(
+        !scale.cost.per_statement.is_zero(),
+        "the readscale driver needs a non-zero CostModel"
+    );
+    let data = scale.data();
+    let mut cfg = engine_config(WorkloadMode::Transactional, scale.cost, false);
+    cfg.snapshot_reads = snapshot_reads;
+    cfg.lock_timeout = Duration::from_millis(3);
+    let engine = data.build_engine(cfg);
+    let mut sched = scheduler_for(engine, connections);
+    let programs = generate_read_mix(&data, scale.txns, READSCALE_WRITE_PCT, scale.seed);
+    let n = programs.len();
+    let start = Instant::now();
+    for p in programs {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+    let seconds = start.elapsed().as_secs_f64();
+    scaling_point(
+        Point {
+            label: format!(
+                "readmix snapshot={}",
+                if snapshot_reads { "on" } else { "off" }
+            ),
+            x: connections as f64,
+            seconds,
+            committed: stats.committed,
+            failed: n - stats.committed,
+            syncs: stats.syncs,
+        },
+        connections,
+    )
+}
+
+/// The `readscale` experiment: the read-mostly mix over
+/// [`SCALING_CONNECTIONS`], snapshot reads on vs off. The acceptance
+/// target is on ≥ 1.5× off (committed txns/sec) at 8 connections: with
+/// S-lock reads every reader's table-S on `Reserve` collides with the
+/// writers' IX locks, while snapshot readers never touch the lock
+/// manager.
+pub fn run_readscale_series(scale: &Scale) -> Vec<ReadscaleSeries> {
+    [true, false]
+        .iter()
+        .map(|&snapshot_reads| ReadscaleSeries {
+            label: format!(
+                "readmix snapshot={}",
+                if snapshot_reads { "on" } else { "off" }
+            ),
+            snapshot_reads,
+            points: SCALING_CONNECTIONS
+                .iter()
+                .map(|&c| run_readscale(scale, c, snapshot_reads))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Throughput ratio of the snapshot-on series over the ablation at the
+/// highest connection count (the acceptance figure).
+pub fn readscale_speedup(series: &[ReadscaleSeries]) -> f64 {
+    let at_max = |snapshot: bool| {
+        series
+            .iter()
+            .find(|s| s.snapshot_reads == snapshot)
+            .and_then(|s| s.points.last())
+            .map_or(0.0, |p| p.txns_per_sec)
+    };
+    let (on, off) = (at_max(true), at_max(false));
+    if off > 0.0 {
+        on / off
+    } else {
+        0.0
+    }
+}
+
+/// Serialize readscale series as the `BENCH_readscale.json` baseline
+/// tracked as a CI artifact (same shape as [`scaling_json`] plus the
+/// snapshot-reads key).
+pub fn readscale_json(scale: &Scale, series: &[ReadscaleSeries]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"readscale\",\n");
+    out.push_str(&format!("  \"txns_per_point\": {},\n", scale.txns));
+    out.push_str(&format!("  \"write_pct\": {READSCALE_WRITE_PCT},\n"));
+    out.push_str(&format!(
+        "  \"snapshot_on_over_off_at_max\": {:.3},\n  \"series\": [\n",
+        readscale_speedup(series)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        let extra = format!(
+            "      \"label\": \"{}\",\n      \"snapshot_reads\": {},\n",
+            s.label, s.snapshot_reads
+        );
+        series_json(&mut out, &extra, &s.points, si + 1 == series.len());
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One measured point of the `recovery` driver: restart cost after a
 /// crash at a given transaction count.
 #[derive(Debug, Clone)]
@@ -792,6 +912,79 @@ mod tests {
             off_ent.syncs_per_commit >= 0.5,
             "without the pipeline a pair costs one sync: {off_ent:?}"
         );
+    }
+
+    #[test]
+    fn readscale_driver_snapshot_reads_beat_the_lock_ablation() {
+        // The ISSUE-5 acceptance criterion, in miniature: on the
+        // read-mostly mix, taking readers off the lock manager must not
+        // lose transactions and must not be slower than S-lock reads.
+        // (The full ≥ 1.5× figure is measured by `repro readscale` at
+        // bench scale; at this timing-robust test scale we assert
+        // completion plus a strict win.)
+        let scale = Scale {
+            txns: 60,
+            users: 60,
+            cities: 4,
+            flights: 80,
+            cost: CostModel {
+                per_statement: Duration::from_millis(1),
+                per_entangled_eval: Duration::ZERO,
+                per_commit: Duration::from_millis(1),
+            },
+            seed: 4,
+        };
+        let on = run_readscale(&scale, 8, true);
+        assert_eq!(on.committed, 60, "snapshot mix commits everything: {on:?}");
+        let off = run_readscale(&scale, 8, false);
+        assert!(
+            on.txns_per_sec > off.txns_per_sec,
+            "snapshot reads must outscale S-lock reads: on={:.1} off={:.1}",
+            on.txns_per_sec,
+            off.txns_per_sec
+        );
+    }
+
+    #[test]
+    fn readscale_json_is_well_formed() {
+        let scale = Scale::quick();
+        let series = vec![
+            ReadscaleSeries {
+                label: "readmix snapshot=on".into(),
+                snapshot_reads: true,
+                points: vec![ScalingPoint {
+                    connections: 8,
+                    seconds: 0.5,
+                    committed: 100,
+                    failed: 0,
+                    txns_per_sec: 200.0,
+                    syncs_per_commit: 0.1,
+                }],
+            },
+            ReadscaleSeries {
+                label: "readmix snapshot=off".into(),
+                snapshot_reads: false,
+                points: vec![ScalingPoint {
+                    connections: 8,
+                    seconds: 1.0,
+                    committed: 100,
+                    failed: 0,
+                    txns_per_sec: 100.0,
+                    syncs_per_commit: 0.1,
+                }],
+            },
+        ];
+        assert_eq!(readscale_speedup(&series), 2.0);
+        let json = readscale_json(&scale, &series);
+        assert!(json.contains("\"experiment\": \"readscale\""));
+        assert!(json.contains("\"snapshot_reads\": true"));
+        assert!(json.contains("\"snapshot_on_over_off_at_max\": 2.000"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
     }
 
     #[test]

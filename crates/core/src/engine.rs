@@ -15,13 +15,15 @@ use crate::executor::{build_insert_row, TxnContext};
 use crate::groups::GroupManager;
 use crate::program::{Txn, TxnStatus, Undo};
 use crate::recorder::Recorder;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use youtopia_entangle::{from_ast, ground, solve, QueryIr, QueryOutcome, SolveInput, SolverConfig};
 use youtopia_lock::{LockManager, LockMode, Resource, TxId};
 use youtopia_sql::{parse_script, Statement, VarEnv};
-use youtopia_storage::{ConcurrentCatalog, Database, RowId, StorageError};
+use youtopia_storage::{
+    CommitTs, ConcurrentCatalog, Database, RowId, SnapshotRegistry, StorageError,
+};
 use youtopia_wal::{recover, GroupCommitter, LogRecord, Lsn, Wal};
 
 /// Lock granularity for writes (reads and grounding reads are always
@@ -92,6 +94,15 @@ pub struct EngineConfig {
     /// device sync (singletons sync alone), the pre-pipeline durability
     /// cost (bench ablation).
     pub wal_group_commit: bool,
+    /// Route read-only classical transactions to the multi-version
+    /// snapshot read path: pin a commit-timestamp snapshot at BEGIN and
+    /// evaluate every SELECT against committed row versions, acquiring
+    /// **no** S locks (readers never block writers and never wait behind
+    /// them). Off = the pre-MVCC behaviour — read-only transactions take
+    /// table S locks like everyone else (the `readscale` bench ablation).
+    /// Entangled grounding reads keep their S locks either way: §3.3.3's
+    /// anomaly-prevention argument depends on them.
+    pub snapshot_reads: bool,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +120,7 @@ impl Default for EngineConfig {
             cost: CostModel::ZERO,
             record_history: true,
             wal_group_commit: true,
+            snapshot_reads: true,
         }
     }
 }
@@ -149,9 +161,31 @@ pub struct Engine {
     pub committer: GroupCommitter,
     pub groups: GroupManager,
     pub recorder: Recorder,
+    /// The multi-version clock: commit batches reserve timestamps, install
+    /// row versions, and advance the stable frontier; read-only snapshot
+    /// transactions pin it; the version GC prunes behind its horizon.
+    pub versions: SnapshotRegistry,
+    /// Memoized snapshot materializations, keyed by table: a cached copy
+    /// built at `(ts, epoch)` serves any snapshot with a timestamp ≥ `ts`
+    /// as long as the table's committed history hasn't changed
+    /// ([`youtopia_storage::Table::version_epoch`]) — so read-mostly
+    /// tables are copied once per write, not once per reader.
+    snap_cache: parking_lot::Mutex<HashMap<String, CachedSnapshot>>,
     pub config: EngineConfig,
     next_tx: AtomicU64,
     next_ckpt: AtomicU64,
+}
+
+#[derive(Clone)]
+struct CachedSnapshot {
+    built_ts: CommitTs,
+    epoch: u64,
+    /// The build saw no version above `built_ts` in the chains: at an
+    /// unchanged epoch the copy is also valid for every later timestamp.
+    /// A non-clean build (a concurrent commit had installed but not yet
+    /// completed) serves only its exact timestamp.
+    clean: bool,
+    table: std::sync::Arc<youtopia_storage::Table>,
 }
 
 /// What one [`Engine::checkpoint`] call did.
@@ -168,6 +202,8 @@ pub struct CheckpointReport {
     /// Log bytes reclaimed by the prefix truncation (0 when truncation
     /// was disabled for this call).
     pub truncated_bytes: u64,
+    /// Row versions reclaimed by the checkpoint-boundary vacuum.
+    pub versions_pruned: u64,
 }
 
 impl Engine {
@@ -180,6 +216,8 @@ impl Engine {
             committer,
             groups: GroupManager::new(),
             recorder: Recorder::new(),
+            versions: SnapshotRegistry::new(),
+            snap_cache: parking_lot::Mutex::new(HashMap::new()),
             config,
             next_tx: AtomicU64::new(1),
             next_ckpt: AtomicU64::new(1),
@@ -240,9 +278,20 @@ impl Engine {
                 }
             }
         }
-        redo.push(LogRecord::Commit { tx: 0 });
+        // Bootstrap commit: the initial data is the one committed version
+        // of every row at the clock's first timestamp, so snapshots pinned
+        // before any traffic see the full setup state.
+        let ts = self.versions.reserve();
+        redo.push(LogRecord::Commit { tx: 0, ts });
         self.wal.publish(&redo);
         self.wal.sync();
+        let snapshot = self.catalog.snapshot();
+        for name in snapshot.table_names() {
+            if let Ok(h) = snapshot.handle(&name) {
+                h.write().seal_versions(ts);
+            }
+        }
+        self.versions.complete(ts);
         Ok(())
     }
 
@@ -263,10 +312,21 @@ impl Engine {
         f(&self.catalog.materialize())
     }
 
-    /// Open the redo buffer for a fresh attempt: the BEGIN record heads
-    /// the transaction's private buffer and reaches the shared WAL only
-    /// when the commit batch publishes it.
+    /// Open a fresh attempt. Read-only classical transactions (with
+    /// [`EngineConfig::snapshot_reads`] on) pin a commit-timestamp
+    /// snapshot instead of opening a redo buffer: they will evaluate
+    /// against committed versions, acquire no locks, and publish nothing
+    /// durable. Everyone else opens its private redo buffer with the
+    /// BEGIN record, which reaches the shared WAL only when the commit
+    /// batch publishes it.
     pub fn begin(&self, txn: &mut Txn) {
+        if self.config.snapshot_reads && txn.program.is_read_only() {
+            txn.snapshot = Some(self.versions.pin());
+            if self.config.record_history {
+                self.recorder.snapshot_pin(txn.tx);
+            }
+            return;
+        }
         txn.redo.push(LogRecord::Begin { tx: txn.tx });
     }
 
@@ -552,39 +612,91 @@ impl Engine {
 
     /// The two commit phases for one publish unit; `batched` selects the
     /// leader/follower group-commit sync vs an exclusive serialized sync.
+    ///
+    /// Transactions with nothing durable — read-only attempts whose redo
+    /// buffer holds no write record and who belong to no entanglement
+    /// group — skip the WAL entirely: a read-only commit has no effect a
+    /// recovery could replay, so publishing `Begin`/`Commit` for it would
+    /// only grow the log and waste a sync slot. (This elision applies on
+    /// both the snapshot and the S-lock read path, so the `readscale`
+    /// ablation compares locking disciplines, not logging volume.)
+    ///
+    /// Durable transactions additionally drive the multi-version clock:
+    /// the batch reserves one commit timestamp (carried by its `Commit`
+    /// records), and after the sync — but **before any lock is released**
+    /// — installs every written row's new version at that timestamp, then
+    /// marks the timestamp complete so the stable frontier can advance.
+    /// Installing before lock release keeps version order aligned with
+    /// 2PL serialization order for conflicting rows; completing after all
+    /// installs keeps half-installed batches invisible to snapshots.
     fn publish_and_commit(&self, txns: &mut [&mut Txn], batched: bool) {
-        // ---- Phase 1: prepare (publish redo + commit points) ----
-        let mut recs: Vec<LogRecord> = Vec::new();
-        for txn in txns.iter_mut() {
-            recs.append(&mut txn.redo);
-        }
-        let mut group_ids: BTreeSet<u64> = BTreeSet::new();
-        for txn in txns.iter() {
-            if let Some(gid) = self.groups.group_id(txn.tx) {
-                if group_ids.insert(gid) {
-                    let mut members: Vec<u64> = self.groups.members(txn.tx).into_iter().collect();
-                    members.sort_unstable();
-                    recs.push(LogRecord::EntangleGroup {
-                        group: gid,
-                        txs: members,
-                    });
+        let is_write = |r: &LogRecord| {
+            matches!(
+                r,
+                LogRecord::Insert { .. } | LogRecord::Update { .. } | LogRecord::Delete { .. }
+            )
+        };
+        let durable: Vec<bool> = txns
+            .iter()
+            .map(|t| self.groups.group_id(t.tx).is_some() || t.redo.iter().any(is_write))
+            .collect();
+
+        if durable.iter().any(|&d| d) {
+            // ---- Phase 1: prepare (publish redo + commit points) ----
+            let ts = self.versions.reserve();
+            let mut recs: Vec<LogRecord> = Vec::new();
+            for (i, txn) in txns.iter_mut().enumerate() {
+                if durable[i] {
+                    recs.append(&mut txn.redo);
+                } else {
+                    txn.redo.clear();
                 }
             }
-        }
-        for txn in txns.iter() {
-            recs.push(LogRecord::Commit { tx: txn.tx });
-        }
-        for gid in &group_ids {
-            recs.push(LogRecord::GroupCommit { group: *gid });
-        }
-        let range = self.wal.publish(&recs);
+            let mut group_ids: BTreeSet<u64> = BTreeSet::new();
+            for txn in txns.iter() {
+                if let Some(gid) = self.groups.group_id(txn.tx) {
+                    if group_ids.insert(gid) {
+                        let mut members: Vec<u64> =
+                            self.groups.members(txn.tx).into_iter().collect();
+                        members.sort_unstable();
+                        recs.push(LogRecord::EntangleGroup {
+                            group: gid,
+                            txs: members,
+                        });
+                    }
+                }
+            }
+            for (i, txn) in txns.iter().enumerate() {
+                if durable[i] {
+                    recs.push(LogRecord::Commit { tx: txn.tx, ts });
+                }
+            }
+            for gid in &group_ids {
+                recs.push(LogRecord::GroupCommit { group: *gid });
+            }
+            let range = self.wal.publish(&recs);
 
-        // ---- Phase 2: durability ----
-        if batched {
-            let tx_ids: Vec<u64> = txns.iter().map(|t| t.tx).collect();
-            self.committer.sync_covering(&self.wal, range.end, &tx_ids);
+            // ---- Phase 2: durability ----
+            if batched {
+                let tx_ids: Vec<u64> = txns
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| durable[*i])
+                    .map(|(_, t)| t.tx)
+                    .collect();
+                self.committer.sync_covering(&self.wal, range.end, &tx_ids);
+            } else {
+                self.committer.sync_exclusive(&self.wal);
+            }
+
+            // ---- Phase 3: install row versions (locks still held) ----
+            self.install_versions(&recs, ts);
+            self.versions.complete(ts);
         } else {
-            self.committer.sync_exclusive(&self.wal);
+            // Nothing durable in the whole batch: no publish, no sync.
+            for txn in txns.iter_mut() {
+                txn.redo.clear();
+            }
         }
 
         for txn in txns.iter_mut() {
@@ -592,9 +704,93 @@ impl Engine {
                 self.recorder.commit(txn.tx);
             }
             self.locks.unlock_all(TxId(txn.tx));
+            if let Some(ts) = txn.snapshot.take() {
+                self.versions.unpin(ts);
+            }
             txn.undo.clear();
             txn.status = TxnStatus::Committed;
         }
+    }
+
+    /// Install the after-image of every write record in `recs` into its
+    /// table's version chains at commit timestamp `ts` (tombstones for
+    /// deletes). One short write latch per operation; the writers' 2PL X
+    /// locks are still held, so no concurrent batch can interleave
+    /// same-row installs out of timestamp order.
+    fn install_versions(&self, recs: &[LogRecord], ts: CommitTs) {
+        for rec in recs {
+            let (table, row, after) = match rec {
+                LogRecord::Insert {
+                    table, row, values, ..
+                } => (table, *row, Some(values.clone())),
+                LogRecord::Update {
+                    table, row, after, ..
+                } => (table, *row, Some(after.clone())),
+                LogRecord::Delete { table, row, .. } => (table, *row, None),
+                _ => continue,
+            };
+            if let Ok(h) = self.catalog.handle(table) {
+                h.write().install_version(RowId(row), ts, after);
+            }
+        }
+    }
+
+    /// A materialized copy of `table` as visible at snapshot `ts`,
+    /// memoized per table across transactions: a cached copy built at
+    /// `(built_ts, epoch)` is reused for any `ts >= built_ts` while the
+    /// table's committed history is unchanged (same `version_epoch` ⇒ no
+    /// version installed, sealed or pruned since the copy, so the visible
+    /// data is identical). `None` if the table does not exist.
+    pub(crate) fn snapshot_table(
+        &self,
+        name: &str,
+        ts: CommitTs,
+    ) -> Option<std::sync::Arc<youtopia_storage::Table>> {
+        let key = name.to_ascii_lowercase();
+        let cached = self.snap_cache.lock().get(&key).cloned();
+        let handle = self.catalog.handle(name).ok()?;
+        let guard = handle.read();
+        if let Some(c) = cached {
+            let fresh = ts == c.built_ts || (c.clean && ts > c.built_ts);
+            if c.epoch == guard.version_epoch() && fresh {
+                return Some(c.table);
+            }
+        }
+        let built = CachedSnapshot {
+            built_ts: ts,
+            epoch: guard.version_epoch(),
+            clean: guard.max_version_ts() <= ts,
+            table: std::sync::Arc::new(guard.snapshot_at(ts)),
+        };
+        drop(guard);
+        let table = built.table.clone();
+        let mut cache = self.snap_cache.lock();
+        // Keep the newest-timestamped copy: an old pin racing a fresh one
+        // must not clobber the entry later snapshots will want.
+        let keep_existing = cache
+            .get(&key)
+            .is_some_and(|existing| existing.built_ts > built.built_ts);
+        if !keep_existing {
+            cache.insert(key, built);
+        }
+        Some(table)
+    }
+
+    /// Multi-version garbage collection: prune, in every table, the row
+    /// versions no live snapshot can reach (older than the oldest pinned
+    /// snapshot — see [`SnapshotRegistry::horizon`]). The scheduler runs
+    /// this at settle boundaries and [`Engine::checkpoint`] after each
+    /// image; returns the number of versions reclaimed.
+    pub fn vacuum(&self) -> u64 {
+        let horizon = self.versions.horizon();
+        let snapshot = self.catalog.snapshot();
+        let mut pruned = 0u64;
+        for name in snapshot.table_names() {
+            if let Ok(h) = snapshot.handle(&name) {
+                pruned += h.write().prune_versions(horizon) as u64;
+            }
+        }
+        pruned
     }
 
     /// Abort one transaction: in-memory undo, WAL abort record, lock
@@ -636,6 +832,9 @@ impl Engine {
             self.recorder.abort(txn.tx);
         }
         self.locks.unlock_all(TxId(txn.tx));
+        if let Some(ts) = txn.snapshot.take() {
+            self.versions.unpin(ts);
+        }
         txn.status = TxnStatus::Aborted(err);
     }
 
@@ -677,6 +876,11 @@ impl Engine {
         recs.push(LogRecord::Checkpoint {
             ckpt,
             active: Vec::new(),
+            // The quiesced working state *is* the committed state at the
+            // stable frontier; stamping it keeps the snapshot clock
+            // monotone across recovery even after truncation drops every
+            // pre-image Commit record.
+            ts: self.versions.frontier(),
         });
         let (mut tables, mut rows) = (0usize, 0usize);
         for t in view.tables() {
@@ -703,12 +907,17 @@ impl Engine {
         } else {
             0
         };
+        // A checkpoint boundary is also a GC boundary: reclaim versions no
+        // live snapshot can reach (the latches are dropped; vacuum takes
+        // its own short per-table write latches).
+        let versions_pruned = self.vacuum();
         Ok(CheckpointReport {
             ckpt,
             lsn: range.start,
             tables,
             rows,
             truncated_bytes,
+            versions_pruned,
         })
     }
 
@@ -736,6 +945,24 @@ impl Engine {
         self.locks.reset();
         self.groups.clear();
         self.recorder.clear();
+        // Multi-version state is volatile: pre-crash snapshots are gone
+        // and recovered tables carry no history. Seal the recovered
+        // (latest-committed) state as the one version at the highest
+        // durable commit timestamp and restart the clock past it, so new
+        // snapshots see exactly the recovered state and can never alias a
+        // pre-crash timestamp.
+        let ts = outcome.max_commit_ts.max(1);
+        self.versions.reset_to(ts);
+        // The materialization cache must go too: recovered tables start a
+        // fresh epoch counter, so a pre-crash cache entry could collide
+        // with a post-recovery epoch and serve stale pre-crash data.
+        self.snap_cache.lock().clear();
+        let snapshot = self.catalog.snapshot();
+        for name in snapshot.table_names() {
+            if let Ok(h) = snapshot.handle(&name) {
+                h.write().seal_versions(ts);
+            }
+        }
         Ok(outcome.widowed_rollbacks)
     }
 }
@@ -920,6 +1147,11 @@ mod tests {
     fn lock_conflicts_abort_on_timeout() {
         let cfg = EngineConfig {
             lock_timeout: Duration::from_millis(10),
+            // This test is about S-vs-X lock conflicts, so force read-only
+            // transactions onto the locked path (with snapshot reads on,
+            // t2 would simply never conflict — see
+            // `snapshot_reads_bypass_writer_locks`).
+            snapshot_reads: false,
             ..EngineConfig::default()
         };
         let e = Engine::new(cfg);
@@ -1056,7 +1288,7 @@ mod tests {
             .unwrap()
             .iter()
             .filter_map(|(_, r)| match r {
-                LogRecord::Commit { tx } | LogRecord::Begin { tx } => Some(*tx),
+                LogRecord::Commit { tx, .. } | LogRecord::Begin { tx } => Some(*tx),
                 _ => None,
             })
             .collect();
@@ -1086,6 +1318,165 @@ mod tests {
             e.run_until_block(&mut t);
         }
         assert_eq!(e.wal.len(), len_before);
+    }
+
+    #[test]
+    fn snapshot_reads_bypass_writer_locks() {
+        // A writer holds its X lock (uncommitted); a read-only transaction
+        // neither blocks nor times out — it reads the committed state at
+        // its pin and commits immediately.
+        let cfg = EngineConfig {
+            lock_timeout: Duration::from_millis(10),
+            ..EngineConfig::default()
+        };
+        let e = Engine::new(cfg);
+        e.setup("CREATE TABLE T (a INT); INSERT INTO T VALUES (1);")
+            .unwrap();
+        let mut writer = txn(&e, "BEGIN; UPDATE T SET a = 2; COMMIT;");
+        assert_eq!(e.run_until_block(&mut writer), StepOutcome::Ready);
+        let wal_before = e.wal.len();
+        let mut reader = txn(&e, "BEGIN; SELECT @a FROM T; COMMIT;");
+        assert_eq!(e.run_until_block(&mut reader), StepOutcome::Ready);
+        assert_eq!(
+            reader.env.get("a"),
+            Some(&Value::Int(1)),
+            "sees the committed value, not the writer's dirty working row"
+        );
+        e.commit_group(&mut [&mut reader]);
+        assert_eq!(reader.status, TxnStatus::Committed);
+        assert_eq!(
+            e.wal.len(),
+            wal_before,
+            "a read-only commit publishes nothing durable"
+        );
+        assert_eq!(e.versions.live_pins(), 0, "pin released at commit");
+        e.commit_group(&mut [&mut writer]);
+        // Post-commit snapshots see the new value.
+        let mut late = txn(&e, "BEGIN; SELECT @a FROM T; COMMIT;");
+        e.run_until_block(&mut late);
+        assert_eq!(late.env.get("a"), Some(&Value::Int(2)));
+        e.commit_group(&mut [&mut late]);
+    }
+
+    #[test]
+    fn pinned_snapshot_is_stable_across_concurrent_commits() {
+        let e = engine();
+        let mut reader = txn(
+            &e,
+            "BEGIN; SELECT fid AS @before FROM Reserve WHERE uid = 7; \
+             SET @x = 0; SELECT fid AS @after FROM Reserve WHERE uid = 7; COMMIT;",
+        );
+        // Pin first (begin already ran in txn()); now a writer commits.
+        let mut w = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (7, 122); COMMIT;",
+        );
+        e.run_until_block(&mut w);
+        e.commit_group(&mut [&mut w]);
+        // The reader, pinned before the writer's commit, sees neither row.
+        assert_eq!(e.run_until_block(&mut reader), StepOutcome::Ready);
+        assert_eq!(reader.env.get("before"), None);
+        assert_eq!(reader.env.get("after"), None, "repeatable within the txn");
+        e.commit_group(&mut [&mut reader]);
+        // The recorded schedule stays valid, isolated, and snapshot-
+        // serializable.
+        let s = e.recorder.schedule();
+        s.validate().unwrap();
+        assert!(youtopia_isolation::is_entangled_isolated(&s));
+        youtopia_isolation::check_snapshot_serializable(&s, &youtopia_isolation::Db::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn vacuum_prunes_versions_behind_the_horizon() {
+        let e = engine();
+        let update = |e: &Engine, day: usize| {
+            let mut t = txn(
+                e,
+                &format!(
+                    "BEGIN; UPDATE Flights SET fdate = '1970-01-0{day}' WHERE fno = 122; COMMIT;"
+                ),
+            );
+            e.run_until_block(&mut t);
+            e.commit_group(&mut [&mut t]);
+        };
+        update(&e, 1);
+        update(&e, 2);
+        // A snapshot pinned here keeps the ts of update 2 reachable…
+        let pin = e.versions.pin();
+        update(&e, 3);
+        update(&e, 4);
+        // 4 update versions + the sealed bootstrap version on row 0, plus
+        // one sealed version for each of the two other rows.
+        let flights = e.catalog.handle("Flights").unwrap();
+        assert_eq!(flights.read().version_count(), 7);
+        // …so the first vacuum reclaims only history below the pin.
+        let pruned = e.vacuum();
+        assert_eq!(pruned, 2, "bootstrap + update-1 versions of row 0");
+        assert_eq!(flights.read().version_count(), 5);
+        e.versions.unpin(pin);
+        let pruned2 = e.vacuum();
+        assert_eq!(pruned2, 2, "updates 2 and 3 reclaimed once unpinned");
+        assert_eq!(
+            flights.read().version_count(),
+            3,
+            "one version per live row remains"
+        );
+        // Snapshots at the frontier still read correctly after GC.
+        let mut t = txn(
+            &e,
+            "BEGIN; SELECT fdate AS @d FROM Flights WHERE fno = 122; COMMIT;",
+        );
+        e.run_until_block(&mut t);
+        assert_eq!(t.env.get("d"), Some(&Value::Date(3)), "1970-01-04");
+        e.commit_group(&mut [&mut t]);
+    }
+
+    #[test]
+    fn recovery_reseals_versions_for_fresh_snapshots() {
+        let e = engine();
+        // Warm the materialization cache on the empty table BEFORE the
+        // write: a recovered engine must not serve this stale copy
+        // (regression: the cache survived recovery, and the re-sealed
+        // epoch collided with the pre-crash one).
+        let mut warm = txn(&e, "BEGIN; SELECT fid FROM Reserve WHERE uid = 1; COMMIT;");
+        e.run_until_block(&mut warm);
+        e.commit_group(&mut [&mut warm]);
+        let mut t1 = txn(
+            &e,
+            "BEGIN; INSERT INTO Reserve (uid, fid) VALUES (1, 122); COMMIT;",
+        );
+        e.run_until_block(&mut t1);
+        e.commit_group(&mut [&mut t1]);
+        e.crash_and_recover().unwrap();
+        // A snapshot taken on the recovered engine sees the full recovered
+        // state (versions were re-sealed at the durable frontier).
+        let mut r = txn(&e, "BEGIN; SELECT @fid FROM Reserve WHERE uid = 1; COMMIT;");
+        assert_eq!(e.run_until_block(&mut r), StepOutcome::Ready);
+        assert_eq!(r.env.get("fid"), Some(&Value::Int(122)));
+        e.commit_group(&mut [&mut r]);
+        assert_eq!(e.versions.live_pins(), 0);
+    }
+
+    #[test]
+    fn snapshot_ablation_takes_locks_again() {
+        let cfg = EngineConfig {
+            lock_timeout: Duration::from_millis(10),
+            snapshot_reads: false,
+            ..EngineConfig::default()
+        };
+        let e = Engine::new(cfg);
+        e.setup("CREATE TABLE T (a INT); INSERT INTO T VALUES (1);")
+            .unwrap();
+        let mut writer = txn(&e, "BEGIN; UPDATE T SET a = 2; COMMIT;");
+        assert_eq!(e.run_until_block(&mut writer), StepOutcome::Ready);
+        let mut reader = txn(&e, "BEGIN; SELECT a FROM T; COMMIT;");
+        assert_eq!(
+            e.run_until_block(&mut reader),
+            StepOutcome::Aborted,
+            "with snapshot_reads off, the reader queues behind the X lock"
+        );
+        e.commit_group(&mut [&mut writer]);
     }
 
     #[test]

@@ -16,12 +16,14 @@
 use crate::engine::{Engine, IsolationMode, LockGranularity};
 use crate::error::EngineError;
 use crate::program::{Txn, Undo};
+use std::cell::RefCell;
 use youtopia_lock::{LockMode, Resource, TxId};
 use youtopia_sql::{
-    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, Statement, VarEnv,
+    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, Select, Statement, VarEnv,
 };
 use youtopia_storage::{
-    eval_spj, CatalogSnapshot, Expr, RowId, StorageError, Table, TableProvider, Value,
+    eval_spj, CatalogSnapshot, CommitTs, Expr, RowId, SnapshotTables, StorageError, Table,
+    TableProvider, Value,
 };
 use youtopia_wal::LogRecord;
 
@@ -50,9 +52,23 @@ use youtopia_wal::LogRecord;
 /// lets the storage layer drop the global `RwLock<Database>` latch: 2PL
 /// already serializes conflicting access, so the substrate only has to
 /// protect its own memory, not transaction semantics.
+///
+/// ## The snapshot read path
+///
+/// A transaction whose attempt pinned a snapshot (`Txn::snapshot`;
+/// read-only classical programs under `EngineConfig::snapshot_reads`)
+/// never reaches the locked SELECT path at all: its statements evaluate
+/// against [`SnapshotTables`] — owned copies of each table as visible at
+/// the pinned commit timestamp, materialized once per transaction advance
+/// and cached here. No 2PL lock, no latch beyond the one short read latch
+/// per table taken during materialization. Writers can commit freely
+/// underneath; the snapshot, by the visibility rule, never sees them.
 pub struct TxnContext<'e> {
     engine: &'e Engine,
     snapshot: CatalogSnapshot,
+    /// Per-advance cache of snapshot-materialized tables (`Arc`-shared;
+    /// grown lazily as statements touch tables).
+    snapshot_tables: RefCell<Option<SnapshotTables>>,
 }
 
 impl std::fmt::Debug for TxnContext<'_> {
@@ -69,7 +85,62 @@ impl<'e> TxnContext<'e> {
         TxnContext {
             engine,
             snapshot: engine.catalog.snapshot(),
+            snapshot_tables: RefCell::new(None),
         }
+    }
+
+    /// The snapshot-materialized view of the named tables at `ts`,
+    /// extending the per-advance cache with any table not yet present.
+    /// Tables come from the engine's epoch-keyed materialization cache
+    /// ([`Engine::snapshot_table`]), so an unchanged table is copied once
+    /// per committed write to it — not once per reader. Returns an owned
+    /// handle (`Arc` clones — cheap). Unknown names are skipped; lookups
+    /// then fail with `NoSuchTable`, mirroring the locked path.
+    fn snapshot_view(&self, names: &[String], ts: CommitTs) -> SnapshotTables {
+        let mut cache = self.snapshot_tables.borrow_mut();
+        let view = cache.get_or_insert_with(|| SnapshotTables::from_parts(ts, []));
+        let missing: Vec<&String> = names.iter().filter(|n| !view.contains(n)).collect();
+        if !missing.is_empty() {
+            view.absorb(SnapshotTables::from_parts(
+                ts,
+                missing
+                    .into_iter()
+                    .filter_map(|n| self.engine.snapshot_table(n, ts)),
+            ));
+        }
+        view.clone()
+    }
+
+    /// Execute one SELECT on the snapshot read path: lower and evaluate
+    /// against the pinned committed versions, acquiring **no** locks.
+    fn select_at_snapshot(
+        &self,
+        txn: &mut Txn,
+        sel: &Select,
+        ts: CommitTs,
+    ) -> Result<(), EngineError> {
+        let mut footprint = Vec::new();
+        sel.collect_tables(&mut footprint);
+        let view = self.snapshot_view(&footprint, ts);
+        let lowered = lower_select(&view, sel, &txn.env)?;
+        let mut tables = lowered.query.tables.clone();
+        tables.sort();
+        tables.dedup();
+        // Lowering can surface tables beyond the syntactic footprint;
+        // make sure all of them are materialized before evaluation.
+        let view = self.snapshot_view(&tables, ts);
+        let out = eval_spj(&view, &lowered.query)?;
+        if self.engine.config.record_history {
+            for t in &tables {
+                self.engine.recorder.snapshot_read(txn.tx, t);
+            }
+        }
+        if let Some(row) = out.rows.first() {
+            for (idx, var) in &lowered.bindings {
+                txn.env.insert(var.clone(), row[*idx].clone());
+            }
+        }
+        Ok(())
     }
 
     fn lock(&self, tx: u64, res: Resource, mode: LockMode) -> Result<(), EngineError> {
@@ -95,6 +166,21 @@ impl<'e> TxnContext<'e> {
     /// Execute one classical statement on behalf of `txn`.
     pub fn execute(&self, txn: &mut Txn, stmt: &Statement) -> Result<(), EngineError> {
         let config = &self.engine.config;
+        // Snapshot attempts are read-only by construction (`Program::
+        // is_read_only`); route their SELECTs to the versioned path and
+        // refuse anything that would mutate state (defense in depth — the
+        // begin-time gate should make this unreachable).
+        if let Some(ts) = txn.snapshot {
+            return match stmt {
+                Statement::Select(sel) => self.select_at_snapshot(txn, sel, ts),
+                Statement::SetVar { name, expr } => {
+                    let v = lower_const_scalar(expr, &txn.env)?;
+                    txn.env.insert(name.clone(), v);
+                    Ok(())
+                }
+                _ => Err(EngineError::Protocol("snapshot transactions are read-only")),
+            };
+        }
         match stmt {
             Statement::Select(sel) => {
                 // Lower against the statement's table footprint (needs

@@ -15,13 +15,18 @@
 //!   over a per-table concurrent catalog, joint entangled-query evaluation
 //!   with grounding-read locks (§3.3.3), two-phase batched commit (redo
 //!   buffers publish in one reserved append; a leader/follower
-//!   group-commit sync covers whole batches), in-memory undo for live
-//!   aborts, crash simulation + recovery.
+//!   group-commit sync covers whole batches; committed row versions
+//!   install at a batch commit timestamp before locks release), in-memory
+//!   undo for live aborts, snapshot pin/unpin + version GC
+//!   (`Engine::vacuum`), crash simulation + recovery.
 //! * [`executor`] — classical statement execution: a [`TxnContext`] pins
 //!   per-table handles and pre-resolved column indexes per statement;
 //!   Strict 2PL (not a storage latch) carries isolation, and write
 //!   records accumulate in the transaction-private redo buffer — only
-//!   commit/abort touch the shared WAL device.
+//!   commit/abort touch the shared WAL device. Read-only transactions
+//!   bypass all of that: they evaluate against a pinned commit-timestamp
+//!   snapshot of the multi-version store, acquiring no locks at all
+//!   (`EngineConfig::snapshot_reads`).
 //! * [`scheduler`] — the §4 run-based scheduler: dormant pool, arrival-
 //!   triggered runs (the paper's frequency `f`), phase loop with batch
 //!   query evaluation (Figure 4), group-commit settlement, retry and

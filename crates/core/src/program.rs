@@ -64,6 +64,16 @@ impl Program {
     pub fn entangled_query_count(&self) -> usize {
         self.statements.iter().filter(|s| s.is_entangled()).count()
     }
+
+    /// A classical read-only program: nothing but `SELECT` and `SET @var`.
+    /// Such a transaction writes nothing, entangles with nobody, and needs
+    /// no durable record — the engine routes it to the lock-free snapshot
+    /// read path when [`crate::EngineConfig::snapshot_reads`] is on.
+    pub fn is_read_only(&self) -> bool {
+        self.statements
+            .iter()
+            .all(|s| matches!(s, Statement::Select(_) | Statement::SetVar { .. }))
+    }
 }
 
 /// Where a transaction stands in its lifecycle (§4's run states).
@@ -130,6 +140,13 @@ pub struct Txn {
     /// never reaches the log, and a crashed run leaves no mid-execution
     /// records of in-flight transactions in the durable prefix.
     pub redo: Vec<LogRecord>,
+    /// Pinned snapshot timestamp, when this attempt runs on the
+    /// multi-version read path (read-only classical transactions only):
+    /// every SELECT evaluates against the committed versions visible at
+    /// this timestamp, with no S locks. `None` = the locked path. The
+    /// engine pins in [`begin`](crate::Engine::begin) and unpins at
+    /// commit/abort.
+    pub snapshot: Option<u64>,
     /// Arrival time — the `WITH TIMEOUT` deadline is measured from here,
     /// across retries (§3.1: the timeout limits total waiting).
     pub arrived: Instant,
@@ -151,6 +168,7 @@ impl Txn {
             env: VarEnv::new(),
             undo: Vec::new(),
             redo: Vec::new(),
+            snapshot: None,
             arrived: Instant::now(),
             attempt: 0,
             answers: Vec::new(),
@@ -173,6 +191,7 @@ impl Txn {
         self.env.clear();
         self.undo.clear();
         self.redo.clear();
+        self.snapshot = None;
         self.answers.clear();
         self.status = TxnStatus::Dormant;
         self.attempt += 1;
@@ -215,6 +234,18 @@ mod tests {
             Program::parse("BEGIN; BEGIN; COMMIT; COMMIT;"),
             Err(EngineError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let ro = Program::parse("BEGIN; SET @x = 1; SELECT a FROM T; COMMIT;").unwrap();
+        assert!(ro.is_read_only());
+        let w = Program::parse("BEGIN; SELECT a FROM T; INSERT INTO T (a) VALUES (1); COMMIT;")
+            .unwrap();
+        assert!(!w.is_read_only());
+        assert!(!Program::parse(FIG2).unwrap().is_read_only(), "entangled");
+        let rb = Program::parse("BEGIN; SELECT a FROM T; ROLLBACK; COMMIT;").unwrap();
+        assert!(!rb.is_read_only(), "rollback takes the classical path");
     }
 
     #[test]

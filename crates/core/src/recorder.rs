@@ -65,6 +65,28 @@ impl Recorder {
         });
     }
 
+    /// A snapshot pin: from here on, `tx`'s snapshot reads observe the
+    /// committed prefix of this schedule. Recorded by the engine at the
+    /// moment the transaction pins its multi-version read timestamp.
+    pub fn snapshot_pin(&self, tx: u64) {
+        self.inner
+            .lock()
+            .ops
+            .push(Op::SnapshotPin { tx: Tx(tx as u32) });
+    }
+
+    /// A snapshot read (table granularity, like ordinary reads) — takes no
+    /// locks, conflicts with nothing; audited by the snapshot-cut oracle
+    /// check instead of the conflict graph.
+    pub fn snapshot_read(&self, tx: u64, table: &str) {
+        let mut g = self.inner.lock();
+        let space = g.space(table);
+        g.ops.push(Op::SnapshotRead {
+            tx: Tx(tx as u32),
+            obj: Obj::flat(space),
+        });
+    }
+
     /// A grounding read (always table-granularity, like the shared locks
     /// that protect it).
     pub fn ground_read(&self, tx: u64, table: &str) {
@@ -179,6 +201,26 @@ mod tests {
         assert_ne!(a, b);
         assert!(a.overlaps(&c) && b.overlaps(&c));
         assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn snapshot_ops_record_and_stay_isolated() {
+        let r = Recorder::new();
+        // A writer and a concurrent snapshot reader: the reader's ops must
+        // not create conflict edges (no false cycles with the writer).
+        r.snapshot_pin(2);
+        r.write(1, "Counters", Some(0));
+        r.commit(1);
+        r.snapshot_read(2, "Counters");
+        r.commit(2);
+        let s = r.schedule();
+        s.validate().unwrap();
+        assert!(is_entangled_isolated(&s));
+        assert!(youtopia_isolation::check_snapshot_serializable(
+            &s,
+            &youtopia_isolation::Db::new()
+        )
+        .is_ok());
     }
 
     #[test]

@@ -125,6 +125,10 @@ pub struct ClientResult {
     pub attempts: u32,
     /// Entangled answers received by the successful attempt.
     pub answers: Vec<Vec<youtopia_storage::Value>>,
+    /// Host-variable environment at the end of the final attempt — the
+    /// values the transaction's SELECTs bound (how tests observe what a
+    /// snapshot read actually saw).
+    pub env: youtopia_sql::VarEnv,
 }
 
 /// Counters for one run.
@@ -143,6 +147,9 @@ pub struct RunReport {
     pub checkpoints: u64,
     /// Log bytes reclaimed by this run's checkpoint truncation.
     pub truncated_bytes: u64,
+    /// Row versions reclaimed by the settle-boundary vacuum (multi-version
+    /// GC: everything older than the oldest live snapshot).
+    pub versions_pruned: u64,
 }
 
 /// Cumulative statistics.
@@ -166,6 +173,9 @@ pub struct Stats {
     /// Total log bytes reclaimed by checkpoint truncations — the
     /// bounded-WAL dividend.
     pub truncated_bytes: u64,
+    /// Total row versions reclaimed by settle-boundary vacuums — the
+    /// bounded-version-store dividend of the multi-version read path.
+    pub versions_pruned: u64,
 }
 
 impl Stats {
@@ -312,6 +322,12 @@ impl Scheduler {
 
         // ---- End of run: group commit / abort / return to pool ----
         self.settle(run, &mut report);
+        // Settle boundary = GC boundary: every transaction of the run has
+        // committed or aborted, so the only snapshots still pinned belong
+        // to other schedulers sharing the engine — the vacuum horizon
+        // (oldest live snapshot) makes pruning safe regardless.
+        report.versions_pruned = self.engine.vacuum();
+        self.stats.versions_pruned += report.versions_pruned;
         self.maybe_checkpoint(&mut report);
         report.syncs = self.engine.wal.sync_count() - syncs_before;
         self.stats.syncs += report.syncs;
@@ -343,8 +359,10 @@ impl Scheduler {
             Ok(cp) => {
                 report.checkpoints += 1;
                 report.truncated_bytes += cp.truncated_bytes;
+                report.versions_pruned += cp.versions_pruned;
                 self.stats.checkpoints += 1;
                 self.stats.truncated_bytes += cp.truncated_bytes;
+                self.stats.versions_pruned += cp.versions_pruned;
                 self.runs_since_checkpoint = 0;
                 self.wal_len_at_checkpoint = self.engine.wal.len();
             }
@@ -564,6 +582,7 @@ impl Scheduler {
         self.results.push(ClientResult {
             client: txn.client,
             answers: txn.answers.clone(),
+            env: txn.env.clone(),
             attempts: txn.attempt + 1,
             status,
         });

@@ -12,13 +12,14 @@
 //!    interleaving must converge to the same canonical state).
 
 use entangled_txn::{Engine, EngineConfig, Program, Scheduler, SchedulerConfig, Stats, TxnStatus};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
-use youtopia_isolation::is_entangled_isolated;
-use youtopia_storage::Row;
+use youtopia_isolation::{check_snapshot_serializable, is_entangled_isolated};
+use youtopia_storage::{Row, Value};
 
 const SETUP: &str = "CREATE TABLE Flights (fno INT, dest TEXT);\
      CREATE TABLE Reserve (uid TEXT, fid INT);\
@@ -165,6 +166,170 @@ fn concurrent_run_is_isolated_and_matches_serial_oracle() {
             db8, db1,
             "seed {seed}: connections=8 diverged from the serial oracle"
         );
+    }
+}
+
+/// The snapshot-vs-oracle proptest (ISSUE-5): read-only snapshot
+/// transactions race entangled + classical writers at `connections = 8`.
+///
+/// Writers keep a cross-row invariant — one transaction increments
+/// counters 0 AND 1 together — so in *every* serial order the two
+/// counters are equal at every commit boundary. Each snapshot reader
+/// SELECTs both counters in one transaction; its results therefore match
+/// some serial oracle order **iff** it saw `a == b` with `0 <= a <= N`.
+/// A snapshot that observed a half-committed writer, dirty working
+/// state, or a non-prefix cut would break the equality.
+fn snapshot_mix(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0usize;
+    while out.len() < count {
+        match rng.gen_range(0..5u32) {
+            // Paired increment: the invariant writer (v0 == v1 at every
+            // commit boundary).
+            0 => out.push(
+                Program::parse(
+                    "BEGIN; UPDATE Counters SET v = v + 1 WHERE k = 0; \
+                     UPDATE Counters SET v = v + 1 WHERE k = 1; COMMIT;",
+                )
+                .unwrap(),
+            ),
+            // Unrelated commutative churn.
+            1 => {
+                let k = rng.gen_range(2..4i64);
+                out.push(
+                    Program::parse(&format!(
+                        "BEGIN; UPDATE Counters SET v = v + 1 WHERE k = {k}; COMMIT;"
+                    ))
+                    .unwrap(),
+                );
+            }
+            // Unique-row audit inserts.
+            2 => out.push(
+                Program::parse(&format!(
+                    "BEGIN; INSERT INTO Audit (uid, note) VALUES ({i}, 1); COMMIT;"
+                ))
+                .unwrap(),
+            ),
+            // The snapshot reader under test: both invariant counters in
+            // one read-only transaction.
+            3 => out.push(
+                Program::parse(
+                    "BEGIN; SELECT v AS @a FROM Counters WHERE k = 0; \
+                     SELECT v AS @b FROM Counters WHERE k = 1; COMMIT;",
+                )
+                .unwrap(),
+            ),
+            // Entangled pairs keep the §3.3.3 machinery in the mix.
+            _ => {
+                if out.len() + 2 <= count {
+                    out.extend(entangled_pair(i));
+                } else {
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The invariant writer of [`snapshot_mix`]: exactly two UPDATE
+/// statements (incrementing counters 0 and 1 together).
+fn is_paired_writer(p: &Program) -> bool {
+    p.statements.len() == 2
+        && p.statements
+            .iter()
+            .all(|s| matches!(s, youtopia_sql::Statement::Update { .. }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn snapshot_readers_match_a_serial_oracle_order(seed in 0u64..10_000) {
+        let programs = snapshot_mix(seed, 56);
+        let paired_writers = programs.iter().filter(|p| is_paired_writer(p)).count();
+
+        let (stats, _, engine) = run(&programs, 8);
+        prop_assert_eq!(stats.committed, programs.len());
+
+        // 1. Final state matches every serial order of the commutative
+        //    writers (readers change nothing).
+        let canonical = engine.with_db(|db| db.canonical());
+        let final_v0 = canonical["counters"]
+            .iter()
+            .find(|r| r[0] == Value::Int(0))
+            .map(|r| r[1].clone())
+            .unwrap();
+        prop_assert_eq!(final_v0, Value::Int(paired_writers as i64));
+
+        // 2. The recorded history still validates, is entangled-isolated,
+        //    and passes the snapshot-cut oracle extension.
+        let s = engine.recorder.schedule();
+        s.validate().unwrap();
+        prop_assert!(is_entangled_isolated(&s), "seed {seed}");
+        if let Err(v) = check_snapshot_serializable(&s, &youtopia_isolation::Db::new()) {
+            return Err(TestCaseError::fail(format!(
+                "seed {seed}: snapshot history not oracle-serializable: {v}"
+            )));
+        }
+    }
+}
+
+#[test]
+fn snapshot_reader_results_respect_the_writer_invariant() {
+    // The value-level half of the proptest, with results inspected
+    // per-reader: every committed snapshot reader must have seen the two
+    // invariant counters EQUAL — the defining property of reading a
+    // consistent committed prefix (any interleaved or dirty observation
+    // breaks it) — and the serial oracle run must agree on the final
+    // state.
+    for seed in [3u64, 19, 77] {
+        let programs = snapshot_mix(seed, 56);
+        let (stats8, db8, engine8) = run(&programs, 8);
+        assert_eq!(stats8.committed, programs.len(), "seed {seed}");
+        let mut readers_checked = 0usize;
+        let paired_writers = programs.iter().filter(|p| is_paired_writer(p)).count() as i64;
+        // `run` asserts every client committed; re-run to inspect envs.
+        let engine = {
+            let e = Engine::new(EngineConfig {
+                lock_timeout: Duration::from_millis(25),
+                ..EngineConfig::default()
+            });
+            e.setup(SETUP).unwrap();
+            Arc::new(e)
+        };
+        let mut sched = Scheduler::new(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                connections: 8,
+                max_attempts: 1000,
+                ..SchedulerConfig::default()
+            },
+        );
+        for p in &programs {
+            sched.submit(p.clone());
+        }
+        sched.drain();
+        for r in sched.take_results() {
+            assert_eq!(r.status, TxnStatus::Committed, "seed {seed}");
+            if let (Some(a), Some(b)) = (r.env.get("a"), r.env.get("b")) {
+                assert_eq!(a, b, "seed {seed}: snapshot saw a torn writer");
+                let v = a.as_int().unwrap();
+                assert!(
+                    (0..=paired_writers).contains(&v),
+                    "seed {seed}: value {v} outside any serial prefix"
+                );
+                readers_checked += 1;
+            }
+        }
+        assert!(readers_checked > 0, "seed {seed}: mix produced no readers");
+        // Deterministic final state: equal to the serial oracle run.
+        let (stats1, db1, _) = run(&programs, 1);
+        assert_eq!(stats1.committed, programs.len());
+        assert_eq!(db8, db1, "seed {seed}: diverged from the serial oracle");
+        drop(engine8);
     }
 }
 

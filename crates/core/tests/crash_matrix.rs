@@ -133,7 +133,7 @@ fn checkpoint_log(db: &youtopia_storage::Database) -> Vec<(Lsn, LogRecord)> {
             });
         }
     }
-    recs.push(LogRecord::Commit { tx: 0 });
+    recs.push(LogRecord::Commit { tx: 0, ts: 0 });
     recs.into_iter()
         .enumerate()
         .map(|(i, r)| (Lsn(i as u64), r))

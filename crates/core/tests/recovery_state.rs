@@ -41,7 +41,7 @@ fn durable_tx_ids(e: &Engine) -> BTreeSet<u64> {
         .expect("clean log")
         .iter()
         .filter_map(|(_, r)| match r {
-            LogRecord::Begin { tx } | LogRecord::Commit { tx } => Some(*tx),
+            LogRecord::Begin { tx } | LogRecord::Commit { tx, .. } => Some(*tx),
             _ => None,
         })
         .filter(|&tx| tx != 0) // bootstrap

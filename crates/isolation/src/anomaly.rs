@@ -27,12 +27,21 @@ impl ConflictGraph {
             edges: BTreeMap::new(),
             nodes: committed.iter().copied().collect(),
         };
-        // Pairwise scan over (object-touching) ops.
+        // Pairwise scan over (object-touching) ops. Snapshot reads are
+        // *not* conflict ops: they take no locks and observe a committed
+        // prefix rather than the state at their schedule position, so
+        // ordering them against writers by position would manufacture
+        // edges that have no counterpart in any execution. Their
+        // consistency obligation is checked separately
+        // (`crate::oracle::check_snapshot_serializable`).
         let touching: Vec<(usize, Tx, Obj, bool)> = s
             .ops
             .iter()
             .enumerate()
             .filter_map(|(i, op)| {
+                if matches!(op, Op::SnapshotRead { .. } | Op::SnapshotPin { .. }) {
+                    return None;
+                }
                 let tx = op.tx()?;
                 let obj = op.obj()?;
                 let is_write = matches!(op, Op::Write { .. });
@@ -180,6 +189,12 @@ pub fn find_anomalies(s: &Schedule) -> Vec<Anomaly> {
             continue;
         }
         for later in &s.ops[i + 1..] {
+            // Snapshot reads are exempt by construction: versions are
+            // installed only at commit, so a snapshot can never return an
+            // aborted transaction's write no matter where the read sits.
+            if matches!(later, Op::SnapshotRead { .. }) {
+                continue;
+            }
             if later.is_read() && later.obj().is_some_and(|o| o.overlaps(obj)) {
                 let rtx = later.tx().expect("reads have a tx");
                 if rtx != *wtx && committed.contains(&rtx) {

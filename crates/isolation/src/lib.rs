@@ -13,6 +13,7 @@
 //! | Relaxed isolation levels (§3.3.1) | [`IsolationLevel`] |
 //! | The determinism assumption of the Theorem 3.6 proof | [`sim`] (executable transaction logic) |
 //! | Oracle construction (C.3.1) and oracle-serializability (C.7) | [`Oracle`], [`check_oracle_serializable`] |
+//! | Snapshot reads over committed prefixes (multi-version extension) | [`Op::SnapshotPin`]/[`Op::SnapshotRead`], [`check_snapshot_serializable`] |
 //!
 //! Theorem 3.6 ("any schedule that is entangled-isolated is also
 //! oracle-serializable") is property-tested in `tests/thm_3_6.rs` by
@@ -28,7 +29,8 @@ pub mod sim;
 pub use anomaly::{find_anomalies, is_entangled_isolated, Anomaly, ConflictGraph, IsolationLevel};
 pub use gen::{random_schedule, GenConfig};
 pub use oracle::{
-    check_oracle_serializable, oracle_serialize, Oracle, SerializationWitness, TheoremViolation,
+    check_oracle_serializable, check_snapshot_serializable, oracle_serialize, Oracle,
+    SerializationWitness, SnapshotViolation, TheoremViolation,
 };
 pub use schedule::{Obj, Op, Schedule, Tx, ValidityError};
 pub use sim::{execute, Db, ExecutionTrace};

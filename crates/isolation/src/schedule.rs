@@ -100,6 +100,18 @@ pub enum Op {
     Commit { tx: Tx },
     /// `A_i`.
     Abort { tx: Tx },
+    /// Snapshot pin `P_i`: from here on, `tx`'s snapshot reads observe the
+    /// database state produced by exactly the transactions committed
+    /// *before this point* of the schedule (a multi-version extension
+    /// beyond the paper: the transaction reads a committed prefix instead
+    /// of acquiring read locks).
+    SnapshotPin { tx: Tx },
+    /// Snapshot read `R^S_i(x)`: reads `x` as of `tx`'s pinned snapshot
+    /// ([`Op::SnapshotPin`]; a read with no preceding pin pins implicitly
+    /// at the read itself). Takes no locks and therefore participates in
+    /// no conflict-graph edges — its correctness is checked separately by
+    /// `check_snapshot_serializable`.
+    SnapshotRead { tx: Tx, obj: Obj },
 }
 
 impl Op {
@@ -112,7 +124,9 @@ impl Op {
             | Op::QuasiRead { tx, .. }
             | Op::Write { tx, .. }
             | Op::Commit { tx }
-            | Op::Abort { tx } => Some(*tx),
+            | Op::Abort { tx }
+            | Op::SnapshotPin { tx }
+            | Op::SnapshotRead { tx, .. } => Some(*tx),
             Op::Entangle { .. } => None,
         }
     }
@@ -123,16 +137,20 @@ impl Op {
             Op::Read { obj, .. }
             | Op::GroundRead { obj, .. }
             | Op::QuasiRead { obj, .. }
+            | Op::SnapshotRead { obj, .. }
             | Op::Write { obj, .. } => Some(*obj),
             _ => None,
         }
     }
 
-    /// Any kind of read (ordinary, grounding or quasi)?
+    /// Any kind of read (ordinary, grounding, quasi or snapshot)?
     pub fn is_read(&self) -> bool {
         matches!(
             self,
-            Op::Read { .. } | Op::GroundRead { .. } | Op::QuasiRead { .. }
+            Op::Read { .. }
+                | Op::GroundRead { .. }
+                | Op::QuasiRead { .. }
+                | Op::SnapshotRead { .. }
         )
     }
 }
@@ -156,6 +174,8 @@ impl fmt::Display for Op {
             }
             Op::Commit { tx } => write!(f, "C{}", tx.0),
             Op::Abort { tx } => write!(f, "A{}", tx.0),
+            Op::SnapshotPin { tx } => write!(f, "P{}", tx.0),
+            Op::SnapshotRead { tx, obj } => write!(f, "RS{}({obj})", tx.0),
         }
     }
 }
@@ -291,7 +311,10 @@ impl Schedule {
                     // Derived ops are exempt from the blocking discipline —
                     // they are simultaneous with their grounding read.
                 }
-                Op::Read { tx, .. } | Op::Write { tx, .. } => match state[tx] {
+                Op::Read { tx, .. }
+                | Op::Write { tx, .. }
+                | Op::SnapshotPin { tx }
+                | Op::SnapshotRead { tx, .. } => match state[tx] {
                     TxState::Done => return Err(ValidityError::OpAfterOutcome(*tx)),
                     TxState::Blocked => return Err(ValidityError::OpDuringBlockedEvaluation(*tx)),
                     TxState::Running => {}

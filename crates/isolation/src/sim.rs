@@ -20,7 +20,7 @@
 //! transactions in σ, in the order in which these writes occurred" (C.1).
 
 use crate::schedule::{Obj, Op, Schedule, Tx};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An abstract database: object → integer value (absent = 0).
 pub type Db = BTreeMap<Obj, i64>;
@@ -59,6 +59,15 @@ pub struct ExecutionTrace {
     pub reads: Vec<(Tx, Obj, i64)>,
     /// Values seen by grounding reads of each transaction, in order.
     pub grounding_reads: BTreeMap<Tx, Vec<(Obj, i64)>>,
+    /// Values seen by snapshot reads of each transaction, in order. A
+    /// snapshot read observes the **committed-prefix** state at the
+    /// transaction's pin ([`Op::SnapshotPin`]): the writes of exactly
+    /// those transactions committed before the pin, applied in schedule
+    /// order (matching C.1's final-database rule) — never dirty state.
+    pub snapshot_reads: BTreeMap<Tx, Vec<(Obj, i64)>>,
+    /// The committed transactions visible to each snapshot transaction
+    /// (the cut its pin captured).
+    pub snapshot_sets: BTreeMap<Tx, BTreeSet<Tx>>,
 }
 
 /// Execute a schedule on a starting database. Quasi-reads are ignored
@@ -71,6 +80,24 @@ pub fn execute(s: &Schedule, initial: &Db) -> ExecutionTrace {
     let mut pending: BTreeMap<Tx, Vec<(Obj, i64)>> = BTreeMap::new();
     let mut trace = ExecutionTrace::default();
     let committed = s.committed();
+
+    // Committed-prefix tracking for snapshot semantics: which txs have
+    // committed so far, and each snapshot tx's pinned database (writes of
+    // the committed prefix in schedule order, over the initial state).
+    let mut committed_so_far: BTreeSet<Tx> = BTreeSet::new();
+    let mut snapshot_db: BTreeMap<Tx, Db> = BTreeMap::new();
+    let pin = |trace: &ExecutionTrace,
+               committed_so_far: &BTreeSet<Tx>,
+               initial: &Db|
+     -> (Db, BTreeSet<Tx>) {
+        let mut db = initial.clone();
+        for (wtx, obj, v) in &trace.writes {
+            if committed_so_far.contains(wtx) {
+                db.insert(*obj, *v);
+            }
+        }
+        (db, committed_so_far.clone())
+    };
 
     let get = |db: &Db, o: Obj| db.get(&o).copied().unwrap_or(0);
 
@@ -124,7 +151,27 @@ pub fn execute(s: &Schedule, initial: &Db) -> ExecutionTrace {
             Op::Abort { tx } => {
                 pending.remove(tx);
             }
-            Op::Commit { .. } => {}
+            Op::Commit { tx } => {
+                committed_so_far.insert(*tx);
+            }
+            Op::SnapshotPin { tx } => {
+                let (db, set) = pin(&trace, &committed_so_far, initial);
+                snapshot_db.insert(*tx, db);
+                trace.snapshot_sets.insert(*tx, set);
+            }
+            Op::SnapshotRead { tx, obj } => {
+                // Implicit pin at the first snapshot read if none was
+                // recorded.
+                if !snapshot_db.contains_key(tx) {
+                    let (db, set) = pin(&trace, &committed_so_far, initial);
+                    snapshot_db.insert(*tx, db);
+                    trace.snapshot_sets.insert(*tx, set);
+                }
+                let v = get(&snapshot_db[tx], *obj);
+                let a = acc.entry(*tx).or_insert(1000 + tx.0 as i64);
+                *a = mix(*a, v);
+                trace.snapshot_reads.entry(*tx).or_default().push((*obj, v));
+            }
         }
     }
 
@@ -272,6 +319,58 @@ mod tests {
         let tr = execute(&s, &Db::new());
         assert_eq!(tr.reads[0].2, tr.writes[0].2, "t2 saw t1's dirty write");
         assert!(!tr.final_db.contains_key(&o(0)));
+    }
+
+    #[test]
+    fn snapshot_reads_see_the_committed_prefix_not_dirty_state() {
+        // t1 commits a write; t2 writes but has not committed when t3
+        // pins. t3's snapshot read sees t1's value even though t2's dirty
+        // write is newer in the running db — and keeps seeing it after t2
+        // commits (the pin is a point in time).
+        let s = Schedule::new(vec![
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Commit { tx: t(1) },
+            Op::Write {
+                tx: t(2),
+                obj: o(0),
+            },
+            Op::SnapshotPin { tx: t(3) },
+            Op::Commit { tx: t(2) },
+            Op::SnapshotRead {
+                tx: t(3),
+                obj: o(0),
+            },
+            Op::Commit { tx: t(3) },
+        ]);
+        s.validate().unwrap();
+        let tr = execute(&s, &Db::new());
+        assert_eq!(tr.snapshot_reads[&t(3)], vec![(o(0), tr.writes[0].2)]);
+        assert_eq!(tr.snapshot_sets[&t(3)], BTreeSet::from([t(1)]));
+        // An ordinary read at the same position would have seen t2's
+        // dirty write — that asymmetry is the whole point.
+        assert_ne!(tr.writes[0].2, tr.writes[1].2);
+    }
+
+    #[test]
+    fn snapshot_read_without_pin_pins_implicitly() {
+        let s = Schedule::new(vec![
+            Op::Write {
+                tx: t(1),
+                obj: o(0),
+            },
+            Op::Commit { tx: t(1) },
+            Op::SnapshotRead {
+                tx: t(2),
+                obj: o(0),
+            },
+            Op::Commit { tx: t(2) },
+        ]);
+        let tr = execute(&s, &Db::new());
+        assert_eq!(tr.snapshot_reads[&t(2)][0].1, tr.writes[0].2);
+        assert_eq!(tr.snapshot_sets[&t(2)], BTreeSet::from([t(1)]));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! ([`CatalogSnapshot::read_view`]), so latch waits cannot form cycles.
 
 use crate::catalog::{Database, StorageError, TableProvider};
+use crate::mvcc::CommitTs;
 use crate::schema::Schema;
 use crate::table::Table;
 use parking_lot::{RwLock, RwLockReadGuard};
@@ -170,6 +171,32 @@ impl CatalogSnapshot {
             .collect()
     }
 
+    /// Materialize the named tables as visible at snapshot timestamp `ts`
+    /// (see [`Table::snapshot_at`]): each table takes one short read latch
+    /// for the copy (sorted key order, per the module's deadlock
+    /// discipline) and the result is an owned, immutable
+    /// [`SnapshotTables`] that no reader ever latches or locks again.
+    /// Unknown names are skipped, mirroring [`CatalogSnapshot::read_view`].
+    pub fn snapshot_tables<S: AsRef<str>>(&self, names: &[S], ts: CommitTs) -> SnapshotTables {
+        let mut keys: Vec<String> = names
+            .iter()
+            .map(|n| ConcurrentCatalog::key(n.as_ref()))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        SnapshotTables {
+            ts,
+            tables: keys
+                .into_iter()
+                .filter_map(|k| {
+                    self.tables
+                        .get(&k)
+                        .map(|h| (k, Arc::new(h.read().snapshot_at(ts))))
+                })
+                .collect(),
+        }
+    }
+
     /// Read guards on every table in the snapshot.
     pub fn read_all(&self) -> TableView<'_> {
         TableView {
@@ -209,6 +236,65 @@ impl TableProvider for TableView<'_> {
         self.guards
             .get(&ConcurrentCatalog::key(name))
             .map(|g| &**g)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+}
+
+/// An owned set of tables materialized as of one snapshot timestamp
+/// ([`CatalogSnapshot::snapshot_tables`]). Usable wherever a read-only
+/// [`Database`] was — lowering, SPJ evaluation — but backed by committed
+/// versions instead of latched working state: evaluating against it takes
+/// no latches and no 2PL locks. Tables are `Arc`-shared so a transaction
+/// can cache materializations across its statements cheaply.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotTables {
+    ts: CommitTs,
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl SnapshotTables {
+    /// Assemble a view from already-materialized tables (e.g. the
+    /// engine's epoch-keyed materialization cache). Keys are derived from
+    /// each table's own name, case-insensitively.
+    pub fn from_parts(
+        ts: CommitTs,
+        tables: impl IntoIterator<Item = Arc<Table>>,
+    ) -> SnapshotTables {
+        SnapshotTables {
+            ts,
+            tables: tables
+                .into_iter()
+                .map(|t| (ConcurrentCatalog::key(t.name()), t))
+                .collect(),
+        }
+    }
+
+    /// The snapshot timestamp these tables were materialized at.
+    pub fn ts(&self) -> CommitTs {
+        self.ts
+    }
+
+    /// Merge in tables from another materialization at the same timestamp
+    /// (used when lowering discovers tables beyond the statement's
+    /// syntactic footprint). Existing entries win.
+    pub fn absorb(&mut self, other: SnapshotTables) {
+        debug_assert_eq!(self.ts, other.ts, "snapshots must share a timestamp");
+        for (k, t) in other.tables {
+            self.tables.entry(k).or_insert(t);
+        }
+    }
+
+    /// Whether the named table is already materialized.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&ConcurrentCatalog::key(name))
+    }
+}
+
+impl TableProvider for SnapshotTables {
+    fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(&ConcurrentCatalog::key(name))
+            .map(|t| &**t)
             .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 }
@@ -306,6 +392,36 @@ mod tests {
         }
         assert_eq!(c.handle("Flights").unwrap().read().len(), 1 + 100);
         assert_eq!(c.handle("Hotels").unwrap().read().len(), 100);
+    }
+
+    #[test]
+    fn snapshot_tables_serve_committed_versions_only() {
+        let c = catalog();
+        {
+            let h = c.handle("Flights").unwrap();
+            h.write().seal_versions(1);
+            // Uncommitted working write (a transaction mid-flight).
+            h.write()
+                .insert(vec![Value::Int(999), Value::str("dirty")])
+                .unwrap();
+        }
+        let snap = c.snapshot();
+        let view = snap.snapshot_tables(&["Flights", "Ghost"], 1);
+        assert_eq!(view.ts(), 1);
+        assert!(view.contains("flights"));
+        let t = TableProvider::table(&view, "Flights").unwrap();
+        assert_eq!(t.len(), 1, "dirty insert invisible to the snapshot");
+        assert!(matches!(
+            TableProvider::table(&view, "Ghost"),
+            Err(StorageError::NoSuchTable(_))
+        ));
+        // absorb() unions without clobbering.
+        let mut view = view;
+        c.create_table("Later", Schema::of(&[("x", ValueType::Int)]))
+            .unwrap();
+        view.absorb(c.snapshot().snapshot_tables(&["Later"], 1));
+        assert!(view.contains("later"));
+        assert!(view.contains("flights"));
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! — physical latches only; transaction isolation stays with the lock
 //! manager above.
 //!
+//! Since the multi-version work, tables carry a third face: per-row
+//! [`mvcc::VersionChain`]s of *committed* values keyed by commit
+//! timestamp, serving lock-free snapshot reads for read-only transactions
+//! ([`Table::snapshot_at`], [`CatalogSnapshot::snapshot_tables`]). Writers
+//! install versions only at commit; the [`mvcc::SnapshotRegistry`] tracks
+//! the stable frontier readers pin and the horizon the garbage collector
+//! prunes behind. See the [`mvcc`] module docs for the visibility and GC
+//! rules.
+//!
 //! ```
 //! use youtopia_storage::{Database, Schema, Value, ValueType};
 //!
@@ -36,14 +45,16 @@
 pub mod catalog;
 pub mod concurrent;
 pub mod expr;
+pub mod mvcc;
 pub mod query;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use catalog::{Database, StorageError, TableProvider};
-pub use concurrent::{CatalogSnapshot, ConcurrentCatalog, TableHandle, TableView};
+pub use concurrent::{CatalogSnapshot, ConcurrentCatalog, SnapshotTables, TableHandle, TableView};
 pub use expr::{CmpOp, EvalError, Expr};
+pub use mvcc::{CommitTs, SnapshotRegistry, VersionChain};
 pub use query::{eval_spj, QueryOutput, SpjQuery};
 pub use schema::{Column, Schema, SchemaError};
 pub use table::{Row, RowId, Table};

@@ -6,6 +6,7 @@
 //! insert/delete/update sequences — the property ARIES-style undo/redo and
 //! row-granularity locking both depend on.
 
+use crate::mvcc::{CommitTs, VersionChain};
 use crate::schema::{Schema, SchemaError};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -53,6 +54,16 @@ impl HashIndex {
 }
 
 /// An in-memory heap table.
+///
+/// Two read paths share the slot array's `RowId` space:
+///
+/// * the **working state** (`slots`) — what locked execution reads and
+///   mutates in place; a transaction sees its own uncommitted writes here,
+///   protected by its 2PL locks;
+/// * the **committed history** (`chains`, parallel to `slots`) — per-row
+///   [`VersionChain`]s that only ever receive values at commit time
+///   ([`Table::install_version`]) and serve lock-free snapshot reads
+///   ([`Table::snapshot_at`], [`Table::snapshot_scan`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     name: String,
@@ -61,6 +72,15 @@ pub struct Table {
     slots: Vec<Option<Row>>,
     live: usize,
     indexes: Vec<HashIndex>,
+    /// Committed version history per slot (grown lazily; a slot with no
+    /// chain has no committed versions yet). Index = RowId.
+    chains: Vec<VersionChain>,
+    /// Bumped on every committed-history mutation (install / seal /
+    /// prune / truncate). Two calls to [`Table::snapshot_at`] with the
+    /// same epoch and non-decreasing timestamps see identical data, which
+    /// is what lets the engine memoize materializations of read-mostly
+    /// tables instead of copying them per transaction.
+    version_epoch: u64,
 }
 
 impl Table {
@@ -71,6 +91,8 @@ impl Table {
             slots: Vec::new(),
             live: 0,
             indexes: Vec::new(),
+            chains: Vec::new(),
+            version_epoch: 0,
         }
     }
 
@@ -234,11 +256,98 @@ impl Table {
         for ix in &mut self.indexes {
             ix.map.clear();
         }
+        self.chains.clear();
+        self.version_epoch += 1;
     }
 
     /// Snapshot all live rows (id, row) — used to build read-only copies.
     pub fn rows_cloned(&self) -> Vec<(RowId, Row)> {
         self.scan().map(|(id, r)| (id, r.clone())).collect()
+    }
+
+    // ---- multi-version read path (see `crate::mvcc`) ----
+
+    /// Install the committed value of row `id` at commit timestamp `ts`
+    /// (`None` = the commit deleted the row). Called only by the commit
+    /// path, after the write's redo record is durable — working state and
+    /// uncommitted data never enter a chain.
+    pub fn install_version(&mut self, id: RowId, ts: CommitTs, row: Option<Row>) {
+        let idx = id.0 as usize;
+        if idx >= self.chains.len() {
+            self.chains.resize_with(idx + 1, VersionChain::default);
+        }
+        self.chains[idx].install(ts, row);
+        self.version_epoch += 1;
+    }
+
+    /// Iterate the rows visible to a snapshot pinned at `ts`, in id order.
+    pub fn snapshot_scan(&self, ts: CommitTs) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.chains
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, c)| c.visible(ts).map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Materialize an owned, index-free copy of this table as visible at
+    /// snapshot `ts` (same schema, same `RowId`s). This is what the
+    /// snapshot read path evaluates SELECTs against: an immutable table
+    /// nobody latches or locks.
+    pub fn snapshot_at(&self, ts: CommitTs) -> Table {
+        let mut t = Table::new(self.name.clone(), self.schema.clone());
+        for (id, row) in self.snapshot_scan(ts) {
+            let idx = id.0 as usize;
+            if idx >= t.slots.len() {
+                t.slots.resize(idx + 1, None);
+            }
+            t.slots[idx] = Some(row.clone());
+            t.live += 1;
+        }
+        t
+    }
+
+    /// Seal the current working state as the one committed version of
+    /// every live row at `ts`, discarding all prior history. Used at
+    /// bootstrap (the setup script's commit) and after recovery, where the
+    /// loaded state carries only the latest committed rows.
+    pub fn seal_versions(&mut self, ts: CommitTs) {
+        self.chains.clear();
+        self.chains
+            .resize_with(self.slots.len(), VersionChain::default);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(row) = slot {
+                self.chains[i].install(ts, Some(row.clone()));
+            }
+        }
+        self.version_epoch += 1;
+    }
+
+    /// Prune versions unreachable from any snapshot at or after `horizon`
+    /// (see [`VersionChain::prune`]); returns how many were reclaimed.
+    pub fn prune_versions(&mut self, horizon: CommitTs) -> usize {
+        let pruned = self.chains.iter_mut().map(|c| c.prune(horizon)).sum();
+        if pruned > 0 {
+            self.version_epoch += 1;
+        }
+        pruned
+    }
+
+    /// Total retained versions across all chains (diagnostics/tests).
+    pub fn version_count(&self) -> usize {
+        self.chains.iter().map(|c| c.len()).sum()
+    }
+
+    /// The committed-history epoch (see the field docs): unchanged epoch +
+    /// non-decreasing snapshot timestamps ⇒ identical visible data.
+    pub fn version_epoch(&self) -> u64 {
+        self.version_epoch
+    }
+
+    /// The largest commit timestamp of any retained version (0 if none).
+    /// A materialization built at pin `ts` with `max_version_ts() <= ts`
+    /// is *clean*: no not-yet-visible version was already in the chains,
+    /// so (at the same epoch) the copy also serves later pins.
+    pub fn max_version_ts(&self) -> CommitTs {
+        self.chains.iter().map(|c| c.max_ts()).max().unwrap_or(0)
     }
 }
 
@@ -403,6 +512,74 @@ mod tests {
         // Next fresh insert goes after.
         let id = t.insert(vec![Value::Int(99)]).unwrap();
         assert_eq!(id, RowId(4));
+    }
+
+    #[test]
+    fn version_install_and_snapshot_scan() {
+        let mut t = flights_table();
+        t.seal_versions(1);
+        assert_eq!(t.version_count(), 4);
+        // Working mutation is invisible to snapshots until installed.
+        t.update(
+            RowId(0),
+            vec![Value::Int(122), Value::Date(100), Value::str("SFO")],
+        )
+        .unwrap();
+        t.delete(RowId(3)).unwrap();
+        let snap1 = t.snapshot_at(1);
+        assert_eq!(snap1.len(), 4);
+        assert_eq!(snap1.get(RowId(0)).unwrap()[2], Value::str("LA"));
+        assert_eq!(snap1.get(RowId(3)).unwrap()[2], Value::str("Paris"));
+        // Commit installs the update + a tombstone at ts 2.
+        t.install_version(
+            RowId(0),
+            2,
+            Some(vec![Value::Int(122), Value::Date(100), Value::str("SFO")]),
+        );
+        t.install_version(RowId(3), 2, None);
+        let snap2 = t.snapshot_at(2);
+        assert_eq!(snap2.len(), 3);
+        assert_eq!(snap2.get(RowId(0)).unwrap()[2], Value::str("SFO"));
+        assert!(snap2.get(RowId(3)).is_none());
+        // The older snapshot is unchanged (that is the point).
+        let snap1 = t.snapshot_at(1);
+        assert_eq!(snap1.get(RowId(0)).unwrap()[2], Value::str("LA"));
+        assert_eq!(
+            t.snapshot_scan(2).count(),
+            3,
+            "scan agrees with materialization"
+        );
+    }
+
+    #[test]
+    fn prune_versions_respects_the_horizon() {
+        let mut t = flights_table();
+        t.seal_versions(1);
+        t.install_version(
+            RowId(0),
+            2,
+            Some(vec![Value::Int(1), Value::Date(1), Value::str("A")]),
+        );
+        t.install_version(
+            RowId(0),
+            3,
+            Some(vec![Value::Int(2), Value::Date(2), Value::str("B")]),
+        );
+        assert_eq!(t.version_count(), 6);
+        // A snapshot at ts 2 is still live: only the ts-1 version of row 0
+        // is superseded below the horizon.
+        assert_eq!(t.prune_versions(2), 1);
+        assert_eq!(t.snapshot_at(2).get(RowId(0)).unwrap()[2], Value::str("A"));
+        // Horizon catches up: ts-2 goes too.
+        assert_eq!(t.prune_versions(3), 1);
+        assert_eq!(t.snapshot_at(3).get(RowId(0)).unwrap()[2], Value::str("B"));
+    }
+
+    #[test]
+    fn snapshot_of_unsealed_table_is_empty() {
+        let t = flights_table();
+        assert_eq!(t.snapshot_at(u64::MAX).len(), 0);
+        assert_eq!(t.version_count(), 0);
     }
 
     #[test]

@@ -147,7 +147,10 @@ mod tests {
     fn single_caller_leads_its_own_sync() {
         let wal = Wal::new();
         let gc = GroupCommitter::new(Duration::ZERO);
-        let range = wal.publish(&[LogRecord::Begin { tx: 1 }, LogRecord::Commit { tx: 1 }]);
+        let range = wal.publish(&[
+            LogRecord::Begin { tx: 1 },
+            LogRecord::Commit { tx: 1, ts: 0 },
+        ]);
         let batch = gc.sync_covering(&wal, range.end, &[1]);
         assert_eq!(batch, 1);
         assert_eq!(wal.sync_count(), 1);
@@ -177,7 +180,8 @@ mod tests {
                 let gc = gc.clone();
                 std::thread::spawn(move || {
                     let tx = i + 1;
-                    let range = wal.publish(&[LogRecord::Begin { tx }, LogRecord::Commit { tx }]);
+                    let range =
+                        wal.publish(&[LogRecord::Begin { tx }, LogRecord::Commit { tx, ts: 0 }]);
                     gc.sync_covering(&wal, range.end, &[tx]);
                     assert!(wal.durable_len() >= range.end, "sync must cover the range");
                 })
@@ -209,7 +213,7 @@ mod tests {
         let wal = Wal::new();
         let gc = GroupCommitter::new(Duration::ZERO);
         for tx in 1..=4u64 {
-            let range = wal.publish(&[LogRecord::Commit { tx }]);
+            let range = wal.publish(&[LogRecord::Commit { tx, ts: 0 }]);
             let durable = gc.sync_exclusive(&wal);
             assert!(durable >= range.end);
         }

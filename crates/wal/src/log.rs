@@ -173,20 +173,20 @@ mod tests {
     fn append_scan_roundtrip() {
         let wal = Wal::new();
         let l1 = wal.append(&LogRecord::Begin { tx: 1 });
-        let l2 = wal.append(&LogRecord::Commit { tx: 1 });
+        let l2 = wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         assert!(l1 < l2);
         wal.sync();
         let recs = wal.durable_records().unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].1, LogRecord::Begin { tx: 1 });
-        assert_eq!(recs[1].1, LogRecord::Commit { tx: 1 });
+        assert_eq!(recs[1].1, LogRecord::Commit { tx: 1, ts: 0 });
     }
 
     #[test]
     fn unsynced_tail_lost_on_crash() {
         let wal = Wal::new();
         wal.append_sync(&LogRecord::Begin { tx: 1 });
-        wal.append(&LogRecord::Commit { tx: 1 }); // not synced
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 }); // not synced
         wal.crash();
         let recs = wal.durable_records().unwrap();
         assert_eq!(recs.len(), 1);
@@ -207,7 +207,7 @@ mod tests {
         let wal = Wal::new();
         let range = wal.publish(&[
             LogRecord::Begin { tx: 1 },
-            LogRecord::Commit { tx: 1 },
+            LogRecord::Commit { tx: 1, ts: 0 },
             LogRecord::CommitBatch {
                 batch: 1,
                 txs: vec![1],
@@ -232,7 +232,7 @@ mod tests {
     fn truncate_prefix_keeps_lsns_stable() {
         let wal = Wal::new();
         let l1 = wal.append(&LogRecord::Begin { tx: 1 });
-        let l2 = wal.append(&LogRecord::Commit { tx: 1 });
+        let l2 = wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.sync();
         assert_eq!(wal.head(), Lsn(0));
         let dropped = wal.truncate_prefix(l2);
@@ -240,7 +240,7 @@ mod tests {
         assert_eq!(wal.head(), l2);
         // The surviving record keeps its original LSN…
         let recs = wal.durable_records().unwrap();
-        assert_eq!(recs, vec![(l2, LogRecord::Commit { tx: 1 })]);
+        assert_eq!(recs, vec![(l2, LogRecord::Commit { tx: 1, ts: 0 })]);
         // …and new appends continue in the same coordinate space.
         let l3 = wal.append_sync(&LogRecord::Begin { tx: 2 });
         assert!(l3 > l2);
@@ -250,7 +250,7 @@ mod tests {
         );
         assert!(wal.retained_len() < wal.len());
         // Truncation cannot reclaim the volatile tail.
-        wal.append(&LogRecord::Commit { tx: 2 });
+        wal.append(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.truncate_prefix(Lsn(wal.len()));
         assert_eq!(wal.head(), Lsn(wal.durable_len()));
         assert_eq!(wal.all_records().unwrap().len(), 1);
@@ -261,7 +261,7 @@ mod tests {
         let wal = Wal::new();
         wal.append(&LogRecord::Begin { tx: 1 });
         assert_eq!(wal.sync_count(), 0);
-        wal.append_sync(&LogRecord::Commit { tx: 1 });
+        wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.sync();
         assert_eq!(wal.sync_count(), 2);
         assert!(!wal.is_empty());

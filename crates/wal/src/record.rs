@@ -43,8 +43,15 @@ pub enum LogRecord {
         before: Vec<Value>,
         after: Vec<Value>,
     },
+    /// Transaction `tx` committed at commit timestamp `ts` — the
+    /// multi-version clock value its installed row versions carry. All
+    /// members of one commit batch share a `ts`; recovery re-seeds the
+    /// snapshot clock past the highest durable `ts` so post-restart
+    /// snapshots can never alias pre-crash history. `ts = 0` marks commits
+    /// that installed no versions (bootstrap replay, tests).
     Commit {
         tx: u64,
+        ts: u64,
     },
     Abort {
         tx: u64,
@@ -65,13 +72,18 @@ pub enum LogRecord {
         group: u64,
     },
     /// Fuzzy-checkpoint begin marker: opens checkpoint image `ckpt` and
-    /// records the ids of transactions active at checkpoint time. The
-    /// image is the [`LogRecord::CheckpointTable`] records that follow,
-    /// sealed by a matching [`LogRecord::CheckpointEnd`]; an image whose
-    /// end marker never became durable is torn and recovery ignores it.
+    /// records the ids of transactions active at checkpoint time, plus the
+    /// snapshot clock's stable frontier `ts` at the quiesce point (the
+    /// image's rows are exactly the committed versions visible at `ts`).
+    /// The image is the [`LogRecord::CheckpointTable`] records that
+    /// follow, sealed by a matching [`LogRecord::CheckpointEnd`]; an image
+    /// whose end marker never became durable is torn and recovery ignores
+    /// it. Carrying `ts` keeps the clock monotone across a restart even
+    /// when truncation has dropped every pre-checkpoint `Commit` record.
     Checkpoint {
         ckpt: u64,
         active: Vec<u64>,
+        ts: u64,
     },
     /// One durable boundary of the group-commit pipeline: the sync leader
     /// logs the transactions whose commit points the upcoming sync covers,
@@ -339,9 +351,10 @@ impl LogRecord {
                 put_values(&mut body, before);
                 put_values(&mut body, after);
             }
-            LogRecord::Commit { tx } => {
+            LogRecord::Commit { tx, ts } => {
                 body.put_u8(4);
                 body.put_u64_le(*tx);
+                body.put_u64_le(*ts);
             }
             LogRecord::Abort { tx } => {
                 body.put_u8(5);
@@ -361,10 +374,11 @@ impl LogRecord {
                 body.put_u8(8);
                 body.put_u64_le(*group);
             }
-            LogRecord::Checkpoint { ckpt, active } => {
+            LogRecord::Checkpoint { ckpt, active, ts } => {
                 body.put_u8(9);
                 body.put_u64_le(*ckpt);
                 put_u64s(&mut body, active);
+                body.put_u64_le(*ts);
             }
             LogRecord::CommitBatch { batch, txs } => {
                 body.put_u8(10);
@@ -445,6 +459,7 @@ impl LogRecord {
             },
             4 => LogRecord::Commit {
                 tx: need_u64(&mut buf)?,
+                ts: need_u64(&mut buf)?,
             },
             5 => LogRecord::Abort {
                 tx: need_u64(&mut buf)?,
@@ -463,6 +478,7 @@ impl LogRecord {
             9 => LogRecord::Checkpoint {
                 ckpt: need_u64(&mut buf)?,
                 active: get_u64s(&mut buf)?,
+                ts: need_u64(&mut buf)?,
             },
             10 => LogRecord::CommitBatch {
                 batch: need_u64(&mut buf)?,
@@ -533,7 +549,7 @@ mod tests {
                 before: vec![Value::str("old"), Value::Bool(false)],
                 after: vec![Value::str("new"), Value::Bool(true)],
             },
-            LogRecord::Commit { tx: 7 },
+            LogRecord::Commit { tx: 7, ts: 42 },
             LogRecord::Abort { tx: 8 },
             LogRecord::CreateTable {
                 name: "Flights".into(),
@@ -547,6 +563,7 @@ mod tests {
             LogRecord::Checkpoint {
                 ckpt: 2,
                 active: vec![10, 11],
+                ts: 42,
             },
             LogRecord::CommitBatch {
                 batch: 3,
@@ -593,7 +610,7 @@ mod tests {
 
     #[test]
     fn torn_tail_detected() {
-        let rec = LogRecord::Commit { tx: 1 };
+        let rec = LogRecord::Commit { tx: 1, ts: 1 };
         let bytes = rec.encode();
         // Truncated header.
         assert_eq!(LogRecord::decode(&bytes[..4], 0), Err(CodecError::Torn));

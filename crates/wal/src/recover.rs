@@ -48,6 +48,13 @@ pub struct RecoveryOutcome {
     /// (0 if none). A restarted engine must allocate strictly past this,
     /// or fresh transactions would collide with durable history.
     pub max_tx: u64,
+    /// Highest commit timestamp named anywhere in the durable prefix —
+    /// by a `Commit` record's `ts` or a checkpoint begin marker's `ts`
+    /// (0 if none). A restarted engine seals the recovered state as the
+    /// committed versions at this timestamp and restarts the snapshot
+    /// clock strictly past it, so post-restart snapshots never alias
+    /// pre-crash history.
+    pub max_commit_ts: u64,
 }
 
 /// Locate the last **complete** checkpoint image: the newest
@@ -82,7 +89,7 @@ fn record_max_tx(rec: &LogRecord) -> u64 {
         | LogRecord::Insert { tx, .. }
         | LogRecord::Delete { tx, .. }
         | LogRecord::Update { tx, .. }
-        | LogRecord::Commit { tx }
+        | LogRecord::Commit { tx, .. }
         | LogRecord::Abort { tx } => *tx,
         LogRecord::EntangleGroup { txs, .. } | LogRecord::CommitBatch { txs, .. } => {
             txs.iter().copied().max().unwrap_or(0)
@@ -104,11 +111,20 @@ fn record_max_tx(rec: &LogRecord) -> u64 {
 /// contract (written at a commit-batch boundary with no in-flight work in
 /// the shared log), so no undo is needed for pre-checkpoint history.
 pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
-    // `max_tx` ranges over the WHOLE prefix (including records before the
-    // checkpoint): tx-id allocation must clear everything durable.
+    // `max_tx` and `max_commit_ts` range over the WHOLE prefix (including
+    // records before the checkpoint): tx-id allocation and the snapshot
+    // clock must both clear everything durable.
     let max_tx = records
         .iter()
         .map(|(_, r)| record_max_tx(r))
+        .max()
+        .unwrap_or(0);
+    let max_commit_ts = records
+        .iter()
+        .map(|(_, r)| match r {
+            LogRecord::Commit { ts, .. } | LogRecord::Checkpoint { ts, .. } => *ts,
+            _ => 0,
+        })
         .max()
         .unwrap_or(0);
 
@@ -166,7 +182,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
             | LogRecord::Abort { tx } => {
                 seen.insert(*tx);
             }
-            LogRecord::Commit { tx } => {
+            LogRecord::Commit { tx, .. } => {
                 seen.insert(*tx);
                 committed.insert(*tx);
             }
@@ -287,6 +303,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
         checkpoint_lsn,
         replayed: suffix.len(),
         max_tx,
+        max_commit_ts,
     }
 }
 
@@ -319,7 +336,7 @@ mod tests {
         let wal = setup_wal();
         wal.append(&LogRecord::Begin { tx: 1 });
         insert(&wal, 1, 0, 10, 122);
-        wal.append_sync(&LogRecord::Commit { tx: 1 });
+        wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.crash();
         let out = recover(&wal.durable_records().unwrap());
         assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
@@ -345,7 +362,7 @@ mod tests {
         // t1 commits an insert.
         wal.append(&LogRecord::Begin { tx: 1 });
         insert(&wal, 1, 0, 10, 122);
-        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         // t2 updates then deletes, but never commits.
         wal.append(&LogRecord::Begin { tx: 2 });
         wal.append(&LogRecord::Update {
@@ -385,7 +402,7 @@ mod tests {
         });
         insert(&wal, 1, 0, 10, 122);
         insert(&wal, 2, 1, 20, 122);
-        wal.append_sync(&LogRecord::Commit { tx: 1 });
+        wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.crash(); // t2's commit never happened
         let out = recover(&wal.durable_records().unwrap());
         assert_eq!(
@@ -406,8 +423,8 @@ mod tests {
         });
         insert(&wal, 1, 0, 10, 122);
         insert(&wal, 2, 1, 20, 122);
-        wal.append(&LogRecord::Commit { tx: 1 });
-        wal.append(&LogRecord::Commit { tx: 2 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
+        wal.append(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.append_sync(&LogRecord::GroupCommit { group: 1 });
         wal.crash();
         let out = recover(&wal.durable_records().unwrap());
@@ -431,8 +448,8 @@ mod tests {
         insert(&wal, 1, 0, 1, 1);
         insert(&wal, 2, 1, 2, 2);
         insert(&wal, 3, 2, 3, 3);
-        wal.append(&LogRecord::Commit { tx: 1 });
-        wal.append_sync(&LogRecord::Commit { tx: 2 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
+        wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.crash(); // 3 never committed
         let out = recover(&wal.durable_records().unwrap());
         assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
@@ -449,8 +466,8 @@ mod tests {
         });
         insert(&wal, 1, 0, 1, 1);
         insert(&wal, 3, 1, 3, 3); // classical bystander
-        wal.append(&LogRecord::Commit { tx: 1 });
-        wal.append_sync(&LogRecord::Commit { tx: 3 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
+        wal.append_sync(&LogRecord::Commit { tx: 3, ts: 0 });
         wal.crash();
         let out = recover(&wal.durable_records().unwrap());
         let t = out.db.table("Reserve").unwrap();
@@ -468,7 +485,7 @@ mod tests {
         let wal = setup_wal();
         wal.append(&LogRecord::Begin { tx: 1 });
         insert(&wal, 1, 0, 10, 122);
-        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.append(&LogRecord::CommitBatch {
             batch: 1,
             txs: vec![1],
@@ -495,9 +512,9 @@ mod tests {
             group: 1,
             txs: vec![1, 2],
         });
-        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.sync(); // crash point: inside the batch, before Commit{2}
-        wal.append(&LogRecord::Commit { tx: 2 });
+        wal.append(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.append(&LogRecord::CommitBatch {
             batch: 1,
             txs: vec![1, 2],
@@ -529,6 +546,7 @@ mod tests {
         wal.append(&LogRecord::Checkpoint {
             ckpt,
             active: vec![],
+            ts: 0,
         });
         wal.append(&LogRecord::CheckpointTable {
             ckpt,
@@ -546,12 +564,12 @@ mod tests {
         // insert row 0; the image supersedes it with different contents).
         wal.append(&LogRecord::Begin { tx: 1 });
         insert(&wal, 1, 0, 1, 1);
-        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         image(&wal, 1, vec![(0, vec![Value::Int(99), Value::Int(122)])]);
         // Post-checkpoint suffix: tx 2 commits another row.
         wal.append(&LogRecord::Begin { tx: 2 });
         insert(&wal, 2, 1, 20, 123);
-        wal.append_sync(&LogRecord::Commit { tx: 2 });
+        wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.crash();
         let out = recover(&wal.durable_records().unwrap());
         assert_eq!(out.checkpoint, Some(1));
@@ -574,11 +592,12 @@ mod tests {
         // Suffix after the first image.
         wal.append(&LogRecord::Begin { tx: 5 });
         insert(&wal, 5, 1, 2, 123);
-        wal.append(&LogRecord::Commit { tx: 5 });
+        wal.append(&LogRecord::Commit { tx: 5, ts: 0 });
         // Second checkpoint begins but its end marker is torn off.
         wal.append(&LogRecord::Checkpoint {
             ckpt: 2,
             active: vec![],
+            ts: 0,
         });
         wal.append(&LogRecord::CheckpointTable {
             ckpt: 2,
@@ -603,9 +622,10 @@ mod tests {
         wal.append(&LogRecord::Checkpoint {
             ckpt: 1,
             active: vec![3, 4],
+            ts: 0,
         });
         wal.append(&LogRecord::CheckpointEnd { ckpt: 1 });
-        wal.append_sync(&LogRecord::Commit { tx: 4 });
+        wal.append_sync(&LogRecord::Commit { tx: 4, ts: 0 });
         wal.crash();
         let out = recover(&wal.durable_records().unwrap());
         assert!(
@@ -621,11 +641,12 @@ mod tests {
         let wal = setup_wal();
         wal.append(&LogRecord::Begin { tx: 1 });
         insert(&wal, 1, 0, 10, 122);
-        wal.append(&LogRecord::Commit { tx: 1 });
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         // Checkpoint the committed state, sync, truncate to the image.
         let begin = wal.append(&LogRecord::Checkpoint {
             ckpt: 1,
             active: vec![],
+            ts: 0,
         });
         wal.append(&LogRecord::CheckpointTable {
             ckpt: 1,
@@ -640,7 +661,7 @@ mod tests {
         // Post-truncation traffic.
         wal.append(&LogRecord::Begin { tx: 2 });
         insert(&wal, 2, 1, 20, 123);
-        wal.append_sync(&LogRecord::Commit { tx: 2 });
+        wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.crash();
         let records = wal.durable_records().unwrap();
         assert_eq!(records[0].0, begin, "log head is the checkpoint begin LSN");

@@ -46,13 +46,18 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
                 after
             }
         ),
-        any::<u64>().prop_map(|tx| LogRecord::Commit { tx }),
+        (any::<u64>(), any::<u64>()).prop_map(|(tx, ts)| LogRecord::Commit { tx, ts }),
         any::<u64>().prop_map(|tx| LogRecord::Abort { tx }),
         (any::<u64>(), prop::collection::vec(any::<u64>(), 1..5))
             .prop_map(|(group, txs)| LogRecord::EntangleGroup { group, txs }),
         any::<u64>().prop_map(|group| LogRecord::GroupCommit { group }),
-        (any::<u64>(), prop::collection::vec(any::<u64>(), 0..5))
-            .prop_map(|(ckpt, active)| LogRecord::Checkpoint { ckpt, active }),
+        (any::<u64>(), prop::collection::vec(any::<u64>(), 0..5)).prop_map(|(ckpt, active)| {
+            LogRecord::Checkpoint {
+                ckpt,
+                active,
+                ts: ckpt,
+            }
+        }),
         (any::<u64>(), prop::collection::vec(any::<u64>(), 1..5))
             .prop_map(|(batch, txs)| LogRecord::CommitBatch { batch, txs }),
         (

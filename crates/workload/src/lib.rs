@@ -4,13 +4,15 @@
 //! (§5.2): the synthetic social graph standing in for the Slashdot dataset,
 //! the Appendix D travel schema and data, the six Figure 6(a) workloads
 //! (`NoSocial`/`Social`/`Entangled` × `-T`/`-Q`), the pending-transaction
-//! plans of Figure 6(b), and the spoke-hub / cyclic coordination structures
-//! of Figure 6(c).
+//! plans of Figure 6(b), the spoke-hub / cyclic coordination structures
+//! of Figure 6(c), and the read-mostly [`readmix`] mix the `readscale`
+//! bench uses to measure the multi-version snapshot read path.
 //!
 //! Everything is seeded and deterministic, so bench results replay.
 
 pub mod fig6a;
 pub mod fig6bc;
+pub mod readmix;
 pub mod social;
 pub mod travel;
 
@@ -19,5 +21,6 @@ pub use fig6bc::{
     cyclic_group, generate_structured, partnerless_program, pending_plan, spoke_hub_group,
     PendingPlan, Structure,
 };
+pub use readmix::{generate_read_mix, read_mix_reader, read_mix_writer};
 pub use social::SocialGraph;
 pub use travel::{city, engine_config, scheduler_for, TravelData, TravelParams, WorkloadMode};

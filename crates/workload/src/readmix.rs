@@ -1,0 +1,122 @@
+//! Read-mostly workload for the `readscale` bench: a production-shaped
+//! mix where most transactions are pure SELECTs (profile lookups, flight
+//! searches, reservation checks) and a minority are the classical booking
+//! writers of Appendix D.
+//!
+//! The readers' footprint deliberately overlaps the writers' write-hot
+//! `Reserve` table: with snapshot reads off, every reader's table-S lock
+//! on `Reserve` conflicts with the writers' IX locks (the classic
+//! readers-block-writers-block-readers pile-up this workload exists to
+//! measure); with snapshot reads on, readers touch no lock at all and the
+//! mix scales with connections.
+
+use crate::travel::{city, TravelData};
+use entangled_txn::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pure-read transaction: check the user's reservations, look up the
+/// profile and friends, search flights out and back, re-check the
+/// reservations (the repeatable-read shape of a booking dashboard). Six
+/// SELECTs, no writes — eligible for the snapshot read path.
+///
+/// Under strict 2PL the *first* statement acquires the table-S lock on
+/// `Reserve` and holds it to commit, so the reader excludes writers for
+/// its whole lifetime; on the snapshot path it locks nothing.
+pub fn read_mix_reader(uid: usize, dest: &str) -> Program {
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT fid FROM Reserve WHERE uid={uid}; \
+         SELECT @uid, @hometown FROM User WHERE uid={uid}; \
+         SELECT uid2 FROM Friends WHERE uid1={uid} LIMIT 1; \
+         SELECT @fid FROM Flight WHERE source=@hometown AND destination='{dest}'; \
+         SELECT fid FROM Flight WHERE source='{dest}' AND destination=@hometown; \
+         SELECT fid FROM Reserve WHERE uid={uid}; \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// The booking writer of the mix: Appendix D's individual booking plus a
+/// trailing confirm-read, so the `Reserve` IX/X locks stay held across
+/// one more statement (as a real booking flow's confirmation step would).
+pub fn read_mix_writer(uid: usize, dest: &str) -> Program {
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT @uid, @hometown FROM User WHERE uid={uid}; \
+         SELECT @fid FROM Flight WHERE source=@hometown AND destination='{dest}'; \
+         INSERT INTO Reserve (uid, fid) VALUES (@uid, @fid); \
+         SELECT fid FROM Reserve WHERE uid=@uid; \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// Generate a read-mostly mix: `write_pct` percent of the transactions
+/// are booking writers ([`read_mix_writer`]), the rest are
+/// [`read_mix_reader`]s. Seeded and deterministic, like every generator
+/// in this crate.
+pub fn generate_read_mix(
+    data: &TravelData,
+    count: usize,
+    write_pct: u32,
+    seed: u64,
+) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let uid = i % data.params.users;
+        let dest = city(data.reachable_destination(uid, &mut rng));
+        if rng.gen_range(0..100u32) < write_pct {
+            out.push(read_mix_writer(uid, &dest));
+        } else {
+            out.push(read_mix_reader(uid, &dest));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::SocialGraph;
+    use crate::travel::TravelParams;
+
+    fn data() -> TravelData {
+        let params = TravelParams {
+            users: 40,
+            cities: 4,
+            flights: 60,
+            seed: 9,
+        };
+        TravelData::generate(params, SocialGraph::slashdot_like(40, 9))
+    }
+
+    #[test]
+    fn mix_ratio_and_read_only_split() {
+        let d = data();
+        let programs = generate_read_mix(&d, 200, 10, 9);
+        assert_eq!(programs.len(), 200);
+        let readers = programs.iter().filter(|p| p.is_read_only()).count();
+        let writers = 200 - readers;
+        assert!(
+            (10..=35).contains(&writers),
+            "~10% writers expected, got {writers}"
+        );
+        assert!(readers > 150);
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let d = data();
+        let a: Vec<usize> = generate_read_mix(&d, 50, 20, 3)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        let b: Vec<usize> = generate_read_mix(&d, 50, 20, 3)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

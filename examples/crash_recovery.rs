@@ -79,7 +79,7 @@ fn main() {
         row: 1,
         values: vec![Value::str("Minnie"), Value::Int(122)],
     });
-    wal.append_sync(&LogRecord::Commit { tx: 1 });
+    wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
     // CRASH: t2's commit never reaches the disk.
     wal.crash();
     let outcome = recover(&wal.durable_records().expect("readable log"));
