@@ -2,7 +2,7 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
@@ -25,16 +25,23 @@
 //! `BENCH_readscale.json` (also a CI artifact). The acceptance target is
 //! snapshot-on ≥ 1.5× snapshot-off at 8 connections.
 //!
+//! `pointmix` measures the named secondary indexes on a point-access mix
+//! (80% single-row UPDATE+confirm writers): committed-txns/sec and
+//! rows-scanned-per-statement with the indexes installed vs the no-index
+//! scan ablation, written to `BENCH_index.json` (also a CI artifact). The
+//! acceptance target is indexed ≥ 3× no-index at 8 connections with
+//! rows-scanned per point statement dropping from O(table) to O(1).
+//!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
 //! curve, in seconds.
 
 use std::io::Write;
 use youtopia_bench::{
-    durability_json, readscale_json, readscale_speedup, recovery_json, run_ablated,
-    run_durability_series, run_fig6a, run_fig6b, run_fig6c, run_readscale_series,
-    run_recovery_series, run_scaling_series, scaling_json, scaling_speedup, Ablation, Scale,
-    READSCALE_WRITE_PCT,
+    durability_json, pointmix_json, pointmix_speedup, readscale_json, readscale_speedup,
+    recovery_json, run_ablated, run_durability_series, run_fig6a, run_fig6b, run_fig6c,
+    run_pointmix_series, run_readscale_series, run_recovery_series, run_scaling_series,
+    scaling_json, scaling_speedup, Ablation, Scale, POINTMIX_WRITE_PCT, READSCALE_WRITE_PCT,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -59,6 +66,7 @@ fn main() {
         "durability" => durability(&mut out, &scale),
         "recovery" => recovery(&mut out, &scale),
         "readscale" => readscale(&mut out, &scale),
+        "pointmix" => pointmix(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
@@ -68,10 +76,11 @@ fn main() {
             durability(&mut out, &scale);
             recovery(&mut out, &scale);
             readscale(&mut out, &scale);
+            pointmix(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|all"
             );
             std::process::exit(2);
         }
@@ -279,6 +288,54 @@ fn readscale(out: &mut impl Write, scale: &Scale) {
     let json = readscale_json(scale, &series);
     std::fs::write("BENCH_readscale.json", &json).expect("write BENCH_readscale.json");
     writeln!(out, "# baseline written to BENCH_readscale.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Pointmix: the point-access mix with the named secondary indexes
+/// installed vs the no-index scan ablation, plus the `BENCH_index.json`
+/// CI baseline. Acceptance: indexed ≥ 3× no-index at 8 connections with
+/// rows-scanned per point statement O(1) instead of O(table).
+fn pointmix(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Pointmix — index plans vs heap scans").unwrap();
+    writeln!(
+        out,
+        "# {} transactions per point, {}% point writers; columns: txns/sec (rows/stmt)",
+        scale.txns, POINTMIX_WRITE_PCT
+    )
+    .unwrap();
+    let series = run_pointmix_series(scale);
+    write!(out, "{:>12}", "connections").unwrap();
+    for s in &series {
+        write!(out, " {:>24}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>12}", series[0].points[i].scaling.connections).unwrap();
+        for s in &series {
+            let p = &s.points[i];
+            write!(
+                out,
+                " {:>24}",
+                format!(
+                    "{:.1} ({:.1})",
+                    p.scaling.txns_per_sec, p.rows_per_statement
+                )
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        out.flush().unwrap();
+    }
+    writeln!(
+        out,
+        "# indexed / no-index at max connections: {:.2}x (acceptance floor 3x)",
+        pointmix_speedup(&series)
+    )
+    .unwrap();
+    let json = pointmix_json(scale, &series);
+    std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
+    writeln!(out, "# baseline written to BENCH_index.json").unwrap();
     writeln!(out).unwrap();
 }
 

@@ -13,8 +13,9 @@ use entangled_txn::{
 use std::time::{Duration, Instant};
 use youtopia_entangle::SolverConfig;
 use youtopia_workload::{
-    engine_config, generate, generate_read_mix, generate_structured, pending_plan, scheduler_for,
-    Family, SocialGraph, Structure, TravelData, TravelParams, WorkloadMode,
+    engine_config, generate, generate_point_mix, generate_read_mix, generate_structured,
+    pending_plan, point_index_script, point_seed_script, scheduler_for, Family, SocialGraph,
+    Structure, TravelData, TravelParams, WorkloadMode,
 };
 
 /// Experiment scale, trading fidelity for wall-clock time.
@@ -535,6 +536,172 @@ pub fn readscale_json(scale: &Scale, series: &[ReadscaleSeries]) -> String {
     out
 }
 
+/// Percentage of point writers in the `pointmix` mix: write-heavy, so
+/// the locked access paths (UPDATE target resolution and the in-txn
+/// confirm SELECT) dominate what the index is supposed to accelerate.
+pub const POINTMIX_WRITE_PCT: u32 = 80;
+
+/// Point statements per `pointmix` program (reader: two point SELECTs;
+/// writer: point UPDATE + confirm point SELECT) — the denominator of the
+/// rows-scanned-per-statement figure.
+pub const POINTMIX_STATEMENTS_PER_TXN: usize = 2;
+
+/// One measured point of the `pointmix` driver: [`ScalingPoint`] plus the
+/// access-path counters the secondary indexes exist to change.
+#[derive(Debug, Clone)]
+pub struct PointmixPoint {
+    pub scaling: ScalingPoint,
+    /// Base rows materialized as scan/probe candidates across the run.
+    pub rows_scanned: u64,
+    /// Index probes served (named-index point plans + eval probes).
+    pub index_lookups: u64,
+    /// `rows_scanned` per committed point statement: O(1) with the index,
+    /// O(table) without (retries inflate it slightly; the orders of
+    /// magnitude are what matter).
+    pub rows_per_statement: f64,
+}
+
+/// One `pointmix` driver series: the point-access mix with the named
+/// secondary indexes installed, or the no-index ablation (same data, same
+/// programs, scan plans only).
+#[derive(Debug, Clone)]
+pub struct PointmixSeries {
+    pub label: String,
+    pub indexed: bool,
+    pub points: Vec<PointmixPoint>,
+}
+
+/// Measure one `pointmix` point: committed-txns/sec and rows-scanned of
+/// the point-access mix at a connection count, with or without the named
+/// secondary indexes of [`point_index_script`].
+///
+/// Without the index every point UPDATE resolves its targets under the
+/// table-S + IX write-scan protocol, so concurrent writers serialize on
+/// the table *and* pay O(table) per statement; with it they take
+/// table-IX + key-X + one row-X and overlap freely. The lock timeout is
+/// shortened as in `readscale` so the ablation's S→IX upgrade standoffs
+/// churn into retries instead of stalling runs.
+pub fn run_pointmix(scale: &Scale, connections: usize, indexed: bool) -> PointmixPoint {
+    assert!(
+        !scale.cost.per_statement.is_zero(),
+        "the pointmix driver needs a non-zero CostModel"
+    );
+    let data = scale.data();
+    let mut cfg = engine_config(WorkloadMode::Transactional, scale.cost, false);
+    cfg.lock_timeout = Duration::from_millis(3);
+    let engine = data.build_engine(cfg);
+    engine
+        .setup(&point_seed_script(&data))
+        .expect("valid seed script");
+    if indexed {
+        engine.setup(point_index_script()).expect("valid index DDL");
+    }
+    let mut sched = scheduler_for(engine, connections);
+    let programs = generate_point_mix(&data, scale.txns, POINTMIX_WRITE_PCT, scale.seed);
+    let n = programs.len();
+    let start = Instant::now();
+    for p in programs {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+    let seconds = start.elapsed().as_secs_f64();
+    let scaling = scaling_point(
+        Point {
+            label: format!("pointmix index={}", if indexed { "on" } else { "off" }),
+            x: connections as f64,
+            seconds,
+            committed: stats.committed,
+            failed: n - stats.committed,
+            syncs: stats.syncs,
+        },
+        connections,
+    );
+    let statements = (scaling.committed * POINTMIX_STATEMENTS_PER_TXN).max(1);
+    PointmixPoint {
+        rows_scanned: stats.rows_scanned,
+        index_lookups: stats.index_lookups,
+        rows_per_statement: stats.rows_scanned as f64 / statements as f64,
+        scaling,
+    }
+}
+
+/// The `pointmix` experiment: the point-access mix over
+/// [`SCALING_CONNECTIONS`], indexed vs the no-index ablation. The
+/// acceptance target is indexed ≥ 3× no-index (committed txns/sec) at 8
+/// connections, with `rows_per_statement` dropping from O(table) to O(1).
+pub fn run_pointmix_series(scale: &Scale) -> Vec<PointmixSeries> {
+    [true, false]
+        .iter()
+        .map(|&indexed| PointmixSeries {
+            label: format!("pointmix index={}", if indexed { "on" } else { "off" }),
+            indexed,
+            points: SCALING_CONNECTIONS
+                .iter()
+                .map(|&c| run_pointmix(scale, c, indexed))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Throughput ratio of the indexed series over the no-index ablation at
+/// the highest connection count (the acceptance figure).
+pub fn pointmix_speedup(series: &[PointmixSeries]) -> f64 {
+    let at_max = |indexed: bool| {
+        series
+            .iter()
+            .find(|s| s.indexed == indexed)
+            .and_then(|s| s.points.last())
+            .map_or(0.0, |p| p.scaling.txns_per_sec)
+    };
+    let (on, off) = (at_max(true), at_max(false));
+    if off > 0.0 {
+        on / off
+    } else {
+        0.0
+    }
+}
+
+/// Serialize pointmix series as the `BENCH_index.json` baseline tracked
+/// as a CI artifact (the [`scaling_json`] shape plus the per-point
+/// access-path counters).
+pub fn pointmix_json(scale: &Scale, series: &[PointmixSeries]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"pointmix\",\n");
+    out.push_str(&format!("  \"txns_per_point\": {},\n", scale.txns));
+    out.push_str(&format!("  \"write_pct\": {POINTMIX_WRITE_PCT},\n"));
+    out.push_str(&format!(
+        "  \"indexed_over_noindex_at_max\": {:.3},\n  \"series\": [\n",
+        pointmix_speedup(series)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"label\": \"{}\",\n      \"indexed\": {},\n      \"speedup_max_over_1\": {:.3},\n      \"points\": [\n",
+            s.label,
+            s.indexed,
+            scaling_speedup(&s.points.iter().map(|p| p.scaling.clone()).collect::<Vec<_>>())
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"rows_scanned\": {}, \"index_lookups\": {}, \"rows_per_statement\": {:.3}}}{}\n",
+                p.scaling.connections,
+                p.scaling.seconds,
+                p.scaling.committed,
+                p.scaling.failed,
+                p.scaling.txns_per_sec,
+                p.rows_scanned,
+                p.index_lookups,
+                p.rows_per_statement,
+                if pi + 1 < s.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if si + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One measured point of the `recovery` driver: restart cost after a
 /// crash at a given transaction count.
 #[derive(Debug, Clone)]
@@ -979,6 +1146,93 @@ mod tests {
         assert!(json.contains("\"experiment\": \"readscale\""));
         assert!(json.contains("\"snapshot_reads\": true"));
         assert!(json.contains("\"snapshot_on_over_off_at_max\": 2.000"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
+    }
+
+    #[test]
+    fn pointmix_driver_index_beats_the_scan_ablation() {
+        // The acceptance criterion, in miniature: on the point-access
+        // mix the named index must not lose transactions, must beat the
+        // scan ablation at 8 connections, and must cut rows-scanned per
+        // point statement from O(table) to O(1). (The full ≥ 3× figure
+        // is measured by `repro pointmix` at bench scale.)
+        let scale = Scale {
+            txns: 48,
+            users: 60,
+            cities: 4,
+            flights: 80,
+            cost: CostModel {
+                per_statement: Duration::from_millis(1),
+                per_entangled_eval: Duration::ZERO,
+                per_commit: Duration::ZERO,
+            },
+            seed: 4,
+        };
+        let on = run_pointmix(&scale, 8, true);
+        assert_eq!(
+            on.scaling.committed, 48,
+            "indexed mix commits everything: {on:?}"
+        );
+        let off = run_pointmix(&scale, 8, false);
+        assert!(
+            on.scaling.txns_per_sec > off.scaling.txns_per_sec,
+            "index plans must outscale heap scans: on={:.1} off={:.1}",
+            on.scaling.txns_per_sec,
+            off.scaling.txns_per_sec
+        );
+        // O(1) vs O(table): every point statement probes ≤ a couple of
+        // rows indexed, and at least half the (60-row) table unindexed.
+        assert!(
+            on.rows_per_statement < 4.0,
+            "indexed point statements must be O(1): {on:?}"
+        );
+        assert!(
+            off.rows_per_statement > 30.0,
+            "unindexed point statements scan the heap: {off:?}"
+        );
+        assert!(on.index_lookups > 0 && off.index_lookups == 0);
+    }
+
+    #[test]
+    fn pointmix_json_is_well_formed() {
+        let scale = Scale::quick();
+        let point = |tps: f64, rows: u64, lookups: u64| PointmixPoint {
+            scaling: ScalingPoint {
+                connections: 8,
+                seconds: 0.5,
+                committed: 100,
+                failed: 0,
+                txns_per_sec: tps,
+                syncs_per_commit: 0.1,
+            },
+            rows_scanned: rows,
+            index_lookups: lookups,
+            rows_per_statement: rows as f64 / 200.0,
+        };
+        let series = vec![
+            PointmixSeries {
+                label: "pointmix index=on".into(),
+                indexed: true,
+                points: vec![point(300.0, 240, 400)],
+            },
+            PointmixSeries {
+                label: "pointmix index=off".into(),
+                indexed: false,
+                points: vec![point(100.0, 60_000, 0)],
+            },
+        ];
+        assert_eq!(pointmix_speedup(&series), 3.0);
+        let json = pointmix_json(&scale, &series);
+        assert!(json.contains("\"experiment\": \"pointmix\""));
+        assert!(json.contains("\"indexed\": true"));
+        assert!(json.contains("\"indexed\": false"));
+        assert!(json.contains("\"indexed_over_noindex_at_max\": 3.000"));
+        assert!(json.contains("\"rows_per_statement\": 1.200"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

@@ -19,11 +19,12 @@ use crate::program::{Txn, Undo};
 use std::cell::RefCell;
 use youtopia_lock::{LockMode, Resource, TxId};
 use youtopia_sql::{
-    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, Select, Statement, VarEnv,
+    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, point_probe, IndexProbe,
+    Select, Statement, VarEnv,
 };
 use youtopia_storage::{
-    eval_spj, CatalogSnapshot, CommitTs, Expr, RowId, SnapshotTables, StorageError, Table,
-    TableProvider, Value,
+    eval_spj_counted, CatalogSnapshot, CommitTs, Expr, RowId, ScanStats, SnapshotTables,
+    StorageError, Table, TableProvider, Value,
 };
 use youtopia_wal::LogRecord;
 
@@ -129,7 +130,9 @@ impl<'e> TxnContext<'e> {
         // Lowering can surface tables beyond the syntactic footprint;
         // make sure all of them are materialized before evaluation.
         let view = self.snapshot_view(&tables, ts);
-        let out = eval_spj(&view, &lowered.query)?;
+        let mut stats = ScanStats::default();
+        let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
+        self.engine.note_scan(stats);
         if self.engine.config.record_history {
             for t in &tables {
                 self.engine.recorder.snapshot_read(txn.tx, t);
@@ -161,6 +164,144 @@ impl<'e> TxnContext<'e> {
                 self.lock(tx, Resource::table(table), LockMode::IX)
             }
         }
+    }
+
+    /// Two-level lock acquisition for an index point access: intention
+    /// mode on the table, `mode` on the index-key resource, then `mode`
+    /// on every candidate row the probe returns. The key lock is what
+    /// makes the candidate set stable — any statement that would add or
+    /// remove a row at this key must take X on the same resource first —
+    /// so probing *after* the key lock is granted cannot miss or leak
+    /// membership. Returns the candidate row ids (row locks held).
+    ///
+    /// Latch discipline: the probe's read latch is dropped before any row
+    /// lock is requested — lock waits never happen under a latch.
+    fn lock_index_point(
+        &self,
+        tx: u64,
+        table: &str,
+        probe: &IndexProbe,
+        table_mode: LockMode,
+        mode: LockMode,
+    ) -> Result<Vec<RowId>, EngineError> {
+        self.lock(tx, Resource::table(table), table_mode)?;
+        self.lock(
+            tx,
+            index_key_resource(table, &probe.index, &probe.key),
+            mode,
+        )?;
+        let handle = self.snapshot.handle(table)?;
+        let ids: Vec<RowId> = {
+            let guard = handle.read();
+            guard
+                .named_indexes()
+                .get(&probe.index)
+                .map(|i| i.probe(&probe.key).to_vec())
+                .unwrap_or_default()
+        };
+        for id in &ids {
+            self.lock(tx, Resource::row(table, id.0), mode)?;
+        }
+        self.engine.note_scan(ScanStats {
+            rows_scanned: ids.len() as u64,
+            index_lookups: 1,
+        });
+        Ok(ids)
+    }
+
+    /// X locks on the index-key resources a write invalidates: for every
+    /// named index on `table`, the key a row enters or leaves. Taken
+    /// *before* the heap mutation, so a point reader holding key S can
+    /// never observe membership shift under it (the quasi-read/phantom
+    /// protection of the two-level protocol). Only needed at row
+    /// granularity — a table X lock already excludes the IS readers.
+    fn lock_index_keys_for_write(
+        &self,
+        tx: u64,
+        table: &str,
+        defs: &[(String, usize)],
+        old: Option<&[Value]>,
+        new: Option<&[Value]>,
+    ) -> Result<(), EngineError> {
+        if self.engine.config.granularity != LockGranularity::Row {
+            return Ok(());
+        }
+        for (index, col) in defs {
+            let (o, n) = (old.map(|r| &r[*col]), new.map(|r| &r[*col]));
+            if let Some(key) = o {
+                if n != Some(key) {
+                    self.lock(tx, index_key_resource(table, index, key), LockMode::X)?;
+                }
+            }
+            if let Some(key) = n {
+                if o != Some(key) {
+                    self.lock(tx, index_key_resource(table, index, key), LockMode::X)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lock and collect the target rows of an UPDATE/DELETE. With a point
+    /// probe at row granularity the statement takes table IX + key X +
+    /// row X and touches only the probe's candidates; otherwise it falls
+    /// back to the write-scan protocol (table X, or S + IX + row X) over
+    /// a full scan. Probed targets are re-read and re-filtered after
+    /// their row locks are granted: the key lock freezes index membership
+    /// at the key, but a racing writer that held a candidate's row lock
+    /// first may have changed its non-key columns before releasing.
+    fn write_targets(
+        &self,
+        tx: u64,
+        table: &str,
+        handle: &youtopia_storage::TableHandle,
+        pred: &Expr,
+        probe: Option<&IndexProbe>,
+    ) -> Result<Vec<(RowId, Vec<Value>)>, EngineError> {
+        let config = &self.engine.config;
+        if let (Some(p), LockGranularity::Row) = (probe, config.granularity) {
+            let ids = self.lock_index_point(tx, table, p, LockMode::IX, LockMode::X)?;
+            let guard = handle.read();
+            let mut targets = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(row) = guard.get(id) {
+                    if pred
+                        .eval_bool(&[row.as_slice()])
+                        .map_err(|_| EngineError::Protocol("non-boolean WHERE"))?
+                    {
+                        targets.push((id, row.clone()));
+                    }
+                }
+            }
+            return Ok(targets);
+        }
+        self.lock_for_write_scan(tx, table)?;
+        let guard = handle.read();
+        self.engine.note_scan(ScanStats {
+            rows_scanned: guard.len() as u64,
+            index_lookups: 0,
+        });
+        let targets = collect_matches(&guard, pred)?;
+        drop(guard);
+        if config.granularity == LockGranularity::Row {
+            for (id, _) in &targets {
+                self.lock(tx, Resource::row(table, id.0), LockMode::X)?;
+            }
+        }
+        Ok(targets)
+    }
+
+    /// The named-index definitions of `table` as `(name, column)` pairs,
+    /// read under a short latch (empty for unindexed tables — the common
+    /// case pays one read guard and no allocation).
+    fn named_index_defs(&self, table: &str) -> Result<Vec<(String, usize)>, EngineError> {
+        let handle = self.snapshot.handle(table)?;
+        let guard = handle.read();
+        Ok(guard
+            .named_indexes()
+            .iter()
+            .map(|i| (i.name().to_string(), i.column()))
+            .collect())
     }
 
     /// Execute one classical statement on behalf of `txn`.
@@ -195,12 +336,56 @@ impl<'e> TxnContext<'e> {
                 let mut tables = lowered.query.tables.clone();
                 tables.sort();
                 tables.dedup();
+                // Index-backed point read: a single-table SELECT whose
+                // predicate pins an indexed column to a computable key
+                // takes table IS + index-key S + row S on the candidates
+                // instead of a table S lock, so point readers pass point
+                // writers on other rows. The key lock freezes index
+                // membership at the key (phantom protection the table S
+                // lock used to provide); holding the locks to commit keeps
+                // the read repeatable. Not under EarlyReadLockRelease:
+                // that ablation's contract is statement-scoped table locks.
+                if tables.len() == 1
+                    && config.granularity == LockGranularity::Row
+                    && config.isolation != IsolationMode::EarlyReadLockRelease
+                {
+                    let table = &tables[0];
+                    let probe = {
+                        let view = self.snapshot.read_view(&tables);
+                        point_probe(&view, table, &lowered.query.predicate)?
+                    };
+                    if let Some(p) = probe {
+                        let ids =
+                            self.lock_index_point(txn.tx, table, &p, LockMode::IS, LockMode::S)?;
+                        let out = {
+                            let view = self.snapshot.read_view(&tables);
+                            let mut stats = ScanStats::default();
+                            let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
+                            self.engine.note_scan(stats);
+                            out
+                        };
+                        if config.record_history {
+                            for id in &ids {
+                                self.engine.recorder.read_row(txn.tx, table, id.0);
+                            }
+                        }
+                        if let Some(row) = out.rows.first() {
+                            for (idx, var) in &lowered.bindings {
+                                txn.env.insert(var.clone(), row[*idx].clone());
+                            }
+                        }
+                        return Ok(());
+                    }
+                }
                 for t in &tables {
                     self.lock(txn.tx, Resource::table(t), LockMode::S)?;
                 }
                 let out = {
                     let view = self.snapshot.read_view(&tables);
-                    eval_spj(&view, &lowered.query)?
+                    let mut stats = ScanStats::default();
+                    let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
+                    self.engine.note_scan(stats);
+                    out
                 };
                 if config.record_history {
                     for t in &tables {
@@ -236,6 +421,10 @@ impl<'e> TxnContext<'e> {
                 }
                 let handle = self.snapshot.handle(table)?;
                 let row = build_insert_row(&handle.read(), table, columns, values, &txn.env)?;
+                // Key locks precede the heap insert: a point reader holding
+                // key S must not see this row appear mid-transaction.
+                let defs = self.named_index_defs(table)?;
+                self.lock_index_keys_for_write(txn.tx, table, &defs, None, Some(&row))?;
                 let id = handle
                     .write()
                     .insert(row.clone())
@@ -269,7 +458,7 @@ impl<'e> TxnContext<'e> {
                 // Resolve names once per statement: the predicate and every
                 // SET scalar become index-bound expressions evaluated per
                 // row with no further lookups.
-                let (pred, set_exprs) = {
+                let (pred, set_exprs, probe) = {
                     let view = self.snapshot.read_view(std::slice::from_ref(table));
                     let schema = view.table(table)?.schema();
                     let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
@@ -285,15 +474,11 @@ impl<'e> TxnContext<'e> {
                                 Ok((idx, lower_row_scalar(&view, table, s, &txn.env)?))
                             })
                             .collect::<Result<_, EngineError>>()?;
-                    (pred, set_exprs)
+                    let probe = point_probe(&view, table, &pred)?;
+                    (pred, set_exprs, probe)
                 };
-                self.lock_for_write_scan(txn.tx, table)?;
-                let targets: Vec<(RowId, Vec<Value>)> = collect_matches(&handle.read(), &pred)?;
-                if config.granularity == LockGranularity::Row {
-                    for (id, _) in &targets {
-                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
-                    }
-                }
+                let defs = self.named_index_defs(table)?;
+                let targets = self.write_targets(txn.tx, table, handle, &pred, probe.as_ref())?;
                 for (id, old) in targets {
                     let mut new = old.clone();
                     for (col, expr) in &set_exprs {
@@ -301,6 +486,7 @@ impl<'e> TxnContext<'e> {
                             .eval(&[old.as_slice()])
                             .map_err(|_| EngineError::Protocol("invalid arithmetic"))?;
                     }
+                    self.lock_index_keys_for_write(txn.tx, table, &defs, Some(&old), Some(&new))?;
                     handle
                         .write()
                         .update(id, new.clone())
@@ -333,18 +519,16 @@ impl<'e> TxnContext<'e> {
                 where_clause,
             } => {
                 let handle = self.snapshot.handle(table)?;
-                let pred = {
+                let (pred, probe) = {
                     let view = self.snapshot.read_view(std::slice::from_ref(table));
-                    lower_table_cond(&view, table, where_clause, &txn.env)?
+                    let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
+                    let probe = point_probe(&view, table, &pred)?;
+                    (pred, probe)
                 };
-                self.lock_for_write_scan(txn.tx, table)?;
-                let targets: Vec<(RowId, Vec<Value>)> = collect_matches(&handle.read(), &pred)?;
-                if config.granularity == LockGranularity::Row {
-                    for (id, _) in &targets {
-                        self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
-                    }
-                }
+                let defs = self.named_index_defs(table)?;
+                let targets = self.write_targets(txn.tx, table, handle, &pred, probe.as_ref())?;
                 for (id, old) in targets {
+                    self.lock_index_keys_for_write(txn.tx, table, &defs, Some(&old), None)?;
                     handle
                         .write()
                         .delete(id)
@@ -376,9 +560,9 @@ impl<'e> TxnContext<'e> {
                 Ok(())
             }
             Statement::Rollback => Err(EngineError::RolledBack),
-            Statement::CreateTable { .. } => Err(EngineError::Protocol(
-                "DDL inside transactions is not supported",
-            )),
+            Statement::CreateTable { .. } | Statement::CreateIndex { .. } => Err(
+                EngineError::Protocol("DDL inside transactions is not supported"),
+            ),
             Statement::Begin { .. } | Statement::Commit => {
                 Err(EngineError::Protocol("nested BEGIN/COMMIT"))
             }
@@ -388,6 +572,20 @@ impl<'e> TxnContext<'e> {
 }
 
 // ---- helpers ----
+
+/// The 2PL resource guarding membership of one key in one named index.
+/// Point readers take S on it; any write that adds or removes a row at
+/// the key takes X. The synthetic `table#index` namespace cannot collide
+/// with a real table: `#` is not a legal identifier character, so no
+/// parsed statement can lock it as a table. The key is collapsed to a
+/// 64-bit hash — `DefaultHasher` is deterministic within a process, which
+/// is all a lock identity needs (a rare hash collision merely over-locks).
+fn index_key_resource(table: &str, index: &str, key: &Value) -> Resource {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    Resource::row(format!("{table}#{index}"), h.finish())
+}
 
 /// Build the row an INSERT produces, resolving the optional column list
 /// against the table's schema.

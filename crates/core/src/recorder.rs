@@ -9,6 +9,10 @@
 //! inserting different rows into `Reserve` do not register a false
 //! write-write conflict. The isolation crate's multigranularity objects
 //! make a table-level read conflict with any row write in that table.
+//! Index-backed point reads, which hold row S locks instead of a table S
+//! lock, record at row granularity ([`Recorder::read_row`]) to match —
+//! recording them table-wide would claim conflicts their locks no longer
+//! enforce.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -47,6 +51,17 @@ impl Recorder {
         g.ops.push(Op::Read {
             tx: Tx(tx as u32),
             obj: Obj::flat(space),
+        });
+    }
+
+    /// A row-granularity read (index-backed point read holding row S locks
+    /// instead of a table S lock; conflicts only with writes to that row).
+    pub fn read_row(&self, tx: u64, table: &str, row: u64) {
+        let mut g = self.inner.lock();
+        let space = g.space(table);
+        g.ops.push(Op::Read {
+            tx: Tx(tx as u32),
+            obj: Obj::row(space, row),
         });
     }
 

@@ -150,6 +150,11 @@ pub struct RunReport {
     /// Row versions reclaimed by the settle-boundary vacuum (multi-version
     /// GC: everything older than the oldest live snapshot).
     pub versions_pruned: u64,
+    /// Base rows materialized as candidates by this run's statements
+    /// (O(table) per scanned stage, O(matches) per index probe).
+    pub rows_scanned: u64,
+    /// Index probes served to this run's statements.
+    pub index_lookups: u64,
 }
 
 /// Cumulative statistics.
@@ -176,6 +181,12 @@ pub struct Stats {
     /// Total row versions reclaimed by settle-boundary vacuums — the
     /// bounded-version-store dividend of the multi-version read path.
     pub versions_pruned: u64,
+    /// Base rows materialized as join/scan candidates across all runs —
+    /// the access-path cost secondary indexes attack (a point statement
+    /// should cost O(1) here, not O(table)).
+    pub rows_scanned: u64,
+    /// Index probes (named or anonymous) served across all runs.
+    pub index_lookups: u64,
 }
 
 impl Stats {
@@ -263,6 +274,8 @@ impl Scheduler {
         let mut report = RunReport::default();
         let syncs_before = self.engine.wal.sync_count();
         let batches_before = self.engine.committer.batches();
+        let scanned_before = self.engine.rows_scanned();
+        let lookups_before = self.engine.index_lookups();
         let now = Instant::now();
 
         // Pull the pool; expire transactions whose deadline passed.
@@ -332,6 +345,10 @@ impl Scheduler {
         report.syncs = self.engine.wal.sync_count() - syncs_before;
         self.stats.syncs += report.syncs;
         self.stats.commit_batches += self.engine.committer.batches() - batches_before;
+        report.rows_scanned = self.engine.rows_scanned() - scanned_before;
+        report.index_lookups = self.engine.index_lookups() - lookups_before;
+        self.stats.rows_scanned += report.rows_scanned;
+        self.stats.index_lookups += report.index_lookups;
         report
     }
 

@@ -33,7 +33,15 @@ const SETUP: &str = "CREATE TABLE Flights (fno INT, dest TEXT);\
      INSERT INTO Counters VALUES (2, 0);\
      INSERT INTO Counters VALUES (3, 0);";
 
-fn engine() -> Arc<Engine> {
+/// Named secondary indexes on every point-accessed column: with these
+/// installed the mix's point SELECT/UPDATE statements switch from
+/// table-S scans to the two-level index plans (table-IS/IX + key + row
+/// locks), and every assertion in this file must still hold.
+const INDEX_DDL: &str = "CREATE INDEX counters_k ON Counters (k);\
+     CREATE INDEX audit_uid ON Audit (uid);\
+     CREATE INDEX reserve_uid ON Reserve (uid) USING BTREE;";
+
+fn engine(indexed: bool) -> Arc<Engine> {
     let e = Engine::new(EngineConfig {
         // Short lock timeout: contention churns into retries quickly
         // instead of stalling the whole run on the 250 ms default.
@@ -41,6 +49,9 @@ fn engine() -> Arc<Engine> {
         ..EngineConfig::default()
     });
     e.setup(SETUP).unwrap();
+    if indexed {
+        e.setup(INDEX_DDL).unwrap();
+    }
     Arc::new(e)
 }
 
@@ -114,8 +125,9 @@ fn random_programs(seed: u64, count: usize) -> Vec<Program> {
 fn run(
     programs: &[Program],
     connections: usize,
+    indexed: bool,
 ) -> (Stats, BTreeMap<String, Vec<Row>>, Arc<Engine>) {
-    let engine = engine();
+    let engine = engine(indexed);
     let mut sched = Scheduler::new(
         Arc::clone(&engine),
         SchedulerConfig {
@@ -143,29 +155,38 @@ fn run(
 
 #[test]
 fn concurrent_run_is_isolated_and_matches_serial_oracle() {
-    for seed in [7u64, 42] {
-        let programs = random_programs(seed, 60);
+    // Both access-path regimes: full scans under table-S, and — with the
+    // named indexes installed — the two-level point plans. Isolation and
+    // oracle equality are plan-independent.
+    for indexed in [false, true] {
+        for seed in [7u64, 42] {
+            let programs = random_programs(seed, 60);
 
-        let (stats8, db8, engine8) = run(&programs, 8);
-        assert_eq!(stats8.committed, programs.len(), "seed {seed}: {stats8:?}");
-        assert_eq!(stats8.failed, 0);
+            let (stats8, db8, engine8) = run(&programs, 8, indexed);
+            assert_eq!(
+                stats8.committed,
+                programs.len(),
+                "seed {seed} indexed {indexed}: {stats8:?}"
+            );
+            assert_eq!(stats8.failed, 0);
 
-        // The recorded history of the concurrent run must be a valid,
-        // entangled-isolated schedule (Appendix C).
-        let sched = engine8.recorder.schedule();
-        sched.validate().unwrap();
-        assert!(
-            is_entangled_isolated(&sched),
-            "seed {seed}: concurrent history lost isolation"
-        );
+            // The recorded history of the concurrent run must be a valid,
+            // entangled-isolated schedule (Appendix C).
+            let sched = engine8.recorder.schedule();
+            sched.validate().unwrap();
+            assert!(
+                is_entangled_isolated(&sched),
+                "seed {seed} indexed {indexed}: concurrent history lost isolation"
+            );
 
-        // And the final database must equal the serial oracle's.
-        let (stats1, db1, _) = run(&programs, 1);
-        assert_eq!(stats1.committed, programs.len());
-        assert_eq!(
-            db8, db1,
-            "seed {seed}: connections=8 diverged from the serial oracle"
-        );
+            // And the final database must equal the serial oracle's.
+            let (stats1, db1, _) = run(&programs, 1, indexed);
+            assert_eq!(stats1.committed, programs.len());
+            assert_eq!(
+                db8, db1,
+                "seed {seed} indexed {indexed}: connections=8 diverged from the serial oracle"
+            );
+        }
     }
 }
 
@@ -251,7 +272,9 @@ proptest! {
         let programs = snapshot_mix(seed, 56);
         let paired_writers = programs.iter().filter(|p| is_paired_writer(p)).count();
 
-        let (stats, _, engine) = run(&programs, 8);
+        // Indexes on: snapshot readers consult the rebuilt index of the
+        // materialized snapshot, the riskier of the two plans.
+        let (stats, _, engine) = run(&programs, 8, true);
         prop_assert_eq!(stats.committed, programs.len());
 
         // 1. Final state matches every serial order of the commutative
@@ -287,7 +310,7 @@ fn snapshot_reader_results_respect_the_writer_invariant() {
     // state.
     for seed in [3u64, 19, 77] {
         let programs = snapshot_mix(seed, 56);
-        let (stats8, db8, engine8) = run(&programs, 8);
+        let (stats8, db8, engine8) = run(&programs, 8, true);
         assert_eq!(stats8.committed, programs.len(), "seed {seed}");
         let mut readers_checked = 0usize;
         let paired_writers = programs.iter().filter(|p| is_paired_writer(p)).count() as i64;
@@ -298,6 +321,7 @@ fn snapshot_reader_results_respect_the_writer_invariant() {
                 ..EngineConfig::default()
             });
             e.setup(SETUP).unwrap();
+            e.setup(INDEX_DDL).unwrap();
             Arc::new(e)
         };
         let mut sched = Scheduler::new(
@@ -326,7 +350,7 @@ fn snapshot_reader_results_respect_the_writer_invariant() {
         }
         assert!(readers_checked > 0, "seed {seed}: mix produced no readers");
         // Deterministic final state: equal to the serial oracle run.
-        let (stats1, db1, _) = run(&programs, 1);
+        let (stats1, db1, _) = run(&programs, 1, true);
         assert_eq!(stats1.committed, programs.len());
         assert_eq!(db8, db1, "seed {seed}: diverged from the serial oracle");
         drop(engine8);
@@ -338,9 +362,9 @@ fn repeated_concurrent_runs_converge() {
     // Same batch, several concurrent executions: every run must land on
     // the identical canonical state (schedule independence in practice).
     let programs = random_programs(99, 40);
-    let (_, reference, _) = run(&programs, 8);
+    let (_, reference, _) = run(&programs, 8, true);
     for _ in 0..3 {
-        let (_, db, _) = run(&programs, 8);
+        let (_, db, _) = run(&programs, 8, true);
         assert_eq!(db, reference);
     }
 }

@@ -1,0 +1,231 @@
+//! Phantom/quasi-read regression test for the index point-read protocol.
+//!
+//! Index-backed point reads give up the table-S lock (§3.3.3's blanket
+//! phantom protection) for table-IS + key-S + row-S. The key lock is
+//! what stands in for the table lock: any writer that would add or
+//! remove a row at that key must take key-X first. This test drives the
+//! exact anomaly the protocol must prevent — a transaction point-reads
+//! the same key twice while writers replace, insert, update and delete
+//! rows at that key — and asserts:
+//!
+//! 1. **repeatable point reads**: both reads of every committed reader
+//!    observe the identical row (no value change, no membership change —
+//!    the unrepeatable-quasi-read shape of §3.3.3 cannot reappear);
+//! 2. the replace-writers' invariant (exactly one `Acct` row per uid)
+//!    holds at every commit boundary;
+//! 3. the recorded history — with point reads recorded at **row**
+//!    granularity — still validates and stays entangled-isolated while
+//!    grounding reads (table-S, unchanged by this PR) race indexed point
+//!    writers on the same table.
+
+use entangled_txn::{Engine, EngineConfig, Program, Scheduler, SchedulerConfig, TxnStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+use youtopia_isolation::is_entangled_isolated;
+use youtopia_storage::Value;
+
+const UIDS: i64 = 6;
+
+const SETUP: &str = "CREATE TABLE Flights (fno INT, dest TEXT);\
+     CREATE TABLE Reserve (uid TEXT, fid INT);\
+     CREATE TABLE Acct (uid INT, bal INT);\
+     CREATE TABLE Audit (uid INT, note INT);\
+     CREATE INDEX flights_fno ON Flights (fno);\
+     CREATE INDEX reserve_uid ON Reserve (uid);\
+     CREATE INDEX acct_uid ON Acct (uid) USING BTREE;\
+     INSERT INTO Flights VALUES (122, 'LA');\
+     INSERT INTO Flights VALUES (123, 'LA');\
+     INSERT INTO Acct VALUES (0, 0);\
+     INSERT INTO Acct VALUES (1, 0);\
+     INSERT INTO Acct VALUES (2, 0);\
+     INSERT INTO Acct VALUES (3, 0);\
+     INSERT INTO Acct VALUES (4, 0);\
+     INSERT INTO Acct VALUES (5, 0);";
+
+/// The reader under test: two point reads of the same key inside a
+/// read-write transaction (the write keeps it off the snapshot path, so
+/// both SELECTs take the locked table-IS + key-S + row-S plan).
+fn point_reader(i: usize, uid: i64) -> Program {
+    Program::parse(&format!(
+        "BEGIN; SELECT bal AS @a FROM Acct WHERE uid = {uid}; \
+         INSERT INTO Audit (uid, note) VALUES ({i}, {uid}); \
+         SELECT bal AS @b FROM Acct WHERE uid = {uid}; COMMIT;"
+    ))
+    .unwrap()
+}
+
+fn entangled_pair(i: usize) -> [Program; 2] {
+    let q = |me: String, other: String| {
+        Program::parse(&format!(
+            "BEGIN; SELECT '{me}', fno AS @fno INTO ANSWER R \
+             WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+             AND ('{other}', fno) IN ANSWER R CHOOSE 1; \
+             INSERT INTO Reserve (uid, fid) VALUES ('{me}', @fno); COMMIT;"
+        ))
+        .unwrap()
+    };
+    [
+        q(format!("a{i}"), format!("b{i}")),
+        q(format!("b{i}"), format!("a{i}")),
+    ]
+}
+
+/// Writers that attack the reader's key from every direction a phantom
+/// could come from, plus entangled pairs whose grounding reads hold
+/// table-S on `Flights` against the indexed point writer there.
+fn churn_mix(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0usize;
+    while out.len() < count {
+        let uid = rng.gen_range(0..UIDS);
+        match rng.gen_range(0..6u32) {
+            // Value change at the key (row-X; key postings unchanged).
+            0 => out.push(
+                Program::parse(&format!(
+                    "BEGIN; UPDATE Acct SET bal = bal + 1 WHERE uid = {uid}; COMMIT;"
+                ))
+                .unwrap(),
+            ),
+            // Membership churn at the key: delete + re-insert in one
+            // transaction (key-X twice), keeping one row per uid at
+            // every commit boundary.
+            1 => out.push(
+                Program::parse(&format!(
+                    "BEGIN; DELETE FROM Acct WHERE uid = {uid}; \
+                     INSERT INTO Acct (uid, bal) VALUES ({uid}, {}); COMMIT;",
+                    rng.gen_range(0..100i64)
+                ))
+                .unwrap(),
+            ),
+            // Indexed point writer on the grounding-read table.
+            2 => out.push(
+                Program::parse("BEGIN; UPDATE Flights SET dest = 'LA' WHERE fno = 122; COMMIT;")
+                    .unwrap(),
+            ),
+            // The reader under test.
+            3 | 4 => out.push(point_reader(i, uid)),
+            // Entangled pairs keep the §3.3.3 machinery in the mix.
+            _ => {
+                if out.len() + 2 <= count {
+                    out.extend(entangled_pair(i));
+                } else {
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn index_on_partner_shared_key_reintroduces_the_ab4_standoff() {
+    // The negative result the index-locking rules document: an index on a
+    // column where entangled partners insert EQUAL keys (both book the
+    // same fno into `Reserve.fid`) makes their inserts collide on the
+    // key-X resource — a key lock held to a group commit that cannot
+    // happen without the partner is the Ab4 table-granularity standoff
+    // at key granularity. Both partners must fail *together* (no widow,
+    // no partial booking); indexes on partner-distinct columns (uid)
+    // stay livelock-free, as every other test in this file shows.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(10),
+        ..EngineConfig::default()
+    }));
+    engine
+        .setup(
+            "CREATE TABLE Flights (fno INT, dest TEXT);\
+             CREATE TABLE Reserve (uid TEXT, fid INT);\
+             CREATE INDEX reserve_fid ON Reserve (fid);\
+             INSERT INTO Flights VALUES (122, 'LA');",
+        )
+        .unwrap();
+    let mut sched = Scheduler::new(
+        Arc::clone(&engine),
+        SchedulerConfig {
+            connections: 2,
+            max_attempts: 4,
+            ..SchedulerConfig::default()
+        },
+    );
+    let [a, b] = entangled_pair(0);
+    sched.submit(a);
+    sched.submit(b);
+    let stats = sched.drain();
+    assert_eq!(stats.committed, 0, "structural standoff must not resolve");
+    engine.with_db(|db| {
+        assert_eq!(
+            db.table("Reserve").unwrap().len(),
+            0,
+            "no partial booking may survive"
+        );
+    });
+}
+
+#[test]
+fn point_reads_are_repeatable_under_key_churn() {
+    for seed in [2u64, 23, 61] {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            lock_timeout: Duration::from_millis(25),
+            ..EngineConfig::default()
+        }));
+        engine.setup(SETUP).unwrap();
+        let mut sched = Scheduler::new(
+            Arc::clone(&engine),
+            SchedulerConfig {
+                connections: 8,
+                max_attempts: 1000,
+                ..SchedulerConfig::default()
+            },
+        );
+        let programs = churn_mix(seed, 56);
+        for p in &programs {
+            sched.submit(p.clone());
+        }
+        let stats = sched.drain();
+        assert_eq!(stats.committed, programs.len(), "seed {seed}: {stats:?}");
+
+        // 1. Every reader's two point reads of the same key agree — the
+        //    key-S lock froze both the row's value and the key's
+        //    membership between them.
+        let mut readers_checked = 0usize;
+        for r in sched.take_results() {
+            assert_eq!(r.status, TxnStatus::Committed, "seed {seed}");
+            if let Some(a) = r.env.get("a") {
+                let b = r.env.get("b");
+                assert_eq!(
+                    Some(a),
+                    b,
+                    "seed {seed}: unrepeatable point read — the §3.3.3 anomaly is back"
+                );
+                readers_checked += 1;
+            }
+        }
+        assert!(readers_checked > 0, "seed {seed}: mix produced no readers");
+
+        // 2. The replace-writers' invariant: exactly one row per uid.
+        engine.with_db(|db| {
+            let acct = db.table("Acct").unwrap();
+            for uid in 0..UIDS {
+                let idx = acct.named_indexes().get("acct_uid").unwrap();
+                assert_eq!(
+                    idx.probe(&Value::Int(uid)).len(),
+                    1,
+                    "seed {seed}: uid {uid} must have exactly one row"
+                );
+            }
+        });
+
+        // 3. The row-granular read recording still yields a valid,
+        //    entangled-isolated history.
+        let s = engine.recorder.schedule();
+        s.validate().unwrap();
+        assert!(
+            is_entangled_isolated(&s),
+            "seed {seed}: history lost isolation with indexes enabled"
+        );
+    }
+}

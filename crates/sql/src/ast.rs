@@ -4,7 +4,7 @@
 
 use std::fmt;
 use std::time::Duration;
-use youtopia_storage::{CmpOp, Value, ValueType};
+use youtopia_storage::{CmpOp, IndexKind, Value, ValueType};
 
 /// A possibly-qualified column reference (`dest` or `F.dest`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -221,6 +221,14 @@ pub enum Statement {
     CreateTable {
         name: String,
         columns: Vec<(String, ValueType)>,
+    },
+    /// `CREATE INDEX name ON table (column) [USING HASH|BTREE]`.
+    /// Single-column named secondary index; `USING` defaults to `HASH`.
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        kind: IndexKind,
     },
     Insert {
         table: String,

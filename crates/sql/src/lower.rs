@@ -10,7 +10,7 @@
 use crate::ast::{ColumnRef, Cond, Scalar, Select, SelectItem};
 use std::collections::HashMap;
 use std::fmt;
-use youtopia_storage::{Expr, SpjQuery, StorageError, TableProvider, Value};
+use youtopia_storage::{CmpOp, Expr, SpjQuery, StorageError, TableProvider, Value};
 
 /// Lowering failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -345,6 +345,62 @@ pub fn lower_row_scalar(
     lower_scalar(s, &scope, vars)
 }
 
+/// A point-lookup access path found in a lowered single-table predicate:
+/// an equality conjunct on a column that carries a named secondary index,
+/// with a key computable before execution (literal / host variable). The
+/// executor uses this to replace the O(table) scan by one index probe and
+/// to refine table-S locking to table-IS + per-row S.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexProbe {
+    /// Name of the named index to probe.
+    pub index: String,
+    /// The indexed column's position in the table schema.
+    pub column: usize,
+    /// The equality key.
+    pub key: Value,
+}
+
+/// Index-aware plan selection for a lowered single-table predicate
+/// (position 0 = `table`): return a [`IndexProbe`] when some `Eq`
+/// conjunct pins an indexed column to a constant key, else `None`
+/// (the statement stays a scan).
+pub fn point_probe(
+    db: &dyn TableProvider,
+    table: &str,
+    pred: &Expr,
+) -> Result<Option<IndexProbe>, LowerError> {
+    let t = db.table(table)?;
+    if t.named_indexes().is_empty() {
+        return Ok(None);
+    }
+    for c in pred.conjuncts() {
+        let Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        else {
+            continue;
+        };
+        let (col, other) = match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Col { tbl: 0, col }, o) | (o, Expr::Col { tbl: 0, col }) => (*col, o),
+            _ => continue,
+        };
+        if other.max_table().is_some() {
+            continue;
+        }
+        let Ok(key) = other.eval(&[]) else { continue };
+        if let Some(ix) = t.named_indexes().on_column(col) {
+            return Ok(Some(IndexProbe {
+                index: ix.name().to_string(),
+                column: col,
+                key,
+            }));
+        }
+    }
+    Ok(None)
+}
+
 /// Evaluate a scalar that must not reference any column (INSERT VALUES,
 /// SET @var = …).
 pub fn lower_const_scalar(s: &Scalar, vars: &VarEnv) -> Result<Value, LowerError> {
@@ -569,6 +625,44 @@ mod tests {
         // Column refs are illegal in constant contexts.
         let bad = Scalar::Col(ColumnRef::bare("x"));
         assert!(lower_const_scalar(&bad, &vars).is_err());
+    }
+
+    #[test]
+    fn point_probe_detection() {
+        let mut db = travel_db();
+        db.table_mut("User")
+            .unwrap()
+            .create_named_index("user_uid", "uid", youtopia_storage::IndexKind::Hash)
+            .unwrap();
+        let mut vars = VarEnv::new();
+        vars.insert("uid".into(), Value::Int(36513));
+        // Eq on the indexed column with a host-variable key → probe.
+        let sel = select("SELECT hometown FROM User WHERE uid = @uid");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let probe = point_probe(&db, "User", &lowered.query.predicate)
+            .unwrap()
+            .unwrap();
+        assert_eq!(probe.index, "user_uid");
+        assert_eq!(probe.column, 0);
+        assert_eq!(probe.key, Value::Int(36513));
+        // Eq on an unindexed column → scan.
+        let sel = select("SELECT uid FROM User WHERE hometown = 'FAT'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        assert!(point_probe(&db, "User", &lowered.query.predicate)
+            .unwrap()
+            .is_none());
+        // Range predicate alone → no point probe.
+        let sel = select("SELECT uid FROM User WHERE uid > 5");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        assert!(point_probe(&db, "User", &lowered.query.predicate)
+            .unwrap()
+            .is_none());
+        // Unindexed table short-circuits.
+        let sel = select("SELECT fno FROM Flights WHERE fno = 122");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        assert!(point_probe(&db, "Flights", &lowered.query.predicate)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

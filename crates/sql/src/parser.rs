@@ -18,7 +18,7 @@ use crate::ast::*;
 use crate::token::{lex, LexError, Token};
 use std::fmt;
 use std::time::Duration;
-use youtopia_storage::{CmpOp, Value, ValueType};
+use youtopia_storage::{CmpOp, IndexKind, Value, ValueType};
 
 /// Parse errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,7 +204,7 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.is_kw("CREATE") {
-            self.create_table()
+            self.create()
         } else if self.is_kw("INSERT") {
             self.insert()
         } else if self.is_kw("SELECT") {
@@ -226,8 +226,42 @@ impl Parser {
         }
     }
 
-    fn create_table(&mut self) -> Result<Statement, ParseError> {
+    fn create(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("CREATE")?;
+        if self.is_kw("INDEX") {
+            return self.create_index();
+        }
+        self.create_table()
+    }
+
+    /// `CREATE INDEX name ON table (column) [USING HASH|BTREE]`.
+    fn create_index(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("INDEX")?;
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let column = self.ident()?;
+        self.expect(&Token::RParen)?;
+        let kind = if self.eat_kw("USING") {
+            let k = self.ident()?;
+            match k.to_ascii_uppercase().as_str() {
+                "HASH" => IndexKind::Hash,
+                "BTREE" => IndexKind::Btree,
+                _ => return Err(self.err("HASH or BTREE")),
+            }
+        } else {
+            IndexKind::Hash
+        };
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+            kind,
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("TABLE")?;
         let name = self.ident()?;
         self.expect(&Token::LParen)?;
@@ -694,6 +728,33 @@ mod tests {
             }
             other => panic!("wrong statement {other:?}"),
         }
+    }
+
+    #[test]
+    fn create_index_forms() {
+        let st = parse_statement("CREATE INDEX reserve_uid ON Reserve (uid)").unwrap();
+        assert_eq!(
+            st,
+            Statement::CreateIndex {
+                name: "reserve_uid".into(),
+                table: "Reserve".into(),
+                column: "uid".into(),
+                kind: IndexKind::Hash,
+            }
+        );
+        let st = parse_statement("create index f_date on Flights (fdate) using btree;").unwrap();
+        assert!(matches!(
+            st,
+            Statement::CreateIndex {
+                kind: IndexKind::Btree,
+                ..
+            }
+        ));
+        assert!(parse_statement("CREATE INDEX i ON T (c) USING SKIPLIST").is_err());
+        assert!(
+            parse_statement("CREATE INDEX i ON T c").is_err(),
+            "parens required"
+        );
     }
 
     #[test]

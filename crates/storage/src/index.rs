@@ -1,0 +1,384 @@
+//! Named secondary indexes: per-table [`IndexSet`]s of single-column
+//! [`Index`]es, each hash- or btree-backed.
+//!
+//! These are the *declared* indexes `CREATE INDEX` builds — distinct from
+//! the anonymous multi-column hash indexes [`crate::Table::create_index`]
+//! keeps for join pushdown. A named index maps one column's value to the
+//! [`RowId`]s of the live rows holding it; the table maintains every member
+//! of its set inside the same mutation that touches the heap (under the
+//! table's write latch), so index and heap can never be observed diverged.
+//!
+//! [`IndexKind::Hash`] serves equality probes in O(1); [`IndexKind::Btree`]
+//! additionally serves ordered range probes ([`Index::probe_range`]).
+//! Durability is the engine's business: index *definitions* are logged and
+//! carried in checkpoint images, index *contents* are always rebuilt from
+//! the recovered heap (see `youtopia-wal`), which is why this module needs
+//! no persistence of its own.
+
+use crate::table::{Row, RowId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// The backing structure of a named index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// Hash map: equality probes only.
+    Hash,
+    /// Ordered map: equality and range probes.
+    Btree,
+}
+
+impl IndexKind {
+    /// The SQL keyword naming this kind (`USING HASH` / `USING BTREE`).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            IndexKind::Hash => "HASH",
+            IndexKind::Btree => "BTREE",
+        }
+    }
+}
+
+/// Key → row-id postings, in the shape the kind dictates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum IndexData {
+    Hash(HashMap<Value, Vec<RowId>>),
+    Btree(BTreeMap<Value, Vec<RowId>>),
+}
+
+/// One named single-column secondary index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Index {
+    name: String,
+    column: usize,
+    column_name: String,
+    kind: IndexKind,
+    data: IndexData,
+}
+
+impl Index {
+    fn new(name: String, column: usize, column_name: String, kind: IndexKind) -> Index {
+        let data = match kind {
+            IndexKind::Hash => IndexData::Hash(HashMap::new()),
+            IndexKind::Btree => IndexData::Btree(BTreeMap::new()),
+        };
+        Index {
+            name,
+            column,
+            column_name,
+            kind,
+            data,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Position of the indexed column in the table's schema.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    pub fn column_name(&self) -> &str {
+        &self.column_name
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Row ids whose indexed column equals `key` (unordered; may include
+    /// ids the caller must still check for liveness/visibility).
+    pub fn probe(&self, key: &Value) -> &[RowId] {
+        match &self.data {
+            IndexData::Hash(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            IndexData::Btree(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Row ids whose indexed column falls in the given bounds, in key
+    /// order. `None` for hash indexes, which cannot serve ranges.
+    pub fn probe_range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<Vec<RowId>> {
+        match &self.data {
+            IndexData::Hash(_) => None,
+            IndexData::Btree(m) => Some(
+                m.range::<Value, _>((lo, hi))
+                    .flat_map(|(_, ids)| ids.iter().copied())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn key_count(&self) -> usize {
+        match &self.data {
+            IndexData::Hash(m) => m.len(),
+            IndexData::Btree(m) => m.len(),
+        }
+    }
+
+    /// All postings as `(key, sorted row ids)`, sorted by key — the
+    /// canonical form coherence tests compare against a heap-rebuilt
+    /// oracle.
+    pub fn entries(&self) -> Vec<(Value, Vec<RowId>)> {
+        let mut out: Vec<(Value, Vec<RowId>)> = match &self.data {
+            IndexData::Hash(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            IndexData::Btree(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        };
+        for (_, ids) in &mut out {
+            ids.sort_unstable();
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn insert(&mut self, id: RowId, key: Value) {
+        match &mut self.data {
+            IndexData::Hash(m) => m.entry(key).or_default().push(id),
+            IndexData::Btree(m) => m.entry(key).or_default().push(id),
+        }
+    }
+
+    fn remove(&mut self, id: RowId, key: &Value) {
+        let drained = match &mut self.data {
+            IndexData::Hash(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|r| *r != id);
+                    v.is_empty()
+                } else {
+                    false
+                }
+            }
+            IndexData::Btree(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|r| *r != id);
+                    v.is_empty()
+                } else {
+                    false
+                }
+            }
+        };
+        if drained {
+            match &mut self.data {
+                IndexData::Hash(m) => {
+                    m.remove(key);
+                }
+                IndexData::Btree(m) => {
+                    m.remove(key);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match &mut self.data {
+            IndexData::Hash(m) => m.clear(),
+            IndexData::Btree(m) => m.clear(),
+        }
+    }
+}
+
+/// All named indexes of one table, maintained as a unit.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IndexSet {
+    indexes: Vec<Index>,
+}
+
+impl IndexSet {
+    /// Declare an index. Idempotent when an index of the same name,
+    /// column and kind already exists (returns `false`); errors if the
+    /// name is taken by a different definition.
+    pub fn create(
+        &mut self,
+        name: &str,
+        column: usize,
+        column_name: &str,
+        kind: IndexKind,
+    ) -> Result<bool, String> {
+        if let Some(ix) = self.get(name) {
+            if ix.column == column && ix.kind == kind {
+                return Ok(false);
+            }
+            return Err(format!(
+                "index {name} already exists with a different definition"
+            ));
+        }
+        self.indexes.push(Index::new(
+            name.to_string(),
+            column,
+            column_name.to_string(),
+            kind,
+        ));
+        Ok(true)
+    }
+
+    /// Find an index by name (ASCII-case-insensitive, like the catalog).
+    pub fn get(&self, name: &str) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The first index over `column`, preferring a hash index for the
+    /// equality probes the executor issues most.
+    pub fn on_column(&self, column: usize) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .filter(|ix| ix.column == column)
+            .min_by_key(|ix| match ix.kind {
+                IndexKind::Hash => 0,
+                IndexKind::Btree => 1,
+            })
+    }
+
+    /// A btree index over `column`, for range probes.
+    pub fn btree_on_column(&self, column: usize) -> Option<&Index> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.column == column && ix.kind == IndexKind::Btree)
+    }
+
+    /// A copy carrying the same definitions but no contents (snapshot
+    /// materialization clones definitions, then rebuilds from the copy).
+    pub fn defs_only(&self) -> IndexSet {
+        IndexSet {
+            indexes: self
+                .indexes
+                .iter()
+                .map(|ix| Index::new(ix.name.clone(), ix.column, ix.column_name.clone(), ix.kind))
+                .collect(),
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Index> + '_ {
+        self.indexes.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    // -- maintenance, called by the owning table inside heap mutations --
+
+    pub(crate) fn insert_row(&mut self, id: RowId, row: &Row) {
+        for ix in &mut self.indexes {
+            ix.insert(id, row[ix.column].clone());
+        }
+    }
+
+    pub(crate) fn remove_row(&mut self, id: RowId, row: &Row) {
+        for ix in &mut self.indexes {
+            ix.remove(id, &row[ix.column]);
+        }
+    }
+
+    pub(crate) fn update_row(&mut self, id: RowId, old: &Row, new: &Row) {
+        for ix in &mut self.indexes {
+            if old[ix.column] != new[ix.column] {
+                ix.remove(id, &old[ix.column]);
+                ix.insert(id, new[ix.column].clone());
+            }
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
+    }
+
+    /// Rebuild every index's contents from the given live rows (recovery,
+    /// snapshot materialization).
+    pub(crate) fn rebuild<'a>(&mut self, rows: impl Iterator<Item = (RowId, &'a Row)>) {
+        self.clear();
+        for (id, row) in rows {
+            self.insert_row(id, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Row {
+        vec![Value::Int(v), Value::str("x")]
+    }
+
+    fn set() -> IndexSet {
+        let mut s = IndexSet::default();
+        s.create("h", 0, "a", IndexKind::Hash).unwrap();
+        s.create("b", 0, "a", IndexKind::Btree).unwrap();
+        s
+    }
+
+    #[test]
+    fn create_is_idempotent_and_conflicts_error() {
+        let mut s = set();
+        assert_eq!(s.create("h", 0, "a", IndexKind::Hash), Ok(false));
+        assert!(s.create("H", 1, "b", IndexKind::Hash).is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn probe_and_maintenance() {
+        let mut s = set();
+        s.insert_row(RowId(0), &row(5));
+        s.insert_row(RowId(1), &row(5));
+        s.insert_row(RowId(2), &row(9));
+        let h = s.get("h").unwrap();
+        assert_eq!(h.probe(&Value::Int(5)), &[RowId(0), RowId(1)]);
+        assert_eq!(h.probe(&Value::Int(7)), &[] as &[RowId]);
+        s.remove_row(RowId(0), &row(5));
+        assert_eq!(s.get("b").unwrap().probe(&Value::Int(5)), &[RowId(1)]);
+        s.update_row(RowId(1), &row(5), &row(9));
+        assert!(s.get("h").unwrap().probe(&Value::Int(5)).is_empty());
+        let mut nine = s.get("b").unwrap().probe(&Value::Int(9)).to_vec();
+        nine.sort_unstable();
+        assert_eq!(nine, vec![RowId(1), RowId(2)]);
+    }
+
+    #[test]
+    fn range_probe_btree_only() {
+        let mut s = set();
+        for (i, v) in [3, 1, 7, 5].into_iter().enumerate() {
+            s.insert_row(RowId(i as u64), &row(v));
+        }
+        let b = s.get("b").unwrap();
+        let ids = b
+            .probe_range(
+                Bound::Included(&Value::Int(3)),
+                Bound::Excluded(&Value::Int(7)),
+            )
+            .unwrap();
+        assert_eq!(ids, vec![RowId(0), RowId(3)], "key order: 3 then 5");
+        assert!(s
+            .get("h")
+            .unwrap()
+            .probe_range(Bound::Unbounded, Bound::Unbounded)
+            .is_none());
+    }
+
+    #[test]
+    fn entries_are_canonical_and_rebuild_matches() {
+        let mut s = set();
+        s.insert_row(RowId(1), &row(4));
+        s.insert_row(RowId(0), &row(4));
+        s.insert_row(RowId(2), &row(2));
+        let before = s.get("b").unwrap().entries();
+        assert_eq!(before[0].0, Value::Int(2));
+        assert_eq!(before[1].1, vec![RowId(0), RowId(1)], "ids sorted");
+        let rows = [(RowId(1), row(4)), (RowId(0), row(4)), (RowId(2), row(2))];
+        let mut rebuilt = s.clone();
+        rebuilt.rebuild(rows.iter().map(|(id, r)| (*id, r)));
+        assert_eq!(rebuilt.get("b").unwrap().entries(), before);
+        assert_eq!(rebuilt.get("h").unwrap().entries(), before);
+        assert_eq!(s.get("h").unwrap().key_count(), 2);
+    }
+}

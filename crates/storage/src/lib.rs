@@ -45,6 +45,7 @@
 pub mod catalog;
 pub mod concurrent;
 pub mod expr;
+pub mod index;
 pub mod mvcc;
 pub mod query;
 pub mod schema;
@@ -54,8 +55,9 @@ pub mod value;
 pub use catalog::{Database, StorageError, TableProvider};
 pub use concurrent::{CatalogSnapshot, ConcurrentCatalog, SnapshotTables, TableHandle, TableView};
 pub use expr::{CmpOp, EvalError, Expr};
+pub use index::{Index, IndexKind, IndexSet};
 pub use mvcc::{CommitTs, SnapshotRegistry, VersionChain};
-pub use query::{eval_spj, QueryOutput, SpjQuery};
+pub use query::{eval_spj, eval_spj_counted, QueryOutput, ScanStats, SpjQuery};
 pub use schema::{Column, Schema, SchemaError};
 pub use table::{Row, RowId, Table};
 pub use value::{Value, ValueType};

@@ -8,8 +8,9 @@
 
 use crate::catalog::{StorageError, TableProvider};
 use crate::expr::{CmpOp, Expr};
-use crate::table::{Row, RowId};
+use crate::table::{Row, RowId, Table};
 use crate::value::Value;
+use std::ops::Bound;
 
 /// A resolved SPJ query: join order, one predicate (conjunction), projection.
 #[derive(Debug, Clone)]
@@ -51,11 +52,40 @@ pub struct QueryOutput {
     pub provenance: Vec<Vec<RowId>>,
 }
 
+/// Access-path accounting for one evaluation: how many base rows were
+/// materialized as join candidates (`rows_scanned` — O(table) per scanned
+/// stage, O(matches) per probed stage) and how many stages were served by
+/// an index (`index_lookups`, equality or btree-range).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanStats {
+    pub rows_scanned: u64,
+    pub index_lookups: u64,
+}
+
+impl ScanStats {
+    /// Accumulate another evaluation's counts.
+    pub fn add(&mut self, other: ScanStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_lookups += other.index_lookups;
+    }
+}
+
 /// Evaluate an SPJ query against any table source (an owned [`Database`]
 /// or a pinned [`crate::concurrent::TableView`]).
 ///
 /// [`Database`]: crate::catalog::Database
 pub fn eval_spj(db: &dyn TableProvider, q: &SpjQuery) -> Result<QueryOutput, StorageError> {
+    let mut stats = ScanStats::default();
+    eval_spj_counted(db, q, &mut stats)
+}
+
+/// [`eval_spj`] with access-path accounting: `stats` is incremented with
+/// the rows scanned and index probes this evaluation performed.
+pub fn eval_spj_counted(
+    db: &dyn TableProvider,
+    q: &SpjQuery,
+    stats: &mut ScanStats,
+) -> Result<QueryOutput, StorageError> {
     // Validate tables early so errors surface deterministically.
     for t in &q.tables {
         db.table(t)?;
@@ -89,6 +119,7 @@ pub fn eval_spj(db: &dyn TableProvider, q: &SpjQuery) -> Result<QueryOutput, Sto
         &mut env_rows,
         &mut out,
         &mut seen,
+        stats,
     )?;
     Ok(out)
 }
@@ -132,6 +163,51 @@ fn lookup_pairs(stage: usize, conjs: &[&Expr], env: &[&[Value]]) -> Vec<(usize, 
     pairs
 }
 
+/// Serve stage `k`'s candidates from a named btree index when a range
+/// conjunct (`<`, `<=`, `>`, `>=`) constrains an indexed column with a
+/// bound computable from earlier stages. One-sided; residual conjuncts are
+/// re-checked on every candidate, so over-approximation is safe.
+fn range_probe<'t>(
+    table: &'t Table,
+    stage: usize,
+    conjs: &[&Expr],
+    env: &[&[Value]],
+) -> Option<Vec<(RowId, &'t Row)>> {
+    for c in conjs {
+        let Expr::Cmp { op, lhs, rhs } = c else {
+            continue;
+        };
+        // Normalize to `col <op> bound` with the column on stage `k`.
+        let (col, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Col { tbl, col }, o) if *tbl == stage => (*col, o, *op),
+            (o, Expr::Col { tbl, col }) if *tbl == stage => (*col, o, op.flip()),
+            _ => continue,
+        };
+        if !matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) {
+            continue;
+        }
+        if other.max_table().is_some_and(|t| t >= stage) {
+            continue;
+        }
+        let Ok(bound) = other.eval(env) else { continue };
+        let ix = table.named_indexes().btree_on_column(col)?;
+        let (lo, hi) = match op {
+            CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(&bound)),
+            CmpOp::Le => (Bound::Unbounded, Bound::Included(&bound)),
+            CmpOp::Gt => (Bound::Excluded(&bound), Bound::Unbounded),
+            CmpOp::Ge => (Bound::Included(&bound), Bound::Unbounded),
+            _ => unreachable!(),
+        };
+        let ids = ix.probe_range(lo, hi)?;
+        return Some(
+            ids.into_iter()
+                .filter_map(|id| table.get(id).map(|r| (id, r)))
+                .collect(),
+        );
+    }
+    None
+}
+
 #[allow(clippy::too_many_arguments)]
 fn join_rec(
     db: &dyn TableProvider,
@@ -141,6 +217,7 @@ fn join_rec(
     env_rows: &mut Vec<(RowId, Row)>,
     out: &mut QueryOutput,
     seen: &mut std::collections::HashSet<Row>,
+    stats: &mut ScanStats,
 ) -> Result<(), StorageError> {
     if let Some(lim) = q.limit {
         if out.rows.len() >= lim {
@@ -171,10 +248,29 @@ fn join_rec(
         let env: Vec<&[Value]> = env_rows.iter().map(|(_, r)| r.as_slice()).collect();
         let pairs_owned = lookup_pairs(stage, &stage_conjuncts[stage], &env);
         let pairs: Vec<(usize, &Value)> = pairs_owned.iter().map(|(c, v)| (*c, v)).collect();
-        let hits: Vec<(RowId, &Row)> = if pairs.is_empty() {
-            table.scan().collect()
+        // Access path, best first: equality probe (anonymous or named
+        // index), btree range probe, full scan.
+        let probed: Option<Vec<(RowId, &Row)>> = if pairs.is_empty() {
+            None
         } else {
-            table.lookup(&pairs)
+            table.lookup_indexed(&pairs)
+        };
+        let probed = probed.or_else(|| range_probe(table, stage, &stage_conjuncts[stage], &env));
+        let hits: Vec<(RowId, &Row)> = match probed {
+            Some(hits) => {
+                stats.index_lookups += 1;
+                stats.rows_scanned += hits.len() as u64;
+                hits
+            }
+            None => {
+                // Every live row is examined, whether or not it survives
+                // the equality filter.
+                stats.rows_scanned += table.len() as u64;
+                table
+                    .scan()
+                    .filter(|(_, row)| pairs.iter().all(|(c, v)| &row[*c] == *v))
+                    .collect()
+            }
         };
         hits.into_iter().map(|(id, r)| (id, r.clone())).collect()
     };
@@ -194,7 +290,16 @@ fn join_rec(
             ok
         };
         if ok {
-            join_rec(db, q, stage_conjuncts, stage + 1, env_rows, out, seen)?;
+            join_rec(
+                db,
+                q,
+                stage_conjuncts,
+                stage + 1,
+                env_rows,
+                out,
+                seen,
+                stats,
+            )?;
         }
         env_rows.pop();
         if let Some(lim) = q.limit {

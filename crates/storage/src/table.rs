@@ -6,6 +6,7 @@
 //! insert/delete/update sequences — the property ARIES-style undo/redo and
 //! row-granularity locking both depend on.
 
+use crate::index::{IndexKind, IndexSet};
 use crate::mvcc::{CommitTs, VersionChain};
 use crate::schema::{Schema, SchemaError};
 use crate::value::Value;
@@ -72,6 +73,9 @@ pub struct Table {
     slots: Vec<Option<Row>>,
     live: usize,
     indexes: Vec<HashIndex>,
+    /// Named single-column secondary indexes (`CREATE INDEX`), maintained
+    /// in lockstep with `slots` by every mutating method below.
+    named: IndexSet,
     /// Committed version history per slot (grown lazily; a slot with no
     /// chain has no committed versions yet). Index = RowId.
     chains: Vec<VersionChain>,
@@ -91,6 +95,7 @@ impl Table {
             slots: Vec::new(),
             live: 0,
             indexes: Vec::new(),
+            named: IndexSet::default(),
             chains: Vec::new(),
             version_epoch: 0,
         }
@@ -140,6 +145,46 @@ impl Table {
         Ok(self.indexes.len() - 1)
     }
 
+    /// Declare a named secondary index over one column and backfill it from
+    /// the current heap. Idempotent for an identical definition (returns
+    /// `false`); a name clash with a different definition is an error.
+    pub fn create_named_index(
+        &mut self,
+        name: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<bool, SchemaError> {
+        let col = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| SchemaError::DuplicateColumn(format!("unknown column {column}")))?;
+        let created = self
+            .named
+            .create(name, col, column, kind)
+            .map_err(SchemaError::DuplicateColumn)?;
+        if created {
+            self.rebuild_named_indexes();
+        }
+        Ok(created)
+    }
+
+    /// The table's named secondary indexes.
+    pub fn named_indexes(&self) -> &IndexSet {
+        &self.named
+    }
+
+    /// Rebuild every named index's contents from the heap (recovery and
+    /// snapshot materialization; normal execution maintains incrementally).
+    pub fn rebuild_named_indexes(&mut self) {
+        let slots = &self.slots;
+        self.named.rebuild(
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r))),
+        );
+    }
+
     /// Insert a row, returning its new stable id.
     pub fn insert(&mut self, row: Row) -> Result<RowId, SchemaError> {
         self.schema.check_row(&row)?;
@@ -147,6 +192,7 @@ impl Table {
         for ix in &mut self.indexes {
             ix.insert(id, &row);
         }
+        self.named.insert_row(id, &row);
         self.slots.push(Some(row));
         self.live += 1;
         Ok(id)
@@ -167,10 +213,12 @@ impl Table {
             for ix in &mut self.indexes {
                 ix.remove(id, &old);
             }
+            self.named.remove_row(id, &old);
         }
         for ix in &mut self.indexes {
             ix.insert(id, &row);
         }
+        self.named.insert_row(id, &row);
         self.slots[idx] = Some(row);
         Ok(())
     }
@@ -188,6 +236,7 @@ impl Table {
         for ix in &mut self.indexes {
             ix.remove(id, &old);
         }
+        self.named.remove_row(id, &old);
         self.live -= 1;
         Some(old)
     }
@@ -208,6 +257,7 @@ impl Table {
             ix.remove(id, &old);
             ix.insert(id, &new_clone);
         }
+        self.named.update_row(id, &old, &new_clone);
         Ok(Some(old))
     }
 
@@ -223,6 +273,18 @@ impl Table {
     /// a scan when no index covers the columns. `pairs` maps column index →
     /// required value.
     pub fn lookup(&self, pairs: &[(usize, &Value)]) -> Vec<(RowId, &Row)> {
+        if let Some(hits) = self.lookup_indexed(pairs) {
+            return hits;
+        }
+        self.scan()
+            .filter(|(_, row)| pairs.iter().all(|(c, v)| &row[*c] == *v))
+            .collect()
+    }
+
+    /// The index-served half of [`Table::lookup`]: `None` when no anonymous
+    /// or named index covers `pairs` (callers that need to know whether a
+    /// probe or a scan happened — scan accounting — use this directly).
+    pub fn lookup_indexed(&self, pairs: &[(usize, &Value)]) -> Option<Vec<(RowId, &Row)>> {
         // Try to find an index whose column set is exactly covered.
         for ix in &self.indexes {
             if ix.cols.len() == pairs.len()
@@ -233,20 +295,31 @@ impl Table {
                     let (_, v) = pairs.iter().find(|(pc, _)| pc == col).expect("covered");
                     key[pos] = (*v).clone();
                 }
-                return ix
-                    .map
-                    .get(&key)
-                    .map(|ids| {
-                        ids.iter()
-                            .filter_map(|id| self.get(*id).map(|r| (*id, r)))
-                            .collect()
-                    })
-                    .unwrap_or_default();
+                return Some(
+                    ix.map
+                        .get(&key)
+                        .map(|ids| {
+                            ids.iter()
+                                .filter_map(|id| self.get(*id).map(|r| (*id, r)))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                );
             }
         }
-        self.scan()
-            .filter(|(_, row)| pairs.iter().all(|(c, v)| &row[*c] == *v))
-            .collect()
+        // Single-column probes can also ride a named (`CREATE INDEX`)
+        // index; candidates are liveness-checked like any posting.
+        if let [(col, v)] = pairs {
+            if let Some(ix) = self.named.on_column(*col) {
+                return Some(
+                    ix.probe(v)
+                        .iter()
+                        .filter_map(|id| self.get(*id).map(|r| (*id, r)))
+                        .collect(),
+                );
+            }
+        }
+        None
     }
 
     /// Remove every row (used by tests and recovery reset).
@@ -256,6 +329,7 @@ impl Table {
         for ix in &mut self.indexes {
             ix.map.clear();
         }
+        self.named.clear();
         self.chains.clear();
         self.version_epoch += 1;
     }
@@ -288,10 +362,15 @@ impl Table {
             .filter_map(move |(i, c)| c.visible(ts).map(|r| (RowId(i as u64), r)))
     }
 
-    /// Materialize an owned, index-free copy of this table as visible at
-    /// snapshot `ts` (same schema, same `RowId`s). This is what the
-    /// snapshot read path evaluates SELECTs against: an immutable table
-    /// nobody latches or locks.
+    /// Materialize an owned copy of this table as visible at snapshot `ts`
+    /// (same schema, same `RowId`s). This is what the snapshot read path
+    /// evaluates SELECTs against: an immutable table nobody latches or
+    /// locks. Named index *definitions* carry over and their contents are
+    /// rebuilt from the visible rows — this is how MVCC reads consult an
+    /// index: candidates come from a snapshot-consistent posting list, and
+    /// version visibility was already applied when the copy was built. The
+    /// anonymous join-pushdown hash indexes are not copied (the evaluator
+    /// falls back to scans for those).
     pub fn snapshot_at(&self, ts: CommitTs) -> Table {
         let mut t = Table::new(self.name.clone(), self.schema.clone());
         for (id, row) in self.snapshot_scan(ts) {
@@ -301,6 +380,10 @@ impl Table {
             }
             t.slots[idx] = Some(row.clone());
             t.live += 1;
+        }
+        if !self.named.is_empty() {
+            t.named = self.named.defs_only();
+            t.rebuild_named_indexes();
         }
         t
     }

@@ -5,7 +5,7 @@
 //! end-of-log, which is the standard WAL convention.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use youtopia_storage::{Column, Schema, Value, ValueType};
+use youtopia_storage::{Column, IndexKind, Schema, Value, ValueType};
 
 /// Log sequence number = byte offset of the frame in the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -108,6 +108,16 @@ pub enum LogRecord {
     /// because the image is published as one contiguous range before it.
     CheckpointEnd {
         ckpt: u64,
+    },
+    /// Named secondary-index DDL. Only the *definition* is logged — index
+    /// contents are always rebuilt from the recovered heap, so redo/undo
+    /// of row records never has to touch index state. Checkpoint images
+    /// re-log every live definition so truncation cannot drop one.
+    CreateIndex {
+        table: String,
+        name: String,
+        column: String,
+        kind: IndexKind,
     },
 }
 
@@ -405,6 +415,21 @@ impl LogRecord {
                 body.put_u8(12);
                 body.put_u64_le(*ckpt);
             }
+            LogRecord::CreateIndex {
+                table,
+                name,
+                column,
+                kind,
+            } => {
+                body.put_u8(13);
+                put_str(&mut body, table);
+                put_str(&mut body, name);
+                put_str(&mut body, column);
+                body.put_u8(match kind {
+                    IndexKind::Hash => 0,
+                    IndexKind::Btree => 1,
+                });
+            }
         }
         let mut frame = Vec::with_capacity(body.len() + 8);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -507,6 +532,25 @@ impl LogRecord {
             12 => LogRecord::CheckpointEnd {
                 ckpt: need_u64(&mut buf)?,
             },
+            13 => {
+                let table = get_str(&mut buf)?;
+                let name = get_str(&mut buf)?;
+                let column = get_str(&mut buf)?;
+                if !buf.has_remaining() {
+                    return Err(CodecError::Corrupt("index kind"));
+                }
+                let kind = match buf.get_u8() {
+                    0 => IndexKind::Hash,
+                    1 => IndexKind::Btree,
+                    _ => return Err(CodecError::Corrupt("index kind")),
+                };
+                LogRecord::CreateIndex {
+                    table,
+                    name,
+                    column,
+                    kind,
+                }
+            }
             _ => return Err(CodecError::Corrupt("record tag")),
         };
         if buf.has_remaining() {
@@ -579,6 +623,12 @@ mod tests {
                 ],
             },
             LogRecord::CheckpointEnd { ckpt: 2 },
+            LogRecord::CreateIndex {
+                table: "Reserve".into(),
+                name: "reserve_uid".into(),
+                column: "uid".into(),
+                kind: IndexKind::Btree,
+            },
         ]
     }
 

@@ -97,6 +97,7 @@ fn record_max_tx(rec: &LogRecord) -> u64 {
         LogRecord::Checkpoint { active, .. } => active.iter().copied().max().unwrap_or(0),
         LogRecord::GroupCommit { .. }
         | LogRecord::CreateTable { .. }
+        | LogRecord::CreateIndex { .. }
         | LogRecord::CheckpointTable { .. }
         | LogRecord::CheckpointEnd { .. } => 0,
     }
@@ -148,6 +149,22 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
                     let t = db.table_mut(name).expect("just created");
                     for (row, values) in rows {
                         let _ = t.insert_at(RowId(*row), values.clone());
+                    }
+                }
+            }
+            // Index definitions re-logged inside the image (second pass so
+            // a definition never races its table's CheckpointTable record).
+            // Creation rebuilds contents from the just-loaded heap.
+            for (_, rec) in &records[begin..=end] {
+                if let LogRecord::CreateIndex {
+                    table,
+                    name,
+                    column,
+                    kind,
+                } = rec
+                {
+                    if let Ok(t) = db.table_mut(table) {
+                        let _ = t.create_named_index(name, column, *kind);
                     }
                 }
             }
@@ -203,6 +220,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
             }
             LogRecord::GroupCommit { .. }
             | LogRecord::CreateTable { .. }
+            | LogRecord::CreateIndex { .. }
             | LogRecord::Checkpoint { .. }
             | LogRecord::CheckpointTable { .. }
             | LogRecord::CheckpointEnd { .. } => {}
@@ -233,6 +251,19 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
         match rec {
             LogRecord::CreateTable { name, schema } => {
                 db.create_or_replace_table(name, schema.clone());
+            }
+            // Re-create the definition; the table's mutators keep its
+            // contents current through the rest of redo and undo.
+            LogRecord::CreateIndex {
+                table,
+                name,
+                column,
+                kind,
+            } if db.has_table(table) => {
+                let _ = db
+                    .table_mut(table)
+                    .expect("checked")
+                    .create_named_index(name, column, *kind);
             }
             LogRecord::Insert {
                 table, row, values, ..
@@ -670,6 +701,80 @@ mod tests {
         assert_eq!(out.checkpoint_lsn, Some(begin));
         assert_eq!(out.db.table("Reserve").unwrap().len(), 2);
         assert_eq!(out.max_tx, 2);
+    }
+
+    #[test]
+    fn index_definition_recovered_and_contents_rebuilt_from_heap() {
+        use youtopia_storage::IndexKind;
+        let wal = setup_wal();
+        wal.append(&LogRecord::CreateIndex {
+            table: "Reserve".into(),
+            name: "reserve_uid".into(),
+            column: "uid".into(),
+            kind: IndexKind::Hash,
+        });
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        insert(&wal, 1, 1, 20, 122);
+        wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
+        // Loser traffic whose undo must also keep the index coherent.
+        wal.append(&LogRecord::Begin { tx: 2 });
+        insert(&wal, 2, 2, 30, 123);
+        wal.sync();
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        let t = out.db.table("Reserve").unwrap();
+        let idx = t.named_indexes().get("reserve_uid").unwrap();
+        assert_eq!(idx.probe(&Value::Int(10)), &[RowId(0)]);
+        assert_eq!(idx.probe(&Value::Int(20)), &[RowId(1)]);
+        assert!(idx.probe(&Value::Int(30)).is_empty(), "loser undone");
+    }
+
+    #[test]
+    fn index_definition_survives_truncation_via_checkpoint_image() {
+        use youtopia_storage::IndexKind;
+        let wal = setup_wal();
+        wal.append(&LogRecord::CreateIndex {
+            table: "Reserve".into(),
+            name: "reserve_uid".into(),
+            column: "uid".into(),
+            kind: IndexKind::Btree,
+        });
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
+        // The checkpoint image re-logs the definition after the table.
+        let begin = wal.append(&LogRecord::Checkpoint {
+            ckpt: 1,
+            active: vec![],
+            ts: 0,
+        });
+        wal.append(&LogRecord::CheckpointTable {
+            ckpt: 1,
+            name: "Reserve".into(),
+            schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Int)]),
+            rows: vec![(0, vec![Value::Int(10), Value::Int(122)])],
+        });
+        wal.append(&LogRecord::CreateIndex {
+            table: "Reserve".into(),
+            name: "reserve_uid".into(),
+            column: "uid".into(),
+            kind: IndexKind::Btree,
+        });
+        wal.append(&LogRecord::CheckpointEnd { ckpt: 1 });
+        wal.sync();
+        // Truncation drops the original CreateIndex record entirely.
+        assert!(wal.truncate_prefix(begin) > 0);
+        wal.append(&LogRecord::Begin { tx: 2 });
+        insert(&wal, 2, 1, 20, 123);
+        wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
+        wal.crash();
+        let out = recover(&wal.durable_records().unwrap());
+        let t = out.db.table("Reserve").unwrap();
+        let idx = t.named_indexes().get("reserve_uid").unwrap();
+        assert_eq!(idx.kind(), IndexKind::Btree);
+        assert_eq!(idx.probe(&Value::Int(10)), &[RowId(0)]);
+        assert_eq!(idx.probe(&Value::Int(20)), &[RowId(1)], "suffix maintained");
     }
 
     #[test]

@@ -5,13 +5,16 @@
 //! the Appendix D travel schema and data, the six Figure 6(a) workloads
 //! (`NoSocial`/`Social`/`Entangled` × `-T`/`-Q`), the pending-transaction
 //! plans of Figure 6(b), the spoke-hub / cyclic coordination structures
-//! of Figure 6(c), and the read-mostly [`readmix`] mix the `readscale`
-//! bench uses to measure the multi-version snapshot read path.
+//! of Figure 6(c), the read-mostly [`readmix`] mix the `readscale`
+//! bench uses to measure the multi-version snapshot read path, and the
+//! point-access [`pointmix`] mix the `pointmix` bench uses to measure
+//! the named secondary-index plans against full scans.
 //!
 //! Everything is seeded and deterministic, so bench results replay.
 
 pub mod fig6a;
 pub mod fig6bc;
+pub mod pointmix;
 pub mod readmix;
 pub mod social;
 pub mod travel;
@@ -20,6 +23,9 @@ pub use fig6a::{entangled_program, generate, nosocial_program, social_program, F
 pub use fig6bc::{
     cyclic_group, generate_structured, partnerless_program, pending_plan, spoke_hub_group,
     PendingPlan, Structure,
+};
+pub use pointmix::{
+    generate_point_mix, point_index_script, point_reader, point_seed_script, point_writer,
 };
 pub use readmix::{generate_read_mix, read_mix_reader, read_mix_writer};
 pub use social::SocialGraph;

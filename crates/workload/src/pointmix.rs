@@ -1,0 +1,150 @@
+//! Point-access workload for the `pointmix` bench: every statement
+//! touches exactly one `Reserve` row, selected by an equality predicate
+//! on `uid`. With the named secondary index on `Reserve (uid)` installed
+//! each statement is a point probe (table-IS/IX + key lock + one row
+//! lock, `rows_scanned` O(1)); without it every statement scans the heap
+//! under the table-S + IX write-scan protocol, so concurrent point
+//! updates serialize on the table lock *and* pay O(table) per statement.
+//! The ratio between the two runs is the headline number of
+//! `BENCH_index.json`.
+
+use crate::travel::TravelData;
+use entangled_txn::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed script: one reservation per user (`fid = uid % flights`), so
+/// every point lookup hits exactly one row and the heap is big enough
+/// that a scan per statement is visibly O(table).
+pub fn point_seed_script(data: &TravelData) -> String {
+    let flights = data.params.flights.max(1);
+    let mut out = String::with_capacity(data.params.users * 32);
+    for uid in 0..data.params.users {
+        out.push_str(&format!(
+            "INSERT INTO Reserve VALUES ({uid}, {});",
+            uid % flights
+        ));
+    }
+    out
+}
+
+/// DDL for the indexed arm of the comparison: named secondary indexes on
+/// the columns the point statements probe. The no-index arm simply skips
+/// this script — same data, same programs, scan plans only.
+pub fn point_index_script() -> &'static str {
+    "CREATE INDEX reserve_uid ON Reserve (uid);\
+     CREATE INDEX user_uid ON User (uid) USING BTREE;"
+}
+
+/// A point reader: check one user's reservation and profile. Pure reads,
+/// so with snapshot reads on it runs lock-free either way — the index
+/// still turns each evaluation from a heap scan into a probe.
+pub fn point_reader(uid: usize) -> Program {
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT @fid FROM Reserve WHERE uid={uid}; \
+         SELECT hometown FROM User WHERE uid={uid}; \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// A point writer: rebook one user's reservation, then confirm it. The
+/// UPDATE resolves its targets through the index (table-IX + key-X +
+/// row-X) when one exists, or the table-S + IX write scan when not; the
+/// trailing SELECT sits in a read-write transaction, so it exercises the
+/// *locked* point-read path (table-IS + key-S + row-S), not the snapshot
+/// path.
+pub fn point_writer(uid: usize, fid: i64) -> Program {
+    Program::parse(&format!(
+        "BEGIN; \
+         UPDATE Reserve SET fid={fid} WHERE uid={uid}; \
+         SELECT fid FROM Reserve WHERE uid={uid}; \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// Generate a point mix: `write_pct` percent [`point_writer`]s, the rest
+/// [`point_reader`]s, uids round-robin over the user population so
+/// concurrent writers mostly touch *different* rows (the workload the
+/// two-level index protocol parallelizes and a table lock serializes).
+/// Seeded and deterministic, like every generator in this crate.
+pub fn generate_point_mix(
+    data: &TravelData,
+    count: usize,
+    write_pct: u32,
+    seed: u64,
+) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flights = data.params.flights.max(1) as i64;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let uid = i % data.params.users;
+        if rng.gen_range(0..100u32) < write_pct {
+            out.push(point_writer(uid, rng.gen_range(0..flights)));
+        } else {
+            out.push(point_reader(uid));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::SocialGraph;
+    use crate::travel::TravelParams;
+    use entangled_txn::EngineConfig;
+
+    fn data() -> TravelData {
+        let params = TravelParams {
+            users: 48,
+            cities: 4,
+            flights: 60,
+            seed: 11,
+        };
+        TravelData::generate(params, SocialGraph::slashdot_like(48, 11))
+    }
+
+    #[test]
+    fn mix_ratio_and_read_only_split() {
+        let d = data();
+        let programs = generate_point_mix(&d, 200, 50, 7);
+        assert_eq!(programs.len(), 200);
+        let readers = programs.iter().filter(|p| p.is_read_only()).count();
+        let writers = 200 - readers;
+        assert!(
+            (80..=120).contains(&writers),
+            "~50% writers expected, got {writers}"
+        );
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let d = data();
+        let a: Vec<usize> = generate_point_mix(&d, 60, 50, 3)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        let b: Vec<usize> = generate_point_mix(&d, 60, 50, 3)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_and_index_scripts_build_an_indexed_engine() {
+        let d = data();
+        let engine = d.build_engine(EngineConfig::default());
+        engine.setup(&point_seed_script(&d)).expect("seed");
+        engine.setup(point_index_script()).expect("index ddl");
+        engine.with_db(|db| {
+            let t = db.table("Reserve").unwrap();
+            assert_eq!(t.len(), 48);
+            let idx = t.named_indexes().get("reserve_uid").expect("index exists");
+            assert_eq!(idx.probe(&youtopia_storage::Value::Int(7)).len(), 1);
+        });
+    }
+}
