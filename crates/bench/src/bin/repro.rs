@@ -2,7 +2,7 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|sharding|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
@@ -32,6 +32,13 @@
 //! acceptance target is indexed ≥ 3× no-index at 8 connections with
 //! rows-scanned per point statement dropping from O(table) to O(1).
 //!
+//! `sharding` measures the per-shard commit pipelines on the shard-local
+//! vs 50%-cross-shard mixes at shards ∈ {1, 2, 4} and connections
+//! ∈ {1, 2, 4, 8, 16}, written to `BENCH_sharding.json` (also a CI
+//! artifact). The acceptance target is 4-shard shard-local throughput
+//! ≥ 1.5× single-shard at 8 connections (parity at 1 connection), with
+//! the cross-shard two-phase commit tax measured alongside.
+//!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
 //! curve, in seconds.
@@ -41,7 +48,9 @@ use youtopia_bench::{
     durability_json, pointmix_json, pointmix_speedup, readscale_json, readscale_speedup,
     recovery_json, run_ablated, run_durability_series, run_fig6a, run_fig6b, run_fig6c,
     run_pointmix_series, run_readscale_series, run_recovery_series, run_scaling_series,
-    scaling_json, scaling_speedup, Ablation, Scale, POINTMIX_WRITE_PCT, READSCALE_WRITE_PCT,
+    run_sharding_series, scaling_json, scaling_speedup, sharding_cross_tax, sharding_json,
+    sharding_local_speedup, Ablation, Scale, POINTMIX_WRITE_PCT, READSCALE_WRITE_PCT,
+    SHARDING_CROSS_PCT,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -67,6 +76,7 @@ fn main() {
         "recovery" => recovery(&mut out, &scale),
         "readscale" => readscale(&mut out, &scale),
         "pointmix" => pointmix(&mut out, &scale),
+        "sharding" => sharding(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
@@ -77,10 +87,11 @@ fn main() {
             recovery(&mut out, &scale);
             readscale(&mut out, &scale);
             pointmix(&mut out, &scale);
+            sharding(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|sharding|all"
             );
             std::process::exit(2);
         }
@@ -336,6 +347,76 @@ fn pointmix(out: &mut impl Write, scale: &Scale) {
     let json = pointmix_json(scale, &series);
     std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
     writeln!(out, "# baseline written to BENCH_index.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Sharding: per-shard commit pipelines on the shard-local vs 50%-cross
+/// mixes at shards ∈ {1, 2, 4}, plus the `BENCH_sharding.json` CI
+/// baseline. Acceptance: 4-shard local ≥ 1.5× 1-shard at 8 connections
+/// (parity at 1 connection); the cross series shows the two-phase tax.
+fn sharding(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Sharding — per-shard commit pipelines").unwrap();
+    writeln!(
+        out,
+        "# {} transactions per point; device sync latency {}us; cross mix {}% two-shard txns; columns: txns/sec (failed)",
+        scale.txns,
+        scale.cost.per_commit.as_micros(),
+        SHARDING_CROSS_PCT
+    )
+    .unwrap();
+    let series = run_sharding_series(scale);
+    write!(out, "{:>12}", "connections").unwrap();
+    for s in &series {
+        write!(out, " {:>16}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>12}", series[0].points[i].scaling.connections).unwrap();
+        for s in &series {
+            let p = &s.points[i];
+            write!(
+                out,
+                " {:>16}",
+                format!("{:.1} ({})", p.scaling.txns_per_sec, p.scaling.failed)
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        out.flush().unwrap();
+    }
+    for s in &series {
+        let top = s.points.last().expect("non-empty series");
+        let syncs: Vec<String> = top.shard_syncs.iter().map(|n| n.to_string()).collect();
+        writeln!(
+            out,
+            "# {}: {:.1} txns/sec at {} connections; {:.3} syncs/commit; {} cross-shard commits, {} prepares; per-shard syncs [{}]",
+            s.label,
+            top.scaling.txns_per_sec,
+            top.scaling.connections,
+            top.scaling.syncs_per_commit,
+            top.cross_shard_commits,
+            top.cross_shard_prepares,
+            syncs.join(", ")
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "# local 4-shard / 1-shard at 8 connections: {:.2}x (acceptance floor 1.5x)",
+        sharding_local_speedup(&series)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "# cross-shard tax (local / {}% cross at 4 shards, 8 connections): {:.2}x",
+        SHARDING_CROSS_PCT,
+        sharding_cross_tax(&series)
+    )
+    .unwrap();
+    let json = sharding_json(scale, &series);
+    std::fs::write("BENCH_sharding.json", &json).expect("write BENCH_sharding.json");
+    writeln!(out, "# baseline written to BENCH_sharding.json").unwrap();
     writeln!(out).unwrap();
 }
 

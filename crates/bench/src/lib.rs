@@ -13,9 +13,9 @@ use entangled_txn::{
 use std::time::{Duration, Instant};
 use youtopia_entangle::SolverConfig;
 use youtopia_workload::{
-    engine_config, generate, generate_point_mix, generate_read_mix, generate_structured,
-    pending_plan, point_index_script, point_seed_script, scheduler_for, Family, SocialGraph,
-    Structure, TravelData, TravelParams, WorkloadMode,
+    engine_config, generate, generate_point_mix, generate_read_mix, generate_shard_mix,
+    generate_structured, pending_plan, point_index_script, point_seed_script, scheduler_for,
+    shard_index_script, Family, SocialGraph, Structure, TravelData, TravelParams, WorkloadMode,
 };
 
 /// Experiment scale, trading fidelity for wall-clock time.
@@ -702,6 +702,213 @@ pub fn pointmix_json(scale: &Scale, series: &[PointmixSeries]) -> String {
     out
 }
 
+/// Connection counts measured by the `sharding` driver (the scaling
+/// claim is "past 8 connections", so the sweep runs to 16).
+pub const SHARDING_CONNECTIONS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Shard counts measured by the `sharding` driver.
+pub const SHARDING_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Percentage of cross-shard (two-table, two-shard) transactions in the
+/// cross mix; the local mix uses 0.
+pub const SHARDING_CROSS_PCT: u32 = 50;
+
+/// One measured point of the `sharding` driver: [`ScalingPoint`] plus
+/// the cross-shard commit counters and the per-shard sync spread.
+#[derive(Debug, Clone)]
+pub struct ShardingPoint {
+    pub scaling: ScalingPoint,
+    /// Cross-shard units committed through the two-phase record.
+    pub cross_shard_commits: u64,
+    /// `CrossPrepare` records written (one per participant per unit).
+    pub cross_shard_prepares: u64,
+    /// Device syncs per shard — skew here shows commit-pressure spread.
+    pub shard_syncs: Vec<u64>,
+}
+
+/// One `sharding` driver series: a shard count × mix locality.
+#[derive(Debug, Clone)]
+pub struct ShardingSeries {
+    pub label: String,
+    pub shards: usize,
+    pub cross_pct: u32,
+    pub points: Vec<ShardingPoint>,
+}
+
+/// Measure one `sharding` point: committed-txns/sec of the shard mix at
+/// a shard count and connection count.
+///
+/// The engine runs with WAL group commit **off** — every commit pays its
+/// own serialized device sync on its shard's segment — because that is
+/// the axis sharding parallelizes: one log device serializes all syncs,
+/// N per-shard devices sync concurrently. (Group-commit batching on a
+/// single device is the `durability` driver's axis; composing both still
+/// multiplies sync bandwidth by N.) Cross-shard transactions sync every
+/// participant segment before the unit commits, which is the measured
+/// cross-shard tax.
+pub fn run_sharding(
+    scale: &Scale,
+    shards: usize,
+    connections: usize,
+    cross_pct: u32,
+) -> ShardingPoint {
+    assert!(
+        !scale.cost.per_commit.is_zero(),
+        "the sharding driver needs a non-zero sync latency (cost.per_commit)"
+    );
+    let data = scale.data();
+    let mut cfg = engine_config(WorkloadMode::Transactional, scale.cost, false);
+    cfg.shards = shards;
+    cfg.wal_group_commit = false;
+    let engine = data.build_engine(cfg);
+    engine
+        .setup(&point_seed_script(&data))
+        .expect("valid seed script");
+    engine.setup(shard_index_script()).expect("valid index DDL");
+    let mut sched = scheduler_for(engine, connections);
+    let programs = generate_shard_mix(&data, scale.txns, cross_pct, shards, scale.seed);
+    let n = programs.len();
+    let start = Instant::now();
+    for p in programs {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+    let seconds = start.elapsed().as_secs_f64();
+    let scaling = scaling_point(
+        Point {
+            label: format!("shards={shards} cross={cross_pct}%"),
+            x: connections as f64,
+            seconds,
+            committed: stats.committed,
+            failed: n - stats.committed,
+            syncs: stats.syncs,
+        },
+        connections,
+    );
+    ShardingPoint {
+        scaling,
+        cross_shard_commits: stats.cross_shard_commits,
+        cross_shard_prepares: stats.cross_shard_prepares,
+        shard_syncs: stats.shard_syncs.clone(),
+    }
+}
+
+/// The `sharding` experiment: the shard-local mix and the 50%-cross mix
+/// over [`SHARDING_SHARD_COUNTS`] × [`SHARDING_CONNECTIONS`]. The
+/// acceptance targets are 4-shard local throughput ≥ 1.5× 1-shard at 8
+/// connections, parity at 1 connection, and a measurable cross-shard tax
+/// (local over cross at 4 shards).
+pub fn run_sharding_series(scale: &Scale) -> Vec<ShardingSeries> {
+    let mut out = Vec::new();
+    for &cross_pct in &[0u32, SHARDING_CROSS_PCT] {
+        for &shards in &SHARDING_SHARD_COUNTS {
+            let points = SHARDING_CONNECTIONS
+                .iter()
+                .map(|&c| run_sharding(scale, shards, c, cross_pct))
+                .collect();
+            out.push(ShardingSeries {
+                label: format!(
+                    "{} shards={shards}",
+                    if cross_pct == 0 { "local" } else { "cross" }
+                ),
+                shards,
+                cross_pct,
+                points,
+            });
+        }
+    }
+    out
+}
+
+/// Throughput of one series at a given connection count (0.0 if absent).
+fn sharding_tps_at(series: &[ShardingSeries], shards: usize, cross_pct: u32, conns: usize) -> f64 {
+    series
+        .iter()
+        .find(|s| s.shards == shards && s.cross_pct == cross_pct)
+        .and_then(|s| s.points.iter().find(|p| p.scaling.connections == conns))
+        .map_or(0.0, |p| p.scaling.txns_per_sec)
+}
+
+/// The headline acceptance figure: shard-local throughput at 4 shards
+/// over 1 shard, at 8 connections.
+pub fn sharding_local_speedup(series: &[ShardingSeries]) -> f64 {
+    let (four, one) = (
+        sharding_tps_at(series, 4, 0, 8),
+        sharding_tps_at(series, 1, 0, 8),
+    );
+    if one > 0.0 {
+        four / one
+    } else {
+        0.0
+    }
+}
+
+/// The cross-shard commit tax: local over 50%-cross throughput at 4
+/// shards and 8 connections (> 1 — prepares sync every participant).
+pub fn sharding_cross_tax(series: &[ShardingSeries]) -> f64 {
+    let (local, cross) = (
+        sharding_tps_at(series, 4, 0, 8),
+        sharding_tps_at(series, 4, SHARDING_CROSS_PCT, 8),
+    );
+    if cross > 0.0 {
+        local / cross
+    } else {
+        0.0
+    }
+}
+
+/// Serialize sharding series as the `BENCH_sharding.json` baseline
+/// tracked as a CI artifact (the [`scaling_json`] shape plus the
+/// cross-shard counters and the per-shard sync spread per point).
+pub fn sharding_json(scale: &Scale, series: &[ShardingSeries]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"sharding\",\n");
+    out.push_str(&format!("  \"txns_per_point\": {},\n", scale.txns));
+    out.push_str(&format!(
+        "  \"sync_latency_us\": {},\n",
+        scale.cost.per_commit.as_micros()
+    ));
+    out.push_str(&format!("  \"cross_pct\": {SHARDING_CROSS_PCT},\n"));
+    out.push_str(&format!(
+        "  \"local_4_over_1_at_8\": {:.3},\n",
+        sharding_local_speedup(series)
+    ));
+    out.push_str(&format!(
+        "  \"cross_tax_at_4_shards\": {:.3},\n  \"series\": [\n",
+        sharding_cross_tax(series)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"label\": \"{}\",\n      \"shards\": {},\n      \"cross_pct\": {},\n      \"speedup_max_over_1\": {:.3},\n      \"points\": [\n",
+            s.label,
+            s.shards,
+            s.cross_pct,
+            scaling_speedup(&s.points.iter().map(|p| p.scaling.clone()).collect::<Vec<_>>())
+        ));
+        for (pi, p) in s.points.iter().enumerate() {
+            let syncs: Vec<String> = p.shard_syncs.iter().map(|n| n.to_string()).collect();
+            out.push_str(&format!(
+                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"syncs_per_commit\": {:.4}, \"cross_shard_commits\": {}, \"cross_shard_prepares\": {}, \"shard_syncs\": [{}]}}{}\n",
+                p.scaling.connections,
+                p.scaling.seconds,
+                p.scaling.committed,
+                p.scaling.failed,
+                p.scaling.txns_per_sec,
+                p.scaling.syncs_per_commit,
+                p.cross_shard_commits,
+                p.cross_shard_prepares,
+                syncs.join(", "),
+                if pi + 1 < s.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if si + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// One measured point of the `recovery` driver: restart cost after a
 /// crash at a given transaction count.
 #[derive(Debug, Clone)]
@@ -1369,6 +1576,117 @@ mod tests {
         let json = scaling_json(&scale, &series);
         assert!(json.contains("\"experiment\": \"scaling\""));
         assert!(json.contains("\"speedup_max_over_1\": 4.000"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
+    }
+
+    /// Sync-dominated scale for the sharding driver tests: commits pay a
+    /// 2ms serialized device sync, statements are free, so throughput is
+    /// bounded by per-shard sync bandwidth — the axis sharding scales.
+    fn sharding_scale() -> Scale {
+        Scale {
+            txns: 48,
+            users: 60,
+            cities: 4,
+            flights: 80,
+            cost: CostModel {
+                per_statement: Duration::ZERO,
+                per_entangled_eval: Duration::ZERO,
+                per_commit: Duration::from_millis(2),
+            },
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn sharding_driver_four_shards_outscale_one_on_the_local_mix() {
+        // The ISSUE-7 acceptance criterion, in miniature: on the
+        // shard-local mix at 8 connections, 4 per-shard commit pipelines
+        // must reach ≥ 1.5× single-shard throughput (ideal is ~4× — four
+        // log devices sync concurrently instead of queueing on one).
+        let s = sharding_scale();
+        let one = run_sharding(&s, 1, 8, 0);
+        let four = run_sharding(&s, 4, 8, 0);
+        assert_eq!(one.scaling.committed, 48, "{one:?}");
+        assert_eq!(four.scaling.committed, 48, "{four:?}");
+        assert_eq!(four.shard_syncs.len(), 4);
+        assert!(
+            four.shard_syncs.iter().filter(|&&n| n > 0).count() >= 2,
+            "local mix must spread commits over shards: {:?}",
+            four.shard_syncs
+        );
+        let ratio = four.scaling.txns_per_sec / one.scaling.txns_per_sec;
+        assert!(
+            ratio >= 1.5,
+            "4 shards only {ratio:.2}x over 1 shard at 8 connections \
+             (one={:.1} four={:.1} txns/s)",
+            one.scaling.txns_per_sec,
+            four.scaling.txns_per_sec
+        );
+    }
+
+    #[test]
+    fn sharding_driver_cross_mix_pays_the_two_phase_tax() {
+        // Cross-shard transactions drive the CrossPrepare/CrossCommit
+        // path (≥ 2 prepares per unit); the local mix never does.
+        let s = sharding_scale();
+        let cross = run_sharding(&s, 4, 8, SHARDING_CROSS_PCT);
+        assert_eq!(cross.scaling.committed, 48, "{cross:?}");
+        assert!(cross.cross_shard_commits > 0, "{cross:?}");
+        assert!(cross.cross_shard_prepares >= 2 * cross.cross_shard_commits);
+        let local = run_sharding(&s, 4, 8, 0);
+        assert_eq!(local.cross_shard_commits, 0);
+        assert_eq!(local.cross_shard_prepares, 0);
+    }
+
+    #[test]
+    fn sharding_json_is_well_formed() {
+        let scale = Scale::quick();
+        let point = |conns: usize, tps: f64, prepares: u64| ShardingPoint {
+            scaling: ScalingPoint {
+                connections: conns,
+                seconds: 0.5,
+                committed: 100,
+                failed: 0,
+                txns_per_sec: tps,
+                syncs_per_commit: 1.0,
+            },
+            cross_shard_commits: prepares / 2,
+            cross_shard_prepares: prepares,
+            shard_syncs: vec![25, 26, 24, 25],
+        };
+        let series = vec![
+            ShardingSeries {
+                label: "local shards=1".into(),
+                shards: 1,
+                cross_pct: 0,
+                points: vec![point(1, 50.0, 0), point(8, 100.0, 0)],
+            },
+            ShardingSeries {
+                label: "local shards=4".into(),
+                shards: 4,
+                cross_pct: 0,
+                points: vec![point(1, 50.0, 0), point(8, 300.0, 0)],
+            },
+            ShardingSeries {
+                label: "cross shards=4".into(),
+                shards: 4,
+                cross_pct: SHARDING_CROSS_PCT,
+                points: vec![point(1, 40.0, 100), point(8, 150.0, 100)],
+            },
+        ];
+        assert_eq!(sharding_local_speedup(&series), 3.0);
+        assert_eq!(sharding_cross_tax(&series), 2.0);
+        let json = sharding_json(&scale, &series);
+        assert!(json.contains("\"experiment\": \"sharding\""));
+        assert!(json.contains("\"local_4_over_1_at_8\": 3.000"));
+        assert!(json.contains("\"cross_tax_at_4_shards\": 2.000"));
+        assert!(json.contains("\"shard_syncs\": [25, 26, 24, 25]"));
+        assert!(json.contains("\"cross_shard_prepares\": 100"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

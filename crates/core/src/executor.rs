@@ -23,8 +23,8 @@ use youtopia_sql::{
     Select, Statement, VarEnv,
 };
 use youtopia_storage::{
-    eval_spj_counted, CatalogSnapshot, CommitTs, Expr, RowId, ScanStats, SnapshotTables,
-    StorageError, Table, TableProvider, Value,
+    eval_spj_counted, plan_probes_named, CatalogSnapshot, CommitTs, Expr, RowId, ScanStats,
+    SnapshotTables, StorageError, Table, TableProvider, Value,
 };
 use youtopia_wal::LogRecord;
 
@@ -97,7 +97,12 @@ impl<'e> TxnContext<'e> {
     /// per committed write to it — not once per reader. Returns an owned
     /// handle (`Arc` clones — cheap). Unknown names are skipped; lookups
     /// then fail with `NoSuchTable`, mirroring the locked path.
-    fn snapshot_view(&self, names: &[String], ts: CommitTs) -> SnapshotTables {
+    fn snapshot_view(
+        &self,
+        names: &[String],
+        ts: CommitTs,
+        stats: &mut ScanStats,
+    ) -> SnapshotTables {
         let mut cache = self.snapshot_tables.borrow_mut();
         let view = cache.get_or_insert_with(|| SnapshotTables::from_parts(ts, []));
         let missing: Vec<&String> = names.iter().filter(|n| !view.contains(n)).collect();
@@ -106,10 +111,48 @@ impl<'e> TxnContext<'e> {
                 ts,
                 missing
                     .into_iter()
-                    .filter_map(|n| self.engine.snapshot_table(n, ts)),
+                    .filter_map(|n| self.engine.snapshot_table(n, ts, false, stats)),
             ));
         }
         view.clone()
+    }
+
+    /// Swap indexed copies into `view` for every stage whose predicate
+    /// the evaluator would serve through a named index
+    /// ([`plan_probes_named`]). Snapshot copies materialize *without*
+    /// their named indexes (most readers never probe — the lazy-rebuild
+    /// optimization); this is the "first probe" moment that pays the one
+    /// rebuild, upgrading both the engine's memoized copy and this
+    /// advance's cache.
+    fn indexed_view(
+        &self,
+        mut view: SnapshotTables,
+        q: &youtopia_storage::SpjQuery,
+        ts: CommitTs,
+        stats: &mut ScanStats,
+    ) -> SnapshotTables {
+        for (stage, name) in q.tables.iter().enumerate() {
+            let bare = view
+                .table(name)
+                .map(|t| t.named_indexes().is_empty())
+                .unwrap_or(false);
+            if !bare {
+                continue;
+            }
+            let Some(defs) = self.engine.named_defs(name) else {
+                continue;
+            };
+            if !plan_probes_named(q, stage, &defs) {
+                continue;
+            }
+            if let Some(arc) = self.engine.snapshot_table(name, ts, true, stats) {
+                if let Some(cache) = self.snapshot_tables.borrow_mut().as_mut() {
+                    cache.upsert(arc.clone());
+                }
+                view.upsert(arc);
+            }
+        }
+        view
     }
 
     /// Execute one SELECT on the snapshot read path: lower and evaluate
@@ -120,17 +163,18 @@ impl<'e> TxnContext<'e> {
         sel: &Select,
         ts: CommitTs,
     ) -> Result<(), EngineError> {
+        let mut stats = ScanStats::default();
         let mut footprint = Vec::new();
         sel.collect_tables(&mut footprint);
-        let view = self.snapshot_view(&footprint, ts);
+        let view = self.snapshot_view(&footprint, ts, &mut stats);
         let lowered = lower_select(&view, sel, &txn.env)?;
         let mut tables = lowered.query.tables.clone();
         tables.sort();
         tables.dedup();
         // Lowering can surface tables beyond the syntactic footprint;
         // make sure all of them are materialized before evaluation.
-        let view = self.snapshot_view(&tables, ts);
-        let mut stats = ScanStats::default();
+        let view = self.snapshot_view(&tables, ts, &mut stats);
+        let view = self.indexed_view(view, &lowered.query, ts, &mut stats);
         let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
         self.engine.note_scan(stats);
         if self.engine.config.record_history {
@@ -205,6 +249,7 @@ impl<'e> TxnContext<'e> {
         self.engine.note_scan(ScanStats {
             rows_scanned: ids.len() as u64,
             index_lookups: 1,
+            ..ScanStats::default()
         });
         Ok(ids)
     }
@@ -279,7 +324,7 @@ impl<'e> TxnContext<'e> {
         let guard = handle.read();
         self.engine.note_scan(ScanStats {
             rows_scanned: guard.len() as u64,
-            index_lookups: 0,
+            ..ScanStats::default()
         });
         let targets = collect_matches(&guard, pred)?;
         drop(guard);

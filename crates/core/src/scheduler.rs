@@ -155,6 +155,17 @@ pub struct RunReport {
     pub rows_scanned: u64,
     /// Index probes served to this run's statements.
     pub index_lookups: u64,
+    /// Snapshot materializations this run that skipped a named-index
+    /// rebuild (lazy builds: indexes attach on first probe).
+    pub index_rebuilds_avoided: u64,
+    /// Cross-shard commit units this run drove through the two-phase
+    /// protocol (0 on a single-shard engine).
+    pub cross_shard_commits: u64,
+    /// Cross-shard prepare records this run wrote (one per participant
+    /// shard of each cross-shard unit).
+    pub cross_shard_prepares: u64,
+    /// Device syncs this run paid, per shard segment (sums to `syncs`).
+    pub shard_syncs: Vec<u64>,
 }
 
 /// Cumulative statistics.
@@ -187,6 +198,17 @@ pub struct Stats {
     pub rows_scanned: u64,
     /// Index probes (named or anonymous) served across all runs.
     pub index_lookups: u64,
+    /// Snapshot materializations that skipped a named-index rebuild
+    /// across all runs (the lazy-build dividend).
+    pub index_rebuilds_avoided: u64,
+    /// Cross-shard commit units across all runs (the two-phase tax
+    /// counter; 0 on a single-shard engine).
+    pub cross_shard_commits: u64,
+    /// Cross-shard prepare records across all runs.
+    pub cross_shard_prepares: u64,
+    /// Device syncs per shard segment, same scope as `syncs` (their sum).
+    /// Skew here shows whether commit pressure spread across pipelines.
+    pub shard_syncs: Vec<u64>,
 }
 
 impl Stats {
@@ -273,9 +295,13 @@ impl Scheduler {
         self.stats.runs += 1;
         let mut report = RunReport::default();
         let syncs_before = self.engine.wal.sync_count();
-        let batches_before = self.engine.committer.batches();
+        let shard_syncs_before = self.engine.wal.sync_counts();
+        let batches_before = self.engine.commit_batches();
         let scanned_before = self.engine.rows_scanned();
         let lookups_before = self.engine.index_lookups();
+        let rebuilds_avoided_before = self.engine.index_rebuilds_avoided();
+        let cross_commits_before = self.engine.cross_shard_commits();
+        let cross_prepares_before = self.engine.cross_shard_prepares();
         let now = Instant::now();
 
         // Pull the pool; expire transactions whose deadline passed.
@@ -344,11 +370,32 @@ impl Scheduler {
         self.maybe_checkpoint(&mut report);
         report.syncs = self.engine.wal.sync_count() - syncs_before;
         self.stats.syncs += report.syncs;
-        self.stats.commit_batches += self.engine.committer.batches() - batches_before;
+        report.shard_syncs = self
+            .engine
+            .wal
+            .sync_counts()
+            .iter()
+            .zip(&shard_syncs_before)
+            .map(|(after, before)| after - before)
+            .collect();
+        if self.stats.shard_syncs.len() != report.shard_syncs.len() {
+            self.stats.shard_syncs = vec![0; report.shard_syncs.len()];
+        }
+        for (total, delta) in self.stats.shard_syncs.iter_mut().zip(&report.shard_syncs) {
+            *total += delta;
+        }
+        self.stats.commit_batches += self.engine.commit_batches() - batches_before;
         report.rows_scanned = self.engine.rows_scanned() - scanned_before;
         report.index_lookups = self.engine.index_lookups() - lookups_before;
+        report.index_rebuilds_avoided =
+            self.engine.index_rebuilds_avoided() - rebuilds_avoided_before;
+        report.cross_shard_commits = self.engine.cross_shard_commits() - cross_commits_before;
+        report.cross_shard_prepares = self.engine.cross_shard_prepares() - cross_prepares_before;
         self.stats.rows_scanned += report.rows_scanned;
         self.stats.index_lookups += report.index_lookups;
+        self.stats.index_rebuilds_avoided += report.index_rebuilds_avoided;
+        self.stats.cross_shard_commits += report.cross_shard_commits;
+        self.stats.cross_shard_prepares += report.cross_shard_prepares;
         report
     }
 

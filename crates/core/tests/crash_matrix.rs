@@ -62,8 +62,13 @@ fn workload_log_configured(
     connections: usize,
     checkpoint: CheckpointPolicy,
 ) -> Vec<u8> {
+    // The byte-cut matrix models ONE log device: it concatenates the
+    // record stream and truncates it at every byte, so it is pinned to a
+    // single shard regardless of `YOUTOPIA_SHARDS`. The sharded variant
+    // with independent per-segment cuts lives in `sharded_crash_matrix.rs`.
     let engine = Arc::new(Engine::new(EngineConfig {
         record_history: false,
+        shards: 1,
         ..EngineConfig::default()
     }));
     engine

@@ -1,0 +1,400 @@
+//! Crash-matrix property test for the **sharded** log: N per-shard
+//! segments cut at independent byte boundaries.
+//!
+//! A real multi-shard workload (shard-local transactions, cross-shard
+//! classicals, and entangled pairs whose members straddle shards)
+//! produces one WAL segment per shard; the matrix then truncates each
+//! segment independently — simulating a crash where every device lost a
+//! different amount of tail — and asserts that sharded recovery:
+//!
+//! 1. never half-commits a **cross-shard unit**: for every
+//!    `CrossPrepare` in any durable prefix, either all member
+//!    transactions win or none do, no matter which participant's
+//!    segment was torn;
+//! 2. never produces a durable **widow**: every `EntangleGroup` on any
+//!    segment is all-in or all-out of the union winner set;
+//! 3. is **idempotent**: re-partitioning the recovered database into
+//!    per-shard bootstrap logs and recovering *those* reproduces the
+//!    same state (recover ∘ recover is a fixpoint);
+//! 4. rebuilds every **named index** coherently against the recovered
+//!    heap, per shard.
+//!
+//! Cut combinations are restricted to *reachable* crash states. The
+//! commit pipeline appends `CrossCommit{xid}` only after every
+//! participant's `CrossPrepare{xid}` has been synced, so no real crash
+//! can retain the shortcut record while a participant's prepare is
+//! lost. Arbitrary independent cuts can manufacture exactly that
+//! impossible state; [`enforce_sync_order`] repairs a sampled cut by
+//! dropping any `CrossCommit` whose participants' prepares are not all
+//! durable (a strictly earlier, reachable crash on that shard).
+
+use entangled_txn::{CheckpointPolicy, Engine, EngineConfig, Program, Scheduler, SchedulerConfig};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+use youtopia_storage::{shard_of_table, RowId, Value};
+use youtopia_wal::{recover_sharded, LogRecord, Lsn};
+
+const SHARDS: usize = 4;
+
+fn flight_pair(me: &str, other: &str) -> Program {
+    // Reads Flights (one shard), inserts Reserve (another): an entangled
+    // group whose members each straddle two shards.
+    Program::parse(&format!(
+        "BEGIN WITH TIMEOUT 10 SECONDS; \
+         SELECT '{me}', fno AS @fno INTO ANSWER R \
+         WHERE fno IN (SELECT fno FROM Flights WHERE dest='LA') \
+         AND ('{other}', fno) IN ANSWER R CHOOSE 1; \
+         INSERT INTO Reserve (uid, fid) VALUES ('{me}', @fno); COMMIT;"
+    ))
+    .expect("valid pair program")
+}
+
+fn cross_classical(i: usize) -> Program {
+    Program::parse(&format!(
+        "BEGIN; INSERT INTO Reserve (uid, fid) VALUES ('solo{i}', {}); \
+         UPDATE Flights SET fno = fno WHERE dest = 'LA'; COMMIT;",
+        100 + i
+    ))
+    .expect("valid classical program")
+}
+
+fn local_reserve(i: usize) -> Program {
+    Program::parse(&format!(
+        "BEGIN; INSERT INTO Reserve (uid, fid) VALUES ('r{i}', {i}); COMMIT;"
+    ))
+    .expect("valid local program")
+}
+
+fn local_hotel(i: usize) -> Program {
+    Program::parse(&format!(
+        "BEGIN; INSERT INTO Hotels (hid, city) VALUES ({i}, 'LA'); COMMIT;"
+    ))
+    .expect("valid local program")
+}
+
+/// Drive a mixed shard-local/cross-shard workload on a 4-shard engine
+/// and return each shard's re-encoded segment bytes. Built once: the
+/// matrix varies the cuts, not the workload.
+fn shard_segments() -> &'static Vec<Vec<u8>> {
+    static SEGMENTS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    SEGMENTS.get_or_init(|| {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            record_history: false,
+            shards: SHARDS,
+            ..EngineConfig::default()
+        }));
+        engine
+            .setup(
+                "CREATE TABLE Flights (fno INT, dest TEXT);\
+                 CREATE TABLE Reserve (uid TEXT, fid INT);\
+                 CREATE TABLE Hotels (hid INT, city TEXT);\
+                 CREATE INDEX reserve_uid ON Reserve (uid);\
+                 CREATE INDEX hotels_city ON Hotels (city);\
+                 INSERT INTO Flights VALUES (122, 'LA');\
+                 INSERT INTO Flights VALUES (123, 'LA');",
+            )
+            .expect("setup");
+        let mut sched = Scheduler::new(
+            engine.clone(),
+            SchedulerConfig {
+                connections: 4,
+                checkpoint: CheckpointPolicy::DISABLED,
+                ..SchedulerConfig::default()
+            },
+        );
+        for wave in 0..2 {
+            for i in 0..2 {
+                let a = format!("a{wave}_{i}");
+                let b = format!("b{wave}_{i}");
+                sched.submit(flight_pair(&a, &b));
+                sched.submit(flight_pair(&b, &a));
+                sched.submit(local_reserve(wave * 10 + i));
+                sched.submit(local_hotel(wave * 10 + i));
+            }
+            sched.submit(cross_classical(wave));
+            sched.run_once();
+        }
+        sched.drain();
+        let logs = engine
+            .wal
+            .durable_records_sharded()
+            .expect("clean segments");
+        assert_eq!(logs.len(), SHARDS);
+        let prepared_shards = logs
+            .iter()
+            .filter(|log| {
+                log.iter()
+                    .any(|(_, r)| matches!(r, LogRecord::CrossPrepare { .. }))
+            })
+            .count();
+        assert!(
+            prepared_shards >= 2,
+            "workload must drive cross-shard commits ({prepared_shards} shards saw prepares)"
+        );
+        logs.iter()
+            .map(|log| {
+                let mut bytes = Vec::new();
+                for (_, rec) in log {
+                    bytes.extend_from_slice(&rec.encode());
+                }
+                bytes
+            })
+            .collect()
+    })
+}
+
+/// Decode the clean prefix of one truncated segment.
+fn durable_prefix(bytes: &[u8]) -> Vec<(Lsn, LogRecord)> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match LogRecord::decode(bytes, off) {
+            Ok((rec, next)) => {
+                out.push((Lsn(off as u64), rec));
+                off = next;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Repair a sampled cut combination into a reachable crash state: drop
+/// every `CrossCommit{xid}` (and the records after it) on shards where
+/// some participant named by `xid`'s prepare is not durable. Loops to a
+/// fixpoint because dropping a tail can also drop a `CrossPrepare`
+/// another shard's shortcut depended on.
+fn enforce_sync_order(prefixes: &mut [Vec<(Lsn, LogRecord)>]) {
+    loop {
+        let mut prepared: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        let mut required: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for (s, log) in prefixes.iter().enumerate() {
+            for (_, rec) in log {
+                if let LogRecord::CrossPrepare { xid, shards, .. } = rec {
+                    prepared.entry(*xid).or_default().insert(s as u64);
+                    required
+                        .entry(*xid)
+                        .or_default()
+                        .extend(shards.iter().copied());
+                }
+            }
+        }
+        let all_prepared = |xid: &u64| {
+            required.get(xid).is_some_and(|req| {
+                req.iter()
+                    .all(|s| prepared.get(xid).is_some_and(|p| p.contains(s)))
+            })
+        };
+        let mut changed = false;
+        for log in prefixes.iter_mut() {
+            if let Some(i) = log.iter().position(
+                |(_, r)| matches!(r, LogRecord::CrossCommit { xid } if !all_prepared(xid)),
+            ) {
+                log.truncate(i);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Every named index of a recovered database equals an oracle rebuilt
+/// from the recovered heap.
+fn assert_recovered_indexes_match_heap(db: &youtopia_storage::Database, context: &str) {
+    for name in db.table_names() {
+        let t = db.table(&name).expect("listed table");
+        for idx in t.named_indexes().iter() {
+            let mut oracle: BTreeMap<Value, Vec<RowId>> = BTreeMap::new();
+            for (id, row) in t.scan() {
+                oracle
+                    .entry(row[idx.column()].clone())
+                    .or_default()
+                    .push(id);
+            }
+            let mut oracle: Vec<(Value, Vec<RowId>)> = oracle.into_iter().collect();
+            for (_, ids) in &mut oracle {
+                ids.sort_unstable();
+            }
+            assert_eq!(
+                idx.entries(),
+                oracle,
+                "{context}: recovered index {} on {}.{} diverged from the heap",
+                idx.name(),
+                name,
+                idx.column_name()
+            );
+        }
+    }
+}
+
+/// Re-partition a recovered database into per-shard bootstrap logs
+/// (DDL + index defs + surviving rows, committed by tx 0), routed by
+/// the same table-partitioning rule the engine uses.
+fn sharded_checkpoint_logs(db: &youtopia_storage::Database) -> Vec<Vec<(Lsn, LogRecord)>> {
+    let mut logs: Vec<Vec<LogRecord>> = vec![Vec::new(); SHARDS];
+    for name in db.table_names() {
+        let t = db.table(&name).expect("listed table");
+        let recs = &mut logs[shard_of_table(&name, SHARDS)];
+        recs.push(LogRecord::CreateTable {
+            name: name.clone(),
+            schema: t.schema().clone(),
+        });
+        for idx in t.named_indexes().iter() {
+            recs.push(LogRecord::CreateIndex {
+                table: name.clone(),
+                name: idx.name().to_string(),
+                column: idx.column_name().to_string(),
+                kind: idx.kind(),
+            });
+        }
+        for (id, row) in t.scan() {
+            recs.push(LogRecord::Insert {
+                tx: 0,
+                table: name.clone(),
+                row: id.0,
+                values: row.clone(),
+            });
+        }
+    }
+    logs.into_iter()
+        .map(|mut recs| {
+            recs.push(LogRecord::Commit { tx: 0, ts: 0 });
+            recs.into_iter()
+                .enumerate()
+                .map(|(i, r)| (Lsn(i as u64), r))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn independent_shard_cuts_are_atomic_widow_free_and_idempotent(
+        fracs in prop::collection::vec(0u32..=1000, SHARDS..SHARDS + 1),
+    ) {
+        let segments = shard_segments();
+        let mut prefixes: Vec<Vec<(Lsn, LogRecord)>> = segments
+            .iter()
+            .zip(&fracs)
+            .map(|(bytes, f)| {
+                let cut = (bytes.len() as u64 * *f as u64 / 1000) as usize;
+                durable_prefix(&bytes[..cut])
+            })
+            .collect();
+        enforce_sync_order(&mut prefixes);
+
+        let out = recover_sharded(&prefixes);
+        let winners: BTreeSet<u64> = out
+            .shards
+            .iter()
+            .flat_map(|o| o.winners.iter().copied())
+            .collect();
+        let losers: BTreeSet<u64> = out
+            .shards
+            .iter()
+            .flat_map(|o| o.losers.iter().copied())
+            .collect();
+
+        // Cross-shard atomicity: every unit named by a durable prepare is
+        // all-in or all-out of the union winner set, no matter which
+        // participant segments were torn.
+        for log in &prefixes {
+            for (_, rec) in log {
+                if let LogRecord::CrossPrepare { xid, txs, .. } = rec {
+                    let won = txs.iter().filter(|t| winners.contains(t)).count();
+                    prop_assert!(
+                        won == 0 || won == txs.len(),
+                        "cuts {fracs:?}: unit {xid} half-committed ({won}/{} won)",
+                        txs.len()
+                    );
+                    // The global verdict and the winner set agree.
+                    let resolved = out.resolution.committed_xids.contains(xid);
+                    prop_assert_eq!(
+                        won == txs.len(), resolved,
+                        "cuts {:?}: unit {} verdict mismatch", &fracs, xid
+                    );
+                }
+            }
+        }
+
+        // Widow-freedom: every entanglement group on any segment is
+        // all-in or all-out. A transaction that wins on one shard must
+        // not lose on another.
+        for log in &prefixes {
+            for (_, rec) in log {
+                if let LogRecord::EntangleGroup { txs, .. } = rec {
+                    let won = txs.iter().filter(|t| winners.contains(t)).count();
+                    prop_assert!(
+                        won == 0 || won == txs.len(),
+                        "cuts {fracs:?}: durable widow in group {txs:?} ({won}/{} won)",
+                        txs.len()
+                    );
+                }
+            }
+        }
+        // Tx 0 is exempt: setup commits the bootstrap image on each
+        // shard independently (no cross-shard unit), so a cut below one
+        // shard's setup commit loses tx 0 there while it wins elsewhere
+        // — each shard just restarts with less of the seed data.
+        for w in winners.iter().filter(|w| **w != 0) {
+            prop_assert!(!losers.contains(w), "cuts {fracs:?}: tx {w} both wins and loses");
+        }
+
+        // Recovered named indexes are coherent with the recovered heap
+        // on every shard partition (the merged db preserves them).
+        assert_recovered_indexes_match_heap(&out.db, &format!("cuts {fracs:?}"));
+
+        // recover ∘ recover is a fixpoint over the sharded pipeline too:
+        // re-partition the merged state into per-shard bootstrap logs and
+        // recover those.
+        let again = recover_sharded(&sharded_checkpoint_logs(&out.db));
+        prop_assert_eq!(
+            again.db.canonical(),
+            out.db.canonical(),
+            "cuts {:?}: recover-of-recovered state diverged", &fracs
+        );
+        prop_assert!(again.resolution.aborted_xids.is_empty());
+        assert_recovered_indexes_match_heap(&again.db, &format!("cuts {fracs:?} (re-recovered)"));
+    }
+}
+
+/// Untruncated segments recover the whole workload — the sanity anchor:
+/// every pair booking, every shard-local insert, every cross-shard
+/// classical survives, and nothing is in doubt.
+#[test]
+fn full_segments_recover_every_commit() {
+    let prefixes: Vec<Vec<(Lsn, LogRecord)>> =
+        shard_segments().iter().map(|b| durable_prefix(b)).collect();
+    let out = recover_sharded(&prefixes);
+    assert!(
+        out.resolution.aborted_xids.is_empty(),
+        "nothing in doubt at the durable frontier"
+    );
+    assert!(
+        !out.resolution.committed_xids.is_empty(),
+        "workload drove cross-shard units"
+    );
+    let reserve = out.db.table("Reserve").expect("Reserve recovered");
+    // 2 waves × (2 pairs × 2 members + 2 locals) + 2 cross classicals.
+    assert_eq!(reserve.len(), 14);
+    let hotels = out.db.table("Hotels").expect("Hotels recovered");
+    assert_eq!(hotels.len(), 4);
+    // Segments hold only their own partition's redo.
+    for (s, log) in prefixes.iter().enumerate() {
+        for (_, rec) in log {
+            if let LogRecord::Insert { table, .. } = rec {
+                assert_eq!(
+                    shard_of_table(table, SHARDS),
+                    s,
+                    "redo for {table} landed on foreign shard {s}"
+                );
+            }
+        }
+    }
+    assert_recovered_indexes_match_heap(&out.db, "full segments");
+}

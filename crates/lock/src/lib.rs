@@ -16,10 +16,17 @@
 //!   scheduler aborts a blocked transaction at the end of a run),
 //! * early release for the relaxed isolation levels of §3.3.1.
 
+//!
+//! For the sharded engine, [`ShardedLocks`] fronts N independent
+//! [`LockManager`]s with a routing rule, so shard-local transactions never
+//! touch another shard's manager (see the `sharded` module docs).
+
 pub mod manager;
 pub mod mode;
 pub mod resource;
+pub mod sharded;
 
 pub use manager::{LockError, LockManager, LockStats};
 pub use mode::LockMode;
 pub use resource::{Resource, TxId};
+pub use sharded::{Router, ShardedLocks};

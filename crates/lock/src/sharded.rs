@@ -1,0 +1,205 @@
+//! Per-shard lock managers behind one routing facade.
+//!
+//! [`ShardedLocks`] owns N independent [`LockManager`]s and routes every
+//! resource to one of them through a caller-supplied function (the engine
+//! routes by the resource's table shard, so a shard-local transaction
+//! contends only on its own manager's mutex). Deadlock detection stays
+//! per shard: a waits-for cycle that straddles shards is invisible to any
+//! single manager and is broken by the lock timeout instead — the same
+//! fallback a distributed lock manager accepts for the rare cross-shard
+//! conflict.
+//!
+//! Transaction-scoped operations (`unlock_all`, `cancel`, `held`)
+//! broadcast to every shard; a transaction's locks may be spread over
+//! several of them.
+
+use crate::manager::{LockError, LockManager};
+use crate::mode::LockMode;
+use crate::resource::{Resource, TxId};
+use std::fmt;
+use std::time::Duration;
+
+/// Picks the shard owning a resource.
+pub type Router = Box<dyn Fn(&Resource) -> usize + Send + Sync>;
+
+/// N per-shard [`LockManager`]s plus the routing rule between them.
+pub struct ShardedLocks {
+    shards: Vec<LockManager>,
+    route: Router,
+}
+
+impl fmt::Debug for ShardedLocks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedLocks")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Default for ShardedLocks {
+    fn default() -> ShardedLocks {
+        ShardedLocks::single()
+    }
+}
+
+impl ShardedLocks {
+    /// One shard, trivial routing — behaviourally a plain [`LockManager`].
+    pub fn single() -> ShardedLocks {
+        ShardedLocks::with_router(1, Box::new(|_| 0))
+    }
+
+    /// `n` shards (clamped to at least 1) with the given routing rule.
+    /// The router must be total and stable: the same resource always maps
+    /// to the same shard in `0..n`.
+    pub fn with_router(n: usize, route: Router) -> ShardedLocks {
+        ShardedLocks {
+            shards: (0..n.max(1)).map(|_| LockManager::new()).collect(),
+            route,
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The manager owning shard `i`.
+    pub fn shard(&self, i: usize) -> &LockManager {
+        &self.shards[i]
+    }
+
+    /// The shard `res` routes to.
+    pub fn shard_of(&self, res: &Resource) -> usize {
+        (self.route)(res).min(self.shards.len() - 1)
+    }
+
+    /// Acquire `mode` on `res` for `tx` on the owning shard (see
+    /// [`LockManager::lock`]).
+    pub fn lock(
+        &self,
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        timeout: Option<Duration>,
+    ) -> Result<(), LockError> {
+        let s = self.shard_of(&res);
+        self.shards[s].lock(tx, res, mode, timeout)
+    }
+
+    /// Non-blocking acquire on the owning shard.
+    pub fn try_lock(&self, tx: TxId, res: Resource, mode: LockMode) -> bool {
+        let s = self.shard_of(&res);
+        self.shards[s].try_lock(tx, res, mode)
+    }
+
+    /// Release one resource on its owning shard.
+    pub fn release(&self, tx: TxId, res: &Resource) {
+        self.shards[self.shard_of(res)].release(tx, res);
+    }
+
+    /// Release everything `tx` holds, on every shard.
+    pub fn unlock_all(&self, tx: TxId) {
+        for m in &self.shards {
+            m.unlock_all(tx);
+        }
+    }
+
+    /// Cancel `tx`'s pending waits on every shard.
+    pub fn cancel(&self, tx: TxId) {
+        for m in &self.shards {
+            m.cancel(tx);
+        }
+    }
+
+    /// Drop all state on every shard (recovery).
+    pub fn reset(&self) {
+        for m in &self.shards {
+            m.reset();
+        }
+    }
+
+    /// Whether **every** shard is quiescent.
+    pub fn quiescent(&self) -> bool {
+        self.shards.iter().all(|m| m.quiescent())
+    }
+
+    /// Whether shard `i` alone is quiescent — the per-shard checkpoint
+    /// gate: one busy shard no longer blocks checkpointing the others.
+    pub fn quiescent_shard(&self, i: usize) -> bool {
+        self.shards[i].quiescent()
+    }
+
+    /// Everything `tx` holds, across all shards.
+    pub fn held(&self, tx: TxId) -> Vec<(Resource, LockMode)> {
+        let mut out = Vec::new();
+        for m in &self.shards {
+            out.extend(m.held(tx));
+        }
+        out
+    }
+
+    /// Total grants across shards (diagnostics).
+    pub fn total_grants(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|m| m.stats().grants.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_sharded() -> ShardedLocks {
+        // Route by first byte parity: "a…" → 0, "b…" → 1, etc.
+        ShardedLocks::with_router(
+            2,
+            Box::new(|r| (r.table_name().as_bytes().first().copied().unwrap_or(0) % 2) as usize),
+        )
+    }
+
+    #[test]
+    fn routing_is_stable_and_operations_land_on_one_shard() {
+        let l = two_sharded();
+        let ra = Resource::table("aa");
+        let rb = Resource::table("bb");
+        assert_ne!(l.shard_of(&ra), l.shard_of(&rb));
+        l.lock(TxId(1), ra.clone(), LockMode::X, None).unwrap();
+        l.lock(TxId(1), rb.clone(), LockMode::S, None).unwrap();
+        assert_eq!(l.held(TxId(1)).len(), 2, "held() spans shards");
+        assert!(!l.quiescent());
+        // The shard that holds nothing is quiescent on its own.
+        let busy = l.shard_of(&ra);
+        assert!(!l.quiescent_shard(busy));
+        l.release(TxId(1), &ra);
+        assert!(l.quiescent_shard(busy));
+        assert!(!l.quiescent_shard(1 - busy));
+        l.unlock_all(TxId(1));
+        assert!(l.quiescent());
+    }
+
+    #[test]
+    fn conflicts_on_different_shards_do_not_interact() {
+        let l = two_sharded();
+        l.lock(TxId(1), Resource::table("aa"), LockMode::X, None)
+            .unwrap();
+        // A second transaction on the other shard is not delayed.
+        assert!(l.try_lock(TxId(2), Resource::table("bb"), LockMode::X));
+        // But the same resource conflicts as usual.
+        assert!(!l.try_lock(TxId(2), Resource::table("aa"), LockMode::S));
+        l.reset();
+        assert!(l.quiescent());
+    }
+
+    #[test]
+    fn single_shard_facade_matches_plain_manager() {
+        let l = ShardedLocks::single();
+        assert_eq!(l.shards(), 1);
+        l.lock(TxId(1), Resource::row("t", 3), LockMode::X, None)
+            .unwrap();
+        assert_eq!(l.shard_of(&Resource::row("t", 3)), 0);
+        assert_eq!(l.held(TxId(1)).len(), 1);
+        l.unlock_all(TxId(1));
+        assert!(l.quiescent());
+    }
+}

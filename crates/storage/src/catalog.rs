@@ -106,6 +106,13 @@ impl Database {
         Ok(())
     }
 
+    /// Adopt an already-built table (the key is re-derived from its own
+    /// name; replaces any existing entry). Used when merging per-shard
+    /// recovery partitions, whose table sets are disjoint.
+    pub fn adopt_table(&mut self, t: Table) {
+        self.tables.insert(Self::key(t.name()), t);
+    }
+
     /// Create a table, replacing any existing one (used by recovery).
     pub fn create_or_replace_table(&mut self, name: &str, schema: Schema) {
         self.tables

@@ -288,6 +288,13 @@ impl SnapshotTables {
     pub fn contains(&self, name: &str) -> bool {
         self.tables.contains_key(&ConcurrentCatalog::key(name))
     }
+
+    /// Insert or **replace** one table (unlike [`SnapshotTables::absorb`],
+    /// which keeps existing entries). Used when a probing reader upgrades
+    /// an index-less materialization to an indexed one mid-transaction.
+    pub fn upsert(&mut self, t: Arc<Table>) {
+        self.tables.insert(ConcurrentCatalog::key(t.name()), t);
+    }
 }
 
 impl TableProvider for SnapshotTables {

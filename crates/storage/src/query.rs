@@ -8,6 +8,7 @@
 
 use crate::catalog::{StorageError, TableProvider};
 use crate::expr::{CmpOp, Expr};
+use crate::index::IndexSet;
 use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 use std::ops::Bound;
@@ -60,6 +61,10 @@ pub struct QueryOutput {
 pub struct ScanStats {
     pub rows_scanned: u64,
     pub index_lookups: u64,
+    /// Snapshot materializations that skipped the named-index rebuild
+    /// because the reader's plan never probes one (see
+    /// [`crate::Table::snapshot_at_with`]).
+    pub index_rebuilds_avoided: u64,
 }
 
 impl ScanStats {
@@ -67,6 +72,7 @@ impl ScanStats {
     pub fn add(&mut self, other: ScanStats) {
         self.rows_scanned += other.rows_scanned;
         self.index_lookups += other.index_lookups;
+        self.index_rebuilds_avoided += other.index_rebuilds_avoided;
     }
 }
 
@@ -206,6 +212,37 @@ fn range_probe<'t>(
         );
     }
     None
+}
+
+/// Whether evaluating `q` **may** probe a named index of the stage-`k`
+/// table whose declared indexes are `named` — the same conditions
+/// `lookup_pairs` and `range_probe` test, minus the row bindings (which
+/// only exist mid-join). Used by snapshot readers to decide whether a
+/// materialized copy needs its named indexes built at all; an
+/// over-approximation is safe (an unused rebuild), an under-approximation
+/// merely costs a scan fallback.
+pub fn plan_probes_named(q: &SpjQuery, stage: usize, named: &IndexSet) -> bool {
+    if named.is_empty() {
+        return false;
+    }
+    q.predicate.conjuncts().iter().any(|c| {
+        let Expr::Cmp { op, lhs, rhs } = c else {
+            return false;
+        };
+        let (col, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Col { tbl, col }, o) if *tbl == stage => (*col, o, *op),
+            (o, Expr::Col { tbl, col }) if *tbl == stage => (*col, o, op.flip()),
+            _ => return false,
+        };
+        if other.max_table().is_some_and(|t| t >= stage) {
+            return false;
+        }
+        match op {
+            CmpOp::Eq => named.on_column(col).is_some(),
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => named.btree_on_column(col).is_some(),
+            _ => false,
+        }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -372,6 +372,15 @@ impl Table {
     /// anonymous join-pushdown hash indexes are not copied (the evaluator
     /// falls back to scans for those).
     pub fn snapshot_at(&self, ts: CommitTs) -> Table {
+        self.snapshot_at_with(ts, true)
+    }
+
+    /// [`Table::snapshot_at`] with the named-index rebuild made optional.
+    /// With `build_named = false` the copy carries **no** named indexes at
+    /// all (the evaluator falls back to scans), so a reader whose plan
+    /// never probes skips the O(rows) rebuild entirely; a later probing
+    /// reader upgrades the copy via [`Table::adopt_named_indexes`].
+    pub fn snapshot_at_with(&self, ts: CommitTs, build_named: bool) -> Table {
         let mut t = Table::new(self.name.clone(), self.schema.clone());
         for (id, row) in self.snapshot_scan(ts) {
             let idx = id.0 as usize;
@@ -381,11 +390,19 @@ impl Table {
             t.slots[idx] = Some(row.clone());
             t.live += 1;
         }
-        if !self.named.is_empty() {
+        if build_named && !self.named.is_empty() {
             t.named = self.named.defs_only();
             t.rebuild_named_indexes();
         }
         t
+    }
+
+    /// Attach the given named-index definitions and build their contents
+    /// from this table's live rows — the upgrade path for a snapshot copy
+    /// that was materialized without indexes and is now being probed.
+    pub fn adopt_named_indexes(&mut self, defs: &IndexSet) {
+        self.named = defs.defs_only();
+        self.rebuild_named_indexes();
     }
 
     /// Seal the current working state as the one committed version of

@@ -25,15 +25,26 @@
 //! [`GroupCommitter`] batches concurrent sync requests behind a leader whose
 //! single device sync (bounded by [`LogRecord::CommitBatch`]) covers every
 //! follower — syncs-per-commit drops below one under concurrency.
+//!
+//! The log can also be **sharded** ([`ShardedWal`]): N independent segments,
+//! each with its own device and sync pipeline. Cross-shard commit units are
+//! kept atomic across segments by the two-phase
+//! [`LogRecord::CrossPrepare`] / [`LogRecord::CrossCommit`] protocol, and
+//! [`recover_sharded`] replays the segments in parallel.
 
 pub mod device;
 pub mod group;
 pub mod log;
 pub mod record;
 pub mod recover;
+pub mod sharded;
 
 pub use device::StableStorage;
 pub use group::GroupCommitter;
 pub use log::{LsnRange, Wal};
 pub use record::{CodecError, LogRecord, Lsn};
-pub use recover::{recover, RecoveryOutcome};
+pub use recover::{
+    recover, recover_sharded, recover_with, resolve_cross_shard, CrossResolution, RecoveryOutcome,
+    ShardedRecoveryOutcome,
+};
+pub use sharded::ShardedWal;

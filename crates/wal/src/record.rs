@@ -119,6 +119,26 @@ pub enum LogRecord {
         column: String,
         kind: IndexKind,
     },
+    /// Phase one of a cross-shard commit: shard-local redo for cross-shard
+    /// unit `xid` (one transaction, or one entanglement group straddling
+    /// shards) is durable on this segment. `txs` are the member
+    /// transactions, `shards` every participating shard — so recovery on
+    /// any one segment knows which other segments to consult. The unit is
+    /// committed iff *every* shard in `shards` holds a durable
+    /// `CrossPrepare{xid}` (or any holds a [`LogRecord::CrossCommit`]);
+    /// a torn tail on one segment therefore aborts the unit everywhere.
+    CrossPrepare {
+        xid: u64,
+        txs: Vec<u64>,
+        shards: Vec<u64>,
+    },
+    /// Phase two of a cross-shard commit: all participant prepares for
+    /// `xid` are durable. Written after the last prepare sync, never
+    /// force-synced itself — it only shortcuts the participant-log
+    /// consultation during recovery.
+    CrossCommit {
+        xid: u64,
+    },
 }
 
 /// Codec failures.
@@ -430,6 +450,16 @@ impl LogRecord {
                     IndexKind::Btree => 1,
                 });
             }
+            LogRecord::CrossPrepare { xid, txs, shards } => {
+                body.put_u8(14);
+                body.put_u64_le(*xid);
+                put_u64s(&mut body, txs);
+                put_u64s(&mut body, shards);
+            }
+            LogRecord::CrossCommit { xid } => {
+                body.put_u8(15);
+                body.put_u64_le(*xid);
+            }
         }
         let mut frame = Vec::with_capacity(body.len() + 8);
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -551,6 +581,14 @@ impl LogRecord {
                     kind,
                 }
             }
+            14 => LogRecord::CrossPrepare {
+                xid: need_u64(&mut buf)?,
+                txs: get_u64s(&mut buf)?,
+                shards: get_u64s(&mut buf)?,
+            },
+            15 => LogRecord::CrossCommit {
+                xid: need_u64(&mut buf)?,
+            },
             _ => return Err(CodecError::Corrupt("record tag")),
         };
         if buf.has_remaining() {
@@ -629,6 +667,12 @@ mod tests {
                 column: "uid".into(),
                 kind: IndexKind::Btree,
             },
+            LogRecord::CrossPrepare {
+                xid: 9,
+                txs: vec![7, 8],
+                shards: vec![0, 2],
+            },
+            LogRecord::CrossCommit { xid: 9 },
         ]
     }
 

@@ -13,6 +13,14 @@
 //! partners failed to commit — this is the widowed-transaction rule
 //! projected onto recovery, and the fixpoint below implements it.
 
+//! Sharded part: with per-shard log segments, a transaction (or entangled
+//! group) straddling shards commits via a two-phase cross-shard record —
+//! [`LogRecord::CrossPrepare`] durable on *every* participant segment is
+//! the commit point, [`LogRecord::CrossCommit`] merely shortcuts the
+//! participant consultation. [`recover_sharded`] resolves such in-doubt
+//! units globally ([`resolve_cross_shard`]), then replays each shard's
+//! segment in parallel with the resolution overlaid on its local analysis.
+
 use crate::record::{LogRecord, Lsn};
 use std::collections::{BTreeMap, BTreeSet};
 use youtopia_storage::{Database, RowId};
@@ -91,16 +99,79 @@ fn record_max_tx(rec: &LogRecord) -> u64 {
         | LogRecord::Update { tx, .. }
         | LogRecord::Commit { tx, .. }
         | LogRecord::Abort { tx } => *tx,
-        LogRecord::EntangleGroup { txs, .. } | LogRecord::CommitBatch { txs, .. } => {
-            txs.iter().copied().max().unwrap_or(0)
-        }
+        LogRecord::EntangleGroup { txs, .. }
+        | LogRecord::CommitBatch { txs, .. }
+        | LogRecord::CrossPrepare { txs, .. } => txs.iter().copied().max().unwrap_or(0),
         LogRecord::Checkpoint { active, .. } => active.iter().copied().max().unwrap_or(0),
         LogRecord::GroupCommit { .. }
         | LogRecord::CreateTable { .. }
         | LogRecord::CreateIndex { .. }
         | LogRecord::CheckpointTable { .. }
-        | LogRecord::CheckpointEnd { .. } => 0,
+        | LogRecord::CheckpointEnd { .. }
+        | LogRecord::CrossCommit { .. } => 0,
     }
+}
+
+/// The global verdict on cross-shard commit units, computed by
+/// [`resolve_cross_shard`] and overlaid on each shard's local analysis:
+/// members of a globally-committed unit count as winners even where the
+/// local `Commit` record was torn off, and members of a globally-aborted
+/// unit lose even where a local `Commit` record *is* durable (the unit's
+/// prepare never became durable on every participant).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CrossResolution {
+    /// Member transactions of units resolved committed.
+    pub committed: BTreeSet<u64>,
+    /// Member transactions of units resolved aborted.
+    pub aborted: BTreeSet<u64>,
+    /// Unit ids resolved committed.
+    pub committed_xids: BTreeSet<u64>,
+    /// Unit ids resolved aborted (in-doubt units whose prepare was torn
+    /// off at least one participant segment).
+    pub aborted_xids: BTreeSet<u64>,
+}
+
+/// Decide every cross-shard unit named in the given per-shard durable
+/// logs. Unit `xid` is **committed** iff any segment holds a
+/// [`LogRecord::CrossCommit`] for it, or every shard its
+/// [`LogRecord::CrossPrepare`] names holds a durable prepare; otherwise it
+/// is aborted. Index `i` of `logs` is shard `i`'s durable record stream.
+pub fn resolve_cross_shard(logs: &[Vec<(Lsn, LogRecord)>]) -> CrossResolution {
+    // xid -> (required participant shards, member transactions).
+    let mut units: BTreeMap<u64, (BTreeSet<u64>, BTreeSet<u64>)> = BTreeMap::new();
+    // xid -> shards whose segment holds a durable prepare.
+    let mut prepared_on: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut cross_committed: BTreeSet<u64> = BTreeSet::new();
+    for (i, log) in logs.iter().enumerate() {
+        for (_, rec) in log {
+            match rec {
+                LogRecord::CrossPrepare { xid, txs, shards } => {
+                    let e = units.entry(*xid).or_default();
+                    e.0.extend(shards.iter().copied());
+                    e.1.extend(txs.iter().copied());
+                    prepared_on.entry(*xid).or_default().insert(i as u64);
+                }
+                LogRecord::CrossCommit { xid } => {
+                    cross_committed.insert(*xid);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut res = CrossResolution::default();
+    for (xid, (required, txs)) in units {
+        let all_prepared = required
+            .iter()
+            .all(|s| prepared_on.get(&xid).is_some_and(|p| p.contains(s)));
+        if cross_committed.contains(&xid) || all_prepared {
+            res.committed.extend(txs);
+            res.committed_xids.insert(xid);
+        } else {
+            res.aborted.extend(txs);
+            res.aborted_xids.insert(xid);
+        }
+    }
+    res
 }
 
 /// Run analysis, redo and undo over a durable log prefix.
@@ -112,6 +183,20 @@ fn record_max_tx(rec: &LogRecord) -> u64 {
 /// contract (written at a commit-batch boundary with no in-flight work in
 /// the shared log), so no undo is needed for pre-checkpoint history.
 pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
+    recover_with(records, None)
+}
+
+/// [`recover`] with an optional cross-shard resolution overlay — the
+/// per-shard leg of [`recover_sharded`]. The overlay is applied to the
+/// local analysis before the entanglement fixpoint: globally-committed
+/// members join the committed set (their `Commit` record may live only on
+/// a partner segment, or have been torn off locally), globally-aborted
+/// members are expelled from it (a durable local `Commit` does not count
+/// when the unit's prepare was torn elsewhere).
+pub fn recover_with(
+    records: &[(Lsn, LogRecord)],
+    cross: Option<&CrossResolution>,
+) -> RecoveryOutcome {
     // `max_tx` and `max_commit_ts` range over the WHOLE prefix (including
     // records before the checkpoint): tx-id allocation and the snapshot
     // clock must both clear everything durable.
@@ -218,12 +303,26 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
                 seen.extend(txs.iter().copied());
                 committed.extend(txs.iter().copied());
             }
+            // Members of a cross-shard unit are known to this segment even
+            // when their redo lives elsewhere; the overlay decides them.
+            LogRecord::CrossPrepare { txs, .. } => {
+                seen.extend(txs.iter().copied());
+            }
             LogRecord::GroupCommit { .. }
             | LogRecord::CreateTable { .. }
             | LogRecord::CreateIndex { .. }
             | LogRecord::Checkpoint { .. }
             | LogRecord::CheckpointTable { .. }
-            | LogRecord::CheckpointEnd { .. } => {}
+            | LogRecord::CheckpointEnd { .. }
+            | LogRecord::CrossCommit { .. } => {}
+        }
+    }
+
+    // Cross-shard overlay: global verdicts supersede local evidence.
+    if let Some(res) = cross {
+        committed.extend(res.committed.iter().copied());
+        for t in &res.aborted {
+            committed.remove(t);
         }
     }
 
@@ -333,6 +432,58 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
         checkpoint,
         checkpoint_lsn,
         replayed: suffix.len(),
+        max_tx,
+        max_commit_ts,
+    }
+}
+
+/// The result of recovering a set of per-shard log segments.
+#[derive(Debug)]
+pub struct ShardedRecoveryOutcome {
+    /// Per-shard outcomes, indexed by shard: each `db` holds only that
+    /// shard's table partition.
+    pub shards: Vec<RecoveryOutcome>,
+    /// The merged database (tables are disjoint across shards by the
+    /// partitioning rule, so the merge is a union).
+    pub db: Database,
+    /// The cross-shard verdicts the per-shard replays were overlaid with.
+    pub resolution: CrossResolution,
+    /// Highest transaction id named on any segment.
+    pub max_tx: u64,
+    /// Highest commit timestamp named on any segment.
+    pub max_commit_ts: u64,
+}
+
+/// Recover N per-shard log segments: resolve cross-shard in-doubt units
+/// globally, then replay every shard **in parallel** (one thread per
+/// shard) with the resolution overlaid on its local analysis, and merge
+/// the per-shard partitions. With a single segment and no cross-shard
+/// records this is exactly [`recover`].
+pub fn recover_sharded(logs: &[Vec<(Lsn, LogRecord)>]) -> ShardedRecoveryOutcome {
+    let resolution = resolve_cross_shard(logs);
+    let mut shards: Vec<Option<RecoveryOutcome>> = Vec::new();
+    shards.resize_with(logs.len(), || None);
+    std::thread::scope(|scope| {
+        for (log, slot) in logs.iter().zip(shards.iter_mut()) {
+            let res = &resolution;
+            scope.spawn(move || {
+                *slot = Some(recover_with(log, Some(res)));
+            });
+        }
+    });
+    let shards: Vec<RecoveryOutcome> = shards.into_iter().map(|s| s.expect("joined")).collect();
+    let mut db = Database::new();
+    for out in &shards {
+        for t in out.db.clone().into_tables() {
+            db.adopt_table(t);
+        }
+    }
+    let max_tx = shards.iter().map(|s| s.max_tx).max().unwrap_or(0);
+    let max_commit_ts = shards.iter().map(|s| s.max_commit_ts).max().unwrap_or(0);
+    ShardedRecoveryOutcome {
+        shards,
+        db,
+        resolution,
         max_tx,
         max_commit_ts,
     }
@@ -775,6 +926,185 @@ mod tests {
         assert_eq!(idx.kind(), IndexKind::Btree);
         assert_eq!(idx.probe(&Value::Int(10)), &[RowId(0)]);
         assert_eq!(idx.probe(&Value::Int(20)), &[RowId(1)], "suffix maintained");
+    }
+
+    /// Shard 0 owns `Reserve`, shard 1 owns `Hotels`; one cross-shard
+    /// transaction `tx` inserts a row on each. Returns the two logs with
+    /// everything up to and including the prepares durable on shards where
+    /// `sync[i]` is true (the `CrossCommit` shortcut records are appended
+    /// un-synced, as the engine does).
+    fn cross_shard_logs(sync: [bool; 2]) -> [Wal; 2] {
+        let w0 = Wal::new();
+        let w1 = Wal::new();
+        w0.append(&LogRecord::CreateTable {
+            name: "Reserve".into(),
+            schema: Schema::of(&[("uid", ValueType::Int), ("fid", ValueType::Int)]),
+        });
+        w1.append(&LogRecord::CreateTable {
+            name: "Hotels".into(),
+            schema: Schema::of(&[("hid", ValueType::Int), ("city", ValueType::Int)]),
+        });
+        w0.sync();
+        w1.sync();
+        let prep = LogRecord::CrossPrepare {
+            xid: 1,
+            txs: vec![7],
+            shards: vec![0, 1],
+        };
+        insert(&w0, 7, 0, 10, 122);
+        w0.append(&prep);
+        w0.append(&LogRecord::Commit { tx: 7, ts: 5 });
+        w1.append(&LogRecord::Insert {
+            tx: 7,
+            table: "Hotels".into(),
+            row: 0,
+            values: vec![Value::Int(3), Value::Int(9)],
+        });
+        w1.append(&prep);
+        w1.append(&LogRecord::Commit { tx: 7, ts: 5 });
+        if sync[0] {
+            w0.sync();
+        }
+        if sync[1] {
+            w1.sync();
+        }
+        // Phase two: the shortcut record, never force-synced.
+        w0.append(&LogRecord::CrossCommit { xid: 1 });
+        w1.append(&LogRecord::CrossCommit { xid: 1 });
+        w0.crash();
+        w1.crash();
+        [w0, w1]
+    }
+
+    fn durable(logs: &[Wal]) -> Vec<Vec<(Lsn, LogRecord)>> {
+        logs.iter().map(|w| w.durable_records().unwrap()).collect()
+    }
+
+    #[test]
+    fn cross_shard_unit_commits_when_every_prepare_is_durable() {
+        let logs = cross_shard_logs([true, true]);
+        let out = recover_sharded(&durable(&logs));
+        assert_eq!(out.resolution.committed_xids, BTreeSet::from([1]));
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
+        assert_eq!(out.db.table("Hotels").unwrap().len(), 1);
+        assert!(out.shards[0].winners.contains(&7));
+        assert!(out.shards[1].winners.contains(&7));
+        assert_eq!(out.max_tx, 7);
+        assert_eq!(out.max_commit_ts, 5);
+    }
+
+    #[test]
+    fn torn_prepare_on_one_shard_aborts_the_unit_everywhere() {
+        // Shard 0's prepare AND local commit are durable; shard 1's tail
+        // (prepare + commit) was torn off. Without the global resolution,
+        // shard 0 would keep a half-committed unit.
+        let logs = cross_shard_logs([true, false]);
+        let out = recover_sharded(&durable(&logs));
+        assert_eq!(out.resolution.aborted_xids, BTreeSet::from([1]));
+        assert_eq!(
+            out.db.table("Reserve").unwrap().len(),
+            0,
+            "durable local Commit overridden by the missing partner prepare"
+        );
+        assert_eq!(out.db.table("Hotels").unwrap().len(), 0);
+        assert!(out.shards[0].losers.contains(&7));
+    }
+
+    #[test]
+    fn cross_commit_shortcut_decides_unit_when_partner_log_truncated() {
+        // Shard 0 checkpointed and truncated its segment past the prepare
+        // (its image already contains the unit's effects); shard 1 still
+        // holds its prepare. The durable CrossCommit on shard 1 must keep
+        // the unit committed — consulting shard 0 would find nothing.
+        let w0 = Wal::new();
+        let w1 = Wal::new();
+        w1.append(&LogRecord::CreateTable {
+            name: "Hotels".into(),
+            schema: Schema::of(&[("hid", ValueType::Int), ("city", ValueType::Int)]),
+        });
+        w1.append(&LogRecord::Insert {
+            tx: 7,
+            table: "Hotels".into(),
+            row: 0,
+            values: vec![Value::Int(3), Value::Int(9)],
+        });
+        w1.append(&LogRecord::CrossPrepare {
+            xid: 1,
+            txs: vec![7],
+            shards: vec![0, 1],
+        });
+        w1.append(&LogRecord::Commit { tx: 7, ts: 5 });
+        w1.append(&LogRecord::CrossCommit { xid: 1 });
+        w1.sync();
+        w1.crash();
+        let out = recover_sharded(&durable(&[w0, w1]));
+        assert_eq!(out.resolution.committed_xids, BTreeSet::from([1]));
+        assert_eq!(out.db.table("Hotels").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn entangled_group_straddling_shards_sinks_as_a_unit() {
+        // Group {1, 2}: tx 1 writes shard 0, tx 2 writes shard 1. The
+        // EntangleGroup record names the full membership on both segments;
+        // shard 1's prepare is torn off, so BOTH members must roll back —
+        // the widowed-transaction rule across segments.
+        let w0 = setup_wal();
+        let w1 = Wal::new();
+        w1.append(&LogRecord::CreateTable {
+            name: "Hotels".into(),
+            schema: Schema::of(&[("hid", ValueType::Int), ("city", ValueType::Int)]),
+        });
+        w0.sync();
+        w1.sync();
+        let eg = LogRecord::EntangleGroup {
+            group: 1,
+            txs: vec![1, 2],
+        };
+        let prep = LogRecord::CrossPrepare {
+            xid: 9,
+            txs: vec![1, 2],
+            shards: vec![0, 1],
+        };
+        insert(&w0, 1, 0, 10, 122);
+        w0.append(&eg);
+        w0.append(&prep);
+        w0.append(&LogRecord::Commit { tx: 1, ts: 4 });
+        w0.append(&LogRecord::Commit { tx: 2, ts: 4 });
+        w0.sync();
+        w1.append(&LogRecord::Insert {
+            tx: 2,
+            table: "Hotels".into(),
+            row: 0,
+            values: vec![Value::Int(3), Value::Int(9)],
+        });
+        w1.append(&eg);
+        w1.append(&prep); // torn off below
+        w0.crash();
+        w1.crash();
+        let out = recover_sharded(&durable(&[w0, w1]));
+        assert_eq!(out.resolution.aborted_xids, BTreeSet::from([9]));
+        assert_eq!(out.db.table("Reserve").unwrap().len(), 0, "no widow");
+        assert_eq!(out.db.table("Hotels").unwrap().len(), 0);
+        assert!(out.shards[0].losers.contains(&1));
+        assert!(out.shards[0].losers.contains(&2));
+    }
+
+    #[test]
+    fn single_segment_recover_sharded_matches_plain_recover() {
+        let wal = setup_wal();
+        wal.append(&LogRecord::Begin { tx: 1 });
+        insert(&wal, 1, 0, 10, 122);
+        wal.append_sync(&LogRecord::Commit { tx: 1, ts: 2 });
+        wal.crash();
+        let records = wal.durable_records().unwrap();
+        let plain = recover(&records);
+        let sharded = recover_sharded(std::slice::from_ref(&records));
+        assert_eq!(sharded.shards.len(), 1);
+        assert_eq!(sharded.db.canonical(), plain.db.canonical());
+        assert_eq!(sharded.shards[0].winners, plain.winners);
+        assert_eq!(sharded.max_tx, plain.max_tx);
+        assert_eq!(sharded.max_commit_ts, plain.max_commit_ts);
+        assert!(sharded.resolution.committed_xids.is_empty());
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //! (`NoSocial`/`Social`/`Entangled` × `-T`/`-Q`), the pending-transaction
 //! plans of Figure 6(b), the spoke-hub / cyclic coordination structures
 //! of Figure 6(c), the read-mostly [`readmix`] mix the `readscale`
-//! bench uses to measure the multi-version snapshot read path, and the
+//! bench uses to measure the multi-version snapshot read path, the
 //! point-access [`pointmix`] mix the `pointmix` bench uses to measure
-//! the named secondary-index plans against full scans.
+//! the named secondary-index plans against full scans, and the
+//! shard-locality [`shardmix`] mix the `sharding` bench uses to measure
+//! per-shard commit pipelines against the cross-shard commit tax.
 //!
 //! Everything is seeded and deterministic, so bench results replay.
 
@@ -16,6 +18,7 @@ pub mod fig6a;
 pub mod fig6bc;
 pub mod pointmix;
 pub mod readmix;
+pub mod shardmix;
 pub mod social;
 pub mod travel;
 
@@ -28,5 +31,6 @@ pub use pointmix::{
     generate_point_mix, point_index_script, point_reader, point_seed_script, point_writer,
 };
 pub use readmix::{generate_read_mix, read_mix_reader, read_mix_writer};
+pub use shardmix::{generate_shard_mix, shard_index_script, SHARD_TABLES};
 pub use social::SocialGraph;
 pub use travel::{city, engine_config, scheduler_for, TravelData, TravelParams, WorkloadMode};

@@ -1,0 +1,213 @@
+//! Shard-locality workload for the `sharding` bench: a mix of
+//! **shard-local** transactions (every statement on one table, hence one
+//! shard) and **cross-shard** transactions (two tables whose shards
+//! differ), over the travel schema.
+//!
+//! Locality is decided at generation time with the engine's own
+//! partitioning rule ([`shard_of_table`]): the local mix cycles its home
+//! table over [`SHARD_TABLES`] so offered load spreads across every
+//! shard, and the cross mix picks table *pairs* that genuinely straddle
+//! two shards at the configured shard count. A shard-local transaction
+//! commits entirely through its own shard's lock manager, WAL segment
+//! and commit pipeline; a cross-shard transaction pays the two-phase
+//! entangled-commit record (`CrossPrepare` on every participant, synced,
+//! then `CrossCommit`) — the tax `BENCH_sharding.json` measures.
+
+use crate::travel::TravelData;
+use entangled_txn::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use youtopia_storage::shard_of_table;
+
+/// The travel tables the mix writes, in home-table rotation order. At 4
+/// shards the default partitioning rule places each on a distinct shard;
+/// at 2 shards they split two-and-two.
+pub const SHARD_TABLES: [&str; 4] = ["Reserve", "User", "Flight", "Friends"];
+
+/// Named indexes on the updated columns, so concurrent writers take
+/// table-IX + key-X + row-X and overlap within a shard instead of
+/// serializing on the table-S write-scan protocol — the bench measures
+/// the commit pipelines, not lock-upgrade churn.
+pub fn shard_index_script() -> &'static str {
+    "CREATE INDEX reserve_uid ON Reserve (uid);\
+     CREATE INDEX user_uid ON User (uid) USING BTREE;\
+     CREATE INDEX flight_fid ON Flight (fid);"
+}
+
+/// One single-table write statement against `SHARD_TABLES[ti]`,
+/// point-targeted so concurrent transactions mostly touch different rows.
+fn table_statement(ti: usize, i: usize, users: usize, flights: i64, rng: &mut StdRng) -> String {
+    let uid = i % users;
+    match SHARD_TABLES[ti] {
+        "Reserve" => format!(
+            "UPDATE Reserve SET fid={} WHERE uid={uid}",
+            rng.gen_range(0..flights)
+        ),
+        "User" => format!("UPDATE User SET hometown=hometown WHERE uid={uid}"),
+        "Flight" => format!(
+            "UPDATE Flight SET fid=fid WHERE fid={}",
+            rng.gen_range(0..flights)
+        ),
+        "Friends" => format!(
+            "INSERT INTO Friends VALUES ({uid}, {})",
+            rng.gen_range(0..users)
+        ),
+        other => unreachable!("unknown shard table {other}"),
+    }
+}
+
+/// Table-index pairs that straddle two different shards at `shards`
+/// (generation-time routing). With a single shard no pair straddles, so
+/// every pair qualifies — the "cross" transactions still exist, they are
+/// just single-shard commits there (the comparison baseline).
+fn cross_pairs(shards: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (a, ta) in SHARD_TABLES.iter().enumerate() {
+        for (b, tb) in SHARD_TABLES.iter().enumerate().skip(a + 1) {
+            if shards <= 1 || shard_of_table(ta, shards) != shard_of_table(tb, shards) {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Generate the shard mix: `cross_pct` percent two-table transactions
+/// whose tables straddle shards (at the given shard count), the rest
+/// single-table shard-local transactions cycling their home table over
+/// [`SHARD_TABLES`]. Seeded and deterministic, like every generator in
+/// this crate.
+pub fn generate_shard_mix(
+    data: &TravelData,
+    count: usize,
+    cross_pct: u32,
+    shards: usize,
+    seed: u64,
+) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = data.params.users.max(1);
+    let flights = data.params.flights.max(1) as i64;
+    let pairs = cross_pairs(shards);
+    let mut local_cursor = 0usize;
+    let mut pair_cursor = 0usize;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let script = if rng.gen_range(0..100u32) < cross_pct {
+            let (a, b) = pairs[pair_cursor % pairs.len()];
+            pair_cursor += 1;
+            let s1 = table_statement(a, i, users, flights, &mut rng);
+            let s2 = table_statement(b, i, users, flights, &mut rng);
+            format!("BEGIN; {s1}; {s2}; COMMIT;")
+        } else {
+            let t = local_cursor % SHARD_TABLES.len();
+            local_cursor += 1;
+            let s = table_statement(t, i, users, flights, &mut rng);
+            format!("BEGIN; {s}; COMMIT;")
+        };
+        out.push(Program::parse(&script).expect("static workload template"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointmix::point_seed_script;
+    use crate::social::SocialGraph;
+    use crate::travel::TravelParams;
+    use entangled_txn::EngineConfig;
+
+    fn data() -> TravelData {
+        let params = TravelParams {
+            users: 48,
+            cities: 4,
+            flights: 60,
+            seed: 11,
+        };
+        TravelData::generate(params, SocialGraph::slashdot_like(48, 11))
+    }
+
+    #[test]
+    fn tables_spread_over_four_shards() {
+        let shards: std::collections::BTreeSet<usize> =
+            SHARD_TABLES.iter().map(|t| shard_of_table(t, 4)).collect();
+        assert_eq!(shards.len(), 4, "each travel table gets its own shard");
+    }
+
+    #[test]
+    fn cross_pairs_straddle_shards() {
+        for shards in [2usize, 4] {
+            let pairs = cross_pairs(shards);
+            assert!(!pairs.is_empty());
+            for (a, b) in pairs {
+                assert_ne!(
+                    shard_of_table(SHARD_TABLES[a], shards),
+                    shard_of_table(SHARD_TABLES[b], shards),
+                    "pair ({}, {}) must straddle at {shards} shards",
+                    SHARD_TABLES[a],
+                    SHARD_TABLES[b]
+                );
+            }
+        }
+        // Single shard: no pair straddles, all pairs qualify as baseline.
+        assert_eq!(cross_pairs(1).len(), 6);
+    }
+
+    #[test]
+    fn mix_ratio_and_determinism() {
+        let d = data();
+        let programs = generate_shard_mix(&d, 200, 50, 4, 7);
+        assert_eq!(programs.len(), 200);
+        let two_table = programs.iter().filter(|p| p.statements.len() > 1).count();
+        assert!(
+            (80..=120).contains(&two_table),
+            "~50% cross transactions expected, got {two_table}"
+        );
+        let a: Vec<usize> = generate_shard_mix(&d, 60, 50, 4, 3)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        let b: Vec<usize> = generate_shard_mix(&d, 60, 50, 4, 3)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_runs_on_a_sharded_engine() {
+        let d = data();
+        let engine = d.build_engine(EngineConfig {
+            shards: 4,
+            ..EngineConfig::default()
+        });
+        engine.setup(&point_seed_script(&d)).expect("seed");
+        engine.setup(shard_index_script()).expect("index ddl");
+        let mut sched = crate::travel::scheduler_for(engine.clone(), 4);
+        for p in generate_shard_mix(&d, 40, 50, 4, 5) {
+            sched.submit(p);
+        }
+        let stats = sched.drain();
+        assert_eq!(stats.committed, 40, "every mixed transaction commits");
+        assert!(
+            stats.cross_shard_commits > 0,
+            "cross transactions drove the two-phase path"
+        );
+        assert!(stats.cross_shard_prepares >= 2 * stats.cross_shard_commits);
+        // A purely local mix never pays a prepare.
+        let engine = d.build_engine(EngineConfig {
+            shards: 4,
+            ..EngineConfig::default()
+        });
+        engine.setup(&point_seed_script(&d)).expect("seed");
+        engine.setup(shard_index_script()).expect("index ddl");
+        let mut sched = crate::travel::scheduler_for(engine, 4);
+        for p in generate_shard_mix(&d, 40, 0, 4, 5) {
+            sched.submit(p);
+        }
+        let stats = sched.drain();
+        assert_eq!(stats.committed, 40);
+        assert_eq!(stats.cross_shard_commits, 0);
+        assert_eq!(stats.cross_shard_prepares, 0);
+    }
+}
