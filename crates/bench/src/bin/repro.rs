@@ -2,7 +2,7 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|sharding|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
@@ -32,6 +32,13 @@
 //! acceptance target is indexed ≥ 3× no-index at 8 connections with
 //! rows-scanned per point statement dropping from O(table) to O(1).
 //!
+//! `rangemix` measures the btree range plans on a range-heavy mix (70%
+//! date-window dashboards): committed-txns/sec and access-path counters
+//! with the btree indexes installed vs the forced-scan ablation, written
+//! to `BENCH_range.json` (also a CI artifact). The acceptance target is
+//! indexed ≥ 3× forced-scan at 8 connections, with snapshot windows
+//! served by live-index probes (zero per-snapshot index rebuilds).
+//!
 //! `sharding` measures the per-shard commit pipelines on the shard-local
 //! vs 50%-cross-shard mixes at shards ∈ {1, 2, 4} and connections
 //! ∈ {1, 2, 4, 8, 16}, written to `BENCH_sharding.json` (also a CI
@@ -45,11 +52,12 @@
 
 use std::io::Write;
 use youtopia_bench::{
-    durability_json, pointmix_json, pointmix_speedup, readscale_json, readscale_speedup,
-    recovery_json, run_ablated, run_durability_series, run_fig6a, run_fig6b, run_fig6c,
-    run_pointmix_series, run_readscale_series, run_recovery_series, run_scaling_series,
-    run_sharding_series, scaling_json, scaling_speedup, sharding_cross_tax, sharding_json,
-    sharding_local_speedup, Ablation, Scale, POINTMIX_WRITE_PCT, READSCALE_WRITE_PCT,
+    durability_json, pointmix_json, pointmix_speedup, rangemix_json, rangemix_speedup,
+    readscale_json, readscale_speedup, recovery_json, run_ablated, run_durability_series,
+    run_fig6a, run_fig6b, run_fig6c, run_pointmix_series, run_rangemix_series,
+    run_readscale_series, run_recovery_series, run_scaling_series, run_sharding_series,
+    scaling_json, scaling_speedup, sharding_cross_tax, sharding_json, sharding_local_speedup,
+    Ablation, Scale, POINTMIX_WRITE_PCT, RANGEMIX_WRITE_PCT, READSCALE_WRITE_PCT,
     SHARDING_CROSS_PCT,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
@@ -76,6 +84,7 @@ fn main() {
         "recovery" => recovery(&mut out, &scale),
         "readscale" => readscale(&mut out, &scale),
         "pointmix" => pointmix(&mut out, &scale),
+        "rangemix" => rangemix(&mut out, &scale),
         "sharding" => sharding(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
@@ -87,11 +96,12 @@ fn main() {
             recovery(&mut out, &scale);
             readscale(&mut out, &scale);
             pointmix(&mut out, &scale);
+            rangemix(&mut out, &scale);
             sharding(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|sharding|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|all"
             );
             std::process::exit(2);
         }
@@ -338,6 +348,19 @@ fn pointmix(out: &mut impl Write, scale: &Scale) {
         writeln!(out).unwrap();
         out.flush().unwrap();
     }
+    for s in &series {
+        let top = s.points.last().expect("non-empty series");
+        writeln!(
+            out,
+            "# {}: {:.3} syncs/commit; {} rows scanned, {} index lookups at {} connections",
+            s.label,
+            top.scaling.syncs_per_commit,
+            top.rows_scanned,
+            top.index_lookups,
+            top.scaling.connections
+        )
+        .unwrap();
+    }
     writeln!(
         out,
         "# indexed / no-index at max connections: {:.2}x (acceptance floor 3x)",
@@ -347,6 +370,68 @@ fn pointmix(out: &mut impl Write, scale: &Scale) {
     let json = pointmix_json(scale, &series);
     std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
     writeln!(out, "# baseline written to BENCH_index.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Rangemix: the range-heavy date-window mix with the btree indexes
+/// installed vs the forced-scan ablation, plus the `BENCH_range.json` CI
+/// baseline. Acceptance: indexed ≥ 3× forced-scan at 8 connections with
+/// snapshot windows served by live-index probes (zero rebuilds).
+fn rangemix(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Rangemix — btree range plans vs forced scans").unwrap();
+    writeln!(
+        out,
+        "# {} transactions per point, {}% writers; columns: txns/sec (rows/stmt)",
+        scale.txns, RANGEMIX_WRITE_PCT
+    )
+    .unwrap();
+    let series = run_rangemix_series(scale);
+    write!(out, "{:>12}", "connections").unwrap();
+    for s in &series {
+        write!(out, " {:>24}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    let points_per_series = series.first().map_or(0, |s| s.points.len());
+    for i in 0..points_per_series {
+        write!(out, "{:>12}", series[0].points[i].scaling.connections).unwrap();
+        for s in &series {
+            let p = &s.points[i];
+            write!(
+                out,
+                " {:>24}",
+                format!(
+                    "{:.1} ({:.1})",
+                    p.scaling.txns_per_sec, p.rows_per_statement
+                )
+            )
+            .unwrap();
+        }
+        writeln!(out).unwrap();
+        out.flush().unwrap();
+    }
+    for s in &series {
+        let top = s.points.last().expect("non-empty series");
+        writeln!(
+            out,
+            "# {}: {:.3} syncs/commit; {} rows scanned, {} index lookups, {} index rebuilds avoided at {} connections",
+            s.label,
+            top.scaling.syncs_per_commit,
+            top.rows_scanned,
+            top.index_lookups,
+            top.index_rebuilds_avoided,
+            top.scaling.connections
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "# indexed / forced-scan at max connections: {:.2}x (acceptance floor 3x)",
+        rangemix_speedup(&series)
+    )
+    .unwrap();
+    let json = rangemix_json(scale, &series);
+    std::fs::write("BENCH_range.json", &json).expect("write BENCH_range.json");
+    writeln!(out, "# baseline written to BENCH_range.json").unwrap();
     writeln!(out).unwrap();
 }
 

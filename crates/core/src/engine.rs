@@ -208,9 +208,10 @@ pub struct Engine {
     /// scheduler samples these as per-run deltas, like WAL syncs.
     rows_scanned: AtomicU64,
     index_lookups: AtomicU64,
-    /// Snapshot materializations that skipped rebuilding named indexes
-    /// because the reader's plan never probes them (built lazily on the
-    /// first probing reader instead).
+    /// Snapshot point/range reads that probed the *live* history-union
+    /// index and filtered candidates by version visibility instead of
+    /// materializing a per-snapshot index copy (the rebuild each such
+    /// read used to pay).
     index_rebuilds_avoided: AtomicU64,
     /// Cross-shard commit-unit allocator (xids stamped on `CrossPrepare`/
     /// `CrossCommit` records) and the two-phase traffic counters.
@@ -228,13 +229,10 @@ struct CachedSnapshot {
     /// A non-clean build (a concurrent commit had installed but not yet
     /// completed) serves only its exact timestamp.
     clean: bool,
-    /// Whether the copy carries its named indexes. Copies are built bare
-    /// by default (rebuilding indexes most readers never probe is wasted
-    /// work) and upgraded in place on the first probing reader.
-    indexed: bool,
-    /// The live table's named-index definitions at build time, kept so an
-    /// upgrade can rebuild without going back to the handle.
-    defs: youtopia_storage::IndexSet,
+    /// Copies never carry named indexes: probing snapshot readers go
+    /// through the live history-union index and filter candidates by
+    /// version visibility instead (see `Executor::snapshot_probe`), so a
+    /// materialized copy only ever serves scans.
     table: std::sync::Arc<youtopia_storage::Table>,
 }
 
@@ -360,20 +358,21 @@ impl Engine {
                 Statement::CreateIndex {
                     name,
                     table,
-                    column,
+                    columns,
                     kind,
                 } => {
+                    let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
                     let created = self
                         .catalog
                         .handle(&table)?
                         .write()
-                        .create_named_index(&name, &column, kind)
+                        .create_named_index(&name, &cols, kind)
                         .map_err(StorageError::from)?;
                     if created {
                         redo.push(LogRecord::CreateIndex {
                             table,
                             name,
-                            column,
+                            columns,
                             kind,
                         });
                     }
@@ -459,31 +458,32 @@ impl Engine {
         Ok(())
     }
 
-    /// Create a named single-column secondary index, durably: the
-    /// definition is logged ([`LogRecord::CreateIndex`]) and synced, so a
-    /// post-crash recovery re-creates it and rebuilds its contents from
-    /// the recovered heap. Idempotent for an identical existing
+    /// Create a named secondary index (single- or multi-column; composite
+    /// indexes post `Value::Tuple` keys in declaration order), durably:
+    /// the definition is logged ([`LogRecord::CreateIndex`]) and synced,
+    /// so a post-crash recovery re-creates it and rebuilds its contents
+    /// from the recovered heap. Idempotent for an identical existing
     /// definition (no duplicate log record); a name clash with a
     /// different definition is an error.
     pub fn create_named_index(
         &self,
         table: &str,
         name: &str,
-        column: &str,
+        columns: &[&str],
         kind: youtopia_storage::IndexKind,
     ) -> Result<(), EngineError> {
         let created = self
             .catalog
             .handle(table)?
             .write()
-            .create_named_index(name, column, kind)
+            .create_named_index(name, columns, kind)
             .map_err(StorageError::from)?;
         if created {
             let s = self.shard_of(table);
             self.wal.shard(s).publish(&[LogRecord::CreateIndex {
                 table: table.to_string(),
                 name: name.to_string(),
-                column: column.to_string(),
+                columns: columns.iter().map(|c| c.to_string()).collect(),
                 kind,
             }]);
             self.wal.shard(s).sync();
@@ -1054,19 +1054,17 @@ impl Engine {
     /// version installed, sealed or pruned since the copy, so the visible
     /// data is identical). `None` if the table does not exist.
     ///
-    /// Named indexes are built **lazily**: a copy materialized for a
-    /// reader whose plan never probes (`want_indexes == false`) carries no
-    /// index at all — the evaluator falls back to scans, which is what a
-    /// non-probing plan does anyway — and the skipped rebuild is counted
-    /// into `stats.index_rebuilds_avoided`. The first probing reader
-    /// upgrades the cached copy in place (one rebuild, reused by every
-    /// later prober at the same epoch).
+    /// Copies are always **bare**: named indexes are never rebuilt for a
+    /// snapshot. Probing snapshot readers never reach this path — they
+    /// probe the live history-union index under the handle's read latch
+    /// and filter the candidates by version visibility at `ts` (see
+    /// `Executor::snapshot_probe`) — so the copy only ever serves scans,
+    /// where an index would be dead weight.
     pub(crate) fn snapshot_table(
         &self,
         name: &str,
         ts: CommitTs,
-        want_indexes: bool,
-        stats: &mut youtopia_storage::ScanStats,
+        _stats: &mut youtopia_storage::ScanStats,
     ) -> Option<std::sync::Arc<youtopia_storage::Table>> {
         let key = name.to_ascii_lowercase();
         let cached = self.snap_cache.lock().get(&key).cloned();
@@ -1075,45 +1073,16 @@ impl Engine {
         if let Some(c) = cached {
             let fresh = ts == c.built_ts || (c.clean && ts > c.built_ts);
             if c.epoch == guard.version_epoch() && fresh {
-                if !want_indexes || c.indexed {
-                    return Some(c.table);
-                }
-                // First probing reader of a lazily-built copy: upgrade in
-                // place — clone the bare copy, attach and rebuild its
-                // named indexes once, and republish the cache entry.
-                drop(guard);
-                let mut t = (*c.table).clone();
-                t.adopt_named_indexes(&c.defs);
-                let upgraded = CachedSnapshot {
-                    indexed: true,
-                    table: std::sync::Arc::new(t),
-                    ..c
-                };
-                let table = upgraded.table.clone();
-                let mut cache = self.snap_cache.lock();
-                let keep_existing = cache.get(&key).is_some_and(|existing| {
-                    existing.built_ts > upgraded.built_ts
-                        || (existing.built_ts == upgraded.built_ts && existing.indexed)
-                });
-                if !keep_existing {
-                    cache.insert(key, upgraded);
-                }
-                return Some(table);
+                return Some(c.table);
             }
         }
-        let has_named = !guard.named_indexes().is_empty();
         let built = CachedSnapshot {
             built_ts: ts,
             epoch: guard.version_epoch(),
             clean: guard.max_version_ts() <= ts,
-            indexed: want_indexes || !has_named,
-            defs: guard.named_indexes().defs_only(),
-            table: std::sync::Arc::new(guard.snapshot_at_with(ts, want_indexes)),
+            table: std::sync::Arc::new(guard.snapshot_at(ts)),
         };
         drop(guard);
-        if has_named && !want_indexes {
-            stats.index_rebuilds_avoided += 1;
-        }
         let table = built.table.clone();
         let mut cache = self.snap_cache.lock();
         // Keep the newest-timestamped copy: an old pin racing a fresh one
@@ -1127,20 +1096,6 @@ impl Engine {
         Some(table)
     }
 
-    /// The named-index definitions of `table` (contents empty), or `None`
-    /// when the table has none — the executor's cheap pre-check for
-    /// whether a snapshot plan could probe at all.
-    pub(crate) fn named_defs(&self, table: &str) -> Option<youtopia_storage::IndexSet> {
-        let handle = self.catalog.handle(table).ok()?;
-        let guard = handle.read();
-        let named = guard.named_indexes();
-        if named.is_empty() {
-            None
-        } else {
-            Some(named.defs_only())
-        }
-    }
-
     /// Multi-version garbage collection: prune, in every table, the row
     /// versions no live snapshot can reach (older than the oldest pinned
     /// snapshot — see [`SnapshotRegistry::horizon`]). The scheduler runs
@@ -1152,7 +1107,13 @@ impl Engine {
         let mut pruned = 0u64;
         for name in snapshot.table_names() {
             if let Ok(h) = snapshot.handle(&name) {
-                pruned += h.write().prune_versions(horizon) as u64;
+                let mut guard = h.write();
+                pruned += guard.prune_versions(horizon) as u64;
+                // Named-index postings are a history union (removals are
+                // deferred so snapshot probes keep seeing old versions'
+                // keys); with the horizon advanced this settles them back
+                // to exactly the reachable rows.
+                guard.resync_named_indexes();
             }
         }
         pruned
@@ -1288,7 +1249,7 @@ impl Engine {
                 recs.push(LogRecord::CreateIndex {
                     table: t.name().to_string(),
                     name: idx.name().to_string(),
-                    column: idx.column_name().to_string(),
+                    columns: idx.column_names().to_vec(),
                     kind: idx.kind(),
                 });
             }
@@ -2061,7 +2022,7 @@ mod tests {
         e.create_named_index(
             "Reserve",
             "reserve_uid",
-            "uid",
+            &["uid"],
             youtopia_storage::IndexKind::Hash,
         )
         .unwrap();
@@ -2101,12 +2062,12 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_copies_build_named_indexes_lazily() {
+    fn snapshot_reads_probe_live_index_with_zero_rebuilds() {
         let e = engine();
         e.create_named_index(
             "Reserve",
             "reserve_uid",
-            "uid",
+            &["uid"],
             youtopia_storage::IndexKind::Hash,
         )
         .unwrap();
@@ -2118,9 +2079,10 @@ mod tests {
             e.run_until_block(&mut t);
             e.commit_group(&mut [&mut t]);
         }
-        // A snapshot reader whose plan never probes `uid` gets a bare
-        // copy: the 50-entry hash index is not rebuilt at all.
+        // A snapshot reader whose plan never probes `uid` scans a bare
+        // materialized copy: no index is rebuilt, nothing probes.
         let avoided_before = e.index_rebuilds_avoided();
+        let lookups_before = e.index_lookups();
         let mut bare = txn(
             &e,
             "BEGIN; SELECT uid AS @u FROM Reserve WHERE fid = 999; COMMIT;",
@@ -2129,13 +2091,20 @@ mod tests {
         assert_eq!(bare.env.get("u"), None);
         e.commit_group(&mut [&mut bare]);
         assert_eq!(
-            e.index_rebuilds_avoided() - avoided_before,
-            1,
-            "non-probing snapshot skips the index rebuild"
+            e.index_lookups(),
+            lookups_before,
+            "non-probing snapshot read never touches the index"
         );
-        // The first probing reader at the same snapshot upgrades the
-        // cached copy in place and serves the point read by probe.
-        let lookups_before = e.index_lookups();
+        assert_eq!(
+            e.index_rebuilds_avoided(),
+            avoided_before,
+            "nothing probed, so no rebuild was on the table to avoid"
+        );
+        // A probing snapshot reader goes through the LIVE history-union
+        // index and filters candidates by version visibility — the copy
+        // never materializes an index, and each such read counts one
+        // avoided rebuild.
+        let scanned_before = e.rows_scanned();
         let mut probe = txn(
             &e,
             "BEGIN; SELECT fid AS @fid FROM Reserve WHERE uid = 17; COMMIT;",
@@ -2143,27 +2112,20 @@ mod tests {
         assert_eq!(e.run_until_block(&mut probe), StepOutcome::Ready);
         assert_eq!(probe.env.get("fid"), Some(&Value::Int(122)));
         e.commit_group(&mut [&mut probe]);
+        assert_eq!(
+            e.index_lookups() - lookups_before,
+            1,
+            "the point read is served by one live-index probe"
+        );
+        assert_eq!(
+            e.index_rebuilds_avoided() - avoided_before,
+            1,
+            "the probe replaced what used to be a per-snapshot rebuild"
+        );
         assert!(
-            e.index_lookups() > lookups_before,
-            "upgraded snapshot copy serves probes through the index"
-        );
-        assert_eq!(
-            e.index_rebuilds_avoided() - avoided_before,
-            1,
-            "the upgrade is a build, not another avoidance"
-        );
-        // A later non-probing reader at the same epoch reuses the (now
-        // indexed) cached copy — nothing new is avoided or rebuilt.
-        let mut again = txn(
-            &e,
-            "BEGIN; SELECT uid AS @u FROM Reserve WHERE fid = 122; COMMIT;",
-        );
-        assert_eq!(e.run_until_block(&mut again), StepOutcome::Ready);
-        e.commit_group(&mut [&mut again]);
-        assert_eq!(
-            e.index_rebuilds_avoided() - avoided_before,
-            1,
-            "cache hit: no rebuild to avoid"
+            e.rows_scanned() - scanned_before <= 2,
+            "probe candidates, not the 50-row table (scanned {})",
+            e.rows_scanned() - scanned_before
         );
     }
 

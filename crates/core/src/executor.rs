@@ -19,12 +19,12 @@ use crate::program::{Txn, Undo};
 use std::cell::RefCell;
 use youtopia_lock::{LockMode, Resource, TxId};
 use youtopia_sql::{
-    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, point_probe, IndexProbe,
-    Select, Statement, VarEnv,
+    access_plan, lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, AccessPlan,
+    IndexProbe, RangeProbe, Select, Statement, VarEnv,
 };
 use youtopia_storage::{
-    eval_spj_counted, plan_probes_named, CatalogSnapshot, CommitTs, Expr, RowId, ScanStats,
-    SnapshotTables, StorageError, Table, TableProvider, Value,
+    eval_spj_counted, eval_spj_rows, CatalogSnapshot, CommitTs, Expr, IndexKind, Row, RowId,
+    ScanStats, SnapshotTables, StorageError, Table, TableProvider, Value,
 };
 use youtopia_wal::LogRecord;
 
@@ -111,48 +111,55 @@ impl<'e> TxnContext<'e> {
                 ts,
                 missing
                     .into_iter()
-                    .filter_map(|n| self.engine.snapshot_table(n, ts, false, stats)),
+                    .filter_map(|n| self.engine.snapshot_table(n, ts, stats)),
             ));
         }
         view.clone()
     }
 
-    /// Swap indexed copies into `view` for every stage whose predicate
-    /// the evaluator would serve through a named index
-    /// ([`plan_probes_named`]). Snapshot copies materialize *without*
-    /// their named indexes (most readers never probe — the lazy-rebuild
-    /// optimization); this is the "first probe" moment that pays the one
-    /// rebuild, upgrading both the engine's memoized copy and this
-    /// advance's cache.
-    fn indexed_view(
+    /// Serve a single-table snapshot SELECT through the **live** table's
+    /// history-union index: probe under one short read latch, resolve
+    /// every candidate through its version chain at `ts`
+    /// ([`Table::visible_row`]), and evaluate the full predicate over the
+    /// survivors. No lock, no latch beyond the probe — and no
+    /// materialized copy, which is exactly the per-`(timestamp, epoch)`
+    /// index rebuild this path deletes (`index_rebuilds_avoided`).
+    /// Returns `None` when the plan is a scan (the caller materializes).
+    fn snapshot_probe(
         &self,
-        mut view: SnapshotTables,
+        table: &str,
         q: &youtopia_storage::SpjQuery,
         ts: CommitTs,
         stats: &mut ScanStats,
-    ) -> SnapshotTables {
-        for (stage, name) in q.tables.iter().enumerate() {
-            let bare = view
-                .table(name)
-                .map(|t| t.named_indexes().is_empty())
-                .unwrap_or(false);
-            if !bare {
-                continue;
-            }
-            let Some(defs) = self.engine.named_defs(name) else {
-                continue;
+    ) -> Result<Option<youtopia_storage::QueryOutput>, EngineError> {
+        let plan = {
+            let names = [table.to_string()];
+            let view = self.snapshot.read_view(&names);
+            access_plan(&view, table, &q.predicate)?
+        };
+        let handle = self.snapshot.handle(table)?;
+        let candidates: Vec<(RowId, Row)> = {
+            let guard = handle.read();
+            let named = guard.named_indexes();
+            let ids: Vec<RowId> = match &plan {
+                AccessPlan::Point(p) => named
+                    .get(&p.index)
+                    .map(|ix| ix.probe(&p.key).to_vec())
+                    .unwrap_or_default(),
+                AccessPlan::Range(rp) => named
+                    .get(&rp.index)
+                    .and_then(|ix| ix.probe_range(&rp.prefix, rp.lo_ref(), rp.hi_ref()))
+                    .unwrap_or_default(),
+                AccessPlan::Scan => return Ok(None),
             };
-            if !plan_probes_named(q, stage, &defs) {
-                continue;
-            }
-            if let Some(arc) = self.engine.snapshot_table(name, ts, true, stats) {
-                if let Some(cache) = self.snapshot_tables.borrow_mut().as_mut() {
-                    cache.upsert(arc.clone());
-                }
-                view.upsert(arc);
-            }
-        }
-        view
+            ids.into_iter()
+                .filter_map(|id| guard.visible_row(id, ts).map(|r| (id, r.clone())))
+                .collect()
+        };
+        stats.index_lookups += 1;
+        stats.rows_scanned += candidates.len() as u64;
+        stats.index_rebuilds_avoided += 1;
+        Ok(Some(eval_spj_rows(q, &candidates)?))
     }
 
     /// Execute one SELECT on the snapshot read path: lower and evaluate
@@ -166,16 +173,28 @@ impl<'e> TxnContext<'e> {
         let mut stats = ScanStats::default();
         let mut footprint = Vec::new();
         sel.collect_tables(&mut footprint);
-        let view = self.snapshot_view(&footprint, ts, &mut stats);
-        let lowered = lower_select(&view, sel, &txn.env)?;
+        // Lowering needs schemas only; resolve against the live catalog so
+        // the probe path below can skip materialization entirely.
+        let lowered = {
+            let view = self.snapshot.read_view(&footprint);
+            lower_select(&view, sel, &txn.env)?
+        };
         let mut tables = lowered.query.tables.clone();
         tables.sort();
         tables.dedup();
-        // Lowering can surface tables beyond the syntactic footprint;
-        // make sure all of them are materialized before evaluation.
-        let view = self.snapshot_view(&tables, ts, &mut stats);
-        let view = self.indexed_view(view, &lowered.query, ts, &mut stats);
-        let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
+        let out = match tables.as_slice() {
+            [table] => match self.snapshot_probe(table, &lowered.query, ts, &mut stats)? {
+                Some(out) => out,
+                None => {
+                    let view = self.snapshot_view(&tables, ts, &mut stats);
+                    eval_spj_counted(&view, &lowered.query, &mut stats)?
+                }
+            },
+            _ => {
+                let view = self.snapshot_view(&tables, ts, &mut stats);
+                eval_spj_counted(&view, &lowered.query, &mut stats)?
+            }
+        };
         self.engine.note_scan(stats);
         if self.engine.config.record_history {
             for t in &tables {
@@ -254,33 +273,156 @@ impl<'e> TxnContext<'e> {
         Ok(ids)
     }
 
+    /// Next-key lock acquisition for a range access over a btree index:
+    /// intention mode on the table, then `mode` on **every existing key
+    /// in the probed interval plus the successor key beyond it** (the EOF
+    /// sentinel when the range runs off the index), then `mode` on every
+    /// candidate row. Any insert into the interval must X-lock the posted
+    /// key (an existing in-range key, if a duplicate) and IX-lock its
+    /// successor ([`Self::lock_btree_successor`]) — both conflict with the
+    /// reader's S — and any delete X-locks the removed key itself. So once
+    /// the lock set covers a probe, interval membership is frozen: the
+    /// range-phantom hole that previously forced range statements to
+    /// table-S is closed.
+    ///
+    /// Probe → lock → re-probe fixpoint: each probe runs under a short
+    /// read latch, locks are taken after it drops (no lock wait under a
+    /// latch), and the loop repeats until a probe discovers no key the
+    /// set doesn't already cover. The set only grows, so conflicting
+    /// traffic makes progress toward convergence; rounds are bounded as a
+    /// livelock backstop.
+    fn lock_index_range(
+        &self,
+        tx: u64,
+        table: &str,
+        rp: &RangeProbe,
+        table_mode: LockMode,
+        mode: LockMode,
+    ) -> Result<Vec<RowId>, EngineError> {
+        self.lock(tx, Resource::table(table), table_mode)?;
+        let handle = self.snapshot.handle(table)?;
+        let mut locked = std::collections::HashSet::new();
+        for _ in 0..NEXT_KEY_ROUNDS {
+            let probe = {
+                let guard = handle.read();
+                guard
+                    .named_indexes()
+                    .get(&rp.index)
+                    .and_then(|ix| ix.probe_range_entries(&rp.prefix, rp.lo_ref(), rp.hi_ref()))
+            };
+            let Some((entries, successor)) = probe else {
+                return Ok(Vec::new()); // index vanished (not reachable for a planned range)
+            };
+            let mut wanted: Vec<Resource> = entries
+                .iter()
+                .map(|(k, _)| index_key_resource(table, &rp.index, k))
+                .collect();
+            wanted.push(match &successor {
+                Some(k) => index_key_resource(table, &rp.index, k),
+                None => index_eof_resource(table, &rp.index),
+            });
+            let mut grew = false;
+            for res in wanted {
+                if locked.insert(res.clone()) {
+                    self.lock(tx, res, mode)?;
+                    grew = true;
+                }
+            }
+            if !grew {
+                let ids: Vec<RowId> = entries.iter().flat_map(|(_, ids)| ids.clone()).collect();
+                for id in &ids {
+                    self.lock(tx, Resource::row(table, id.0), mode)?;
+                }
+                self.engine.note_scan(ScanStats {
+                    rows_scanned: ids.len() as u64,
+                    index_lookups: 1,
+                    ..ScanStats::default()
+                });
+                return Ok(ids);
+            }
+        }
+        Err(EngineError::Protocol(
+            "next-key range lock did not converge",
+        ))
+    }
+
+    /// The inserter half of the next-key protocol: before posting `key`
+    /// into btree index `index`, lock the first existing key strictly
+    /// greater than it (or the EOF sentinel) — the very key a concurrent
+    /// range reader whose interval covers `key` holds S on. The lock is
+    /// **IX**, not X: it conflicts with a range reader's S (phantom
+    /// protection) but not with another inserter's IX, so two
+    /// transactions posting adjacent keys — e.g. entangled partners
+    /// booking under each other's uid, holding locks to a *group* commit
+    /// — don't re-create the Ab4 standoff on the successor. Same
+    /// probe → lock → re-probe fixpoint as the reader side: a committed
+    /// interleaving can slide a nearer successor in before our lock
+    /// lands, in which case the nearer key is locked too.
+    fn lock_btree_successor(
+        &self,
+        tx: u64,
+        table: &str,
+        index: &str,
+        key: &Value,
+    ) -> Result<(), EngineError> {
+        let handle = self.snapshot.handle(table)?;
+        let mut last: Option<Resource> = None;
+        for _ in 0..NEXT_KEY_ROUNDS {
+            let succ = {
+                let guard = handle.read();
+                match guard.named_indexes().get(index).map(|ix| ix.successor(key)) {
+                    Some(Some(s)) => s,
+                    // Index vanished or is a hash — no key order to protect.
+                    Some(None) | None => return Ok(()),
+                }
+            };
+            let res = match &succ {
+                Some(k) => index_key_resource(table, index, k),
+                None => index_eof_resource(table, index),
+            };
+            if last.as_ref() == Some(&res) {
+                return Ok(());
+            }
+            self.lock(tx, res.clone(), LockMode::IX)?;
+            last = Some(res);
+        }
+        Err(EngineError::Protocol(
+            "next-key insert lock did not converge",
+        ))
+    }
+
     /// X locks on the index-key resources a write invalidates: for every
-    /// named index on `table`, the key a row enters or leaves. Taken
-    /// *before* the heap mutation, so a point reader holding key S can
-    /// never observe membership shift under it (the quasi-read/phantom
-    /// protection of the two-level protocol). Only needed at row
-    /// granularity — a table X lock already excludes the IS readers.
+    /// named index on `table`, the key a row enters or leaves — plus, for
+    /// btree indexes, the successor of any key the write *posts* (the
+    /// inserter half of the next-key protocol; removals need no successor
+    /// lock, the departing key's own X suffices). Taken *before* the heap
+    /// mutation, so a point reader holding key S can never observe
+    /// membership shift under it, and a range reader's interval can't
+    /// grow a phantom. Only needed at row granularity — a table X lock
+    /// already excludes the IS readers.
     fn lock_index_keys_for_write(
         &self,
         tx: u64,
         table: &str,
-        defs: &[(String, usize)],
+        defs: &[IndexDef],
         old: Option<&[Value]>,
         new: Option<&[Value]>,
     ) -> Result<(), EngineError> {
         if self.engine.config.granularity != LockGranularity::Row {
             return Ok(());
         }
-        for (index, col) in defs {
-            let (o, n) = (old.map(|r| &r[*col]), new.map(|r| &r[*col]));
-            if let Some(key) = o {
-                if n != Some(key) {
-                    self.lock(tx, index_key_resource(table, index, key), LockMode::X)?;
-                }
+        for def in defs {
+            let (o, n) = (old.map(|r| def.key_of(r)), new.map(|r| def.key_of(r)));
+            if o == n {
+                continue;
             }
-            if let Some(key) = n {
-                if o != Some(key) {
-                    self.lock(tx, index_key_resource(table, index, key), LockMode::X)?;
+            if let Some(key) = &o {
+                self.lock(tx, index_key_resource(table, &def.name, key), LockMode::X)?;
+            }
+            if let Some(key) = &n {
+                self.lock(tx, index_key_resource(table, &def.name, key), LockMode::X)?;
+                if def.kind == IndexKind::Btree {
+                    self.lock_btree_successor(tx, table, &def.name, key)?;
                 }
             }
         }
@@ -288,37 +430,49 @@ impl<'e> TxnContext<'e> {
     }
 
     /// Lock and collect the target rows of an UPDATE/DELETE. With a point
-    /// probe at row granularity the statement takes table IX + key X +
-    /// row X and touches only the probe's candidates; otherwise it falls
-    /// back to the write-scan protocol (table X, or S + IX + row X) over
-    /// a full scan. Probed targets are re-read and re-filtered after
-    /// their row locks are granted: the key lock freezes index membership
-    /// at the key, but a racing writer that held a candidate's row lock
-    /// first may have changed its non-key columns before releasing.
+    /// or range plan at row granularity the statement takes table IX +
+    /// key/next-key X + row X and touches only the probe's candidates;
+    /// otherwise it falls back to the write-scan protocol (table X, or
+    /// S + IX + row X) over a full scan. Probed targets are re-read and
+    /// re-filtered after their row locks are granted: the key locks
+    /// freeze index membership, but a racing writer that held a
+    /// candidate's row lock first may have changed its non-key columns
+    /// before releasing — and history-union postings can be stale, which
+    /// the same re-filter screens out.
     fn write_targets(
         &self,
         tx: u64,
         table: &str,
         handle: &youtopia_storage::TableHandle,
         pred: &Expr,
-        probe: Option<&IndexProbe>,
+        plan: &AccessPlan,
     ) -> Result<Vec<(RowId, Vec<Value>)>, EngineError> {
         let config = &self.engine.config;
-        if let (Some(p), LockGranularity::Row) = (probe, config.granularity) {
-            let ids = self.lock_index_point(tx, table, p, LockMode::IX, LockMode::X)?;
-            let guard = handle.read();
-            let mut targets = Vec::with_capacity(ids.len());
-            for id in ids {
-                if let Some(row) = guard.get(id) {
-                    if pred
-                        .eval_bool(&[row.as_slice()])
-                        .map_err(|_| EngineError::Protocol("non-boolean WHERE"))?
-                    {
-                        targets.push((id, row.clone()));
+        if config.granularity == LockGranularity::Row {
+            let ids = match plan {
+                AccessPlan::Point(p) => {
+                    Some(self.lock_index_point(tx, table, p, LockMode::IX, LockMode::X)?)
+                }
+                AccessPlan::Range(rp) => {
+                    Some(self.lock_index_range(tx, table, rp, LockMode::IX, LockMode::X)?)
+                }
+                AccessPlan::Scan => None,
+            };
+            if let Some(ids) = ids {
+                let guard = handle.read();
+                let mut targets = Vec::with_capacity(ids.len());
+                for id in ids {
+                    if let Some(row) = guard.get(id) {
+                        if pred
+                            .eval_bool(&[row.as_slice()])
+                            .map_err(|_| EngineError::Protocol("non-boolean WHERE"))?
+                        {
+                            targets.push((id, row.clone()));
+                        }
                     }
                 }
+                return Ok(targets);
             }
-            return Ok(targets);
         }
         self.lock_for_write_scan(tx, table)?;
         let guard = handle.read();
@@ -336,16 +490,20 @@ impl<'e> TxnContext<'e> {
         Ok(targets)
     }
 
-    /// The named-index definitions of `table` as `(name, column)` pairs,
-    /// read under a short latch (empty for unindexed tables — the common
-    /// case pays one read guard and no allocation).
-    fn named_index_defs(&self, table: &str) -> Result<Vec<(String, usize)>, EngineError> {
+    /// The named-index definitions of `table`, read under a short latch
+    /// (empty for unindexed tables — the common case pays one read guard
+    /// and no allocation).
+    fn named_index_defs(&self, table: &str) -> Result<Vec<IndexDef>, EngineError> {
         let handle = self.snapshot.handle(table)?;
         let guard = handle.read();
         Ok(guard
             .named_indexes()
             .iter()
-            .map(|i| (i.name().to_string(), i.column()))
+            .map(|i| IndexDef {
+                name: i.name().to_string(),
+                columns: i.columns().to_vec(),
+                kind: i.kind(),
+            })
             .collect())
     }
 
@@ -381,33 +539,66 @@ impl<'e> TxnContext<'e> {
                 let mut tables = lowered.query.tables.clone();
                 tables.sort();
                 tables.dedup();
-                // Index-backed point read: a single-table SELECT whose
-                // predicate pins an indexed column to a computable key
-                // takes table IS + index-key S + row S on the candidates
-                // instead of a table S lock, so point readers pass point
-                // writers on other rows. The key lock freezes index
-                // membership at the key (phantom protection the table S
-                // lock used to provide); holding the locks to commit keeps
-                // the read repeatable. Not under EarlyReadLockRelease:
-                // that ablation's contract is statement-scoped table locks.
+                // Index-backed point/range read: a single-table SELECT
+                // whose predicate the planner serves through a named index
+                // takes table IS + index-key S (every in-range key plus
+                // the next key, for ranges) + row S on the candidates
+                // instead of a table S lock, so probing readers pass point
+                // writers on other rows. The key locks freeze index
+                // membership (phantom protection the table S lock used to
+                // provide — the successor lock closes the range-phantom
+                // hole); holding the locks to commit keeps the read
+                // repeatable. Not under EarlyReadLockRelease: that
+                // ablation's contract is statement-scoped table locks.
                 if tables.len() == 1
                     && config.granularity == LockGranularity::Row
                     && config.isolation != IsolationMode::EarlyReadLockRelease
                 {
                     let table = &tables[0];
-                    let probe = {
+                    let plan = {
                         let view = self.snapshot.read_view(&tables);
-                        point_probe(&view, table, &lowered.query.predicate)?
+                        access_plan(&view, table, &lowered.query.predicate)?
                     };
-                    if let Some(p) = probe {
-                        let ids =
-                            self.lock_index_point(txn.tx, table, &p, LockMode::IS, LockMode::S)?;
-                        let out = {
-                            let view = self.snapshot.read_view(&tables);
-                            let mut stats = ScanStats::default();
-                            let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
-                            self.engine.note_scan(stats);
-                            out
+                    let ids = match &plan {
+                        AccessPlan::Point(p) => Some(self.lock_index_point(
+                            txn.tx,
+                            table,
+                            p,
+                            LockMode::IS,
+                            LockMode::S,
+                        )?),
+                        AccessPlan::Range(rp) => Some(self.lock_index_range(
+                            txn.tx,
+                            table,
+                            rp,
+                            LockMode::IS,
+                            LockMode::S,
+                        )?),
+                        AccessPlan::Scan => None,
+                    };
+                    if let Some(ids) = ids {
+                        let out = match &plan {
+                            // Range candidates are already in hand (locked);
+                            // evaluate the residual predicate over them
+                            // directly — composite prefixes included, which
+                            // the generic evaluator cannot serve.
+                            AccessPlan::Range(_) => {
+                                let handle = self.snapshot.handle(table)?;
+                                let candidates: Vec<(RowId, Row)> = {
+                                    let guard = handle.read();
+                                    ids.iter()
+                                        .filter_map(|id| guard.get(*id).map(|r| (*id, r.clone())))
+                                        .collect()
+                                };
+                                eval_spj_rows(&lowered.query, &candidates)?
+                            }
+                            _ => {
+                                let view = self.snapshot.read_view(&tables);
+                                let mut stats = ScanStats::default();
+                                let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
+                                self.engine.note_scan(stats);
+                                out
+                            }
                         };
                         if config.record_history {
                             for id in &ids {
@@ -503,7 +694,7 @@ impl<'e> TxnContext<'e> {
                 // Resolve names once per statement: the predicate and every
                 // SET scalar become index-bound expressions evaluated per
                 // row with no further lookups.
-                let (pred, set_exprs, probe) = {
+                let (pred, set_exprs, plan) = {
                     let view = self.snapshot.read_view(std::slice::from_ref(table));
                     let schema = view.table(table)?.schema();
                     let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
@@ -519,11 +710,11 @@ impl<'e> TxnContext<'e> {
                                 Ok((idx, lower_row_scalar(&view, table, s, &txn.env)?))
                             })
                             .collect::<Result<_, EngineError>>()?;
-                    let probe = point_probe(&view, table, &pred)?;
-                    (pred, set_exprs, probe)
+                    let plan = access_plan(&view, table, &pred)?;
+                    (pred, set_exprs, plan)
                 };
                 let defs = self.named_index_defs(table)?;
-                let targets = self.write_targets(txn.tx, table, handle, &pred, probe.as_ref())?;
+                let targets = self.write_targets(txn.tx, table, handle, &pred, &plan)?;
                 for (id, old) in targets {
                     let mut new = old.clone();
                     for (col, expr) in &set_exprs {
@@ -564,14 +755,14 @@ impl<'e> TxnContext<'e> {
                 where_clause,
             } => {
                 let handle = self.snapshot.handle(table)?;
-                let (pred, probe) = {
+                let (pred, plan) = {
                     let view = self.snapshot.read_view(std::slice::from_ref(table));
                     let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
-                    let probe = point_probe(&view, table, &pred)?;
-                    (pred, probe)
+                    let plan = access_plan(&view, table, &pred)?;
+                    (pred, plan)
                 };
                 let defs = self.named_index_defs(table)?;
-                let targets = self.write_targets(txn.tx, table, handle, &pred, probe.as_ref())?;
+                let targets = self.write_targets(txn.tx, table, handle, &pred, &plan)?;
                 for (id, old) in targets {
                     self.lock_index_keys_for_write(txn.tx, table, &defs, Some(&old), None)?;
                     handle
@@ -630,6 +821,43 @@ fn index_key_resource(table: &str, index: &str, key: &Value) -> Resource {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
     Resource::row(format!("{table}#{index}"), h.finish())
+}
+
+/// The "beyond the last key" resource for a btree index. A range probe
+/// whose interval runs past the highest posted key locks this instead of
+/// a successor key; an insert that would become the new maximum must
+/// take X on it, so end-of-index phantoms conflict the same way interior
+/// ones do. `u64::MAX` is unreachable by `index_key_resource`'s hasher
+/// only probabilistically, but a collision merely over-locks.
+fn index_eof_resource(table: &str, index: &str) -> Resource {
+    Resource::row(format!("{table}#{index}"), u64::MAX)
+}
+
+/// Bound on probe→lock→re-probe rounds in the next-key fixpoint loops.
+/// Each round either locks a strictly-nearer successor or converges, so
+/// non-convergence within the bound means pathological churn; we fail
+/// the statement rather than spin.
+const NEXT_KEY_ROUNDS: usize = 8;
+
+/// A named index's identity and key shape, detached from the table latch
+/// so writers can compute old/new keys without holding the read guard.
+struct IndexDef {
+    name: String,
+    columns: Vec<usize>,
+    kind: IndexKind,
+}
+
+impl IndexDef {
+    /// The key this index posts for `row`: bare value for single-column
+    /// indexes, composite tuple in declaration order otherwise — must
+    /// match `Index::key_of` exactly or writer key locks miss.
+    fn key_of(&self, row: &[Value]) -> Value {
+        if let [c] = self.columns.as_slice() {
+            row[*c].clone()
+        } else {
+            Value::Tuple(self.columns.iter().map(|c| row[*c].clone()).collect())
+        }
+    }
 }
 
 /// Build the row an INSERT produces, resolving the optional column list

@@ -155,8 +155,9 @@ pub struct RunReport {
     pub rows_scanned: u64,
     /// Index probes served to this run's statements.
     pub index_lookups: u64,
-    /// Snapshot materializations this run that skipped a named-index
-    /// rebuild (lazy builds: indexes attach on first probe).
+    /// Snapshot point/range reads this run that probed the live
+    /// history-union index and filtered by version visibility instead of
+    /// materializing a per-snapshot index copy.
     pub index_rebuilds_avoided: u64,
     /// Cross-shard commit units this run drove through the two-phase
     /// protocol (0 on a single-shard engine).
@@ -198,8 +199,9 @@ pub struct Stats {
     pub rows_scanned: u64,
     /// Index probes (named or anonymous) served across all runs.
     pub index_lookups: u64,
-    /// Snapshot materializations that skipped a named-index rebuild
-    /// across all runs (the lazy-build dividend).
+    /// Snapshot point/range reads served by the live history-union index
+    /// (visibility-filtered probes) instead of a per-snapshot index
+    /// rebuild, across all runs.
     pub index_rebuilds_avoided: u64,
     /// Cross-shard commit units across all runs (the two-phase tax
     /// counter; 0 on a single-shard engine).

@@ -111,7 +111,7 @@ fn workload_log_configured(
             // key-X held to a group commit that needs the partner is the
             // Ab4 standoff at key granularity (see DESIGN.md).
             engine
-                .create_named_index("Flights", "flights_dest", "dest", IndexKind::Hash)
+                .create_named_index("Flights", "flights_dest", &["dest"], IndexKind::Hash)
                 .expect("mid-log index DDL");
         }
     }
@@ -185,7 +185,7 @@ fn checkpoint_log(db: &youtopia_storage::Database) -> Vec<(Lsn, LogRecord)> {
             recs.push(LogRecord::CreateIndex {
                 table: name.clone(),
                 name: idx.name().to_string(),
-                column: idx.column_name().to_string(),
+                columns: idx.column_names().to_vec(),
                 kind: idx.kind(),
             });
         }

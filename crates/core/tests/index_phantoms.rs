@@ -18,7 +18,10 @@
 //!    grounding reads (table-S, unchanged by this PR) race indexed point
 //!    writers on the same table.
 
-use entangled_txn::{Engine, EngineConfig, Program, Scheduler, SchedulerConfig, TxnStatus};
+use entangled_txn::{
+    ClientId, Engine, EngineConfig, Program, Scheduler, SchedulerConfig, StepOutcome, Txn,
+    TxnStatus,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -162,6 +165,101 @@ fn index_on_partner_shared_key_reintroduces_the_ab4_standoff() {
             0,
             "no partial booking may survive"
         );
+    });
+}
+
+#[test]
+fn range_reads_are_repeatable_under_concurrent_insert_into_the_range() {
+    // The next-key regression: a btree range plan takes table-IS + S on
+    // every in-range key *plus the successor key beyond the interval*
+    // (the EOF sentinel when the range runs off the index). An insert
+    // into the interval needs key-X (a duplicate of an existing key) or
+    // successor-IX (a new key) — both conflict with the reader's S — so
+    // interval membership is frozen until the reader commits: the range
+    // phantom that previously forced range statements to table-S.
+    let engine = Engine::new(EngineConfig {
+        lock_timeout: Duration::from_millis(25),
+        ..EngineConfig::default()
+    });
+    engine.setup(SETUP).unwrap();
+    let txn = |script: &str| -> Txn {
+        let mut t = Txn::new(
+            ClientId(1),
+            engine.alloc_tx(),
+            Program::parse(script).unwrap(),
+        );
+        engine.begin(&mut t);
+        t
+    };
+
+    // The reader under test: two identical BETWEEN reads in a read-write
+    // transaction (the Audit insert keeps it off the snapshot path).
+    let lookups_before = engine.index_lookups();
+    let mut reader = txn(
+        "BEGIN; SELECT bal AS @a FROM Acct WHERE uid BETWEEN 1 AND 3; \
+         INSERT INTO Audit (uid, note) VALUES (100, 0); \
+         SELECT bal AS @b FROM Acct WHERE uid BETWEEN 1 AND 3; COMMIT;",
+    );
+    assert_eq!(engine.run_until_block(&mut reader), StepOutcome::Ready);
+    assert!(
+        engine.index_lookups() > lookups_before,
+        "the BETWEEN predicate must be served by a range probe, not table-S"
+    );
+    assert_eq!(
+        reader.env.get("a"),
+        reader.env.get("b"),
+        "two range reads inside one transaction must agree"
+    );
+
+    // A duplicate-key insert into the interval collides with the
+    // reader's S on the existing key...
+    let mut interior = txn("BEGIN; INSERT INTO Acct (uid, bal) VALUES (2, 99); COMMIT;");
+    assert_eq!(
+        engine.run_until_block(&mut interior),
+        StepOutcome::Aborted,
+        "insert into a range-locked interval must wait for the reader"
+    );
+
+    // ...and a second reader holding a range that runs off the end of
+    // the index (keys stop at uid = 5) pins the EOF sentinel, so an
+    // insert *beyond the last key* is a phantom too.
+    let mut tail_reader = txn(
+        "BEGIN; SELECT bal AS @t FROM Acct WHERE uid >= 4 AND uid <= 9; \
+         INSERT INTO Audit (uid, note) VALUES (101, 0); COMMIT;",
+    );
+    assert_eq!(engine.run_until_block(&mut tail_reader), StepOutcome::Ready);
+    let mut beyond = txn("BEGIN; INSERT INTO Acct (uid, bal) VALUES (7, 7); COMMIT;");
+    assert_eq!(
+        engine.run_until_block(&mut beyond),
+        StepOutcome::Aborted,
+        "end-of-index insert must conflict with the EOF sentinel lock"
+    );
+
+    // Readers commit; the same inserts now go straight through.
+    engine.commit_group(&mut [&mut reader]);
+    engine.commit_group(&mut [&mut tail_reader]);
+    for script in [
+        "BEGIN; INSERT INTO Acct (uid, bal) VALUES (2, 99); COMMIT;",
+        "BEGIN; INSERT INTO Acct (uid, bal) VALUES (7, 7); COMMIT;",
+    ] {
+        let mut t = txn(script);
+        assert_eq!(engine.run_until_block(&mut t), StepOutcome::Ready);
+        engine.commit_group(&mut [&mut t]);
+        assert_eq!(t.status, TxnStatus::Committed);
+    }
+    engine.with_db(|db| {
+        let idx = db
+            .table("Acct")
+            .unwrap()
+            .named_indexes()
+            .get("acct_uid")
+            .unwrap();
+        assert_eq!(
+            idx.probe(&Value::Int(2)).len(),
+            2,
+            "both uid-2 rows present"
+        );
+        assert_eq!(idx.probe(&Value::Int(7)).len(), 1, "tail insert landed");
     });
 }
 

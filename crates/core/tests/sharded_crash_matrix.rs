@@ -246,7 +246,7 @@ fn sharded_checkpoint_logs(db: &youtopia_storage::Database) -> Vec<Vec<(Lsn, Log
             recs.push(LogRecord::CreateIndex {
                 table: name.clone(),
                 name: idx.name().to_string(),
-                column: idx.column_name().to_string(),
+                columns: idx.column_names().to_vec(),
                 kind: idx.kind(),
             });
         }

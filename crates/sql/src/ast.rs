@@ -222,12 +222,13 @@ pub enum Statement {
         name: String,
         columns: Vec<(String, ValueType)>,
     },
-    /// `CREATE INDEX name ON table (column) [USING HASH|BTREE]`.
-    /// Single-column named secondary index; `USING` defaults to `HASH`.
+    /// `CREATE INDEX name ON table (col [, col …]) [USING HASH|BTREE]`.
+    /// Named secondary index; multi-column lists build composite keys.
+    /// `USING` defaults to `HASH`.
     CreateIndex {
         name: String,
         table: String,
-        column: String,
+        columns: Vec<String>,
         kind: IndexKind,
     },
     Insert {

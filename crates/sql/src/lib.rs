@@ -36,8 +36,8 @@ pub mod token;
 
 pub use ast::{ColumnRef, Cond, EntangledSelect, Scalar, Select, SelectItem, Statement, TableRef};
 pub use lower::{
-    lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, point_probe, IndexProbe,
-    LowerError, LoweredSelect, VarEnv,
+    access_plan, lower_const_scalar, lower_row_scalar, lower_select, lower_table_cond, point_probe,
+    AccessPlan, IndexProbe, LowerError, LoweredSelect, RangeProbe, VarEnv,
 };
 pub use parser::{parse_script, parse_statement, ParseError};
 pub use token::{lex, LexError, Token};

@@ -10,7 +10,8 @@
 use crate::ast::{ColumnRef, Cond, Scalar, Select, SelectItem};
 use std::collections::HashMap;
 use std::fmt;
-use youtopia_storage::{CmpOp, Expr, SpjQuery, StorageError, TableProvider, Value};
+use std::ops::Bound;
+use youtopia_storage::{CmpOp, Expr, IndexKind, SpjQuery, StorageError, TableProvider, Value};
 
 /// Lowering failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -346,59 +347,278 @@ pub fn lower_row_scalar(
 }
 
 /// A point-lookup access path found in a lowered single-table predicate:
-/// an equality conjunct on a column that carries a named secondary index,
-/// with a key computable before execution (literal / host variable). The
-/// executor uses this to replace the O(table) scan by one index probe and
-/// to refine table-S locking to table-IS + per-row S.
+/// equality conjuncts pin every column of a named secondary index to keys
+/// computable before execution (literals / host variables). The executor
+/// uses this to replace the O(table) scan by one index probe and to
+/// refine table-S locking to table-IS + per-key S.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexProbe {
     /// Name of the named index to probe.
     pub index: String,
-    /// The indexed column's position in the table schema.
-    pub column: usize,
-    /// The equality key.
+    /// The indexed columns' positions in the table schema.
+    pub columns: Vec<usize>,
+    /// The equality key — a bare value for single-column indexes, a
+    /// [`Value::Tuple`] for composite ones.
     pub key: Value,
 }
 
-/// Index-aware plan selection for a lowered single-table predicate
-/// (position 0 = `table`): return a [`IndexProbe`] when some `Eq`
-/// conjunct pins an indexed column to a constant key, else `None`
-/// (the statement stays a scan).
+/// A range access path over a btree index: the index's leading columns
+/// pinned by equality conjuncts (`prefix`), the next column constrained
+/// to the `lo..hi` interval (either side may be unbounded when the prefix
+/// is non-empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeProbe {
+    /// Name of the btree index to walk.
+    pub index: String,
+    /// The indexed columns' positions in the table schema.
+    pub columns: Vec<usize>,
+    /// Equality keys for the leading `prefix.len()` index columns.
+    pub prefix: Vec<Value>,
+    /// Lower bound on index column `prefix.len()`.
+    pub lo: Bound<Value>,
+    /// Upper bound on index column `prefix.len()`.
+    pub hi: Bound<Value>,
+}
+
+impl RangeProbe {
+    /// The lower bound in the by-reference form the index probes take.
+    pub fn lo_ref(&self) -> Bound<&Value> {
+        bound_ref(&self.lo)
+    }
+
+    /// The upper bound in the by-reference form the index probes take.
+    pub fn hi_ref(&self) -> Bound<&Value> {
+        bound_ref(&self.hi)
+    }
+}
+
+/// Convert an owned bound to the by-reference form probes take.
+pub fn bound_ref(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// How a single-table statement will read its table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPlan {
+    /// One index probe with an exact key.
+    Point(IndexProbe),
+    /// An ordered walk of a btree index interval.
+    Range(RangeProbe),
+    /// Full heap scan.
+    Scan,
+}
+
+/// Constant constraints a predicate puts on single-table columns:
+/// equality pins in predicate order plus the tightest range bounds.
+#[derive(Default)]
+struct ColConstraints {
+    /// `(column, key)` for each `col = const` conjunct, in predicate
+    /// order, first conjunct wins per column.
+    eq: Vec<(usize, Value)>,
+    lo: HashMap<usize, Bound<Value>>,
+    hi: HashMap<usize, Bound<Value>>,
+}
+
+fn bound_val(b: &Bound<Value>) -> &Value {
+    match b {
+        Bound::Included(v) | Bound::Excluded(v) => v,
+        Bound::Unbounded => unreachable!("constraint maps never hold Unbounded"),
+    }
+}
+
+impl ColConstraints {
+    fn collect(pred: &Expr) -> ColConstraints {
+        let mut cons = ColConstraints::default();
+        for c in pred.conjuncts() {
+            let Expr::Cmp { op, lhs, rhs } = c else {
+                continue;
+            };
+            let (col, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Col { tbl: 0, col }, o) => (*col, o, *op),
+                (o, Expr::Col { tbl: 0, col }) => (*col, o, op.flip()),
+                _ => continue,
+            };
+            if other.max_table().is_some() {
+                continue;
+            }
+            let Ok(v) = other.eval(&[]) else { continue };
+            match op {
+                CmpOp::Eq if !cons.eq.iter().any(|(ec, _)| *ec == col) => {
+                    cons.eq.push((col, v));
+                }
+                CmpOp::Gt => cons.tighten_lo(col, Bound::Excluded(v)),
+                CmpOp::Ge => cons.tighten_lo(col, Bound::Included(v)),
+                CmpOp::Lt => cons.tighten_hi(col, Bound::Excluded(v)),
+                CmpOp::Le => cons.tighten_hi(col, Bound::Included(v)),
+                _ => {}
+            }
+        }
+        cons
+    }
+
+    fn tighten_lo(&mut self, col: usize, b: Bound<Value>) {
+        match self.lo.get(&col) {
+            Some(cur)
+                if bound_val(cur) > bound_val(&b)
+                    || (bound_val(cur) == bound_val(&b) && matches!(cur, Bound::Excluded(_))) => {}
+            _ => {
+                self.lo.insert(col, b);
+            }
+        }
+    }
+
+    fn tighten_hi(&mut self, col: usize, b: Bound<Value>) {
+        match self.hi.get(&col) {
+            Some(cur)
+                if bound_val(cur) < bound_val(&b)
+                    || (bound_val(cur) == bound_val(&b) && matches!(cur, Bound::Excluded(_))) => {}
+            _ => {
+                self.hi.insert(col, b);
+            }
+        }
+    }
+
+    fn eq_key(&self, col: usize) -> Option<&Value> {
+        self.eq.iter().find(|(ec, _)| *ec == col).map(|(_, v)| v)
+    }
+}
+
+/// Index-aware point detection for a lowered single-table predicate
+/// (position 0 = `table`): the **first** `Eq` conjunct in predicate order
+/// whose column carries a single-column named index — preferring a
+/// hash-served conjunct when several conjuncts are indexed — else a
+/// composite probe of the first multi-column index whose every column is
+/// pinned. Deterministic by construction; `None` means no point path
+/// exists (the statement scans or range-probes).
 pub fn point_probe(
     db: &dyn TableProvider,
     table: &str,
     pred: &Expr,
 ) -> Result<Option<IndexProbe>, LowerError> {
     let t = db.table(table)?;
-    if t.named_indexes().is_empty() {
+    let named = t.named_indexes();
+    if named.is_empty() {
         return Ok(None);
     }
-    for c in pred.conjuncts() {
-        let Expr::Cmp {
-            op: CmpOp::Eq,
-            lhs,
-            rhs,
-        } = c
-        else {
-            continue;
-        };
-        let (col, other) = match (lhs.as_ref(), rhs.as_ref()) {
-            (Expr::Col { tbl: 0, col }, o) | (o, Expr::Col { tbl: 0, col }) => (*col, o),
-            _ => continue,
-        };
-        if other.max_table().is_some() {
+    let cons = ColConstraints::collect(pred);
+    let mut first: Option<IndexProbe> = None;
+    for (col, key) in &cons.eq {
+        if let Some(ix) = named.on_column(*col) {
+            let probe = IndexProbe {
+                index: ix.name().to_string(),
+                columns: vec![*col],
+                key: key.clone(),
+            };
+            if ix.kind() == IndexKind::Hash {
+                return Ok(Some(probe));
+            }
+            if first.is_none() {
+                first = Some(probe);
+            }
+        }
+    }
+    if first.is_some() {
+        return Ok(first);
+    }
+    for ix in named.iter() {
+        if ix.columns().len() < 2 {
             continue;
         }
-        let Ok(key) = other.eval(&[]) else { continue };
-        if let Some(ix) = t.named_indexes().on_column(col) {
+        let keys: Option<Vec<Value>> = ix
+            .columns()
+            .iter()
+            .map(|c| cons.eq_key(*c).cloned())
+            .collect();
+        if let Some(keys) = keys {
             return Ok(Some(IndexProbe {
                 index: ix.name().to_string(),
-                column: col,
-                key,
+                columns: ix.columns().to_vec(),
+                key: Value::Tuple(keys),
             }));
         }
     }
     Ok(None)
+}
+
+/// The best range candidate `ix` offers for `cons`: the longest run of
+/// equality-pinned leading columns becomes the prefix, the next column
+/// takes whatever bounds the predicate pins. `None` when the index is
+/// not a btree, is fully pinned (that's a point), or is unconstrained.
+fn range_candidate(ix: &youtopia_storage::Index, cons: &ColConstraints) -> Option<RangeProbe> {
+    if ix.kind() != IndexKind::Btree {
+        return None;
+    }
+    let cols = ix.columns();
+    let mut prefix = Vec::new();
+    for c in cols {
+        match cons.eq_key(*c) {
+            Some(v) => prefix.push(v.clone()),
+            None => break,
+        }
+    }
+    if prefix.len() == cols.len() {
+        return None; // fully pinned — the point path owns this
+    }
+    let col = cols[prefix.len()];
+    let lo = cons.lo.get(&col).cloned().unwrap_or(Bound::Unbounded);
+    let hi = cons.hi.get(&col).cloned().unwrap_or(Bound::Unbounded);
+    if prefix.is_empty() && lo == Bound::Unbounded && hi == Bound::Unbounded {
+        return None; // unconstrained — a scan in index clothing
+    }
+    Some(RangeProbe {
+        index: ix.name().to_string(),
+        columns: cols.to_vec(),
+        prefix,
+        lo,
+        hi,
+    })
+}
+
+/// Choose how a single-table statement reads `table`: point probe, range
+/// probe, or scan — gated by selectivity, not by the mere existence of a
+/// probe. A candidate is taken only when its estimated match count is at
+/// most half the table (`estimate <= len / 2`); point estimates are the
+/// probed posting length, range estimates walk the index with an early
+/// exit at the budget. Residual conjuncts are re-applied to every
+/// candidate row, so over-approximation is safe.
+pub fn access_plan(
+    db: &dyn TableProvider,
+    table: &str,
+    pred: &Expr,
+) -> Result<AccessPlan, LowerError> {
+    let t = db.table(table)?;
+    let named = t.named_indexes();
+    if named.is_empty() {
+        return Ok(AccessPlan::Scan);
+    }
+    let budget = t.len() / 2;
+    if let Some(p) = point_probe(db, table, pred)? {
+        let est = named.get(&p.index).map_or(0, |ix| ix.probe(&p.key).len());
+        if est <= budget {
+            return Ok(AccessPlan::Point(p));
+        }
+    }
+    let cons = ColConstraints::collect(pred);
+    let mut best: Option<(usize, RangeProbe)> = None;
+    for ix in named.iter() {
+        let Some(rp) = range_candidate(ix, &cons) else {
+            continue;
+        };
+        let Some(est) = ix.estimate_range(&rp.prefix, rp.lo_ref(), rp.hi_ref(), budget + 1) else {
+            continue;
+        };
+        if est <= budget && best.as_ref().is_none_or(|(b, _)| est < *b) {
+            best = Some((est, rp));
+        }
+    }
+    Ok(match best {
+        Some((_, rp)) => AccessPlan::Range(rp),
+        None => AccessPlan::Scan,
+    })
 }
 
 /// Evaluate a scalar that must not reference any column (INSERT VALUES,
@@ -632,7 +852,7 @@ mod tests {
         let mut db = travel_db();
         db.table_mut("User")
             .unwrap()
-            .create_named_index("user_uid", "uid", youtopia_storage::IndexKind::Hash)
+            .create_named_index("user_uid", &["uid"], youtopia_storage::IndexKind::Hash)
             .unwrap();
         let mut vars = VarEnv::new();
         vars.insert("uid".into(), Value::Int(36513));
@@ -643,7 +863,7 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(probe.index, "user_uid");
-        assert_eq!(probe.column, 0);
+        assert_eq!(probe.columns, vec![0]);
         assert_eq!(probe.key, Value::Int(36513));
         // Eq on an unindexed column → scan.
         let sel = select("SELECT uid FROM User WHERE hometown = 'FAT'");
@@ -663,6 +883,141 @@ mod tests {
         assert!(point_probe(&db, "Flights", &lowered.query.predicate)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn point_probe_is_deterministic_across_conjunct_orders() {
+        use youtopia_storage::IndexKind;
+        // Two single-column indexes on Flights, both btree: the first Eq
+        // conjunct in predicate order decides.
+        let mut db = travel_db();
+        {
+            let t = db.table_mut("Flights").unwrap();
+            t.create_named_index("f_fno", &["fno"], IndexKind::Btree)
+                .unwrap();
+            t.create_named_index("f_dest", &["dest"], IndexKind::Btree)
+                .unwrap();
+        }
+        let vars = VarEnv::new();
+        let sel = select("SELECT fno FROM Flights WHERE fno = 122 AND dest = 'LA'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let p = point_probe(&db, "Flights", &lowered.query.predicate)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.index, "f_fno", "first conjunct wins");
+        let sel = select("SELECT fno FROM Flights WHERE dest = 'LA' AND fno = 122");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let p = point_probe(&db, "Flights", &lowered.query.predicate)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.index, "f_dest", "first conjunct wins in the other order");
+        // When one of the indexed conjuncts is hash-served, it wins in
+        // BOTH conjunct orders — the plan no longer depends on predicate
+        // phrasing.
+        let mut db = travel_db();
+        {
+            let t = db.table_mut("User").unwrap();
+            t.create_named_index("u_uid", &["uid"], IndexKind::Hash)
+                .unwrap();
+            t.create_named_index("u_home", &["hometown"], IndexKind::Btree)
+                .unwrap();
+        }
+        for sql in [
+            "SELECT uid FROM User WHERE uid = 36513 AND hometown = 'FAT'",
+            "SELECT uid FROM User WHERE hometown = 'FAT' AND uid = 36513",
+        ] {
+            let lowered = lower_select(&db, &select(sql), &vars).unwrap();
+            let p = point_probe(&db, "User", &lowered.query.predicate)
+                .unwrap()
+                .unwrap();
+            assert_eq!(p.index, "u_uid", "hash preferred for {sql}");
+        }
+    }
+
+    #[test]
+    fn composite_point_probe_builds_tuple_key() {
+        use youtopia_storage::IndexKind;
+        let mut db = travel_db();
+        db.table_mut("Flights")
+            .unwrap()
+            .create_named_index("f_df", &["dest", "fdate"], IndexKind::Btree)
+            .unwrap();
+        let vars = VarEnv::new();
+        let sel = select("SELECT fno FROM Flights WHERE fdate = '1970-04-12' AND dest = 'LA'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let p = point_probe(&db, "Flights", &lowered.query.predicate)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p.index, "f_df");
+        assert_eq!(p.columns, vec![2, 1]);
+        assert_eq!(
+            p.key,
+            Value::Tuple(vec![Value::str("LA"), Value::Date(101)])
+        );
+        // Only one column pinned → not a point; becomes a prefix range
+        // (dest = 'Paris' matches 1 of 3 rows, inside the cost gate).
+        let sel = select("SELECT fno FROM Flights WHERE dest = 'Paris'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        assert!(point_probe(&db, "Flights", &lowered.query.predicate)
+            .unwrap()
+            .is_none());
+        let plan = access_plan(&db, "Flights", &lowered.query.predicate).unwrap();
+        let AccessPlan::Range(rp) = plan else {
+            panic!("expected range plan, got {plan:?}")
+        };
+        assert_eq!(rp.index, "f_df");
+        assert_eq!(rp.prefix, vec![Value::str("Paris")]);
+        assert_eq!(rp.lo, Bound::Unbounded);
+        assert_eq!(rp.hi, Bound::Unbounded);
+    }
+
+    #[test]
+    fn range_plans_and_cost_gate() {
+        use youtopia_storage::IndexKind;
+        let mut db = travel_db();
+        db.table_mut("Flights")
+            .unwrap()
+            .create_named_index("f_date", &["fdate"], IndexKind::Btree)
+            .unwrap();
+        let vars = VarEnv::new();
+        // BETWEEN lowers to a closed range on the btree column; bounds from
+        // both desugared conjuncts land in one RangeProbe.
+        let sel =
+            select("SELECT fno FROM Flights WHERE fdate BETWEEN '1970-04-11' AND '1970-04-11'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let plan = access_plan(&db, "Flights", &lowered.query.predicate).unwrap();
+        let AccessPlan::Range(rp) = plan else {
+            panic!("expected range plan")
+        };
+        assert_eq!(rp.index, "f_date");
+        assert!(rp.prefix.is_empty());
+        assert_eq!(rp.lo, Bound::Included(Value::Date(100)));
+        assert_eq!(rp.hi, Bound::Included(Value::Date(100)));
+        // Strict bounds tighten closed ones (matches only Date(101)).
+        let sel = select("SELECT fno FROM Flights WHERE fdate >= '1970-04-11' AND fdate > '1970-04-11' AND fdate < '1970-04-13'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        let AccessPlan::Range(rp) = access_plan(&db, "Flights", &lowered.query.predicate).unwrap()
+        else {
+            panic!("expected range plan")
+        };
+        assert_eq!(rp.lo, Bound::Excluded(Value::Date(100)));
+        assert_eq!(rp.hi, Bound::Excluded(Value::Date(102)));
+        // The cost gate rejects a range matching more than half the table:
+        // all three flights fall in a wide interval → scan.
+        let sel =
+            select("SELECT fno FROM Flights WHERE fdate BETWEEN '1970-01-01' AND '1975-01-01'");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        assert_eq!(
+            access_plan(&db, "Flights", &lowered.query.predicate).unwrap(),
+            AccessPlan::Scan
+        );
+        // An unindexed predicate scans.
+        let sel = select("SELECT fno FROM Flights WHERE fno > 5");
+        let lowered = lower_select(&db, &sel, &vars).unwrap();
+        assert_eq!(
+            access_plan(&db, "Flights", &lowered.query.predicate).unwrap(),
+            AccessPlan::Scan
+        );
     }
 
     #[test]

@@ -234,14 +234,17 @@ impl Parser {
         self.create_table()
     }
 
-    /// `CREATE INDEX name ON table (column) [USING HASH|BTREE]`.
+    /// `CREATE INDEX name ON table (col [, col …]) [USING HASH|BTREE]`.
     fn create_index(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("INDEX")?;
         let name = self.ident()?;
         self.expect_kw("ON")?;
         let table = self.ident()?;
         self.expect(&Token::LParen)?;
-        let column = self.ident()?;
+        let mut columns = vec![self.ident()?];
+        while self.eat(&Token::Comma) {
+            columns.push(self.ident()?);
+        }
         self.expect(&Token::RParen)?;
         let kind = if self.eat_kw("USING") {
             let k = self.ident()?;
@@ -256,7 +259,7 @@ impl Parser {
         Ok(Statement::CreateIndex {
             name,
             table,
-            column,
+            columns,
             kind,
         })
     }
@@ -583,6 +586,25 @@ impl Parser {
             return Err(self.err("IN after tuple"));
         }
         let lhs = tuple.pop().expect("len 1");
+        if self.eat_kw("BETWEEN") {
+            // Desugar `x BETWEEN lo AND hi` into `x >= lo AND x <= hi`;
+            // the planner recognizes the pair as one closed range.
+            let lo = self.scalar()?;
+            self.expect_kw("AND")?;
+            let hi = self.scalar()?;
+            return Ok(Cond::And(
+                Box::new(Cond::Cmp {
+                    op: CmpOp::Ge,
+                    lhs: lhs.clone(),
+                    rhs: lo,
+                }),
+                Box::new(Cond::Cmp {
+                    op: CmpOp::Le,
+                    lhs,
+                    rhs: hi,
+                }),
+            ));
+        }
         let op = self.cmp_op()?;
         let rhs = self.scalar()?;
         Ok(Cond::Cmp { op, lhs, rhs })
@@ -683,9 +705,9 @@ impl Parser {
 
 /// Keywords that may not be used as bare column references.
 fn is_reserved(s: &str) -> bool {
-    const RESERVED: [&str; 18] = [
+    const RESERVED: [&str; 19] = [
         "SELECT", "FROM", "WHERE", "INTO", "ANSWER", "CHOOSE", "AND", "OR", "NOT", "IN", "AS",
-        "LIMIT", "VALUES", "SET", "COMMIT", "ROLLBACK", "BEGIN", "DISTINCT",
+        "LIMIT", "VALUES", "SET", "COMMIT", "ROLLBACK", "BEGIN", "DISTINCT", "BETWEEN",
     ];
     RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -738,7 +760,7 @@ mod tests {
             Statement::CreateIndex {
                 name: "reserve_uid".into(),
                 table: "Reserve".into(),
-                column: "uid".into(),
+                columns: vec!["uid".into()],
                 kind: IndexKind::Hash,
             }
         );
@@ -750,11 +772,54 @@ mod tests {
                 ..
             }
         ));
+        let st = parse_statement("CREATE INDEX f_df ON Flights (dest, fdate) USING BTREE").unwrap();
+        assert_eq!(
+            st,
+            Statement::CreateIndex {
+                name: "f_df".into(),
+                table: "Flights".into(),
+                columns: vec!["dest".into(), "fdate".into()],
+                kind: IndexKind::Btree,
+            }
+        );
         assert!(parse_statement("CREATE INDEX i ON T (c) USING SKIPLIST").is_err());
         assert!(
             parse_statement("CREATE INDEX i ON T c").is_err(),
             "parens required"
         );
+        assert!(
+            parse_statement("CREATE INDEX i ON T ()").is_err(),
+            "at least one column"
+        );
+    }
+
+    #[test]
+    fn between_desugars_to_closed_range() {
+        let st = parse_statement(
+            "SELECT fno FROM Flights WHERE fdate BETWEEN '2011-05-01' AND '2011-05-07'",
+        )
+        .unwrap();
+        let Statement::Select(s) = st else { panic!() };
+        let conjs = s.where_clause.conjuncts();
+        assert_eq!(conjs.len(), 2);
+        let lo = Value::parse_date("2011-05-01").unwrap();
+        let hi = Value::parse_date("2011-05-07").unwrap();
+        assert!(
+            matches!(conjs[0], Cond::Cmp { op: CmpOp::Ge, rhs: Scalar::Lit(v), .. } if *v == lo)
+        );
+        assert!(
+            matches!(conjs[1], Cond::Cmp { op: CmpOp::Le, rhs: Scalar::Lit(v), .. } if *v == hi)
+        );
+        // BETWEEN binds tighter than AND: a trailing conjunct still parses.
+        let st = parse_statement(
+            "SELECT fno FROM Flights WHERE fdate BETWEEN '2011-05-01' AND '2011-05-07' \
+             AND dest = 'LA'",
+        )
+        .unwrap();
+        let Statement::Select(s) = st else { panic!() };
+        assert_eq!(s.where_clause.conjuncts().len(), 3);
+        // BETWEEN is reserved: not usable as a bare column name.
+        assert!(parse_statement("SELECT between FROM T").is_err());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use concurrent::{CatalogSnapshot, ConcurrentCatalog, SnapshotTables, TableHa
 pub use expr::{CmpOp, EvalError, Expr};
 pub use index::{Index, IndexKind, IndexSet};
 pub use mvcc::{CommitTs, SnapshotRegistry, VersionChain};
-pub use query::{eval_spj, eval_spj_counted, plan_probes_named, QueryOutput, ScanStats, SpjQuery};
+pub use query::{eval_spj, eval_spj_counted, eval_spj_rows, QueryOutput, ScanStats, SpjQuery};
 pub use schema::{Column, Schema, SchemaError};
 pub use shard::shard_of_table;
 pub use table::{Row, RowId, Table};

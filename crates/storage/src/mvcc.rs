@@ -158,6 +158,13 @@ impl VersionChain {
         before - self.versions.len()
     }
 
+    /// Iterate the non-tombstone row values of every retained version —
+    /// the keys vacuum must keep posted in the named indexes so snapshot
+    /// readers can probe for rows whose working state has moved on.
+    pub fn version_rows(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.versions.iter().filter_map(|v| v.row.as_ref())
+    }
+
     /// The largest timestamp of any retained version (0 if none).
     pub fn max_ts(&self) -> CommitTs {
         self.versions.iter().map(|v| v.ts).max().unwrap_or(0)

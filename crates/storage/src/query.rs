@@ -8,7 +8,6 @@
 
 use crate::catalog::{StorageError, TableProvider};
 use crate::expr::{CmpOp, Expr};
-use crate::index::IndexSet;
 use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 use std::ops::Bound;
@@ -61,9 +60,10 @@ pub struct QueryOutput {
 pub struct ScanStats {
     pub rows_scanned: u64,
     pub index_lookups: u64,
-    /// Snapshot materializations that skipped the named-index rebuild
-    /// because the reader's plan never probes one (see
-    /// [`crate::Table::snapshot_at_with`]).
+    /// Snapshot point/range reads that probed the *live* history-union
+    /// index and filtered by version visibility instead of materializing a
+    /// per-snapshot index copy — each one is a rebuild that no longer
+    /// happens anywhere.
     pub index_rebuilds_avoided: u64,
 }
 
@@ -204,7 +204,7 @@ fn range_probe<'t>(
             CmpOp::Ge => (Bound::Included(&bound), Bound::Unbounded),
             _ => unreachable!(),
         };
-        let ids = ix.probe_range(lo, hi)?;
+        let ids = ix.probe_range(&[], lo, hi)?;
         return Some(
             ids.into_iter()
                 .filter_map(|id| table.get(id).map(|r| (id, r)))
@@ -214,35 +214,43 @@ fn range_probe<'t>(
     None
 }
 
-/// Whether evaluating `q` **may** probe a named index of the stage-`k`
-/// table whose declared indexes are `named` — the same conditions
-/// `lookup_pairs` and `range_probe` test, minus the row bindings (which
-/// only exist mid-join). Used by snapshot readers to decide whether a
-/// materialized copy needs its named indexes built at all; an
-/// over-approximation is safe (an unused rebuild), an under-approximation
-/// merely costs a scan fallback.
-pub fn plan_probes_named(q: &SpjQuery, stage: usize, named: &IndexSet) -> bool {
-    if named.is_empty() {
-        return false;
+/// Evaluate a **single-table** query over a pre-filtered candidate set —
+/// the tail of an index-served plan, locked or snapshot: candidates came
+/// from a probe (and, on the snapshot path, a per-row visibility check),
+/// and this applies the full predicate (which also screens out stale
+/// history-union postings), projection, DISTINCT and LIMIT.
+pub fn eval_spj_rows(
+    q: &SpjQuery,
+    candidates: &[(RowId, Row)],
+) -> Result<QueryOutput, StorageError> {
+    debug_assert_eq!(q.tables.len(), 1, "candidate evaluation is single-table");
+    let conjuncts: Vec<&Expr> = q.predicate.conjuncts();
+    let mut out = QueryOutput::default();
+    let mut seen = std::collections::HashSet::new();
+    'rows: for (id, row) in candidates {
+        let env: Vec<&[Value]> = vec![row.as_slice()];
+        for c in &conjuncts {
+            if !c.eval_bool(&env).map_err(eval_err)? {
+                continue 'rows;
+            }
+        }
+        let projected: Row = q
+            .projection
+            .iter()
+            .map(|e| e.eval(&env).map_err(eval_err))
+            .collect::<Result<_, _>>()?;
+        if q.distinct && !seen.insert(projected.clone()) {
+            continue;
+        }
+        out.provenance.push(vec![*id]);
+        out.rows.push(projected);
+        if let Some(lim) = q.limit {
+            if out.rows.len() >= lim {
+                break;
+            }
+        }
     }
-    q.predicate.conjuncts().iter().any(|c| {
-        let Expr::Cmp { op, lhs, rhs } = c else {
-            return false;
-        };
-        let (col, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
-            (Expr::Col { tbl, col }, o) if *tbl == stage => (*col, o, *op),
-            (o, Expr::Col { tbl, col }) if *tbl == stage => (*col, o, op.flip()),
-            _ => return false,
-        };
-        if other.max_table().is_some_and(|t| t >= stage) {
-            return false;
-        }
-        match op {
-            CmpOp::Eq => named.on_column(col).is_some(),
-            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => named.btree_on_column(col).is_some(),
-            _ => false,
-        }
-    })
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]

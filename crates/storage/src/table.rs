@@ -73,9 +73,18 @@ pub struct Table {
     slots: Vec<Option<Row>>,
     live: usize,
     indexes: Vec<HashIndex>,
-    /// Named single-column secondary indexes (`CREATE INDEX`), maintained
-    /// in lockstep with `slots` by every mutating method below.
+    /// Named secondary indexes (`CREATE INDEX`), maintained as a
+    /// *history-union superset* of the heap: every mutating method below
+    /// posts new keys inside the same critical section that touches
+    /// `slots`, but postings for removed or re-keyed rows linger until
+    /// [`Table::resync_named_indexes`] (vacuum) reclaims them. The slack is
+    /// what lets snapshot readers probe the live index for rows whose
+    /// working state has moved on; every probe consumer re-checks
+    /// liveness/visibility and the key predicate.
     named: IndexSet,
+    /// Set when a named posting may have gone stale (delete, re-keying
+    /// update, version prune); cleared by [`Table::resync_named_indexes`].
+    postings_dirty: bool,
     /// Committed version history per slot (grown lazily; a slot with no
     /// chain has no committed versions yet). Index = RowId.
     chains: Vec<VersionChain>,
@@ -96,6 +105,7 @@ impl Table {
             live: 0,
             indexes: Vec::new(),
             named: IndexSet::default(),
+            postings_dirty: false,
             chains: Vec::new(),
             version_epoch: 0,
         }
@@ -145,22 +155,32 @@ impl Table {
         Ok(self.indexes.len() - 1)
     }
 
-    /// Declare a named secondary index over one column and backfill it from
-    /// the current heap. Idempotent for an identical definition (returns
-    /// `false`); a name clash with a different definition is an error.
+    /// Declare a named secondary index over one or more columns and
+    /// backfill it from the current heap and retained version history.
+    /// Idempotent for an identical definition (returns `false`); a name
+    /// clash with a different definition is an error.
     pub fn create_named_index(
         &mut self,
         name: &str,
-        column: &str,
+        columns: &[&str],
         kind: IndexKind,
     ) -> Result<bool, SchemaError> {
-        let col = self
-            .schema
-            .index_of(column)
-            .ok_or_else(|| SchemaError::DuplicateColumn(format!("unknown column {column}")))?;
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                self.schema
+                    .index_of(c)
+                    .ok_or_else(|| SchemaError::DuplicateColumn(format!("unknown column {c}")))
+            })
+            .collect::<Result<_, _>>()?;
         let created = self
             .named
-            .create(name, col, column, kind)
+            .create(
+                name,
+                cols,
+                columns.iter().map(|c| c.to_string()).collect(),
+                kind,
+            )
             .map_err(SchemaError::DuplicateColumn)?;
         if created {
             self.rebuild_named_indexes();
@@ -173,8 +193,10 @@ impl Table {
         &self.named
     }
 
-    /// Rebuild every named index's contents from the heap (recovery and
-    /// snapshot materialization; normal execution maintains incrementally).
+    /// Rebuild every named index's contents from scratch: the live heap
+    /// plus every retained committed version — the history-union postings
+    /// snapshot readers probe (recovery, index creation, vacuum; normal
+    /// execution maintains incrementally).
     pub fn rebuild_named_indexes(&mut self) {
         let slots = &self.slots;
         self.named.rebuild(
@@ -183,6 +205,24 @@ impl Table {
                 .enumerate()
                 .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r))),
         );
+        for (i, chain) in self.chains.iter().enumerate() {
+            for row in chain.version_rows() {
+                self.named.insert_row(RowId(i as u64), row);
+            }
+        }
+        self.postings_dirty = false;
+    }
+
+    /// Reclaim stale named-index postings if any mutation since the last
+    /// resync may have produced one. Called by vacuum, after version
+    /// pruning, so postings converge back to exactly the heap ∪ retained
+    /// history. Returns whether a rebuild ran.
+    pub fn resync_named_indexes(&mut self) -> bool {
+        if !self.postings_dirty || self.named.is_empty() {
+            return false;
+        }
+        self.rebuild_named_indexes();
+        true
     }
 
     /// Insert a row, returning its new stable id.
@@ -213,7 +253,8 @@ impl Table {
             for ix in &mut self.indexes {
                 ix.remove(id, &old);
             }
-            self.named.remove_row(id, &old);
+            // Named postings for the old contents linger (vacuum's job).
+            self.postings_dirty = !self.named.is_empty();
         }
         for ix in &mut self.indexes {
             ix.insert(id, &row);
@@ -236,7 +277,12 @@ impl Table {
         for ix in &mut self.indexes {
             ix.remove(id, &old);
         }
-        self.named.remove_row(id, &old);
+        // The named posting stays: a snapshot reader pinned before this
+        // delete commits must still find the row by probing. Vacuum
+        // reclaims it once no retained version needs it.
+        if !self.named.is_empty() {
+            self.postings_dirty = true;
+        }
         self.live -= 1;
         Some(old)
     }
@@ -257,7 +303,11 @@ impl Table {
             ix.remove(id, &old);
             ix.insert(id, &new_clone);
         }
-        self.named.update_row(id, &old, &new_clone);
+        // Post the new key; the old key's posting stays for snapshot
+        // readers until vacuum reclaims it.
+        if self.named.post_update(id, &old, &new_clone) {
+            self.postings_dirty = true;
+        }
         Ok(Some(old))
     }
 
@@ -308,13 +358,15 @@ impl Table {
             }
         }
         // Single-column probes can also ride a named (`CREATE INDEX`)
-        // index; candidates are liveness-checked like any posting.
+        // index; candidates are liveness-checked like any posting, and the
+        // key is re-checked because postings are a history-union superset
+        // (a re-keyed row's old posting lingers until vacuum).
         if let [(col, v)] = pairs {
             if let Some(ix) = self.named.on_column(*col) {
                 return Some(
                     ix.probe(v)
                         .iter()
-                        .filter_map(|id| self.get(*id).map(|r| (*id, r)))
+                        .filter_map(|id| self.get(*id).filter(|r| &r[*col] == *v).map(|r| (*id, r)))
                         .collect(),
                 );
             }
@@ -330,6 +382,7 @@ impl Table {
             ix.map.clear();
         }
         self.named.clear();
+        self.postings_dirty = false;
         self.chains.clear();
         self.version_epoch += 1;
     }
@@ -364,23 +417,13 @@ impl Table {
 
     /// Materialize an owned copy of this table as visible at snapshot `ts`
     /// (same schema, same `RowId`s). This is what the snapshot read path
-    /// evaluates SELECTs against: an immutable table nobody latches or
-    /// locks. Named index *definitions* carry over and their contents are
-    /// rebuilt from the visible rows — this is how MVCC reads consult an
-    /// index: candidates come from a snapshot-consistent posting list, and
-    /// version visibility was already applied when the copy was built. The
-    /// anonymous join-pushdown hash indexes are not copied (the evaluator
-    /// falls back to scans for those).
+    /// evaluates multi-table SELECTs against: an immutable table nobody
+    /// latches or locks. The copy carries **no** index contents — neither
+    /// named nor anonymous — because snapshot point/range probes go to the
+    /// *live* table's history-union indexes ([`Table::visible_row`] applies
+    /// visibility per candidate), so per-snapshot index rebuilds no longer
+    /// exist; scans over the copy serve everything else.
     pub fn snapshot_at(&self, ts: CommitTs) -> Table {
-        self.snapshot_at_with(ts, true)
-    }
-
-    /// [`Table::snapshot_at`] with the named-index rebuild made optional.
-    /// With `build_named = false` the copy carries **no** named indexes at
-    /// all (the evaluator falls back to scans), so a reader whose plan
-    /// never probes skips the O(rows) rebuild entirely; a later probing
-    /// reader upgrades the copy via [`Table::adopt_named_indexes`].
-    pub fn snapshot_at_with(&self, ts: CommitTs, build_named: bool) -> Table {
         let mut t = Table::new(self.name.clone(), self.schema.clone());
         for (id, row) in self.snapshot_scan(ts) {
             let idx = id.0 as usize;
@@ -390,19 +433,15 @@ impl Table {
             t.slots[idx] = Some(row.clone());
             t.live += 1;
         }
-        if build_named && !self.named.is_empty() {
-            t.named = self.named.defs_only();
-            t.rebuild_named_indexes();
-        }
         t
     }
 
-    /// Attach the given named-index definitions and build their contents
-    /// from this table's live rows — the upgrade path for a snapshot copy
-    /// that was materialized without indexes and is now being probed.
-    pub fn adopt_named_indexes(&mut self, defs: &IndexSet) {
-        self.named = defs.defs_only();
-        self.rebuild_named_indexes();
+    /// The committed value of row `id` visible to a snapshot pinned at
+    /// `ts` — the per-candidate visibility filter behind index-aware
+    /// snapshot reads: probe the live history-union index, then resolve
+    /// each posting through the row's version chain.
+    pub fn visible_row(&self, id: RowId, ts: CommitTs) -> Option<&Row> {
+        self.chains.get(id.0 as usize).and_then(|c| c.visible(ts))
     }
 
     /// Seal the current working state as the one committed version of
@@ -427,6 +466,10 @@ impl Table {
         let pruned = self.chains.iter_mut().map(|c| c.prune(horizon)).sum();
         if pruned > 0 {
             self.version_epoch += 1;
+            // Pruned versions may leave orphaned history-union postings.
+            if !self.named.is_empty() {
+                self.postings_dirty = true;
+            }
         }
         pruned
     }

@@ -24,6 +24,11 @@ pub enum Value {
     Date(i32),
     /// UTF-8 string.
     Str(String),
+    /// Composite value: the key form of a multi-column index entry.
+    /// Derived `Ord` compares element-wise, so a tuple sorts before every
+    /// tuple it is a proper prefix of — which is exactly the property
+    /// prefix range scans over composite btree keys rely on.
+    Tuple(Vec<Value>),
 }
 
 impl Value {
@@ -35,6 +40,7 @@ impl Value {
             Value::Int(_) => ValueType::Int,
             Value::Date(_) => ValueType::Date,
             Value::Str(_) => ValueType::Str,
+            Value::Tuple(_) => ValueType::Tuple,
         }
     }
 
@@ -128,6 +134,16 @@ impl fmt::Display for Value {
                 write!(f, "{y:04}-{m:02}-{dd:02}")
             }
             Value::Str(s) => write!(f, "{s}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -161,6 +177,7 @@ pub enum ValueType {
     Int,
     Date,
     Str,
+    Tuple,
 }
 
 impl ValueType {
@@ -179,6 +196,7 @@ impl fmt::Display for ValueType {
             ValueType::Int => "INT",
             ValueType::Date => "DATE",
             ValueType::Str => "TEXT",
+            ValueType::Tuple => "TUPLE",
         };
         f.write_str(s)
     }
@@ -285,6 +303,21 @@ mod tests {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::Bool(false).to_string(), "false");
         assert_eq!(Value::str("LA").to_string(), "LA");
+    }
+
+    #[test]
+    fn tuple_prefix_sorts_before_extensions() {
+        // The composite-key invariant: `(a)` < `(a, x)` for every `x`, and
+        // tuples order lexicographically by component.
+        let prefix = Value::Tuple(vec![Value::Int(5)]);
+        let low = Value::Tuple(vec![Value::Int(5), Value::Null]);
+        let high = Value::Tuple(vec![Value::Int(5), Value::str("zz")]);
+        let next = Value::Tuple(vec![Value::Int(6)]);
+        assert!(prefix < low && low < high && high < next);
+        assert_eq!(
+            Value::Tuple(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "(1, 2)"
+        );
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub enum LogRecord {
     CreateIndex {
         table: String,
         name: String,
-        column: String,
+        columns: Vec<String>,
         kind: IndexKind,
     },
     /// Phase one of a cross-shard commit: shard-local redo for cross-shard
@@ -216,6 +216,10 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
             buf.put_u8(4);
             put_str(buf, s);
         }
+        Value::Tuple(vs) => {
+            buf.put_u8(5);
+            put_values(buf, vs);
+        }
     }
 }
 
@@ -244,6 +248,7 @@ fn get_value(buf: &mut Bytes) -> Result<Value, CodecError> {
             Ok(Value::Date(buf.get_i32_le()))
         }
         4 => Ok(Value::Str(get_str(buf)?)),
+        5 => Ok(Value::Tuple(get_values(buf)?)),
         _ => Err(CodecError::Corrupt("value tag")),
     }
 }
@@ -320,6 +325,7 @@ fn ty_tag(t: ValueType) -> u8 {
         ValueType::Int => 2,
         ValueType::Date => 3,
         ValueType::Str => 4,
+        ValueType::Tuple => 5,
     }
 }
 
@@ -330,6 +336,7 @@ fn ty_from(tag: u8) -> Result<ValueType, CodecError> {
         2 => ValueType::Int,
         3 => ValueType::Date,
         4 => ValueType::Str,
+        5 => ValueType::Tuple,
         _ => return Err(CodecError::Corrupt("type tag")),
     })
 }
@@ -438,13 +445,16 @@ impl LogRecord {
             LogRecord::CreateIndex {
                 table,
                 name,
-                column,
+                columns,
                 kind,
             } => {
                 body.put_u8(13);
                 put_str(&mut body, table);
                 put_str(&mut body, name);
-                put_str(&mut body, column);
+                body.put_u32_le(columns.len() as u32);
+                for c in columns {
+                    put_str(&mut body, c);
+                }
                 body.put_u8(match kind {
                     IndexKind::Hash => 0,
                     IndexKind::Btree => 1,
@@ -565,7 +575,14 @@ impl LogRecord {
             13 => {
                 let table = get_str(&mut buf)?;
                 let name = get_str(&mut buf)?;
-                let column = get_str(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(CodecError::Corrupt("index columns length"));
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut columns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    columns.push(get_str(&mut buf)?);
+                }
                 if !buf.has_remaining() {
                     return Err(CodecError::Corrupt("index kind"));
                 }
@@ -577,7 +594,7 @@ impl LogRecord {
                 LogRecord::CreateIndex {
                     table,
                     name,
-                    column,
+                    columns,
                     kind,
                 }
             }
@@ -616,7 +633,12 @@ mod tests {
                 tx: 7,
                 table: "Flights".into(),
                 row: 3,
-                values: vec![Value::Int(122), Value::Date(100), Value::str("LA")],
+                values: vec![
+                    Value::Int(122),
+                    Value::Date(100),
+                    Value::str("LA"),
+                    Value::Tuple(vec![Value::Int(1), Value::str("x"), Value::Null]),
+                ],
             },
             LogRecord::Delete {
                 tx: 7,
@@ -664,7 +686,7 @@ mod tests {
             LogRecord::CreateIndex {
                 table: "Reserve".into(),
                 name: "reserve_uid".into(),
-                column: "uid".into(),
+                columns: vec!["uid".into(), "fno".into()],
                 kind: IndexKind::Btree,
             },
             LogRecord::CrossPrepare {

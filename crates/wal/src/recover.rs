@@ -244,12 +244,13 @@ pub fn recover_with(
                 if let LogRecord::CreateIndex {
                     table,
                     name,
-                    column,
+                    columns,
                     kind,
                 } = rec
                 {
+                    let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
                     if let Ok(t) = db.table_mut(table) {
-                        let _ = t.create_named_index(name, column, *kind);
+                        let _ = t.create_named_index(name, &cols, *kind);
                     }
                 }
             }
@@ -356,13 +357,14 @@ pub fn recover_with(
             LogRecord::CreateIndex {
                 table,
                 name,
-                column,
+                columns,
                 kind,
             } if db.has_table(table) => {
+                let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
                 let _ = db
                     .table_mut(table)
                     .expect("checked")
-                    .create_named_index(name, column, *kind);
+                    .create_named_index(name, &cols, *kind);
             }
             LogRecord::Insert {
                 table, row, values, ..
@@ -421,6 +423,14 @@ pub fn recover_with(
             }
             _ => {}
         }
+    }
+
+    // Redo/undo run through the table mutators, which defer index-posting
+    // removal (history-union postings). A recovered database has no
+    // in-flight readers pinning old versions, so settle the postings to
+    // exactly the live heap before handing the database over.
+    for name in db.table_names() {
+        db.table_mut(&name).expect("listed").resync_named_indexes();
     }
 
     RecoveryOutcome {
@@ -861,7 +871,7 @@ mod tests {
         wal.append(&LogRecord::CreateIndex {
             table: "Reserve".into(),
             name: "reserve_uid".into(),
-            column: "uid".into(),
+            columns: vec!["uid".into()],
             kind: IndexKind::Hash,
         });
         wal.append(&LogRecord::Begin { tx: 1 });
@@ -888,7 +898,7 @@ mod tests {
         wal.append(&LogRecord::CreateIndex {
             table: "Reserve".into(),
             name: "reserve_uid".into(),
-            column: "uid".into(),
+            columns: vec!["uid".into()],
             kind: IndexKind::Btree,
         });
         wal.append(&LogRecord::Begin { tx: 1 });
@@ -909,7 +919,7 @@ mod tests {
         wal.append(&LogRecord::CreateIndex {
             table: "Reserve".into(),
             name: "reserve_uid".into(),
-            column: "uid".into(),
+            columns: vec!["uid".into()],
             kind: IndexKind::Btree,
         });
         wal.append(&LogRecord::CheckpointEnd { ckpt: 1 });

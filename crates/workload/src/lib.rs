@@ -8,15 +8,19 @@
 //! of Figure 6(c), the read-mostly [`readmix`] mix the `readscale`
 //! bench uses to measure the multi-version snapshot read path, the
 //! point-access [`pointmix`] mix the `pointmix` bench uses to measure
-//! the named secondary-index plans against full scans, and the
-//! shard-locality [`shardmix`] mix the `sharding` bench uses to measure
-//! per-shard commit pipelines against the cross-shard commit tax.
+//! the named secondary-index plans against full scans, the range-heavy
+//! [`rangemix`] mix the `rangemix` bench uses to measure btree range
+//! plans (next-key locking, composite keys, visibility-filtered
+//! snapshot probes) against forced scans, and the shard-locality
+//! [`shardmix`] mix the `sharding` bench uses to measure per-shard
+//! commit pipelines against the cross-shard commit tax.
 //!
 //! Everything is seeded and deterministic, so bench results replay.
 
 pub mod fig6a;
 pub mod fig6bc;
 pub mod pointmix;
+pub mod rangemix;
 pub mod readmix;
 pub mod shardmix;
 pub mod social;
@@ -29,6 +33,10 @@ pub use fig6bc::{
 };
 pub use pointmix::{
     generate_point_mix, point_index_script, point_reader, point_seed_script, point_writer,
+};
+pub use rangemix::{
+    day_literal, generate_range_mix, range_booker, range_index_script, range_inserter,
+    range_reader, range_seed_script, HORIZON_DAYS, WINDOW_DAYS,
 };
 pub use readmix::{generate_read_mix, read_mix_reader, read_mix_writer};
 pub use shardmix::{generate_shard_mix, shard_index_script, SHARD_TABLES};

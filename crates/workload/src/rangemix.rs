@@ -1,0 +1,215 @@
+//! Range-heavy workload for the `rangemix` bench: a flight-schedule
+//! dashboard that reads **date windows** (`day BETWEEN lo AND hi`, plus
+//! composite `dest = c AND day >= lo AND day <= hi` windows) mixed with
+//! point bookings that decrement seats. With the btree indexes of
+//! [`range_index_script`] installed every window is a `RangeProbe` plan
+//! — table-IS + next-key locks over the probed interval on the locked
+//! path, a visibility-filtered live-index probe on the snapshot path —
+//! touching O(matches) rows. Without them (the forced-scan ablation:
+//! same data, same programs) every window scans the heap under table-S,
+//! so concurrent bookings serialize behind the dashboards *and* each
+//! window pays O(table). The ratio between the two runs is the headline
+//! number of `BENCH_range.json`.
+
+use crate::travel::{city, TravelData};
+use entangled_txn::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use youtopia_storage::Value;
+
+/// Days in the schedule horizon. Windows span [`WINDOW_DAYS`] of these,
+/// so a window matches ~`len * WINDOW_DAYS / HORIZON_DAYS` rows — small
+/// enough that the planner's selectivity gate (estimate ≤ len/2) always
+/// picks the range probe when the index exists.
+pub const HORIZON_DAYS: i32 = 64;
+
+/// Width of each dashboard window, in days (inclusive endpoints).
+pub const WINDOW_DAYS: i32 = 2;
+
+/// First day of the schedule horizon, as days since the epoch. Any base
+/// works; a round offset keeps the generated date literals readable.
+pub const BASE_DAY: i32 = 19_000;
+
+/// The date literal for day `BASE_DAY + offset`, in the `'YYYY-MM-DD'`
+/// form the lexer types as `Value::Date`.
+pub fn day_literal(offset: i32) -> String {
+    format!("'{}'", Value::Date(BASE_DAY + offset))
+}
+
+/// Seed script: the `Sched` departure table, one row per (flight, day
+/// slot) — `fid` rides along for point bookings, `day` spreads uniformly
+/// over the horizon, `dest` cycles the city list so composite
+/// `(dest, day)` windows have work to do.
+pub fn range_seed_script(data: &TravelData) -> String {
+    let cities = data.params.cities.max(1);
+    let mut out = String::from("CREATE TABLE Sched (fid INT, day DATE, dest TEXT, seats INT);");
+    for (i, (_, d, fid)) in data.flights.iter().enumerate() {
+        let day = (i as i32 * 7 + 3) % HORIZON_DAYS;
+        out.push_str(&format!(
+            "INSERT INTO Sched VALUES ({fid}, {}, '{}', 100);",
+            day_literal(day),
+            city(*d % cities)
+        ));
+    }
+    out
+}
+
+/// DDL for the indexed arm: a btree on the date column (single-column
+/// range plans) and a composite btree on `(dest, day)` (`Value::Tuple`
+/// keys; equality prefix + range tail plans). The forced-scan ablation
+/// simply skips this script.
+pub fn range_index_script() -> &'static str {
+    "CREATE INDEX sched_day ON Sched (day) USING BTREE;\
+     CREATE INDEX sched_dest_day ON Sched (dest, day) USING BTREE;"
+}
+
+/// A dashboard reader: one BETWEEN window over `day` and one composite
+/// `(dest, day)` window. Pure reads, so with snapshot reads on it runs
+/// lock-free — the windows are served by visibility-filtered probes of
+/// the live btree (each one counts into `index_rebuilds_avoided`), or by
+/// snapshot-copy scans in the ablation.
+pub fn range_reader(lo_day: i32, dest: usize, cities: usize) -> Program {
+    let lo = day_literal(lo_day);
+    let hi = day_literal(lo_day + WINDOW_DAYS);
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT fid AS @f FROM Sched WHERE day BETWEEN {lo} AND {hi}; \
+         SELECT seats FROM Sched WHERE dest = '{}' AND day >= {lo} AND day <= {hi}; \
+         COMMIT;",
+        city(dest % cities.max(1))
+    ))
+    .expect("static workload template")
+}
+
+/// A booking writer: a range read **inside a read-write transaction**
+/// (the locked next-key path — table-IS + S on every in-range key + the
+/// successor), then a seat decrement over the same `(dest, day)` window.
+/// With the composite btree the UPDATE is itself a range plan — X next-key
+/// locks over a mostly-disjoint interval, so concurrent bookers overlap;
+/// the forced-scan ablation resolves the same targets by write-scan under
+/// table locks, serializing every booker behind every other.
+pub fn range_booker(lo_day: i32, dest: usize, cities: usize) -> Program {
+    let lo = day_literal(lo_day);
+    let hi = day_literal(lo_day + WINDOW_DAYS);
+    let dest = city(dest % cities.max(1));
+    Program::parse(&format!(
+        "BEGIN; \
+         SELECT fid AS @scan FROM Sched WHERE day BETWEEN {lo} AND {hi}; \
+         UPDATE Sched SET seats = seats - 1 \
+          WHERE dest = '{dest}' AND day >= {lo} AND day <= {hi}; \
+         COMMIT;"
+    ))
+    .expect("static workload template")
+}
+
+/// A schedule writer: posts a brand-new `(day, dest)` slot, exercising
+/// the inserter half of the next-key protocol (X on the posted key,
+/// IX on its btree successor) in the indexed arm.
+pub fn range_inserter(fid: i64, day: i32, dest: usize, cities: usize) -> Program {
+    Program::parse(&format!(
+        "BEGIN; INSERT INTO Sched (fid, day, dest, seats) VALUES ({fid}, {}, '{}', 50); COMMIT;",
+        day_literal(day),
+        city(dest % cities.max(1))
+    ))
+    .expect("static workload template")
+}
+
+/// Generate a range mix: `write_pct` percent writers (bookers and, one in
+/// four, fresh-slot inserters), the rest dashboard readers. Window start
+/// days spread over the horizon so concurrent range locks mostly cover
+/// *different* intervals. Seeded and deterministic.
+pub fn generate_range_mix(
+    data: &TravelData,
+    count: usize,
+    write_pct: u32,
+    seed: u64,
+) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cities = data.params.cities.max(1);
+    let flights = data.params.flights.max(1) as i64;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let lo_day = rng.gen_range(0..(HORIZON_DAYS - WINDOW_DAYS));
+        if rng.gen_range(0..100u32) < write_pct {
+            if i % 4 == 0 {
+                out.push(range_inserter(
+                    flights + i as i64, // fresh fid, outside the seeded set
+                    lo_day,
+                    rng.gen_range(0..cities),
+                    cities,
+                ));
+            } else {
+                out.push(range_booker(lo_day, rng.gen_range(0..cities), cities));
+            }
+        } else {
+            out.push(range_reader(lo_day, rng.gen_range(0..cities), cities));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::SocialGraph;
+    use crate::travel::TravelParams;
+    use entangled_txn::EngineConfig;
+    use youtopia_storage::Value;
+
+    fn data() -> TravelData {
+        let params = TravelParams {
+            users: 32,
+            cities: 4,
+            flights: 64,
+            seed: 5,
+        };
+        TravelData::generate(params, SocialGraph::slashdot_like(32, 5))
+    }
+
+    #[test]
+    fn day_literals_round_trip_as_typed_dates() {
+        let lit = day_literal(10);
+        assert_eq!(
+            Value::parse_date(lit.trim_matches('\'')),
+            Some(Value::Date(BASE_DAY + 10)),
+            "{lit} must parse back to the day it encodes"
+        );
+    }
+
+    #[test]
+    fn mix_ratio_and_determinism() {
+        let d = data();
+        let programs = generate_range_mix(&d, 200, 30, 9);
+        assert_eq!(programs.len(), 200);
+        let readers = programs.iter().filter(|p| p.is_read_only()).count();
+        assert!(
+            (110..=170).contains(&readers),
+            "~70% readers expected, got {readers}"
+        );
+        let again: Vec<usize> = generate_range_mix(&d, 200, 30, 9)
+            .iter()
+            .map(|p| p.statements.len())
+            .collect();
+        let first: Vec<usize> = programs.iter().map(|p| p.statements.len()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn seed_and_index_scripts_build_a_range_indexed_engine() {
+        let d = data();
+        let engine = d.build_engine(EngineConfig::default());
+        engine.setup(&range_seed_script(&d)).expect("seed");
+        engine.setup(range_index_script()).expect("index ddl");
+        engine.with_db(|db| {
+            let t = db.table("Sched").unwrap();
+            assert_eq!(t.len(), 64);
+            let day_ix = t.named_indexes().get("sched_day").expect("day btree");
+            let all = day_ix
+                .probe_range(&[], std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+                .expect("btree indexes serve ranges");
+            assert_eq!(all.len(), 64, "every seeded slot posted");
+            let dd = t.named_indexes().get("sched_dest_day").expect("composite");
+            assert_eq!(dd.columns().len(), 2, "composite (dest, day)");
+        });
+    }
+}
