@@ -107,7 +107,7 @@ fn bench_wal(c: &mut Criterion) {
         }
         wal.sync();
         let records = wal.durable_records().unwrap();
-        b.iter(|| recover(&records));
+        b.iter(|| recover(&records).unwrap());
     });
 }
 

@@ -53,12 +53,12 @@
 use std::io::Write;
 use youtopia_bench::{
     durability_json, pointmix_json, pointmix_speedup, rangemix_json, rangemix_speedup,
-    readscale_json, readscale_speedup, recovery_json, run_ablated, run_durability_series,
-    run_fig6a, run_fig6b, run_fig6c, run_pointmix_series, run_rangemix_series,
-    run_readscale_series, run_recovery_series, run_scaling_series, run_sharding_series,
-    scaling_json, scaling_speedup, sharding_cross_tax, sharding_json, sharding_local_speedup,
-    Ablation, Scale, POINTMIX_WRITE_PCT, RANGEMIX_WRITE_PCT, READSCALE_WRITE_PCT,
-    SHARDING_CROSS_PCT,
+    readscale_json, readscale_speedup, recovery_json, run_ablated, run_audit_graph,
+    run_durability_series, run_fig6a, run_fig6b, run_fig6c, run_pointmix_series,
+    run_rangemix_series, run_readscale_series, run_recovery_series, run_scaling_series,
+    run_sharding_series, scaling_json, scaling_speedup, sharding_cross_tax, sharding_json,
+    sharding_local_speedup, Ablation, Scale, POINTMIX_WRITE_PCT, RANGEMIX_WRITE_PCT,
+    READSCALE_WRITE_PCT, SHARDING_CROSS_PCT,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -86,6 +86,7 @@ fn main() {
         "pointmix" => pointmix(&mut out, &scale),
         "rangemix" => rangemix(&mut out, &scale),
         "sharding" => sharding(&mut out, &scale),
+        "auditgraph" => auditgraph(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
             fig6b(&mut out, &scale);
@@ -98,10 +99,11 @@ fn main() {
             pointmix(&mut out, &scale);
             rangemix(&mut out, &scale);
             sharding(&mut out, &scale);
+            auditgraph(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|auditgraph|all"
             );
             std::process::exit(2);
         }
@@ -475,13 +477,15 @@ fn sharding(out: &mut impl Write, scale: &Scale) {
         let syncs: Vec<String> = top.shard_syncs.iter().map(|n| n.to_string()).collect();
         writeln!(
             out,
-            "# {}: {:.1} txns/sec at {} connections; {:.3} syncs/commit; {} cross-shard commits, {} prepares; per-shard syncs [{}]",
+            "# {}: {:.1} txns/sec at {} connections; {:.3} syncs/commit; {} cross-shard commits, {} prepares; {} deadlocks, {} timeouts; per-shard syncs [{}]",
             s.label,
             top.scaling.txns_per_sec,
             top.scaling.connections,
             top.scaling.syncs_per_commit,
             top.cross_shard_commits,
             top.cross_shard_prepares,
+            top.deadlocks,
+            top.timeouts,
             syncs.join(", ")
         )
         .unwrap();
@@ -502,6 +506,40 @@ fn sharding(out: &mut impl Write, scale: &Scale) {
     let json = sharding_json(scale, &series);
     std::fs::write("BENCH_sharding.json", &json).expect("write BENCH_sharding.json");
     writeln!(out, "# baseline written to BENCH_sharding.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Auditgraph: run the contended cross-shard mix under the protocol
+/// auditor and serialize its lock-order graph + cycle report to
+/// `AUDIT_lock_graph.json` (a CI artifact). Needs an audited build
+/// (`--features audit` in release; debug builds always audit) —
+/// unaudited builds write an empty stub and say so.
+fn auditgraph(out: &mut impl Write, scale: &Scale) {
+    writeln!(
+        out,
+        "# Auditgraph — lock-order graph of the cross-shard mix"
+    )
+    .unwrap();
+    let report = run_audit_graph(scale);
+    writeln!(
+        out,
+        "# {} committed; {} audit events; {} deadlocks, {} timeouts",
+        report.committed, report.audit_events, report.deadlocks, report.timeouts
+    )
+    .unwrap();
+    let json = match report.graph_json {
+        Some(json) => json,
+        None => {
+            writeln!(
+                out,
+                "# UNAUDITED build — rerun with `--features audit` for a real graph"
+            )
+            .unwrap();
+            "{\"edges\": [], \"cycles\": [], \"unaudited\": true}\n".to_string()
+        }
+    };
+    std::fs::write("AUDIT_lock_graph.json", &json).expect("write AUDIT_lock_graph.json");
+    writeln!(out, "# graph written to AUDIT_lock_graph.json").unwrap();
     writeln!(out).unwrap();
 }
 

@@ -903,6 +903,11 @@ pub struct ShardingPoint {
     pub cross_shard_prepares: u64,
     /// Device syncs per shard — skew here shows commit-pressure spread.
     pub shard_syncs: Vec<u64>,
+    /// Waits-for cycles broken by victim selection during the run.
+    pub deadlocks: u64,
+    /// Expired lock waits (cross-shard cycles surface here — no single
+    /// shard's detector can see them).
+    pub timeouts: u64,
 }
 
 /// One `sharding` driver series: a shard count × mix locality.
@@ -969,6 +974,57 @@ pub fn run_sharding(
         cross_shard_commits: stats.cross_shard_commits,
         cross_shard_prepares: stats.cross_shard_prepares,
         shard_syncs: stats.shard_syncs.clone(),
+        deadlocks: stats.deadlocks,
+        timeouts: stats.timeouts,
+    }
+}
+
+/// Outcome of the `auditgraph` driver: the serialized lock-order graph
+/// (with its offline cycle report) plus the contention counters of the
+/// run that produced it.
+#[derive(Debug, Clone)]
+pub struct AuditGraphReport {
+    /// `{"edges": [...], "cycles": [...]}` from the engine's protocol
+    /// auditor, or `None` when this build runs unaudited (release
+    /// without the `audit` feature).
+    pub graph_json: Option<String>,
+    /// Lock-protocol events the auditor checked online (0 unaudited).
+    pub audit_events: u64,
+    /// Waits-for cycles broken by victim selection.
+    pub deadlocks: u64,
+    /// Expired lock waits (where cross-shard cycles surface).
+    pub timeouts: u64,
+    pub committed: usize,
+}
+
+/// The `auditgraph` driver: run the contended 50%-cross-shard mix on a
+/// 4-shard engine — the workload with the richest resource-ordering
+/// graph, since cross-shard units interleave table, index-key, and row
+/// locks on two shards at once — then serialize the auditor's
+/// accumulated lock-order graph and cycle report. CI uploads the result
+/// (`AUDIT_lock_graph.json`) next to the BENCH baselines.
+pub fn run_audit_graph(scale: &Scale) -> AuditGraphReport {
+    let shards = 4;
+    let data = scale.data();
+    let mut cfg = engine_config(WorkloadMode::Transactional, scale.cost, false);
+    cfg.shards = shards;
+    let engine = data.build_engine(cfg);
+    engine
+        .setup(&point_seed_script(&data))
+        .expect("valid seed script");
+    engine.setup(shard_index_script()).expect("valid index DDL");
+    let mut sched = scheduler_for(std::sync::Arc::clone(&engine), 8);
+    let programs = generate_shard_mix(&data, scale.txns, SHARDING_CROSS_PCT, shards, scale.seed);
+    for p in programs {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+    AuditGraphReport {
+        graph_json: engine.lock_order_graph_json(),
+        audit_events: engine.audit_events(),
+        deadlocks: engine.deadlocks(),
+        timeouts: engine.timeouts(),
+        committed: stats.committed,
     }
 }
 
@@ -1066,7 +1122,7 @@ pub fn sharding_json(scale: &Scale, series: &[ShardingSeries]) -> String {
         for (pi, p) in s.points.iter().enumerate() {
             let syncs: Vec<String> = p.shard_syncs.iter().map(|n| n.to_string()).collect();
             out.push_str(&format!(
-                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"syncs_per_commit\": {:.4}, \"cross_shard_commits\": {}, \"cross_shard_prepares\": {}, \"shard_syncs\": [{}]}}{}\n",
+                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"syncs_per_commit\": {:.4}, \"cross_shard_commits\": {}, \"cross_shard_prepares\": {}, \"deadlocks\": {}, \"timeouts\": {}, \"shard_syncs\": [{}]}}{}\n",
                 p.scaling.connections,
                 p.scaling.seconds,
                 p.scaling.committed,
@@ -1075,6 +1131,8 @@ pub fn sharding_json(scale: &Scale, series: &[ShardingSeries]) -> String {
                 p.scaling.syncs_per_commit,
                 p.cross_shard_commits,
                 p.cross_shard_prepares,
+                p.deadlocks,
+                p.timeouts,
                 syncs.join(", "),
                 if pi + 1 < s.points.len() { "," } else { "" }
             ));
@@ -1165,7 +1223,7 @@ pub fn run_recovery(scale: &Scale, txns: usize, checkpointing: bool) -> Recovery
     let mut replayed = 0usize;
     for _ in 0..5 {
         let t0 = Instant::now();
-        let out = youtopia_wal::recover(&records);
+        let out = youtopia_wal::recover(&records).expect("clean log");
         let us = t0.elapsed().as_secs_f64() * 1e6;
         best = best.min(us);
         replayed = out.replayed;
@@ -1933,6 +1991,8 @@ mod tests {
             cross_shard_commits: prepares / 2,
             cross_shard_prepares: prepares,
             shard_syncs: vec![25, 26, 24, 25],
+            deadlocks: 0,
+            timeouts: 1,
         };
         let series = vec![
             ShardingSeries {

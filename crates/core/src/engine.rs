@@ -218,6 +218,12 @@ pub struct Engine {
     next_xid: AtomicU64,
     cross_shard_prepares: AtomicU64,
     cross_shard_commits: AtomicU64,
+    /// The lock-protocol auditor, installed as the lock managers' event
+    /// sink in debug builds (every `cargo test`) and under the `audit`
+    /// feature; `None` in plain release builds. Violations of the
+    /// multigranularity / 2PL-phasing / latch / next-key rules panic with
+    /// the offending event trace.
+    auditor: Option<std::sync::Arc<youtopia_audit::ProtocolAuditor>>,
 }
 
 #[derive(Clone)]
@@ -260,12 +266,21 @@ impl Engine {
         let committers = (0..shards)
             .map(|_| GroupCommitter::new(config.cost.per_commit))
             .collect();
+        let mut locks = ShardedLocks::with_router(
+            shards,
+            Box::new(move |res| shard_of_table(res.table_name(), shards)),
+        );
+        let auditor = if cfg!(any(debug_assertions, feature = "audit")) {
+            let a = std::sync::Arc::new(youtopia_audit::ProtocolAuditor::strict());
+            a.set_relaxed_phasing(config.isolation == IsolationMode::EarlyReadLockRelease);
+            locks.install_sink(a.clone());
+            Some(a)
+        } else {
+            None
+        };
         Engine {
             catalog: ConcurrentCatalog::new(),
-            locks: ShardedLocks::with_router(
-                shards,
-                Box::new(move |res| shard_of_table(res.table_name(), shards)),
-            ),
+            locks,
             wal: ShardedWal::new(shards),
             committers,
             groups: GroupManager::new(),
@@ -281,6 +296,63 @@ impl Engine {
             next_xid: AtomicU64::new(1),
             cross_shard_prepares: AtomicU64::new(0),
             cross_shard_commits: AtomicU64::new(0),
+            auditor,
+        }
+    }
+
+    /// The installed lock-protocol auditor, if this build runs audited.
+    pub fn auditor(&self) -> Option<&std::sync::Arc<youtopia_audit::ProtocolAuditor>> {
+        self.auditor.as_ref()
+    }
+
+    /// Audit events processed so far (0 when no auditor is installed).
+    pub fn audit_events(&self) -> u64 {
+        self.auditor.as_ref().map_or(0, |a| a.events_seen())
+    }
+
+    /// Waits-for cycles broken by victim selection, over all lock shards.
+    pub fn deadlocks(&self) -> u64 {
+        self.locks.total_deadlocks()
+    }
+
+    /// Lock waits that expired, over all lock shards (cross-shard cycles
+    /// end up here — no single shard's detector can see them).
+    pub fn timeouts(&self) -> u64 {
+        self.locks.total_timeouts()
+    }
+
+    /// Serialized lock-order graph + cycle report (`None` without an
+    /// auditor). CI uploads this next to the BENCH jsons.
+    pub fn lock_order_graph_json(&self) -> Option<String> {
+        self.auditor.as_ref().map(|a| a.graph_json())
+    }
+
+    /// Register a storage-latch acquisition with the auditor (no-op
+    /// without one). Callers hold the token exactly as long as the latch
+    /// guard so the latch-discipline checks see the true held set.
+    pub(crate) fn latch_token(&self, name: &str) -> Option<youtopia_audit::LatchToken> {
+        self.auditor.as_ref().map(|a| a.latch(name))
+    }
+
+    /// Latch tokens for a multi-table read view, registered in the same
+    /// sorted order `read_view` acquires the underlying latches (so the
+    /// auditor's ordering check mirrors the real acquisition order).
+    pub(crate) fn latch_tokens(&self, names: &[String]) -> Vec<youtopia_audit::LatchToken> {
+        let Some(a) = self.auditor.as_ref() else {
+            return Vec::new();
+        };
+        let mut sorted: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.into_iter().map(|n| a.latch(n)).collect()
+    }
+
+    /// Tell the auditor a converged range probe believes `successor` is
+    /// covered; the auditor verifies the transaction really holds an
+    /// S-covering lock on it (the next-key invariant).
+    pub(crate) fn audit_range_covered(&self, tx: u64, successor: &Resource) {
+        if let Some(a) = self.auditor.as_ref() {
+            a.range_probe_covered(TxId(tx), successor);
         }
     }
 
@@ -1315,7 +1387,7 @@ impl Engine {
             .wal
             .durable_records_sharded()
             .map_err(EngineError::Recovery)?;
-        let outcome = recover_sharded(&logs);
+        let outcome = recover_sharded(&logs)?;
         let widowed: BTreeSet<u64> = outcome
             .shards
             .iter()
@@ -1632,7 +1704,7 @@ mod tests {
         );
         e.run_until_block(&mut t2);
         e.commit_group(&mut [&mut t2]);
-        let outcome = youtopia_wal::recover(&e.wal.durable_records().unwrap());
+        let outcome = youtopia_wal::recover(&e.wal.durable_records().unwrap()).unwrap();
         assert_eq!(outcome.checkpoint, Some(cp.ckpt));
         assert!(
             outcome.replayed < 8,

@@ -134,11 +134,13 @@ impl<'e> TxnContext<'e> {
     ) -> Result<Option<youtopia_storage::QueryOutput>, EngineError> {
         let plan = {
             let names = [table.to_string()];
+            let _latches = self.engine.latch_tokens(&names);
             let view = self.snapshot.read_view(&names);
             access_plan(&view, table, &q.predicate)?
         };
         let handle = self.snapshot.handle(table)?;
         let candidates: Vec<(RowId, Row)> = {
+            let _latch = self.engine.latch_token(table);
             let guard = handle.read();
             let named = guard.named_indexes();
             let ids: Vec<RowId> = match &plan {
@@ -176,6 +178,7 @@ impl<'e> TxnContext<'e> {
         // Lowering needs schemas only; resolve against the live catalog so
         // the probe path below can skip materialization entirely.
         let lowered = {
+            let _latches = self.engine.latch_tokens(&footprint);
             let view = self.snapshot.read_view(&footprint);
             lower_select(&view, sel, &txn.env)?
         };
@@ -255,6 +258,7 @@ impl<'e> TxnContext<'e> {
         )?;
         let handle = self.snapshot.handle(table)?;
         let ids: Vec<RowId> = {
+            let _latch = self.engine.latch_token(table);
             let guard = handle.read();
             guard
                 .named_indexes()
@@ -304,6 +308,7 @@ impl<'e> TxnContext<'e> {
         let mut locked = std::collections::HashSet::new();
         for _ in 0..NEXT_KEY_ROUNDS {
             let probe = {
+                let _latch = self.engine.latch_token(table);
                 let guard = handle.read();
                 guard
                     .named_indexes()
@@ -329,6 +334,16 @@ impl<'e> TxnContext<'e> {
                 }
             }
             if !grew {
+                // Converged: hand the successor-or-EOF resource this probe
+                // relies on to the auditor, which verifies an S-covering
+                // lock on it is really held (the next-key invariant).
+                self.engine.audit_range_covered(
+                    tx,
+                    &match &successor {
+                        Some(k) => index_key_resource(table, &rp.index, k),
+                        None => index_eof_resource(table, &rp.index),
+                    },
+                );
                 let ids: Vec<RowId> = entries.iter().flat_map(|(_, ids)| ids.clone()).collect();
                 for id in &ids {
                     self.lock(tx, Resource::row(table, id.0), mode)?;
@@ -369,6 +384,7 @@ impl<'e> TxnContext<'e> {
         let mut last: Option<Resource> = None;
         for _ in 0..NEXT_KEY_ROUNDS {
             let succ = {
+                let _latch = self.engine.latch_token(table);
                 let guard = handle.read();
                 match guard.named_indexes().get(index).map(|ix| ix.successor(key)) {
                     Some(Some(s)) => s,
@@ -459,6 +475,7 @@ impl<'e> TxnContext<'e> {
                 AccessPlan::Scan => None,
             };
             if let Some(ids) = ids {
+                let _latch = self.engine.latch_token(table);
                 let guard = handle.read();
                 let mut targets = Vec::with_capacity(ids.len());
                 for id in ids {
@@ -475,13 +492,15 @@ impl<'e> TxnContext<'e> {
             }
         }
         self.lock_for_write_scan(tx, table)?;
-        let guard = handle.read();
-        self.engine.note_scan(ScanStats {
-            rows_scanned: guard.len() as u64,
-            ..ScanStats::default()
-        });
-        let targets = collect_matches(&guard, pred)?;
-        drop(guard);
+        let targets = {
+            let _latch = self.engine.latch_token(table);
+            let guard = handle.read();
+            self.engine.note_scan(ScanStats {
+                rows_scanned: guard.len() as u64,
+                ..ScanStats::default()
+            });
+            collect_matches(&guard, pred)?
+        };
         if config.granularity == LockGranularity::Row {
             for (id, _) in &targets {
                 self.lock(tx, Resource::row(table, id.0), LockMode::X)?;
@@ -495,6 +514,7 @@ impl<'e> TxnContext<'e> {
     /// and no allocation).
     fn named_index_defs(&self, table: &str) -> Result<Vec<IndexDef>, EngineError> {
         let handle = self.snapshot.handle(table)?;
+        let _latch = self.engine.latch_token(table);
         let guard = handle.read();
         Ok(guard
             .named_indexes()
@@ -533,6 +553,7 @@ impl<'e> TxnContext<'e> {
                 let mut footprint = Vec::new();
                 sel.collect_tables(&mut footprint);
                 let lowered = {
+                    let _latches = self.engine.latch_tokens(&footprint);
                     let view = self.snapshot.read_view(&footprint);
                     lower_select(&view, sel, &txn.env)?
                 };
@@ -556,6 +577,7 @@ impl<'e> TxnContext<'e> {
                 {
                     let table = &tables[0];
                     let plan = {
+                        let _latches = self.engine.latch_tokens(&tables);
                         let view = self.snapshot.read_view(&tables);
                         access_plan(&view, table, &lowered.query.predicate)?
                     };
@@ -585,6 +607,7 @@ impl<'e> TxnContext<'e> {
                             AccessPlan::Range(_) => {
                                 let handle = self.snapshot.handle(table)?;
                                 let candidates: Vec<(RowId, Row)> = {
+                                    let _latch = self.engine.latch_token(table);
                                     let guard = handle.read();
                                     ids.iter()
                                         .filter_map(|id| guard.get(*id).map(|r| (*id, r.clone())))
@@ -593,6 +616,7 @@ impl<'e> TxnContext<'e> {
                                 eval_spj_rows(&lowered.query, &candidates)?
                             }
                             _ => {
+                                let _latches = self.engine.latch_tokens(&tables);
                                 let view = self.snapshot.read_view(&tables);
                                 let mut stats = ScanStats::default();
                                 let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
@@ -617,6 +641,7 @@ impl<'e> TxnContext<'e> {
                     self.lock(txn.tx, Resource::table(t), LockMode::S)?;
                 }
                 let out = {
+                    let _latches = self.engine.latch_tokens(&tables);
                     let view = self.snapshot.read_view(&tables);
                     let mut stats = ScanStats::default();
                     let out = eval_spj_counted(&view, &lowered.query, &mut stats)?;
@@ -656,15 +681,21 @@ impl<'e> TxnContext<'e> {
                     }
                 }
                 let handle = self.snapshot.handle(table)?;
-                let row = build_insert_row(&handle.read(), table, columns, values, &txn.env)?;
+                let row = {
+                    let _latch = self.engine.latch_token(table);
+                    build_insert_row(&handle.read(), table, columns, values, &txn.env)?
+                };
                 // Key locks precede the heap insert: a point reader holding
                 // key S must not see this row appear mid-transaction.
                 let defs = self.named_index_defs(table)?;
                 self.lock_index_keys_for_write(txn.tx, table, &defs, None, Some(&row))?;
-                let id = handle
-                    .write()
-                    .insert(row.clone())
-                    .map_err(StorageError::from)?;
+                let id = {
+                    let _latch = self.engine.latch_token(table);
+                    handle
+                        .write()
+                        .insert(row.clone())
+                        .map_err(StorageError::from)?
+                };
                 if config.granularity == LockGranularity::Row {
                     // Fresh row: uncontended by construction.
                     self.lock(txn.tx, Resource::row(table, id.0), LockMode::X)?;
@@ -695,6 +726,7 @@ impl<'e> TxnContext<'e> {
                 // SET scalar become index-bound expressions evaluated per
                 // row with no further lookups.
                 let (pred, set_exprs, plan) = {
+                    let _latch = self.engine.latch_token(table);
                     let view = self.snapshot.read_view(std::slice::from_ref(table));
                     let schema = view.table(table)?.schema();
                     let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
@@ -723,14 +755,17 @@ impl<'e> TxnContext<'e> {
                             .map_err(|_| EngineError::Protocol("invalid arithmetic"))?;
                     }
                     self.lock_index_keys_for_write(txn.tx, table, &defs, Some(&old), Some(&new))?;
-                    handle
-                        .write()
-                        .update(id, new.clone())
-                        .map_err(StorageError::from)?
-                        .ok_or_else(|| StorageError::NoSuchRow {
-                            table: table.clone(),
-                            row: id,
-                        })?;
+                    {
+                        let _latch = self.engine.latch_token(table);
+                        handle
+                            .write()
+                            .update(id, new.clone())
+                            .map_err(StorageError::from)?
+                            .ok_or_else(|| StorageError::NoSuchRow {
+                                table: table.clone(),
+                                row: id,
+                            })?;
+                    }
                     txn.redo.push(LogRecord::Update {
                         tx: txn.tx,
                         table: table.clone(),
@@ -756,6 +791,7 @@ impl<'e> TxnContext<'e> {
             } => {
                 let handle = self.snapshot.handle(table)?;
                 let (pred, plan) = {
+                    let _latch = self.engine.latch_token(table);
                     let view = self.snapshot.read_view(std::slice::from_ref(table));
                     let pred = lower_table_cond(&view, table, where_clause, &txn.env)?;
                     let plan = access_plan(&view, table, &pred)?;
@@ -765,13 +801,16 @@ impl<'e> TxnContext<'e> {
                 let targets = self.write_targets(txn.tx, table, handle, &pred, &plan)?;
                 for (id, old) in targets {
                     self.lock_index_keys_for_write(txn.tx, table, &defs, Some(&old), None)?;
-                    handle
-                        .write()
-                        .delete(id)
-                        .ok_or_else(|| StorageError::NoSuchRow {
-                            table: table.clone(),
-                            row: id,
-                        })?;
+                    {
+                        let _latch = self.engine.latch_token(table);
+                        handle
+                            .write()
+                            .delete(id)
+                            .ok_or_else(|| StorageError::NoSuchRow {
+                                table: table.clone(),
+                                row: id,
+                            })?;
+                    }
                     txn.redo.push(LogRecord::Delete {
                         tx: txn.tx,
                         table: table.clone(),

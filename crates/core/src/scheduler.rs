@@ -167,6 +167,15 @@ pub struct RunReport {
     pub cross_shard_prepares: u64,
     /// Device syncs this run paid, per shard segment (sums to `syncs`).
     pub shard_syncs: Vec<u64>,
+    /// Waits-for cycles broken by victim selection during this run,
+    /// summed over every lock shard.
+    pub deadlocks: u64,
+    /// Lock waits that expired during this run (cross-shard cycles land
+    /// here — no single shard's detector can see them).
+    pub timeouts: u64,
+    /// Lock-protocol events checked by the auditor during this run (0 in
+    /// unaudited builds).
+    pub audit_events: u64,
 }
 
 /// Cumulative statistics.
@@ -211,6 +220,14 @@ pub struct Stats {
     /// Device syncs per shard segment, same scope as `syncs` (their sum).
     /// Skew here shows whether commit pressure spread across pipelines.
     pub shard_syncs: Vec<u64>,
+    /// Waits-for cycles broken by victim selection across all runs.
+    pub deadlocks: u64,
+    /// Expired lock waits across all runs (where cross-shard cycles
+    /// surface).
+    pub timeouts: u64,
+    /// Lock-protocol events checked by the auditor across all runs (0 in
+    /// unaudited builds).
+    pub audit_events: u64,
 }
 
 impl Stats {
@@ -304,6 +321,9 @@ impl Scheduler {
         let rebuilds_avoided_before = self.engine.index_rebuilds_avoided();
         let cross_commits_before = self.engine.cross_shard_commits();
         let cross_prepares_before = self.engine.cross_shard_prepares();
+        let deadlocks_before = self.engine.deadlocks();
+        let timeouts_before = self.engine.timeouts();
+        let audit_events_before = self.engine.audit_events();
         let now = Instant::now();
 
         // Pull the pool; expire transactions whose deadline passed.
@@ -398,6 +418,12 @@ impl Scheduler {
         self.stats.index_rebuilds_avoided += report.index_rebuilds_avoided;
         self.stats.cross_shard_commits += report.cross_shard_commits;
         self.stats.cross_shard_prepares += report.cross_shard_prepares;
+        report.deadlocks = self.engine.deadlocks() - deadlocks_before;
+        report.timeouts = self.engine.timeouts() - timeouts_before;
+        report.audit_events = self.engine.audit_events() - audit_events_before;
+        self.stats.deadlocks += report.deadlocks;
+        self.stats.timeouts += report.timeouts;
+        self.stats.audit_events += report.audit_events;
         report
     }
 

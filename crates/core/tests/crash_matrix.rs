@@ -219,7 +219,7 @@ proptest! {
 
         for cut in 0..=bytes.len() {
             let records = durable_prefix(&bytes[..cut]);
-            let out = recover(&records);
+            let out = recover(&records).unwrap();
 
             // Winners/losers is a partition; widowed rollbacks lost.
             for w in &out.winners {
@@ -250,7 +250,7 @@ proptest! {
             // Idempotence: recovering a checkpoint of the recovered state
             // reproduces it exactly (recovery is a fixpoint) — and the
             // image's re-logged index definitions rebuild coherently too.
-            let again = recover(&checkpoint_log(&out.db));
+            let again = recover(&checkpoint_log(&out.db)).unwrap();
             prop_assert_eq!(
                 again.db.canonical(),
                 out.db.canonical(),
@@ -310,7 +310,7 @@ proptest! {
 
         for cut in 0..=bytes.len() {
             let records = durable_prefix(&bytes[..cut]);
-            let out = recover(&records);
+            let out = recover(&records).unwrap();
 
             // Recovery picks exactly the last complete image (torn images
             // are skipped; none complete ⇒ full replay).
@@ -333,7 +333,7 @@ proptest! {
                 ))
                 .cloned()
                 .collect();
-            let oracle = recover(&stripped);
+            let oracle = recover(&stripped).unwrap();
             prop_assert_eq!(
                 out.db.canonical(),
                 oracle.db.canonical(),
@@ -361,7 +361,7 @@ proptest! {
             assert_recovered_indexes_match_heap(&out.db, &format!("ckpt cut {cut}"));
 
             // recover ∘ recover is still a fixpoint.
-            let again = recover(&checkpoint_log(&out.db));
+            let again = recover(&checkpoint_log(&out.db)).unwrap();
             prop_assert_eq!(
                 again.db.canonical(),
                 out.db.canonical(),
@@ -378,7 +378,7 @@ proptest! {
 #[test]
 fn full_log_recovers_all_committed_bookings() {
     let bytes = workload_log(2, 2, 4);
-    let out = recover(&durable_prefix(&bytes));
+    let out = recover(&durable_prefix(&bytes)).unwrap();
     // 2 waves × 2 pairs × 2 members + 2 waves × 2 classical inserts.
     let reserve = out.db.table("Reserve").expect("Reserve recovered");
     assert_eq!(reserve.len(), 12);
@@ -460,7 +460,7 @@ fn truncating_checkpoints_bound_the_log_without_losing_commits() {
         assert_recovered_indexes_match_heap(db, "truncated log");
     });
     // And the durable suffix alone replays only O(delta) records.
-    let out = recover(&engine.wal.durable_records().expect("scan"));
+    let out = recover(&engine.wal.durable_records().expect("scan")).unwrap();
     assert!(out.checkpoint.is_some());
     assert!(
         out.replayed < 16,

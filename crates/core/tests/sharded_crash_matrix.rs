@@ -288,7 +288,7 @@ proptest! {
             .collect();
         enforce_sync_order(&mut prefixes);
 
-        let out = recover_sharded(&prefixes);
+        let out = recover_sharded(&prefixes).unwrap();
         let winners: BTreeSet<u64> = out
             .shards
             .iter()
@@ -352,7 +352,7 @@ proptest! {
         // recover ∘ recover is a fixpoint over the sharded pipeline too:
         // re-partition the merged state into per-shard bootstrap logs and
         // recover those.
-        let again = recover_sharded(&sharded_checkpoint_logs(&out.db));
+        let again = recover_sharded(&sharded_checkpoint_logs(&out.db)).unwrap();
         prop_assert_eq!(
             again.db.canonical(),
             out.db.canonical(),
@@ -370,7 +370,7 @@ proptest! {
 fn full_segments_recover_every_commit() {
     let prefixes: Vec<Vec<(Lsn, LogRecord)>> =
         shard_segments().iter().map(|b| durable_prefix(b)).collect();
-    let out = recover_sharded(&prefixes);
+    let out = recover_sharded(&prefixes).unwrap();
     assert!(
         out.resolution.aborted_xids.is_empty(),
         "nothing in doubt at the durable frontier"

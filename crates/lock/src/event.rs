@@ -1,0 +1,135 @@
+//! Lock-manager event stream for protocol auditing.
+//!
+//! Every grant, wait, release, and victim decision a [`crate::LockManager`]
+//! makes can be streamed to an installed [`LockEventSink`]. The sink is
+//! installed once, before the manager is shared (no per-operation locking
+//! for the common uninstrumented case — the slot is a plain `Option`), and
+//! callbacks run on the acquiring thread while the shard's state mutex is
+//! held, so a sink observes events in exactly the serialization order the
+//! manager itself decided. Sinks must therefore never call back into the
+//! lock manager.
+//!
+//! The `audit` crate implements the sink that checks the engine's locking
+//! protocol (multigranularity legality, strict-2PL phasing, latch
+//! discipline, next-key coverage) against this stream.
+
+use crate::mode::LockMode;
+use crate::resource::{Resource, TxId};
+use std::fmt;
+use std::sync::Arc;
+
+/// One observable lock-manager transition.
+///
+/// `shard` is the index of the [`crate::LockManager`] inside its
+/// [`crate::ShardedLocks`] (0 for a standalone manager) — the lock-order
+/// graph tags edges with it so cross-shard cycles are distinguishable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockEvent {
+    /// `tx` now holds `mode` on `res`. Emitted for fresh grants, upgrades,
+    /// and covered re-grants alike; `mode` is the *resulting held mode*
+    /// (the combine of old and requested), so a sink can mirror the held
+    /// set exactly.
+    Granted {
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        shard: usize,
+    },
+    /// `tx` is about to block waiting for `mode` on `res`. Emitted on the
+    /// waiting thread before it sleeps — the latch-discipline check keys
+    /// off this.
+    Wait {
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        shard: usize,
+    },
+    /// `tx` released `res` alone, before commit (relaxed isolation only).
+    Released {
+        tx: TxId,
+        res: Resource,
+        shard: usize,
+    },
+    /// `tx` released everything it held on this shard (commit/abort).
+    ReleasedAll { tx: TxId, shard: usize },
+    /// `tx`'s request for `mode` on `res` was refused: granting would have
+    /// closed a waits-for cycle and the requester is the victim.
+    Deadlock {
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        shard: usize,
+    },
+    /// `tx`'s request for `mode` on `res` timed out.
+    Timeout {
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        shard: usize,
+    },
+    /// The shard's whole lock table was wiped (crash-recovery reset).
+    Reset { shard: usize },
+}
+
+impl fmt::Display for LockEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockEvent::Granted {
+                tx,
+                res,
+                mode,
+                shard,
+            } => write!(f, "[s{shard}] {tx} granted {mode:?} on {res}"),
+            LockEvent::Wait {
+                tx,
+                res,
+                mode,
+                shard,
+            } => write!(f, "[s{shard}] {tx} waits for {mode:?} on {res}"),
+            LockEvent::Released { tx, res, shard } => {
+                write!(f, "[s{shard}] {tx} released {res} early")
+            }
+            LockEvent::ReleasedAll { tx, shard } => {
+                write!(f, "[s{shard}] {tx} released all (commit/abort)")
+            }
+            LockEvent::Deadlock {
+                tx,
+                res,
+                mode,
+                shard,
+            } => write!(
+                f,
+                "[s{shard}] {tx} deadlock victim requesting {mode:?} on {res}"
+            ),
+            LockEvent::Timeout {
+                tx,
+                res,
+                mode,
+                shard,
+            } => write!(f, "[s{shard}] {tx} timed out requesting {mode:?} on {res}"),
+            LockEvent::Reset { shard } => write!(f, "[s{shard}] lock table reset"),
+        }
+    }
+}
+
+/// Receiver for the event stream. Implementations must be thread-safe and
+/// must not call back into the emitting lock manager (the callback runs
+/// under the shard's state mutex).
+pub trait LockEventSink: Send + Sync {
+    fn on_event(&self, event: &LockEvent);
+}
+
+/// The installed sink plus the shard id it stamps on every event.
+#[derive(Clone)]
+pub(crate) struct SinkSlot {
+    pub shard: usize,
+    pub sink: Arc<dyn LockEventSink>,
+}
+
+impl fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkSlot")
+            .field("shard", &self.shard)
+            .finish()
+    }
+}

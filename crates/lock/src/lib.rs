@@ -21,11 +21,13 @@
 //! [`LockManager`]s with a routing rule, so shard-local transactions never
 //! touch another shard's manager (see the `sharded` module docs).
 
+pub mod event;
 pub mod manager;
 pub mod mode;
 pub mod resource;
 pub mod sharded;
 
+pub use event::{LockEvent, LockEventSink};
 pub use manager::{LockError, LockManager, LockStats};
 pub use mode::LockMode;
 pub use resource::{Resource, TxId};

@@ -8,12 +8,14 @@
 //! quasi-read; relaxed isolation levels release read locks early via
 //! [`LockManager::release`].
 
+use crate::event::{LockEvent, LockEventSink, SinkSlot};
 use crate::mode::LockMode;
 use crate::resource::{Resource, TxId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a lock request failed.
@@ -190,6 +192,7 @@ pub struct LockManager {
     state: Mutex<State>,
     cv: Condvar,
     stats: LockStats,
+    sink: Option<SinkSlot>,
 }
 
 impl Default for LockManager {
@@ -204,11 +207,27 @@ impl LockManager {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
             stats: LockStats::default(),
+            sink: None,
         }
     }
 
     pub fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    /// Install an audit sink that observes every lock event this manager
+    /// emits, stamped with `shard`. Must be called before the manager is
+    /// shared across threads (hence `&mut self` — no runtime cost when no
+    /// sink is installed).
+    pub fn set_sink(&mut self, shard: usize, sink: Arc<dyn LockEventSink>) {
+        self.sink = Some(SinkSlot { shard, sink });
+    }
+
+    #[inline]
+    fn emit(&self, mk: impl FnOnce(usize) -> LockEvent) {
+        if let Some(slot) = &self.sink {
+            slot.sink.on_event(&mk(slot.shard));
+        }
     }
 
     /// Acquire `mode` on `res` for `tx`, blocking up to `timeout`
@@ -231,6 +250,12 @@ impl LockManager {
         let target = match already {
             Some(m) if m.covers(mode) => {
                 self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                self.emit(|shard| LockEvent::Granted {
+                    tx,
+                    res,
+                    mode: m,
+                    shard,
+                });
                 return Ok(());
             }
             Some(m) => m.combine(mode),
@@ -246,8 +271,14 @@ impl LockManager {
                 Some(r) => r.mode = target,
                 None => q.granted.push(Request { tx, mode: target }),
             }
-            st.held.entry(tx).or_default().insert(res);
+            st.held.entry(tx).or_default().insert(res.clone());
             self.stats.grants.fetch_add(1, Ordering::Relaxed);
+            self.emit(|shard| LockEvent::Granted {
+                tx,
+                res,
+                mode: target,
+                shard,
+            });
             return Ok(());
         }
 
@@ -260,6 +291,12 @@ impl LockManager {
             q.waiting.push_back(req);
         }
         self.stats.waits.fetch_add(1, Ordering::Relaxed);
+        self.emit(|shard| LockEvent::Wait {
+            tx,
+            res: res.clone(),
+            mode,
+            shard,
+        });
 
         // Deadlock check with the new edge in place: requester is victim.
         if st.in_cycle(tx) {
@@ -268,14 +305,26 @@ impl LockManager {
             // Our departure may unblock others.
             st.promote(&res);
             self.cv.notify_all();
+            self.emit(|shard| LockEvent::Deadlock {
+                tx,
+                res: res.clone(),
+                mode,
+                shard,
+            });
             return Err(LockError::Deadlock);
         }
 
         loop {
             // Granted?
             if let Some(q) = st.queues.get(&res) {
-                if q.granted_mode(tx).is_some_and(|m| m.covers(mode)) {
+                if let Some(m) = q.granted_mode(tx).filter(|m| m.covers(mode)) {
                     self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                    self.emit(|shard| LockEvent::Granted {
+                        tx,
+                        res,
+                        mode: m,
+                        shard,
+                    });
                     return Ok(());
                 }
             }
@@ -291,8 +340,14 @@ impl LockManager {
                     if now >= d || self.cv.wait_until(&mut st, d).timed_out() {
                         // Re-check: promotion may have raced the timeout.
                         if let Some(q) = st.queues.get(&res) {
-                            if q.granted_mode(tx).is_some_and(|m| m.covers(mode)) {
+                            if let Some(m) = q.granted_mode(tx).filter(|m| m.covers(mode)) {
                                 self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                                self.emit(|shard| LockEvent::Granted {
+                                    tx,
+                                    res,
+                                    mode: m,
+                                    shard,
+                                });
                                 return Ok(());
                             }
                         }
@@ -300,6 +355,12 @@ impl LockManager {
                         st.promote(&res);
                         self.cv.notify_all();
                         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.emit(|shard| LockEvent::Timeout {
+                            tx,
+                            res: res.clone(),
+                            mode,
+                            shard,
+                        });
                         return Err(LockError::Timeout);
                     }
                 }
@@ -316,7 +377,15 @@ impl LockManager {
         }
         let q = st.queues.entry(res.clone()).or_default();
         let target = match q.granted_mode(tx) {
-            Some(m) if m.covers(mode) => return true,
+            Some(m) if m.covers(mode) => {
+                self.emit(|shard| LockEvent::Granted {
+                    tx,
+                    res,
+                    mode: m,
+                    shard,
+                });
+                return true;
+            }
             Some(m) => m.combine(mode),
             None => mode,
         };
@@ -326,8 +395,14 @@ impl LockManager {
                 Some(r) => r.mode = target,
                 None => q.granted.push(Request { tx, mode: target }),
             }
-            st.held.entry(tx).or_default().insert(res);
+            st.held.entry(tx).or_default().insert(res.clone());
             self.stats.grants.fetch_add(1, Ordering::Relaxed);
+            self.emit(|shard| LockEvent::Granted {
+                tx,
+                res,
+                mode: target,
+                shard,
+            });
             true
         } else {
             false
@@ -348,6 +423,11 @@ impl LockManager {
         }
         st.promote(res);
         self.cv.notify_all();
+        self.emit(|shard| LockEvent::Released {
+            tx,
+            res: res.clone(),
+            shard,
+        });
     }
 
     /// Strict 2PL release: drop every lock `tx` holds (call at
@@ -366,6 +446,7 @@ impl LockManager {
         }
         st.canceled.remove(&tx);
         self.cv.notify_all();
+        self.emit(|shard| LockEvent::ReleasedAll { tx, shard });
     }
 
     /// Forget every lock, waiter, and cancellation — the crash-recovery
@@ -379,6 +460,7 @@ impl LockManager {
         st.held.clear();
         st.canceled.clear();
         self.cv.notify_all();
+        self.emit(|shard| LockEvent::Reset { shard });
     }
 
     /// True when no transaction holds or awaits any lock — the quiesce

@@ -13,10 +13,13 @@
 //! broadcast to every shard; a transaction's locks may be spread over
 //! several of them.
 
+use crate::event::LockEventSink;
 use crate::manager::{LockError, LockManager};
 use crate::mode::LockMode;
 use crate::resource::{Resource, TxId};
 use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Picks the shard owning a resource.
@@ -60,6 +63,15 @@ impl ShardedLocks {
 
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Install one audit sink on every shard; each shard stamps its own
+    /// index on the events it emits. Must run before the facade is shared
+    /// (see [`LockManager::set_sink`]).
+    pub fn install_sink(&mut self, sink: Arc<dyn LockEventSink>) {
+        for (i, m) in self.shards.iter_mut().enumerate() {
+            m.set_sink(i, sink.clone());
+        }
     }
 
     /// The manager owning shard `i`.
@@ -141,7 +153,24 @@ impl ShardedLocks {
     pub fn total_grants(&self) -> u64 {
         self.shards
             .iter()
-            .map(|m| m.stats().grants.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|m| m.stats().grants.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total waits-for cycles broken by victim selection, across shards.
+    pub fn total_deadlocks(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|m| m.stats().deadlocks.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total lock waits that expired, across shards. Cross-shard cycles —
+    /// invisible to any single manager's detector — show up here.
+    pub fn total_timeouts(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|m| m.stats().timeouts.load(Ordering::Relaxed))
             .sum()
     }
 }

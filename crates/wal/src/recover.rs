@@ -21,7 +21,7 @@
 //! units globally ([`resolve_cross_shard`]), then replays each shard's
 //! segment in parallel with the resolution overlaid on its local analysis.
 
-use crate::record::{LogRecord, Lsn};
+use crate::record::{CodecError, LogRecord, Lsn};
 use std::collections::{BTreeMap, BTreeSet};
 use youtopia_storage::{Database, RowId};
 
@@ -182,7 +182,12 @@ pub fn resolve_cross_shard(logs: &[Vec<(Lsn, LogRecord)>]) -> CrossResolution {
 /// O(history). The image is transactionally consistent by the engine's
 /// contract (written at a commit-batch boundary with no in-flight work in
 /// the shared log), so no undo is needed for pre-checkpoint history.
-pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
+///
+/// Returns [`CodecError::Corrupt`] when the durable prefix is internally
+/// inconsistent — e.g. a checkpoint image or redo record referencing
+/// table state the log never established. A corrupt log is an operator
+/// problem, not a panic.
+pub fn recover(records: &[(Lsn, LogRecord)]) -> Result<RecoveryOutcome, CodecError> {
     recover_with(records, None)
 }
 
@@ -196,7 +201,7 @@ pub fn recover(records: &[(Lsn, LogRecord)]) -> RecoveryOutcome {
 pub fn recover_with(
     records: &[(Lsn, LogRecord)],
     cross: Option<&CrossResolution>,
-) -> RecoveryOutcome {
+) -> Result<RecoveryOutcome, CodecError> {
     // `max_tx` and `max_commit_ts` range over the WHOLE prefix (including
     // records before the checkpoint): tx-id allocation and the snapshot
     // clock must both clear everything durable.
@@ -231,7 +236,9 @@ pub fn recover_with(
                         continue;
                     }
                     db.create_or_replace_table(name, schema.clone());
-                    let t = db.table_mut(name).expect("just created");
+                    let t = db
+                        .table_mut(name)
+                        .map_err(|_| CodecError::Corrupt("checkpoint image lost its own table"))?;
                     for (row, values) in rows {
                         let _ = t.insert_at(RowId(*row), values.clone());
                     }
@@ -363,7 +370,7 @@ pub fn recover_with(
                 let cols: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
                 let _ = db
                     .table_mut(table)
-                    .expect("checked")
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
                     .create_named_index(name, &cols, *kind);
             }
             LogRecord::Insert {
@@ -371,18 +378,21 @@ pub fn recover_with(
             } if db.has_table(table) => {
                 let _ = db
                     .table_mut(table)
-                    .expect("checked")
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
                     .insert_at(RowId(*row), values.clone());
             }
             LogRecord::Delete { table, row, .. } if db.has_table(table) => {
-                let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
+                let _ = db
+                    .table_mut(table)
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
+                    .delete(RowId(*row));
             }
             LogRecord::Update {
                 table, row, after, ..
             } if db.has_table(table) => {
                 let _ = db
                     .table_mut(table)
-                    .expect("checked")
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
                     .update(RowId(*row), after.clone());
             }
             _ => {}
@@ -396,7 +406,10 @@ pub fn recover_with(
             LogRecord::Insert { tx, table, row, .. }
                 if losers.contains(tx) && db.has_table(table) =>
             {
-                let _ = db.table_mut(table).expect("checked").delete(RowId(*row));
+                let _ = db
+                    .table_mut(table)
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
+                    .delete(RowId(*row));
             }
             LogRecord::Delete {
                 tx,
@@ -406,7 +419,7 @@ pub fn recover_with(
             } if losers.contains(tx) && db.has_table(table) => {
                 let _ = db
                     .table_mut(table)
-                    .expect("checked")
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
                     .insert_at(RowId(*row), before.clone());
             }
             LogRecord::Update {
@@ -418,7 +431,7 @@ pub fn recover_with(
             } if losers.contains(tx) && db.has_table(table) => {
                 let _ = db
                     .table_mut(table)
-                    .expect("checked")
+                    .map_err(|_| CodecError::Corrupt("redo/undo target table vanished"))?
                     .update(RowId(*row), before.clone());
             }
             _ => {}
@@ -430,10 +443,12 @@ pub fn recover_with(
     // in-flight readers pinning old versions, so settle the postings to
     // exactly the live heap before handing the database over.
     for name in db.table_names() {
-        db.table_mut(&name).expect("listed").resync_named_indexes();
+        db.table_mut(&name)
+            .map_err(|_| CodecError::Corrupt("recovered catalog lost a listed table"))?
+            .resync_named_indexes();
     }
 
-    RecoveryOutcome {
+    Ok(RecoveryOutcome {
         db,
         winners,
         losers,
@@ -444,7 +459,7 @@ pub fn recover_with(
         replayed: suffix.len(),
         max_tx,
         max_commit_ts,
-    }
+    })
 }
 
 /// The result of recovering a set of per-shard log segments.
@@ -469,19 +484,25 @@ pub struct ShardedRecoveryOutcome {
 /// shard) with the resolution overlaid on its local analysis, and merge
 /// the per-shard partitions. With a single segment and no cross-shard
 /// records this is exactly [`recover`].
-pub fn recover_sharded(logs: &[Vec<(Lsn, LogRecord)>]) -> ShardedRecoveryOutcome {
+pub fn recover_sharded(
+    logs: &[Vec<(Lsn, LogRecord)>],
+) -> Result<ShardedRecoveryOutcome, CodecError> {
     let resolution = resolve_cross_shard(logs);
-    let mut shards: Vec<Option<RecoveryOutcome>> = Vec::new();
-    shards.resize_with(logs.len(), || None);
+    let mut slots: Vec<Option<Result<RecoveryOutcome, CodecError>>> = Vec::new();
+    slots.resize_with(logs.len(), || None);
     std::thread::scope(|scope| {
-        for (log, slot) in logs.iter().zip(shards.iter_mut()) {
+        for (log, slot) in logs.iter().zip(slots.iter_mut()) {
             let res = &resolution;
             scope.spawn(move || {
                 *slot = Some(recover_with(log, Some(res)));
             });
         }
     });
-    let shards: Vec<RecoveryOutcome> = shards.into_iter().map(|s| s.expect("joined")).collect();
+    let mut shards: Vec<RecoveryOutcome> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let out = slot.ok_or(CodecError::Corrupt("shard recovery produced no outcome"))??;
+        shards.push(out);
+    }
     let mut db = Database::new();
     for out in &shards {
         for t in out.db.clone().into_tables() {
@@ -490,13 +511,13 @@ pub fn recover_sharded(logs: &[Vec<(Lsn, LogRecord)>]) -> ShardedRecoveryOutcome
     }
     let max_tx = shards.iter().map(|s| s.max_tx).max().unwrap_or(0);
     let max_commit_ts = shards.iter().map(|s| s.max_commit_ts).max().unwrap_or(0);
-    ShardedRecoveryOutcome {
+    Ok(ShardedRecoveryOutcome {
         shards,
         db,
         resolution,
         max_tx,
         max_commit_ts,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -530,7 +551,7 @@ mod tests {
         insert(&wal, 1, 0, 10, 122);
         wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
         assert!(out.winners.contains(&1));
         assert!(out.losers.is_empty());
@@ -543,7 +564,7 @@ mod tests {
         insert(&wal, 1, 0, 10, 122);
         wal.sync(); // data durable, commit record not
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
         assert!(out.losers.contains(&1));
     }
@@ -572,7 +593,7 @@ mod tests {
         });
         wal.sync();
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         let t = out.db.table("Reserve").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(
@@ -596,7 +617,7 @@ mod tests {
         insert(&wal, 2, 1, 20, 122);
         wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.crash(); // t2's commit never happened
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(
             out.db.table("Reserve").unwrap().len(),
             0,
@@ -619,7 +640,7 @@ mod tests {
         wal.append(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.append_sync(&LogRecord::GroupCommit { group: 1 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.db.table("Reserve").unwrap().len(), 2);
         assert_eq!(out.winners, BTreeSet::from([1, 2]));
         assert!(out.widowed_rollbacks.is_empty());
@@ -643,7 +664,7 @@ mod tests {
         wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.crash(); // 3 never committed
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
         assert_eq!(out.losers, BTreeSet::from([1, 2, 3]));
         assert_eq!(out.widowed_rollbacks, BTreeSet::from([1, 2]));
@@ -661,7 +682,7 @@ mod tests {
         wal.append(&LogRecord::Commit { tx: 1, ts: 0 });
         wal.append_sync(&LogRecord::Commit { tx: 3, ts: 0 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         let t = out.db.table("Reserve").unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(RowId(1)).unwrap()[0], Value::Int(3));
@@ -684,7 +705,7 @@ mod tests {
         });
         wal.sync();
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.durable_batches, 1);
         assert!(out.winners.contains(&1));
         assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
@@ -712,7 +733,7 @@ mod tests {
             txs: vec![1, 2],
         });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(
             out.db.table("Reserve").unwrap().len(),
             0,
@@ -724,7 +745,7 @@ mod tests {
 
     #[test]
     fn empty_log_recovers_to_empty_db() {
-        let out = recover(&[]);
+        let out = recover(&[]).unwrap();
         assert!(out.db.table_names().is_empty());
         assert!(out.winners.is_empty());
         assert!(out.losers.is_empty());
@@ -763,7 +784,7 @@ mod tests {
         insert(&wal, 2, 1, 20, 123);
         wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.checkpoint, Some(1));
         assert_eq!(out.replayed, 3, "only the suffix is replayed");
         assert_eq!(out.max_tx, 2);
@@ -800,7 +821,7 @@ mod tests {
         wal.sync();
         wal.append(&LogRecord::CheckpointEnd { ckpt: 2 }); // lost in the crash
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.checkpoint, Some(1), "torn image 2 skipped");
         let t = out.db.table("Reserve").unwrap();
         assert_eq!(t.len(), 2, "image 1 + replayed tx 5");
@@ -819,7 +840,7 @@ mod tests {
         wal.append(&LogRecord::CheckpointEnd { ckpt: 1 });
         wal.append_sync(&LogRecord::Commit { tx: 4, ts: 0 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert!(
             out.losers.contains(&3),
             "active at checkpoint, never committed"
@@ -857,7 +878,7 @@ mod tests {
         wal.crash();
         let records = wal.durable_records().unwrap();
         assert_eq!(records[0].0, begin, "log head is the checkpoint begin LSN");
-        let out = recover(&records);
+        let out = recover(&records).unwrap();
         assert_eq!(out.checkpoint, Some(1));
         assert_eq!(out.checkpoint_lsn, Some(begin));
         assert_eq!(out.db.table("Reserve").unwrap().len(), 2);
@@ -883,7 +904,7 @@ mod tests {
         insert(&wal, 2, 2, 30, 123);
         wal.sync();
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         let t = out.db.table("Reserve").unwrap();
         let idx = t.named_indexes().get("reserve_uid").unwrap();
         assert_eq!(idx.probe(&Value::Int(10)), &[RowId(0)]);
@@ -930,7 +951,7 @@ mod tests {
         insert(&wal, 2, 1, 20, 123);
         wal.append_sync(&LogRecord::Commit { tx: 2, ts: 0 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         let t = out.db.table("Reserve").unwrap();
         let idx = t.named_indexes().get("reserve_uid").unwrap();
         assert_eq!(idx.kind(), IndexKind::Btree);
@@ -993,7 +1014,7 @@ mod tests {
     #[test]
     fn cross_shard_unit_commits_when_every_prepare_is_durable() {
         let logs = cross_shard_logs([true, true]);
-        let out = recover_sharded(&durable(&logs));
+        let out = recover_sharded(&durable(&logs)).unwrap();
         assert_eq!(out.resolution.committed_xids, BTreeSet::from([1]));
         assert_eq!(out.db.table("Reserve").unwrap().len(), 1);
         assert_eq!(out.db.table("Hotels").unwrap().len(), 1);
@@ -1009,7 +1030,7 @@ mod tests {
         // (prepare + commit) was torn off. Without the global resolution,
         // shard 0 would keep a half-committed unit.
         let logs = cross_shard_logs([true, false]);
-        let out = recover_sharded(&durable(&logs));
+        let out = recover_sharded(&durable(&logs)).unwrap();
         assert_eq!(out.resolution.aborted_xids, BTreeSet::from([1]));
         assert_eq!(
             out.db.table("Reserve").unwrap().len(),
@@ -1047,7 +1068,7 @@ mod tests {
         w1.append(&LogRecord::CrossCommit { xid: 1 });
         w1.sync();
         w1.crash();
-        let out = recover_sharded(&durable(&[w0, w1]));
+        let out = recover_sharded(&durable(&[w0, w1])).unwrap();
         assert_eq!(out.resolution.committed_xids, BTreeSet::from([1]));
         assert_eq!(out.db.table("Hotels").unwrap().len(), 1);
     }
@@ -1091,7 +1112,7 @@ mod tests {
         w1.append(&prep); // torn off below
         w0.crash();
         w1.crash();
-        let out = recover_sharded(&durable(&[w0, w1]));
+        let out = recover_sharded(&durable(&[w0, w1])).unwrap();
         assert_eq!(out.resolution.aborted_xids, BTreeSet::from([9]));
         assert_eq!(out.db.table("Reserve").unwrap().len(), 0, "no widow");
         assert_eq!(out.db.table("Hotels").unwrap().len(), 0);
@@ -1107,8 +1128,8 @@ mod tests {
         wal.append_sync(&LogRecord::Commit { tx: 1, ts: 2 });
         wal.crash();
         let records = wal.durable_records().unwrap();
-        let plain = recover(&records);
-        let sharded = recover_sharded(std::slice::from_ref(&records));
+        let plain = recover(&records).unwrap();
+        let sharded = recover_sharded(std::slice::from_ref(&records)).unwrap();
         assert_eq!(sharded.shards.len(), 1);
         assert_eq!(sharded.db.canonical(), plain.db.canonical());
         assert_eq!(sharded.shards[0].winners, plain.winners);
@@ -1124,7 +1145,7 @@ mod tests {
         insert(&wal, 1, 0, 1, 1);
         wal.append_sync(&LogRecord::Abort { tx: 1 });
         wal.crash();
-        let out = recover(&wal.durable_records().unwrap());
+        let out = recover(&wal.durable_records().unwrap()).unwrap();
         assert_eq!(out.db.table("Reserve").unwrap().len(), 0);
         assert!(out.losers.contains(&1));
         assert!(out.widowed_rollbacks.is_empty());

@@ -129,7 +129,7 @@ proptest! {
     fn recovery_partition_is_a_partition(recs in prop::collection::vec(arb_record(), 0..20)) {
         let indexed: Vec<(Lsn, LogRecord)> =
             recs.iter().cloned().enumerate().map(|(i, r)| (Lsn(i as u64), r)).collect();
-        let out = recover(&indexed);
+        let out = recover(&indexed).unwrap();
         for w in &out.winners {
             prop_assert!(!out.losers.contains(w), "tx {w} both winner and loser");
         }

@@ -82,7 +82,7 @@ fn main() {
     wal.append_sync(&LogRecord::Commit { tx: 1, ts: 0 });
     // CRASH: t2's commit never reaches the disk.
     wal.crash();
-    let outcome = recover(&wal.durable_records().expect("readable log"));
+    let outcome = recover(&wal.durable_records().expect("readable log")).expect("clean log");
     println!(
         "recovery: losers={:?}, widowed rollbacks={:?}",
         outcome.losers, outcome.widowed_rollbacks
