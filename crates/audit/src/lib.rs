@@ -93,6 +93,8 @@ struct AuditState {
     /// Lock-order edges: (held, then-acquired) → (held shard, acquired
     /// shard).
     edges: BTreeMap<(Resource, Resource), (usize, usize)>,
+    /// Online victim convictions, in stream order.
+    detections: Vec<Detection>,
 }
 
 thread_local! {
@@ -117,6 +119,22 @@ impl Drop for LatchToken {
             }
         });
     }
+}
+
+/// One online victim conviction observed on the event stream: the
+/// cross-shard probe overlay (or a shard-local waits-for check) refused
+/// `tx`'s request and aborted it to break a cycle.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// The convicted transaction.
+    pub tx: TxId,
+    /// The resource the victim was blocked on when convicted.
+    pub requested: String,
+    /// The lock shard that surfaced the conviction.
+    pub shard: usize,
+    /// Resources the victim held at conviction time — the sources of the
+    /// ordering edges its blocked request proved.
+    pub held: Vec<String>,
 }
 
 /// A cycle (strongly-connected component) in the lock-order graph.
@@ -269,6 +287,26 @@ impl ProtocolAuditor {
                 escape(&to.to_string()),
             ));
         }
+        out.push_str("\n  ],\n  \"detections\": [\n");
+        first = true;
+        for d in &st.detections {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let held = d
+                .held
+                .iter()
+                .map(|r| format!("\"{}\"", escape(r)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"tx\": {}, \"requested\": \"{}\", \"shard\": {}, \"held\": [{held}]}}",
+                d.tx.0,
+                escape(&d.requested),
+                d.shard,
+            ));
+        }
         out.push_str("\n  ],\n  \"cycles\": [\n");
         let cycles = Self::cycles_in(&st);
         drop(st);
@@ -310,6 +348,31 @@ impl ProtocolAuditor {
     /// Number of lock-order edges observed (diagnostics).
     pub fn edge_count(&self) -> usize {
         self.inner.lock().edges.len()
+    }
+
+    /// Every online victim conviction seen on the event stream, in order.
+    pub fn detections(&self) -> Vec<Detection> {
+        self.inner.lock().detections.clone()
+    }
+
+    /// Cross-check the online detector against the offline analysis:
+    /// detections whose blocked resource appears in **no** lock-order
+    /// cycle. A sound detector leaves this empty — every runtime
+    /// conviction corresponds to a cycle the offline Tarjan pass also
+    /// finds (the victim's own edges are recorded at conviction, the
+    /// survivors' when their stalled grants land), so a non-empty result
+    /// means the detector convicted a transaction that was never actually
+    /// entangled in an ordering cycle.
+    pub fn uncovered_detections(&self) -> Vec<Detection> {
+        let st = self.inner.lock();
+        let cycles = Self::cycles_in(&st);
+        st.detections
+            .iter()
+            .filter(|d| {
+                !cycles.iter().any(|c| c.resources.contains(&d.requested))
+            })
+            .cloned()
+            .collect()
     }
 
     // ---- internals ----------------------------------------------------
@@ -593,8 +656,41 @@ impl LockEventSink for ProtocolAuditor {
                 st.txs.remove(tx);
                 st.exempt.remove(tx);
             }
-            LockEvent::Deadlock { .. } | LockEvent::Timeout { .. } => {
-                // Legal outcomes; they reach RunReport via LockStats.
+            LockEvent::Deadlock { tx, res, shard, .. } => {
+                // A legal outcome, but one that asserts a resource
+                // ordering: the victim demonstrably tried to acquire
+                // `res` while holding its current set, so those edges
+                // belong in the lock-order graph even though the grant
+                // never happened. Recording them here is what makes the
+                // online ⊆ offline cross-check sound — the surviving
+                // cycle members contribute their edges when their stalled
+                // requests are eventually granted, and the victim's edge
+                // would otherwise be lost with the abort.
+                let mut st = self.inner.lock();
+                let held_snapshot: Vec<(Resource, usize)> = st
+                    .txs
+                    .get(tx)
+                    .map(|t| t.held.iter().map(|(r, (_, s))| (r.clone(), *s)).collect())
+                    .unwrap_or_default();
+                for (prior, prior_shard) in &held_snapshot {
+                    if prior != res {
+                        st.edges
+                            .entry((prior.clone(), res.clone()))
+                            .or_insert((*prior_shard, *shard));
+                    }
+                }
+                let mut held: Vec<String> =
+                    held_snapshot.iter().map(|(r, _)| r.to_string()).collect();
+                held.sort();
+                st.detections.push(Detection {
+                    tx: *tx,
+                    requested: res.to_string(),
+                    shard: *shard,
+                    held,
+                });
+            }
+            LockEvent::Timeout { .. } => {
+                // A legal outcome; it reaches RunReport via LockStats.
             }
             LockEvent::Reset { .. } => {
                 let mut st = self.inner.lock();
@@ -802,6 +898,53 @@ mod tests {
         let json = auditor.graph_json();
         assert!(json.contains("\"cross_shard\": true"), "{json}");
         assert!(json.contains("\"from\": \"aa\""), "{json}");
+    }
+
+    #[test]
+    fn online_detection_is_covered_by_offline_cycle() {
+        use youtopia_lock::GlobalDetector;
+        let auditor = Arc::new(ProtocolAuditor::collecting());
+        let mut locks = ShardedLocks::with_router(
+            2,
+            Box::new(|r| usize::from(r.table_name().starts_with('b'))),
+        );
+        locks.install_sink(auditor.clone());
+        locks.enable_detection(
+            GlobalDetector::new().with_timing(Duration::from_millis(1), Duration::from_millis(2)),
+        );
+        let locks = Arc::new(locks);
+        let a = Resource::table("aa");
+        let b = Resource::table("bb");
+        locks.lock(t(1), a.clone(), LockMode::X, None).unwrap();
+        locks.lock(t(2), b.clone(), LockMode::X, None).unwrap();
+        let l2 = locks.clone();
+        let b2 = b.clone();
+        let survivor = std::thread::spawn(move || {
+            // t1 closes the cycle: it wants bb while t2 wants aa.
+            l2.lock(t(1), b2, LockMode::X, Some(Duration::from_secs(10)))
+        });
+        // t2 is the younger id: the detector convicts it, t1 survives.
+        let verdict = locks.lock(t(2), a.clone(), LockMode::X, Some(Duration::from_secs(10)));
+        assert!(
+            matches!(verdict, Err(youtopia_lock::LockError::Deadlock)),
+            "{verdict:?}"
+        );
+        locks.unlock_all(t(2));
+        survivor.join().unwrap().unwrap();
+        locks.unlock_all(t(1));
+        let detections = auditor.detections();
+        assert_eq!(detections.len(), 1, "{detections:?}");
+        assert_eq!(detections[0].tx, t(2));
+        assert_eq!(detections[0].requested, "aa");
+        assert_eq!(detections[0].held, vec!["bb".to_string()]);
+        // The conviction is backed by an offline cycle: online ⊆ offline.
+        assert!(
+            auditor.uncovered_detections().is_empty(),
+            "{:?}",
+            auditor.uncovered_detections()
+        );
+        let json = auditor.graph_json();
+        assert!(json.contains("\"requested\": \"aa\""), "{json}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! ablations as text tables.
 //!
 //! ```text
-//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|all] [--full]
+//! repro [fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|hotcycle|auditgraph|all] [--full]
 //! ```
 //!
 //! `scaling` measures committed-txns/sec on the transactional Fig. 6(a)
@@ -46,19 +46,27 @@
 //! ≥ 1.5× single-shard at 8 connections (parity at 1 connection), with
 //! the cross-shard two-phase commit tax measured alongside.
 //!
+//! `hotcycle` measures global cross-shard deadlock detection on a
+//! deadlock-prone hot-row mix (opposite-order two-shard pairs) at 4
+//! shards and 8 connections: the edge-chasing probe overlay vs the
+//! timeout-only ablation, written to `BENCH_deadlock.json` (also a CI
+//! artifact). The acceptance targets are zero timeouts on the detect arm
+//! (every cycle dies by explicit victim conviction) and detect
+//! committed-txns/sec ≥ 2× the ablation.
+//!
 //! `--full` uses a larger transaction count per point (slower, smoother
 //! curves). Output mirrors the paper's series: x-value then one column per
 //! curve, in seconds.
 
 use std::io::Write;
 use youtopia_bench::{
-    durability_json, pointmix_json, pointmix_speedup, rangemix_json, rangemix_speedup,
-    readscale_json, readscale_speedup, recovery_json, run_ablated, run_audit_graph,
-    run_durability_series, run_fig6a, run_fig6b, run_fig6c, run_pointmix_series,
-    run_rangemix_series, run_readscale_series, run_recovery_series, run_scaling_series,
-    run_sharding_series, scaling_json, scaling_speedup, sharding_cross_tax, sharding_json,
-    sharding_local_speedup, Ablation, Scale, POINTMIX_WRITE_PCT, RANGEMIX_WRITE_PCT,
-    READSCALE_WRITE_PCT, SHARDING_CROSS_PCT,
+    durability_json, hotcycle_json, pointmix_json, pointmix_speedup, rangemix_json,
+    rangemix_speedup, readscale_json, readscale_speedup, recovery_json, run_ablated,
+    run_audit_graph, run_durability_series, run_fig6a, run_fig6b, run_fig6c, run_hotcycle,
+    run_pointmix_series, run_rangemix_series, run_readscale_series, run_recovery_series,
+    run_scaling_series, run_sharding_series, scaling_json, scaling_speedup, sharding_cross_tax,
+    sharding_json, sharding_local_speedup, Ablation, Scale, HOTCYCLE_CONNECTIONS, HOTCYCLE_SHARDS,
+    POINTMIX_WRITE_PCT, RANGEMIX_WRITE_PCT, READSCALE_WRITE_PCT, SHARDING_CROSS_PCT,
 };
 use youtopia_workload::{Family, Structure, WorkloadMode};
 
@@ -86,6 +94,7 @@ fn main() {
         "pointmix" => pointmix(&mut out, &scale),
         "rangemix" => rangemix(&mut out, &scale),
         "sharding" => sharding(&mut out, &scale),
+        "hotcycle" => hotcycle(&mut out, &scale),
         "auditgraph" => auditgraph(&mut out, &scale),
         "all" => {
             fig6a(&mut out, &scale);
@@ -99,11 +108,12 @@ fn main() {
             pointmix(&mut out, &scale);
             rangemix(&mut out, &scale);
             sharding(&mut out, &scale);
+            hotcycle(&mut out, &scale);
             auditgraph(&mut out, &scale);
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|auditgraph|all"
+                "unknown experiment `{other}`; expected fig6a|fig6b|fig6c|ablations|scaling|durability|recovery|readscale|pointmix|rangemix|sharding|hotcycle|auditgraph|all"
             );
             std::process::exit(2);
         }
@@ -477,7 +487,7 @@ fn sharding(out: &mut impl Write, scale: &Scale) {
         let syncs: Vec<String> = top.shard_syncs.iter().map(|n| n.to_string()).collect();
         writeln!(
             out,
-            "# {}: {:.1} txns/sec at {} connections; {:.3} syncs/commit; {} cross-shard commits, {} prepares; {} deadlocks, {} timeouts; per-shard syncs [{}]",
+            "# {}: {:.1} txns/sec at {} connections; {:.3} syncs/commit; {} cross-shard commits, {} prepares; {} deadlocks ({} victims, {} probes), {} timeouts; per-shard syncs [{}]",
             s.label,
             top.scaling.txns_per_sec,
             top.scaling.connections,
@@ -485,6 +495,8 @@ fn sharding(out: &mut impl Write, scale: &Scale) {
             top.cross_shard_commits,
             top.cross_shard_prepares,
             top.deadlocks,
+            top.deadlock_victims,
+            top.detection_probes,
             top.timeouts,
             syncs.join(", ")
         )
@@ -506,6 +518,61 @@ fn sharding(out: &mut impl Write, scale: &Scale) {
     let json = sharding_json(scale, &series);
     std::fs::write("BENCH_sharding.json", &json).expect("write BENCH_sharding.json");
     writeln!(out, "# baseline written to BENCH_sharding.json").unwrap();
+    writeln!(out).unwrap();
+}
+
+/// Hotcycle: global cross-shard deadlock detection vs the timeout-only
+/// ablation on the deadlock-prone hot-row mix, plus the
+/// `BENCH_deadlock.json` CI baseline. Acceptance: zero timeouts on the
+/// detect arm and detect throughput ≥ 2× the ablation.
+fn hotcycle(out: &mut impl Write, scale: &Scale) {
+    writeln!(out, "# Hotcycle — global deadlock detection vs timeouts").unwrap();
+    writeln!(
+        out,
+        "# opposite-order hot-row pairs at {HOTCYCLE_SHARDS} shards, {HOTCYCLE_CONNECTIONS} connections; columns per arm"
+    )
+    .unwrap();
+    let report = run_hotcycle(scale);
+    writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "arm",
+        "txns/sec",
+        "committed",
+        "deadlocks",
+        "victims",
+        "probes",
+        "timeouts",
+        "p50 block",
+        "p99 block"
+    )
+    .unwrap();
+    for a in [&report.detect, &report.timeout] {
+        writeln!(
+            out,
+            "{:>10} {:>10.1} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            a.label,
+            a.txns_per_sec,
+            a.committed,
+            a.deadlocks,
+            a.deadlock_victims,
+            a.detection_probes,
+            a.timeouts,
+            format!("{}us", a.p50_block_us),
+            format!("{}us", a.p99_block_us)
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "# detect / timeout-only throughput: {:.2}x (acceptance floor 2x); detect-arm timeouts: {} (acceptance: 0)",
+        report.detect_speedup(),
+        report.detect.timeouts
+    )
+    .unwrap();
+    let json = hotcycle_json(scale, &report);
+    std::fs::write("BENCH_deadlock.json", &json).expect("write BENCH_deadlock.json");
+    writeln!(out, "# baseline written to BENCH_deadlock.json").unwrap();
     writeln!(out).unwrap();
 }
 

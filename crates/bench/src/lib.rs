@@ -7,16 +7,16 @@
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
 use entangled_txn::{
-    CheckpointPolicy, CostModel, EngineConfig, IsolationMode, LockGranularity, RunTrigger,
-    Scheduler, SchedulerConfig,
+    CheckpointPolicy, CostModel, DeadlockPolicy, EngineConfig, IsolationMode, LockGranularity,
+    RunTrigger, Scheduler, SchedulerConfig,
 };
 use std::time::{Duration, Instant};
 use youtopia_entangle::SolverConfig;
 use youtopia_workload::{
-    engine_config, generate, generate_point_mix, generate_range_mix, generate_read_mix,
-    generate_shard_mix, generate_structured, pending_plan, point_index_script, point_seed_script,
-    range_index_script, range_seed_script, scheduler_for, shard_index_script, Family, SocialGraph,
-    Structure, TravelData, TravelParams, WorkloadMode,
+    engine_config, generate, generate_hot_cycle, generate_point_mix, generate_range_mix,
+    generate_read_mix, generate_shard_mix, generate_structured, pending_plan, point_index_script,
+    point_seed_script, range_index_script, range_seed_script, scheduler_for, shard_index_script,
+    Family, SocialGraph, Structure, TravelData, TravelParams, WorkloadMode,
 };
 
 /// Experiment scale, trading fidelity for wall-clock time.
@@ -905,9 +905,13 @@ pub struct ShardingPoint {
     pub shard_syncs: Vec<u64>,
     /// Waits-for cycles broken by victim selection during the run.
     pub deadlocks: u64,
-    /// Expired lock waits (cross-shard cycles surface here — no single
-    /// shard's detector can see them).
+    /// Expired lock waits (with detection off, cross-shard cycles
+    /// surface here — no single shard's detector can see them).
     pub timeouts: u64,
+    /// Cross-shard detector convictions (a subset of `deadlocks`).
+    pub deadlock_victims: u64,
+    /// Edge-chasing probes launched by blocked waiters.
+    pub detection_probes: u64,
 }
 
 /// One `sharding` driver series: a shard count × mix locality.
@@ -976,6 +980,8 @@ pub fn run_sharding(
         shard_syncs: stats.shard_syncs.clone(),
         deadlocks: stats.deadlocks,
         timeouts: stats.timeouts,
+        deadlock_victims: stats.deadlock_victims,
+        detection_probes: stats.detection_probes,
     }
 }
 
@@ -1122,7 +1128,7 @@ pub fn sharding_json(scale: &Scale, series: &[ShardingSeries]) -> String {
         for (pi, p) in s.points.iter().enumerate() {
             let syncs: Vec<String> = p.shard_syncs.iter().map(|n| n.to_string()).collect();
             out.push_str(&format!(
-                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"syncs_per_commit\": {:.4}, \"cross_shard_commits\": {}, \"cross_shard_prepares\": {}, \"deadlocks\": {}, \"timeouts\": {}, \"shard_syncs\": [{}]}}{}\n",
+                "        {{\"connections\": {}, \"seconds\": {:.6}, \"committed\": {}, \"failed\": {}, \"txns_per_sec\": {:.3}, \"syncs_per_commit\": {:.4}, \"cross_shard_commits\": {}, \"cross_shard_prepares\": {}, \"deadlocks\": {}, \"timeouts\": {}, \"deadlock_victims\": {}, \"detection_probes\": {}, \"shard_syncs\": [{}]}}{}\n",
                 p.scaling.connections,
                 p.scaling.seconds,
                 p.scaling.committed,
@@ -1133,6 +1139,8 @@ pub fn sharding_json(scale: &Scale, series: &[ShardingSeries]) -> String {
                 p.cross_shard_prepares,
                 p.deadlocks,
                 p.timeouts,
+                p.deadlock_victims,
+                p.detection_probes,
                 syncs.join(", "),
                 if pi + 1 < s.points.len() { "," } else { "" }
             ));
@@ -1140,6 +1148,168 @@ pub fn sharding_json(scale: &Scale, series: &[ShardingSeries]) -> String {
         out.push_str(&format!(
             "      ]\n    }}{}\n",
             if si + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Shard count of the `hotcycle` driver (the acceptance point).
+pub const HOTCYCLE_SHARDS: usize = 4;
+
+/// Connection count of the `hotcycle` driver.
+pub const HOTCYCLE_CONNECTIONS: usize = 8;
+
+/// Hot-row pool size — small enough that opposite-order collisions (and
+/// therefore cross-shard cycles) are routine, not rare.
+pub const HOTCYCLE_HOT_ROWS: usize = 2;
+
+/// One arm of the `hotcycle` experiment: the deadlock-prone hot-row mix
+/// under one [`DeadlockPolicy`].
+#[derive(Debug, Clone)]
+pub struct HotCycleArm {
+    pub label: String,
+    pub seconds: f64,
+    pub committed: usize,
+    pub txns_per_sec: f64,
+    /// Waits-for cycles broken by victim selection (local + global).
+    pub deadlocks: u64,
+    /// Expired lock waits — the acceptance target is **zero** on the
+    /// detect arm: every cycle must die by explicit conviction, never by
+    /// waiting out the clock.
+    pub timeouts: u64,
+    /// Cross-shard detector convictions.
+    pub deadlock_victims: u64,
+    /// Edge-chasing probes launched by blocked waiters.
+    pub detection_probes: u64,
+    /// Median blocked-lock-wait time (µs), over waits that slept.
+    pub p50_block_us: u64,
+    /// 99th-percentile blocked-lock-wait time (µs). On the timeout arm
+    /// this sits at the full `lock_timeout`; detection pulls it down to
+    /// the probe cadence.
+    pub p99_block_us: u64,
+    pub max_block_us: u64,
+}
+
+/// Outcome of the `hotcycle` driver: the same mix measured with global
+/// detection on and off.
+#[derive(Debug, Clone)]
+pub struct HotCycleReport {
+    pub detect: HotCycleArm,
+    pub timeout: HotCycleArm,
+}
+
+impl HotCycleReport {
+    /// The headline figure: detect-arm committed-txns/sec over the
+    /// timeout-only ablation (acceptance: ≥ 2).
+    pub fn detect_speedup(&self) -> f64 {
+        if self.timeout.txns_per_sec > 0.0 {
+            self.detect.txns_per_sec / self.timeout.txns_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// `samples.len() * p`-th order statistic (0 on an empty set).
+fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+/// Measure one `hotcycle` arm: the hot-row opposite-order mix at
+/// [`HOTCYCLE_SHARDS`] shards and [`HOTCYCLE_CONNECTIONS`] connections
+/// under the given deadlock policy. Victims and timeouts both retry
+/// through the scheduler, so the arms commit the same work — they
+/// differ only in how long each cycle stalls before someone aborts.
+pub fn run_hotcycle_arm(scale: &Scale, policy: DeadlockPolicy) -> HotCycleArm {
+    let data = scale.data();
+    let mut cfg = engine_config(WorkloadMode::Transactional, scale.cost, false);
+    cfg.shards = HOTCYCLE_SHARDS;
+    cfg.deadlock = policy;
+    let engine = data.build_engine(cfg);
+    engine
+        .setup(&point_seed_script(&data))
+        .expect("valid seed script");
+    engine.setup(shard_index_script()).expect("valid index DDL");
+    let mut sched = scheduler_for(std::sync::Arc::clone(&engine), HOTCYCLE_CONNECTIONS);
+    // Half the usual point budget: cycle stalls (not statement cost)
+    // dominate this driver, and the timeout arm pays 250 ms per cycle.
+    let count = (scale.txns / 2).max(50);
+    let programs = generate_hot_cycle(&data, count, HOTCYCLE_HOT_ROWS, HOTCYCLE_SHARDS, scale.seed);
+    let start = Instant::now();
+    for p in programs {
+        sched.submit(p);
+    }
+    let stats = sched.drain();
+    let seconds = start.elapsed().as_secs_f64();
+    let mut waits = engine.lock_wait_micros();
+    HotCycleArm {
+        label: match policy {
+            DeadlockPolicy::Detect => "detect".to_string(),
+            DeadlockPolicy::Timeout => "timeout".to_string(),
+        },
+        seconds,
+        committed: stats.committed,
+        txns_per_sec: if seconds > 0.0 {
+            stats.committed as f64 / seconds
+        } else {
+            0.0
+        },
+        deadlocks: stats.deadlocks,
+        timeouts: stats.timeouts,
+        deadlock_victims: stats.deadlock_victims,
+        detection_probes: stats.detection_probes,
+        p50_block_us: percentile_us(&mut waits, 0.50),
+        p99_block_us: percentile_us(&mut waits, 0.99),
+        max_block_us: waits.last().copied().unwrap_or(0),
+    }
+}
+
+/// The `hotcycle` experiment: detection versus the timeout-only
+/// ablation on the same deadlock-prone mix.
+pub fn run_hotcycle(scale: &Scale) -> HotCycleReport {
+    HotCycleReport {
+        detect: run_hotcycle_arm(scale, DeadlockPolicy::Detect),
+        timeout: run_hotcycle_arm(scale, DeadlockPolicy::Timeout),
+    }
+}
+
+/// Serialize the hotcycle report as the `BENCH_deadlock.json` baseline
+/// tracked as a CI artifact.
+pub fn hotcycle_json(scale: &Scale, report: &HotCycleReport) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"hotcycle\",\n");
+    out.push_str(&format!(
+        "  \"shards\": {HOTCYCLE_SHARDS},\n  \"connections\": {HOTCYCLE_CONNECTIONS},\n  \"hot_rows\": {HOTCYCLE_HOT_ROWS},\n"
+    ));
+    out.push_str(&format!(
+        "  \"txns_per_arm\": {},\n",
+        (scale.txns / 2).max(50)
+    ));
+    out.push_str(&format!(
+        "  \"detect_speedup_over_timeout\": {:.3},\n  \"arms\": [\n",
+        report.detect_speedup()
+    ));
+    let arms = [&report.detect, &report.timeout];
+    for (i, a) in arms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"seconds\": {:.6}, \"committed\": {}, \"txns_per_sec\": {:.3}, \"deadlocks\": {}, \"timeouts\": {}, \"deadlock_victims\": {}, \"detection_probes\": {}, \"p50_block_us\": {}, \"p99_block_us\": {}, \"max_block_us\": {}}}{}\n",
+            a.label,
+            a.seconds,
+            a.committed,
+            a.txns_per_sec,
+            a.deadlocks,
+            a.timeouts,
+            a.deadlock_victims,
+            a.detection_probes,
+            a.p50_block_us,
+            a.p99_block_us,
+            a.max_block_us,
+            if i + 1 < arms.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1993,6 +2163,8 @@ mod tests {
             shard_syncs: vec![25, 26, 24, 25],
             deadlocks: 0,
             timeouts: 1,
+            deadlock_victims: 0,
+            detection_probes: 0,
         };
         let series = vec![
             ShardingSeries {
@@ -2022,6 +2194,77 @@ mod tests {
         assert!(json.contains("\"cross_tax_at_4_shards\": 2.000"));
         assert!(json.contains("\"shard_syncs\": [25, 26, 24, 25]"));
         assert!(json.contains("\"cross_shard_prepares\": 100"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
+    }
+
+    #[test]
+    fn hotcycle_detect_arm_resolves_every_cycle_without_timeouts() {
+        // The ISSUE-10 acceptance criterion, in miniature: on the
+        // deadlock-prone mix, the detect arm must finish with zero
+        // timeouts (every cycle dies by explicit conviction) and beat
+        // the timeout-only ablation on committed-txns/sec.
+        let s = Scale {
+            txns: 120,
+            ..sharding_scale()
+        };
+        let report = run_hotcycle(&s);
+        assert_eq!(
+            report.detect.timeouts, 0,
+            "detection must preempt the timeout backstop: {report:?}"
+        );
+        assert!(
+            report.detect.committed >= 60,
+            "victims retry to commit: {report:?}"
+        );
+        assert!(
+            report.detect_speedup() > 1.0,
+            "detect arm must outrun the 250ms-stall ablation: {:.2}x \
+             (detect={:.1} timeout={:.1} txns/s)",
+            report.detect_speedup(),
+            report.detect.txns_per_sec,
+            report.timeout.txns_per_sec
+        );
+        // The ablation genuinely exercised the backstop, or the
+        // comparison is vacuous.
+        assert!(report.timeout.timeouts > 0, "{report:?}");
+        assert_eq!(report.timeout.deadlock_victims, 0, "{report:?}");
+        assert_eq!(report.timeout.detection_probes, 0, "{report:?}");
+        if report.detect.deadlock_victims > 0 {
+            assert!(report.detect.detection_probes > 0, "{report:?}");
+        }
+    }
+
+    #[test]
+    fn hotcycle_json_is_well_formed() {
+        let scale = Scale::quick();
+        let arm = |label: &str, tps: f64, timeouts: u64, victims: u64| HotCycleArm {
+            label: label.to_string(),
+            seconds: 1.0,
+            committed: 300,
+            txns_per_sec: tps,
+            deadlocks: victims,
+            timeouts,
+            deadlock_victims: victims,
+            detection_probes: victims * 3,
+            p50_block_us: 900,
+            p99_block_us: if timeouts > 0 { 250_000 } else { 12_000 },
+            max_block_us: 260_000,
+        };
+        let report = HotCycleReport {
+            detect: arm("detect", 200.0, 0, 14),
+            timeout: arm("timeout", 80.0, 14, 0),
+        };
+        assert!((report.detect_speedup() - 2.5).abs() < 1e-9);
+        let json = hotcycle_json(&scale, &report);
+        assert!(json.contains("\"experiment\": \"hotcycle\""));
+        assert!(json.contains("\"detect_speedup_over_timeout\": 2.500"));
+        assert!(json.contains("\"label\": \"detect\""));
+        assert!(json.contains("\"p99_block_us\": 250000"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

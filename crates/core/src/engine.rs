@@ -34,6 +34,22 @@ pub enum LockGranularity {
     Row,
 }
 
+/// How waits-for cycles that straddle lock shards are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// The global edge-chasing detector convicts a victim: blocked
+    /// waiters probe the union waits-for graph across every shard under a
+    /// consistent cut, and a confirmed cycle aborts its youngest
+    /// non-immune member (entangled groups with a partner already in the
+    /// commit pipeline abort atomically or not at all, so their members
+    /// are skipped). The default.
+    Detect,
+    /// No global detection: cross-shard cycles die by `lock_timeout`
+    /// (the pre-detector behaviour, kept as the measured ablation —
+    /// `YOUTOPIA_DEADLOCK=timeout` forces it process-wide).
+    Timeout,
+}
+
 /// Isolation configuration (§3.3.1 levels as engine switches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IsolationMode {
@@ -112,6 +128,10 @@ pub struct EngineConfig {
     /// `YOUTOPIA_SHARDS=N` forces a shard count process-wide so CI can
     /// rerun suites under sharding without code changes.
     pub shards: usize,
+    /// Cross-shard deadlock resolution: detect (probe overlay, the
+    /// default) or timeout-only (`YOUTOPIA_DEADLOCK=timeout` forces the
+    /// ablation process-wide, mirroring the other env switches).
+    pub deadlock: DeadlockPolicy,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +161,10 @@ impl Default for EngineConfig {
             {
                 Some(n) if n >= 1 => n,
                 _ => 1,
+            },
+            deadlock: match std::env::var("YOUTOPIA_DEADLOCK").as_deref() {
+                Ok(p) if p.eq_ignore_ascii_case("timeout") => DeadlockPolicy::Timeout,
+                _ => DeadlockPolicy::Detect,
             },
         }
     }
@@ -187,7 +211,12 @@ pub struct Engine {
     /// points on the same shard share one device sync (`cost.per_commit`
     /// models the fsync latency); different shards sync in parallel.
     pub committers: Vec<GroupCommitter>,
-    pub groups: GroupManager,
+    pub groups: std::sync::Arc<GroupManager>,
+    /// Transactions currently inside the commit pipeline
+    /// ([`Self::publish_and_commit`]): the deadlock victim policy treats
+    /// any entangled group intersecting this set as immune — a group with
+    /// a prepared partner aborts atomically or not at all.
+    preparing: std::sync::Arc<parking_lot::Mutex<std::collections::HashSet<u64>>>,
     pub recorder: Recorder,
     /// The multi-version clock: commit batches reserve timestamps, install
     /// row versions, and advance the stable frontier; read-only snapshot
@@ -242,6 +271,34 @@ struct CachedSnapshot {
     table: std::sync::Arc<youtopia_storage::Table>,
 }
 
+/// Scoped membership in the engine's preparing set: inserts the batch's
+/// transaction ids on construction, removes them on drop, so victim
+/// immunity tracks the commit pipeline exactly.
+struct PreparingMark<'a> {
+    set: &'a parking_lot::Mutex<std::collections::HashSet<u64>>,
+    ids: Vec<u64>,
+}
+
+impl<'a> PreparingMark<'a> {
+    fn new(
+        set: &'a parking_lot::Mutex<std::collections::HashSet<u64>>,
+        ids: impl Iterator<Item = u64>,
+    ) -> PreparingMark<'a> {
+        let ids: Vec<u64> = ids.collect();
+        set.lock().extend(ids.iter().copied());
+        PreparingMark { set, ids }
+    }
+}
+
+impl Drop for PreparingMark<'_> {
+    fn drop(&mut self) {
+        let mut s = self.set.lock();
+        for id in &self.ids {
+            s.remove(id);
+        }
+    }
+}
+
 /// What one [`Engine::checkpoint`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointReport {
@@ -278,12 +335,21 @@ impl Engine {
         } else {
             None
         };
+        let groups = std::sync::Arc::new(GroupManager::new());
+        let preparing: std::sync::Arc<parking_lot::Mutex<std::collections::HashSet<u64>>> =
+            std::sync::Arc::default();
+        if config.deadlock == DeadlockPolicy::Detect {
+            locks.enable_detection(youtopia_lock::GlobalDetector::with_policy(Box::new(
+                crate::groups::GroupVictimPolicy::new(groups.clone(), preparing.clone()),
+            )));
+        }
         Engine {
             catalog: ConcurrentCatalog::new(),
             locks,
             wal: ShardedWal::new(shards),
             committers,
-            groups: GroupManager::new(),
+            groups,
+            preparing,
             recorder: Recorder::new(),
             versions: SnapshotRegistry::new(),
             snap_cache: parking_lot::Mutex::new(HashMap::new()),
@@ -315,10 +381,32 @@ impl Engine {
         self.locks.total_deadlocks()
     }
 
-    /// Lock waits that expired, over all lock shards (cross-shard cycles
-    /// end up here — no single shard's detector can see them).
+    /// Lock waits that expired, over all lock shards. With
+    /// [`DeadlockPolicy::Detect`] (the default) cross-shard cycles are
+    /// convicted by the probe overlay instead of landing here; the
+    /// timeout backstops the `Timeout` ablation and all-immune cycles.
     pub fn timeouts(&self) -> u64 {
         self.locks.total_timeouts()
+    }
+
+    /// Victims convicted by the cross-shard deadlock detector, over all
+    /// lock shards (0 under [`DeadlockPolicy::Timeout`]; local
+    /// enqueue-time victims count under [`Self::deadlocks`] either way).
+    pub fn deadlock_victims(&self) -> u64 {
+        self.locks.total_deadlock_victims()
+    }
+
+    /// Edge-chasing probes launched by blocked waiters (0 under
+    /// [`DeadlockPolicy::Timeout`]).
+    pub fn detection_probes(&self) -> u64 {
+        self.locks.total_detection_probes()
+    }
+
+    /// Completed lock-wait durations (µs) across every lock shard — one
+    /// sample per request that actually blocked. The `hotcycle` bench
+    /// derives its block-time percentiles from this.
+    pub fn lock_wait_micros(&self) -> Vec<u64> {
+        self.locks.all_wait_micros()
     }
 
     /// Serialized lock-order graph + cycle report (`None` without an
@@ -889,6 +977,12 @@ impl Engine {
     /// 2PL serialization order for conflicting rows; completing after all
     /// installs keeps half-installed batches invisible to snapshots.
     fn publish_and_commit(&self, txns: &mut [&mut Txn], batched: bool) {
+        // From here until every lock is released, the batch is inside the
+        // commit pipeline: mark its members so the deadlock victim policy
+        // treats their entanglement groups as immune (a group with a
+        // prepared partner must abort atomically as a unit or not at
+        // all). The guard unmarks on every exit path.
+        let _preparing = PreparingMark::new(&self.preparing, txns.iter().map(|t| t.tx));
         let is_write = |r: &LogRecord| {
             matches!(
                 r,

@@ -5,6 +5,8 @@
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use youtopia_lock::{TxId, VictimPolicy};
 
 /// Union-find over engine transaction ids, tracking entanglement groups
 /// formed during a run.
@@ -103,6 +105,47 @@ impl GroupManager {
     }
 }
 
+/// The engine's deadlock victim policy, backed by its entanglement
+/// groups: a candidate's **abort unit** is its whole group (the paper's
+/// commit-together requirement is also an abort-together requirement),
+/// and a unit is **immune** while any member sits inside the commit
+/// pipeline (the engine's `preparing` set) — a group with a prepared
+/// partner must not be half-aborted by victim conviction, so the
+/// detector skips it and, if every cycle member is immune, leaves the
+/// cycle to the timeout backstop.
+pub struct GroupVictimPolicy {
+    groups: Arc<GroupManager>,
+    preparing: Arc<Mutex<HashSet<u64>>>,
+}
+
+impl GroupVictimPolicy {
+    pub fn new(
+        groups: Arc<GroupManager>,
+        preparing: Arc<Mutex<HashSet<u64>>>,
+    ) -> GroupVictimPolicy {
+        GroupVictimPolicy { groups, preparing }
+    }
+}
+
+impl VictimPolicy for GroupVictimPolicy {
+    fn immune(&self, tx: TxId) -> bool {
+        let prep = self.preparing.lock();
+        if prep.is_empty() {
+            return false;
+        }
+        if prep.contains(&tx.0) {
+            return true;
+        }
+        self.groups.members(tx.0).iter().any(|m| prep.contains(m))
+    }
+
+    fn abort_unit(&self, tx: TxId) -> Vec<TxId> {
+        let mut unit: Vec<u64> = self.groups.members(tx.0).into_iter().collect();
+        unit.sort_unstable();
+        unit.into_iter().map(TxId).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +196,24 @@ mod tests {
         gm.link(&[1, 2]);
         gm.clear();
         assert!(!gm.is_grouped(1));
+    }
+
+    #[test]
+    fn victim_policy_units_and_immunity() {
+        let gm = Arc::new(GroupManager::new());
+        let preparing: Arc<Mutex<HashSet<u64>>> = Arc::default();
+        let policy = GroupVictimPolicy::new(gm.clone(), preparing.clone());
+        gm.link(&[4, 5]);
+        assert_eq!(policy.abort_unit(TxId(4)), vec![TxId(4), TxId(5)]);
+        assert_eq!(policy.abort_unit(TxId(9)), vec![TxId(9)]);
+        assert!(!policy.immune(TxId(4)));
+        // A partner enters the commit pipeline: the whole group is
+        // immune, strangers are not.
+        preparing.lock().insert(5);
+        assert!(policy.immune(TxId(4)));
+        assert!(policy.immune(TxId(5)));
+        assert!(!policy.immune(TxId(9)));
+        preparing.lock().remove(&5);
+        assert!(!policy.immune(TxId(4)));
     }
 }

@@ -72,12 +72,12 @@ pub mod recorder;
 pub mod scheduler;
 
 pub use engine::{
-    CheckpointReport, CostModel, EmptyAnswerPolicy, Engine, EngineConfig, EvalReport,
-    IsolationMode, LockGranularity, StepOutcome,
+    CheckpointReport, CostModel, DeadlockPolicy, EmptyAnswerPolicy, Engine, EngineConfig,
+    EvalReport, IsolationMode, LockGranularity, StepOutcome,
 };
 pub use error::EngineError;
 pub use executor::TxnContext;
-pub use groups::GroupManager;
+pub use groups::{GroupManager, GroupVictimPolicy};
 pub use oracle::{run_with_oracle, GroundingOracle, QueryOracle, ReplayOracle};
 pub use program::{ClientId, Program, Txn, TxnStatus};
 pub use recorder::Recorder;

@@ -168,11 +168,18 @@ pub struct RunReport {
     /// Device syncs this run paid, per shard segment (sums to `syncs`).
     pub shard_syncs: Vec<u64>,
     /// Waits-for cycles broken by victim selection during this run,
-    /// summed over every lock shard.
+    /// summed over every lock shard (local enqueue-time detections plus
+    /// cross-shard probe convictions).
     pub deadlocks: u64,
-    /// Lock waits that expired during this run (cross-shard cycles land
-    /// here — no single shard's detector can see them).
+    /// Lock waits that expired during this run. With detection on,
+    /// cross-shard cycles are convicted instead of landing here; the
+    /// timeout backstops the `DeadlockPolicy::Timeout` ablation.
     pub timeouts: u64,
+    /// Victims convicted by the cross-shard deadlock detector during
+    /// this run (a subset of `deadlocks`; 0 with detection off).
+    pub deadlock_victims: u64,
+    /// Edge-chasing probes blocked waiters launched during this run.
+    pub detection_probes: u64,
     /// Lock-protocol events checked by the auditor during this run (0 in
     /// unaudited builds).
     pub audit_events: u64,
@@ -222,9 +229,14 @@ pub struct Stats {
     pub shard_syncs: Vec<u64>,
     /// Waits-for cycles broken by victim selection across all runs.
     pub deadlocks: u64,
-    /// Expired lock waits across all runs (where cross-shard cycles
-    /// surface).
+    /// Expired lock waits across all runs (the timeout backstop; with
+    /// detection on, cross-shard cycles surface as `deadlock_victims`
+    /// instead).
     pub timeouts: u64,
+    /// Cross-shard detector convictions across all runs.
+    pub deadlock_victims: u64,
+    /// Edge-chasing probes across all runs.
+    pub detection_probes: u64,
     /// Lock-protocol events checked by the auditor across all runs (0 in
     /// unaudited builds).
     pub audit_events: u64,
@@ -323,6 +335,8 @@ impl Scheduler {
         let cross_prepares_before = self.engine.cross_shard_prepares();
         let deadlocks_before = self.engine.deadlocks();
         let timeouts_before = self.engine.timeouts();
+        let victims_before = self.engine.deadlock_victims();
+        let probes_before = self.engine.detection_probes();
         let audit_events_before = self.engine.audit_events();
         let now = Instant::now();
 
@@ -420,9 +434,13 @@ impl Scheduler {
         self.stats.cross_shard_prepares += report.cross_shard_prepares;
         report.deadlocks = self.engine.deadlocks() - deadlocks_before;
         report.timeouts = self.engine.timeouts() - timeouts_before;
+        report.deadlock_victims = self.engine.deadlock_victims() - victims_before;
+        report.detection_probes = self.engine.detection_probes() - probes_before;
         report.audit_events = self.engine.audit_events() - audit_events_before;
         self.stats.deadlocks += report.deadlocks;
         self.stats.timeouts += report.timeouts;
+        self.stats.deadlock_victims += report.deadlock_victims;
+        self.stats.detection_probes += report.detection_probes;
         self.stats.audit_events += report.audit_events;
         report
     }

@@ -398,3 +398,90 @@ fn full_segments_recover_every_commit() {
     }
     assert_recovered_indexes_match_heap(&out.db, "full segments");
 }
+
+/// ISSUE-10: a deadlock victim convicted **mid-abort**. The engine's
+/// no-steal pipeline writes redo only at commit, so the victim's durable
+/// footprint is a torn commit attempt: data records on the shards it
+/// touched, no `Commit` anywhere, and — because the conviction's
+/// rollback was itself interrupted by the crash — an `Abort` record
+/// durable on only a *subset* of those shards. Recovery must resolve
+/// the victim as a loser on every shard no matter which abort records
+/// survived, leave state identical to the no-victim baseline, and keep
+/// recover ∘ recover a fixpoint with the victim's debris in the log.
+#[test]
+fn victim_mid_abort_is_a_loser_everywhere_and_keeps_the_fixpoint() {
+    let victim = 9000u64;
+    let rs = shard_of_table("Reserve", SHARDS);
+    let hs = shard_of_table("Hotels", SHARDS);
+    assert_ne!(rs, hs, "victim must straddle shards");
+    let baseline = recover_sharded(
+        &shard_segments()
+            .iter()
+            .map(|b| durable_prefix(b))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+
+    // Every reachable mid-abort cut: the abort reached neither shard,
+    // one of the two, or both before the crash.
+    for aborted_on in [vec![], vec![rs], vec![hs], vec![rs, hs]] {
+        let mut prefixes: Vec<Vec<(Lsn, LogRecord)>> =
+            shard_segments().iter().map(|b| durable_prefix(b)).collect();
+        for (shard, table, values) in [
+            (
+                rs,
+                "Reserve",
+                vec![Value::Str("victim".into()), Value::Int(666)],
+            ),
+            (
+                hs,
+                "Hotels",
+                vec![Value::Int(666), Value::Str("NOWHERE".into())],
+            ),
+        ] {
+            let log = &mut prefixes[shard];
+            let base = log.last().map_or(0, |(lsn, _)| lsn.0 + 1000);
+            log.push((Lsn(base + 1), LogRecord::Begin { tx: victim }));
+            log.push((
+                Lsn(base + 2),
+                LogRecord::Insert {
+                    tx: victim,
+                    table: table.to_string(),
+                    row: 990_000,
+                    values,
+                },
+            ));
+            if aborted_on.contains(&shard) {
+                log.push((Lsn(base + 3), LogRecord::Abort { tx: victim }));
+            }
+        }
+
+        let out = recover_sharded(&prefixes).unwrap();
+        let ctx = format!("abort durable on shards {aborted_on:?}");
+        for s in [rs, hs] {
+            assert!(
+                out.shards[s].losers.contains(&victim),
+                "{ctx}: victim won on shard {s}"
+            );
+            assert!(
+                !out.shards[s].winners.contains(&victim),
+                "{ctx}: victim in winner set on shard {s}"
+            );
+        }
+        assert_eq!(
+            out.db.canonical(),
+            baseline.db.canonical(),
+            "{ctx}: victim debris leaked into recovered state"
+        );
+        assert_recovered_indexes_match_heap(&out.db, &ctx);
+
+        // recover ∘ recover stays a fixpoint with the victim in the log.
+        let again = recover_sharded(&sharded_checkpoint_logs(&out.db)).unwrap();
+        assert_eq!(
+            again.db.canonical(),
+            out.db.canonical(),
+            "{ctx}: recover-of-recovered state diverged"
+        );
+        assert!(again.resolution.aborted_xids.is_empty(), "{ctx}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Global cross-shard deadlock detection: an edge-chasing probe overlay.
+//!
+//! Each [`LockManager`] catches cycles confined to its own shard at
+//! enqueue time (the requester-is-victim check in [`LockManager::lock`]).
+//! A cycle that *straddles* shards is invisible to every one of those
+//! local checks — each shard holds only a path fragment of it. The
+//! [`GlobalDetector`] closes that gap with **waiter-driven probes**: a
+//! transaction blocked past a short grace period chases the union of all
+//! shards' waits-for edges and, if the chase returns to the prober,
+//! convicts a victim on the spot. There is no background thread and no
+//! periodic sweep — detection work is paid only by transactions that are
+//! already blocked, exactly when a cross-shard cycle could exist.
+//!
+//! ## Consistent cut, no phantom victims
+//!
+//! A probe locks every shard's state mutex in ascending index order and
+//! unions their waits-for edges under the combined hold. Ordinary lock
+//! traffic only ever holds **one** shard mutex at a time (a request
+//! touches exactly one shard; a blocked waiter holds none), and
+//! concurrent probes ascend in the same order, so the sweep cannot
+//! deadlock. The union is therefore a true instantaneous snapshot: no
+//! waiter can be granted, abandon its wait, or enqueue anywhere while the
+//! cut is held. A cycle found in it is a real deadlock — not a phantom
+//! assembled from fragments observed at different times — and because
+//! every member of a waits-for cycle stays blocked until some member is
+//! removed, the conviction (made under the same guards) can never strike
+//! a transaction that was about to make progress. That is what makes the
+//! detector *sound*: zero false victims on acyclic schedules.
+//!
+//! ## Victim rule
+//!
+//! Youngest member first — the largest transaction id, the least work to
+//! redo — **except** members whose abort unit the installed
+//! [`VictimPolicy`] declares immune. The engine's policy derives units
+//! from entanglement groups: a group with any partner already inside the
+//! commit pipeline must abort atomically as a whole unit or not at all,
+//! so its members are skipped. If every member is immune the probe
+//! convicts nobody and the lock timeout remains the backstop. A cycle
+//! with any member already canceled is likewise left alone: that cycle
+//! is being dismantled, and convicting a second victim would abort more
+//! work than the cycle costs.
+
+use crate::manager::LockManager;
+use crate::resource::TxId;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How the engine scopes a deadlock victim. `abort_unit` names every
+/// transaction that must abort together with a candidate (an entangled
+/// group aborts atomically); `immune` vetoes candidates whose unit has
+/// progressed past the point of safe abortion (a partner already
+/// prepared). The default policy has singleton units and no immunity.
+pub trait VictimPolicy: Send + Sync {
+    /// May `tx` not be chosen as a victim right now?
+    fn immune(&self, _tx: TxId) -> bool {
+        false
+    }
+
+    /// Every transaction that aborts together with `tx` (including `tx`).
+    fn abort_unit(&self, tx: TxId) -> Vec<TxId> {
+        vec![tx]
+    }
+}
+
+/// The no-op policy: every transaction is its own abort unit and anyone
+/// may be a victim.
+struct SingletonPolicy;
+
+impl VictimPolicy for SingletonPolicy {}
+
+/// First probe fires after this much blocking — short enough to beat the
+/// lock timeout by two orders of magnitude, long enough that the common
+/// brief wait (a holder about to commit) resolves without paying for a
+/// cross-shard sweep.
+const DEFAULT_GRACE: Duration = Duration::from_millis(2);
+
+/// Re-probe cadence while still blocked.
+const DEFAULT_PERIOD: Duration = Duration::from_millis(10);
+
+/// The cross-shard deadlock detector installed on a
+/// [`crate::ShardedLocks`] facade.
+pub struct GlobalDetector {
+    policy: Box<dyn VictimPolicy>,
+    grace: Duration,
+    period: Duration,
+    probes: AtomicU64,
+    victims: AtomicU64,
+}
+
+impl fmt::Debug for GlobalDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalDetector")
+            .field("grace", &self.grace)
+            .field("period", &self.period)
+            .field("probes", &self.probes.load(Ordering::Relaxed))
+            .field("victims", &self.victims.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for GlobalDetector {
+    fn default() -> Self {
+        GlobalDetector::new()
+    }
+}
+
+impl GlobalDetector {
+    /// Detector with singleton abort units and no immunity.
+    pub fn new() -> GlobalDetector {
+        GlobalDetector::with_policy(Box::new(SingletonPolicy))
+    }
+
+    /// Detector with an engine-supplied victim policy (the core engine
+    /// installs one backed by its entanglement groups).
+    pub fn with_policy(policy: Box<dyn VictimPolicy>) -> GlobalDetector {
+        GlobalDetector {
+            policy,
+            grace: DEFAULT_GRACE,
+            period: DEFAULT_PERIOD,
+            probes: AtomicU64::new(0),
+            victims: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the probe schedule (tests compress it).
+    pub fn with_timing(mut self, grace: Duration, period: Duration) -> GlobalDetector {
+        self.grace = grace;
+        self.period = period;
+        self
+    }
+
+    pub(crate) fn grace(&self) -> Duration {
+        self.grace
+    }
+
+    pub(crate) fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Edge-chasing probes launched so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Cycles broken by convicting a victim.
+    pub fn victims(&self) -> u64 {
+        self.victims.load(Ordering::Relaxed)
+    }
+
+    /// One probe on behalf of blocked transaction `from`: build the
+    /// consistent cross-shard cut, chase the union waits-for edges from
+    /// `from`, and — if the chase closes a cycle — convict a victim under
+    /// the same guards. Returns the victim if one was convicted.
+    pub(crate) fn probe(&self, shards: &[LockManager], from: TxId) -> Option<TxId> {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        // Consistent cut: every shard's state mutex, ascending order.
+        let mut guards: Vec<_> = shards.iter().map(|m| m.state_guard()).collect();
+        let mut edges: HashMap<TxId, HashSet<TxId>> = HashMap::new();
+        let mut canceled: HashSet<TxId> = HashSet::new();
+        for g in &guards {
+            for (w, hs) in g.waits_for() {
+                edges.entry(w).or_default().extend(hs);
+            }
+            canceled.extend(g.canceled_txs());
+        }
+        let cycle = cycle_through(&edges, from)?;
+        if cycle.iter().any(|t| canceled.contains(t)) {
+            // Already being dismantled by an earlier conviction or an
+            // external abort; one victim per cycle is enough.
+            return None;
+        }
+        // Youngest (largest id) member whose whole abort unit is fair
+        // game; immune units — entangled groups with a prepared partner —
+        // are skipped, and if everyone is immune the timeout backstops.
+        let mut members = cycle;
+        members.sort_unstable_by(|a, b| b.cmp(a));
+        let victim = members.into_iter().find(|&t| {
+            !self
+                .policy
+                .abort_unit(t)
+                .iter()
+                .any(|&u| self.policy.immune(u))
+        })?;
+        self.victims.fetch_add(1, Ordering::Relaxed);
+        // Mark on every shard: the victim's current wait (wherever it
+        // blocks) fails with Deadlock, and so does any lock it might
+        // request elsewhere before its abort releases everything.
+        for g in guards.iter_mut() {
+            g.mark_victim(victim);
+        }
+        drop(guards);
+        for m in shards {
+            m.notify_waiters();
+        }
+        Some(victim)
+    }
+}
+
+/// Members of a waits-for cycle through `start` (including `start`), or
+/// `None` if no path leads back to it. BFS with parent links over the
+/// union edge set; the reconstructed path start → … → n (with an edge
+/// n → start) is exactly the cycle's membership.
+fn cycle_through(edges: &HashMap<TxId, HashSet<TxId>>, start: TxId) -> Option<Vec<TxId>> {
+    let mut parent: HashMap<TxId, TxId> = HashMap::new();
+    let mut queue: VecDeque<TxId> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for &s in edges.get(&n).into_iter().flatten() {
+            if s == start {
+                let mut path = vec![n];
+                let mut cur = n;
+                while cur != start {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if s != start && !parent.contains_key(&s) {
+                parent.insert(s, n);
+                queue.push_back(s);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxId {
+        TxId(n)
+    }
+
+    fn edge_set(pairs: &[(u64, u64)]) -> HashMap<TxId, HashSet<TxId>> {
+        let mut m: HashMap<TxId, HashSet<TxId>> = HashMap::new();
+        for &(a, b) in pairs {
+            m.entry(t(a)).or_default().insert(t(b));
+        }
+        m
+    }
+
+    #[test]
+    fn cycle_through_finds_membership() {
+        // 1 → 2 → 3 → 1 plus a distracting branch 2 → 4.
+        let e = edge_set(&[(1, 2), (2, 3), (3, 1), (2, 4)]);
+        let mut c = cycle_through(&e, t(1)).expect("cycle");
+        c.sort_unstable();
+        assert_eq!(c, vec![t(1), t(2), t(3)]);
+        // 4 is not on a cycle.
+        assert_eq!(cycle_through(&e, t(4)), None);
+    }
+
+    #[test]
+    fn cycle_through_two_party() {
+        let e = edge_set(&[(7, 9), (9, 7)]);
+        let mut c = cycle_through(&e, t(9)).expect("cycle");
+        c.sort_unstable();
+        assert_eq!(c, vec![t(7), t(9)]);
+    }
+
+    #[test]
+    fn acyclic_chains_have_no_cycle() {
+        let e = edge_set(&[(1, 2), (2, 3), (3, 4)]);
+        for n in 1..=4 {
+            assert_eq!(cycle_through(&e, t(n)), None, "tx {n}");
+        }
+    }
+}

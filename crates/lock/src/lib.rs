@@ -11,7 +11,10 @@
 //! * multigranularity modes (`IS`/`IX`/`S`/`SIX`/`X`) over table and row
 //!   resources,
 //! * blocking acquisition with FIFO fairness and upgrade priority,
-//! * waits-for-graph deadlock detection (requester-is-victim),
+//! * waits-for-graph deadlock detection (requester-is-victim) within a
+//!   shard, plus a cross-shard edge-chasing probe overlay
+//!   ([`GlobalDetector`]) that convicts victims in cycles no single
+//!   shard can see,
 //! * per-request timeouts and external cancellation (used when the
 //!   scheduler aborts a blocked transaction at the end of a run),
 //! * early release for the relaxed isolation levels of §3.3.1.
@@ -21,12 +24,14 @@
 //! [`LockManager`]s with a routing rule, so shard-local transactions never
 //! touch another shard's manager (see the `sharded` module docs).
 
+pub mod detect;
 pub mod event;
 pub mod manager;
 pub mod mode;
 pub mod resource;
 pub mod sharded;
 
+pub use detect::{GlobalDetector, VictimPolicy};
 pub use event::{LockEvent, LockEventSink};
 pub use manager::{LockError, LockManager, LockStats};
 pub use mode::LockMode;

@@ -41,6 +41,27 @@ impl fmt::Display for LockError {
 
 impl std::error::Error for LockError {}
 
+/// Why a transaction's pending and future lock requests are refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CancelKind {
+    /// Externally aborted (engine-initiated): waits fail with
+    /// [`LockError::Canceled`].
+    External,
+    /// Convicted by the global deadlock detector: waits fail with
+    /// [`LockError::Deadlock`] and count as a broken cycle.
+    Victim,
+}
+
+/// Probe schedule + callback for [`LockManager::lock_probed`]: `run` is
+/// fired on the waiting thread with the shard's state mutex released,
+/// first after `grace` of blocking, then every `period` until the wait
+/// resolves. The sharded facade points it at the global detector.
+pub(crate) struct ProbeHook<'a> {
+    pub grace: Duration,
+    pub period: Duration,
+    pub run: &'a dyn Fn(),
+}
+
 #[derive(Debug, Clone)]
 struct Request {
     tx: TxId,
@@ -68,20 +89,36 @@ impl Queue {
 }
 
 #[derive(Default)]
-struct State {
+pub(crate) struct State {
     queues: HashMap<Resource, Queue>,
     /// Resources each transaction holds (for O(held) release).
     held: HashMap<TxId, HashSet<Resource>>,
-    canceled: HashSet<TxId>,
+    canceled: HashMap<TxId, CancelKind>,
+    /// Completed blocked-wait durations in microseconds, in completion
+    /// order — grants, timeouts, and cancellations alike (requests
+    /// served without blocking record nothing). The `hotcycle` bench
+    /// derives its block-time percentiles from this.
+    wait_micros: Vec<u64>,
 }
 
 impl State {
     /// Promote waiters on `res` in FIFO order; upgrades are considered
     /// first. Returns true if anything was granted.
     fn promote(&mut self, res: &Resource) -> bool {
-        let Some(q) = self.queues.get_mut(res) else {
+        let State {
+            queues,
+            held,
+            canceled,
+            ..
+        } = self;
+        let Some(q) = queues.get_mut(res) else {
             return false;
         };
+        // Canceled waiters never receive a grant, and must not block the
+        // FIFO head either: drop their queue entries here. The waiting
+        // thread learns its fate from the cancellation map, not from
+        // queue membership.
+        q.waiting.retain(|r| !canceled.contains_key(&r.tx));
         let mut granted_any = false;
         loop {
             // Upgrade waiters (already in granted with a lesser mode) may
@@ -107,7 +144,7 @@ impl State {
                             mode: target,
                         }),
                     }
-                    self.held.entry(w.tx).or_default().insert(res.clone());
+                    held.entry(w.tx).or_default().insert(res.clone());
                     granted_any = true;
                     advanced = true;
                     break;
@@ -118,17 +155,24 @@ impl State {
             }
         }
         if q.granted.is_empty() && q.waiting.is_empty() {
-            self.queues.remove(res);
+            queues.remove(res);
         }
         granted_any
     }
 
     /// Build the waits-for edge set: waiter → (incompatible holders and
-    /// incompatible earlier waiters) per resource.
-    fn waits_for(&self) -> HashMap<TxId, HashSet<TxId>> {
+    /// incompatible earlier waiters) per resource. Canceled transactions
+    /// contribute no edges in either direction among waiters: they are
+    /// leaving the queue, so neither their own wait nor their place ahead
+    /// of others constrains anyone — a convicted victim's cycle is broken
+    /// in this view the instant it is marked.
+    pub(crate) fn waits_for(&self) -> HashMap<TxId, HashSet<TxId>> {
         let mut edges: HashMap<TxId, HashSet<TxId>> = HashMap::new();
         for q in self.queues.values() {
             for (i, w) in q.waiting.iter().enumerate() {
+                if self.canceled.contains_key(&w.tx) {
+                    continue;
+                }
                 let target = match q.granted_mode(w.tx) {
                     Some(m) => m.combine(w.mode),
                     None => w.mode,
@@ -140,13 +184,52 @@ impl State {
                     }
                 }
                 for earlier in q.waiting.iter().take(i) {
-                    if earlier.tx != w.tx && !earlier.mode.compatible(target) {
+                    if earlier.tx != w.tx
+                        && !self.canceled.contains_key(&earlier.tx)
+                        && !earlier.mode.compatible(target)
+                    {
                         e.insert(earlier.tx);
                     }
                 }
             }
         }
         edges
+    }
+
+    /// Transactions currently marked canceled on this shard (any kind).
+    pub(crate) fn canceled_txs(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.canceled.keys().copied()
+    }
+
+    /// Mark `tx` a deadlock victim (an existing external cancellation
+    /// wins — the transaction is dying either way and `Canceled` is the
+    /// stronger verdict for the caller that asked for it).
+    pub(crate) fn mark_victim(&mut self, tx: TxId) {
+        self.canceled.entry(tx).or_insert(CancelKind::Victim);
+    }
+
+    /// Undo a grant `promote` may have handed `tx` on `res` after it was
+    /// marked canceled (the mark-vs-promote race): restore the mode held
+    /// at enqueue time, or remove the grant entirely for a fresh request,
+    /// so a canceled waiter never carries a granted mode out of the
+    /// manager.
+    fn revert_grant(&mut self, tx: TxId, res: &Resource, already: Option<LockMode>) {
+        let Some(q) = self.queues.get_mut(res) else {
+            return;
+        };
+        match already {
+            Some(m) => {
+                if let Some(r) = q.granted.iter_mut().find(|r| r.tx == tx) {
+                    r.mode = m;
+                }
+            }
+            None => {
+                q.granted.retain(|r| r.tx != tx);
+                if let Some(h) = self.held.get_mut(&tx) {
+                    h.remove(res);
+                }
+            }
+        }
     }
 
     /// Does the waits-for graph contain a cycle through `start`?
@@ -240,10 +323,28 @@ impl LockManager {
         mode: LockMode,
         timeout: Option<Duration>,
     ) -> Result<(), LockError> {
+        self.lock_probed(tx, res, mode, timeout, None)
+    }
+
+    /// [`Self::lock`] plus an optional probe hook: while blocked, the
+    /// waiter periodically fires `probe.run` with this shard's state
+    /// mutex **released** (the hook takes every shard's mutex to build a
+    /// consistent cross-shard cut — see [`crate::detect`]). The first
+    /// probe fires after `probe.grace`, then every `probe.period`.
+    pub(crate) fn lock_probed(
+        &self,
+        tx: TxId,
+        res: Resource,
+        mode: LockMode,
+        timeout: Option<Duration>,
+        probe: Option<ProbeHook<'_>>,
+    ) -> Result<(), LockError> {
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.state.lock();
-        if st.canceled.contains(&tx) {
-            return Err(LockError::Canceled);
+        match st.canceled.get(&tx) {
+            Some(CancelKind::External) => return Err(LockError::Canceled),
+            Some(CancelKind::Victim) => return Err(LockError::Deadlock),
+            None => {}
         }
         let q = st.queues.entry(res.clone()).or_default();
         let already = q.granted_mode(tx);
@@ -314,55 +415,91 @@ impl LockManager {
             return Err(LockError::Deadlock);
         }
 
+        let wait_start = Instant::now();
+        let mut next_probe = probe.as_ref().map(|p| Instant::now() + p.grace);
         loop {
-            // Granted?
-            if let Some(q) = st.queues.get(&res) {
-                if let Some(m) = q.granted_mode(tx).filter(|m| m.covers(mode)) {
-                    self.stats.grants.fetch_add(1, Ordering::Relaxed);
-                    self.emit(|shard| LockEvent::Granted {
-                        tx,
-                        res,
-                        mode: m,
-                        shard,
-                    });
-                    return Ok(());
-                }
-            }
-            if st.canceled.contains(&tx) {
+            // 1. Cancellation wins over a racing grant: revert anything
+            //    promote handed us after the mark, leave the queue, and
+            //    fail with the kind's error — a victim must never carry a
+            //    grant out of the cycle the detector is dismantling.
+            if let Some(kind) = st.canceled.get(&tx).copied() {
+                st.revert_grant(tx, &res, already);
                 st.remove_waiter(tx, &res);
                 st.promote(&res);
+                st.wait_micros.push(wait_start.elapsed().as_micros() as u64);
                 self.cv.notify_all();
-                return Err(LockError::Canceled);
-            }
-            match deadline {
-                Some(d) => {
-                    let now = Instant::now();
-                    if now >= d || self.cv.wait_until(&mut st, d).timed_out() {
-                        // Re-check: promotion may have raced the timeout.
-                        if let Some(q) = st.queues.get(&res) {
-                            if let Some(m) = q.granted_mode(tx).filter(|m| m.covers(mode)) {
-                                self.stats.grants.fetch_add(1, Ordering::Relaxed);
-                                self.emit(|shard| LockEvent::Granted {
-                                    tx,
-                                    res,
-                                    mode: m,
-                                    shard,
-                                });
-                                return Ok(());
-                            }
-                        }
-                        st.remove_waiter(tx, &res);
-                        st.promote(&res);
-                        self.cv.notify_all();
-                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                        self.emit(|shard| LockEvent::Timeout {
+                return match kind {
+                    CancelKind::External => Err(LockError::Canceled),
+                    CancelKind::Victim => {
+                        self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                        self.emit(|shard| LockEvent::Deadlock {
                             tx,
                             res: res.clone(),
                             mode,
                             shard,
                         });
-                        return Err(LockError::Timeout);
+                        Err(LockError::Deadlock)
                     }
+                };
+            }
+            // 2. Granted?
+            let won = st
+                .queues
+                .get(&res)
+                .and_then(|q| q.granted_mode(tx).filter(|m| m.covers(mode)));
+            if let Some(m) = won {
+                st.wait_micros.push(wait_start.elapsed().as_micros() as u64);
+                self.stats.grants.fetch_add(1, Ordering::Relaxed);
+                self.emit(|shard| LockEvent::Granted {
+                    tx,
+                    res,
+                    mode: m,
+                    shard,
+                });
+                return Ok(());
+            }
+            // 3. Deadline passed? The grant check above ran under this
+            //    same mutex hold, so a requester that actually won the
+            //    grant can never reach this branch — the timeout cannot
+            //    double-count against a successful acquisition, and no
+            //    granted mode is left behind by the departure.
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    st.remove_waiter(tx, &res);
+                    st.promote(&res);
+                    st.wait_micros.push(wait_start.elapsed().as_micros() as u64);
+                    self.cv.notify_all();
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.emit(|shard| LockEvent::Timeout {
+                        tx,
+                        res: res.clone(),
+                        mode,
+                        shard,
+                    });
+                    return Err(LockError::Timeout);
+                }
+            }
+            // 4. Probe due? Run it with the state mutex released, then
+            //    re-evaluate from the top (the probe may have marked us).
+            if let Some(p) = probe.as_ref() {
+                let due = next_probe.expect("next_probe set when probing");
+                if Instant::now() >= due {
+                    drop(st);
+                    (p.run)();
+                    next_probe = Some(Instant::now() + p.period);
+                    st = self.state.lock();
+                    continue;
+                }
+            }
+            // 5. Sleep until the earliest of deadline and next probe.
+            let wake = match (deadline, next_probe) {
+                (Some(d), Some(p)) => Some(d.min(p)),
+                (Some(d), None) => Some(d),
+                (None, p) => p,
+            };
+            match wake {
+                Some(w) => {
+                    let _ = self.cv.wait_until(&mut st, w);
                 }
                 None => self.cv.wait(&mut st),
             }
@@ -372,7 +509,7 @@ impl LockManager {
     /// Non-blocking acquire.
     pub fn try_lock(&self, tx: TxId, res: Resource, mode: LockMode) -> bool {
         let mut st = self.state.lock();
-        if st.canceled.contains(&tx) {
+        if st.canceled.contains_key(&tx) {
             return false;
         }
         let q = st.queues.entry(res.clone()).or_default();
@@ -459,8 +596,16 @@ impl LockManager {
         st.queues.clear();
         st.held.clear();
         st.canceled.clear();
+        st.wait_micros.clear();
         self.cv.notify_all();
         self.emit(|shard| LockEvent::Reset { shard });
+    }
+
+    /// Completed blocked-wait durations (µs) since creation or the last
+    /// [`Self::reset`]: one sample per request that actually slept,
+    /// whether it ended in a grant, a timeout, or a cancellation.
+    pub fn wait_micros(&self) -> Vec<u64> {
+        self.state.lock().wait_micros.clone()
     }
 
     /// True when no transaction holds or awaits any lock — the quiesce
@@ -476,7 +621,33 @@ impl LockManager {
     /// [`LockError::Canceled`]. Held locks stay until `unlock_all`.
     pub fn cancel(&self, tx: TxId) {
         let mut st = self.state.lock();
-        st.canceled.insert(tx);
+        st.canceled.entry(tx).or_insert(CancelKind::External);
+        self.cv.notify_all();
+    }
+
+    /// Convict a transaction as a deadlock victim: its in-flight wait
+    /// wakes with [`LockError::Deadlock`] (counted in
+    /// [`LockStats::deadlocks`] and emitted as [`LockEvent::Deadlock`] by
+    /// the waiting thread), and further requests fail the same way until
+    /// `unlock_all` clears the mark. The global detector's cancellation
+    /// path; an already-external cancellation keeps its `Canceled`
+    /// verdict.
+    pub fn cancel_victim(&self, tx: TxId) {
+        let mut st = self.state.lock();
+        st.mark_victim(tx);
+        self.cv.notify_all();
+    }
+
+    /// Lock this shard's state for a multi-shard consistent cut (the
+    /// global detector holds every shard's guard at once; ordinary lock
+    /// traffic only ever holds one).
+    pub(crate) fn state_guard(&self) -> parking_lot::MutexGuard<'_, State> {
+        self.state.lock()
+    }
+
+    /// Wake every waiter on this shard (used after victim marking under
+    /// [`Self::state_guard`], once the guards are dropped).
+    pub(crate) fn notify_waiters(&self) {
         self.cv.notify_all();
     }
 
@@ -766,5 +937,132 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*counter.lock(), 400);
+    }
+
+    #[test]
+    fn timeout_promotion_race_no_double_count_or_leak() {
+        // Hammer the window where a waiter's deadline expires at the same
+        // instant the holder releases. Whichever way each round lands,
+        // the outcome must be atomic: a won grant is really held (and not
+        // also counted as a timeout), a timeout leaves no granted mode
+        // behind, and the timeouts counter equals the number of
+        // Err(Timeout) returns exactly.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("hot");
+        let mut timeouts_returned = 0u64;
+        for round in 0..40u64 {
+            let holder = TxId(10_000 + round);
+            let waiter = TxId(20_000 + round);
+            lm.lock(holder, r.clone(), X, None).unwrap();
+            let lm2 = lm.clone();
+            let r2 = r.clone();
+            let h =
+                std::thread::spawn(move || lm2.lock(waiter, r2, X, Some(Duration::from_millis(2))));
+            // Release right around the waiter's deadline.
+            std::thread::sleep(Duration::from_millis(2));
+            lm.unlock_all(holder);
+            match h.join().unwrap() {
+                Ok(()) => {
+                    assert_eq!(
+                        lm.held(waiter),
+                        vec![(r.clone(), X)],
+                        "round {round}: a won grant must be held"
+                    );
+                }
+                Err(LockError::Timeout) => {
+                    timeouts_returned += 1;
+                    assert!(
+                        lm.held(waiter).is_empty(),
+                        "round {round}: a timed-out waiter must not leak a grant"
+                    );
+                }
+                Err(e) => panic!("round {round}: unexpected {e:?}"),
+            }
+            lm.unlock_all(waiter);
+            assert!(lm.quiescent(), "round {round} left lock state behind");
+        }
+        assert_eq!(
+            lm.stats().timeouts.load(Ordering::Relaxed),
+            timeouts_returned,
+            "timeouts counter must match Err(Timeout) returns exactly"
+        );
+        assert_eq!(lm.stats().deadlocks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn canceled_waiter_never_receives_promotion_grant() {
+        // t1 holds X; t2 waits for X; t3 queues behind t2 for S. Cancel
+        // t2, then release t1: promotion must skip the canceled waiter
+        // (no leaked grant) and hand the lock to t3 even though the
+        // canceled t2 sat ahead of it in FIFO order.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("hot");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        let (lm2, r2) = (lm.clone(), r.clone());
+        let w2 = std::thread::spawn(move || lm2.lock(t(2), r2, X, None));
+        std::thread::sleep(Duration::from_millis(30));
+        let (lm3, r3) = (lm.clone(), r.clone());
+        let w3 = std::thread::spawn(move || lm3.lock(t(3), r3, S, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.cancel(t(2));
+        assert_eq!(w2.join().unwrap(), Err(LockError::Canceled));
+        assert!(lm.held(t(2)).is_empty(), "canceled waiter holds nothing");
+        lm.unlock_all(t(1));
+        assert_eq!(w3.join().unwrap(), Ok(()));
+        assert_eq!(lm.held(t(3)), vec![(r, S)]);
+        lm.unlock_all(t(2));
+        lm.unlock_all(t(3));
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    fn victim_cancellation_surfaces_deadlock_not_timeout() {
+        // A waiter convicted by the (external) victim path wakes with
+        // Deadlock, counts one broken cycle, and stays convicted until
+        // unlock_all clears the mark.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("hot");
+        lm.lock(t(1), r.clone(), X, None).unwrap();
+        let (lm2, r2) = (lm.clone(), r.clone());
+        let w2 = std::thread::spawn(move || lm2.lock(t(2), r2, S, Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.cancel_victim(t(2));
+        assert_eq!(w2.join().unwrap(), Err(LockError::Deadlock));
+        assert_eq!(lm.stats().deadlocks.load(Ordering::Relaxed), 1);
+        assert_eq!(lm.stats().timeouts.load(Ordering::Relaxed), 0);
+        // Still convicted: further requests fail fast with Deadlock.
+        assert_eq!(
+            lm.lock(t(2), Resource::table("other"), S, None),
+            Err(LockError::Deadlock)
+        );
+        lm.unlock_all(t(2));
+        lm.unlock_all(t(1));
+        assert!(lm.try_lock(t(2), Resource::table("other"), S));
+        lm.unlock_all(t(2));
+        assert!(lm.quiescent());
+    }
+
+    #[test]
+    fn upgrade_waiter_canceled_keeps_prior_mode_only() {
+        // t1 and t2 hold S; t2 waits to upgrade to X; cancel t2. Its S
+        // must survive (held locks stay until unlock_all) but the X must
+        // never materialize — and t1's own upgrade can then proceed.
+        let lm = Arc::new(LockManager::new());
+        let r = Resource::table("hot");
+        lm.lock(t(1), r.clone(), S, None).unwrap();
+        lm.lock(t(2), r.clone(), S, None).unwrap();
+        let (lm2, r2) = (lm.clone(), r.clone());
+        let w2 = std::thread::spawn(move || lm2.lock(t(2), r2, X, None));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.cancel(t(2));
+        assert_eq!(w2.join().unwrap(), Err(LockError::Canceled));
+        assert_eq!(lm.held(t(2)), vec![(r.clone(), S)]);
+        // t2's abandoned upgrade no longer blocks t1's.
+        lm.unlock_all(t(2));
+        lm.lock(t(1), r.clone(), X, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(lm.held(t(1)), vec![(r, X)]);
+        lm.unlock_all(t(1));
+        assert!(lm.quiescent());
     }
 }

@@ -1,0 +1,158 @@
+//! Deadlock-prone workload for the `hotcycle` bench: every transaction
+//! updates one hot row on each of two tables that straddle shards, and
+//! consecutive transactions take the pair in **opposite orders** — the
+//! textbook recipe for a cross-shard waits-for cycle that no per-shard
+//! detector can see. With the global edge-chasing detector enabled the
+//! cycles resolve in a probe period via an explicit victim and a retry;
+//! with it disabled every cycle stalls for the full lock timeout. The
+//! gap between those two runs is what `BENCH_deadlock.json` measures.
+
+use crate::travel::TravelData;
+use entangled_txn::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use youtopia_storage::shard_of_table;
+
+/// The tables the hot mix updates. All three are point-updatable (the
+/// `Friends` insert table would not collide), and at 4 shards the
+/// default partitioning rule places each on a distinct shard.
+pub const HOT_TABLES: [&str; 3] = ["Reserve", "User", "Flight"];
+
+/// One hot-row point update against `HOT_TABLES[ti]`. The updates are
+/// self-assignments — the bench measures lock scheduling, not data
+/// motion — but they take row-X locks like any real write.
+fn hot_statement(ti: usize, row: usize) -> String {
+    match HOT_TABLES[ti] {
+        "Reserve" => format!("UPDATE Reserve SET fid=fid WHERE uid={row}"),
+        "User" => format!("UPDATE User SET hometown=hometown WHERE uid={row}"),
+        "Flight" => format!("UPDATE Flight SET fid=fid WHERE fid={row}"),
+        other => unreachable!("unknown hot table {other}"),
+    }
+}
+
+/// Hot-table pairs that straddle two different shards at `shards`. With
+/// a single shard nothing straddles, so every pair qualifies — the
+/// cycles still form, they are just visible to the shard-local check.
+fn hot_pairs(shards: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (a, ta) in HOT_TABLES.iter().enumerate() {
+        for (b, tb) in HOT_TABLES.iter().enumerate().skip(a + 1) {
+            if shards <= 1 || shard_of_table(ta, shards) != shard_of_table(tb, shards) {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Generate the hot-cycle mix: `count` two-table transactions over a
+/// pool of `hot_rows` rows, alternating the acquisition order of each
+/// table pair so opposite-order collisions (and therefore cross-shard
+/// deadlocks) are common. Seeded and deterministic, like every
+/// generator in this crate.
+pub fn generate_hot_cycle(
+    data: &TravelData,
+    count: usize,
+    hot_rows: usize,
+    shards: usize,
+    seed: u64,
+) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = hot_rows
+        .max(1)
+        .min(data.params.users.max(1))
+        .min(data.params.flights.max(1));
+    let pairs = hot_pairs(shards);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let (a, b) = pairs[i % pairs.len()];
+        let (ra, rb) = (rng.gen_range(0..pool), rng.gen_range(0..pool));
+        let (s1, s2) = if i % 2 == 0 {
+            (hot_statement(a, ra), hot_statement(b, rb))
+        } else {
+            // Opposite acquisition order: this is what closes cycles.
+            (hot_statement(b, rb), hot_statement(a, ra))
+        };
+        let script = format!("BEGIN; {s1}; {s2}; COMMIT;");
+        out.push(Program::parse(&script).expect("static workload template"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointmix::point_seed_script;
+    use crate::shardmix::shard_index_script;
+    use crate::social::SocialGraph;
+    use crate::travel::TravelParams;
+    use entangled_txn::EngineConfig;
+
+    fn data() -> TravelData {
+        let params = TravelParams {
+            users: 48,
+            cities: 4,
+            flights: 60,
+            seed: 11,
+        };
+        TravelData::generate(params, SocialGraph::slashdot_like(48, 11))
+    }
+
+    #[test]
+    fn hot_pairs_straddle_shards() {
+        for shards in [2usize, 4] {
+            for (a, b) in hot_pairs(shards) {
+                assert_ne!(
+                    shard_of_table(HOT_TABLES[a], shards),
+                    shard_of_table(HOT_TABLES[b], shards),
+                );
+            }
+        }
+        assert_eq!(hot_pairs(1).len(), 3);
+    }
+
+    #[test]
+    fn alternating_orders_and_determinism() {
+        let d = data();
+        let programs = generate_hot_cycle(&d, 20, 2, 4, 7);
+        assert_eq!(programs.len(), 20);
+        for p in &programs {
+            assert_eq!(p.statements.len(), 2, "every transaction is a pair");
+        }
+        let texts: Vec<String> = programs
+            .iter()
+            .map(|p| format!("{:?}", p.statements))
+            .collect();
+        // Consecutive transactions on the same pair run opposite orders.
+        assert_ne!(texts[0], texts[3]);
+        let again: Vec<String> = generate_hot_cycle(&d, 20, 2, 4, 7)
+            .iter()
+            .map(|p| format!("{:?}", p.statements))
+            .collect();
+        assert_eq!(texts, again);
+    }
+
+    #[test]
+    fn hot_cycle_drains_on_a_sharded_engine() {
+        let d = data();
+        let engine = d.build_engine(EngineConfig {
+            shards: 4,
+            ..EngineConfig::default()
+        });
+        engine.setup(&point_seed_script(&d)).expect("seed");
+        engine.setup(shard_index_script()).expect("index ddl");
+        let mut sched = crate::travel::scheduler_for(engine, 6);
+        for p in generate_hot_cycle(&d, 36, 2, 4, 5) {
+            sched.submit(p);
+        }
+        let stats = sched.drain();
+        assert_eq!(
+            stats.committed, 36,
+            "every hot transaction commits (victims retry)"
+        );
+        assert_eq!(
+            stats.timeouts, 0,
+            "with detection on, no cycle waits out the timeout"
+        );
+    }
+}

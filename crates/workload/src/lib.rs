@@ -11,14 +11,17 @@
 //! the named secondary-index plans against full scans, the range-heavy
 //! [`rangemix`] mix the `rangemix` bench uses to measure btree range
 //! plans (next-key locking, composite keys, visibility-filtered
-//! snapshot probes) against forced scans, and the shard-locality
+//! snapshot probes) against forced scans, the shard-locality
 //! [`shardmix`] mix the `sharding` bench uses to measure per-shard
-//! commit pipelines against the cross-shard commit tax.
+//! commit pipelines against the cross-shard commit tax, and the
+//! deadlock-prone [`hotcycle`] mix the `hotcycle` bench uses to measure
+//! global edge-chasing deadlock detection against the timeout backstop.
 //!
 //! Everything is seeded and deterministic, so bench results replay.
 
 pub mod fig6a;
 pub mod fig6bc;
+pub mod hotcycle;
 pub mod pointmix;
 pub mod rangemix;
 pub mod readmix;
@@ -31,6 +34,7 @@ pub use fig6bc::{
     cyclic_group, generate_structured, partnerless_program, pending_plan, spoke_hub_group,
     PendingPlan, Structure,
 };
+pub use hotcycle::{generate_hot_cycle, HOT_TABLES};
 pub use pointmix::{
     generate_point_mix, point_index_script, point_reader, point_seed_script, point_writer,
 };
